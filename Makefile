@@ -1,0 +1,25 @@
+# Convenience targets for the repro library.
+
+.PHONY: install test bench experiments experiments-full examples
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro.bench
+
+experiments-full:
+	python -m repro.bench --full
+
+examples:
+	python examples/quickstart.py
+	python examples/order_maintenance.py
+	python examples/dynamic_editor.py
+	python examples/persistent_store.py
+	python examples/relational_hosting.py

@@ -1,0 +1,19 @@
+"""E10 — ablation: Algorithm 2's balanced bisection vs naive appending.
+
+Expected: appending codes one after another degenerates to unary
+(O(N²) total bits, max code N bits); Algorithm 2's bisection matches
+plain binary (O(N log N) total, max ~log2 N bits) — the quantitative
+justification for bulk-encoding by recursive halving.
+"""
+
+from __future__ import annotations
+
+from repro.bench import run_encoding_order_ablation
+
+
+def test_encoding_order_ablation_bench(benchmark):
+    result = benchmark(run_encoding_order_ablation, 1024)
+    assert result["balanced_max_bits"] <= 11
+    assert result["sequential_max_bits"] == 1024
+    assert result["sequential_total_bits"] > 50 * result["balanced_total_bits"]
+    benchmark.extra_info.update(result)

@@ -1,0 +1,40 @@
+"""E11 — ablation: gapped intervals (Li & Moon, the paper's [11]).
+
+Expected (Section 2.1's argument, quantified): bigger reserved gaps cost
+more bits per label and still only *delay* re-labeling under skew —
+halving events per 2× gap — while V-CDBS is simultaneously the most
+compact and re-label-free for the same stream.
+"""
+
+from __future__ import annotations
+
+from repro.bench import run_gap_ablation
+
+
+def test_gap_ablation_bench(benchmark):
+    results = benchmark.pedantic(
+        run_gap_ablation,
+        kwargs={"gaps": (2, 16, 256), "inserts": 100},
+        rounds=1,
+        iterations=1,
+    )
+    cdbs = results["V-CDBS"]
+    assert cdbs["relabel_events"] == 0
+    # Storage grows monotonically with the gap...
+    assert (
+        cdbs["initial_bits_per_node"]
+        < results["Gapped(gap=2)"]["initial_bits_per_node"]
+        < results["Gapped(gap=16)"]["initial_bits_per_node"]
+        < results["Gapped(gap=256)"]["initial_bits_per_node"]
+    )
+    # ... while re-labels shrink but never vanish.
+    assert (
+        results["Gapped(gap=2)"]["relabel_events"]
+        > results["Gapped(gap=16)"]["relabel_events"]
+        > results["Gapped(gap=256)"]["relabel_events"]
+        > 0
+    )
+    benchmark.extra_info["results"] = {
+        name: {key: round(value, 1) for key, value in cell.items()}
+        for name, cell in results.items()
+    }

@@ -1,0 +1,18 @@
+"""E9 — ablation: the ends-with-"1" invariant (Example 3.3).
+
+Expected: plain binary codes, used as order keys, leave half their
+adjacent gaps *dead* (no string fits between ``x`` and ``x0``), while
+CDBS codes — by terminating every code with ``1`` — have zero dead
+gaps, at zero size cost (Table 1's totals are equal).
+"""
+
+from __future__ import annotations
+
+from repro.bench import run_invariant_ablation
+
+
+def test_invariant_ablation_bench(benchmark):
+    result = benchmark(run_invariant_ablation, 1024)
+    assert result["cdbs_dead_end_gaps"] == 0
+    assert result["binary_dead_end_gaps"] >= result["count"] // 4
+    benchmark.extra_info.update(result)

@@ -1,0 +1,31 @@
+"""E12 — extension: adaptive local re-labeling (the paper's §8).
+
+Expected: under a deep skewed hot spot with a tight length field, the
+adaptive scheme re-labels an order of magnitude fewer nodes than the
+stock full-re-label fallback while keeping CDBS-grade label sizes;
+QED remains the zero-re-label/always-bigger extreme.
+"""
+
+from __future__ import annotations
+
+from repro.bench import run_adaptive_skew
+
+
+def test_adaptive_skew_bench(benchmark):
+    results = benchmark.pedantic(
+        run_adaptive_skew,
+        kwargs={"inserts": 300, "field_bits": 5},
+        rounds=1,
+        iterations=1,
+    )
+    full = results["V-CDBS (full re-label)"]
+    local = results["Adaptive-CDBS (local)"]
+    qed = results["QED"]
+    assert qed["relabel_events"] == 0
+    assert full["relabel_events"] >= 1
+    assert local["relabeled_nodes"] < full["relabeled_nodes"] / 4
+    assert local["final_bits_per_node"] < qed["final_bits_per_node"]
+    benchmark.extra_info["results"] = {
+        name: {key: round(value, 2) for key, value in cell.items()}
+        for name, cell in results.items()
+    }

@@ -1,0 +1,62 @@
+"""E3 — Figure 5: label sizes of all schemes on D1–D6.
+
+Expected shape: Prime towers over the field (Binary-String-Prefix can
+exceed it on very wide datasets, its documented pathology);
+V-CDBS == V-Binary and F-CDBS == F-Binary exactly; QED-Prefix beats
+OrdPath1/2; QED-Containment sits just above V-CDBS-Containment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import run_figure5
+from repro.labeling import make_scheme
+
+
+def test_fig5_bench(benchmark, scale):
+    results = benchmark.pedantic(
+        run_figure5,
+        kwargs={"fraction": scale["fig5_fraction"]},
+        rounds=1,
+        iterations=1,
+    )
+    for dataset, per_scheme in results.items():
+        assert per_scheme["V-CDBS-Containment"]["avg_bits"] == pytest.approx(
+            per_scheme["V-Binary-Containment"]["avg_bits"]
+        )
+        assert per_scheme["F-CDBS-Containment"]["avg_bits"] == pytest.approx(
+            per_scheme["F-Binary-Containment"]["avg_bits"]
+        )
+        assert (
+            per_scheme["QED-Prefix"]["avg_bits"]
+            < per_scheme["OrdPath1-Prefix"]["avg_bits"]
+        )
+        assert (
+            per_scheme["QED-Containment"]["avg_bits"]
+            > per_scheme["V-CDBS-Containment"]["avg_bits"]
+        )
+    benchmark.extra_info["avg_bits"] = {
+        dataset: {
+            scheme: round(cell["avg_bits"], 1)
+            for scheme, cell in per_scheme.items()
+        }
+        for dataset, per_scheme in results.items()
+    }
+
+
+@pytest.mark.parametrize(
+    "scheme_name",
+    ["V-CDBS-Containment", "QED-Prefix", "Prime", "DeweyID(UTF8)-Prefix"],
+)
+def test_labeling_throughput(benchmark, scheme_name):
+    """Bulk-labeling speed per scheme on the Hamlet document."""
+    from repro.datasets import build_hamlet
+
+    document = build_hamlet()
+
+    def label():
+        return make_scheme(scheme_name).label_document(document)
+
+    labeled = benchmark(label)
+    assert labeled.node_count() == 6636

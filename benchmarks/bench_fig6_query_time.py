@@ -1,0 +1,55 @@
+"""E4 — Table 3 + Figure 6: query response times on scaled D5.
+
+Expected shape: Prime's size-driven scan cost puts it at the top of the
+heavy queries; the compact containment family clusters together
+(V-CDBS ≈ V-Binary — the paper's "will not decrease the query
+performance"); QED-Prefix undercuts OrdPath1/2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import run_figure6
+from repro.bench.experiments import FIGURE6_SCHEMES
+
+
+def test_fig6_bench(benchmark, scale):
+    results = benchmark.pedantic(
+        run_figure6,
+        kwargs={
+            "fraction": scale["fig6_fraction"],
+            "factor": scale["fig6_factor"],
+        },
+        rounds=1,
+        iterations=1,
+    )
+    assert set(results) == set(FIGURE6_SCHEMES)
+    # Same corpus, same answers: cardinalities agree across schemes.
+    for query_id in ("Q1", "Q2", "Q3", "Q4", "Q5", "Q6"):
+        counts = {results[s][query_id]["count"] for s in results}
+        assert len(counts) == 1, query_id
+    # Prime pays the heaviest label-scan bill on the big queries.
+    assert (
+        results["Prime"]["Q6"]["seconds"]
+        > results["V-CDBS-Containment"]["Q6"]["seconds"]
+    )
+    benchmark.extra_info["ms"] = {
+        scheme: {
+            q: round(1000 * cell["seconds"], 2) for q, cell in per_query.items()
+        }
+        for scheme, per_query in results.items()
+    }
+
+
+@pytest.mark.parametrize("query_id", ["Q1", "Q5", "Q6"])
+def test_single_query_on_hamlet(benchmark, query_id):
+    """Per-query micro-benchmarks on one labeled document."""
+    from repro.datasets import build_hamlet
+    from repro.labeling import make_scheme
+    from repro.query import QueryEngine, TABLE3_QUERIES
+
+    labeled = make_scheme("V-CDBS-Containment").label_document(build_hamlet())
+    engine = QueryEngine(labeled)
+    query = TABLE3_QUERIES[query_id]
+    benchmark(engine.evaluate, query)

@@ -1,0 +1,54 @@
+"""E6 — Figure 7: total update time (processing + I/O), log2 ms.
+
+Expected shape (the paper's): Prime's bars top everything (its SC
+recomputation reads the whole label suffix AND burns CRT time);
+Binary-Containment stair-steps down across cases 1→5; every dynamic
+scheme sits flat at about one page of I/O — roughly 1/11 of
+Binary-Containment's case-1 cost, the paper's headline ratio.
+"""
+
+from __future__ import annotations
+
+from repro.bench import run_figure7
+
+
+def test_fig7_bench(benchmark):
+    results = benchmark.pedantic(run_figure7, rounds=1, iterations=1)
+    for case in range(5):
+        binary = results["V-Binary-Containment"]["total"][case]
+        cdbs = results["V-CDBS-Containment"]["total"][case]
+        qed = results["QED-Containment"]["total"][case]
+        assert binary > cdbs
+        assert binary > qed
+        # The Prime-vs-Binary ordering rides on the deterministic
+        # modelled I/O; the processing term is noise under load.
+        assert (
+            results["Prime"]["io"][case]
+            > results["V-Binary-Containment"]["io"][case]
+        )
+    # Paper: dynamic schemes cost < 1/5 (ours ~1/11) of Binary's total.
+    assert (
+        results["V-CDBS-Containment"]["total"][0]
+        < results["V-Binary-Containment"]["total"][0] / 5
+    )
+    benchmark.extra_info["log2_total_ms"] = {
+        scheme: [round(v, 2) for v in data["log2_total_ms"]]
+        for scheme, data in results.items()
+    }
+
+
+def test_single_dynamic_insert_latency(benchmark):
+    """Processing-only latency of one V-CDBS insert into Hamlet."""
+    from repro.datasets import build_hamlet
+    from repro.labeling import make_scheme
+    from repro.updates import UpdateEngine
+    from repro.xmltree import Node
+
+    labeled = make_scheme("V-CDBS-Containment").label_document(build_hamlet())
+    engine = UpdateEngine(labeled, with_storage=False)
+    acts = labeled.document.elements_by_tag("act")
+
+    def insert():
+        engine.insert_before(acts[2], Node.element("note"))
+
+    benchmark(insert)

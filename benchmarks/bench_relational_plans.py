@@ -1,0 +1,51 @@
+"""Relational hosting: physical plans per labeling family.
+
+Expected shape: hosting a containment or prefix scheme in the node
+table answers descendant axes with **index range scans** (one per
+context), while Prime admits no ancestry index and degrades to
+divisibility probing — the relational rendering of why interval labels
+(and hence CDBS) suit RDBMS deployments.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import build_hamlet
+from repro.labeling import make_scheme
+from repro.relational import RelationalQueryEngine, shred
+
+
+@pytest.fixture(scope="module")
+def engines():
+    document = build_hamlet()
+    out = {}
+    for scheme_name in ("V-CDBS-Containment", "QED-Prefix", "Prime"):
+        labeled = make_scheme(scheme_name).label_document(document)
+        out[scheme_name] = RelationalQueryEngine(shred(labeled))
+    return out
+
+
+@pytest.mark.parametrize(
+    "scheme_name", ["V-CDBS-Containment", "QED-Prefix", "Prime"]
+)
+def test_descendant_sweep(benchmark, engines, scheme_name):
+    engine = engines[scheme_name]
+    count = benchmark(engine.count, "/play//line")
+    assert count > 0
+    if scheme_name == "Prime":
+        assert engine.stats.range_scans == 0
+    else:
+        assert engine.stats.range_scans == 1
+    benchmark.extra_info["plan"] = {
+        "range_scans": engine.stats.range_scans,
+        "point_lookups": engine.stats.point_lookups,
+        "rows_examined": engine.stats.rows_examined,
+    }
+
+
+def test_child_chain(benchmark, engines):
+    engine = engines["V-CDBS-Containment"]
+    count = benchmark(engine.count, "/play/act/scene/speech")
+    assert count > 0
+    assert engine.stats.table_scans == 0

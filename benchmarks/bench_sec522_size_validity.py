@@ -1,0 +1,32 @@
+"""E13 — Section 5.2.2: V-CDBS size validity under random insertion.
+
+Expected: a document grown by uniform random insertion stays within a
+few percent of a fresh bulk encoding's average label size (the paper's
+"the size analysis is still valid, and the query performance will not
+be decreased"), while a skewed stream blows up the *worst* label —
+Cohen et al.'s unavoidable O(N) tail that Section 5.2.2 concedes.
+"""
+
+from __future__ import annotations
+
+from repro.bench import run_uniform_size_validity
+
+
+def test_size_validity_bench(benchmark):
+    result = benchmark.pedantic(
+        run_uniform_size_validity,
+        kwargs={"inserts": 800},
+        rounds=1,
+        iterations=1,
+    )
+    # Average size: within 5% of the bulk encoding.
+    assert result["uniform_overhead_ratio"] < 1.05
+    # Worst label: uniform stays log-like; skewed dwarfs both.
+    assert (
+        result["skewed_max_label_bits"]
+        > 2 * result["uniform_max_label_bits"]
+    )
+    assert result["uniform_max_label_bits"] < 2 * result["bulk_max_label_bits"]
+    benchmark.extra_info.update(
+        {key: round(value, 3) for key, value in result.items()}
+    )

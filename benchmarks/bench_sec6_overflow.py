@@ -1,0 +1,26 @@
+"""E8 — Section 6: the overflow problem under skewed insertion.
+
+Expected shape: a tight (analytical) CDBS length field overflows within
+a handful of skewed inserts; the practical byte-wide field survives a
+couple hundred; Float-point dies after ~20; QED never re-labels.
+"""
+
+from __future__ import annotations
+
+from repro.bench import run_overflow
+
+
+def test_overflow_bench(benchmark):
+    outcomes = benchmark.pedantic(
+        run_overflow, kwargs={"max_inserts": 600}, rounds=1, iterations=1
+    )
+    assert outcomes["QED"] is None
+    tight = outcomes["V-CDBS tight field (4 bits)"]
+    float_point = outcomes["Float-point"]
+    assert tight is not None and tight < 50
+    assert float_point is not None and float_point <= 30
+    default = outcomes["V-CDBS byte field (default)"]
+    assert default is None or default > tight
+    benchmark.extra_info["first_relabel_at"] = {
+        key: value for key, value in outcomes.items()
+    }

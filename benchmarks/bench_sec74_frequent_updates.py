@@ -1,0 +1,53 @@
+"""E7 — Section 7.4: frequent updates (processing time only).
+
+Expected shape: CDBS/QED absorb skewed insertion streams with flat
+per-insert cost; Float-point collapses into re-label storms every ~18
+inserts (the paper's float-precision claim), driving its mean per-insert
+cost orders of magnitude up; under uniform insertion everything dynamic
+stays flat and V-CDBS is the cheapest (1-bit tail edits).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import run_frequent_updates
+
+
+@pytest.mark.parametrize("mode", ["skewed", "uniform"])
+def test_frequent_updates_bench(benchmark, scale, mode):
+    results = benchmark.pedantic(
+        run_frequent_updates,
+        kwargs={"inserts": scale["frequent_inserts"], "mode": mode},
+        rounds=1,
+        iterations=1,
+    )
+    cdbs = results["V-CDBS-Containment"]
+    qed = results["QED-Containment"]
+    assert cdbs["relabel_events"] == 0
+    assert qed["relabel_events"] == 0
+    if mode == "skewed":
+        float_point = results["Float-point-Containment"]
+        assert float_point["relabel_events"] > 0
+        assert (
+            float_point["mean_us_per_insert"] > 5 * cdbs["mean_us_per_insert"]
+        )
+    benchmark.extra_info[f"{mode}_us_per_insert"] = {
+        scheme: round(cell["mean_us_per_insert"], 1)
+        for scheme, cell in results.items()
+    }
+
+
+def test_skewed_insert_microbench(benchmark):
+    """Per-insert cost of the hottest path: Algorithm 1 on a long code."""
+    from repro.core.bitstring import EMPTY
+    from repro.core.middle import assign_middle_binary_string
+
+    left = EMPTY
+    right = EMPTY
+
+    def run():
+        nonlocal right
+        right = assign_middle_binary_string(left, right)
+
+    benchmark(run)

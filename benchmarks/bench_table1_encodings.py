@@ -1,0 +1,25 @@
+"""E1 — Table 1: the four encodings of 1..18 (and bulk-encode speed).
+
+Paper values: V-Binary/V-CDBS total 64 bits; F-Binary/F-CDBS 90 bits.
+"""
+
+from __future__ import annotations
+
+from repro.bench import run_table1
+from repro.core.cdbs import vcdbs_encode
+
+
+def test_table1_bench(benchmark):
+    result = benchmark(run_table1)
+    assert result["totals"] == {
+        "V-Binary": 64,
+        "V-CDBS": 64,
+        "F-Binary": 90,
+        "F-CDBS": 90,
+    }
+    benchmark.extra_info["totals"] = result["totals"]
+
+
+def test_bulk_encode_throughput(benchmark):
+    codes = benchmark(vcdbs_encode, 10_000)
+    assert len(codes) == 10_000

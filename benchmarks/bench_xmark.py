@@ -1,0 +1,55 @@
+"""Supplementary breadth: the XMark-style auction corpus.
+
+Not a paper artifact — a second corpus family (attribute-heavy,
+reference-style structure) confirming that the Figure 5/6 orderings are
+not an artifact of the Shakespeare-shaped data: CDBS stays as compact
+as binary, QED-Prefix stays below OrdPath, Prime stays the heavyweight.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import XMARK_QUERIES, build_xmark
+from repro.labeling import make_scheme
+from repro.query import QueryEngine
+
+SCHEMES = (
+    "V-CDBS-Containment",
+    "V-Binary-Containment",
+    "QED-Prefix",
+    "OrdPath1-Prefix",
+    "Prime",
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_xmark(12_000)
+
+
+def test_xmark_label_sizes(benchmark, corpus):
+    def label_all():
+        return {
+            name: make_scheme(name).label_document(corpus).total_label_bits()
+            / corpus.node_count()
+            for name in SCHEMES
+        }
+
+    sizes = benchmark.pedantic(label_all, rounds=1, iterations=1)
+    assert sizes["V-CDBS-Containment"] == pytest.approx(
+        sizes["V-Binary-Containment"]
+    )
+    assert sizes["QED-Prefix"] < sizes["OrdPath1-Prefix"]
+    assert sizes["Prime"] > sizes["V-CDBS-Containment"]
+    benchmark.extra_info["avg_bits"] = {
+        name: round(bits, 1) for name, bits in sizes.items()
+    }
+
+
+@pytest.mark.parametrize("query_id", list(XMARK_QUERIES))
+def test_xmark_queries(benchmark, corpus, query_id):
+    labeled = make_scheme("V-CDBS-Containment").label_document(corpus)
+    engine = QueryEngine(labeled)
+    count = benchmark(engine.count, XMARK_QUERIES[query_id])
+    assert count > 0

@@ -1,0 +1,30 @@
+"""Shared configuration for the pytest-benchmark harness.
+
+Each module regenerates one table or figure of the paper (see
+DESIGN.md §3).  Scale knobs default to laptop-friendly fractions of the
+paper's corpora; set ``REPRO_BENCH_FULL=1`` to run the full Table 2
+sizes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_BENCH_FULL") == "1"
+
+FIG5_FRACTION = 1.0 if FULL else 0.02
+FIG6_FRACTION = 1.0 if FULL else 0.01
+FIG6_FACTOR = 10 if FULL else 3
+FREQUENT_INSERTS = 2000 if FULL else 150
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return {
+        "fig5_fraction": FIG5_FRACTION,
+        "fig6_fraction": FIG6_FRACTION,
+        "fig6_factor": FIG6_FACTOR,
+        "frequent_inserts": FREQUENT_INSERTS,
+    }

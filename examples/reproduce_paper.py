@@ -1,0 +1,15 @@
+"""Reproduce every table and figure of the paper in one run.
+
+A thin convenience wrapper over ``python -m repro.bench``; prints the
+paper's artifacts at laptop scale (pass ``--full`` for the full
+Table 2 corpus sizes — slow in pure Python).
+
+Run:  python examples/reproduce_paper.py [--full] [--only E1 E5 ...]
+"""
+
+import sys
+
+from repro.bench.__main__ import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,69 @@
+"""repro — reproduction of *Efficient Processing of Updates in Dynamic
+XML Data* (Li, Ling & Hu, ICDE 2006).
+
+The package implements the paper's Compact Dynamic Binary String (CDBS)
+encoding and everything its evaluation rests on: the QED quaternary
+encoding, the containment / prefix / prime XML labeling scheme families,
+an XML tree model with parser and synthetic dataset generators matching
+the paper's corpora, a label-driven XPath-subset query engine, an update
+engine that counts re-labels, and a paged label store with an explicit
+I/O cost model.
+
+Quickstart::
+
+    >>> from repro import OrderKeyFactory
+    >>> keys = OrderKeyFactory("cdbs").initial(3)
+    >>> [str(k) for k in keys]
+    ['001', '01', '1']
+
+See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md``
+for the paper-vs-measured record of every table and figure.
+"""
+
+from repro.core import (
+    BitString,
+    OrderKey,
+    OrderKeyFactory,
+    assign_middle_binary_string,
+    assign_middle_pair,
+    assign_middle_quaternary,
+    fbinary_encode,
+    fcdbs_encode,
+    qed_encode,
+    vbinary_encode,
+    vcdbs_encode,
+)
+from repro.store import StoreError, XmlStore
+from repro.errors import (
+    InvalidCodeError,
+    LengthFieldOverflow,
+    NotOrderedError,
+    PrecisionExhausted,
+    RelabelRequired,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BitString",
+    "OrderKey",
+    "OrderKeyFactory",
+    "assign_middle_binary_string",
+    "assign_middle_pair",
+    "assign_middle_quaternary",
+    "vcdbs_encode",
+    "fcdbs_encode",
+    "vbinary_encode",
+    "fbinary_encode",
+    "qed_encode",
+    "XmlStore",
+    "StoreError",
+    "ReproError",
+    "InvalidCodeError",
+    "NotOrderedError",
+    "RelabelRequired",
+    "LengthFieldOverflow",
+    "PrecisionExhausted",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Benchmark harness: one driver per table/figure (DESIGN.md §3)."""
+
+from repro.bench.experiments import (
+    run_adaptive_skew,
+    run_encoding_order_ablation,
+    run_gap_ablation,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_frequent_updates,
+    run_invariant_ablation,
+    run_overflow,
+    run_size_analysis,
+    run_table1,
+    run_uniform_size_validity,
+    run_table4,
+)
+from repro.bench.reporting import format_number, format_table
+
+__all__ = [
+    "run_table1",
+    "run_size_analysis",
+    "run_figure5",
+    "run_figure6",
+    "run_table4",
+    "run_figure7",
+    "run_frequent_updates",
+    "run_overflow",
+    "run_invariant_ablation",
+    "run_encoding_order_ablation",
+    "run_gap_ablation",
+    "run_adaptive_skew",
+    "run_uniform_size_validity",
+    "format_table",
+    "format_number",
+]

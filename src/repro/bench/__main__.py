@@ -1,0 +1,305 @@
+"""Run every experiment and print the paper's tables/figures.
+
+Usage::
+
+    python -m repro.bench                   # quick laptop-scale pass
+    python -m repro.bench --full            # full Table 2 dataset sizes
+    python -m repro.bench --only E5 E6      # a subset of experiment ids
+    python -m repro.bench --json out.json   # machine-readable results
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.bench.experiments import (
+    run_adaptive_skew,
+    run_uniform_size_validity,
+    run_encoding_order_ablation,
+    run_gap_ablation,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_frequent_updates,
+    run_invariant_ablation,
+    run_overflow,
+    run_size_analysis,
+    run_table1,
+    run_table4,
+)
+from repro.bench.reporting import format_table
+
+
+def _print_header(experiment_id: str, title: str) -> None:
+    print()
+    print(f"=== {experiment_id}: {title} " + "=" * max(0, 60 - len(title)))
+
+
+def run_e1() -> None:
+    _print_header("E1", "Table 1 — binary and CDBS encodings of 1..18")
+    result = run_table1()
+    print(
+        format_table(
+            ["n", "V-Binary", "V-CDBS", "F-Binary", "F-CDBS"], result["rows"]
+        )
+    )
+    print("totals (bits):", result["totals"])
+
+
+def run_e2() -> None:
+    _print_header("E2", "Section 4.2 — size formulas vs measured")
+    reports = run_size_analysis()
+    rows = [
+        (
+            r.count,
+            r.vcdbs_raw_measured,
+            r.vbinary_raw_exact,
+            round(r.vbinary_raw_formula),
+            r.vbinary_total_exact,
+            round(r.vbinary_total_formula),
+            r.fbinary_total_exact,
+            round(r.fbinary_total_formula),
+        )
+        for r in reports
+    ]
+    print(
+        format_table(
+            [
+                "N",
+                "V-CDBS meas",
+                "V-Bin exact",
+                "V-Bin formula",
+                "V total exact",
+                "V total formula",
+                "F total exact",
+                "F total formula",
+            ],
+            rows,
+        )
+    )
+
+
+def run_e3(fraction: float) -> None:
+    _print_header("E3", f"Figure 5 — label sizes (fraction={fraction})")
+    results = run_figure5(fraction=fraction)
+    schemes = list(next(iter(results.values())))
+    rows = [
+        [scheme]
+        + [round(results[ds][scheme]["avg_bits"], 1) for ds in results]
+        for scheme in schemes
+    ]
+    print(
+        format_table(
+            ["scheme (avg bits/label)"] + list(results), rows
+        )
+    )
+
+
+def run_e4(fraction: float) -> None:
+    _print_header("E4", f"Figure 6 — query times on scaled D5 (fraction={fraction})")
+    results = run_figure6(fraction=fraction)
+    queries = list(next(iter(results.values())))
+    rows = [
+        [scheme]
+        + [round(1000 * results[scheme][q]["seconds"], 1) for q in queries]
+        for scheme in results
+    ]
+    print(format_table(["scheme (ms)"] + queries, rows))
+    counts = {
+        q: int(next(iter(results.values()))[q]["count"]) for q in queries
+    }
+    print("result cardinalities:", counts)
+
+
+def run_e5() -> None:
+    _print_header("E5", "Table 4 — nodes to re-label in updates")
+    results = run_table4()
+    rows = [[scheme] + counts for scheme, counts in results.items()]
+    print(
+        format_table(
+            ["scheme", "case1", "case2", "case3", "case4", "case5"], rows
+        )
+    )
+
+
+def run_e6() -> None:
+    _print_header("E6", "Figure 7 — total update time (processing + I/O)")
+    results = run_figure7()
+    rows = [
+        [scheme]
+        + [round(v, 2) for v in data["log2_total_ms"]]
+        for scheme, data in results.items()
+    ]
+    print(
+        format_table(
+            ["scheme (log2 ms)", "case1", "case2", "case3", "case4", "case5"],
+            rows,
+        )
+    )
+
+
+def run_e7(inserts: int) -> None:
+    _print_header("E7", f"Section 7.4 — frequent updates ({inserts} inserts)")
+    for mode in ("skewed", "uniform"):
+        results = run_frequent_updates(inserts=inserts, mode=mode)
+        rows = [
+            [
+                scheme,
+                round(data["mean_us_per_insert"], 1),
+                int(data["relabel_events"]),
+                int(data["relabeled_nodes"]),
+            ]
+            for scheme, data in results.items()
+        ]
+        print(
+            format_table(
+                ["scheme", "us/insert", "relabel events", "relabeled nodes"],
+                rows,
+                title=f"mode = {mode}",
+            )
+        )
+
+
+def run_e8() -> None:
+    _print_header("E8", "Section 6 — length-field overflow under skew")
+    for label, first in run_overflow().items():
+        outcome = f"first re-label at insert #{first}" if first else "never"
+        print(f"  {label:32s} {outcome}")
+
+
+def run_e9() -> None:
+    _print_header("E9", "Ablation — the ends-with-'1' invariant")
+    print(" ", run_invariant_ablation())
+
+
+def run_e10() -> None:
+    _print_header("E10", "Ablation — balanced vs sequential encoding order")
+    print(" ", run_encoding_order_ablation())
+
+
+def run_e11() -> None:
+    _print_header("E11", "Ablation — gapped intervals (Li & Moon) vs CDBS")
+    results = run_gap_ablation()
+    rows = [
+        [
+            name,
+            round(cell["initial_bits_per_node"], 1),
+            int(cell["relabel_events"]),
+            int(cell["relabeled_nodes"]),
+        ]
+        for name, cell in results.items()
+    ]
+    print(
+        format_table(
+            ["codec", "bits/node", "relabel events", "relabeled nodes"], rows
+        )
+    )
+
+
+def run_e12() -> None:
+    _print_header("E12", "Extension — adaptive local re-labeling under skew")
+    results = run_adaptive_skew()
+    rows = [
+        [
+            name,
+            int(cell["relabel_events"]),
+            int(cell["relabeled_nodes"]),
+            round(1000 * cell["processing_seconds"], 1),
+            round(cell["final_bits_per_node"], 1),
+        ]
+        for name, cell in results.items()
+    ]
+    print(
+        format_table(
+            ["scheme", "relabel events", "relabeled nodes", "proc ms", "bits/node"],
+            rows,
+        )
+    )
+
+
+def run_e13() -> None:
+    _print_header("E13", "Section 5.2.2 — size validity under uniform inserts")
+    result = run_uniform_size_validity()
+    for key, value in result.items():
+        print(f"  {key:26s} {value:.3f}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the full Table 2 dataset sizes (slow in pure Python)",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help="experiment ids to run (E1..E12); default: all",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also dump the raw results of the selected experiments as JSON",
+    )
+    args = parser.parse_args(argv)
+    fraction = 1.0 if args.full else 0.05
+    query_fraction = 1.0 if args.full else 0.02
+    inserts = 2000 if args.full else 500
+    runners = {
+        "E1": run_e1,
+        "E2": run_e2,
+        "E3": lambda: run_e3(fraction),
+        "E4": lambda: run_e4(query_fraction),
+        "E5": run_e5,
+        "E6": run_e6,
+        "E7": lambda: run_e7(inserts),
+        "E8": run_e8,
+        "E9": run_e9,
+        "E10": run_e10,
+        "E11": run_e11,
+        "E12": run_e12,
+        "E13": run_e13,
+    }
+    collectors = {
+        "E1": run_table1,
+        "E2": lambda: [vars(report) for report in run_size_analysis()],
+        "E3": lambda: run_figure5(fraction=fraction),
+        "E4": lambda: run_figure6(fraction=query_fraction),
+        "E5": run_table4,
+        "E6": run_figure7,
+        "E7": lambda: {
+            mode: run_frequent_updates(inserts=inserts, mode=mode)
+            for mode in ("skewed", "uniform")
+        },
+        "E8": run_overflow,
+        "E9": run_invariant_ablation,
+        "E10": run_encoding_order_ablation,
+        "E11": run_gap_ablation,
+        "E12": run_adaptive_skew,
+        "E13": run_uniform_size_validity,
+    }
+    selected = args.only or list(runners)
+    dumped: dict[str, object] = {}
+    for experiment_id in selected:
+        if experiment_id not in runners:
+            print(f"unknown experiment id {experiment_id!r}", file=sys.stderr)
+            return 2
+        started = time.perf_counter()
+        if args.json:
+            dumped[experiment_id] = collectors[experiment_id]()
+        runners[experiment_id]()
+        print(f"[{experiment_id} took {time.perf_counter() - started:.1f}s]")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(dumped, handle, indent=2, default=str)
+        print(f"raw results written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,240 @@
+"""Immutable binary strings with the paper's lexicographical order.
+
+Definition 3.1 of the paper orders binary strings *lexicographically*:
+comparison runs bit by bit from the left; if one string runs out while
+matching the other, the shorter (the prefix) is the smaller.  This is the
+order under which CDBS codes stay sorted across arbitrary insertions.
+
+A :class:`BitString` stores its bits as ``(value, length)`` — an unsigned
+integer whose binary expansion, left-padded with zeros to ``length`` bits,
+is the bit sequence.  This makes concatenation, comparison and slicing
+O(1)-ish big-int operations instead of per-character work, which matters
+when labeling documents with hundreds of thousands of nodes.
+
+The comparison trick: right-pad both strings with zeros to a common
+length and compare the padded integers; on a tie the shorter operand is a
+prefix of the longer and therefore smaller.  Right-padding with zeros is
+order-preserving because a longer string that continues with ``1`` after
+the common prefix compares greater either way.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+from typing import Iterator
+
+__all__ = ["BitString", "EMPTY"]
+
+
+@total_ordering
+class BitString:
+    """An immutable sequence of bits, ordered per Definition 3.1."""
+
+    __slots__ = ("_value", "_length", "_text")
+
+    def __init__(self, value: int = 0, length: int = 0) -> None:
+        if length < 0:
+            raise ValueError(f"length must be non-negative, got {length}")
+        if value < 0:
+            raise ValueError(f"value must be non-negative, got {value}")
+        if value.bit_length() > length:
+            raise ValueError(
+                f"value {value:#b} does not fit in {length} bits"
+            )
+        self._value = value
+        self._length = length
+        self._text: str | None = None
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def from_str(cls, bits: str) -> "BitString":
+        """Build from a string of ``'0'``/``'1'`` characters."""
+        if bits and set(bits) - {"0", "1"}:
+            raise ValueError(f"not a binary string: {bits!r}")
+        return cls(int(bits, 2) if bits else 0, len(bits))
+
+    @classmethod
+    def from_bits(cls, bits: Iterator[int]) -> "BitString":
+        """Build from an iterable of ``0``/``1`` integers."""
+        value = 0
+        length = 0
+        for bit in bits:
+            if bit not in (0, 1):
+                raise ValueError(f"not a bit: {bit!r}")
+            value = (value << 1) | bit
+            length += 1
+        return cls(value, length)
+
+    @classmethod
+    def from_int_binary(cls, number: int) -> "BitString":
+        """The plain binary expansion of a positive integer (V-Binary).
+
+        ``from_int_binary(6)`` is ``110`` — the paper's V-Binary column of
+        Table 1.
+        """
+        if number < 1:
+            raise ValueError(f"V-Binary encodes positive integers, got {number}")
+        return cls(number, number.bit_length())
+
+    # -- basic protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __bool__(self) -> bool:
+        return self._length > 0
+
+    def __iter__(self) -> Iterator[int]:
+        for shift in range(self._length - 1, -1, -1):
+            yield (self._value >> shift) & 1
+
+    def __getitem__(self, index: int | slice) -> "int | BitString":
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self._length)
+            if step != 1:
+                raise ValueError("BitString slices must be contiguous")
+            if stop <= start:
+                return EMPTY
+            width = stop - start
+            shifted = self._value >> (self._length - stop)
+            return BitString(shifted & ((1 << width) - 1), width)
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError("bit index out of range")
+        return (self._value >> (self._length - 1 - index)) & 1
+
+    def __hash__(self) -> int:
+        return hash((self._value, self._length))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitString):
+            return NotImplemented
+        return self._value == other._value and self._length == other._length
+
+    def __lt__(self, other: "BitString") -> bool:
+        if not isinstance(other, BitString):
+            return NotImplemented
+        width = max(self._length, other._length)
+        mine = self._value << (width - self._length)
+        theirs = other._value << (width - other._length)
+        if mine != theirs:
+            return mine < theirs
+        return self._length < other._length
+
+    def __add__(self, other: "BitString | str") -> "BitString":
+        """Concatenation — the paper's ``⊕`` operator."""
+        if isinstance(other, str):
+            other = BitString.from_str(other)
+        return BitString(
+            (self._value << other._length) | other._value,
+            self._length + other._length,
+        )
+
+    def __repr__(self) -> str:
+        return f"BitString({self.to01()!r})"
+
+    def __str__(self) -> str:
+        return self.to01()
+
+    # -- inspection ------------------------------------------------------
+
+    @property
+    def value(self) -> int:
+        """The bits read as an unsigned big-endian integer."""
+        return self._value
+
+    def to01(self) -> str:
+        """Render as a string of ``'0'``/``'1'`` characters.
+
+        The rendering is cached: plain string comparison of these texts
+        coincides with Definition 3.1's lexicographical order (C-speed
+        sort keys for the query engine).
+        """
+        if self._text is None:
+            self._text = (
+                format(self._value, f"0{self._length}b") if self._length else ""
+            )
+        return self._text
+
+    def ends_with_one(self) -> bool:
+        """True iff the last bit is ``1`` (the CDBS code invariant)."""
+        return self._length > 0 and (self._value & 1) == 1
+
+    def is_prefix_of(self, other: "BitString") -> bool:
+        """True iff ``self`` is a (non-strict) prefix of ``other``."""
+        if self._length > other._length:
+            return False
+        return (other._value >> (other._length - self._length)) == self._value
+
+    def common_prefix_length(self, other: "BitString") -> int:
+        """Number of leading bits shared with ``other``."""
+        width = min(self._length, other._length)
+        mine = self._value >> (self._length - width)
+        theirs = other._value >> (other._length - width)
+        diff = mine ^ theirs
+        if diff == 0:
+            return width
+        return width - diff.bit_length()
+
+    # -- derivation ------------------------------------------------------
+
+    def append_bit(self, bit: int) -> "BitString":
+        """A new string with one extra trailing bit."""
+        if bit not in (0, 1):
+            raise ValueError(f"not a bit: {bit!r}")
+        return BitString((self._value << 1) | bit, self._length + 1)
+
+    def drop_last(self) -> "BitString":
+        """A new string with the final bit removed."""
+        if self._length == 0:
+            raise ValueError("cannot drop a bit from the empty string")
+        return BitString(self._value >> 1, self._length - 1)
+
+    def pad_right(self, width: int) -> "BitString":
+        """Right-pad with ``0`` bits to ``width`` (the F-CDBS transform).
+
+        Per Section 4 of the paper, F-CDBS concatenates ``0``\\ s *after*
+        the V-CDBS codes (whereas F-Binary pads *before*).  Padding on the
+        right preserves the lexicographical order of codes ending in ``1``.
+        """
+        if width < self._length:
+            raise ValueError(
+                f"cannot pad {self._length}-bit string down to {width} bits"
+            )
+        return BitString(self._value << (width - self._length), width)
+
+    def pad_left(self, width: int) -> "BitString":
+        """Left-pad with ``0`` bits to ``width`` (the F-Binary transform)."""
+        if width < self._length:
+            raise ValueError(
+                f"cannot pad {self._length}-bit string down to {width} bits"
+            )
+        return BitString(self._value, width)
+
+    def strip_trailing_zeros(self) -> "BitString":
+        """Remove all trailing ``0`` bits (inverse of :meth:`pad_right`)."""
+        if self._value == 0:
+            return EMPTY
+        trailing = (self._value & -self._value).bit_length() - 1
+        return BitString(self._value >> trailing, self._length - trailing)
+
+    # -- storage ---------------------------------------------------------
+
+    def storage_bits(self) -> int:
+        """Bits needed to store the raw code (no length field)."""
+        return self._length
+
+    def to_bytes(self) -> bytes:
+        """Pack into bytes, left-aligned, zero-padded on the right."""
+        if self._length == 0:
+            return b""
+        nbytes = (self._length + 7) // 8
+        return (self._value << (nbytes * 8 - self._length)).to_bytes(
+            nbytes, "big"
+        )
+
+
+EMPTY = BitString(0, 0)
+"""The empty binary string — the sentinel ``S_L``/``S_R`` of Algorithm 2."""

@@ -1,0 +1,139 @@
+"""CDBS — the paper's Compact Dynamic Binary String encoding (Section 4).
+
+Algorithm 2 encodes the integers ``1..N`` as binary strings that are
+
+* lexicographically ordered (Theorem 4.3),
+* all terminated by ``1`` (Lemma 4.2), and
+* exactly as compact as plain binary: the multiset of code lengths equals
+  that of the variable-length binary numbers ``1..N`` (Example 4.1 /
+  Theorem 4.4),
+
+while still letting :func:`repro.core.middle.assign_middle_binary_string`
+insert a fresh code between *any* two consecutive codes without touching
+the rest.  That combination — no reserved gaps yet insert-anywhere — is
+the paper's headline property.
+
+Two storage flavours:
+
+* **V-CDBS** — variable-length codes; each stored code needs a companion
+  length field of ``ceil(log2(ceil(log2(N))))`` bits (Example 4.2).
+* **F-CDBS** — every code right-padded with ``0``\\ s to the common
+  maximum width, no length field, one global width value.
+
+The midpoint arithmetic uses *round-half-up*, ``(lo + hi + 1) // 2``:
+the paper's Step 2 computes ``round(0 + (19 - 0)/2) = 10`` and Step 5
+``round(10 + (19 - 10)/2) = 15``, which only half-up rounding satisfies
+(banker's rounding would give 14).
+"""
+
+from __future__ import annotations
+
+from repro.core.bitstring import EMPTY, BitString
+from repro.core.middle import assign_middle_binary_string
+from repro.errors import InvalidCodeError
+
+__all__ = [
+    "vcdbs_encode",
+    "fcdbs_encode",
+    "vcdbs_position",
+    "vbinary_encode",
+    "fbinary_encode",
+    "max_code_bits",
+]
+
+
+def max_code_bits(count: int) -> int:
+    """The longest code length produced by encoding ``1..count``.
+
+    Both V-Binary and V-CDBS peak at ``ceil(log2(count + 1))`` bits —
+    the length of the binary expansion of ``count``.
+    """
+    if count < 1:
+        raise ValueError(f"count must be positive, got {count}")
+    return count.bit_length()
+
+
+def vcdbs_encode(count: int) -> list[BitString]:
+    """Algorithm 2: the V-CDBS codes of ``1..count``, in order.
+
+    The recursion of the paper's ``SubEncoding`` procedure is unrolled
+    into an explicit stack so that pathological ``count`` values cannot
+    hit Python's recursion limit; the visit order is immaterial because a
+    midpoint's code depends only on the codes at its enclosing gap
+    endpoints, which are always assigned before the gap is pushed.
+    """
+    if count < 1:
+        raise ValueError(f"count must be positive, got {count}")
+    # Positions 0 and count+1 are the paper's imaginary sentinels; they
+    # hold the empty string and are discarded at the end (Algorithm 2,
+    # lines 1 and 3).
+    codes: list[BitString] = [EMPTY] * (count + 2)
+    stack: list[tuple[int, int]] = [(0, count + 1)]
+    while stack:
+        lo, hi = stack.pop()
+        if lo + 1 >= hi:
+            continue
+        mid = (lo + hi + 1) // 2  # round-half-up, see module docstring
+        codes[mid] = assign_middle_binary_string(codes[lo], codes[hi])
+        stack.append((lo, mid))
+        stack.append((mid, hi))
+    return codes[1 : count + 1]
+
+
+def fcdbs_encode(count: int) -> list[BitString]:
+    """The F-CDBS codes of ``1..count``: V-CDBS right-padded with zeros.
+
+    Section 4 of the paper: "when representing our CDBS using fixed
+    length, we concatenate 0s *after* the V-CDBS codes".  Right padding
+    preserves lexicographical order because every V-CDBS code ends with
+    ``1``.
+    """
+    width = max_code_bits(count)
+    return [code.pad_right(width) for code in vcdbs_encode(count)]
+
+
+def vbinary_encode(count: int) -> list[BitString]:
+    """V-Binary: plain variable-length binary numbers (Table 1, column 2)."""
+    if count < 1:
+        raise ValueError(f"count must be positive, got {count}")
+    return [BitString.from_int_binary(i) for i in range(1, count + 1)]
+
+
+def fbinary_encode(count: int) -> list[BitString]:
+    """F-Binary: binary numbers left-padded with zeros (Table 1, column 4)."""
+    width = max_code_bits(count)
+    return [code.pad_left(width) for code in vbinary_encode(count)]
+
+
+def vcdbs_position(code: BitString, count: int) -> int:
+    """The 1-based rank of a bulk-encoded V-CDBS code (Section 5.1).
+
+    The paper notes that "based on an inverse processing of Algorithm 2,
+    we can get the exact position of each V-CDBS code by calculations
+    only".  This replays the bisection: at every step the midpoint's code
+    is recomputed and compared with the target, descending left or right,
+    so the cost is O(log²(count)) bit work and no table is needed.
+
+    Only codes produced by ``vcdbs_encode(count)`` have a rank; anything
+    else raises :class:`InvalidCodeError`.
+    """
+    if count < 1:
+        raise ValueError(f"count must be positive, got {count}")
+    if not code.ends_with_one():
+        raise InvalidCodeError(
+            f"{code.to01()!r} is not a V-CDBS code (must end with '1')"
+        )
+    lo, hi = 0, count + 1
+    lo_code, hi_code = EMPTY, EMPTY
+    while lo + 1 < hi:
+        mid = (lo + hi + 1) // 2
+        mid_code = assign_middle_binary_string(lo_code, hi_code)
+        if code == mid_code:
+            return mid
+        if code < mid_code:
+            hi, hi_code = mid, mid_code
+        else:
+            lo, lo_code = mid, mid_code
+    raise InvalidCodeError(
+        f"{code.to01()!r} is not among the V-CDBS codes of 1..{count}"
+    )

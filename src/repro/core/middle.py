@@ -1,0 +1,122 @@
+"""Algorithm 1 of the paper: ``AssignMiddleBinaryString``.
+
+This is the *first foundation* of the paper (Theorem 3.1): given two
+binary strings ``S_L ≺ S_R``, both ending with ``1`` (or empty — the
+sentinels used during bulk encoding), produce ``S_M`` with
+``S_L ≺ S_M ≺ S_R`` lexicographically, touching neither input.
+
+The two cases, verbatim from the paper::
+
+    Case (1)  size(S_L) >= size(S_R):  S_M = S_L ⊕ "1"
+    Case (2)  size(S_L) <  size(S_R):  S_M = S_R with its last "1"
+                                              changed to "01"
+
+Lemma 3.2 guarantees the result again ends with ``1``, so insertions can
+compound indefinitely; Corollary 3.3 (here :func:`assign_middle_pair`)
+yields *two* strictly ordered middles, which containment schemes need to
+insert a ``start``/``end`` pair at one gap.
+"""
+
+from __future__ import annotations
+
+from repro.core.bitstring import BitString
+from repro.errors import InvalidCodeError, NotOrderedError
+
+__all__ = [
+    "assign_middle_binary_string",
+    "assign_middle_pair",
+    "assign_middle_run",
+]
+
+_ONE = BitString.from_str("1")
+_ZERO_ONE = BitString.from_str("01")
+
+
+def _check_endpoint(code: BitString, side: str) -> None:
+    if code and not code.ends_with_one():
+        raise InvalidCodeError(
+            f"{side} code {code.to01()!r} does not end with '1'; "
+            f"Example 3.3 of the paper shows insertion between such codes "
+            f"can be impossible"
+        )
+
+
+def assign_middle_binary_string(left: BitString, right: BitString) -> BitString:
+    """Return ``S_M`` with ``left ≺ S_M ≺ right`` (Algorithm 1).
+
+    ``left`` and ``right`` must end with ``1``; either (or both) may be
+    the empty string, meaning "no bound on that side" — exactly how
+    Algorithm 2 seeds its sentinels.  An empty ``left`` is treated as
+    smaller than everything and an empty ``right`` as larger, matching
+    the paper's reading of the size comparison in Section 4.
+
+    Raises:
+        InvalidCodeError: if a non-empty endpoint does not end with ``1``.
+        NotOrderedError: if both endpoints are non-empty and
+            ``left ≺ right`` does not hold.
+    """
+    _check_endpoint(left, "left")
+    _check_endpoint(right, "right")
+    if left and right and not left < right:
+        raise NotOrderedError(
+            f"left code {left.to01()!r} is not lexicographically smaller "
+            f"than right code {right.to01()!r}"
+        )
+    if len(left) >= len(right):
+        # Case (1): grow the left code by one trailing "1".
+        return left + _ONE
+    # Case (2): the right code's final "1" becomes "01".
+    return right.drop_last() + _ZERO_ONE
+
+
+def assign_middle_pair(
+    left: BitString, right: BitString
+) -> tuple[BitString, BitString]:
+    """Corollary 3.3: two codes ``M1 ≺ M2`` strictly between the endpoints.
+
+    Containment labeling needs this to drop a new ``start``/``end`` pair
+    into a single gap (Section 5.2.1's example inserts between the codes
+    of 4 and 5).
+    """
+    first = assign_middle_binary_string(left, right)
+    second = assign_middle_binary_string(first, right)
+    return first, second
+
+
+def assign_middle_run(
+    left: BitString, right: BitString, count: int
+) -> list[BitString]:
+    """``count`` ordered codes strictly between ``left`` and ``right``.
+
+    The codes are assigned by the same balanced bisection as Algorithm 2
+    (middle position first, then recurse), so a bulk insertion of a run
+    of siblings costs O(count) and yields codes only O(log count) bits
+    longer than the gap's endpoints — instead of the O(count) growth a
+    naive left-to-right chain of :func:`assign_middle_binary_string`
+    calls would produce.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    codes: list[BitString | None] = [None] * count
+
+    # Iterative bisection; (lo, hi) are gap-relative positions where
+    # position 0 is `left` and position count+1 is `right`.
+    def code_at(position: int) -> BitString:
+        if position == 0:
+            return left
+        if position == count + 1:
+            return right
+        found = codes[position - 1]
+        assert found is not None, "bisection visited a child before its parent"
+        return found
+
+    stack: list[tuple[int, int]] = [(0, count + 1)]
+    while stack:
+        lo, hi = stack.pop()
+        if lo + 1 >= hi:
+            continue
+        mid = (lo + hi + 1) // 2
+        codes[mid - 1] = assign_middle_binary_string(code_at(lo), code_at(hi))
+        stack.append((lo, mid))
+        stack.append((mid, hi))
+    return [code for code in codes if code is not None]

@@ -1,0 +1,241 @@
+"""High-level order keys — the paper's Property 5.1 as a public API.
+
+Property 5.1 states that CDBS "is orthogonal to specific labeling
+schemes, thus it can be applied broadly to different labeling schemes
+*or other applications* which need to maintain the order in updates".
+This module is that "other applications" surface: a fractional-indexing
+style factory that mints totally ordered keys supporting insertion
+before, after, or between existing keys — without ever rewriting a key.
+
+Two backends:
+
+* ``"cdbs"`` — binary CDBS codes (Section 4).  Most compact; models the
+  fixed-width length field of a real store, so a long run of skewed
+  insertions eventually raises :class:`~repro.errors.LengthFieldOverflow`
+  (the Section 6 overflow problem) and the caller must re-key.
+* ``"qed"`` — quaternary QED codes (Section 6).  ~26% larger keys but
+  *never* overflows: the factory can absorb unbounded skewed insertions.
+
+Example::
+
+    >>> factory = OrderKeyFactory("cdbs")
+    >>> a, b, c = factory.initial(3)
+    >>> mid = factory.between(a, b)
+    >>> a < mid < b < c
+    True
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+from typing import Iterable, Optional
+
+from repro.core.bitstring import EMPTY, BitString
+from repro.core.cdbs import vcdbs_encode
+from repro.core.middle import assign_middle_binary_string
+from repro.core.qed import (
+    assign_middle_quaternary,
+    qed_code_bits,
+    qed_encode,
+    validate_qed_code,
+)
+from repro.errors import InvalidCodeError, LengthFieldOverflow
+
+__all__ = ["OrderKey", "OrderKeyFactory"]
+
+
+@total_ordering
+class OrderKey:
+    """An opaque, totally ordered key minted by :class:`OrderKeyFactory`.
+
+    Keys compare only against keys from the same backend; ordering is the
+    backend's lexicographical order.  Keys are hashable and printable —
+    ``str(key)`` is the raw code, suitable for persisting in any store
+    that can compare strings bytewise (the usual fractional-indexing
+    deployment).
+    """
+
+    __slots__ = ("_backend", "_code")
+
+    def __init__(self, backend: str, code: object) -> None:
+        self._backend = backend
+        self._code = code
+
+    @property
+    def backend(self) -> str:
+        return self._backend
+
+    @property
+    def code(self) -> object:
+        """The raw backend code (a BitString for cdbs, a str for qed)."""
+        return self._code
+
+    @property
+    def storage_bits(self) -> int:
+        """Bits this key occupies in storage (excluding length fields)."""
+        if self._backend == "cdbs":
+            return len(self._code)  # type: ignore[arg-type]
+        return qed_code_bits(self._code)  # type: ignore[arg-type]
+
+    def _check_peer(self, other: object) -> "OrderKey":
+        if not isinstance(other, OrderKey):
+            raise TypeError(f"cannot compare OrderKey with {type(other).__name__}")
+        if other._backend != self._backend:
+            raise TypeError(
+                f"cannot compare keys from different backends: "
+                f"{self._backend!r} vs {other._backend!r}"
+            )
+        return other
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OrderKey):
+            return NotImplemented
+        return self._backend == other._backend and self._code == other._code
+
+    def __lt__(self, other: object) -> bool:
+        peer = self._check_peer(other)
+        return self._code < peer._code  # type: ignore[operator]
+
+    def __hash__(self) -> int:
+        return hash((self._backend, self._code))
+
+    def __str__(self) -> str:
+        if self._backend == "cdbs":
+            return self._code.to01()  # type: ignore[union-attr]
+        return str(self._code)
+
+    def __repr__(self) -> str:
+        return f"OrderKey({self._backend!r}, {str(self)!r})"
+
+
+class OrderKeyFactory:
+    """Mints :class:`OrderKey` values for one backend.
+
+    Args:
+        backend: ``"cdbs"`` (compact, can overflow under skew) or
+            ``"qed"`` (never overflows).
+        max_code_bits: for the cdbs backend, the largest code length the
+            simulated length field can describe; ``between`` raises
+            :class:`LengthFieldOverflow` past it.  ``None`` disables the
+            limit (an idealised CDBS with unbounded length fields).
+    """
+
+    def __init__(self, backend: str = "cdbs", *, max_code_bits: int | None = 64):
+        if backend not in ("cdbs", "qed"):
+            raise ValueError(f"unknown backend {backend!r}; use 'cdbs' or 'qed'")
+        self._backend = backend
+        self._max_code_bits = max_code_bits if backend == "cdbs" else None
+
+    @property
+    def backend(self) -> str:
+        return self._backend
+
+    # -- key creation ----------------------------------------------------
+
+    def initial(self, count: int) -> list[OrderKey]:
+        """Bulk-mint ``count`` evenly spread keys (Algorithm 2 / QED bulk)."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count == 0:
+            return []
+        if self._backend == "cdbs":
+            return [self._wrap(code) for code in vcdbs_encode(count)]
+        return [self._wrap(code) for code in qed_encode(count)]
+
+    def between(
+        self, left: Optional[OrderKey], right: Optional[OrderKey]
+    ) -> OrderKey:
+        """A fresh key strictly between two existing keys.
+
+        ``None`` on either side means "no bound": ``between(None, k)``
+        mints a key before ``k``, ``between(k, None)`` after ``k``, and
+        ``between(None, None)`` the very first key.
+        """
+        left_code = self._unwrap(left)
+        right_code = self._unwrap(right)
+        if self._backend == "cdbs":
+            code = assign_middle_binary_string(left_code, right_code)
+            if (
+                self._max_code_bits is not None
+                and len(code) > self._max_code_bits
+            ):
+                raise LengthFieldOverflow(len(code), self._max_code_bits)
+            return self._wrap(code)
+        return self._wrap(assign_middle_quaternary(left_code, right_code))
+
+    def before(self, key: OrderKey) -> OrderKey:
+        """A fresh key ordered immediately before ``key``."""
+        return self.between(None, key)
+
+    def after(self, key: OrderKey) -> OrderKey:
+        """A fresh key ordered immediately after ``key``."""
+        return self.between(key, None)
+
+    def run_between(
+        self,
+        left: Optional[OrderKey],
+        right: Optional[OrderKey],
+        count: int,
+    ) -> list[OrderKey]:
+        """``count`` fresh ordered keys in one gap, balanced bisection.
+
+        Preferable to chained :meth:`between` calls when inserting a run:
+        keys grow by O(log count) bits instead of O(count).
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        keys: list[OrderKey] = []
+        slots: list[tuple[Optional[OrderKey], Optional[OrderKey], int]] = [
+            (left, right, count)
+        ]
+        out: dict[int, OrderKey] = {}
+
+        def fill(lo_key, hi_key, offset, size) -> None:
+            if size <= 0:
+                return
+            mid_off = (size + 1) // 2  # 1-based position within the run
+            mid = self.between(lo_key, hi_key)
+            out[offset + mid_off] = mid
+            fill(lo_key, mid, offset, mid_off - 1)
+            fill(mid, hi_key, offset + mid_off, size - mid_off)
+
+        fill(left, right, 0, count)
+        return [out[i] for i in range(1, count + 1)]
+
+    def parse(self, text: str) -> OrderKey:
+        """Re-create a key from its :func:`str` form (for persistence)."""
+        if self._backend == "cdbs":
+            code = BitString.from_str(text)
+            if not code.ends_with_one():
+                raise InvalidCodeError(
+                    f"{text!r} is not a CDBS key (must end with '1')"
+                )
+            return self._wrap(code)
+        validate_qed_code(text)
+        return self._wrap(text)
+
+    # -- internals ---------------------------------------------------------
+
+    def _wrap(self, code: object) -> OrderKey:
+        return OrderKey(self._backend, code)
+
+    def _unwrap(self, key: Optional[OrderKey]):
+        if key is None:
+            return EMPTY if self._backend == "cdbs" else ""
+        if not isinstance(key, OrderKey):
+            raise TypeError(f"expected OrderKey or None, got {type(key).__name__}")
+        if key.backend != self._backend:
+            raise TypeError(
+                f"key from backend {key.backend!r} handed to a "
+                f"{self._backend!r} factory"
+            )
+        return key.code
+
+    def validate_sorted(self, keys: Iterable[OrderKey]) -> bool:
+        """True iff the given keys are strictly increasing."""
+        previous: Optional[OrderKey] = None
+        for key in keys:
+            if previous is not None and not previous < key:
+                return False
+            previous = key
+        return True

@@ -1,0 +1,170 @@
+"""Section 4.2 of the paper: closed-form size analysis of the encodings.
+
+The paper derives, for ``N`` codes (logs base 2, ceilings omitted in the
+paper "for simplicity" — we expose both the paper's smooth formulas and
+exact integer counts):
+
+* formula (1)/(2): raw V-Binary (= raw V-CDBS) code bits,
+  ``N·log(N+1) − N + log(N+1)``;
+* formula (3): V-Binary/V-CDBS total including per-code length fields,
+  ``N·log(N+1) + N·log(log(N)) − N + log(N+1)``;
+* formula (4)/(5): F-Binary (= F-CDBS) total,
+  ``N·log(N) + log(log(N))``.
+
+These back Theorem 4.4 ("V-CDBS and F-CDBS are the most compact variable
+and fixed length binary string encodings which support updates
+efficiently") and experiment **E2** checks formula-vs-measured agreement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.bitstring import BitString
+
+__all__ = [
+    "length_field_bits",
+    "vbinary_raw_bits_formula",
+    "vbinary_total_bits_formula",
+    "fbinary_total_bits_formula",
+    "vbinary_raw_bits_exact",
+    "vcdbs_raw_bits_exact",
+    "length_field_total_bits_exact",
+    "fbinary_total_bits_exact",
+    "measured_total_bits",
+    "SizeReport",
+]
+
+
+def length_field_bits(count: int) -> int:
+    """Width of the per-code length field for ``count`` variable codes.
+
+    The longest code among ``1..count`` is ``ceil(log2(count+1))`` bits
+    (e.g. 5 bits for N=18), and storing that length takes
+    ``ceil(log2(maxlen + 1))`` bits — 3 bits in the paper's Example 4.2.
+    """
+    if count < 1:
+        raise ValueError(f"count must be positive, got {count}")
+    max_len = count.bit_length()
+    return max(1, (max_len).bit_length())
+
+
+def vbinary_raw_bits_formula(count: int) -> float:
+    """Formula (2): raw code bits of V-Binary (and V-CDBS)."""
+    n = float(count)
+    return n * math.log2(n + 1) - n + math.log2(n + 1)
+
+
+def vbinary_total_bits_formula(count: int) -> float:
+    """Formula (3): V-Binary/V-CDBS total bits including length fields."""
+    n = float(count)
+    return (
+        n * math.log2(n + 1)
+        + n * math.log2(math.log2(n))
+        - n
+        + math.log2(n + 1)
+    )
+
+
+def fbinary_total_bits_formula(count: int) -> float:
+    """Formula (5): F-Binary/F-CDBS total bits (one global length value)."""
+    n = float(count)
+    return n * math.log2(n) + math.log2(math.log2(n))
+
+
+def vbinary_raw_bits_exact(count: int) -> int:
+    """Exact raw bits of V-Binary for ``1..count``.
+
+    ``sum(bit_length(i) for i in 1..count)`` — formula (1) evaluates this
+    in closed form when ``count`` is one less than a power of two (the
+    paper's ``N = 2^(n+1) − 1`` assumption).
+    """
+    if count < 1:
+        raise ValueError(f"count must be positive, got {count}")
+    total = 0
+    width = 1
+    remaining = count
+    block = 1  # how many integers have bit_length == width
+    while remaining > 0:
+        take = min(block, remaining)
+        total += take * width
+        remaining -= take
+        width += 1
+        block *= 2
+    return total
+
+
+def vcdbs_raw_bits_exact(count: int) -> int:
+    """Exact raw bits of V-CDBS for ``1..count``.
+
+    Equal to :func:`vbinary_raw_bits_exact` by Theorem 4.4; kept as a
+    distinct name so experiment code states what it means to measure.
+    """
+    return vbinary_raw_bits_exact(count)
+
+
+def length_field_total_bits_exact(count: int) -> int:
+    """Exact bits spent on per-code length fields for ``count`` codes."""
+    return count * length_field_bits(count)
+
+
+def fbinary_total_bits_exact(count: int) -> int:
+    """Exact F-Binary/F-CDBS total: fixed width codes + one stored width."""
+    if count < 1:
+        raise ValueError(f"count must be positive, got {count}")
+    width = count.bit_length()
+    return count * width + max(1, width.bit_length())
+
+
+def measured_total_bits(
+    codes: Sequence[BitString], *, with_length_field: bool
+) -> int:
+    """Total storage bits of concrete codes.
+
+    With ``with_length_field=True`` every code pays the fixed-width
+    length field sized for this code population (Example 4.2); without
+    it, only raw code bits are summed.
+    """
+    raw = sum(len(code) for code in codes)
+    if not with_length_field or not codes:
+        return raw
+    max_len = max(len(code) for code in codes)
+    field = max(1, max_len.bit_length())
+    return raw + field * len(codes)
+
+
+@dataclass(frozen=True)
+class SizeReport:
+    """Formula-vs-measured totals for one population size (experiment E2)."""
+
+    count: int
+    vbinary_raw_exact: int
+    vcdbs_raw_measured: int
+    vbinary_total_exact: int
+    fbinary_total_exact: int
+    vbinary_raw_formula: float
+    vbinary_total_formula: float
+    fbinary_total_formula: float
+
+    @classmethod
+    def for_count(cls, count: int) -> "SizeReport":
+        from repro.core.cdbs import vcdbs_encode
+
+        codes = vcdbs_encode(count)
+        return cls(
+            count=count,
+            vbinary_raw_exact=vbinary_raw_bits_exact(count),
+            vcdbs_raw_measured=measured_total_bits(
+                codes, with_length_field=False
+            ),
+            vbinary_total_exact=(
+                vbinary_raw_bits_exact(count)
+                + length_field_total_bits_exact(count)
+            ),
+            fbinary_total_exact=fbinary_total_bits_exact(count),
+            vbinary_raw_formula=vbinary_raw_bits_formula(count),
+            vbinary_total_formula=vbinary_total_bits_formula(count),
+            fbinary_total_formula=fbinary_total_bits_formula(count),
+        )

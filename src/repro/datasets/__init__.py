@@ -1,0 +1,49 @@
+"""Dataset builders matching the paper's corpora (Table 2, Section 7.1).
+
+All builders are deterministic: same arguments, bit-identical trees.
+
+* :func:`build_dataset` — D1–D6 with exact Table 2 node totals (with a
+  ``fraction`` knob for laptop-scale runs).
+* :func:`build_hamlet` — the Section 7.3 update target: 6636 nodes, act
+  subtree sizes matching Table 4's arithmetic exactly.
+* :func:`scaled_d5` — the Section 7.2.2 query corpus (D5 × 10).
+"""
+
+from repro.datasets.niagara import (
+    DATASET_SPECS,
+    DatasetSpec,
+    build_dataset,
+    dataset_names,
+)
+from repro.datasets.shakespeare import (
+    HAMLET_ACT_SIZES,
+    HAMLET_TOTAL_NODES,
+    build_d5,
+    build_hamlet,
+    build_play,
+)
+from repro.datasets.scaling import (
+    copy_document,
+    copy_subtree,
+    replicate,
+    scaled_d5,
+)
+from repro.datasets.xmark import XMARK_QUERIES, build_xmark
+
+__all__ = [
+    "DatasetSpec",
+    "DATASET_SPECS",
+    "build_dataset",
+    "dataset_names",
+    "build_hamlet",
+    "build_play",
+    "build_d5",
+    "HAMLET_ACT_SIZES",
+    "HAMLET_TOTAL_NODES",
+    "copy_subtree",
+    "copy_document",
+    "replicate",
+    "scaled_d5",
+    "build_xmark",
+    "XMARK_QUERIES",
+]

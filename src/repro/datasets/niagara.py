@@ -1,0 +1,195 @@
+"""Synthetic stand-ins for the NIAGARA datasets D1–D6 (Table 2).
+
+The paper's corpora come from the NIAGARA experimental data page, which
+is no longer a dependable artifact; per the reproduction's substitution
+rule we regenerate each dataset deterministically with the *exact* total
+node count and file count of Table 2, steering fan-out and depth toward
+the reported max/average shape.  Every quantity the experiments measure
+(label bits, re-label counts, update and query times) is a function of
+these shape statistics, not of the original text content.
+
+D5 (Shakespeare) is built by :mod:`repro.datasets.shakespeare` since its
+internal structure (acts/scenes/speeches) matters to the queries; the
+other five use the generic exact-budget generator.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datasets.shakespeare import build_d5
+from repro.xmltree.document import Collection, Document
+from repro.xmltree.generator import ShapeSpec, generate_element_tree
+
+__all__ = ["DatasetSpec", "DATASET_SPECS", "build_dataset", "dataset_names"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Target shape of one Table 2 dataset."""
+
+    name: str
+    topic: str
+    files: int
+    total_nodes: int
+    max_fanout: int
+    avg_fanout: int
+    max_depth: int
+    avg_depth: int
+    root_tag: str
+    tags: tuple[str, ...]
+    subtree_range: tuple[int, int]
+    seed: int
+
+
+DATASET_SPECS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        DatasetSpec(
+            name="D1",
+            topic="Movie",
+            files=490,
+            total_nodes=26_044,
+            max_fanout=14,
+            avg_fanout=6,
+            max_depth=5,
+            avg_depth=5,
+            root_tag="movie",
+            tags=("movie", "cast", "member", "detail"),
+            subtree_range=(4, 10),
+            seed=101,
+        ),
+        DatasetSpec(
+            name="D2",
+            topic="Department",
+            files=19,
+            total_nodes=48_542,
+            max_fanout=233,
+            avg_fanout=81,
+            max_depth=4,
+            avg_depth=4,
+            root_tag="department",
+            tags=("department", "employee", "field"),
+            subtree_range=(12, 18),
+            seed=102,
+        ),
+        DatasetSpec(
+            name="D3",
+            topic="Actor",
+            files=480,
+            total_nodes=56_769,
+            max_fanout=37,
+            avg_fanout=11,
+            max_depth=5,
+            avg_depth=5,
+            root_tag="actor",
+            tags=("actor", "filmography", "film", "detail"),
+            subtree_range=(3, 9),
+            seed=103,
+        ),
+        DatasetSpec(
+            name="D4",
+            topic="Company",
+            files=24,
+            total_nodes=161_576,
+            max_fanout=529,
+            avg_fanout=135,
+            max_depth=5,
+            avg_depth=3,
+            root_tag="company",
+            tags=("company", "profile", "item", "detail"),
+            subtree_range=(10, 14),
+            seed=104,
+        ),
+        DatasetSpec(
+            name="D6",
+            topic="NASA",
+            files=1882,
+            total_nodes=370_292,
+            max_fanout=1188,
+            avg_fanout=9,
+            max_depth=7,
+            avg_depth=5,
+            root_tag="dataset",
+            tags=(
+                "dataset",
+                "reference",
+                "source",
+                "other",
+                "author",
+                "detail",
+            ),
+            subtree_range=(3, 11),
+            seed=106,
+        ),
+    )
+}
+
+
+def _split_budget(total: int, parts: int, rng: random.Random) -> list[int]:
+    """Split ``total`` into ``parts`` positive budgets summing exactly.
+
+    Budgets are jittered ±25% around the mean so files differ in size the
+    way real corpora do; every budget stays >= 2 (root + one child).
+    """
+    if parts > total // 2:
+        raise ValueError(f"cannot split {total} nodes into {parts} files")
+    base = total // parts
+    budgets = []
+    remaining = total
+    for index in range(parts - 1):
+        jitter = max(2, int(base * (0.75 + 0.5 * rng.random())))
+        # Keep enough for the remaining files.
+        ceiling = remaining - 2 * (parts - 1 - index)
+        budget = min(jitter, ceiling)
+        budgets.append(budget)
+        remaining -= budget
+    budgets.append(remaining)
+    return budgets
+
+
+def build_dataset(name: str, *, fraction: float = 1.0) -> Collection:
+    """Build one of D1–D6 at ``fraction`` of its Table 2 node budget.
+
+    ``fraction`` exists because the paper ran a Java system on a P4 and
+    we run pure Python: the benchmark harness can shrink every dataset
+    proportionally (files and nodes alike) while the default regenerates
+    the full-size corpora.  The total node count is exact for any
+    fraction.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    if name == "D5":
+        total = max(400, int(179_689 * fraction))
+        files = max(1, int(37 * fraction)) if fraction < 1 else 37
+        return build_d5(total_nodes=total, files=files)
+    try:
+        spec = DATASET_SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; expected one of "
+            f"{sorted([*DATASET_SPECS, 'D5'])}"
+        ) from None
+    total = max(50, int(spec.total_nodes * fraction))
+    files = max(1, int(spec.files * fraction)) if fraction < 1 else spec.files
+    rng = random.Random(spec.seed)
+    shape = ShapeSpec(
+        tags=spec.tags,
+        max_depth=spec.max_depth,
+        subtree_range=spec.subtree_range,
+    )
+    budgets = _split_budget(total, files, rng)
+    documents = [
+        Document(
+            generate_element_tree(spec.root_tag, budget, shape, rng),
+            name=f"{spec.name.lower()}_{index:04d}",
+        )
+        for index, budget in enumerate(budgets)
+    ]
+    return Collection(spec.name, documents)
+
+
+def dataset_names() -> list[str]:
+    """The dataset identifiers of Table 2, in order."""
+    return ["D1", "D2", "D3", "D4", "D5", "D6"]

@@ -1,0 +1,54 @@
+"""Scaling utilities: the paper's "D5 replicated 10 times" query corpus.
+
+Section 7.2.2, following Tatarinov et al., scales D5 up by replication
+to stress the queries.  :func:`scaled_d5` replicates each play
+``factor`` times (fresh copies — labeling mutates per-scheme state, so
+structural sharing would be a correctness hazard), and accepts the same
+``fraction`` knob as the other builders so Python-speed runs can use a
+proportionally smaller corpus.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.shakespeare import build_d5
+from repro.xmltree.document import Collection, Document
+from repro.xmltree.node import Node
+
+__all__ = ["copy_subtree", "copy_document", "replicate", "scaled_d5"]
+
+
+def copy_subtree(node: Node) -> Node:
+    """A deep, structurally independent copy of ``node``'s subtree."""
+    clone = Node(node.kind, node.name, node.value)
+    for child in node.children:
+        clone.append_child(copy_subtree(child))
+    return clone
+
+
+def copy_document(document: Document, name: str | None = None) -> Document:
+    """A deep copy of a document, optionally renamed."""
+    return Document(
+        copy_subtree(document.root), name=name or document.name
+    )
+
+
+def replicate(collection: Collection, factor: int) -> Collection:
+    """A collection with every document repeated ``factor`` times."""
+    if factor < 1:
+        raise ValueError(f"factor must be positive, got {factor}")
+    documents: list[Document] = []
+    for copy_index in range(factor):
+        for document in collection:
+            documents.append(
+                copy_document(document, f"{document.name}_r{copy_index}")
+            )
+    return Collection(f"{collection.name}x{factor}", documents)
+
+
+def scaled_d5(factor: int = 10, *, fraction: float = 1.0) -> Collection:
+    """The query corpus of Section 7.2.2: D5 replicated ``factor`` times."""
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    total = max(400, int(179_689 * fraction))
+    files = max(1, int(37 * fraction)) if fraction < 1 else 37
+    return replicate(build_d5(total_nodes=total, files=files), factor)

@@ -1,0 +1,271 @@
+"""Shakespeare-shaped plays: the paper's dataset D5 and the Hamlet file.
+
+Section 7.3 of the paper runs its update experiments on the Hamlet file
+of D5: 6636 nodes, five ``act`` elements, and the Table 4 re-label
+counts {6596, 5121, 3932, 2431, 1300} for insertions before
+``act[1]``..``act[5]``.  Those counts pin down the act subtree sizes
+exactly (consecutive differences) and the amount of front matter:
+
+* re-label(case i) = #ancestors(1: the ``play`` root) + nodes of acts
+  i..5, so act sizes are {1475, 1189, 1501, 1131, 1299} and the play
+  carries 40 front-matter nodes besides the root (41 + 6595 = 6636).
+
+:func:`build_hamlet` reconstructs a play with precisely those subtree
+sizes; :func:`build_play` generates other plays of D5 with the same
+element vocabulary (title/personae/pgroup/act/scene/speech/speaker/line)
+so the Table 3 queries have realistic targets.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.xmltree.document import Collection, Document
+from repro.xmltree.node import Node
+
+__all__ = [
+    "HAMLET_ACT_SIZES",
+    "HAMLET_TOTAL_NODES",
+    "build_hamlet",
+    "build_play",
+    "build_d5",
+]
+
+HAMLET_ACT_SIZES = (1475, 1189, 1501, 1131, 1299)
+"""Act subtree node counts implied by Table 4 of the paper."""
+
+HAMLET_TOTAL_NODES = 6636
+"""Total node count of the Hamlet file reported in Section 7.3."""
+
+_ROMAN = ("I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X")
+
+_SPEAKERS = (
+    "HAMLET CLAUDIUS GERTRUDE POLONIUS OPHELIA HORATIO LAERTES "
+    "FORTINBRAS ROSENCRANTZ GUILDENSTERN MARCELLUS BERNARDO"
+).split()
+
+_LINE_WORDS = (
+    "what a piece of work is man how noble in reason how infinite in "
+    "faculty in form and moving how express and admirable the slings "
+    "and arrows of outrageous fortune to take arms against a sea"
+).split()
+
+
+def _titled(tag: str, title_text: str) -> Node:
+    """An element carrying a <title>text</title> child (3 nodes total)."""
+    element = Node.element(tag)
+    title = Node.element("title")
+    title.append_child(Node.text(title_text))
+    element.append_child(title)
+    return element
+
+
+def _text_element(tag: str, content: str) -> Node:
+    """``<tag>content</tag>`` — 2 nodes."""
+    element = Node.element(tag)
+    element.append_child(Node.text(content))
+    return element
+
+
+def _random_line(rng: random.Random) -> str:
+    count = rng.randint(4, 9)
+    return " ".join(rng.choice(_LINE_WORDS) for _ in range(count))
+
+
+def _build_speech(lines: int, rng: random.Random) -> Node:
+    """A speech of ``3 + 2*lines`` nodes: speech, speaker+text, lines."""
+    speech = Node.element("speech")
+    speech.append_child(_text_element("speaker", rng.choice(_SPEAKERS)))
+    for _ in range(lines):
+        speech.append_child(_text_element("line", _random_line(rng)))
+    return speech
+
+
+def _pad_exact(parent: Node, budget: int, rng: random.Random) -> None:
+    """Absorb any non-negative remainder with stage directions.
+
+    ``<stagedir>text</stagedir>`` costs 2 nodes; a bare ``<stagedir/>``
+    costs 1, so every remainder is reachable.
+    """
+    while budget >= 2:
+        parent.append_child(_text_element("stagedir", "Exit " + rng.choice(_SPEAKERS)))
+        budget -= 2
+    if budget == 1:
+        parent.append_child(Node.element("stagedir"))
+
+
+def build_scene(number: int, budget: int, rng: random.Random) -> Node:
+    """A scene of exactly ``budget`` nodes (budget >= 3)."""
+    if budget < 3:
+        raise ValueError(f"a scene needs at least 3 nodes, got {budget}")
+    scene = _titled("scene", f"SCENE {_ROMAN[(number - 1) % len(_ROMAN)]}.")
+    remaining = budget - 3
+    while remaining >= 5:
+        lines = min((remaining - 3) // 2, rng.randint(2, 8))
+        scene.append_child(_build_speech(lines, rng))
+        remaining -= 3 + 2 * lines
+    _pad_exact(scene, remaining, rng)
+    return scene
+
+
+def build_act(number: int, budget: int, rng: random.Random) -> Node:
+    """An act of exactly ``budget`` nodes (budget >= 3)."""
+    if budget < 3:
+        raise ValueError(f"an act needs at least 3 nodes, got {budget}")
+    act = _titled("act", f"ACT {_ROMAN[(number - 1) % len(_ROMAN)]}")
+    remaining = budget - 3
+    scene_number = 1
+    while remaining > 0:
+        if remaining < 8:
+            _pad_exact(act, remaining, rng)
+            break
+        scene_budget = rng.randint(60, 220)
+        if remaining - scene_budget < 8:
+            scene_budget = remaining
+        act.append_child(build_scene(scene_number, scene_budget, rng))
+        scene_number += 1
+        remaining -= scene_budget
+    return act
+
+
+def _build_personae(budget: int, rng: random.Random) -> Node:
+    """Dramatis personae of exactly ``budget`` nodes (budget >= 3).
+
+    Mixes plain ``persona`` entries with ``pgroup`` blocks holding a
+    ``grpdescr`` — the structure Q2 of Table 3 navigates.
+    """
+    if budget < 3:
+        raise ValueError(f"personae needs at least 3 nodes, got {budget}")
+    personae = _titled("personae", "Dramatis Personae")
+    remaining = budget - 3
+    while remaining > 0:
+        if remaining >= 9 and rng.random() < 0.3:
+            # pgroup: 1 + members*2 + grpdescr(2)
+            members = min((remaining - 3) // 2, rng.randint(2, 4))
+            pgroup = Node.element("pgroup")
+            for _ in range(members):
+                pgroup.append_child(
+                    _text_element("persona", rng.choice(_SPEAKERS).title())
+                )
+            pgroup.append_child(
+                _text_element("grpdescr", "courtiers and attendants")
+            )
+            personae.append_child(pgroup)
+            remaining -= 3 + 2 * members
+        elif remaining >= 2:
+            personae.append_child(
+                _text_element("persona", rng.choice(_SPEAKERS).title())
+            )
+            remaining -= 2
+        else:
+            personae.append_child(Node.element("persona"))
+            remaining -= 1
+    return personae
+
+
+def _build_hamlet_front_matter(play: Node) -> None:
+    """Exactly 40 nodes of front matter, mirroring a real play header."""
+    play.append_child(_text_element("title", "The Tragedy of Hamlet"))  # 2
+    fm = Node.element("fm")  # 7 total
+    for line in (
+        "Text placed in the public domain",
+        "SGML markup, 1992",
+        "Converted for the repro corpus",
+    ):
+        fm.append_child(_text_element("p", line))
+    play.append_child(fm)
+    # personae: 27 nodes = personae + title/text + pgroup(11) + 6x persona
+    # with text (12) + 1 bare persona (1).
+    personae = _titled("personae", "Dramatis Personae")
+    pgroup = Node.element("pgroup")
+    for name in ("Rosencrantz", "Guildenstern", "Voltimand", "Cornelius"):
+        pgroup.append_child(_text_element("persona", name))
+    pgroup.append_child(_text_element("grpdescr", "courtiers"))
+    personae.append_child(pgroup)
+    for name in (
+        "Hamlet",
+        "Claudius",
+        "Gertrude",
+        "Polonius",
+        "Ophelia",
+        "Horatio",
+    ):
+        personae.append_child(_text_element("persona", name))
+    personae.append_child(Node.element("persona"))
+    play.append_child(personae)
+    play.append_child(_text_element("scndescr", "SCENE. Elsinore."))  # 2
+    play.append_child(_text_element("playsubt", "HAMLET"))  # 2
+
+
+def build_hamlet(seed: int = 1601) -> Document:
+    """The Hamlet stand-in: exactly 6636 nodes, act sizes per Table 4."""
+    rng = random.Random(seed)
+    play = Node.element("play")
+    _build_hamlet_front_matter(play)
+    for number, size in enumerate(HAMLET_ACT_SIZES, start=1):
+        play.append_child(build_act(number, size, rng))
+    document = Document(play, name="hamlet")
+    actual = document.node_count()
+    if actual != HAMLET_TOTAL_NODES:
+        raise AssertionError(
+            f"hamlet builder produced {actual} nodes, "
+            f"expected {HAMLET_TOTAL_NODES}"
+        )
+    return document
+
+
+def build_play(name: str, total_nodes: int, seed: int, acts: int = 5) -> Document:
+    """A generic D5 play of exactly ``total_nodes`` nodes."""
+    minimum = 3 + 20 + 3 * acts
+    if total_nodes < minimum:
+        raise ValueError(
+            f"a play with {acts} acts needs at least {minimum} nodes"
+        )
+    rng = random.Random(seed)
+    play = Node.element("play")
+    play.append_child(_text_element("title", f"The Play of {name.title()}"))
+    remaining = total_nodes - 3
+    personae_budget = min(60, max(20, remaining // 30))
+    play.append_child(_build_personae(personae_budget, rng))
+    remaining -= personae_budget
+    base = remaining // acts
+    extra = remaining - base * acts
+    for number in range(1, acts + 1):
+        budget = base + (1 if number <= extra else 0)
+        play.append_child(build_act(number, budget, rng))
+    document = Document(play, name=name)
+    actual = document.node_count()
+    if actual != total_nodes:
+        raise AssertionError(
+            f"play builder produced {actual} nodes, expected {total_nodes}"
+        )
+    return document
+
+
+def build_d5(
+    total_nodes: int = 179_689, files: int = 37, seed: int = 5
+) -> Collection:
+    """Dataset D5: ``files`` plays totalling exactly ``total_nodes``.
+
+    File 0 is always the Hamlet stand-in (when the budget allows),
+    matching the paper's choice of update target.
+    """
+    documents: list[Document] = []
+    remaining = total_nodes
+    remaining_files = files
+    include_hamlet = total_nodes >= HAMLET_TOTAL_NODES and (
+        files >= 2 or total_nodes == HAMLET_TOTAL_NODES
+    )
+    if include_hamlet:
+        documents.append(build_hamlet())
+        remaining -= HAMLET_TOTAL_NODES
+        remaining_files -= 1
+    if remaining_files:
+        base = remaining // remaining_files
+        extra = remaining - base * remaining_files
+        for index in range(remaining_files):
+            budget = base + (1 if index < extra else 0)
+            documents.append(
+                build_play(f"play{index + 1:02d}", budget, seed=seed + index)
+            )
+    return Collection("D5", documents)

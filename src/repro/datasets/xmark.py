@@ -1,0 +1,201 @@
+"""An XMark-style auction corpus (supplementary breadth, not in Table 2).
+
+XMark is the community's standard XML benchmark; its auction-site shape
+(regions/items, people, open and closed auctions) differs usefully from
+the paper's corpora — attribute-heavy, mixed fan-out, reference-style
+structure — so labeling schemes can be exercised on a second family of
+shapes.  Like every builder in :mod:`repro.datasets`, the generator is
+deterministic and hits the requested node budget *exactly*.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.xmltree.document import Document
+from repro.xmltree.node import Node
+
+__all__ = ["build_xmark", "XMARK_QUERIES"]
+
+XMARK_QUERIES: dict[str, str] = {
+    "X1": "/site/people/person/name",
+    "X2": "//open_auction/bidder[1]",
+    "X3": "//item[./mailbox]/name",
+    "X4": "/site/regions/*/item",
+    "X5": "//person[./address]/name",
+    "X6": "//item/@id",
+}
+"""Supplementary queries in the spirit of the XMark workload."""
+
+_REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+
+_WORDS = (
+    "vintage rare mint boxed signed classic antique custom deluxe "
+    "limited original restored pristine"
+).split()
+
+_CITIES = "Basel Kyoto Austin Lagos Porto Tartu Quito Hanoi".split()
+
+
+def _text_el(tag: str, content: str) -> Node:
+    element = Node.element(tag)
+    element.append_child(Node.text(content))
+    return element
+
+
+def _pad(parent: Node, budget: int, rng: random.Random, tag: str = "info") -> None:
+    """Absorb any remainder: 2-node text elements and 1-node empties."""
+    while budget >= 2:
+        parent.append_child(_text_el(tag, rng.choice(_WORDS)))
+        budget -= 2
+    if budget == 1:
+        parent.append_child(Node.element(tag))
+
+
+def _build_item(number: int, budget: int, rng: random.Random) -> Node:
+    """An item of exactly ``budget`` nodes (budget >= 6)."""
+    item = Node.element("item")
+    item.append_child(Node.attribute("id", f"item{number}"))  # 2 so far
+    item.append_child(_text_el("name", f"{rng.choice(_WORDS)} lot {number}"))
+    remaining = budget - 4
+    if remaining >= 5 and rng.random() < 0.7:
+        mailbox = Node.element("mailbox")
+        item.append_child(mailbox)
+        remaining -= 1
+        while remaining >= 7 and rng.random() < 0.6:
+            mail = Node.element("mail")
+            mail.append_child(_text_el("from", f"p{rng.randint(1, 99)}"))
+            mail.append_child(_text_el("to", f"p{rng.randint(1, 99)}"))
+            mail.append_child(_text_el("date", f"2005-{rng.randint(1, 12):02d}"))
+            mailbox.append_child(mail)
+            remaining -= 7
+    _pad(item, remaining, rng, "description")
+    return item
+
+
+def _build_person(number: int, budget: int, rng: random.Random) -> Node:
+    """A person of exactly ``budget`` nodes (budget >= 6)."""
+    person = Node.element("person")
+    person.append_child(Node.attribute("id", f"person{number}"))
+    person.append_child(_text_el("name", f"Person {number}"))
+    remaining = budget - 4
+    if remaining >= 2:
+        person.append_child(
+            _text_el("emailaddress", f"p{number}@example.org")
+        )
+        remaining -= 2
+    if remaining >= 5 and rng.random() < 0.6:
+        address = Node.element("address")
+        address.append_child(_text_el("city", rng.choice(_CITIES)))
+        address.append_child(_text_el("country", "Utopia"))
+        person.append_child(address)
+        remaining -= 5
+    _pad(person, remaining, rng, "profile")
+    return person
+
+
+def _build_open_auction(number: int, budget: int, rng: random.Random) -> Node:
+    """An open auction of exactly ``budget`` nodes (budget >= 6)."""
+    auction = Node.element("open_auction")
+    auction.append_child(Node.attribute("id", f"open{number}"))
+    auction.append_child(_text_el("initial", str(rng.randint(5, 500))))
+    remaining = budget - 4
+    while remaining >= 7 and rng.random() < 0.7:
+        bidder = Node.element("bidder")
+        bidder.append_child(_text_el("date", f"2005-{rng.randint(1, 12):02d}"))
+        bidder.append_child(_text_el("personref", f"person{rng.randint(1, 99)}"))
+        bidder.append_child(_text_el("increase", str(rng.randint(1, 50))))
+        auction.append_child(bidder)
+        remaining -= 7
+    if remaining >= 2:
+        auction.append_child(_text_el("current", str(rng.randint(10, 999))))
+        remaining -= 2
+    _pad(auction, remaining, rng, "annotation")
+    return auction
+
+
+def _build_closed_auction(number: int, budget: int, rng: random.Random) -> Node:
+    """A closed auction of exactly ``budget`` nodes (budget >= 5)."""
+    auction = Node.element("closed_auction")
+    auction.append_child(_text_el("price", str(rng.randint(10, 999))))
+    auction.append_child(_text_el("date", f"2005-{rng.randint(1, 12):02d}"))
+    _pad(auction, budget - 5, rng, "annotation")
+    return auction
+
+
+def _fill_section(
+    section: Node,
+    budget: int,
+    rng: random.Random,
+    builder,
+    minimum: int,
+    typical: tuple[int, int],
+) -> None:
+    """Populate ``section`` with exactly ``budget`` nodes of children."""
+    number = 1
+    remaining = budget
+    while remaining > 0:
+        if remaining < minimum + 2:
+            _pad(section, remaining, rng)
+            return
+        size = rng.randint(*typical)
+        size = max(minimum, min(size, remaining))
+        if remaining - size < minimum + 2 and remaining - size != 0:
+            size = remaining
+        section.append_child(builder(number, size, rng))
+        number += 1
+        remaining -= size
+
+
+def build_xmark(
+    total_nodes: int = 20_000, seed: int = 2002, name: str = "xmark"
+) -> Document:
+    """An auction site of exactly ``total_nodes`` nodes."""
+    minimum = 1 + len(_REGIONS) + 4 + 4 * 12
+    if total_nodes < minimum + 50:
+        raise ValueError(
+            f"an XMark site needs at least {minimum + 50} nodes"
+        )
+    rng = random.Random(seed)
+    site = Node.element("site")
+    # Fixed skeleton: regions + its 6 continents, people, open/closed.
+    regions = Node.element("regions")
+    site.append_child(regions)
+    region_elements = []
+    for region_name in _REGIONS:
+        region = Node.element(region_name)
+        regions.append_child(region)
+        region_elements.append(region)
+    people = site.append_child(Node.element("people"))
+    open_auctions = site.append_child(Node.element("open_auctions"))
+    closed_auctions = site.append_child(Node.element("closed_auctions"))
+
+    skeleton = 1 + 1 + len(_REGIONS) + 3
+    remaining = total_nodes - skeleton
+    budgets = {
+        "regions": int(remaining * 0.40),
+        "people": int(remaining * 0.25),
+        "open": int(remaining * 0.25),
+    }
+    budgets["closed"] = remaining - sum(budgets.values())
+
+    per_region = budgets["regions"] // len(_REGIONS)
+    leftover = budgets["regions"] - per_region * len(_REGIONS)
+    for position, region in enumerate(region_elements):
+        budget = per_region + (1 if position < leftover else 0)
+        _fill_section(region, budget, rng, _build_item, 6, (8, 30))
+    _fill_section(people, budgets["people"], rng, _build_person, 6, (8, 16))
+    _fill_section(
+        open_auctions, budgets["open"], rng, _build_open_auction, 6, (10, 30)
+    )
+    _fill_section(
+        closed_auctions, budgets["closed"], rng, _build_closed_auction, 5, (6, 12)
+    )
+
+    document = Document(site, name=name)
+    actual = document.node_count()
+    if actual != total_nodes:
+        raise AssertionError(
+            f"xmark builder produced {actual} nodes, expected {total_nodes}"
+        )
+    return document

@@ -1,0 +1,89 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch the whole family with one handler.  The two errors that
+matter most for the paper's claims are the *re-label triggers*:
+
+* :class:`LengthFieldOverflow` — the fixed-width length field of a
+  variable-length code can no longer describe a new code (Section 6 of the
+  paper, the "overflow problem").  V-CDBS / F-CDBS / OrdPath raise it;
+  QED never does.
+* :class:`PrecisionExhausted` — a float-point containment label can no
+  longer bisect the gap between two neighbours (Section 2.1; the paper
+  notes at most ~18 insertions fit at one spot).
+
+Both derive from :class:`RelabelRequired`; the update engine catches that
+base class and falls back to a full re-labeling pass, counting its cost.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class InvalidCodeError(ReproError, ValueError):
+    """A code violates its encoding's invariants.
+
+    Examples: a CDBS binary string that does not end with ``1``
+    (Example 3.3 of the paper shows why that invariant is required), or a
+    QED quaternary string containing the reserved separator symbol ``0``.
+    """
+
+
+class NotOrderedError(ReproError, ValueError):
+    """The pair of codes handed to an insertion routine is not ordered.
+
+    ``assign_middle_binary_string(left, right)`` requires
+    ``left < right`` lexicographically (Theorem 3.1); this error reports a
+    caller bug, never a data-dependent condition.
+    """
+
+
+class RelabelRequired(ReproError):
+    """A dynamic insertion cannot proceed without re-labeling existing nodes.
+
+    The update engine treats this as a signal to run (and account for) a
+    full re-label of the affected region, mirroring how a real system
+    would recover.
+    """
+
+
+class LengthFieldOverflow(RelabelRequired):
+    """A new code no longer fits the fixed-width length field (Section 6)."""
+
+    def __init__(self, code_bits: int, max_bits: int) -> None:
+        super().__init__(
+            f"code of {code_bits} bits exceeds the {max_bits}-bit capacity "
+            f"described by the fixed-width length field"
+        )
+        self.code_bits = code_bits
+        self.max_bits = max_bits
+
+
+class PrecisionExhausted(RelabelRequired):
+    """A float-point label gap can no longer be bisected (Section 2.1)."""
+
+    def __init__(self, left: float, right: float) -> None:
+        super().__init__(
+            f"no representable float strictly between {left!r} and {right!r}"
+        )
+        self.left = left
+        self.right = right
+
+
+class XMLParseError(ReproError, ValueError):
+    """Malformed XML input fed to :mod:`repro.xmltree.parser`."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class XPathSyntaxError(ReproError, ValueError):
+    """Malformed query fed to :mod:`repro.query.xpath`."""
+
+
+class UnsupportedOperationError(ReproError):
+    """A labeling scheme was asked for an operation it cannot perform."""

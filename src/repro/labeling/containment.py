@@ -1,0 +1,394 @@
+"""Containment labeling (Zhang et al., Section 2.1) over pluggable codecs.
+
+Every node gets ``(start, end, level)``; ``u`` is an ancestor of ``v``
+iff ``u.start < v.start`` and ``v.end < u.end``, and a parent if
+additionally the levels differ by one.  The ``start``/``end`` values
+come from an :class:`~repro.labeling.codecs.IntervalCodec`, which is how
+one generic scheme realises all six containment variants of the paper's
+Figure 5: V-Binary, F-Binary, Float-point, V-CDBS, F-CDBS and QED.
+
+**Updates** (Section 5.2.1): inserting a subtree of K nodes requires 2K
+fresh values inside one gap of the global value order.  Dynamic codecs
+supply them via Algorithm 1 / its QED analogue (Corollary 3.3 guarantees
+two-at-a-time insertion works); integer codecs cannot, and the scheme
+falls back to a full re-label, counting exactly how many *existing*
+labels changed — which reproduces the paper's rule that "the insertion
+of a node leads to a re-labeling of all the ancestor nodes ... and all
+the nodes after this inserted node in document order" (Table 4).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import RelabelRequired
+from repro.labeling.base import LabeledDocument, LabelingScheme, UpdateStats
+from repro.labeling.codecs import (
+    FBinaryCodec,
+    FCDBSCodec,
+    FloatPointCodec,
+    GappedIntegerCodec,
+    IntervalCodec,
+    QEDCodec,
+    VBinaryCodec,
+    VCDBSCodec,
+)
+from repro.xmltree.document import Document
+from repro.xmltree.node import Node
+
+__all__ = [
+    "ContainmentLabel",
+    "ContainmentScheme",
+    "v_binary_containment",
+    "f_binary_containment",
+    "gapped_containment",
+    "float_point_containment",
+    "v_cdbs_containment",
+    "f_cdbs_containment",
+    "qed_containment",
+]
+
+_LEVEL_BITS = 8
+"""Bits budgeted for the level field — identical across containment
+variants, so it never affects their Figure 5 comparison."""
+
+
+class ContainmentLabel:
+    """One ``(start, end, level)`` label.
+
+    ``start_key``/``end_key`` cache the codec's comparable form of the
+    two values (set when the label is assigned), so relationship tests
+    compare at native speed — the in-memory analogue of storing labels
+    as directly comparable byte strings.
+    """
+
+    __slots__ = ("start", "end", "level", "start_key", "end_key")
+
+    def __init__(self, start: Any, end: Any, level: int) -> None:
+        self.start = start
+        self.end = end
+        self.level = level
+        self.start_key: Any = None
+        self.end_key: Any = None
+
+    def __repr__(self) -> str:
+        return f"ContainmentLabel({self.start!r}, {self.end!r}, {self.level})"
+
+
+def _values_between(
+    codec: IntervalCodec, left: Any, right: Any, count: int
+) -> list[Any]:
+    """``count`` fresh ordered values in one gap, balanced bisection.
+
+    Balanced assignment keeps dynamic codes short (O(log count) growth,
+    Section 5.2.2's "evenly at different places" argument); any
+    :class:`RelabelRequired` from the codec propagates to the caller.
+    """
+    values: list[Any] = [None] * count
+    stack: list[tuple[int, int]] = [(0, count + 1)]
+
+    def value_at(position: int) -> Any:
+        if position == 0:
+            return left
+        if position == count + 1:
+            return right
+        return values[position - 1]
+
+    while stack:
+        lo, hi = stack.pop()
+        if lo + 1 >= hi:
+            continue
+        mid = (lo + hi + 1) // 2
+        values[mid - 1] = codec.between(value_at(lo), value_at(hi))
+        stack.append((lo, mid))
+        stack.append((mid, hi))
+    return values
+
+
+class ContainmentScheme(LabelingScheme):
+    """The generic containment scheme, specialised by an interval codec."""
+
+    family = "containment"
+
+    def __init__(self, codec: IntervalCodec, name: str) -> None:
+        self.codec = codec
+        self.name = name
+        self.dynamic = codec.dynamic
+
+    # -- labeling --------------------------------------------------------
+
+    def label_document(self, document: Document) -> LabeledDocument:
+        labeled = LabeledDocument(document, self)
+        labeled.rebuild_order()
+        count = len(labeled.nodes_in_order)
+        values = self.codec.bulk(2 * count)
+        self._assign_all(labeled, values)
+        return labeled
+
+    def _assign_all(self, labeled: LabeledDocument, values: list[Any]) -> None:
+        """Assign start on entry and end on exit of an iterative DFS."""
+        key = self.codec.key
+        cursor = 0
+        # Stack holds (node, level, entered?); ends are assigned post-order.
+        pending: dict[int, ContainmentLabel] = {}
+        stack: list[tuple[Node, int, bool]] = [
+            (labeled.document.root, 1, False)
+        ]
+        while stack:
+            node, level, entered = stack.pop()
+            if entered:
+                label = pending[id(node)]
+                label.end = values[cursor]
+                label.end_key = key(label.end)
+                cursor += 1
+                continue
+            label = ContainmentLabel(values[cursor], None, level)
+            label.start_key = key(label.start)
+            cursor += 1
+            pending[id(node)] = label
+            labeled.set_label(node, label)
+            stack.append((node, level, True))
+            for child in reversed(node.children):
+                stack.append((child, level + 1, False))
+
+    def label_bits(self, label: ContainmentLabel) -> int:
+        return (
+            self.codec.bits(label.start)
+            + self.codec.bits(label.end)
+            + _LEVEL_BITS
+        )
+
+    # -- predicates --------------------------------------------------------
+
+    def is_ancestor(
+        self, ancestor_label: ContainmentLabel, descendant_label: ContainmentLabel
+    ) -> bool:
+        return (
+            ancestor_label.start_key < descendant_label.start_key
+            and descendant_label.end_key < ancestor_label.end_key
+        )
+
+    def is_parent(
+        self, parent_label: ContainmentLabel, child_label: ContainmentLabel
+    ) -> bool:
+        return (
+            child_label.level - parent_label.level == 1
+            and self.is_ancestor(parent_label, child_label)
+        )
+
+    def order_key(self, label: ContainmentLabel) -> Any:
+        return label.start_key
+
+    def level_of(self, label: ContainmentLabel) -> int:
+        return label.level
+
+    # -- updates -----------------------------------------------------------
+
+    def insert_subtree(
+        self,
+        labeled: LabeledDocument,
+        parent: Node,
+        index: int,
+        subtree_root: Node,
+    ) -> UpdateStats:
+        if id(parent) not in labeled.labels:
+            raise ValueError("parent does not belong to the labeled document")
+        siblings = parent.children
+        index = max(0, min(index, len(siblings)))
+        parent_label: ContainmentLabel = labeled.label_of(parent)
+        left_value = (
+            labeled.label_of(siblings[index - 1]).end
+            if index > 0
+            else parent_label.start
+        )
+        right_value = (
+            labeled.label_of(siblings[index]).start
+            if index < len(siblings)
+            else parent_label.end
+        )
+        new_count = subtree_root.subtree_size()
+        try:
+            values = _values_between(
+                self.codec, left_value, right_value, 2 * new_count
+            )
+        except RelabelRequired:
+            return self._insert_with_relabel(labeled, parent, index, subtree_root)
+
+        parent.insert_child(index, subtree_root)
+        self._label_subtree(labeled, subtree_root, values, parent_label.level + 1)
+        labeled.register_subtree(subtree_root)
+        return UpdateStats(
+            inserted_nodes=new_count,
+            labels_written=new_count,
+            neighbor_bits_modified=self.codec.tail_bits_modified(),
+        )
+
+    def _label_subtree(
+        self,
+        labeled: LabeledDocument,
+        subtree_root: Node,
+        values: list[Any],
+        root_level: int,
+    ) -> None:
+        key = self.codec.key
+        cursor = 0
+        pending: dict[int, ContainmentLabel] = {}
+        stack: list[tuple[Node, int, bool]] = [(subtree_root, root_level, False)]
+        while stack:
+            node, level, entered = stack.pop()
+            if entered:
+                label = pending[id(node)]
+                label.end = values[cursor]
+                label.end_key = key(label.end)
+                cursor += 1
+                continue
+            label = ContainmentLabel(values[cursor], None, level)
+            label.start_key = key(label.start)
+            cursor += 1
+            pending[id(node)] = label
+            labeled.set_label(node, label)
+            stack.append((node, level, True))
+            for child in reversed(node.children):
+                stack.append((child, level + 1, False))
+
+    def _insert_with_relabel(
+        self,
+        labeled: LabeledDocument,
+        parent: Node,
+        index: int,
+        subtree_root: Node,
+    ) -> UpdateStats:
+        """Full re-label fallback; counts only labels that actually changed.
+
+        For consecutive integers this count equals the paper's rule
+        (ancestors + everything after the insertion point in document
+        order) because earlier values are untouched by renumbering.
+        """
+        old_labels = {
+            node_id: (label.start, label.end, label.level)
+            for node_id, label in labeled.labels.items()
+        }
+        parent.insert_child(index, subtree_root)
+        labeled.rebuild_order()
+        count = len(labeled.nodes_in_order)
+        values = self.codec.bulk(2 * count)
+        labeled.labels.clear()
+        self._assign_all(labeled, values)
+
+        new_node_ids = {id(node) for node in subtree_root.pre_order()}
+        key = self.codec.key
+        relabeled = 0
+        for node_id, label in labeled.labels.items():
+            if node_id in new_node_ids:
+                continue
+            old = old_labels.get(node_id)
+            if old is None:
+                continue
+            if (
+                key(old[0]) != key(label.start)
+                or key(old[1]) != key(label.end)
+                or old[2] != label.level
+            ):
+                relabeled += 1
+        inserted = len(new_node_ids)
+        return UpdateStats(
+            inserted_nodes=inserted,
+            relabeled_nodes=relabeled,
+            labels_written=relabeled + inserted,
+            neighbor_bits_modified=self.codec.tail_bits_modified(),
+        )
+
+
+def v_binary_containment() -> ContainmentScheme:
+    """V-Binary-Containment — compact, re-labels on every gap insert."""
+    return ContainmentScheme(VBinaryCodec(), "V-Binary-Containment")
+
+
+def f_binary_containment() -> ContainmentScheme:
+    """F-Binary-Containment — fixed-width integers."""
+    return ContainmentScheme(FBinaryCodec(), "F-Binary-Containment")
+
+
+def gapped_containment(gap: int = 16) -> ContainmentScheme:
+    """Gapped-Integer-Containment (Li & Moon's extended intervals)."""
+    return ContainmentScheme(GappedIntegerCodec(gap=gap), "Gapped-Containment")
+
+
+def float_point_containment() -> ContainmentScheme:
+    """Float-point-Containment (QRS) — dynamic until precision exhausts."""
+    return ContainmentScheme(FloatPointCodec(), "Float-point-Containment")
+
+
+def v_cdbs_containment(*, field_bits: int | None = None) -> ContainmentScheme:
+    """V-CDBS-Containment — the paper's headline scheme."""
+    return ContainmentScheme(
+        VCDBSCodec(field_bits=field_bits), "V-CDBS-Containment"
+    )
+
+
+def f_cdbs_containment() -> ContainmentScheme:
+    """F-CDBS-Containment — fixed-width CDBS."""
+    return ContainmentScheme(FCDBSCodec(), "F-CDBS-Containment")
+
+
+def qed_containment() -> ContainmentScheme:
+    """QED-Containment — never re-labels (Section 6)."""
+    return ContainmentScheme(QEDCodec(), "QED-Containment")
+
+
+def _containment_insert_run(
+    scheme: ContainmentScheme,
+    labeled: LabeledDocument,
+    parent: Node,
+    index: int,
+    subtree_roots: list[Node],
+) -> UpdateStats:
+    """Balanced batch insertion of sibling subtrees (one gap, one run)."""
+    if id(parent) not in labeled.labels:
+        raise ValueError("parent does not belong to the labeled document")
+    if not subtree_roots:
+        return UpdateStats()
+    siblings = parent.children
+    index = max(0, min(index, len(siblings)))
+    parent_label: ContainmentLabel = labeled.label_of(parent)
+    left_value = (
+        labeled.label_of(siblings[index - 1]).end
+        if index > 0
+        else parent_label.start
+    )
+    right_value = (
+        labeled.label_of(siblings[index]).start
+        if index < len(siblings)
+        else parent_label.end
+    )
+    total = sum(root.subtree_size() for root in subtree_roots)
+    try:
+        values = _values_between(scheme.codec, left_value, right_value, 2 * total)
+    except RelabelRequired:
+        return LabelingScheme.insert_run(
+            scheme, labeled, parent, index, subtree_roots
+        )
+    cursor = 0
+    stats = UpdateStats()
+    for offset, subtree_root in enumerate(subtree_roots):
+        size = subtree_root.subtree_size()
+        parent.insert_child(index + offset, subtree_root)
+        scheme._label_subtree(
+            labeled,
+            subtree_root,
+            values[cursor : cursor + 2 * size],
+            parent_label.level + 1,
+        )
+        cursor += 2 * size
+        labeled.register_subtree(subtree_root)
+        stats = stats.merge(
+            UpdateStats(
+                inserted_nodes=size,
+                labels_written=size,
+                neighbor_bits_modified=scheme.codec.tail_bits_modified(),
+            )
+        )
+    return stats
+
+
+ContainmentScheme.insert_run = _containment_insert_run

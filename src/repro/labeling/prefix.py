@@ -1,0 +1,631 @@
+"""Prefix (Dewey-style) labeling schemes (Section 2.2 of the paper).
+
+A prefix label is the concatenation of per-level *self labels*: ``u`` is
+an ancestor of ``v`` iff ``label(u)`` is a proper prefix of
+``label(v)``, a parent iff the prefix is one component short.  One
+generic :class:`PrefixScheme` is specialised by a
+:class:`ComponentPolicy`, yielding the paper's five prefix variants:
+
+* **DeweyID(UTF8)** (Tatarinov et al.) — integer ordinals ``1..n`` in
+  UTF-8 bytes; *static*: a middle insertion re-labels the following
+  siblings and their descendants.
+* **OrdPath** (O'Neil et al.) — odd ordinals at initial labeling;
+  insertion "carets" through even values, so ordinals are tuples like
+  ``(2, 1)``; dynamic, but wastes half the number space.  Two storage
+  costings: **OrdPath1** (the Li/Oi prefix-free bit table) and
+  **OrdPath2** (byte-aligned), the paper's two OrdPath size series.
+* **Binary-String** (Cohen, Kaplan & Milo) — the i-th child's self
+  label is ``1^(i-1) 0``; self-delimiting but sized O(position), the
+  paper's "very large label sizes".
+* **CDBS-Prefix** — V-CDBS codes as self labels (Example 5.1: four
+  children get ``001, 01, 1, 11``); fully dynamic via Algorithm 1.
+* **QED-Prefix** — QED codes as self labels; fully dynamic, never
+  overflows, the ``0`` separator doubles as the level delimiter.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Optional
+
+from repro.core.bitstring import BitString
+from repro.core.cdbs import vcdbs_encode
+from repro.core.middle import assign_middle_binary_string
+from repro.core.qed import assign_middle_quaternary, qed_encode
+from repro.errors import InvalidCodeError, LengthFieldOverflow, RelabelRequired
+from repro.labeling.base import LabeledDocument, LabelingScheme, UpdateStats
+from repro.xmltree.document import Document
+from repro.xmltree.node import Node
+
+__all__ = [
+    "ComponentPolicy",
+    "DeweyPolicy",
+    "OrdPathPolicy",
+    "BinaryStringPolicy",
+    "CDBSComponentPolicy",
+    "QEDComponentPolicy",
+    "PrefixScheme",
+    "utf8_bits",
+    "ordpath_li_oi_bits",
+    "ordinal_between",
+    "dewey_prefix",
+    "ordpath1_prefix",
+    "ordpath2_prefix",
+    "binary_string_prefix",
+    "cdbs_prefix",
+    "qed_prefix",
+]
+
+
+# ---------------------------------------------------------------------------
+# Storage size helpers
+# ---------------------------------------------------------------------------
+
+def utf8_bits(payload_bits: int) -> int:
+    """Bits to store a ``payload_bits``-bit value in UTF-8 framing.
+
+    RFC 2279 payload capacities: 7 bits in one byte, 11 in two, then
+    five more per extra byte (16, 21, 26, 31 for 3..6 bytes); the
+    progression is extended linearly for pathological skew-generated
+    values.
+    """
+    if payload_bits <= 7:
+        return 8
+    if payload_bits <= 11:
+        return 16
+    extra_bytes = -(-(payload_bits - 11) // 5)  # ceil division
+    return 8 * (2 + extra_bytes)
+
+
+# The reconstruction of ORDPATH's Li/Oi prefix-free component code
+# (O'Neil et al., SIGMOD 2004).  Each entry is (lower bound, upper
+# bound, Li bit pattern, Oi bits); a component costs len(Li) + Oi bits
+# and encodes as Li followed by (value - low) in Oi bits.  The exact
+# table is not in the CDBS paper ("see [13] for the details"), so the
+# bucket ladder follows the published example's style with a
+# prefix-free Li set; :mod:`repro.storage.encoding` uses the same table
+# to produce real bit streams.
+ORDPATH_BUCKETS: tuple[tuple[int, int, str, int], ...] = (
+    (-68_719_476_760, -69_977, "0000001", 48),
+    (-69_976, -4_441, "000001", 16),
+    (-4_440, -345, "00001", 12),
+    (-344, -89, "0001", 8),
+    (-88, -25, "001", 6),
+    (-24, -9, "010", 4),
+    (-8, -1, "011", 3),
+    (0, 7, "100", 3),
+    (8, 23, "101", 4),
+    (24, 87, "110", 6),
+    (88, 343, "1110", 8),
+    (344, 4_439, "11110", 12),
+    (4_440, 69_975, "111110", 16),
+    (69_976, 4_295_037_270, "1111110", 32),
+    (4_295_037_271, 4_295_037_271 + (1 << 62) - 1, "11111110", 62),
+)
+
+
+def ordpath_li_oi_bits(value: int) -> int:
+    """OrdPath1 storage bits of one ordinal component."""
+    for low, high, li, oi in ORDPATH_BUCKETS:
+        if low <= value <= high:
+            return len(li) + oi
+    raise ValueError(f"ordinal component {value} outside every Li/Oi bucket")
+
+
+# ---------------------------------------------------------------------------
+# OrdPath careted ordinals
+# ---------------------------------------------------------------------------
+
+def _is_canonical_ordinal(ordinal: tuple[int, ...]) -> bool:
+    return (
+        len(ordinal) >= 1
+        and ordinal[-1] % 2 == 1
+        and all(component % 2 == 0 for component in ordinal[:-1])
+    )
+
+
+def ordinal_between(
+    left: Optional[tuple[int, ...]], right: Optional[tuple[int, ...]]
+) -> tuple[int, ...]:
+    """A canonical careted ordinal strictly between two sibling ordinals.
+
+    Canonical ordinals end in an odd component with even "caret"
+    components before it (ORDPATH's insert-friendliness mechanism);
+    tuple comparison realises their sibling order.  ``None`` endpoints
+    mean the position is unbounded on that side.
+    """
+    if left is not None and not _is_canonical_ordinal(left):
+        raise InvalidCodeError(f"not a canonical OrdPath ordinal: {left!r}")
+    if right is not None and not _is_canonical_ordinal(right):
+        raise InvalidCodeError(f"not a canonical OrdPath ordinal: {right!r}")
+    if left is None and right is None:
+        return (1,)
+    if left is None:
+        first = right[0]
+        return ((first - 1,) if first % 2 == 0 else (first - 2,))
+    if right is None:
+        first = left[0]
+        return ((first + 1,) if first % 2 == 0 else (first + 2,))
+    if not left < right:
+        raise InvalidCodeError(
+            f"ordinals not ordered: {left!r} !< {right!r}"
+        )
+    # Find the first differing component.
+    for position, (a, b) in enumerate(zip(left, right)):
+        if a == b:
+            continue
+        if b - a > 1:
+            # An integer fits between; prefer an odd one (a plain
+            # ordinal); otherwise caret through the even value a+1.
+            candidate = a + 1 if (a + 1) % 2 == 1 else a + 2
+            if candidate < b:
+                return left[:position] + (candidate,)
+            return left[:position] + (a + 1, 1)
+        # Adjacent components: exactly one of a/b is even, and only an
+        # even component may sit in a caret's interior.  Descend under
+        # the even side (canonicality guarantees the needed tail: an
+        # even component is never terminal, an odd one always is).
+        if a % 2 == 0:
+            return left[: position + 1] + ordinal_between(
+                left[position + 1 :], None
+            )
+        return left[:position] + (b,) + ordinal_between(
+            None, right[position + 1 :]
+        )
+    # A canonical ordinal cannot be a proper prefix of another (its
+    # terminal odd component would be interior to the longer one).
+    raise InvalidCodeError(
+        f"ordinals not canonical: {left!r} is a prefix of {right!r}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Component policies
+# ---------------------------------------------------------------------------
+
+class ComponentPolicy(ABC):
+    """Self-label domain for one prefix scheme."""
+
+    name: str = "abstract"
+    dynamic: bool = False
+
+    @abstractmethod
+    def bulk(self, count: int) -> list[Any]:
+        """Ordered self labels for ``count`` siblings (initial labeling)."""
+
+    @abstractmethod
+    def between(self, left: Any, right: Any) -> Any:
+        """A fresh self label in the sibling gap; RelabelRequired if none."""
+
+    @abstractmethod
+    def bits(self, component: Any) -> int:
+        """Storage bits of one self label, delimiter included."""
+
+    def key(self, component: Any) -> Any:
+        return component
+
+    def tail_bits_modified(self) -> int:
+        return 0
+
+
+class DeweyPolicy(ComponentPolicy):
+    """DeweyID ordinals 1..n in UTF-8 (Tatarinov et al.) — static."""
+
+    name = "dewey-utf8"
+    dynamic = False
+
+    def bulk(self, count: int) -> list[int]:
+        return list(range(1, count + 1))
+
+    def between(self, left: int | None, right: int | None) -> int:
+        if right is None:
+            return (left or 0) + 1
+        raise RelabelRequired(
+            "DeweyID ordinals are consecutive; a middle insertion "
+            "re-labels the following siblings"
+        )
+
+    def bits(self, component: int) -> int:
+        return utf8_bits(max(1, component.bit_length()))
+
+    def tail_bits_modified(self) -> int:
+        return 8
+
+
+class OrdPathPolicy(ComponentPolicy):
+    """ORDPATH careted ordinals — dynamic, odd-only initial labeling."""
+
+    name = "ordpath"
+    dynamic = True
+
+    def __init__(self, bits_per_value=ordpath_li_oi_bits) -> None:
+        self._bits_per_value = bits_per_value
+
+    def bulk(self, count: int) -> list[tuple[int, ...]]:
+        return [(2 * position - 1,) for position in range(1, count + 1)]
+
+    def between(
+        self,
+        left: tuple[int, ...] | None,
+        right: tuple[int, ...] | None,
+    ) -> tuple[int, ...]:
+        return ordinal_between(left, right)
+
+    def bits(self, component: tuple[int, ...]) -> int:
+        return sum(self._bits_per_value(value) for value in component)
+
+    def tail_bits_modified(self) -> int:
+        # OrdPath computes an even value by addition/division and
+        # appends a fresh odd component: at least one full component of
+        # the neighbor-adjacent label is new.
+        return 8
+
+
+class BinaryStringPolicy(ComponentPolicy):
+    """Cohen/Kaplan/Milo binary strings: i-th child = ``1^(i-1) 0``."""
+
+    name = "binary-string"
+    dynamic = False
+
+    def bulk(self, count: int) -> list[str]:
+        return ["1" * (position - 1) + "0" for position in range(1, count + 1)]
+
+    def between(self, left: str | None, right: str | None) -> str:
+        if right is None:
+            return "1" * (len(left) if left else 0) + "0"
+        raise RelabelRequired(
+            "binary-string self labels admit no middle insertion"
+        )
+
+    def bits(self, component: str) -> int:
+        return len(component)
+
+    def tail_bits_modified(self) -> int:
+        return 1
+
+
+class CDBSComponentPolicy(ComponentPolicy):
+    """V-CDBS self labels (Example 5.1), UTF-8-framed like DeweyID.
+
+    The paper stores CDBS prefix components with UTF-8 (or OrdPath)
+    delimiters and observes CDBS(UTF8)-Prefix matches the DeweyID(UTF8)
+    label size; the UTF-8 framing is reproduced here.  A fixed-width
+    per-component length capacity models Section 6's overflow: codes
+    longer than ``max_code_bits`` raise :class:`LengthFieldOverflow`.
+    """
+
+    name = "cdbs"
+    dynamic = True
+
+    def __init__(self, *, max_code_bits: int = 127) -> None:
+        self.max_code_bits = max_code_bits
+
+    def bulk(self, count: int) -> list[BitString]:
+        return vcdbs_encode(count)
+
+    def between(
+        self, left: BitString | None, right: BitString | None
+    ) -> BitString:
+        from repro.core.bitstring import EMPTY
+
+        code = assign_middle_binary_string(
+            EMPTY if left is None else left,
+            EMPTY if right is None else right,
+        )
+        if len(code) > self.max_code_bits:
+            raise LengthFieldOverflow(len(code), self.max_code_bits)
+        return code
+
+    def bits(self, component: BitString) -> int:
+        return utf8_bits(len(component))
+
+    def key(self, component: BitString) -> str:
+        return component.to01()
+
+    def tail_bits_modified(self) -> int:
+        return 1
+
+
+class QEDComponentPolicy(ComponentPolicy):
+    """QED self labels — dynamic, separator-delimited, never overflows."""
+
+    name = "qed"
+    dynamic = True
+
+    def bulk(self, count: int) -> list[str]:
+        return qed_encode(count)
+
+    def between(self, left: str | None, right: str | None) -> str:
+        return assign_middle_quaternary(left or "", right or "")
+
+    def bits(self, component: str) -> int:
+        # Two bits per symbol plus the "0" separator symbol.
+        return 2 * len(component) + 2
+
+    def tail_bits_modified(self) -> int:
+        return 2
+
+
+# ---------------------------------------------------------------------------
+# The generic prefix scheme
+# ---------------------------------------------------------------------------
+
+class PrefixScheme(LabelingScheme):
+    """Dewey-style labeling specialised by a component policy.
+
+    Labels are tuples of self-label components; the root's label is the
+    empty tuple.
+    """
+
+    family = "prefix"
+
+    def __init__(self, policy: ComponentPolicy, name: str) -> None:
+        self.policy = policy
+        self.name = name
+        self.dynamic = policy.dynamic
+
+    # -- labeling ----------------------------------------------------------
+
+    def label_document(self, document: Document) -> LabeledDocument:
+        labeled = LabeledDocument(document, self)
+        labeled.rebuild_order()
+        labeled.set_label(document.root, ())
+        self._label_children(labeled, document.root, ())
+        return labeled
+
+    def _label_children(
+        self, labeled: LabeledDocument, node: Node, label: tuple
+    ) -> None:
+        stack: list[tuple[Node, tuple]] = [(node, label)]
+        while stack:
+            parent, parent_label = stack.pop()
+            if not parent.children:
+                continue
+            components = self.policy.bulk(len(parent.children))
+            for child, component in zip(parent.children, components):
+                child_label = parent_label + (component,)
+                labeled.set_label(child, child_label)
+                stack.append((child, child_label))
+
+    def label_bits(self, label: tuple) -> int:
+        return sum(self.policy.bits(component) for component in label)
+
+    # -- predicates ----------------------------------------------------------
+
+    def is_ancestor(self, ancestor_label: tuple, descendant_label: tuple) -> bool:
+        return (
+            len(ancestor_label) < len(descendant_label)
+            and descendant_label[: len(ancestor_label)] == ancestor_label
+        )
+
+    def is_parent(self, parent_label: tuple, child_label: tuple) -> bool:
+        return (
+            len(child_label) == len(parent_label) + 1
+            and child_label[:-1] == parent_label
+        )
+
+    def is_sibling(self, first_label: tuple, second_label: tuple) -> bool:
+        return (
+            len(first_label) == len(second_label)
+            and len(first_label) >= 1
+            and first_label[:-1] == second_label[:-1]
+            and first_label != second_label
+        )
+
+    def order_key(self, label: tuple) -> tuple:
+        return tuple(self.policy.key(component) for component in label)
+
+    def level_of(self, label: tuple) -> int:
+        return len(label) + 1
+
+    def self_label(self, label: tuple) -> Any:
+        """The last component — the node's own ordinal."""
+        if not label:
+            raise ValueError("the root has no self label")
+        return label[-1]
+
+    def parent_label(self, label: tuple) -> tuple:
+        """Computed parent label (prefix with the self label removed)."""
+        if not label:
+            raise ValueError("the root has no parent")
+        return label[:-1]
+
+    # -- updates ---------------------------------------------------------------
+
+    def insert_subtree(
+        self,
+        labeled: LabeledDocument,
+        parent: Node,
+        index: int,
+        subtree_root: Node,
+    ) -> UpdateStats:
+        if id(parent) not in labeled.labels:
+            raise ValueError("parent does not belong to the labeled document")
+        siblings = parent.children
+        index = max(0, min(index, len(siblings)))
+        parent_label: tuple = labeled.label_of(parent)
+        left = (
+            labeled.label_of(siblings[index - 1])[-1] if index > 0 else None
+        )
+        right = (
+            labeled.label_of(siblings[index])[-1]
+            if index < len(siblings)
+            else None
+        )
+        try:
+            component = self.policy.between(left, right)
+        except RelabelRequired:
+            return self._insert_with_relabel(
+                labeled, parent, index, subtree_root
+            )
+        parent.insert_child(index, subtree_root)
+        root_label = parent_label + (component,)
+        labeled.set_label(subtree_root, root_label)
+        self._label_children(labeled, subtree_root, root_label)
+        labeled.register_subtree(subtree_root)
+        inserted = subtree_root.subtree_size()
+        return UpdateStats(
+            inserted_nodes=inserted,
+            labels_written=inserted,
+            neighbor_bits_modified=self.policy.tail_bits_modified(),
+        )
+
+    def _insert_with_relabel(
+        self,
+        labeled: LabeledDocument,
+        parent: Node,
+        index: int,
+        subtree_root: Node,
+    ) -> UpdateStats:
+        """DeweyID-style fallback: re-label the following siblings and
+        their descendants (Section 2.2)."""
+        parent.insert_child(index, subtree_root)
+        parent_label: tuple = labeled.label_of(parent)
+        components = self.policy.bulk(len(parent.children))
+        relabeled = 0
+        for position, (child, component) in enumerate(
+            zip(parent.children, components)
+        ):
+            child_label = parent_label + (component,)
+            if position == index:
+                labeled.set_label(child, child_label)
+                self._label_children(labeled, child, child_label)
+                continue
+            # Siblings whose labels already match the renumbering keep
+            # them (with no prior deletions that is every earlier
+            # sibling — the paper's "re-label the following siblings");
+            # ordinal holes left by deletions are folded in here too.
+            old_label = labeled.label_of(child)
+            if old_label == child_label:
+                continue
+            labeled.set_label(child, child_label)
+            self._label_children(labeled, child, child_label)
+            relabeled += child.subtree_size()
+        labeled.register_subtree(subtree_root)
+        inserted = subtree_root.subtree_size()
+        return UpdateStats(
+            inserted_nodes=inserted,
+            relabeled_nodes=relabeled,
+            labels_written=relabeled + inserted,
+            neighbor_bits_modified=self.policy.tail_bits_modified(),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Factories matching the paper's scheme names
+# ---------------------------------------------------------------------------
+
+def dewey_prefix() -> PrefixScheme:
+    """DeweyID(UTF8)-Prefix."""
+    return PrefixScheme(DeweyPolicy(), "DeweyID(UTF8)-Prefix")
+
+
+def ordpath1_prefix() -> PrefixScheme:
+    """OrdPath1-Prefix: Li/Oi prefix-free bit storage."""
+    return PrefixScheme(
+        OrdPathPolicy(bits_per_value=ordpath_li_oi_bits), "OrdPath1-Prefix"
+    )
+
+
+def ordpath2_prefix() -> PrefixScheme:
+    """OrdPath2-Prefix: byte-aligned (UTF-8-style) component storage."""
+    return PrefixScheme(
+        OrdPathPolicy(
+            bits_per_value=lambda v: utf8_bits(max(1, abs(v).bit_length() + 1))
+        ),
+        "OrdPath2-Prefix",
+    )
+
+
+def binary_string_prefix() -> PrefixScheme:
+    """Binary-String-Prefix (Cohen, Kaplan & Milo)."""
+    return PrefixScheme(BinaryStringPolicy(), "Binary-String-Prefix")
+
+
+def cdbs_prefix(*, max_code_bits: int = 127) -> PrefixScheme:
+    """CDBS(UTF8)-Prefix — the paper's dynamic prefix variant."""
+    return PrefixScheme(
+        CDBSComponentPolicy(max_code_bits=max_code_bits), "CDBS(UTF8)-Prefix"
+    )
+
+
+def qed_prefix() -> PrefixScheme:
+    """QED-Prefix — dynamic and overflow-free."""
+    return PrefixScheme(QEDComponentPolicy(), "QED-Prefix")
+
+
+def _components_between(
+    policy: ComponentPolicy, left: Any, right: Any, count: int
+) -> list[Any]:
+    """``count`` ordered self labels in one sibling gap, balanced."""
+    components: list[Any] = [None] * count
+
+    def component_at(position: int) -> Any:
+        if position == 0:
+            return left
+        if position == count + 1:
+            return right
+        return components[position - 1]
+
+    stack: list[tuple[int, int]] = [(0, count + 1)]
+    while stack:
+        lo, hi = stack.pop()
+        if lo + 1 >= hi:
+            continue
+        mid = (lo + hi + 1) // 2
+        components[mid - 1] = policy.between(component_at(lo), component_at(hi))
+        stack.append((lo, mid))
+        stack.append((mid, hi))
+    return components
+
+
+def _prefix_insert_run(
+    scheme: PrefixScheme,
+    labeled: LabeledDocument,
+    parent: Node,
+    index: int,
+    subtree_roots: list[Node],
+) -> UpdateStats:
+    """Balanced batch insertion of sibling subtrees for prefix schemes."""
+    if id(parent) not in labeled.labels:
+        raise ValueError("parent does not belong to the labeled document")
+    if not subtree_roots:
+        return UpdateStats()
+    siblings = parent.children
+    index = max(0, min(index, len(siblings)))
+    parent_label: tuple = labeled.label_of(parent)
+    left = labeled.label_of(siblings[index - 1])[-1] if index > 0 else None
+    right = (
+        labeled.label_of(siblings[index])[-1]
+        if index < len(siblings)
+        else None
+    )
+    try:
+        components = _components_between(
+            scheme.policy, left, right, len(subtree_roots)
+        )
+    except RelabelRequired:
+        return LabelingScheme.insert_run(
+            scheme, labeled, parent, index, subtree_roots
+        )
+    stats = UpdateStats()
+    for offset, (subtree_root, component) in enumerate(
+        zip(subtree_roots, components)
+    ):
+        parent.insert_child(index + offset, subtree_root)
+        root_label = parent_label + (component,)
+        labeled.set_label(subtree_root, root_label)
+        scheme._label_children(labeled, subtree_root, root_label)
+        labeled.register_subtree(subtree_root)
+        size = subtree_root.subtree_size()
+        stats = stats.merge(
+            UpdateStats(
+                inserted_nodes=size,
+                labels_written=size,
+                neighbor_bits_modified=scheme.policy.tail_bits_modified(),
+            )
+        )
+    return stats
+
+
+PrefixScheme.insert_run = _prefix_insert_run

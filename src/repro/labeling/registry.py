@@ -1,0 +1,129 @@
+"""Registry of the labeling schemes compared in the paper's Section 7.
+
+``make_scheme(name)`` builds a fresh instance (schemes hold per-document
+codec state, so they must not be shared across labelings), and the
+``*_SCHEMES`` tuples list the line-ups of the individual experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.labeling.adaptive import adaptive_cdbs_containment
+from repro.labeling.base import LabelingScheme
+from repro.labeling.containment import (
+    f_binary_containment,
+    f_cdbs_containment,
+    float_point_containment,
+    gapped_containment,
+    qed_containment,
+    v_binary_containment,
+    v_cdbs_containment,
+)
+from repro.labeling.prefix import (
+    binary_string_prefix,
+    cdbs_prefix,
+    dewey_prefix,
+    ordpath1_prefix,
+    ordpath2_prefix,
+    qed_prefix,
+)
+from repro.labeling.prime import prime_scheme
+
+__all__ = [
+    "SCHEME_FACTORIES",
+    "ALL_SCHEMES",
+    "PAPER_SCHEMES",
+    "FIGURE5_SCHEMES",
+    "FIGURE6_SCHEMES",
+    "TABLE4_SCHEMES",
+    "make_scheme",
+    "scheme_names",
+]
+
+SCHEME_FACTORIES: dict[str, Callable[[], LabelingScheme]] = {
+    "Prime": prime_scheme,
+    "DeweyID(UTF8)-Prefix": dewey_prefix,
+    "Binary-String-Prefix": binary_string_prefix,
+    "OrdPath1-Prefix": ordpath1_prefix,
+    "OrdPath2-Prefix": ordpath2_prefix,
+    "CDBS(UTF8)-Prefix": cdbs_prefix,
+    "QED-Prefix": qed_prefix,
+    "Float-point-Containment": float_point_containment,
+    "V-Binary-Containment": v_binary_containment,
+    "F-Binary-Containment": f_binary_containment,
+    "V-CDBS-Containment": v_cdbs_containment,
+    "F-CDBS-Containment": f_cdbs_containment,
+    "QED-Containment": qed_containment,
+    # Extensions beyond the paper's line-up (excluded from the fixed
+    # experiment tuples below): the Li & Moon gapped-interval baseline
+    # discussed in Section 2.1, and the paper's §8 future work.
+    "Gapped-Containment": gapped_containment,
+    "Adaptive-CDBS-Containment": adaptive_cdbs_containment,
+}
+
+ALL_SCHEMES: tuple[str, ...] = tuple(SCHEME_FACTORIES)
+"""Every registered scheme, extensions included."""
+
+PAPER_SCHEMES: tuple[str, ...] = (
+    "Prime",
+    "DeweyID(UTF8)-Prefix",
+    "Binary-String-Prefix",
+    "OrdPath1-Prefix",
+    "OrdPath2-Prefix",
+    "CDBS(UTF8)-Prefix",
+    "QED-Prefix",
+    "Float-point-Containment",
+    "V-Binary-Containment",
+    "F-Binary-Containment",
+    "V-CDBS-Containment",
+    "F-CDBS-Containment",
+    "QED-Containment",
+)
+"""The thirteen schemes the paper's Section 7 evaluates."""
+
+FIGURE5_SCHEMES: tuple[str, ...] = PAPER_SCHEMES
+"""Figure 5 compares label sizes across the paper's schemes."""
+
+FIGURE6_SCHEMES: tuple[str, ...] = (
+    "Prime",
+    "OrdPath1-Prefix",
+    "OrdPath2-Prefix",
+    "QED-Prefix",
+    "Float-point-Containment",
+    "V-Binary-Containment",
+    "F-Binary-Containment",
+    "V-CDBS-Containment",
+    "F-CDBS-Containment",
+    "QED-Containment",
+)
+"""Figure 6's query line-up (the dynamic prefix schemes + containment)."""
+
+TABLE4_SCHEMES: tuple[str, ...] = (
+    "Prime",
+    "OrdPath1-Prefix",
+    "OrdPath2-Prefix",
+    "QED-Prefix",
+    "Float-point-Containment",
+    "V-Binary-Containment",
+    "F-Binary-Containment",
+    "V-CDBS-Containment",
+    "F-CDBS-Containment",
+    "QED-Containment",
+)
+"""The ten rows of Table 4, in the paper's order."""
+
+
+def make_scheme(name: str) -> LabelingScheme:
+    """A fresh instance of the named scheme."""
+    try:
+        factory = SCHEME_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheme {name!r}; known: {', '.join(SCHEME_FACTORIES)}"
+        ) from None
+    return factory()
+
+
+def scheme_names() -> list[str]:
+    return list(SCHEME_FACTORIES)

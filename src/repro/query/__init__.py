@@ -1,0 +1,31 @@
+"""Query processing: XPath-fragment parser and label-driven evaluation."""
+
+from repro.query.ast import (
+    AXES,
+    ExistsPredicate,
+    Path,
+    PositionPredicate,
+    Step,
+)
+from repro.query.evaluator import CollectionQueryEngine, QueryEngine
+from repro.query.queries import TABLE3_QUERIES, query_ids
+from repro.query.reference import evaluate_reference
+from repro.query.twig import TwigNode, compile_twig, evaluate_twig
+from repro.query.xpath import parse_query
+
+__all__ = [
+    "AXES",
+    "Path",
+    "Step",
+    "PositionPredicate",
+    "ExistsPredicate",
+    "parse_query",
+    "QueryEngine",
+    "CollectionQueryEngine",
+    "evaluate_reference",
+    "TwigNode",
+    "compile_twig",
+    "evaluate_twig",
+    "TABLE3_QUERIES",
+    "query_ids",
+]

@@ -1,0 +1,104 @@
+"""AST for the XPath fragment of the paper's Table 3 queries.
+
+The fragment covers linear paths and twig patterns over the axes
+``child`` (``/``), ``descendant`` (``//``), ``preceding-sibling``,
+``following-sibling``, ``following`` and ``ancestor``, with wildcard
+node tests, positional predicates (``[4]``) and existence predicates
+(``[./title]``, ``[.//grpdescr]``) — everything Q1–Q6 need, plus the
+symmetric axes for completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = [
+    "AXES",
+    "Step",
+    "Path",
+    "PositionPredicate",
+    "ExistsPredicate",
+    "Predicate",
+]
+
+AXES = frozenset(
+    {
+        "child",
+        "descendant",
+        "parent",
+        "preceding-sibling",
+        "following-sibling",
+        "following",
+        "ancestor",
+        "self",
+    }
+)
+
+
+@dataclass(frozen=True)
+class PositionPredicate:
+    """``[n]`` — keep the n-th match among same-parent step results."""
+
+    position: int
+
+    def __str__(self) -> str:
+        return f"[{self.position}]"
+
+
+@dataclass(frozen=True)
+class ExistsPredicate:
+    """``[./rel/path]`` — keep nodes for which the relative path matches."""
+
+    path: "Path"
+
+    def __str__(self) -> str:
+        return f"[.{self.path}]"
+
+
+Predicate = Union[PositionPredicate, ExistsPredicate]
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step: axis, node test, predicates.
+
+    ``attribute=True`` makes the node test select attribute nodes
+    (XPath's ``@name`` / ``@*``); only the child axis combines with it.
+    """
+
+    axis: str
+    test: str | None  # None is the wildcard '*'
+    predicates: tuple[Predicate, ...] = ()
+    attribute: bool = False
+
+    def __post_init__(self) -> None:
+        if self.axis not in AXES:
+            raise ValueError(f"unsupported axis {self.axis!r}")
+        if self.attribute and self.axis != "child":
+            raise ValueError("attribute tests require the child axis")
+
+    def __str__(self) -> str:
+        test = self.test if self.test is not None else "*"
+        if self.attribute:
+            test = "@" + test
+        if self.axis in ("child", "descendant"):
+            head = test  # the '/' or '//' separator carries the axis
+        else:
+            head = f"{self.axis}::{test}"
+        return head + "".join(str(p) for p in self.predicates)
+
+
+@dataclass(frozen=True)
+class Path:
+    """A sequence of steps; ``absolute`` paths start at the document."""
+
+    steps: tuple[Step, ...]
+    absolute: bool = True
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for step in self.steps:
+            parts.append("//" if step.axis == "descendant" else "/")
+            parts.append(str(step))
+        return "".join(parts)

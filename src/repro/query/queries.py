@@ -1,0 +1,23 @@
+"""The six benchmark queries of the paper's Table 3.
+
+Q1, Q3, Q4 are *ordered* queries (positional predicates and order-based
+axes); Q2, Q5, Q6 are unordered structural queries.  All run against the
+scaled D5 corpus in Figure 6.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TABLE3_QUERIES", "query_ids"]
+
+TABLE3_QUERIES: dict[str, str] = {
+    "Q1": "/play/act[4]",
+    "Q2": "/play//personae[./title]/pgroup[.//grpdescr]/persona",
+    "Q3": "/play/personae/persona[12]/preceding-sibling::*",
+    "Q4": "//act[2]/following::speaker",
+    "Q5": "//act/scene/speech",
+    "Q6": "/play/*//line",
+}
+
+
+def query_ids() -> list[str]:
+    return list(TABLE3_QUERIES)

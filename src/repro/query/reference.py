@@ -1,0 +1,122 @@
+"""A naive, label-free reference evaluator.
+
+Walks the tree with plain pointer navigation and implements the same
+XPath-fragment semantics as :class:`~repro.query.evaluator.QueryEngine`.
+It exists purely as a differential-testing oracle: every labeled
+evaluation must agree with it node-for-node on every scheme (DESIGN.md
+invariant 8).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.query.ast import ExistsPredicate, Path, PositionPredicate, Step
+from repro.query.xpath import parse_query
+from repro.xmltree.document import Document
+from repro.xmltree.node import Node, NodeKind
+
+__all__ = ["evaluate_reference"]
+
+_DOCUMENT = object()
+
+
+def _matches(node: Node, step: Step) -> bool:
+    if step.attribute:
+        return node.kind is NodeKind.ATTRIBUTE and (
+            step.test is None or node.name == step.test
+        )
+    return node.kind is NodeKind.ELEMENT and (
+        step.test is None or node.name == step.test
+    )
+
+
+def _document_order(document: Document) -> dict[int, int]:
+    return {
+        id(node): index for index, node in enumerate(document.pre_order())
+    }
+
+
+def _axis_nodes(document: Document, context: Node, axis: str) -> list[Node]:
+    if axis == "child":
+        return list(context.children)
+    if axis == "descendant":
+        return list(context.descendants())
+    if axis == "ancestor":
+        return list(context.ancestors())
+    if axis == "parent":
+        return [] if context.parent is None else [context.parent]
+    if axis == "self":
+        return [context]
+    if axis == "preceding-sibling":
+        return list(context.preceding_siblings())
+    if axis == "following-sibling":
+        return list(context.following_siblings())
+    if axis == "following":
+        order = _document_order(document)
+        inside = {id(n) for n in context.pre_order()}
+        start = order[id(context)]
+        return [
+            node
+            for node in document.pre_order()
+            if order[id(node)] > start and id(node) not in inside
+        ]
+    raise ValueError(f"unsupported axis {axis!r}")
+
+
+def _apply_step(
+    document: Document, context: list[Any], step: Step
+) -> list[Node]:
+    gathered: list[Node] = []
+    seen: set[int] = set()
+    for ctx in context:
+        if ctx is _DOCUMENT:
+            if step.axis == "child":
+                nodes = [document.root]
+            elif step.axis == "descendant":
+                nodes = list(document.pre_order())
+            else:
+                raise ValueError(
+                    f"axis {step.axis!r} cannot start an absolute path"
+                )
+        else:
+            nodes = _axis_nodes(document, ctx, step.axis)
+        for node in nodes:
+            if _matches(node, step) and id(node) not in seen:
+                seen.add(id(node))
+                gathered.append(node)
+    order = _document_order(document)
+    gathered.sort(key=lambda node: order[id(node)])
+    for predicate in step.predicates:
+        if isinstance(predicate, PositionPredicate):
+            counts: dict[int, int] = {}
+            kept = []
+            for node in gathered:
+                group = id(node.parent) if node.parent is not None else -1
+                counts[group] = counts.get(group, 0) + 1
+                if counts[group] == predicate.position:
+                    kept.append(node)
+            gathered = kept
+        elif isinstance(predicate, ExistsPredicate):
+            gathered = [
+                node
+                for node in gathered
+                if _evaluate_from(document, [node], predicate.path)
+            ]
+    return gathered
+
+
+def _evaluate_from(
+    document: Document, context: list[Any], path: Path
+) -> list[Node]:
+    for step in path.steps:
+        context = _apply_step(document, context, step)
+        if not context:
+            return []
+    return context
+
+
+def evaluate_reference(document: Document, query: "str | Path") -> list[Node]:
+    """Evaluate ``query`` by tree-walking; returns nodes in document order."""
+    path = parse_query(query) if isinstance(query, str) else query
+    return _evaluate_from(document, [_DOCUMENT], path)

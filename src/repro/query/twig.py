@@ -1,0 +1,223 @@
+"""Twig-pattern evaluation by semi-join reduction.
+
+The paper's introduction frames label comparison as the core operation
+for "linear paths or twig patterns".  :class:`~repro.query.evaluator.
+QueryEngine` evaluates twigs top-down, re-checking each existence
+predicate per candidate; this module provides the classic alternative —
+treat the query as a *twig tree*, reduce every query node's candidate
+list bottom-up with structural semi-joins, then walk top-down over the
+reduced lists.  Each twig edge is processed once, so highly selective
+branches prune early (the idea behind PathStack/TwigStack-style holistic
+joins, adapted to per-family join primitives).
+
+Supported fragment: child/descendant edges with node tests and nested
+existence predicates — i.e. pure twigs.  Positional predicates and the
+order-based axes are not twig edges; use the general engine for those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import UnsupportedOperationError
+from repro.labeling.base import LabeledDocument
+from repro.query.ast import ExistsPredicate, Path, PositionPredicate, Step
+from repro.query.joins import join_child, join_descendant
+from repro.query.xpath import parse_query
+from repro.xmltree.node import Node, NodeKind
+
+__all__ = ["TwigNode", "compile_twig", "evaluate_twig"]
+
+
+@dataclass
+class TwigNode:
+    """One node of the query twig.
+
+    ``axis`` is the edge from the parent twig node (``child`` or
+    ``descendant``; the root's axis describes its step from the document
+    node).  ``output`` marks the node whose matches the query returns —
+    the tail of the main path.
+    """
+
+    axis: str
+    test: str | None
+    attribute: bool = False
+    children: list["TwigNode"] = field(default_factory=list)
+    output: bool = False
+
+    def describe(self) -> str:
+        test = ("@" if self.attribute else "") + (self.test or "*")
+        edge = "//" if self.axis == "descendant" else "/"
+        inner = "".join(child.describe() for child in self.children)
+        return f"{edge}{test}{'*' if self.output else ''}{'[' + inner + ']' if inner else ''}"
+
+
+def _compile_steps(
+    steps: tuple[Step, ...], *, mark_output: bool = True
+) -> TwigNode:
+    """Compile a step chain (with exists-predicates) into a twig chain.
+
+    Returns the chain's head.  The tail of the *main* chain is marked
+    ``output``; predicate sub-chains are pure filters and never are.
+    """
+    head: Optional[TwigNode] = None
+    tail: Optional[TwigNode] = None
+    for step in steps:
+        if step.axis not in ("child", "descendant"):
+            raise UnsupportedOperationError(
+                f"axis {step.axis!r} is not a twig edge; use QueryEngine"
+            )
+        node = TwigNode(axis=step.axis, test=step.test, attribute=step.attribute)
+        for predicate in step.predicates:
+            if isinstance(predicate, PositionPredicate):
+                raise UnsupportedOperationError(
+                    "positional predicates are not twig edges; use QueryEngine"
+                )
+            assert isinstance(predicate, ExistsPredicate)
+            node.children.append(
+                _compile_steps(predicate.path.steps, mark_output=False)
+            )
+        if tail is None:
+            head = node
+        else:
+            tail.children.append(node)
+        tail = node
+    assert head is not None and tail is not None
+    if mark_output:
+        tail.output = True
+    return head
+
+
+def compile_twig(query: "str | Path") -> TwigNode:
+    """Compile an absolute query into its twig tree.
+
+    Raises:
+        UnsupportedOperationError: the query uses order-based axes or
+            positional predicates (not expressible as a twig).
+    """
+    path = parse_query(query) if isinstance(query, str) else query
+    if not path.steps:
+        raise UnsupportedOperationError("empty query")
+    return _compile_steps(path.steps)
+
+
+def _candidates(labeled: LabeledDocument, twig: TwigNode) -> list[Node]:
+    if twig.attribute:
+        return [
+            node
+            for node in labeled.nodes_in_order
+            if node.kind is NodeKind.ATTRIBUTE
+            and (twig.test is None or node.name == twig.test)
+        ]
+    if twig.test is not None:
+        return labeled.tag_index.get(twig.test, [])
+    return [
+        node
+        for node in labeled.nodes_in_order
+        if node.kind is NodeKind.ELEMENT
+    ]
+
+
+def _semi_join_up(
+    labeled: LabeledDocument,
+    parents: list[Node],
+    children: list[Node],
+    axis: str,
+) -> list[Node]:
+    """Parents that have at least one child/descendant in ``children``."""
+    join = join_child if axis == "child" else join_descendant
+    matched_children = join(labeled, parents, children)
+    if not matched_children:
+        return []
+    scheme = labeled.scheme
+    if scheme.family == "prefix":
+        if axis == "child":
+            wanted = {
+                labeled.label_of(node)[:-1] for node in matched_children
+            }
+            return [
+                node
+                for node in parents
+                if labeled.label_of(node) in wanted
+            ]
+        wanted_prefixes = {labeled.label_of(node) for node in matched_children}
+        out = []
+        for node in parents:
+            label = labeled.label_of(node)
+            if any(
+                child_label[: len(label)] == label and len(child_label) > len(label)
+                for child_label in wanted_prefixes
+            ):
+                out.append(node)
+        return out
+    # Containment / prime: test each parent against the matched children
+    # with the scheme predicate (children lists are already reduced, so
+    # this stays proportional to the *matched* set).
+    predicate = scheme.is_parent if axis == "child" else scheme.is_ancestor
+    child_labels = [labeled.label_of(node) for node in matched_children]
+    out = []
+    for node in parents:
+        label = labeled.label_of(node)
+        if any(predicate(label, child) for child in child_labels):
+            out.append(node)
+    return out
+
+
+def evaluate_twig(labeled: LabeledDocument, query: "str | Path") -> list[Node]:
+    """Evaluate a twig query; result equals ``QueryEngine.evaluate``.
+
+    Two passes over the twig:
+
+    1. **bottom-up reduction** — every twig node's candidate list is
+       semi-joined against each of its (already reduced) children, so
+       only candidates satisfying the whole subtree pattern survive;
+    2. **top-down selection** — the main path is walked over the
+       reduced lists with ordinary child/descendant joins, yielding the
+       output node's matches in document order.
+    """
+    twig = compile_twig(query)
+
+    reduced: dict[int, list[Node]] = {}
+
+    def reduce(node: TwigNode) -> list[Node]:
+        candidates = _candidates(labeled, node)
+        for child in node.children:
+            child_set = reduce(child)
+            if not candidates:
+                break
+            candidates = _semi_join_up(labeled, candidates, child_set, child.axis)
+        reduced[id(node)] = candidates
+        return candidates
+
+    reduce(twig)
+
+    # Top-down along the main (output) spine.
+    root = labeled.document.root
+    if twig.axis == "child":
+        # An absolute /tag step matches only the document root.
+        context = (
+            [root] if any(node is root for node in reduced[id(twig)]) else []
+        )
+    else:
+        context = list(reduced[id(twig)])
+    node = twig
+    while not node.output:
+        spine = next(
+            child for child in node.children if _on_spine(child)
+        )
+        join = join_child if spine.axis == "child" else join_descendant
+        # A sibling branch that emptied its parent's candidates may have
+        # short-circuited this node's reduction; its list is then empty.
+        context = join(labeled, context, reduced.get(id(spine), []))
+        if not context:
+            return []
+        node = spine
+    return context
+
+
+def _on_spine(node: TwigNode) -> bool:
+    """True if this twig node leads to the output node."""
+    if node.output:
+        return True
+    return any(_on_spine(child) for child in node.children)

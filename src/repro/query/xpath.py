@@ -1,0 +1,186 @@
+"""Parser for the Table 3 XPath fragment.
+
+Grammar (whitespace-insensitive)::
+
+    path        := ("/" | "//") step (("/" | "//") step)*
+    step        := (axis "::")? "@"? nodetest predicate*
+    axis        := "preceding-sibling" | "following-sibling"
+                 | "following" | "ancestor" | "self" | "child"
+                 | "descendant"
+    nodetest    := NAME | "*"
+    predicate   := "[" INTEGER "]" | "[" relpath "]"
+    relpath     := "."? ("/" | "//") step (("/" | "//") step)*
+                 | NAME ...          (shorthand for "./NAME...")
+
+A leading ``/`` starts at the document (so ``/play`` selects a root
+tagged ``play``); ``//`` makes the following step's axis ``descendant``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import XPathSyntaxError
+from repro.query.ast import AXES, ExistsPredicate, Path, PositionPredicate, Step
+
+__all__ = ["parse_query"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<dslash>//)
+  | (?P<slash>/)
+  | (?P<axis_sep>::)
+  | (?P<lbracket>\[)
+  | (?P<rbracket>\])
+  | (?P<star>\*)
+  | (?P<at>@)
+  | (?P<dot>\.)
+  | (?P<number>\d+)
+    # A name may carry one namespace colon, but never eat into '::'.
+  | (?P<name>[A-Za-z_][\w.\-]*(?::(?!:)[\w.\-]+)?)
+  | (?P<space>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise XPathSyntaxError(
+                f"unexpected character {text[position]!r} at offset {position}"
+            )
+        kind = match.lastgroup
+        assert kind is not None
+        if kind != "space":
+            tokens.append((kind, match.group()))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]], source: str) -> None:
+        self.tokens = tokens
+        self.source = source
+        self.index = 0
+
+    def peek(self) -> str | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index][0]
+        return None
+
+    def take(self, kind: str) -> str:
+        if self.peek() != kind:
+            raise XPathSyntaxError(
+                f"expected {kind} at token {self.index} of {self.source!r}"
+            )
+        value = self.tokens[self.index][1]
+        self.index += 1
+        return value
+
+    def parse_path(self, *, absolute: bool) -> Path:
+        steps: list[Step] = []
+        while self.peek() in ("slash", "dslash"):
+            descendant = self.peek() == "dslash"
+            self.index += 1
+            steps.append(self.parse_step(descendant))
+        if not steps:
+            raise XPathSyntaxError(f"empty path in {self.source!r}")
+        return Path(tuple(steps), absolute=absolute)
+
+    def parse_step(self, descendant: bool) -> Step:
+        axis = "descendant" if descendant else "child"
+        # Optional explicit axis: NAME '::'.
+        if (
+            self.peek() == "name"
+            and self.index + 1 < len(self.tokens)
+            and self.tokens[self.index + 1][0] == "axis_sep"
+        ):
+            axis_name = self.take("name")
+            self.take("axis_sep")
+            if axis_name not in AXES:
+                raise XPathSyntaxError(
+                    f"unsupported axis {axis_name!r} in {self.source!r}"
+                )
+            if descendant and axis_name != "descendant":
+                raise XPathSyntaxError(
+                    f"'//' cannot combine with axis {axis_name!r}"
+                )
+            axis = axis_name
+        attribute = False
+        if self.peek() == "at":
+            self.take("at")
+            attribute = True
+            if axis != "child":
+                raise XPathSyntaxError(
+                    f"attribute tests require the child axis in {self.source!r}"
+                )
+        if self.peek() == "star":
+            self.take("star")
+            test: str | None = None
+        else:
+            test = self.take("name")
+        predicates = []
+        while self.peek() == "lbracket":
+            predicates.append(self.parse_predicate())
+        return Step(
+            axis=axis,
+            test=test,
+            predicates=tuple(predicates),
+            attribute=attribute,
+        )
+
+    def parse_predicate(self):
+        self.take("lbracket")
+        if self.peek() == "number":
+            value = int(self.take("number"))
+            if value < 1:
+                raise XPathSyntaxError(
+                    f"positions are 1-based, got [{value}] in {self.source!r}"
+                )
+            self.take("rbracket")
+            return PositionPredicate(value)
+        if self.peek() == "dot":
+            self.take("dot")
+            inner = self.parse_path(absolute=False)
+        elif self.peek() in ("slash", "dslash"):
+            raise XPathSyntaxError(
+                f"predicate paths must be relative ('.' or a name) "
+                f"in {self.source!r}"
+            )
+        elif self.peek() == "name" or self.peek() == "star":
+            # Shorthand: [title] means [./title].
+            inner = self._parse_bare_relative()
+        else:
+            raise XPathSyntaxError(
+                f"malformed predicate in {self.source!r}"
+            )
+        self.take("rbracket")
+        return ExistsPredicate(inner)
+
+    def _parse_bare_relative(self) -> Path:
+        steps = [self.parse_step(False)]
+        while self.peek() in ("slash", "dslash"):
+            descendant = self.peek() == "dslash"
+            self.index += 1
+            steps.append(self.parse_step(descendant))
+        return Path(tuple(steps), absolute=False)
+
+
+def parse_query(text: str) -> Path:
+    """Parse an absolute query like ``/play//act[2]/following::speaker``."""
+    tokens = _tokenize(text)
+    if not tokens or tokens[0][0] not in ("slash", "dslash"):
+        raise XPathSyntaxError(
+            f"queries must be absolute (start with '/' or '//'): {text!r}"
+        )
+    parser = _Parser(tokens, text)
+    path = parser.parse_path(absolute=True)
+    if parser.index != len(parser.tokens):
+        raise XPathSyntaxError(
+            f"trailing tokens after position {parser.index} in {text!r}"
+        )
+    return path

@@ -1,0 +1,17 @@
+"""Relational hosting of labeled XML (the RDBMS deployment of [15]/[18])."""
+
+from repro.relational.engine import PlanStats, RelationalQueryEngine
+from repro.relational.shred import BOTTOM, TOP, ShreddedDocument, shred
+from repro.relational.table import OrderedIndex, RelationalError, Table
+
+__all__ = [
+    "Table",
+    "OrderedIndex",
+    "RelationalError",
+    "ShreddedDocument",
+    "shred",
+    "TOP",
+    "BOTTOM",
+    "RelationalQueryEngine",
+    "PlanStats",
+]

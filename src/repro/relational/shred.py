@@ -1,0 +1,186 @@
+"""Shredding: a labeled XML document as relational rows.
+
+The classic hosting recipe (Tatarinov et al., the paper's [15]): one
+*node table* holding, per node, its tag, kind, text value and — the part
+the labeling scheme supplies — sortable label columns.  The columns are
+family-specific, mirroring what each scheme can push into an index:
+
+containment
+    ``order_key`` (= start key), ``end_key``, ``level`` — the
+    ancestor/descendant axes become **index range scans** on
+    ``order_key`` bounded by the context's interval.
+prefix
+    ``order_key`` (the component-key tuple) and ``parent_key`` (the
+    tuple minus its last component) — children are **point lookups** on
+    ``parent_key``, descendants are **prefix range scans**.
+prime
+    ``order_key`` and ``parent_product`` — children are point lookups;
+    descendant tests fall back to divisibility probing, Prime's
+    documented weakness.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.labeling.base import LabeledDocument
+from repro.relational.table import Table
+from repro.xmltree.node import Node
+
+__all__ = ["ShreddedDocument", "shred", "TOP", "BOTTOM"]
+
+
+class _Top:
+    """A sentinel greater than every real key (for open range ends)."""
+
+    __slots__ = ()
+
+    def __lt__(self, other: Any) -> bool:
+        return False
+
+    def __gt__(self, other: Any) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<TOP>"
+
+
+class _Bottom:
+    """A sentinel below every real key (the root's parent key).
+
+    Index columns must hold mutually comparable values; the root has no
+    parent, and ``None`` would not compare against the schemes' keys.
+    """
+
+    __slots__ = ()
+
+    def __lt__(self, other: Any) -> bool:
+        return other is not BOTTOM
+
+    def __gt__(self, other: Any) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<BOTTOM>"
+
+
+TOP = _Top()
+BOTTOM = _Bottom()
+
+
+class ShreddedDocument:
+    """The node table plus node-id bookkeeping for one document."""
+
+    COLUMNS = (
+        "node_id",
+        "tag",
+        "kind",
+        "value",
+        "order_key",
+        "end_key",
+        "level",
+        "parent_key",
+    )
+
+    def __init__(self, labeled: LabeledDocument) -> None:
+        self.labeled = labeled
+        self.scheme = labeled.scheme
+        self.table = Table("nodes", self.COLUMNS)
+        self._row_of: dict[int, int] = {}
+        self._node_of: dict[int, Node] = {}
+        for node in labeled.nodes_in_order:
+            self._insert_node(node)
+        self.table.create_index("order_key")
+        self.table.create_index("parent_key")
+        self.table.create_index("tag")
+
+    # -- population -----------------------------------------------------
+
+    def _columns_for(self, node: Node) -> dict[str, Any]:
+        scheme = self.scheme
+        label = self.labeled.label_of(node)
+        order_key = scheme.order_key(label)
+        end_key = None
+        level = None
+        parent_key = None
+        if scheme.family == "containment":
+            end_key = label.end_key
+            level = label.level
+            parent = node.parent
+            parent_key = (
+                scheme.order_key(self.labeled.label_of(parent))
+                if parent is not None
+                else BOTTOM
+            )
+        elif scheme.family == "prefix":
+            level = len(label) + 1
+            parent_key = tuple(order_key[:-1]) if label else BOTTOM
+        else:  # prime
+            parent_key = (
+                label.product // label.self_label
+                if node.parent is not None
+                else BOTTOM
+            )
+        return {
+            "node_id": id(node),
+            "tag": node.name,
+            "kind": node.kind.value,
+            "value": node.value,
+            "order_key": order_key,
+            "end_key": end_key,
+            "level": level,
+            "parent_key": parent_key,
+        }
+
+    def _insert_node(self, node: Node) -> int:
+        row_id = self.table.insert(**self._columns_for(node))
+        self._row_of[id(node)] = row_id
+        self._node_of[id(node)] = node
+        return row_id
+
+    # -- maintenance (mirrors structural updates) -------------------------
+
+    def add_subtree(self, subtree_root: Node) -> int:
+        """Register a freshly inserted (already labeled) subtree."""
+        added = 0
+        for node in subtree_root.pre_order():
+            self._insert_node(node)
+            added += 1
+        return added
+
+    def remove_subtree(self, subtree_root: Node) -> int:
+        removed = 0
+        for node in subtree_root.pre_order():
+            row_id = self._row_of.pop(id(node), None)
+            self._node_of.pop(id(node), None)
+            if row_id is not None:
+                self.table.delete(row_id)
+                removed += 1
+        return removed
+
+    def refresh_node(self, node: Node) -> None:
+        """Re-derive a node's label columns after a re-label."""
+        self.table.update(
+            self._row_of[id(node)],
+            **{
+                column: value
+                for column, value in self._columns_for(node).items()
+                if column != "node_id"
+            },
+        )
+
+    # -- access -----------------------------------------------------------
+
+    def node_for_row(self, row_id: int) -> Node:
+        return self._node_of[self.table.value(row_id, "node_id")]
+
+    def row_for_node(self, node: Node) -> int:
+        return self._row_of[id(node)]
+
+    def row_count(self) -> int:
+        return self.table.row_count()
+
+
+def shred(labeled: LabeledDocument) -> ShreddedDocument:
+    """Shred a labeled document into its relational node table."""
+    return ShreddedDocument(labeled)

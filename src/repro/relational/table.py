@@ -1,0 +1,187 @@
+"""A miniature relational substrate: tables and ordered indexes.
+
+The labeling schemes the paper studies were designed to be *hosted in a
+relational database* (Tatarinov et al., the paper's [15]; Zhang et al.'s
+containment scheme came out of "supporting containment queries in
+RDBMSs").  This module provides just enough of a relational engine to
+demonstrate that hosting: append-only tables of named columns, ordered
+secondary indexes with range scans, and point lookups — the physical
+operators the shredded-XML query translation in
+:mod:`repro.relational.engine` compiles to.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.errors import ReproError
+
+__all__ = ["RelationalError", "Table", "OrderedIndex"]
+
+
+class RelationalError(ReproError):
+    """Schema violation or malformed operation on the mini-RDBMS."""
+
+
+class OrderedIndex:
+    """A sorted secondary index: column key → row ids, with range scans.
+
+    Keys must be mutually comparable (the shredder guarantees this by
+    indexing each scheme's canonical sort keys).  ``scan_range`` is the
+    operator the containment family's ancestor/descendant translation
+    reduces to — the reason interval labels marry well with B-trees.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._entries: list[tuple[Any, int]] = []
+
+    def insert(self, key: Any, row_id: int) -> None:
+        insort(self._entries, (key, row_id))
+
+    def remove(self, key: Any, row_id: int) -> None:
+        position = bisect_left(self._entries, (key, row_id))
+        if (
+            position >= len(self._entries)
+            or self._entries[position] != (key, row_id)
+        ):
+            raise RelationalError(
+                f"index {self.name!r} has no entry ({key!r}, {row_id})"
+            )
+        del self._entries[position]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def scan_range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        *,
+        inclusive: tuple[bool, bool] = (True, True),
+    ) -> Iterator[int]:
+        """Row ids with ``low <?= key <?= high``, in key order.
+
+        ``None`` bounds are open ends.  The comparisons happen on the
+        boundary computation only — the scan itself is a contiguous
+        slice, as a B-tree leaf walk would be.
+        """
+        if low is None:
+            start = 0
+        elif inclusive[0]:
+            start = bisect_left(self._entries, (low,))
+        else:
+            start = bisect_right(self._entries, (low, float("inf")))
+        if high is None:
+            stop = len(self._entries)
+        elif inclusive[1]:
+            stop = bisect_right(self._entries, (high, float("inf")))
+        else:
+            stop = bisect_left(self._entries, (high,))
+        for position in range(start, stop):
+            yield self._entries[position][1]
+
+    def scan_point(self, key: Any) -> Iterator[int]:
+        """Row ids whose key equals ``key`` exactly."""
+        return self.scan_range(key, key)
+
+
+class Table:
+    """An append-only table of named columns with optional indexes.
+
+    Rows are tuples in column order; deleted rows leave tombstones so
+    row ids stay stable (the shredder maps node identity → row id).
+    """
+
+    def __init__(self, name: str, columns: Sequence[str]) -> None:
+        if len(set(columns)) != len(columns):
+            raise RelationalError(f"duplicate column names in {columns!r}")
+        self.name = name
+        self.columns = tuple(columns)
+        self._column_positions = {
+            column: position for position, column in enumerate(columns)
+        }
+        self._rows: list[tuple | None] = []
+        self._indexes: dict[str, OrderedIndex] = {}
+
+    # -- schema ------------------------------------------------------------
+
+    def create_index(self, column: str) -> OrderedIndex:
+        position = self._position(column)
+        index = OrderedIndex(f"{self.name}.{column}")
+        for row_id, row in enumerate(self._rows):
+            if row is not None:
+                index.insert(row[position], row_id)
+        self._indexes[column] = index
+        return index
+
+    def index_on(self, column: str) -> OrderedIndex:
+        try:
+            return self._indexes[column]
+        except KeyError:
+            raise RelationalError(
+                f"table {self.name!r} has no index on {column!r}"
+            ) from None
+
+    def _position(self, column: str) -> int:
+        try:
+            return self._column_positions[column]
+        except KeyError:
+            raise RelationalError(
+                f"table {self.name!r} has no column {column!r}"
+            ) from None
+
+    # -- DML ---------------------------------------------------------------
+
+    def insert(self, **values: Any) -> int:
+        if set(values) != set(self.columns):
+            raise RelationalError(
+                f"row {sorted(values)} does not match columns "
+                f"{sorted(self.columns)}"
+            )
+        row = tuple(values[column] for column in self.columns)
+        row_id = len(self._rows)
+        self._rows.append(row)
+        for column, index in self._indexes.items():
+            index.insert(row[self._position(column)], row_id)
+        return row_id
+
+    def delete(self, row_id: int) -> None:
+        row = self.fetch(row_id)
+        for column, index in self._indexes.items():
+            index.remove(row[self._position(column)], row_id)
+        self._rows[row_id] = None
+
+    def update(self, row_id: int, **changes: Any) -> None:
+        row = list(self.fetch(row_id))
+        for column, value in changes.items():
+            position = self._position(column)
+            if column in self._indexes:
+                self._indexes[column].remove(row[position], row_id)
+                self._indexes[column].insert(value, row_id)
+            row[position] = value
+        self._rows[row_id] = tuple(row)
+
+    # -- access ------------------------------------------------------------
+
+    def fetch(self, row_id: int) -> tuple:
+        if not 0 <= row_id < len(self._rows) or self._rows[row_id] is None:
+            raise RelationalError(
+                f"table {self.name!r} has no live row {row_id}"
+            )
+        return self._rows[row_id]  # type: ignore[return-value]
+
+    def value(self, row_id: int, column: str) -> Any:
+        return self.fetch(row_id)[self._position(column)]
+
+    def scan(
+        self, predicate: Callable[[tuple], bool] | None = None
+    ) -> Iterator[int]:
+        """Full table scan (the operator indexes exist to avoid)."""
+        for row_id, row in enumerate(self._rows):
+            if row is not None and (predicate is None or predicate(row)):
+                yield row_id
+
+    def row_count(self) -> int:
+        return sum(1 for row in self._rows if row is not None)

@@ -1,0 +1,35 @@
+"""Paged label storage, bit-exact label codecs, and persistence."""
+
+from repro.storage.encoding import (
+    BitReader,
+    BitWriter,
+    decode_labels,
+    encode_labels,
+    make_label_codec,
+)
+from repro.storage.labelfile import LabelFileError, load_labeled, save_labeled
+from repro.storage.labelstore import LabelStore
+from repro.storage.pager import (
+    DEFAULT_PAGE_BYTES,
+    BufferPool,
+    IOCostModel,
+    PageCounter,
+    PageStore,
+)
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "encode_labels",
+    "decode_labels",
+    "make_label_codec",
+    "save_labeled",
+    "load_labeled",
+    "LabelFileError",
+    "LabelStore",
+    "PageStore",
+    "BufferPool",
+    "PageCounter",
+    "IOCostModel",
+    "DEFAULT_PAGE_BYTES",
+]

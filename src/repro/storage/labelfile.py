@@ -1,0 +1,119 @@
+"""Persistence: save and reload a labeled document as one file bundle.
+
+A bundle holds the XML text, the scheme name and codec configuration,
+and the bit-exact label stream of :mod:`repro.storage.encoding` — what a
+real CDBS deployment would keep in its catalog plus label file.  A
+reloaded document answers queries identically to the original without
+re-labeling anything.
+
+Format (all integers ASCII in the header, binary payloads after)::
+
+    RPRO-LABELS-1\\n
+    <scheme name>\\n
+    <config json>\\n
+    <xml byte length> <label byte length>\\n
+    <xml bytes><label bytes>
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ReproError
+from repro.labeling import LabeledDocument, make_scheme
+from repro.labeling.containment import ContainmentScheme
+from repro.labeling.prime import PrimeScheme
+from repro.storage.encoding import decode_labels, encode_labels
+from repro.xmltree import parse_document, serialize_document
+
+__all__ = ["save_labeled", "load_labeled", "LabelFileError"]
+
+_MAGIC = b"RPRO-LABELS-1\n"
+
+
+class LabelFileError(ReproError):
+    """The bundle is malformed or written by an incompatible version."""
+
+
+def _scheme_config(scheme) -> dict[str, Any]:
+    """Codec state that must survive a save/load cycle."""
+    config: dict[str, Any] = {}
+    if isinstance(scheme, ContainmentScheme):
+        codec = scheme.codec
+        for attribute in ("_field_bits", "_width", "gap"):
+            if hasattr(codec, attribute):
+                config[attribute] = getattr(codec, attribute)
+    return config
+
+
+def _apply_scheme_config(scheme, config: dict[str, Any]) -> None:
+    if isinstance(scheme, ContainmentScheme):
+        codec = scheme.codec
+        for attribute, value in config.items():
+            if hasattr(codec, attribute):
+                setattr(codec, attribute, value)
+
+
+def save_labeled(labeled: LabeledDocument, path: "str | Path") -> None:
+    """Write a labeled document bundle to ``path``."""
+    xml_bytes = serialize_document(labeled.document).encode("utf-8")
+    label_bytes = encode_labels(labeled)
+    header = (
+        _MAGIC
+        + f"{labeled.scheme.name}\n".encode("utf-8")
+        + (json.dumps(_scheme_config(labeled.scheme)) + "\n").encode("utf-8")
+        + f"{len(xml_bytes)} {len(label_bytes)}\n".encode("ascii")
+    )
+    Path(path).write_bytes(header + xml_bytes + label_bytes)
+
+
+def load_labeled(path: "str | Path") -> LabeledDocument:
+    """Reload a bundle; the result queries exactly like the original.
+
+    Raises:
+        LabelFileError: bad magic, malformed header, or a label count
+            that does not match the document.
+    """
+    data = Path(path).read_bytes()
+    if not data.startswith(_MAGIC):
+        raise LabelFileError(f"{path}: not a repro label bundle")
+    rest = data[len(_MAGIC) :]
+    try:
+        scheme_line, rest = rest.split(b"\n", 1)
+        config_line, rest = rest.split(b"\n", 1)
+        sizes_line, rest = rest.split(b"\n", 1)
+        xml_size_text, label_size_text = sizes_line.split()
+        xml_size, label_size = int(xml_size_text), int(label_size_text)
+    except ValueError as error:
+        raise LabelFileError(f"{path}: malformed header") from error
+    if len(rest) != xml_size + label_size:
+        raise LabelFileError(
+            f"{path}: payload is {len(rest)} bytes, header promises "
+            f"{xml_size + label_size}"
+        )
+    scheme = make_scheme(scheme_line.decode("utf-8"))
+    _apply_scheme_config(scheme, json.loads(config_line.decode("utf-8")))
+    document = parse_document(
+        rest[:xml_size].decode("utf-8"), keep_whitespace=True
+    )
+    labels = decode_labels(scheme, rest[xml_size:])
+
+    labeled = LabeledDocument(document, scheme)
+    labeled.rebuild_order()
+    if len(labels) != len(labeled.nodes_in_order):
+        raise LabelFileError(
+            f"{path}: {len(labels)} labels for "
+            f"{len(labeled.nodes_in_order)} nodes"
+        )
+    for node, label in zip(labeled.nodes_in_order, labels):
+        labeled.set_label(node, label)
+    if isinstance(scheme, PrimeScheme):
+        # SC groups (document order) are derived state; rebuild them and
+        # restore the prime allocation floor for future insertions.
+        scheme._rebuild_groups(labeled, from_group=0)
+        labeled.extra["next_prime_floor"] = (
+            max(label.self_label for label in labels) + 1 if labels else 11
+        )
+    return labeled

@@ -1,0 +1,123 @@
+"""A label store: one document's labels laid out in a page store.
+
+Binds a :class:`~repro.labeling.base.LabeledDocument` to a
+:class:`~repro.storage.pager.PageStore`: labels sit in document order,
+each occupying ``ceil(bits / 8)`` bytes.  The update engine reports each
+structural update to the store, which translates it into page I/O:
+
+* a dynamic insert splices the new labels in locally (1–2 pages);
+* a re-label rewrites the page range its records span;
+* a Prime SC recomputation rewrites the SC file's affected range.
+"""
+
+from __future__ import annotations
+
+from repro.labeling.base import LabeledDocument, UpdateStats
+from repro.storage.pager import (
+    DEFAULT_PAGE_BYTES,
+    BufferPool,
+    IOCostModel,
+    PageStore,
+)
+from repro.xmltree.node import Node
+
+__all__ = ["LabelStore"]
+
+_SC_RECORD_BYTES = 16
+"""Approximate bytes of one SC value: a CRT solution modulo the product
+of five ~24-bit primes is ~120 bits."""
+
+
+class LabelStore:
+    """Page-level storage accounting for one labeled document."""
+
+    def __init__(
+        self,
+        labeled: LabeledDocument,
+        *,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+        io_model: IOCostModel | None = None,
+        cache_pages: int | None = None,
+    ) -> None:
+        self.labeled = labeled
+        self.io_model = io_model or IOCostModel()
+        self.buffer_pool = BufferPool(cache_pages) if cache_pages else None
+        self.pages = PageStore(page_bytes, buffer_pool=self.buffer_pool)
+        self.sc_pages = PageStore(page_bytes, buffer_pool=self.buffer_pool)
+        self._load()
+
+    def _label_bytes(self, node: Node) -> int:
+        bits = self.labeled.scheme.label_bits(self.labeled.label_of(node))
+        return max(1, -(-bits // 8))
+
+    def _load(self) -> None:
+        sizes = [self._label_bytes(node) for node in self.labeled.nodes_in_order]
+        self.pages.load_records(sizes)
+        groups = self.labeled.extra.get("sc_groups")
+        if groups:
+            self.sc_pages.load_records([_SC_RECORD_BYTES] * len(groups))
+
+    # -- update accounting -------------------------------------------------
+
+    def apply_update(
+        self, stats: UpdateStats, position: int
+    ) -> tuple[int, float]:
+        """Charge one structural update; returns (pages touched, seconds).
+
+        Args:
+            stats: the scheme's accounting for the update.
+            position: document-order index where the change begins.
+        """
+        reads_before = self.pages.counter.reads + self.sc_pages.counter.reads
+        writes_before = (
+            self.pages.counter.writes + self.sc_pages.counter.writes
+        )
+        pages = 0
+        if stats.deleted_nodes:
+            pages += self.pages.splice(position, [], removed=stats.deleted_nodes)
+        if stats.inserted_nodes:
+            # New labels go in at `position`; sizes approximated by the
+            # neighbourhood's current label size (dynamic labels are
+            # within a bit or two of their neighbours').
+            nearby = min(position, max(0, self.pages.record_count() - 1))
+            size = (
+                self._label_bytes(self.labeled.nodes_in_order[nearby])
+                if self.labeled.nodes_in_order
+                else 4
+            )
+            pages += self.pages.splice(
+                position, [size] * stats.inserted_nodes
+            )
+        if stats.relabeled_nodes:
+            # Re-labeled records sit between the insertion point and the
+            # end of the document (ancestors + following, Section 2.1).
+            pages += self.pages.touch_range(
+                position, position + stats.relabeled_nodes + stats.inserted_nodes
+            )
+        if stats.sc_recomputed:
+            # Recomputing a group's SC value needs its five members'
+            # self-label primes: Prime must *read* every label page from
+            # the first disturbed position to the end of the file before
+            # rewriting the SC records — the I/O that makes Figure 7's
+            # Prime bars tower over even the full re-label schemes.
+            read_pages = self.pages.pages_of_range(
+                position, self.pages.record_count() - 1
+            )
+            self.pages.counter.reads += read_pages
+            pages += read_pages
+            total_groups = len(self.labeled.extra.get("sc_groups", []))
+            if self.sc_pages.record_count() != total_groups:
+                self.sc_pages.load_records([_SC_RECORD_BYTES] * total_groups)
+            first = max(0, total_groups - stats.sc_recomputed)
+            pages += self.sc_pages.touch_range(first, total_groups - 1)
+        reads = (
+            self.pages.counter.reads + self.sc_pages.counter.reads
+        ) - reads_before
+        writes = (
+            self.pages.counter.writes + self.sc_pages.counter.writes
+        ) - writes_before
+        return pages, self.io_model.cost(reads, writes)
+
+    def io_seconds_so_far(self) -> float:
+        counter = self.pages.counter.merge(self.sc_pages.counter)
+        return self.io_model.cost(counter.reads, counter.writes)

@@ -1,0 +1,251 @@
+"""``XmlStore`` — the library's batteries-included front door.
+
+Everything the paper's system does, behind one object: documents go in
+as XML text, get labeled by the scheme of your choice, stay queryable
+through the label-driven engine, absorb updates (without re-labeling,
+when the scheme is dynamic), and round-trip to disk as label bundles.
+
+Example::
+
+    store = XmlStore(scheme="V-CDBS-Containment")
+    store.add_document("<play><act/><act/></play>", name="hamlet")
+    acts = store.query("/play/act")
+    store.insert_xml(acts[0], "<act/>", position="before")
+    assert store.totals.relabeled_nodes == 0
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import ReproError
+from repro.labeling import LabeledDocument, UpdateStats, make_scheme
+from repro.query import CollectionQueryEngine, QueryEngine
+from repro.storage import load_labeled, save_labeled
+from repro.storage.pager import IOCostModel
+from repro.updates import UpdateEngine, UpdateResult
+from repro.xmltree import Document, Node, parse_document, parse_fragment, serialize_document
+
+__all__ = ["XmlStore", "StoreError"]
+
+
+class StoreError(ReproError):
+    """A store-level misuse: unknown document, duplicate name, etc."""
+
+
+class XmlStore:
+    """A multi-document XML store over one labeling scheme.
+
+    Args:
+        scheme: any name from :func:`repro.labeling.scheme_names`.
+        with_storage: model page I/O per update (Figure 7 style).
+        io_model: per-page costs when storage modelling is on.
+    """
+
+    def __init__(
+        self,
+        scheme: str = "V-CDBS-Containment",
+        *,
+        with_storage: bool = False,
+        io_model: IOCostModel | None = None,
+    ) -> None:
+        self.scheme_name = scheme
+        self._with_storage = with_storage
+        self._io_model = io_model
+        self._labeled: dict[str, LabeledDocument] = {}
+        self._engines: dict[str, UpdateEngine] = {}
+        self.totals = UpdateStats()
+
+    # -- document management -------------------------------------------------
+
+    def add_document(
+        self, source: "str | Document", name: str | None = None
+    ) -> str:
+        """Parse (if text), label and register a document; returns its name."""
+        if isinstance(source, Document):
+            document = source
+        else:
+            document = parse_document(source, name=name or "document")
+        key = name or document.name
+        if key in self._labeled:
+            raise StoreError(f"a document named {key!r} already exists")
+        document.name = key
+        labeled = make_scheme(self.scheme_name).label_document(document)
+        self._labeled[key] = labeled
+        self._engines[key] = UpdateEngine(
+            labeled, with_storage=self._with_storage, io_model=self._io_model
+        )
+        return key
+
+    def remove_document(self, name: str) -> None:
+        self._labeled_of(name)  # raise on unknown
+        del self._labeled[name]
+        del self._engines[name]
+
+    def document(self, name: str) -> Document:
+        return self._labeled_of(name).document
+
+    def document_names(self) -> list[str]:
+        return list(self._labeled)
+
+    def __len__(self) -> int:
+        return len(self._labeled)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._labeled)
+
+    def _labeled_of(self, name: str) -> LabeledDocument:
+        try:
+            return self._labeled[name]
+        except KeyError:
+            raise StoreError(
+                f"no document named {name!r}; have {sorted(self._labeled)}"
+            ) from None
+
+    def _owner_of(self, node: Node) -> tuple[str, LabeledDocument]:
+        for name, labeled in self._labeled.items():
+            if id(node) in labeled.labels:
+                return name, labeled
+        raise StoreError("node does not belong to any stored document")
+
+    # -- queries ------------------------------------------------------------
+
+    def query(self, text: str, document: str | None = None) -> list[Node]:
+        """Evaluate over one document, or the whole store when ``None``."""
+        if document is not None:
+            return QueryEngine(self._labeled_of(document)).evaluate(text)
+        return CollectionQueryEngine(self._labeled.values()).evaluate(text)
+
+    def count(self, text: str, document: str | None = None) -> int:
+        return len(self.query(text, document))
+
+    # -- updates --------------------------------------------------------------
+
+    def _resolve_target(self, target: "str | Node") -> Node:
+        if isinstance(target, Node):
+            return target
+        matches = self.query(target)
+        if not matches:
+            raise StoreError(f"query {target!r} matched nothing")
+        if len(matches) > 1:
+            raise StoreError(
+                f"query {target!r} matched {len(matches)} nodes; updates "
+                f"need exactly one target"
+            )
+        return matches[0]
+
+    def _apply(self, name: str, result: UpdateResult) -> UpdateResult:
+        self.totals = self.totals.merge(result.stats)
+        return result
+
+    def insert_xml(
+        self,
+        target: "str | Node",
+        fragment: str,
+        *,
+        position: str = "child",
+    ) -> UpdateResult:
+        """Insert a parsed XML fragment relative to ``target``.
+
+        ``position`` is ``"before"``, ``"after"`` or ``"child"``
+        (appended as the last child).
+        """
+        node = self._resolve_target(target)
+        name, _ = self._owner_of(node)
+        engine = self._engines[name]
+        subtree = parse_fragment(fragment)
+        if position == "before":
+            result = engine.insert_before(node, subtree)
+        elif position == "after":
+            result = engine.insert_after(node, subtree)
+        elif position == "child":
+            result = engine.insert_child(node, subtree)
+        else:
+            raise StoreError(
+                f"position must be 'before', 'after' or 'child', "
+                f"got {position!r}"
+            )
+        return self._apply(name, result)
+
+    def delete(self, target: "str | Node") -> UpdateResult:
+        node = self._resolve_target(target)
+        name, _ = self._owner_of(node)
+        return self._apply(name, self._engines[name].delete(node))
+
+    def move(self, node: "str | Node", *, before: "str | Node") -> UpdateResult:
+        moving = self._resolve_target(node)
+        destination = self._resolve_target(before)
+        name, _ = self._owner_of(moving)
+        dest_name, _ = self._owner_of(destination)
+        if name != dest_name:
+            raise StoreError("cannot move a node across documents")
+        return self._apply(
+            name, self._engines[name].move_before(moving, destination)
+        )
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        """Store-wide counters: documents, nodes, label bits, update totals."""
+        return {
+            "scheme": self.scheme_name,
+            "documents": len(self._labeled),
+            "nodes": sum(l.node_count() for l in self._labeled.values()),
+            "label_bits": sum(
+                l.total_label_bits() for l in self._labeled.values()
+            ),
+            "inserted_nodes": self.totals.inserted_nodes,
+            "deleted_nodes": self.totals.deleted_nodes,
+            "relabeled_nodes": self.totals.relabeled_nodes,
+            "sc_recomputed": self.totals.sc_recomputed,
+        }
+
+    def export_xml(self, name: str) -> str:
+        """The current XML text of one document."""
+        return serialize_document(self.document(name))
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, directory: "str | Path") -> None:
+        """Write every document as a label bundle under ``directory``."""
+        target = Path(directory)
+        target.mkdir(parents=True, exist_ok=True)
+        for name, labeled in self._labeled.items():
+            save_labeled(labeled, target / f"{name}.rpro")
+
+    @classmethod
+    def load(
+        cls,
+        directory: "str | Path",
+        *,
+        with_storage: bool = False,
+        io_model: IOCostModel | None = None,
+    ) -> "XmlStore":
+        """Rebuild a store from :meth:`save` output."""
+        source = Path(directory)
+        bundles = sorted(source.glob("*.rpro"))
+        if not bundles:
+            raise StoreError(f"no .rpro bundles under {source}")
+        store: XmlStore | None = None
+        for bundle in bundles:
+            labeled = load_labeled(bundle)
+            if store is None:
+                store = cls(
+                    scheme=labeled.scheme.name,
+                    with_storage=with_storage,
+                    io_model=io_model,
+                )
+            elif labeled.scheme.name != store.scheme_name:
+                raise StoreError(
+                    f"{bundle.name} uses scheme {labeled.scheme.name!r}, "
+                    f"store uses {store.scheme_name!r}"
+                )
+            name = bundle.stem
+            labeled.document.name = name
+            store._labeled[name] = labeled
+            store._engines[name] = UpdateEngine(
+                labeled, with_storage=with_storage, io_model=io_model
+            )
+        assert store is not None
+        return store

@@ -1,0 +1,22 @@
+"""Update processing: engine, workloads and cost accounting."""
+
+from repro.updates.engine import UpdateEngine, UpdateResult
+from repro.updates.workloads import (
+    WorkloadReport,
+    run_mixed_workload,
+    run_skewed_insertions,
+    run_table4_case,
+    run_uniform_insertions,
+    table4_cases,
+)
+
+__all__ = [
+    "UpdateEngine",
+    "UpdateResult",
+    "WorkloadReport",
+    "table4_cases",
+    "run_table4_case",
+    "run_skewed_insertions",
+    "run_uniform_insertions",
+    "run_mixed_workload",
+]

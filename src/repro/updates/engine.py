@@ -1,0 +1,171 @@
+"""The update engine: structural edits with full cost accounting.
+
+Ties together a labeled document, its scheme and (optionally) a label
+store, so one call — e.g. :meth:`UpdateEngine.insert_before` — yields
+the complete Figure 7 decomposition: the scheme's re-label/SC counts
+(Table 4), measured processing seconds, and modelled I/O seconds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.labeling.base import LabeledDocument, UpdateStats
+from repro.storage.labelstore import LabelStore
+from repro.storage.pager import IOCostModel
+from repro.xmltree.node import Node
+
+__all__ = ["UpdateResult", "UpdateEngine"]
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """Everything one structural update cost."""
+
+    stats: UpdateStats
+    processing_seconds: float
+    io_seconds: float
+    pages_touched: int
+
+    @property
+    def total_seconds(self) -> float:
+        """Figure 7's metric: processing + I/O."""
+        return self.processing_seconds + self.io_seconds
+
+
+class UpdateEngine:
+    """Runs inserts/deletes against one labeled document.
+
+    Args:
+        labeled: the scheme-labeled document to update.
+        with_storage: model page I/O via a :class:`LabelStore` (Figure 7
+            needs it; pure-processing experiments can turn it off).
+        io_model: per-page costs for the store.
+        cache_pages: optionally front the store with an LRU buffer pool
+            of that many pages (reads that hit it are free).
+    """
+
+    def __init__(
+        self,
+        labeled: LabeledDocument,
+        *,
+        with_storage: bool = True,
+        io_model: IOCostModel | None = None,
+        cache_pages: int | None = None,
+    ) -> None:
+        self.labeled = labeled
+        self.scheme = labeled.scheme
+        self.store = (
+            LabelStore(labeled, io_model=io_model, cache_pages=cache_pages)
+            if with_storage
+            else None
+        )
+        self.totals = UpdateStats()
+
+    # -- public operations ---------------------------------------------------
+
+    def insert_before(self, target: Node, subtree_root: Node) -> UpdateResult:
+        """Insert ``subtree_root`` as the sibling immediately before ``target``."""
+        parent = target.parent
+        if parent is None:
+            raise ValueError("cannot insert a sibling of the document root")
+        return self._insert(parent, parent.children.index(target), subtree_root)
+
+    def insert_after(self, target: Node, subtree_root: Node) -> UpdateResult:
+        """Insert ``subtree_root`` as the sibling immediately after ``target``."""
+        parent = target.parent
+        if parent is None:
+            raise ValueError("cannot insert a sibling of the document root")
+        return self._insert(
+            parent, parent.children.index(target) + 1, subtree_root
+        )
+
+    def insert_child(
+        self, parent: Node, subtree_root: Node, index: int | None = None
+    ) -> UpdateResult:
+        """Insert ``subtree_root`` under ``parent`` (at ``index``, default last)."""
+        position = len(parent.children) if index is None else index
+        return self._insert(parent, position, subtree_root)
+
+    def insert_run_before(
+        self, target: Node, subtree_roots: list[Node]
+    ) -> UpdateResult:
+        """Insert several siblings immediately before ``target``.
+
+        Dynamic schemes batch the whole run into one balanced gap
+        assignment, so K siblings grow codes by O(log K) bits instead of
+        the O(K) a chained-insert loop would cause.
+        """
+        parent = target.parent
+        if parent is None:
+            raise ValueError("cannot insert siblings of the document root")
+        index = parent.children.index(target)
+        start = time.perf_counter()
+        stats = self.scheme.insert_run(
+            self.labeled, parent, index, subtree_roots
+        )
+        processing = time.perf_counter() - start
+        position = (
+            self.labeled.nodes_in_order.index(subtree_roots[0])
+            if subtree_roots
+            else 0
+        )
+        return self._account(stats, position, processing)
+
+    def move_before(self, node: Node, target: Node) -> UpdateResult:
+        """Relocate ``node`` (with its subtree) to just before ``target``.
+
+        Expressed as delete + insert, which is how order-preserving
+        labeling schemes process moves: the subtree's labels are minted
+        afresh at the destination gap.
+        """
+        if node is target or node.is_ancestor_of(target):
+            raise ValueError("cannot move a node before itself or its descendant")
+        deletion = self.delete(node)
+        insertion = self.insert_before(target, node)
+        return UpdateResult(
+            stats=deletion.stats.merge(insertion.stats),
+            processing_seconds=(
+                deletion.processing_seconds + insertion.processing_seconds
+            ),
+            io_seconds=deletion.io_seconds + insertion.io_seconds,
+            pages_touched=deletion.pages_touched + insertion.pages_touched,
+        )
+
+    def delete(self, node: Node) -> UpdateResult:
+        """Delete ``node`` and its subtree."""
+        position = self.labeled.nodes_in_order.index(node)
+        start = time.perf_counter()
+        stats = self.scheme.delete_subtree(self.labeled, node)
+        processing = time.perf_counter() - start
+        return self._account(stats, position, processing)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _insert(
+        self, parent: Node, index: int, subtree_root: Node
+    ) -> UpdateResult:
+        start = time.perf_counter()
+        stats = self.scheme.insert_subtree(
+            self.labeled, parent, index, subtree_root
+        )
+        processing = time.perf_counter() - start
+        position = self.labeled.nodes_in_order.index(subtree_root)
+        return self._account(stats, position, processing)
+
+    def _account(
+        self, stats: UpdateStats, position: int, processing: float
+    ) -> UpdateResult:
+        pages, io_seconds = (
+            self.store.apply_update(stats, position)
+            if self.store is not None
+            else (0, 0.0)
+        )
+        self.totals = self.totals.merge(stats)
+        return UpdateResult(
+            stats=stats,
+            processing_seconds=processing,
+            io_seconds=io_seconds,
+            pages_touched=pages,
+        )

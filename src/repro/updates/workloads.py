@@ -1,0 +1,157 @@
+"""Update workloads matching Section 7.3 and 7.4 of the paper.
+
+* :func:`table4_cases` — the five intermittent insertions ("inserting an
+  *act* element before act[1] … act[5]" on Hamlet).
+* :func:`run_skewed_insertions` — Section 7.4's "always at a fixed
+  place" stress: repeatedly insert before the *same* node, the pattern
+  that exhausts float precision, overflows CDBS length fields, and that
+  QED absorbs forever.
+* :func:`run_uniform_insertions` — Section 5.2.2's "inserted randomly at
+  different places": the friendly frequent-update pattern under which
+  V-CDBS stays compact.
+* :func:`run_mixed_workload` — interleaved inserts and deletes, the
+  "dynamic XML with a lot of deletions and insertions" of Section 5.1.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.updates.engine import UpdateEngine, UpdateResult
+from repro.xmltree.document import Document
+from repro.xmltree.node import Node, NodeKind
+
+__all__ = [
+    "WorkloadReport",
+    "table4_cases",
+    "run_table4_case",
+    "run_skewed_insertions",
+    "run_uniform_insertions",
+    "run_mixed_workload",
+]
+
+
+@dataclass
+class WorkloadReport:
+    """Aggregate outcome of a multi-operation workload."""
+
+    operations: int = 0
+    relabeled_nodes: int = 0
+    sc_recomputed: int = 0
+    relabel_events: int = 0
+    processing_seconds: float = 0.0
+    io_seconds: float = 0.0
+    results: list[UpdateResult] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.processing_seconds + self.io_seconds
+
+    def absorb(self, result: UpdateResult) -> None:
+        self.operations += 1
+        self.relabeled_nodes += result.stats.relabeled_nodes
+        self.sc_recomputed += result.stats.sc_recomputed
+        if result.stats.relabeled_nodes:
+            self.relabel_events += 1
+        self.processing_seconds += result.processing_seconds
+        self.io_seconds += result.io_seconds
+        self.results.append(result)
+
+
+def table4_cases(document: Document) -> list[Node]:
+    """The five target ``act`` elements of Hamlet, in case order."""
+    acts = [
+        child
+        for child in document.root.children
+        if child.kind is NodeKind.ELEMENT and child.name == "act"
+    ]
+    if len(acts) != 5:
+        raise ValueError(
+            f"expected a play with 5 acts, found {len(acts)}"
+        )
+    return acts
+
+
+def run_table4_case(
+    engine: UpdateEngine, case: int, *, tag: str = "act"
+) -> UpdateResult:
+    """Insert a fresh element before ``act[case]`` (1-based case index)."""
+    acts = table4_cases(engine.labeled.document)
+    return engine.insert_before(acts[case - 1], Node.element(tag))
+
+
+def run_skewed_insertions(
+    engine: UpdateEngine,
+    target: Node,
+    count: int,
+    *,
+    tag: str = "note",
+) -> WorkloadReport:
+    """Insert ``count`` nodes, every one immediately before ``target``.
+
+    All inserted labels pile into one ever-narrowing gap — the worst
+    case of Section 5.2.2, where any no-re-label scheme must eventually
+    mint an O(N)-bit label (Cohen et al.'s lower bound).
+    """
+    report = WorkloadReport()
+    for _ in range(count):
+        report.absorb(engine.insert_before(target, Node.element(tag)))
+    return report
+
+
+def run_uniform_insertions(
+    engine: UpdateEngine,
+    count: int,
+    seed: int,
+    *,
+    tag: str = "note",
+) -> WorkloadReport:
+    """Insert ``count`` nodes at uniformly random element positions."""
+    rng = random.Random(seed)
+    report = WorkloadReport()
+    elements = [
+        node
+        for node in engine.labeled.nodes_in_order
+        if node.kind is NodeKind.ELEMENT
+    ]
+    for _ in range(count):
+        parent = rng.choice(elements)
+        index = rng.randint(0, len(parent.children))
+        inserted = Node.element(tag)
+        report.absorb(engine.insert_child(parent, inserted, index))
+        elements.append(inserted)
+    return report
+
+
+def run_mixed_workload(
+    engine: UpdateEngine,
+    operations: int,
+    seed: int,
+    *,
+    insert_probability: float = 0.7,
+    tag: str = "note",
+) -> WorkloadReport:
+    """Random interleaving of inserts and leaf deletions."""
+    rng = random.Random(seed)
+    report = WorkloadReport()
+    for _ in range(operations):
+        elements = [
+            node
+            for node in engine.labeled.nodes_in_order
+            if node.kind is NodeKind.ELEMENT
+        ]
+        deletable = [
+            node
+            for node in elements
+            if node.parent is not None and not node.children
+        ]
+        if deletable and rng.random() > insert_probability:
+            report.absorb(engine.delete(rng.choice(deletable)))
+        else:
+            parent = rng.choice(elements)
+            index = rng.randint(0, len(parent.children))
+            report.absorb(
+                engine.insert_child(parent, Node.element(tag), index)
+            )
+    return report

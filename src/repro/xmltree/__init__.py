@@ -1,0 +1,37 @@
+"""XML substrate: ordered tree model, parser, serializer, generators."""
+
+from repro.xmltree.document import Collection, Document, DocumentStats
+from repro.xmltree.generator import (
+    ShapeSpec,
+    fill_exact,
+    generate_document,
+    generate_element_tree,
+)
+from repro.xmltree.node import Node, NodeKind, merge_adjacent_text
+from repro.xmltree.parser import parse_document, parse_fragment
+from repro.xmltree.serializer import serialize, serialize_document
+from repro.xmltree.stream import (
+    build_from_events,
+    iterparse,
+    parse_document_streaming,
+)
+
+__all__ = [
+    "Node",
+    "NodeKind",
+    "merge_adjacent_text",
+    "Document",
+    "DocumentStats",
+    "Collection",
+    "parse_document",
+    "parse_fragment",
+    "iterparse",
+    "build_from_events",
+    "parse_document_streaming",
+    "serialize",
+    "serialize_document",
+    "ShapeSpec",
+    "fill_exact",
+    "generate_element_tree",
+    "generate_document",
+]

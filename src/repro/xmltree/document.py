@@ -1,0 +1,142 @@
+"""Documents: a rooted ordered tree plus the statistics of Table 2.
+
+The paper characterises its datasets by file count, max/average fan-out,
+max/average depth and total node count (Table 2).  :class:`Document`
+exposes exactly those statistics so the synthetic datasets can be
+checked against the paper's corpus shapes, and :class:`Collection`
+groups many documents into one dataset the way NIAGARA groups files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.xmltree.node import Node, NodeKind
+
+__all__ = ["Document", "Collection", "DocumentStats"]
+
+
+@dataclass(frozen=True)
+class DocumentStats:
+    """Shape statistics in the vocabulary of the paper's Table 2."""
+
+    node_count: int
+    max_fanout: int
+    avg_fanout: float
+    max_depth: int
+    avg_depth: float
+
+    def __str__(self) -> str:
+        return (
+            f"nodes={self.node_count} fanout={self.max_fanout}/"
+            f"{self.avg_fanout:.1f} depth={self.max_depth}/{self.avg_depth:.1f}"
+        )
+
+
+class Document:
+    """One XML document: a root element and document-order utilities."""
+
+    def __init__(self, root: Node, name: str = "document") -> None:
+        if root.kind is not NodeKind.ELEMENT:
+            raise ValueError("a document root must be an element node")
+        if root.parent is not None:
+            raise ValueError("a document root must not have a parent")
+        self.root = root
+        self.name = name
+
+    def pre_order(self) -> Iterator[Node]:
+        """All nodes in document order."""
+        return self.root.pre_order()
+
+    def node_count(self) -> int:
+        return self.root.subtree_size()
+
+    def document_positions(self) -> dict[int, int]:
+        """Map ``id(node) -> 1-based document order position``.
+
+        Keyed by identity because nodes are mutable and unhashable by
+        value; the map must be recomputed after structural updates.
+        """
+        return {
+            id(node): position
+            for position, node in enumerate(self.pre_order(), start=1)
+        }
+
+    def find_all(self, predicate: Callable[[Node], bool]) -> list[Node]:
+        """All nodes satisfying ``predicate``, in document order."""
+        return [node for node in self.pre_order() if predicate(node)]
+
+    def elements_by_tag(self, tag: str) -> list[Node]:
+        """All elements with the given tag, in document order."""
+        return self.find_all(
+            lambda n: n.kind is NodeKind.ELEMENT and n.name == tag
+        )
+
+    def stats(self) -> DocumentStats:
+        """Shape statistics (Table 2 vocabulary).
+
+        Depth here is counted in *levels* (root = 1), matching the
+        paper's "depth 4" for three-level-under-root documents; fan-out
+        is measured over element nodes with at least one child.
+        """
+        node_count = 0
+        max_depth = 0
+        depth_total = 0
+        max_fanout = 0
+        fanout_total = 0
+        fanout_parents = 0
+        stack: list[tuple[Node, int]] = [(self.root, 1)]
+        while stack:
+            node, depth = stack.pop()
+            node_count += 1
+            depth_total += depth
+            max_depth = max(max_depth, depth)
+            if node.kind is NodeKind.ELEMENT and node.children:
+                fanout = len(node.children)
+                max_fanout = max(max_fanout, fanout)
+                fanout_total += fanout
+                fanout_parents += 1
+            for child in node.children:
+                stack.append((child, depth + 1))
+        return DocumentStats(
+            node_count=node_count,
+            max_fanout=max_fanout,
+            avg_fanout=(fanout_total / fanout_parents) if fanout_parents else 0.0,
+            max_depth=max_depth,
+            avg_depth=(depth_total / node_count) if node_count else 0.0,
+        )
+
+
+class Collection:
+    """A named set of documents — one of the paper's datasets D1–D6."""
+
+    def __init__(self, name: str, documents: list[Document]) -> None:
+        self.name = name
+        self.documents = documents
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self.documents)
+
+    def total_nodes(self) -> int:
+        return sum(doc.node_count() for doc in self.documents)
+
+    def stats(self) -> dict[str, object]:
+        """Aggregate Table 2-style statistics over all files."""
+        per_file = [doc.stats() for doc in self.documents]
+        if not per_file:
+            return {"files": 0, "total_nodes": 0}
+        # Table 2 reports "max/average fan-out *for a file*": the fan-out
+        # of a file is its widest node, and the dataset row shows the max
+        # and the mean of that per-file figure (likewise for depth).
+        return {
+            "files": len(per_file),
+            "total_nodes": sum(s.node_count for s in per_file),
+            "max_fanout": max(s.max_fanout for s in per_file),
+            "avg_fanout": sum(s.max_fanout for s in per_file) / len(per_file),
+            "max_depth": max(s.max_depth for s in per_file),
+            "avg_depth": sum(s.max_depth for s in per_file) / len(per_file),
+        }

@@ -1,0 +1,151 @@
+"""Deterministic synthetic XML generators with *exact* node budgets.
+
+The paper's experiments are calibrated against corpus shapes (Table 2)
+and, for Table 4, against exact subtree sizes of the Hamlet file.  The
+builders here therefore guarantee the generated tree contains *exactly*
+the requested number of nodes, while fan-out and depth are steered by a
+:class:`ShapeSpec`.
+
+The core trick is budgeted recursion: ``fill_exact(parent, budget)``
+creates precisely ``budget`` nodes beneath ``parent`` by carving random
+subtree budgets off and recursing, degrading to single-node leaves
+(text, attributes, empty elements) whenever the remaining budget or the
+depth limit demands it.  Every random choice flows from a caller-seeded
+``random.Random``, so datasets are bit-identical across runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.xmltree.document import Document
+from repro.xmltree.node import Node, NodeKind
+
+__all__ = ["ShapeSpec", "fill_exact", "generate_element_tree", "generate_document"]
+
+_WORDS = (
+    "alpha bravo charlie delta echo foxtrot golf hotel india juliet kilo "
+    "lima mike november oscar papa quebec romeo sierra tango uniform victor"
+).split()
+
+
+@dataclass
+class ShapeSpec:
+    """Steers the shape of an exact-budget synthetic tree.
+
+    Args:
+        tags: element tag vocabulary, cycled through by depth.
+        max_depth: maximum depth in *levels* (root = level 1); nodes at
+            the last level are always leaves.
+        subtree_range: inclusive ``(lo, hi)`` bounds on the node budget
+            handed to a recursive child subtree.  Small budgets make
+            bushy/wide trees (high fan-out); large budgets make deep,
+            narrow ones.
+        text_weight / attr_weight / empty_weight: relative odds that a
+            single-budget leaf becomes a text node, an attribute, or an
+            empty element.
+    """
+
+    tags: Sequence[str]
+    max_depth: int = 5
+    subtree_range: tuple[int, int] = (2, 12)
+    text_weight: float = 0.7
+    attr_weight: float = 0.2
+    empty_weight: float = 0.1
+
+    def tag_for_level(self, level: int, rng: random.Random) -> str:
+        base = self.tags[min(level, len(self.tags) - 1)]
+        return base
+
+
+def _make_leaf(parent: Node, spec: ShapeSpec, rng: random.Random) -> None:
+    """Attach exactly one node to ``parent``."""
+    roll = rng.random() * (
+        spec.text_weight + spec.attr_weight + spec.empty_weight
+    )
+    word = rng.choice(_WORDS)
+    if roll < spec.text_weight:
+        parent.append_child(Node.text(f"{word} {rng.randint(0, 9999)}"))
+    elif roll < spec.text_weight + spec.attr_weight:
+        existing = parent.attributes()
+        name = f"a{len(existing)}"
+        # Attribute nodes precede element/text children in document
+        # order; insert after any attributes already present.
+        position = sum(
+            1 for c in parent.children if c.kind is NodeKind.ATTRIBUTE
+        )
+        attribute = Node.attribute(name, word)
+        parent.children.insert(position, attribute)
+        attribute.parent = parent
+    else:
+        parent.append_child(
+            Node.element(spec.tag_for_level(parent.depth + 1, rng))
+        )
+
+
+def fill_exact(
+    parent: Node,
+    budget: int,
+    spec: ShapeSpec,
+    rng: random.Random,
+    *,
+    level: int | None = None,
+) -> None:
+    """Create exactly ``budget`` nodes beneath ``parent``.
+
+    ``level`` is the 1-based level of ``parent``; it defaults to the
+    node's actual depth + 1 and exists so deep recursion need not
+    re-walk parent chains.
+    """
+    if budget < 0:
+        raise ValueError(f"budget must be non-negative, got {budget}")
+    current_level = (parent.depth + 1) if level is None else level
+    remaining = budget
+    lo, hi = spec.subtree_range
+    while remaining > 0:
+        # Leaves occupy level current_level + 1, so stop one short of
+        # the limit.
+        at_leaf_level = current_level >= spec.max_depth - 1
+        if at_leaf_level or remaining < max(2, lo):
+            _make_leaf(parent, spec, rng)
+            remaining -= 1
+            continue
+        size = rng.randint(lo, min(hi, remaining))
+        if remaining - size == 1:
+            # Never strand a single-node remainder that the loop would
+            # have to burn on an awkward leaf at this level; fold it in.
+            size += 1
+        child = Node.element(spec.tag_for_level(current_level, rng))
+        parent.append_child(child)
+        fill_exact(child, size - 1, spec, rng, level=current_level + 1)
+        remaining -= size
+
+
+def generate_element_tree(
+    root_tag: str,
+    total_nodes: int,
+    spec: ShapeSpec,
+    rng: random.Random,
+) -> Node:
+    """A tree of exactly ``total_nodes`` nodes, rooted at ``root_tag``."""
+    if total_nodes < 1:
+        raise ValueError(f"total_nodes must be positive, got {total_nodes}")
+    root = Node.element(root_tag)
+    fill_exact(root, total_nodes - 1, spec, rng, level=1)
+    return root
+
+
+def generate_document(
+    name: str,
+    root_tag: str,
+    total_nodes: int,
+    spec: ShapeSpec,
+    seed: int,
+) -> Document:
+    """Deterministic document generation from a seed."""
+    rng = random.Random(seed)
+    return Document(
+        generate_element_tree(root_tag, total_nodes, spec, rng), name=name
+    )

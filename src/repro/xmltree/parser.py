@@ -1,0 +1,283 @@
+"""A small, self-contained XML parser.
+
+The reproduction avoids external XML machinery: this hand-written
+recursive-descent parser covers the XML subset the paper's corpora use —
+elements, attributes, character data, CDATA sections, comments,
+processing instructions and an (ignored) DOCTYPE — and produces the
+:class:`~repro.xmltree.node.Node` tree that the labeling schemes
+consume.  Namespace prefixes are kept verbatim as part of names.
+
+By default whitespace-only text between elements is dropped (it is
+formatting, not data, and would distort the node counts the experiments
+are calibrated against); pass ``keep_whitespace=True`` to retain it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XMLParseError
+from repro.xmltree.document import Document
+from repro.xmltree.node import Node
+
+__all__ = ["parse_document", "parse_fragment"]
+
+_NAME_START = frozenset(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz_:"
+)
+_NAME_CHARS = _NAME_START | frozenset("0123456789.-")
+
+_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+
+class _Cursor:
+    """Position-tracked view over the input text."""
+
+    __slots__ = ("text", "pos")
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self, width: int = 1) -> str:
+        return self.text[self.pos : self.pos + width]
+
+    def advance(self, width: int = 1) -> None:
+        self.pos += width
+
+    def startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def expect(self, token: str) -> None:
+        if not self.startswith(token):
+            raise XMLParseError(f"expected {token!r}", self.pos)
+        self.pos += len(token)
+
+    def skip_whitespace(self) -> None:
+        text = self.text
+        pos = self.pos
+        while pos < len(text) and text[pos] in " \t\r\n":
+            pos += 1
+        self.pos = pos
+
+    def read_until(self, token: str, error: str) -> str:
+        end = self.text.find(token, self.pos)
+        if end < 0:
+            raise XMLParseError(error, self.pos)
+        chunk = self.text[self.pos : end]
+        self.pos = end + len(token)
+        return chunk
+
+    def read_name(self) -> str:
+        start = self.pos
+        text = self.text
+        if start >= len(text) or text[start] not in _NAME_START:
+            raise XMLParseError("expected a name", start)
+        pos = start + 1
+        while pos < len(text) and text[pos] in _NAME_CHARS:
+            pos += 1
+        self.pos = pos
+        return text[start:pos]
+
+
+def _decode_entities(raw: str, position: int) -> str:
+    if "&" not in raw:
+        return raw
+    parts: list[str] = []
+    index = 0
+    while True:
+        amp = raw.find("&", index)
+        if amp < 0:
+            parts.append(raw[index:])
+            break
+        parts.append(raw[index:amp])
+        semi = raw.find(";", amp + 1)
+        if semi < 0:
+            raise XMLParseError("unterminated entity reference", position + amp)
+        entity = raw[amp + 1 : semi]
+        if entity.startswith("#x") or entity.startswith("#X"):
+            try:
+                parts.append(chr(int(entity[2:], 16)))
+            except ValueError:
+                raise XMLParseError(
+                    f"bad character reference &{entity};", position + amp
+                ) from None
+        elif entity.startswith("#"):
+            try:
+                parts.append(chr(int(entity[1:])))
+            except ValueError:
+                raise XMLParseError(
+                    f"bad character reference &{entity};", position + amp
+                ) from None
+        elif entity in _ENTITIES:
+            parts.append(_ENTITIES[entity])
+        else:
+            raise XMLParseError(
+                f"unknown entity &{entity};", position + amp
+            )
+        index = semi + 1
+    return "".join(parts)
+
+
+def _parse_attributes(cursor: _Cursor, element: Node) -> None:
+    seen: set[str] = set()
+    while True:
+        cursor.skip_whitespace()
+        if cursor.eof() or cursor.peek() in (">", "/"):
+            return
+        name_pos = cursor.pos
+        name = cursor.read_name()
+        if name in seen:
+            raise XMLParseError(f"duplicate attribute {name!r}", name_pos)
+        seen.add(name)
+        cursor.skip_whitespace()
+        cursor.expect("=")
+        cursor.skip_whitespace()
+        quote = cursor.peek()
+        if quote not in ("'", '"'):
+            raise XMLParseError("attribute value must be quoted", cursor.pos)
+        cursor.advance()
+        value_pos = cursor.pos
+        raw = cursor.read_until(quote, "unterminated attribute value")
+        element.append_child(
+            Node.attribute(name, _decode_entities(raw, value_pos))
+        )
+
+
+def _parse_misc(cursor: _Cursor) -> None:
+    """Skip comments, PIs, whitespace and DOCTYPE outside the root."""
+    while not cursor.eof():
+        cursor.skip_whitespace()
+        if cursor.startswith("<?"):
+            cursor.advance(2)
+            cursor.read_until("?>", "unterminated processing instruction")
+        elif cursor.startswith("<!--"):
+            cursor.advance(4)
+            cursor.read_until("-->", "unterminated comment")
+        elif cursor.startswith("<!DOCTYPE"):
+            depth = 0
+            while not cursor.eof():
+                char = cursor.peek()
+                cursor.advance()
+                if char == "[":
+                    depth += 1
+                elif char == "]":
+                    depth -= 1
+                elif char == ">" and depth <= 0:
+                    break
+            else:
+                raise XMLParseError("unterminated DOCTYPE", cursor.pos)
+        else:
+            return
+
+
+def _parse_element(
+    cursor: _Cursor, *, keep_whitespace: bool, keep_comments: bool
+) -> Node:
+    cursor.expect("<")
+    tag = cursor.read_name()
+    element = Node.element(tag)
+    _parse_attributes(cursor, element)
+    cursor.skip_whitespace()
+    if cursor.startswith("/>"):
+        cursor.advance(2)
+        return element
+    cursor.expect(">")
+
+    while True:
+        if cursor.eof():
+            raise XMLParseError(f"unclosed element <{tag}>", cursor.pos)
+        if cursor.startswith("</"):
+            cursor.advance(2)
+            close_pos = cursor.pos
+            closing = cursor.read_name()
+            if closing != tag:
+                raise XMLParseError(
+                    f"mismatched closing tag </{closing}> for <{tag}>",
+                    close_pos,
+                )
+            cursor.skip_whitespace()
+            cursor.expect(">")
+            return element
+        if cursor.startswith("<!--"):
+            cursor.advance(4)
+            body = cursor.read_until("-->", "unterminated comment")
+            if keep_comments:
+                element.append_child(Node.comment(body))
+            continue
+        if cursor.startswith("<![CDATA["):
+            cursor.advance(9)
+            body = cursor.read_until("]]>", "unterminated CDATA section")
+            element.append_child(Node.text(body))
+            continue
+        if cursor.startswith("<?"):
+            cursor.advance(2)
+            cursor.read_until("?>", "unterminated processing instruction")
+            continue
+        if cursor.startswith("<"):
+            element.append_child(
+                _parse_element(
+                    cursor,
+                    keep_whitespace=keep_whitespace,
+                    keep_comments=keep_comments,
+                )
+            )
+            continue
+        # Character data up to the next markup.
+        text_pos = cursor.pos
+        end = cursor.text.find("<", cursor.pos)
+        if end < 0:
+            raise XMLParseError(f"unclosed element <{tag}>", cursor.pos)
+        raw = cursor.text[cursor.pos : end]
+        cursor.pos = end
+        content = _decode_entities(raw, text_pos)
+        if keep_whitespace or content.strip():
+            element.append_child(Node.text(content))
+
+
+def parse_fragment(
+    text: str, *, keep_whitespace: bool = False, keep_comments: bool = False
+) -> Node:
+    """Parse a single element (with subtree) from ``text``."""
+    cursor = _Cursor(text)
+    _parse_misc(cursor)
+    if not cursor.startswith("<"):
+        raise XMLParseError("expected an element", cursor.pos)
+    element = _parse_element(
+        cursor, keep_whitespace=keep_whitespace, keep_comments=keep_comments
+    )
+    return element
+
+
+def parse_document(
+    text: str,
+    name: str = "document",
+    *,
+    keep_whitespace: bool = False,
+    keep_comments: bool = False,
+) -> Document:
+    """Parse a complete XML document into a :class:`Document`.
+
+    Raises:
+        XMLParseError: on malformed input, with the byte offset of the
+            problem.
+    """
+    cursor = _Cursor(text)
+    _parse_misc(cursor)
+    if not cursor.startswith("<"):
+        raise XMLParseError("document has no root element", cursor.pos)
+    root = _parse_element(
+        cursor, keep_whitespace=keep_whitespace, keep_comments=keep_comments
+    )
+    _parse_misc(cursor)
+    cursor.skip_whitespace()
+    if not cursor.eof():
+        raise XMLParseError("content after the root element", cursor.pos)
+    return Document(root, name=name)

@@ -1,0 +1,268 @@
+"""The experiment drivers must regenerate the paper's numbers/shapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    run_encoding_order_ablation,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_frequent_updates,
+    run_invariant_ablation,
+    run_overflow,
+    run_size_analysis,
+    run_table1,
+    run_table4,
+)
+from repro.bench.reporting import format_number, format_table
+
+
+class TestTable1:
+    def test_totals_match_paper(self):
+        totals = run_table1()["totals"]
+        assert totals == {
+            "V-Binary": 64,
+            "V-CDBS": 64,
+            "F-Binary": 90,
+            "F-CDBS": 90,
+        }
+
+    def test_row_ten_is_single_one(self):
+        rows = run_table1()["rows"]
+        assert rows[9] == (10, "1010", "1", "01010", "10000")
+
+
+class TestSizeAnalysis:
+    def test_reports_cover_counts(self):
+        reports = run_size_analysis(counts=(16, 64))
+        assert [r.count for r in reports] == [16, 64]
+        for report in reports:
+            assert report.vcdbs_raw_measured == report.vbinary_raw_exact
+
+
+class TestTable4:
+    def test_exact_reproduction(self):
+        results = run_table4()
+        assert results["V-Binary-Containment"] == [6596, 5121, 3932, 2431, 1300]
+        assert results["F-Binary-Containment"] == [6596, 5121, 3932, 2431, 1300]
+        assert results["Prime"] == [1320, 1025, 787, 487, 261]
+        for scheme in (
+            "OrdPath1-Prefix",
+            "OrdPath2-Prefix",
+            "QED-Prefix",
+            "Float-point-Containment",
+            "V-CDBS-Containment",
+            "F-CDBS-Containment",
+            "QED-Containment",
+        ):
+            assert results[scheme] == [0, 0, 0, 0, 0], scheme
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def fig5(self):
+        return run_figure5(fraction=0.02, datasets=("D1", "D5"))
+
+    def test_cdbs_equals_binary(self, fig5):
+        for dataset in fig5.values():
+            assert dataset["V-CDBS-Containment"]["avg_bits"] == pytest.approx(
+                dataset["V-Binary-Containment"]["avg_bits"]
+            )
+            assert dataset["F-CDBS-Containment"]["avg_bits"] == pytest.approx(
+                dataset["F-Binary-Containment"]["avg_bits"]
+            )
+
+    def test_prime_largest_of_core_schemes(self, fig5):
+        for dataset in fig5.values():
+            prime = dataset["Prime"]["avg_bits"]
+            for scheme in (
+                "V-CDBS-Containment",
+                "QED-Containment",
+                "QED-Prefix",
+                "OrdPath1-Prefix",
+            ):
+                assert prime > dataset[scheme]["avg_bits"]
+
+    def test_qed_prefix_below_ordpath(self, fig5):
+        for dataset in fig5.values():
+            assert (
+                dataset["QED-Prefix"]["avg_bits"]
+                < dataset["OrdPath1-Prefix"]["avg_bits"]
+            )
+            assert (
+                dataset["QED-Prefix"]["avg_bits"]
+                < dataset["OrdPath2-Prefix"]["avg_bits"]
+            )
+
+    def test_qed_containment_above_vcdbs(self, fig5):
+        for dataset in fig5.values():
+            assert (
+                dataset["QED-Containment"]["avg_bits"]
+                > dataset["V-CDBS-Containment"]["avg_bits"]
+            )
+
+    def test_float_point_larger_than_compact(self, fig5):
+        for dataset in fig5.values():
+            assert (
+                dataset["Float-point-Containment"]["avg_bits"]
+                > dataset["V-CDBS-Containment"]["avg_bits"]
+            )
+
+
+class TestFigure6:
+    def test_shapes(self):
+        results = run_figure6(
+            fraction=0.01,
+            factor=3,
+            schemes=("Prime", "V-CDBS-Containment", "V-Binary-Containment"),
+        )
+        # Prime's size-driven I/O makes the heavy queries slower.
+        assert (
+            results["Prime"]["Q6"]["seconds"]
+            > results["V-CDBS-Containment"]["Q6"]["seconds"]
+        )
+        # All counts agree across schemes (same data, same answers).
+        for query_id in ("Q1", "Q5", "Q6"):
+            counts = {s: results[s][query_id]["count"] for s in results}
+            assert len(set(counts.values())) == 1
+
+
+class TestFigure7:
+    def test_shapes(self):
+        results = run_figure7(
+            schemes=(
+                "Prime",
+                "V-Binary-Containment",
+                "V-CDBS-Containment",
+                "QED-Containment",
+            )
+        )
+        for case in range(5):
+            binary = results["V-Binary-Containment"]["total"][case]
+            cdbs = results["V-CDBS-Containment"]["total"][case]
+            assert binary > cdbs
+            # Prime-vs-Binary is decided on the deterministic modelled
+            # I/O (the measured processing term is noise-sensitive).
+            assert (
+                results["Prime"]["io"][case]
+                > results["V-Binary-Containment"]["io"][case]
+            )
+        # The paper's 1/11 claim: dynamic update time well below 1/5 of
+        # Binary-Containment's on the big cases.
+        assert (
+            results["V-CDBS-Containment"]["total"][0]
+            < results["V-Binary-Containment"]["total"][0] / 5
+        )
+
+
+class TestFrequentUpdates:
+    def test_skewed_collapse_of_float_point(self):
+        results = run_frequent_updates(
+            inserts=150,
+            mode="skewed",
+            schemes=("V-CDBS-Containment", "Float-point-Containment"),
+        )
+        cdbs = results["V-CDBS-Containment"]
+        float_point = results["Float-point-Containment"]
+        assert cdbs["relabel_events"] == 0
+        assert float_point["relabel_events"] >= 5
+        assert (
+            float_point["mean_us_per_insert"] > 5 * cdbs["mean_us_per_insert"]
+        )
+
+    def test_uniform_mode_friendly_to_cdbs(self):
+        results = run_frequent_updates(
+            inserts=80,
+            mode="uniform",
+            schemes=("V-CDBS-Containment", "QED-Containment"),
+        )
+        assert results["V-CDBS-Containment"]["relabel_events"] == 0
+        assert results["QED-Containment"]["relabel_events"] == 0
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            run_frequent_updates(mode="diagonal")
+
+
+class TestOverflow:
+    def test_outcomes(self):
+        outcomes = run_overflow(max_inserts=600)
+        assert outcomes["QED"] is None  # never re-labels
+        assert outcomes["V-CDBS tight field (4 bits)"] is not None
+        assert outcomes["Float-point"] is not None
+        assert outcomes["Float-point"] <= 30
+        tight = outcomes["V-CDBS tight field (4 bits)"]
+        default = outcomes["V-CDBS byte field (default)"]
+        assert default is None or default > tight
+
+
+class TestAblations:
+    def test_invariant_ablation(self):
+        result = run_invariant_ablation(count=128)
+        assert result["cdbs_dead_end_gaps"] == 0
+        assert result["binary_dead_end_gaps"] > 0
+
+    def test_encoding_order_ablation(self):
+        result = run_encoding_order_ablation(count=256)
+        assert result["sequential_total_bits"] > 10 * result["balanced_total_bits"]
+        assert result["sequential_max_bits"] == 256
+        assert result["balanced_max_bits"] <= 9
+
+
+class TestReporting:
+    def test_format_number(self):
+        assert format_number(0.0) == "0"
+        assert format_number(1234.5) == "1,234"
+        assert format_number(3.14159) == "3.14"
+        assert format_number(0.001234) == "0.001234"
+        assert format_number(42) == "42"
+        assert format_number("x") == "x"
+        assert format_number(True) == "True"
+
+    def test_format_table(self):
+        rendered = format_table(
+            ["name", "value"], [["a", 1], ["bb", 22]], title="T"
+        )
+        lines = rendered.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "bb" in lines[-1]
+
+    def test_format_table_empty(self):
+        rendered = format_table(["h1"], [])
+        assert "h1" in rendered
+
+
+class TestExtensionsAndAblations:
+    def test_gap_ablation_fast(self):
+        from repro.bench import run_gap_ablation
+
+        results = run_gap_ablation(gaps=(2, 64), inserts=30)
+        assert results["V-CDBS"]["relabel_events"] == 0
+        assert (
+            results["Gapped(gap=2)"]["relabel_events"]
+            > results["Gapped(gap=64)"]["relabel_events"]
+        )
+        assert (
+            results["Gapped(gap=64)"]["initial_bits_per_node"]
+            > results["Gapped(gap=2)"]["initial_bits_per_node"]
+        )
+
+    def test_adaptive_skew_fast(self):
+        from repro.bench import run_adaptive_skew
+
+        results = run_adaptive_skew(inserts=120, field_bits=5)
+        assert results["QED"]["relabel_events"] == 0
+        local = results["Adaptive-CDBS (local)"]
+        full = results["V-CDBS (full re-label)"]
+        if full["relabel_events"]:
+            assert local["relabeled_nodes"] < full["relabeled_nodes"]
+
+    def test_uniform_size_validity_fast(self):
+        from repro.bench import run_uniform_size_validity
+
+        result = run_uniform_size_validity(inserts=200)
+        assert result["uniform_overhead_ratio"] < 1.1
+        assert result["bulk_max_label_bits"] <= result["uniform_max_label_bits"]

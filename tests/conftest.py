@@ -1,0 +1,47 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets import build_hamlet
+from repro.labeling import scheme_names
+from repro.xmltree import Document, Node, ShapeSpec, generate_element_tree
+
+
+@pytest.fixture(scope="session")
+def hamlet() -> Document:
+    """The Table 4 update target (session-scoped: builders are pure)."""
+    return build_hamlet()
+
+
+@pytest.fixture()
+def fresh_hamlet() -> Document:
+    """A private Hamlet copy for tests that mutate the tree."""
+    return build_hamlet()
+
+
+@pytest.fixture(scope="session")
+def small_document() -> Document:
+    """A small deterministic random document (~300 nodes)."""
+    rng = random.Random(42)
+    # tags[0] names the root's level; children start at tags[1], so the
+    # vocabulary the tests query by ("a", "b", ...) starts there.
+    spec = ShapeSpec(
+        tags=("root", "a", "b", "c", "d"), max_depth=6, subtree_range=(2, 9)
+    )
+    return Document(generate_element_tree("root", 300, spec, rng), "small")
+
+
+def make_small_document(seed: int, size: int = 200) -> Document:
+    """Helper for tests that need several distinct random documents."""
+    rng = random.Random(seed)
+    spec = ShapeSpec(
+        tags=("root", "a", "b", "c"), max_depth=5, subtree_range=(2, 8)
+    )
+    return Document(generate_element_tree("root", size, spec, rng), f"doc{seed}")
+
+
+ALL_SCHEME_NAMES = tuple(scheme_names())

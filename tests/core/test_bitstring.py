@@ -1,0 +1,246 @@
+"""Unit and property tests for BitString (Definition 3.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bitstring import EMPTY, BitString
+
+bitstrings = st.text(alphabet="01", max_size=40).map(BitString.from_str)
+nonempty_bitstrings = st.text(alphabet="01", min_size=1, max_size=40).map(
+    BitString.from_str
+)
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert len(EMPTY) == 0
+        assert EMPTY.to01() == ""
+        assert not EMPTY
+
+    def test_from_str(self):
+        assert BitString.from_str("0011").to01() == "0011"
+
+    def test_from_str_preserves_leading_zeros(self):
+        assert len(BitString.from_str("0001")) == 4
+
+    def test_from_str_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            BitString.from_str("012")
+
+    def test_from_bits(self):
+        assert BitString.from_bits([0, 1, 1]).to01() == "011"
+
+    def test_from_bits_rejects_bad_bit(self):
+        with pytest.raises(ValueError):
+            BitString.from_bits([0, 2])
+
+    def test_from_int_binary_matches_table1(self):
+        # V-Binary column of Table 1.
+        expected = ["1", "10", "11", "100", "101", "110", "111", "1000"]
+        got = [BitString.from_int_binary(i).to01() for i in range(1, 9)]
+        assert got == expected
+
+    def test_from_int_binary_rejects_zero(self):
+        with pytest.raises(ValueError):
+            BitString.from_int_binary(0)
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            BitString(4, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BitString(-1, 4)
+        with pytest.raises(ValueError):
+            BitString(0, -1)
+
+
+class TestLexicographicOrder:
+    def test_example_3_1_bit_difference(self):
+        # "0011" < "01" because the 2nd bit differs.
+        assert BitString.from_str("0011") < BitString.from_str("01")
+
+    def test_example_3_1_prefix(self):
+        # "01" < "0101" because "01" is a prefix.
+        assert BitString.from_str("01") < BitString.from_str("0101")
+
+    def test_example_3_3_zero_prefix(self):
+        assert BitString.from_str("0") < BitString.from_str("00")
+
+    def test_equal(self):
+        assert BitString.from_str("101") == BitString.from_str("101")
+
+    def test_not_equal_different_length(self):
+        assert BitString.from_str("10") != BitString.from_str("100")
+
+    def test_empty_smallest(self):
+        assert EMPTY < BitString.from_str("0")
+        assert EMPTY < BitString.from_str("1")
+
+    def test_total_ordering_helpers(self):
+        a, b = BitString.from_str("01"), BitString.from_str("10")
+        assert a <= b and b >= a and a != b
+
+    @given(bitstrings, bitstrings)
+    def test_order_matches_string_order(self, a, b):
+        # '0' < '1' in ASCII, so plain text comparison realises
+        # Definition 3.1 including the prefix rule.
+        assert (a < b) == (a.to01() < b.to01())
+
+    @given(bitstrings, bitstrings, bitstrings)
+    def test_transitivity(self, a, b, c):
+        if a < b and b < c:
+            assert a < c
+
+    @given(bitstrings, bitstrings)
+    def test_antisymmetry(self, a, b):
+        assert not (a < b and b < a)
+
+
+class TestConcat:
+    def test_concat(self):
+        assert (BitString.from_str("00") + BitString.from_str("11")).to01() == "0011"
+
+    def test_concat_str(self):
+        assert (BitString.from_str("0011") + "1").to01() == "00111"
+
+    def test_concat_empty(self):
+        a = BitString.from_str("101")
+        assert (a + EMPTY) == a
+        assert (EMPTY + a) == a
+
+    @given(bitstrings, bitstrings)
+    def test_concat_length(self, a, b):
+        assert len(a + b) == len(a) + len(b)
+
+    @given(bitstrings, bitstrings)
+    def test_concat_text(self, a, b):
+        assert (a + b).to01() == a.to01() + b.to01()
+
+
+class TestAccessors:
+    def test_indexing(self):
+        bits = BitString.from_str("0110")
+        assert [bits[i] for i in range(4)] == [0, 1, 1, 0]
+
+    def test_negative_indexing(self):
+        assert BitString.from_str("011")[-1] == 1
+
+    def test_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            BitString.from_str("01")[2]
+
+    def test_slice(self):
+        assert BitString.from_str("01101")[1:4].to01() == "110"
+
+    def test_slice_empty(self):
+        assert BitString.from_str("01")[1:1] == EMPTY
+
+    def test_slice_with_step_rejected(self):
+        with pytest.raises(ValueError):
+            BitString.from_str("0101")[::2]
+
+    def test_iter(self):
+        assert list(BitString.from_str("101")) == [1, 0, 1]
+
+    def test_ends_with_one(self):
+        assert BitString.from_str("01").ends_with_one()
+        assert not BitString.from_str("10").ends_with_one()
+        assert not EMPTY.ends_with_one()
+
+    def test_is_prefix_of(self):
+        a, b = BitString.from_str("01"), BitString.from_str("0101")
+        assert a.is_prefix_of(b)
+        assert not b.is_prefix_of(a)
+        assert a.is_prefix_of(a)
+        assert EMPTY.is_prefix_of(a)
+
+    def test_common_prefix_length(self):
+        a, b = BitString.from_str("0011"), BitString.from_str("01")
+        assert a.common_prefix_length(b) == 1
+        assert a.common_prefix_length(a) == 4
+
+    @given(bitstrings, bitstrings)
+    def test_common_prefix_is_prefix(self, a, b):
+        k = a.common_prefix_length(b)
+        assert a[:k] == b[:k]
+        if k < min(len(a), len(b)):
+            assert a[k] != b[k]
+
+    def test_hashable(self):
+        assert len({BitString.from_str("01"), BitString.from_str("01")}) == 1
+
+    def test_value(self):
+        assert BitString.from_str("0101").value == 5
+
+
+class TestDerivation:
+    def test_append_bit(self):
+        assert BitString.from_str("01").append_bit(1).to01() == "011"
+
+    def test_append_bad_bit(self):
+        with pytest.raises(ValueError):
+            BitString.from_str("01").append_bit(2)
+
+    def test_drop_last(self):
+        assert BitString.from_str("011").drop_last().to01() == "01"
+
+    def test_drop_last_empty(self):
+        with pytest.raises(ValueError):
+            EMPTY.drop_last()
+
+    def test_pad_right(self):
+        assert BitString.from_str("01").pad_right(4).to01() == "0100"
+
+    def test_pad_right_too_small(self):
+        with pytest.raises(ValueError):
+            BitString.from_str("0101").pad_right(2)
+
+    def test_pad_left(self):
+        assert BitString.from_str("11").pad_left(5).to01() == "00011"
+
+    def test_strip_trailing_zeros(self):
+        assert BitString.from_str("01100").strip_trailing_zeros().to01() == "011"
+
+    def test_strip_all_zeros(self):
+        assert BitString.from_str("000").strip_trailing_zeros() == EMPTY
+
+    @given(nonempty_bitstrings, st.integers(min_value=0, max_value=8))
+    def test_pad_then_strip_roundtrip(self, code, extra):
+        if not code.ends_with_one():
+            code = code.append_bit(1)
+        padded = code.pad_right(len(code) + extra)
+        assert padded.strip_trailing_zeros() == code
+
+    @given(nonempty_bitstrings)
+    def test_pad_right_preserves_order_for_one_terminated(self, code):
+        # F-CDBS relies on right-padding not disturbing order of codes
+        # that end with "1".
+        if not code.ends_with_one():
+            code = code.append_bit(1)
+        wider = code.pad_right(len(code) + 3)
+        other = code + "1"
+        assert (code < other) == (wider < other.pad_right(len(other) + 3))
+
+
+class TestStorage:
+    def test_to_bytes_empty(self):
+        assert EMPTY.to_bytes() == b""
+
+    def test_to_bytes_alignment(self):
+        assert BitString.from_str("1").to_bytes() == b"\x80"
+        assert BitString.from_str("00000001").to_bytes() == b"\x01"
+
+    def test_to_bytes_multibyte(self):
+        assert BitString.from_str("111111111").to_bytes() == b"\xff\x80"
+
+    def test_storage_bits(self):
+        assert BitString.from_str("0101").storage_bits() == 4
+
+    def test_repr_and_str(self):
+        code = BitString.from_str("011")
+        assert "011" in repr(code)
+        assert str(code) == "011"

@@ -1,0 +1,145 @@
+"""Algorithm 2 (V-CDBS / F-CDBS): Table 1 and Theorems 4.1–4.4."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cdbs import (
+    fbinary_encode,
+    fcdbs_encode,
+    max_code_bits,
+    vbinary_encode,
+    vcdbs_encode,
+    vcdbs_position,
+)
+from repro.core.bitstring import BitString
+from repro.errors import InvalidCodeError
+
+TABLE1_V_CDBS = [
+    "00001", "0001", "001", "0011", "01", "01001", "0101", "011", "0111",
+    "1", "10001", "1001", "101", "1011", "11", "1101", "111", "1111",
+]
+TABLE1_F_CDBS = [
+    "00001", "00010", "00100", "00110", "01000", "01001", "01010", "01100",
+    "01110", "10000", "10001", "10010", "10100", "10110", "11000", "11010",
+    "11100", "11110",
+]
+TABLE1_V_BINARY = [
+    "1", "10", "11", "100", "101", "110", "111", "1000", "1001", "1010",
+    "1011", "1100", "1101", "1110", "1111", "10000", "10001", "10010",
+]
+
+
+class TestTable1Exact:
+    """Experiment E1: the paper's Table 1 must reproduce bit-for-bit."""
+
+    def test_v_cdbs_codes(self):
+        assert [c.to01() for c in vcdbs_encode(18)] == TABLE1_V_CDBS
+
+    def test_f_cdbs_codes(self):
+        assert [c.to01() for c in fcdbs_encode(18)] == TABLE1_F_CDBS
+
+    def test_v_binary_codes(self):
+        assert [c.to01() for c in vbinary_encode(18)] == TABLE1_V_BINARY
+
+    def test_f_binary_codes(self):
+        assert [c.to01() for c in fbinary_encode(18)] == [
+            code.zfill(5) for code in TABLE1_V_BINARY
+        ]
+
+    def test_total_bits_64(self):
+        assert sum(len(c) for c in vcdbs_encode(18)) == 64
+        assert sum(len(c) for c in vbinary_encode(18)) == 64
+
+    def test_total_bits_90(self):
+        assert sum(len(c) for c in fcdbs_encode(18)) == 90
+        assert sum(len(c) for c in fbinary_encode(18)) == 90
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("count", [1, 2, 3, 5, 16, 17, 100, 1023, 1024])
+    def test_theorem_4_3_sorted(self, count):
+        codes = vcdbs_encode(count)
+        assert all(a < b for a, b in zip(codes, codes[1:]))
+
+    @pytest.mark.parametrize("count", [1, 2, 7, 64, 500])
+    def test_lemma_4_2_all_end_with_one(self, count):
+        assert all(code.ends_with_one() for code in vcdbs_encode(count))
+
+    @pytest.mark.parametrize("count", [1, 2, 7, 31, 32, 33, 255, 256, 1000])
+    def test_theorem_4_4_compactness(self, count):
+        """The multiset of V-CDBS code lengths equals V-Binary's."""
+        cdbs_lengths = sorted(len(c) for c in vcdbs_encode(count))
+        binary_lengths = sorted(len(c) for c in vbinary_encode(count))
+        assert cdbs_lengths == binary_lengths
+
+    @pytest.mark.parametrize("count", [1, 2, 18, 100])
+    def test_theorem_4_1_encodes_all(self, count):
+        codes = vcdbs_encode(count)
+        assert len(codes) == count
+        assert len(set(codes)) == count
+
+    def test_fcdbs_is_padded_vcdbs(self):
+        width = max_code_bits(100)
+        variable = vcdbs_encode(100)
+        fixed = fcdbs_encode(100)
+        assert all(
+            f == v.pad_right(width) for v, f in zip(variable, fixed)
+        )
+
+    def test_fcdbs_all_same_width(self):
+        assert {len(c) for c in fcdbs_encode(300)} == {max_code_bits(300)}
+
+    def test_fcdbs_sorted(self):
+        codes = fcdbs_encode(300)
+        assert all(a < b for a, b in zip(codes, codes[1:]))
+
+    @given(st.integers(min_value=1, max_value=2048))
+    @settings(max_examples=30)
+    def test_property_sorted_and_compact(self, count):
+        codes = vcdbs_encode(count)
+        assert all(a < b for a, b in zip(codes, codes[1:]))
+        assert sum(len(c) for c in codes) == sum(
+            i.bit_length() for i in range(1, count + 1)
+        )
+
+
+class TestValidation:
+    @pytest.mark.parametrize("func", [vcdbs_encode, fcdbs_encode, vbinary_encode, fbinary_encode])
+    def test_rejects_non_positive(self, func):
+        with pytest.raises(ValueError):
+            func(0)
+        with pytest.raises(ValueError):
+            func(-3)
+
+    def test_max_code_bits(self):
+        assert max_code_bits(18) == 5
+        assert max_code_bits(1) == 1
+        assert max_code_bits(15) == 4
+        assert max_code_bits(16) == 5
+        with pytest.raises(ValueError):
+            max_code_bits(0)
+
+
+class TestPositionInversion:
+    """Section 5.1: positions recoverable 'by calculations only'."""
+
+    @pytest.mark.parametrize("count", [1, 2, 5, 18, 100, 257])
+    def test_roundtrip_all(self, count):
+        for position, code in enumerate(vcdbs_encode(count), start=1):
+            assert vcdbs_position(code, count) == position
+
+    def test_rejects_non_cdbs_code(self):
+        with pytest.raises(InvalidCodeError):
+            vcdbs_position(BitString.from_str("10"), 18)  # ends with 0
+
+    def test_rejects_foreign_code(self):
+        # A valid-looking code that is not in the bulk encoding of 1..18.
+        with pytest.raises(InvalidCodeError):
+            vcdbs_position(BitString.from_str("010101"), 18)
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            vcdbs_position(BitString.from_str("1"), 0)

@@ -1,0 +1,170 @@
+"""Algorithm 1 (AssignMiddleBinaryString): Theorem 3.1 and Corollary 3.3."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitstring import EMPTY, BitString
+from repro.core.middle import (
+    assign_middle_binary_string,
+    assign_middle_pair,
+    assign_middle_run,
+)
+from repro.errors import InvalidCodeError, NotOrderedError
+
+
+def bits(text: str) -> BitString:
+    return BitString.from_str(text)
+
+
+# Valid CDBS-style codes: end with "1".
+codes = st.text(alphabet="01", max_size=24).map(
+    lambda t: BitString.from_str(t + "1")
+)
+
+
+class TestCases:
+    def test_case1_example_3_2(self):
+        # size("0011") >= size("01") -> concatenate "1".
+        assert assign_middle_binary_string(bits("0011"), bits("01")) == bits("00111")
+
+    def test_case2_example_3_2(self):
+        # size("01") < size("0101") -> last "1" becomes "01".
+        assert assign_middle_binary_string(bits("01"), bits("0101")) == bits("01001")
+
+    def test_both_empty(self):
+        assert assign_middle_binary_string(EMPTY, EMPTY) == bits("1")
+
+    def test_left_empty(self):
+        # size(empty) < size("1"): case 2.
+        assert assign_middle_binary_string(EMPTY, bits("1")) == bits("01")
+
+    def test_right_empty(self):
+        # size("1") >= size(empty): case 1.
+        assert assign_middle_binary_string(bits("1"), EMPTY) == bits("11")
+
+    def test_equal_sizes(self):
+        assert assign_middle_binary_string(bits("01"), bits("11")) == bits("011")
+
+
+class TestValidation:
+    def test_rejects_left_not_ending_one(self):
+        with pytest.raises(InvalidCodeError):
+            assign_middle_binary_string(bits("10"), bits("11"))
+
+    def test_rejects_right_not_ending_one(self):
+        with pytest.raises(InvalidCodeError):
+            assign_middle_binary_string(bits("01"), bits("10"))
+
+    def test_rejects_unordered(self):
+        with pytest.raises(NotOrderedError):
+            assign_middle_binary_string(bits("11"), bits("01"))
+
+    def test_rejects_equal(self):
+        with pytest.raises(NotOrderedError):
+            assign_middle_binary_string(bits("01"), bits("01"))
+
+
+class TestTheorem31:
+    """S_L < S_M < S_R for arbitrary valid inputs."""
+
+    @given(codes, codes)
+    def test_strictly_between(self, a, b):
+        if a == b:
+            return
+        left, right = (a, b) if a < b else (b, a)
+        middle = assign_middle_binary_string(left, right)
+        assert left < middle < right
+
+    @given(codes, codes)
+    def test_lemma_3_2_ends_with_one(self, a, b):
+        if a == b:
+            return
+        left, right = (a, b) if a < b else (b, a)
+        assert assign_middle_binary_string(left, right).ends_with_one()
+
+    @given(codes)
+    def test_open_left(self, code):
+        middle = assign_middle_binary_string(EMPTY, code)
+        assert middle < code and middle.ends_with_one()
+
+    @given(codes)
+    def test_open_right(self, code):
+        middle = assign_middle_binary_string(code, EMPTY)
+        assert code < middle and middle.ends_with_one()
+
+
+class TestCorollary33:
+    def test_pair_ordered(self):
+        m1, m2 = assign_middle_pair(bits("0011"), bits("01"))
+        assert bits("0011") < m1 < m2 < bits("01")
+
+    def test_paper_example_section_521(self):
+        # Inserting two values between the codes of 4 and 5 in Table 1.
+        m1, m2 = assign_middle_pair(bits("0011"), bits("01"))
+        assert m1 == bits("00111")
+        assert m2 == bits("001111")
+
+    @given(codes, codes)
+    def test_pair_property(self, a, b):
+        if a == b:
+            return
+        left, right = (a, b) if a < b else (b, a)
+        m1, m2 = assign_middle_pair(left, right)
+        assert left < m1 < m2 < right
+        assert m1.ends_with_one() and m2.ends_with_one()
+
+
+class TestMiddleRun:
+    def test_empty_run(self):
+        assert assign_middle_run(bits("01"), bits("11"), 0) == []
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            assign_middle_run(bits("01"), bits("11"), -1)
+
+    @given(codes, codes, st.integers(min_value=1, max_value=40))
+    def test_run_ordered_and_bounded(self, a, b, count):
+        if a == b:
+            return
+        left, right = (a, b) if a < b else (b, a)
+        run = assign_middle_run(left, right, count)
+        assert len(run) == count
+        chain = [left, *run, right]
+        assert all(x < y for x, y in zip(chain, chain[1:]))
+
+    def test_run_is_balanced(self):
+        # Balanced bisection keeps growth logarithmic: 63 codes into an
+        # open gap must peak well below 63 bits.
+        run = assign_middle_run(EMPTY, EMPTY, 63)
+        assert max(len(code) for code in run) <= 7
+
+
+class TestCompoundedInsertions:
+    """Arbitrary insertion sequences never disturb existing codes."""
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(min_value=0, max_value=1_000_000), min_size=1, max_size=120))
+    def test_random_insertion_positions(self, positions):
+        ordered: list[BitString] = []
+        for raw in positions:
+            index = raw % (len(ordered) + 1)
+            left = ordered[index - 1] if index > 0 else EMPTY
+            right = ordered[index] if index < len(ordered) else EMPTY
+            ordered.insert(index, assign_middle_binary_string(left, right))
+            # The full list stays strictly sorted after EVERY insertion.
+        assert all(a < b for a, b in zip(ordered, ordered[1:]))
+
+    def test_skewed_growth_is_linear_in_inserts(self):
+        # Cohen et al.'s lower bound: a fixed-place insertion stream must
+        # grow some label to O(N); Algorithm 1 grows ~1 bit per insert.
+        left, right = bits("01"), bits("1")
+        sizes = []
+        for _ in range(64):
+            middle = assign_middle_binary_string(left, right)
+            sizes.append(len(middle))
+            right = middle  # keep inserting before `right`
+        assert sizes[-1] <= len(bits("01")) + 2 * 64
+        assert sizes == sorted(sizes)

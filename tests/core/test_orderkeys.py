@@ -1,0 +1,167 @@
+"""OrderKeyFactory: the Property 5.1 public API."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.orderkeys import OrderKey, OrderKeyFactory
+from repro.errors import InvalidCodeError, LengthFieldOverflow
+
+
+@pytest.fixture(params=["cdbs", "qed"])
+def factory(request) -> OrderKeyFactory:
+    return OrderKeyFactory(request.param)
+
+
+class TestFactoryBasics:
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            OrderKeyFactory("dewey")
+
+    def test_initial_empty(self, factory):
+        assert factory.initial(0) == []
+
+    def test_initial_negative(self, factory):
+        with pytest.raises(ValueError):
+            factory.initial(-1)
+
+    def test_initial_sorted(self, factory):
+        keys = factory.initial(50)
+        assert len(keys) == 50
+        assert factory.validate_sorted(keys)
+
+    def test_cdbs_initial_matches_example_5_1(self):
+        # Four children get 001, 01, 1, 11 (Example 5.1).
+        keys = OrderKeyFactory("cdbs").initial(4)
+        assert [str(k) for k in keys] == ["001", "01", "1", "11"]
+
+    def test_between(self, factory):
+        a, b = factory.initial(2)
+        middle = factory.between(a, b)
+        assert a < middle < b
+
+    def test_before_after(self, factory):
+        (key,) = factory.initial(1)
+        assert factory.before(key) < key < factory.after(key)
+
+    def test_first_key(self, factory):
+        first = factory.between(None, None)
+        assert isinstance(first, OrderKey)
+
+    def test_run_between(self, factory):
+        a, b = factory.initial(2)
+        run = factory.run_between(a, b, 10)
+        chain = [a, *run, b]
+        assert all(x < y for x, y in zip(chain, chain[1:]))
+
+    def test_run_between_zero(self, factory):
+        a, b = factory.initial(2)
+        assert factory.run_between(a, b, 0) == []
+
+    def test_run_between_negative(self, factory):
+        a, b = factory.initial(2)
+        with pytest.raises(ValueError):
+            factory.run_between(a, b, -2)
+
+    def test_run_between_open_ends(self, factory):
+        run = factory.run_between(None, None, 25)
+        assert factory.validate_sorted(run)
+
+
+class TestKeySemantics:
+    def test_cross_backend_comparison_rejected(self):
+        cdbs_key = OrderKeyFactory("cdbs").initial(1)[0]
+        qed_key = OrderKeyFactory("qed").initial(1)[0]
+        with pytest.raises(TypeError):
+            _ = cdbs_key < qed_key
+
+    def test_comparison_with_non_key_rejected(self):
+        key = OrderKeyFactory("cdbs").initial(1)[0]
+        with pytest.raises(TypeError):
+            _ = key < "1"
+
+    def test_equality_and_hash(self, factory):
+        a, b = factory.initial(2)
+        assert a == factory.initial(2)[0]
+        assert a != b
+        assert len({a, factory.initial(2)[0]}) == 1
+
+    def test_equality_with_other_type(self, factory):
+        assert factory.initial(1)[0] != object()
+
+    def test_repr(self, factory):
+        assert factory.backend in repr(factory.initial(1)[0])
+
+    def test_storage_bits(self):
+        # V-CDBS of 1..3 is "01", "1", "11".
+        cdbs = OrderKeyFactory("cdbs").initial(3)
+        assert [k.storage_bits for k in cdbs] == [2, 1, 2]
+        qed = OrderKeyFactory("qed").initial(1)
+        assert qed[0].storage_bits == 2
+
+    def test_parse_roundtrip(self, factory):
+        for key in factory.initial(10):
+            assert factory.parse(str(key)) == key
+
+    def test_parse_rejects_invalid_cdbs(self):
+        with pytest.raises(InvalidCodeError):
+            OrderKeyFactory("cdbs").parse("10")  # ends with 0
+
+    def test_parse_rejects_invalid_qed(self):
+        with pytest.raises(InvalidCodeError):
+            OrderKeyFactory("qed").parse("21")
+
+    def test_foreign_key_rejected(self):
+        qed_key = OrderKeyFactory("qed").initial(1)[0]
+        with pytest.raises(TypeError):
+            OrderKeyFactory("cdbs").after(qed_key)
+
+    def test_string_order_matches_key_order(self, factory):
+        """Persisting str(key) in any bytewise-ordered store is safe."""
+        keys = factory.initial(64)
+        texts = [str(k) for k in keys]
+        assert texts == sorted(texts)
+
+
+class TestOverflowBehaviour:
+    def test_cdbs_overflows_under_skew(self):
+        factory = OrderKeyFactory("cdbs", max_code_bits=16)
+        left, right = factory.initial(2)
+        with pytest.raises(LengthFieldOverflow):
+            for _ in range(100):
+                right = factory.between(left, right)
+
+    def test_cdbs_unbounded_field(self):
+        factory = OrderKeyFactory("cdbs", max_code_bits=None)
+        left, right = factory.initial(2)
+        for _ in range(300):
+            right = factory.between(left, right)
+        assert left < right
+
+    def test_qed_never_overflows(self):
+        factory = OrderKeyFactory("qed")
+        left, right = factory.initial(2)
+        for _ in range(300):
+            right = factory.between(left, right)
+        assert left < right
+
+
+class TestPropertyBased:
+    @settings(max_examples=40)
+    @given(
+        st.sampled_from(["cdbs", "qed"]),
+        st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=80),
+    )
+    def test_arbitrary_insertions_stay_sorted(self, backend, positions):
+        factory = OrderKeyFactory(backend, max_code_bits=None)
+        keys: list[OrderKey] = []
+        for raw in positions:
+            index = raw % (len(keys) + 1)
+            left = keys[index - 1] if index > 0 else None
+            right = keys[index] if index < len(keys) else None
+            keys.insert(index, factory.between(left, right))
+        assert factory.validate_sorted(keys)
+        texts = [str(k) for k in keys]
+        assert texts == sorted(texts)

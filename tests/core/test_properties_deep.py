@@ -1,0 +1,107 @@
+"""Deeper cross-cutting properties of the core encodings."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitstring import EMPTY, BitString
+from repro.core.cdbs import (
+    fcdbs_encode,
+    max_code_bits,
+    vbinary_encode,
+    vcdbs_encode,
+    vcdbs_position,
+)
+from repro.core.middle import assign_middle_binary_string
+from repro.core.qed import assign_middle_quaternary, qed_encode
+
+
+class TestInsertionCompactness:
+    @settings(max_examples=40)
+    @given(
+        st.integers(min_value=2, max_value=600),
+        st.integers(min_value=0, max_value=10**9),
+    )
+    def test_middle_between_bulk_neighbors_grows_one_bit(self, count, pick):
+        """Inserting between adjacent bulk codes costs at most one bit
+        over the longer neighbour — the paper's cheap-insert claim."""
+        codes = vcdbs_encode(count)
+        index = pick % (count - 1)
+        left, right = codes[index], codes[index + 1]
+        middle = assign_middle_binary_string(left, right)
+        assert len(middle) <= max(len(left), len(right)) + 1
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=1, max_value=400))
+    def test_bulk_codes_bounded_by_maxlen(self, count):
+        assert max(len(c) for c in vcdbs_encode(count)) == max_code_bits(count)
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=1, max_value=400))
+    def test_fcdbs_strip_recovers_vcdbs(self, count):
+        stripped = [c.strip_trailing_zeros() for c in fcdbs_encode(count)]
+        assert stripped == vcdbs_encode(count)
+
+
+class TestPositionInverse:
+    @settings(max_examples=30)
+    @given(
+        st.integers(min_value=1, max_value=800),
+        st.integers(min_value=0, max_value=10**9),
+    )
+    def test_position_roundtrip_property(self, count, pick):
+        position = pick % count + 1
+        code = vcdbs_encode(count)[position - 1]
+        assert vcdbs_position(code, count) == position
+
+
+class TestCrossEncodingSizes:
+    @settings(max_examples=25)
+    @given(st.integers(min_value=1, max_value=1500))
+    def test_vcdbs_exactly_matches_binary_total(self, count):
+        cdbs = sum(len(c) for c in vcdbs_encode(count))
+        binary = sum(len(c) for c in vbinary_encode(count))
+        assert cdbs == binary
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=1, max_value=729))
+    def test_qed_symbol_count_tracks_log3(self, count):
+        import math
+
+        codes = qed_encode(count)
+        bound = math.ceil(math.log(count + 2, 3)) + 2
+        assert max(len(c) for c in codes) <= bound
+
+
+class TestMixedBackendInterleaving:
+    @settings(max_examples=25)
+    @given(st.lists(st.booleans(), min_size=1, max_size=60))
+    def test_cdbs_and_qed_insert_streams_stay_consistent(self, where):
+        """The two encodings run side by side on the same logical list
+        and must agree on every relative order."""
+        cdbs: list[BitString] = []
+        qed: list[str] = []
+        for go_left in where:
+            index = 0 if go_left else len(cdbs)
+            c_left = cdbs[index - 1] if index > 0 else EMPTY
+            c_right = cdbs[index] if index < len(cdbs) else EMPTY
+            cdbs.insert(index, assign_middle_binary_string(c_left, c_right))
+            q_left = qed[index - 1] if index > 0 else ""
+            q_right = qed[index] if index < len(qed) else ""
+            qed.insert(index, assign_middle_quaternary(q_left, q_right))
+        cdbs_ranks = sorted(range(len(cdbs)), key=lambda i: cdbs[i])
+        qed_ranks = sorted(range(len(qed)), key=lambda i: qed[i])
+        assert cdbs_ranks == qed_ranks
+
+
+class TestBytesPacking:
+    @settings(max_examples=40)
+    @given(st.text(alphabet="01", min_size=1, max_size=64))
+    def test_to_bytes_left_aligned(self, bits):
+        code = BitString.from_str(bits)
+        packed = code.to_bytes()
+        assert len(packed) == -(-len(bits) // 8)
+        unpacked = "".join(f"{byte:08b}" for byte in packed)[: len(bits)]
+        assert unpacked == bits

@@ -1,0 +1,159 @@
+"""QED quaternary encoding (Section 6): order, insertion, no overflow."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.qed import (
+    assign_middle_quaternary,
+    assign_quaternary_pair,
+    qed_code_bits,
+    qed_encode,
+    qed_stored_bits,
+    validate_qed_code,
+)
+from repro.errors import InvalidCodeError, NotOrderedError
+
+# Valid QED codes: symbols 1/2/3, terminated by 2 or 3.
+qed_codes = st.tuples(
+    st.text(alphabet="123", max_size=12), st.sampled_from("23")
+).map(lambda pair: pair[0] + pair[1])
+
+
+class TestValidation:
+    def test_valid(self):
+        validate_qed_code("2")
+        validate_qed_code("132")
+        validate_qed_code("3")
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidCodeError):
+            validate_qed_code("")
+
+    def test_empty_allowed_flag(self):
+        validate_qed_code("", allow_empty=True)
+
+    def test_separator_symbol_rejected(self):
+        with pytest.raises(InvalidCodeError):
+            validate_qed_code("102")
+
+    def test_bad_terminator(self):
+        with pytest.raises(InvalidCodeError):
+            validate_qed_code("21")
+
+    def test_non_quaternary(self):
+        with pytest.raises(InvalidCodeError):
+            validate_qed_code("2a3")
+
+
+class TestBulkEncoding:
+    def test_known_small_table(self):
+        # The canonical QED code sequence from the CIKM'05 paper.
+        assert qed_encode(18) == [
+            "112", "12", "122", "13", "132", "2", "212", "22", "222",
+            "223", "23", "232", "3", "312", "32", "322", "33", "332",
+        ]
+
+    def test_single(self):
+        assert qed_encode(1) == ["2"]
+
+    def test_two(self):
+        assert qed_encode(2) == ["2", "3"]
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            qed_encode(0)
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 4, 9, 27, 28, 100, 729, 1000])
+    def test_sorted_and_valid(self, count):
+        codes = qed_encode(count)
+        assert len(codes) == count
+        assert all(a < b for a, b in zip(codes, codes[1:]))
+        for code in codes:
+            validate_qed_code(code)
+
+    def test_length_grows_with_log3(self):
+        # Ternary recursion: 3^k codes need about k symbols.
+        codes = qed_encode(729)
+        assert max(len(c) for c in codes) <= 9
+
+
+class TestInsertion:
+    def test_between_examples(self):
+        assert assign_middle_quaternary("", "") == "2"
+        assert assign_middle_quaternary("2", "") == "3"
+        assert assign_middle_quaternary("", "2") == "12"
+        assert assign_middle_quaternary("2", "3") == "22"
+
+    def test_deletion_gap_regression(self):
+        # After deletions the pair ("2", "23") can become adjacent; the
+        # naive tail-shrink rule would return "2" itself.
+        middle = assign_middle_quaternary("2", "23")
+        assert "2" < middle < "23"
+
+    def test_rejects_unordered(self):
+        with pytest.raises(NotOrderedError):
+            assign_middle_quaternary("3", "2")
+
+    def test_rejects_invalid(self):
+        with pytest.raises(InvalidCodeError):
+            assign_middle_quaternary("20", "3")
+
+    @given(qed_codes, qed_codes)
+    def test_strictly_between(self, a, b):
+        if a == b:
+            return
+        left, right = (a, b) if a < b else (b, a)
+        middle = assign_middle_quaternary(left, right)
+        assert left < middle < right
+        validate_qed_code(middle)
+
+    @given(qed_codes)
+    def test_open_ends(self, code):
+        before = assign_middle_quaternary("", code)
+        after = assign_middle_quaternary(code, "")
+        assert before < code < after
+        validate_qed_code(before)
+        validate_qed_code(after)
+
+    @given(qed_codes, qed_codes)
+    def test_pair(self, a, b):
+        if a == b:
+            return
+        left, right = (a, b) if a < b else (b, a)
+        m1, m2 = assign_quaternary_pair(left, right)
+        assert left < m1 < m2 < right
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=150))
+    def test_never_overflows(self, positions):
+        """QED absorbs arbitrary insertion sequences — no exception, no
+        re-ordering, ever (the Section 6 claim)."""
+        ordered: list[str] = []
+        for raw in positions:
+            index = raw % (len(ordered) + 1)
+            left = ordered[index - 1] if index > 0 else ""
+            right = ordered[index] if index < len(ordered) else ""
+            ordered.insert(index, assign_middle_quaternary(left, right))
+        assert all(a < b for a, b in zip(ordered, ordered[1:]))
+
+
+class TestStorageBits:
+    def test_code_bits(self):
+        assert qed_code_bits("2") == 2
+        assert qed_code_bits("132") == 6
+
+    def test_stored_bits_includes_separator(self):
+        assert qed_stored_bits("2") == 4
+        assert qed_stored_bits("132") == 8
+
+    def test_qed_larger_than_cdbs_but_close(self):
+        """Figure 5's QED-vs-CDBS size relation: bigger, within ~2x."""
+        from repro.core.cdbs import vcdbs_encode
+
+        count = 1000
+        qed_total = sum(qed_stored_bits(c) for c in qed_encode(count))
+        cdbs_total = sum(len(c) + 4 for c in vcdbs_encode(count))
+        assert cdbs_total < qed_total < 2 * cdbs_total

@@ -1,0 +1,112 @@
+"""Section 4.2 size analysis: formulas vs exact counts (experiment E2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.cdbs import vcdbs_encode
+from repro.core.sizes import (
+    SizeReport,
+    fbinary_total_bits_exact,
+    fbinary_total_bits_formula,
+    length_field_bits,
+    length_field_total_bits_exact,
+    measured_total_bits,
+    vbinary_raw_bits_exact,
+    vbinary_raw_bits_formula,
+    vbinary_total_bits_formula,
+    vcdbs_raw_bits_exact,
+)
+
+
+class TestExactCounts:
+    def test_example_4_1_raw_64(self):
+        assert vbinary_raw_bits_exact(18) == 64
+        assert vcdbs_raw_bits_exact(18) == 64
+
+    def test_example_4_2_total_118(self):
+        # 3 bits of length field per code: 3*18 + 64 = 118.
+        assert length_field_bits(18) == 3
+        assert vbinary_raw_bits_exact(18) + length_field_total_bits_exact(18) == 118
+
+    def test_small_counts(self):
+        assert vbinary_raw_bits_exact(1) == 1
+        assert vbinary_raw_bits_exact(2) == 3
+        assert vbinary_raw_bits_exact(3) == 5
+
+    @pytest.mark.parametrize("count", [1, 2, 10, 100, 1000])
+    def test_raw_matches_bit_lengths(self, count):
+        assert vbinary_raw_bits_exact(count) == sum(
+            i.bit_length() for i in range(1, count + 1)
+        )
+
+    def test_fbinary_total(self):
+        # 18 codes of 5 bits plus one 3-bit width field.
+        assert fbinary_total_bits_exact(18) == 18 * 5 + 3
+
+    def test_rejects_non_positive(self):
+        for func in (
+            vbinary_raw_bits_exact,
+            fbinary_total_bits_exact,
+            length_field_bits,
+        ):
+            with pytest.raises(ValueError):
+                func(0)
+
+
+class TestFormulaAgreement:
+    """Paper formulas (ceilings dropped) track exact counts closely at
+    the N = 2^(n+1) - 1 points they were derived for."""
+
+    @pytest.mark.parametrize("exponent", [3, 5, 8, 10, 14])
+    def test_formula_1_exact_at_powers(self, exponent):
+        count = (1 << exponent) - 1
+        assert vbinary_raw_bits_formula(count) == pytest.approx(
+            vbinary_raw_bits_exact(count), rel=1e-9
+        )
+
+    @pytest.mark.parametrize("count", [100, 1000, 10_000])
+    def test_formula_1_within_bound(self, count):
+        # Between the exact points the smooth formula is within N bits.
+        assert abs(
+            vbinary_raw_bits_formula(count) - vbinary_raw_bits_exact(count)
+        ) <= count
+
+    @pytest.mark.parametrize("count", [64, 256, 1024])
+    def test_formula_5_tracks_fbinary(self, count):
+        exact = fbinary_total_bits_exact(count)
+        formula = fbinary_total_bits_formula(count)
+        assert abs(formula - exact) / exact < 0.2
+
+    def test_formula_3_exceeds_formula_2(self):
+        # Length fields only add bits.
+        for count in (16, 256, 4096):
+            assert vbinary_total_bits_formula(count) > vbinary_raw_bits_formula(count)
+
+
+class TestMeasured:
+    def test_measured_no_field(self):
+        codes = vcdbs_encode(18)
+        assert measured_total_bits(codes, with_length_field=False) == 64
+
+    def test_measured_with_field(self):
+        codes = vcdbs_encode(18)
+        assert measured_total_bits(codes, with_length_field=True) == 118
+
+    def test_measured_empty(self):
+        assert measured_total_bits([], with_length_field=True) == 0
+
+    @pytest.mark.parametrize("count", [16, 255, 1024])
+    def test_size_report_consistency(self, count):
+        report = SizeReport.for_count(count)
+        assert report.vcdbs_raw_measured == report.vbinary_raw_exact
+        assert report.vbinary_total_exact >= report.vbinary_raw_exact
+        assert report.count == count
+
+    def test_vcdbs_never_beats_entropy(self):
+        # Sanity: no encoding of N distinct codes uses < N-1 bits total
+        # comparisons aside; CDBS meets the binary bound exactly.
+        report = SizeReport.for_count(512)
+        assert report.vcdbs_raw_measured >= 512 * math.floor(math.log2(512)) - 512

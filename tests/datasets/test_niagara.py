@@ -1,0 +1,65 @@
+"""The D1–D6 stand-ins: exact totals, Table 2 shape targets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import DATASET_SPECS, build_dataset, dataset_names
+
+
+class TestRegistry:
+    def test_dataset_names(self):
+        assert dataset_names() == ["D1", "D2", "D3", "D4", "D5", "D6"]
+
+    def test_specs_present_for_generated_sets(self):
+        assert set(DATASET_SPECS) == {"D1", "D2", "D3", "D4", "D6"}
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            build_dataset("D9")
+
+    @pytest.mark.parametrize("fraction", [0, -0.5, 1.5])
+    def test_bad_fraction(self, fraction):
+        with pytest.raises(ValueError):
+            build_dataset("D1", fraction=fraction)
+
+
+class TestShapes:
+    @pytest.mark.parametrize("name", ["D1", "D2", "D3"])
+    def test_fractional_totals_exact(self, name):
+        spec = DATASET_SPECS[name]
+        collection = build_dataset(name, fraction=0.1)
+        assert collection.total_nodes() == int(spec.total_nodes * 0.1)
+
+    def test_d5_fraction(self):
+        collection = build_dataset("D5", fraction=0.05)
+        assert collection.total_nodes() == int(179_689 * 0.05)
+
+    def test_full_d1_matches_table2(self):
+        spec = DATASET_SPECS["D1"]
+        collection = build_dataset("D1")
+        stats = collection.stats()
+        assert stats["total_nodes"] == spec.total_nodes == 26_044
+        assert stats["files"] == spec.files == 490
+        assert stats["max_depth"] <= spec.max_depth
+
+    def test_depth_limits_respected(self):
+        for name in ("D1", "D2", "D3"):
+            spec = DATASET_SPECS[name]
+            collection = build_dataset(name, fraction=0.05)
+            assert collection.stats()["max_depth"] <= spec.max_depth
+
+    def test_deterministic(self):
+        first = build_dataset("D1", fraction=0.02)
+        second = build_dataset("D1", fraction=0.02)
+        flat1 = [
+            (n.kind, n.name, n.value)
+            for doc in first
+            for n in doc.pre_order()
+        ]
+        flat2 = [
+            (n.kind, n.name, n.value)
+            for doc in second
+            for n in doc.pre_order()
+        ]
+        assert flat1 == flat2

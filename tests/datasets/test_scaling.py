@@ -1,0 +1,63 @@
+"""Replication utilities (the scaled-D5 query corpus)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import copy_document, copy_subtree, replicate, scaled_d5
+from repro.xmltree import Collection, parse_document
+
+
+@pytest.fixture()
+def doc():
+    return parse_document('<r a="1"><x>t</x><y/></r>', name="orig")
+
+
+class TestCopy:
+    def test_deep_copy_equal_structure(self, doc):
+        clone = copy_subtree(doc.root)
+        flat = lambda n: [(c.kind, c.name, c.value) for c in n.pre_order()]
+        assert flat(clone) == flat(doc.root)
+
+    def test_deep_copy_is_independent(self, doc):
+        clone = copy_document(doc, "clone")
+        clone.root.children[1].detach()
+        assert doc.root.children[1].name == "x"
+        assert doc.node_count() == 5
+
+    def test_copy_renames(self, doc):
+        assert copy_document(doc, "new").name == "new"
+        assert copy_document(doc).name == "orig"
+
+
+class TestReplicate:
+    def test_factor(self, doc):
+        collection = replicate(Collection("C", [doc]), 4)
+        assert len(collection) == 4
+        assert collection.total_nodes() == 4 * doc.node_count()
+
+    def test_names_unique(self, doc):
+        collection = replicate(Collection("C", [doc]), 3)
+        names = [d.name for d in collection]
+        assert len(set(names)) == 3
+
+    def test_documents_independent(self, doc):
+        collection = replicate(Collection("C", [doc]), 2)
+        first, second = collection.documents
+        first.root.children[1].detach()
+        assert second.node_count() == 5
+
+    def test_bad_factor(self, doc):
+        with pytest.raises(ValueError):
+            replicate(Collection("C", [doc]), 0)
+
+
+class TestScaledD5:
+    def test_scaled_counts(self):
+        collection = scaled_d5(3, fraction=0.02)
+        base_total = int(179_689 * 0.02)
+        assert collection.total_nodes() == 3 * base_total
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            scaled_d5(2, fraction=0)

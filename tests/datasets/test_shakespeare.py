@@ -1,0 +1,104 @@
+"""The D5/Hamlet builders — Table 4's arithmetic depends on them."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    HAMLET_ACT_SIZES,
+    HAMLET_TOTAL_NODES,
+    build_d5,
+    build_hamlet,
+    build_play,
+)
+from repro.datasets.shakespeare import build_act, build_scene
+import random
+
+
+class TestHamlet:
+    def test_total_node_count(self, hamlet):
+        assert hamlet.node_count() == HAMLET_TOTAL_NODES == 6636
+
+    def test_five_acts(self, hamlet):
+        acts = [c for c in hamlet.root.children if c.name == "act"]
+        assert len(acts) == 5
+
+    def test_act_subtree_sizes_match_table4(self, hamlet):
+        acts = [c for c in hamlet.root.children if c.name == "act"]
+        assert tuple(a.subtree_size() for a in acts) == HAMLET_ACT_SIZES
+
+    def test_table4_derivation(self, hamlet):
+        """ancestors(1) + trailing acts == the paper's re-label counts."""
+        acts = [c for c in hamlet.root.children if c.name == "act"]
+        sizes = [a.subtree_size() for a in acts]
+        expected = [6596, 5121, 3932, 2431, 1300]
+        for case in range(5):
+            assert 1 + sum(sizes[case:]) == expected[case]
+
+    def test_front_matter_is_40_nodes(self, hamlet):
+        non_act = [c for c in hamlet.root.children if c.name != "act"]
+        assert sum(c.subtree_size() for c in non_act) == 40
+
+    def test_deterministic(self):
+        first = [(n.kind, n.name) for n in build_hamlet().pre_order()]
+        second = [(n.kind, n.name) for n in build_hamlet().pre_order()]
+        assert first == second
+
+    def test_structure_has_query_targets(self, hamlet):
+        assert hamlet.elements_by_tag("scene")
+        assert hamlet.elements_by_tag("speech")
+        assert hamlet.elements_by_tag("speaker")
+        assert hamlet.elements_by_tag("line")
+        assert hamlet.elements_by_tag("personae")
+        assert hamlet.elements_by_tag("pgroup")
+        assert hamlet.elements_by_tag("grpdescr")
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("budget", [3, 4, 5, 8, 50, 333, 1475])
+    def test_act_budget_exact(self, budget):
+        act = build_act(1, budget, random.Random(0))
+        assert act.subtree_size() == budget
+
+    def test_act_too_small(self):
+        with pytest.raises(ValueError):
+            build_act(1, 2, random.Random(0))
+
+    @pytest.mark.parametrize("budget", [3, 4, 5, 6, 7, 23, 107])
+    def test_scene_budget_exact(self, budget):
+        scene = build_scene(1, budget, random.Random(0))
+        assert scene.subtree_size() == budget
+
+    def test_scene_too_small(self):
+        with pytest.raises(ValueError):
+            build_scene(1, 2, random.Random(0))
+
+    @pytest.mark.parametrize("total", [60, 500, 4807])
+    def test_play_total_exact(self, total):
+        play = build_play("test", total, seed=1)
+        assert play.node_count() == total
+
+    def test_play_too_small(self):
+        with pytest.raises(ValueError):
+            build_play("tiny", 10, seed=1)
+
+    def test_play_has_five_acts(self):
+        play = build_play("test", 2000, seed=2)
+        assert len(play.elements_by_tag("act")) == 5
+
+
+class TestD5:
+    def test_full_d5_shape(self):
+        collection = build_d5(total_nodes=30_000, files=7)
+        assert len(collection) == 7
+        assert collection.total_nodes() == 30_000
+
+    def test_first_file_is_hamlet(self):
+        collection = build_d5(total_nodes=30_000, files=7)
+        assert collection.documents[0].name == "hamlet"
+        assert collection.documents[0].node_count() == HAMLET_TOTAL_NODES
+
+    def test_small_budget_skips_hamlet(self):
+        collection = build_d5(total_nodes=1000, files=2)
+        assert collection.total_nodes() == 1000
+        assert all(doc.name != "hamlet" for doc in collection)

@@ -1,0 +1,63 @@
+"""The XMark-style auction corpus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import XMARK_QUERIES, build_xmark
+from repro.labeling import make_scheme
+from repro.query import QueryEngine, evaluate_reference
+
+
+class TestBuilder:
+    @pytest.mark.parametrize("total", [500, 2_000, 12_345])
+    def test_exact_totals(self, total):
+        assert build_xmark(total).node_count() == total
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            build_xmark(50)
+
+    def test_deterministic(self):
+        flat = lambda d: [(n.kind, n.name, n.value) for n in d.pre_order()]
+        assert flat(build_xmark(3_000)) == flat(build_xmark(3_000))
+
+    def test_skeleton(self):
+        document = build_xmark(3_000)
+        assert document.root.name == "site"
+        sections = [c.name for c in document.root.children]
+        assert sections == ["regions", "people", "open_auctions", "closed_auctions"]
+        regions = document.root.children[0]
+        assert len(regions.children) == 6
+
+    def test_query_targets_populated(self):
+        document = build_xmark(6_000)
+        for query_id, query in XMARK_QUERIES.items():
+            assert evaluate_reference(document, query), query_id
+
+
+class TestQueriesAcrossSchemes:
+    @pytest.mark.parametrize(
+        "scheme_name",
+        ["V-CDBS-Containment", "QED-Prefix", "Prime", "OrdPath1-Prefix"],
+    )
+    def test_engine_agrees_with_reference(self, scheme_name):
+        document = build_xmark(3_000)
+        labeled = make_scheme(scheme_name).label_document(document)
+        engine = QueryEngine(labeled)
+        for query_id, query in XMARK_QUERIES.items():
+            expected = [id(n) for n in evaluate_reference(document, query)]
+            got = [id(n) for n in engine.evaluate(query)]
+            assert got == expected, (scheme_name, query_id)
+
+    def test_relational_agrees_too(self):
+        from repro.relational import RelationalQueryEngine, shred
+
+        document = build_xmark(3_000)
+        labeled = make_scheme("V-CDBS-Containment").label_document(document)
+        memory = QueryEngine(labeled)
+        relational = RelationalQueryEngine(shred(labeled))
+        for query_id, query in XMARK_QUERIES.items():
+            expected = [id(n) for n in memory.evaluate(query)]
+            got = [id(n) for n in relational.evaluate(query)]
+            assert got == expected, query_id

@@ -1,0 +1,115 @@
+"""Adaptive CDBS (the §8 future-work extension): local re-labeling."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.labeling import adaptive_cdbs_containment, v_cdbs_containment
+from repro.updates import UpdateEngine, run_skewed_insertions
+from repro.xmltree import Node, parse_document
+
+
+def deep_doc():
+    return parse_document(
+        "<r>"
+        + "".join(
+            f"<sec><para><s{i}/><t{i}/></para><para><u{i}/></para></sec>"
+            for i in range(8)
+        )
+        + "</r>"
+    )
+
+
+class TestFastPath:
+    def test_behaves_like_vcdbs_without_overflow(self):
+        doc = deep_doc()
+        scheme = adaptive_cdbs_containment()
+        labeled = scheme.label_document(doc)
+        stats = scheme.insert_subtree(labeled, doc.root, 3, Node.element("x"))
+        assert stats.relabeled_nodes == 0
+        assert scheme.local_relabels == 0
+        assert scheme.full_relabels == 0
+
+    def test_registry_name(self):
+        from repro.labeling import make_scheme
+
+        scheme = make_scheme("Adaptive-CDBS-Containment")
+        assert scheme.dynamic
+
+
+class TestLocalRecovery:
+    def test_overflow_triggers_local_not_full(self):
+        doc = deep_doc()
+        scheme = adaptive_cdbs_containment(field_bits=4)  # codes <= 15 bits
+        labeled = scheme.label_document(doc)
+        engine = UpdateEngine(labeled, with_storage=False)
+        target = doc.elements_by_tag("s3")[0]
+        report = run_skewed_insertions(engine, target, 40)
+        assert report.relabel_events >= 1
+        assert scheme.local_relabels >= 1
+        # A local event re-labels a small region, not the document.
+        assert report.relabeled_nodes < report.relabel_events * doc.node_count()
+
+    def test_invariants_after_local_relabel(self):
+        doc = deep_doc()
+        scheme = adaptive_cdbs_containment(field_bits=4)
+        labeled = scheme.label_document(doc)
+        engine = UpdateEngine(labeled, with_storage=False)
+        target = doc.elements_by_tag("s5")[0]
+        run_skewed_insertions(engine, target, 40)
+        nodes = labeled.nodes_in_order
+        assert len(labeled.labels) == len(nodes)
+        keys = [scheme.order_key(labeled.label_of(n)) for n in nodes]
+        assert keys == sorted(keys)
+        rng = random.Random(3)
+        for _ in range(300):
+            a, b = rng.choice(nodes), rng.choice(nodes)
+            assert scheme.is_ancestor(
+                labeled.label_of(a), labeled.label_of(b)
+            ) == a.is_ancestor_of(b)
+            assert scheme.is_parent(
+                labeled.label_of(a), labeled.label_of(b)
+            ) == (b.parent is a)
+
+    def test_local_beats_full_on_deep_skew(self):
+        # The advantage needs document >> hot region: use Hamlet with
+        # the skew buried inside one speech (as in experiment E12).
+        from repro.datasets import build_hamlet
+
+        def run(scheme):
+            doc = build_hamlet()
+            labeled = scheme.label_document(doc)
+            engine = UpdateEngine(labeled, with_storage=False)
+            lines = doc.elements_by_tag("line")
+            return run_skewed_insertions(engine, lines[len(lines) // 2], 80)
+
+        full = run(v_cdbs_containment(field_bits=5))
+        local = run(adaptive_cdbs_containment(field_bits=5))
+        assert full.relabel_events >= 1
+        assert local.relabeled_nodes < full.relabeled_nodes / 4
+
+    def test_climbs_to_larger_region_when_needed(self):
+        # A document so shallow the only region is the root: the climb
+        # must still terminate and keep the labels valid.
+        doc = parse_document("<r><a/><b/></r>")
+        scheme = adaptive_cdbs_containment(field_bits=3)  # codes <= 7 bits
+        labeled = scheme.label_document(doc)
+        engine = UpdateEngine(labeled, with_storage=False)
+        target = doc.root.children[0]
+        report = run_skewed_insertions(engine, target, 30)
+        assert report.operations == 30
+        keys = [
+            scheme.order_key(labeled.label_of(n))
+            for n in labeled.nodes_in_order
+        ]
+        assert keys == sorted(keys)
+
+    def test_table4_still_zero(self, fresh_hamlet):
+        from repro.updates import run_table4_case
+
+        scheme = adaptive_cdbs_containment()
+        labeled = scheme.label_document(fresh_hamlet)
+        engine = UpdateEngine(labeled, with_storage=False)
+        assert run_table4_case(engine, 3).stats.relabeled_nodes == 0

@@ -1,0 +1,105 @@
+"""LabeledDocument index maintenance and UpdateStats accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.labeling import UpdateStats, make_scheme
+from repro.labeling.containment import v_cdbs_containment
+from repro.xmltree import Node, parse_document
+
+
+class TestUpdateStats:
+    def test_defaults(self):
+        stats = UpdateStats()
+        assert stats.inserted_nodes == 0
+        assert stats.relabeled_nodes == 0
+
+    def test_merge(self):
+        first = UpdateStats(inserted_nodes=1, labels_written=1)
+        second = UpdateStats(relabeled_nodes=5, labels_written=5, sc_recomputed=2)
+        merged = first.merge(second)
+        assert merged.inserted_nodes == 1
+        assert merged.relabeled_nodes == 5
+        assert merged.labels_written == 6
+        assert merged.sc_recomputed == 2
+
+
+@pytest.fixture()
+def labeled():
+    doc = parse_document("<r><a><b/></a><a><c/></a></r>")
+    return v_cdbs_containment().label_document(doc)
+
+
+class TestIndexes:
+    def test_tag_index_in_document_order(self, labeled):
+        a_nodes = labeled.tag_index["a"]
+        positions = {id(n): i for i, n in enumerate(labeled.nodes_in_order)}
+        assert positions[id(a_nodes[0])] < positions[id(a_nodes[1])]
+
+    def test_register_subtree_splices_order(self, labeled):
+        doc = labeled.document
+        scheme = labeled.scheme
+        subtree = Node.element("a")
+        scheme.insert_subtree(labeled, doc.root, 1, subtree)
+        assert len(labeled.tag_index["a"]) == 3
+        # Order list is exactly the tree's pre-order.
+        assert [id(n) for n in labeled.nodes_in_order] == [
+            id(n) for n in doc.pre_order()
+        ]
+
+    def test_unregister_subtree(self, labeled):
+        doc = labeled.document
+        victim = doc.root.children[0]
+        removed = labeled.unregister_subtree(victim)
+        assert len(removed) == 2
+        assert len(labeled.tag_index["a"]) == 1
+        assert "b" not in [n.name for bucket in labeled.tag_index.values() for n in bucket]
+
+    def test_tag_label_bytes_cached_and_invalidated(self, labeled):
+        first = labeled.tag_label_bytes("a")
+        assert first > 0
+        assert labeled.tag_label_bytes("a") == first
+        scheme = labeled.scheme
+        scheme.insert_subtree(labeled, labeled.document.root, 0, Node.element("a"))
+        assert labeled.tag_label_bytes("a") > first
+
+    def test_tag_label_bytes_wildcard(self, labeled):
+        assert labeled.tag_label_bytes(None) >= labeled.tag_label_bytes("a")
+
+    def test_tag_label_bytes_unknown_tag(self, labeled):
+        assert labeled.tag_label_bytes("zzz") == 0
+
+    def test_node_count_tracks_updates(self, labeled):
+        count = labeled.node_count()
+        labeled.scheme.insert_subtree(
+            labeled, labeled.document.root, 0, Node.element("x")
+        )
+        assert labeled.node_count() == count + 1
+
+
+class TestRegistry:
+    def test_all_names_construct(self):
+        from repro.labeling import scheme_names
+
+        for name in scheme_names():
+            scheme = make_scheme(name)
+            assert scheme.name == name
+
+    def test_fresh_instances(self):
+        assert make_scheme("Prime") is not make_scheme("Prime")
+
+    def test_unknown_scheme(self):
+        with pytest.raises(KeyError):
+            make_scheme("Nope-Scheme")
+
+    def test_families(self):
+        assert make_scheme("Prime").family == "prime"
+        assert make_scheme("QED-Prefix").family == "prefix"
+        assert make_scheme("QED-Containment").family == "containment"
+
+    def test_dynamic_flags(self):
+        assert make_scheme("V-CDBS-Containment").dynamic
+        assert make_scheme("QED-Prefix").dynamic
+        assert not make_scheme("V-Binary-Containment").dynamic
+        assert not make_scheme("DeweyID(UTF8)-Prefix").dynamic

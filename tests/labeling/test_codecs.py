@@ -1,0 +1,204 @@
+"""Interval codecs behind containment labeling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import LengthFieldOverflow, PrecisionExhausted, RelabelRequired
+from repro.labeling.codecs import (
+    FBinaryCodec,
+    FCDBSCodec,
+    FloatPointCodec,
+    QEDCodec,
+    VBinaryCodec,
+    VCDBSCodec,
+)
+
+ALL_CODECS = [
+    VBinaryCodec,
+    FBinaryCodec,
+    FloatPointCodec,
+    VCDBSCodec,
+    FCDBSCodec,
+    QEDCodec,
+]
+
+
+@pytest.mark.parametrize("codec_cls", ALL_CODECS)
+class TestCommonContract:
+    def test_bulk_sorted(self, codec_cls):
+        codec = codec_cls()
+        values = codec.bulk(64)
+        keys = [codec.key(v) for v in values]
+        assert all(a < b for a, b in zip(keys, keys[1:]))
+
+    def test_bulk_count(self, codec_cls):
+        codec = codec_cls()
+        assert len(codec.bulk(37)) == 37
+
+    def test_bits_positive(self, codec_cls):
+        codec = codec_cls()
+        for value in codec.bulk(20):
+            assert codec.bits(value) > 0
+
+    def test_repr(self, codec_cls):
+        assert codec_cls.name in repr(codec_cls())
+
+
+class TestVBinary:
+    def test_no_gap_between_consecutive(self):
+        codec = VBinaryCodec()
+        codec.bulk(10)
+        with pytest.raises(RelabelRequired):
+            codec.between(4, 5)
+
+    def test_gap_after_deletion_usable(self):
+        codec = VBinaryCodec()
+        codec.bulk(10)
+        assert codec.between(4, 6) == 5
+
+    def test_append_at_end(self):
+        codec = VBinaryCodec()
+        codec.bulk(10)
+        assert codec.between(10, None) == 11
+
+    def test_open_left(self):
+        codec = VBinaryCodec()
+        codec.bulk(10)
+        with pytest.raises(RelabelRequired):
+            codec.between(None, 1)
+
+    def test_bits_include_length_field(self):
+        codec = VBinaryCodec()
+        codec.bulk(18)  # max length 5 -> 3-bit field
+        assert codec.bits(18) == 5 + 3
+        assert codec.bits(1) == 1 + 3
+
+    def test_not_dynamic(self):
+        assert VBinaryCodec.dynamic is False
+
+
+class TestFBinary:
+    def test_width_byte_aligned(self):
+        codec = FBinaryCodec()
+        codec.bulk(18)  # 5 bits -> 8
+        assert codec.bits(7) == 8
+        codec.bulk(300)  # 9 bits -> 16
+        assert codec.bits(7) == 16
+
+    def test_matches_fcdbs_width(self):
+        fb, fc = FBinaryCodec(), FCDBSCodec()
+        fb.bulk(1000)
+        values = fc.bulk(1000)
+        assert fb.bits(1) == fc.bits(values[0])
+
+
+class TestFloatPoint:
+    def test_bulk_integers(self):
+        codec = FloatPointCodec()
+        values = codec.bulk(5)
+        assert [float(v) for v in values] == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_midpoint(self):
+        codec = FloatPointCodec()
+        middle = codec.between(np.float32(1.0), np.float32(2.0))
+        assert 1.0 < float(middle) < 2.0
+
+    def test_precision_exhaustion_around_20_inserts(self):
+        """The paper's "at most 18 nodes at a fixed place" claim."""
+        codec = FloatPointCodec()
+        left, right = np.float32(1.0), np.float32(2.0)
+        inserted = 0
+        with pytest.raises(PrecisionExhausted):
+            for _ in range(100):
+                right = codec.between(left, right)
+                inserted += 1
+        assert 15 <= inserted <= 30
+
+    def test_exhaustion_faster_at_large_magnitudes(self):
+        codec = FloatPointCodec()
+        left, right = np.float32(100000.0), np.float32(100001.0)
+        inserted = 0
+        with pytest.raises(PrecisionExhausted):
+            for _ in range(100):
+                right = codec.between(left, right)
+                inserted += 1
+        assert inserted < 15
+
+    def test_fixed_32_bits(self):
+        codec = FloatPointCodec()
+        assert codec.bits(np.float32(1.5)) == 32
+
+
+class TestVCDBS:
+    def test_bulk_is_vcdbs(self):
+        from repro.core.cdbs import vcdbs_encode
+
+        codec = VCDBSCodec()
+        assert codec.bulk(18) == vcdbs_encode(18)
+
+    def test_between_uses_algorithm1(self):
+        from repro.core.bitstring import BitString
+
+        codec = VCDBSCodec()
+        codec.bulk(18)
+        left = BitString.from_str("0011")
+        right = BitString.from_str("01")
+        assert codec.between(left, right).to01() == "00111"
+
+    def test_tight_field_overflows(self):
+        from repro.core.bitstring import BitString
+
+        codec = VCDBSCodec(field_bits=3)  # codes up to 7 bits
+        codec.bulk(18)
+        left = BitString.from_str("0011111")
+        with pytest.raises(LengthFieldOverflow):
+            codec.between(left, BitString.from_str("01"))
+
+    def test_default_capacity_is_byte_field(self):
+        codec = VCDBSCodec()
+        codec.bulk(18)
+        assert codec.max_code_bits == 255
+
+    def test_one_bit_tail_edit(self):
+        assert VCDBSCodec().tail_bits_modified() == 1
+
+
+class TestFCDBS:
+    def test_all_bulk_codes_padded(self):
+        codec = FCDBSCodec()
+        values = codec.bulk(300)  # 9 bits -> 16-wide
+        assert {len(v) for v in values} == {16}
+
+    def test_between_restores_width(self):
+        codec = FCDBSCodec()
+        values = codec.bulk(18)
+        middle = codec.between(values[3], values[4])
+        assert len(middle) == codec.width
+        assert values[3] < middle < values[4]
+
+    def test_overflow_at_width(self):
+        codec = FCDBSCodec()
+        values = codec.bulk(18)  # width 8
+        left, right = values[3], values[4]
+        with pytest.raises(LengthFieldOverflow):
+            for _ in range(20):
+                left = codec.between(left, right)
+
+
+class TestQEDCodec:
+    def test_never_overflows(self):
+        codec = QEDCodec()
+        values = codec.bulk(18)
+        left, right = values[0], values[1]
+        for _ in range(200):
+            left = codec.between(left, right)
+        assert left < right
+
+    def test_two_bit_tail_edit(self):
+        assert QEDCodec().tail_bits_modified() == 2
+
+    def test_bits_include_separator(self):
+        codec = QEDCodec()
+        assert codec.bits("2") == 4

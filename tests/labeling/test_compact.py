@@ -1,0 +1,65 @@
+"""compact_labels: the offline vacuum for churned documents."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.labeling import compact_labels, make_scheme, scheme_names
+from repro.query import QueryEngine, evaluate_reference
+from repro.updates import UpdateEngine, run_skewed_insertions, table4_cases
+from repro.xmltree import parse_document
+
+
+class TestCompaction:
+    def test_restores_bulk_sizes_after_skew(self, fresh_hamlet):
+        scheme = make_scheme("V-CDBS-Containment")
+        labeled = scheme.label_document(fresh_hamlet)
+        engine = UpdateEngine(labeled, with_storage=False)
+        run_skewed_insertions(engine, table4_cases(fresh_hamlet)[2], 120)
+        worst_before = max(
+            scheme.label_bits(label) for label in labeled.labels.values()
+        )
+        changed = compact_labels(labeled)
+        worst_after = max(
+            scheme.label_bits(label) for label in labeled.labels.values()
+        )
+        assert changed > 0
+        assert worst_after < worst_before / 3
+
+    def test_noop_on_fresh_document(self):
+        document = parse_document("<r><a/><b/></r>")
+        labeled = make_scheme("V-CDBS-Containment").label_document(document)
+        assert compact_labels(labeled) == 0
+
+    @pytest.mark.parametrize(
+        "scheme_name", ["V-CDBS-Containment", "QED-Prefix", "Prime"]
+    )
+    def test_queries_unchanged_after_compaction(self, scheme_name):
+        document = parse_document(
+            "<r>" + "<s><t/><u/></s>" * 8 + "</r>"
+        )
+        scheme = make_scheme(scheme_name)
+        labeled = scheme.label_document(document)
+        engine = UpdateEngine(labeled, with_storage=False)
+        target = document.elements_by_tag("t")[3]
+        run_skewed_insertions(engine, target, 30)
+        expected = [id(n) for n in evaluate_reference(document, "//note")]
+        compact_labels(labeled)
+        got = [id(n) for n in QueryEngine(labeled).evaluate("//note")]
+        assert got == expected
+        keys = [
+            scheme.order_key(labeled.label_of(n))
+            for n in labeled.nodes_in_order
+        ]
+        assert keys == sorted(keys)
+
+    def test_updates_keep_working_after_compaction(self, fresh_hamlet):
+        from repro.xmltree import Node
+
+        scheme = make_scheme("V-CDBS-Containment")
+        labeled = scheme.label_document(fresh_hamlet)
+        engine = UpdateEngine(labeled, with_storage=False)
+        run_skewed_insertions(engine, table4_cases(fresh_hamlet)[0], 50)
+        compact_labels(labeled)
+        result = engine.insert_child(fresh_hamlet.root, Node.element("x"), 0)
+        assert result.stats.relabeled_nodes == 0

@@ -1,0 +1,175 @@
+"""Containment scheme specifics: update paths and Table 4 semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.labeling import make_scheme
+from repro.labeling.containment import (
+    qed_containment,
+    v_binary_containment,
+    v_cdbs_containment,
+)
+from repro.xmltree import Node, parse_document
+
+
+@pytest.fixture()
+def doc():
+    return parse_document("<r><a><b/><c/></a><d/></r>")
+
+
+class TestBulkLabeling:
+    def test_intervals_nest(self, doc):
+        scheme = v_binary_containment()
+        labeled = scheme.label_document(doc)
+        root_label = labeled.label_of(doc.root)
+        for node in doc.root.descendants():
+            assert scheme.is_ancestor(root_label, labeled.label_of(node))
+
+    def test_levels(self, doc):
+        scheme = v_binary_containment()
+        labeled = scheme.label_document(doc)
+        assert labeled.label_of(doc.root).level == 1
+        a = doc.root.children[0]
+        assert labeled.label_of(a).level == 2
+        assert labeled.label_of(a.children[0]).level == 3
+
+    def test_integer_starts_are_preorder(self, doc):
+        scheme = v_binary_containment()
+        labeled = scheme.label_document(doc)
+        starts = [labeled.label_of(n).start for n in doc.pre_order()]
+        assert starts == sorted(starts)
+
+    def test_uses_2n_values(self, doc):
+        scheme = v_binary_containment()
+        labeled = scheme.label_document(doc)
+        values = set()
+        for label in labeled.labels.values():
+            values.add(label.start)
+            values.add(label.end)
+        assert values == set(range(1, 2 * doc.node_count() + 1))
+
+
+class TestDynamicInsert:
+    def test_cdbs_insert_no_relabel(self, doc):
+        scheme = v_cdbs_containment()
+        labeled = scheme.label_document(doc)
+        target_parent = doc.root.children[0]
+        stats = scheme.insert_subtree(labeled, target_parent, 1, Node.element("x"))
+        assert stats.relabeled_nodes == 0
+        assert stats.inserted_nodes == 1
+        assert stats.labels_written == 1
+        assert stats.neighbor_bits_modified == 1
+
+    def test_qed_insert_two_bits(self, doc):
+        scheme = qed_containment()
+        labeled = scheme.label_document(doc)
+        stats = scheme.insert_subtree(labeled, doc.root, 0, Node.element("x"))
+        assert stats.neighbor_bits_modified == 2
+
+    def test_insert_subtree_labels_all_nodes(self, doc):
+        scheme = v_cdbs_containment()
+        labeled = scheme.label_document(doc)
+        subtree = Node.element("s")
+        child = subtree.append_child(Node.element("t"))
+        child.append_child(Node.text("deep"))
+        stats = scheme.insert_subtree(labeled, doc.root, 1, subtree)
+        assert stats.inserted_nodes == 3
+        # The new subtree nests correctly inside the root interval.
+        assert scheme.is_parent(
+            labeled.label_of(doc.root), labeled.label_of(subtree)
+        )
+        assert scheme.is_parent(
+            labeled.label_of(subtree), labeled.label_of(child)
+        )
+
+    def test_insert_at_every_gap(self):
+        doc = parse_document("<r><a/><b/><c/></r>")
+        scheme = v_cdbs_containment()
+        labeled = scheme.label_document(doc)
+        for position, index in enumerate((0, 2, 4, 6)):
+            stats = scheme.insert_subtree(
+                labeled, doc.root, index, Node.element(f"n{position}")
+            )
+            assert stats.relabeled_nodes == 0
+        names = [c.name for c in doc.root.children]
+        assert names == ["n0", "a", "n1", "b", "n2", "c", "n3"]
+        keys = [
+            scheme.order_key(labeled.label_of(n))
+            for n in labeled.nodes_in_order
+        ]
+        assert keys == sorted(keys)
+
+    def test_unknown_parent_rejected(self, doc):
+        scheme = v_cdbs_containment()
+        labeled = scheme.label_document(doc)
+        with pytest.raises(ValueError):
+            scheme.insert_subtree(labeled, Node.element("alien"), 0, Node.element("x"))
+
+
+class TestRelabelFallback:
+    def test_vbinary_insert_counts_paper_rule(self, doc):
+        """Re-labels = ancestors + everything after, in document order."""
+        scheme = v_binary_containment()
+        labeled = scheme.label_document(doc)
+        a = doc.root.children[0]
+        # Insert before <c/> (a's second child): ancestors {r, a} plus
+        # following nodes {c, d} -> 4 re-labels.
+        stats = scheme.insert_subtree(labeled, a, 1, Node.element("x"))
+        assert stats.relabeled_nodes == 4
+        assert stats.inserted_nodes == 1
+
+    def test_vbinary_append_at_very_end_no_relabel(self, doc):
+        scheme = v_binary_containment()
+        labeled = scheme.label_document(doc)
+        # Inserting as the root's last child: only the root's own end
+        # value moves -> exactly 1 re-label (the root ancestor).
+        stats = scheme.insert_subtree(
+            labeled, doc.root, len(doc.root.children), Node.element("x")
+        )
+        assert stats.relabeled_nodes == 1
+
+    def test_relabel_restores_invariants(self, doc):
+        scheme = v_binary_containment()
+        labeled = scheme.label_document(doc)
+        scheme.insert_subtree(labeled, doc.root, 0, Node.element("x"))
+        for node in doc.root.descendants():
+            assert scheme.is_ancestor(
+                labeled.label_of(doc.root), labeled.label_of(node)
+            )
+        keys = [
+            scheme.order_key(labeled.label_of(n))
+            for n in labeled.nodes_in_order
+        ]
+        assert keys == sorted(keys)
+
+
+class TestDelete:
+    def test_delete_drops_labels(self, doc):
+        scheme = v_cdbs_containment()
+        labeled = scheme.label_document(doc)
+        victim = doc.root.children[0]
+        count_before = len(labeled.labels)
+        stats = scheme.delete_subtree(labeled, victim)
+        assert stats.deleted_nodes == 3
+        assert len(labeled.labels) == count_before - 3
+        assert victim.parent is None
+
+    def test_delete_preserves_remaining_order(self, doc):
+        scheme = v_cdbs_containment()
+        labeled = scheme.label_document(doc)
+        scheme.delete_subtree(labeled, doc.root.children[0])
+        keys = [
+            scheme.order_key(labeled.label_of(n))
+            for n in labeled.nodes_in_order
+        ]
+        assert keys == sorted(keys)
+
+    def test_insert_into_deletion_gap_no_relabel_for_vbinary(self, doc):
+        """Deletions reopen integer gaps that V-Binary can reuse."""
+        scheme = v_binary_containment()
+        labeled = scheme.label_document(doc)
+        a = doc.root.children[0]
+        scheme.delete_subtree(labeled, a.children[0])  # frees 2 values
+        stats = scheme.insert_subtree(labeled, a, 0, Node.element("x"))
+        assert stats.relabeled_nodes == 0

@@ -1,0 +1,109 @@
+"""Failure injection: updates must be atomic when codecs blow up."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.labeling import make_scheme
+from repro.labeling.containment import v_cdbs_containment
+from repro.labeling.prefix import qed_prefix
+from repro.xmltree import Node, parse_document
+
+
+class _Boom(RuntimeError):
+    pass
+
+
+def snapshot(labeled):
+    return (
+        [id(n) for n in labeled.nodes_in_order],
+        dict(labeled.labels),
+        {tag: list(bucket) for tag, bucket in labeled.tag_index.items()},
+    )
+
+
+class TestContainmentAtomicity:
+    def test_failing_codec_leaves_document_untouched(self):
+        document = parse_document("<r><a/><b/></r>")
+        scheme = v_cdbs_containment()
+        labeled = scheme.label_document(document)
+        before = snapshot(labeled)
+        child_count = len(document.root.children)
+
+        def boom(left, right):
+            raise _Boom("disk on fire")
+
+        scheme.codec.between = boom  # type: ignore[assignment]
+        with pytest.raises(_Boom):
+            scheme.insert_subtree(labeled, document.root, 1, Node.element("x"))
+        assert snapshot(labeled) == before
+        assert len(document.root.children) == child_count
+
+    def test_failing_codec_in_run_insert(self):
+        document = parse_document("<r><a/><b/></r>")
+        scheme = v_cdbs_containment()
+        labeled = scheme.label_document(document)
+        before = snapshot(labeled)
+
+        def boom(left, right):
+            raise _Boom("no")
+
+        scheme.codec.between = boom  # type: ignore[assignment]
+        with pytest.raises(_Boom):
+            scheme.insert_run(
+                labeled, document.root, 0, [Node.element("x"), Node.element("y")]
+            )
+        assert snapshot(labeled) == before
+
+
+class TestPrefixAtomicity:
+    def test_failing_policy_leaves_document_untouched(self):
+        document = parse_document("<r><a/><b/></r>")
+        scheme = qed_prefix()
+        labeled = scheme.label_document(document)
+        before = snapshot(labeled)
+
+        def boom(left, right):
+            raise _Boom("no")
+
+        scheme.policy.between = boom  # type: ignore[assignment]
+        with pytest.raises(_Boom):
+            scheme.insert_subtree(labeled, document.root, 1, Node.element("x"))
+        assert snapshot(labeled) == before
+
+
+class TestOrdPathLevelSemantics:
+    """Example 2.1 of the paper: OrdPath's careted '2.1' is a *sibling*
+    of '1' and '3' (same level), unlike a Dewey '2.1' which would be a
+    child — the semantics our ordinal-tuple labels must realise."""
+
+    def test_careted_insert_is_same_level(self):
+        document = parse_document("<r><a/><b/></r>")
+        scheme = make_scheme("OrdPath1-Prefix")
+        labeled = scheme.label_document(document)
+        new = Node.element("mid")
+        scheme.insert_subtree(labeled, document.root, 1, new)
+        a_label = labeled.label_of(document.root.children[0])
+        mid_label = labeled.label_of(new)
+        assert mid_label == ((2, 1),)  # the caret through even 2
+        assert scheme.level_of(mid_label) == scheme.level_of(a_label)
+        assert scheme.is_sibling(a_label, mid_label)
+        assert scheme.is_parent(
+            labeled.label_of(document.root), mid_label
+        )
+
+    def test_deep_caret_chain_keeps_level(self):
+        document = parse_document("<r><a/><b/></r>")
+        scheme = make_scheme("OrdPath1-Prefix")
+        labeled = scheme.label_document(document)
+        target = document.root.children[1]
+        for step in range(10):
+            node = Node.element(f"n{step}")
+            scheme.insert_subtree(
+                labeled, document.root, target.index_in_parent, node
+            )
+        levels = {
+            scheme.level_of(labeled.label_of(c))
+            for c in document.root.children
+        }
+        assert levels == {2}

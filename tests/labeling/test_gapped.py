@@ -1,0 +1,82 @@
+"""Gapped-interval containment (Li & Moon, the paper's reference [11])."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RelabelRequired
+from repro.labeling.codecs import GappedIntegerCodec
+from repro.labeling.containment import gapped_containment
+from repro.updates import UpdateEngine, run_skewed_insertions
+from repro.xmltree import Node, parse_document
+
+
+class TestCodec:
+    def test_bulk_spacing(self):
+        codec = GappedIntegerCodec(gap=10)
+        assert codec.bulk(4) == [10, 20, 30, 40]
+
+    def test_bad_gap(self):
+        with pytest.raises(ValueError):
+            GappedIntegerCodec(gap=0)
+
+    def test_between_bisects(self):
+        codec = GappedIntegerCodec(gap=10)
+        codec.bulk(4)
+        assert codec.between(10, 20) == 15
+
+    def test_gap_exhaustion(self):
+        codec = GappedIntegerCodec(gap=4)
+        codec.bulk(2)
+        left, right = 4, 8
+        inserted = 0
+        with pytest.raises(RelabelRequired):
+            for _ in range(10):
+                right = codec.between(left, right)
+                inserted += 1
+        assert inserted == 2  # 4 < 6 < 7 < 8, then nothing between 4,5? -> log2(gap)
+
+    def test_append_at_end(self):
+        codec = GappedIntegerCodec(gap=8)
+        codec.bulk(3)
+        assert codec.between(24, None) == 32
+
+    def test_bits_grow_with_gap(self):
+        small = GappedIntegerCodec(gap=2)
+        large = GappedIntegerCodec(gap=64)
+        small_values = small.bulk(100)
+        large_values = large.bulk(100)
+        assert large.bits(large_values[-1]) > small.bits(small_values[-1])
+
+
+class TestScheme:
+    def test_relationships(self):
+        doc = parse_document("<r><a><b/></a><c/></r>")
+        scheme = gapped_containment(gap=8)
+        labeled = scheme.label_document(doc)
+        a, c = doc.root.children
+        assert scheme.is_parent(labeled.label_of(doc.root), labeled.label_of(a))
+        assert scheme.is_ancestor(labeled.label_of(a), labeled.label_of(a.children[0]))
+        assert not scheme.is_ancestor(labeled.label_of(a), labeled.label_of(c))
+
+    def test_absorbs_inserts_until_gap_dries(self):
+        doc = parse_document("<r><a/><b/></r>")
+        scheme = gapped_containment(gap=16)
+        labeled = scheme.label_document(doc)
+        engine = UpdateEngine(labeled, with_storage=False)
+        report = run_skewed_insertions(engine, doc.root.children[1], 20)
+        # log2(16) ~ 4 free inserts between consecutive multiples, then
+        # periodic re-labels; far fewer than one per insert.
+        assert 0 < report.relabel_events < 20
+
+    def test_more_gap_fewer_relabels(self):
+        def events(gap):
+            doc = parse_document("<r><a/><b/></r>")
+            scheme = gapped_containment(gap=gap)
+            labeled = scheme.label_document(doc)
+            engine = UpdateEngine(labeled, with_storage=False)
+            return run_skewed_insertions(
+                engine, doc.root.children[1], 40
+            ).relabel_events
+
+        assert events(64) < events(4)

@@ -1,0 +1,143 @@
+"""Cross-scheme invariants: every scheme must decide every relationship
+exactly as the tree does (DESIGN.md invariants 5–7)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import UnsupportedOperationError
+from repro.labeling import make_scheme, scheme_names
+from repro.xmltree.node import NodeKind
+
+from tests.conftest import make_small_document
+
+ALL = tuple(scheme_names())
+
+
+@pytest.fixture(scope="module", params=ALL)
+def labeled(request):
+    document = make_small_document(seed=77, size=180)
+    scheme = make_scheme(request.param)
+    return scheme.label_document(document)
+
+
+def _sample_pairs(nodes, rng, count=400):
+    for _ in range(count):
+        yield rng.choice(nodes), rng.choice(nodes)
+
+
+class TestRelationshipAgreement:
+    def test_every_node_labeled(self, labeled):
+        assert len(labeled.labels) == labeled.document.node_count()
+
+    def test_ancestor_agrees_with_tree(self, labeled):
+        rng = random.Random(1)
+        nodes = labeled.nodes_in_order
+        scheme = labeled.scheme
+        for a, b in _sample_pairs(nodes, rng):
+            expected = a.is_ancestor_of(b)
+            got = scheme.is_ancestor(labeled.label_of(a), labeled.label_of(b))
+            assert got == expected, (a, b)
+
+    def test_parent_agrees_with_tree(self, labeled):
+        rng = random.Random(2)
+        nodes = labeled.nodes_in_order
+        scheme = labeled.scheme
+        for a, b in _sample_pairs(nodes, rng):
+            expected = b.parent is a
+            got = scheme.is_parent(labeled.label_of(a), labeled.label_of(b))
+            assert got == expected, (a, b)
+
+    def test_order_key_realises_document_order(self, labeled):
+        scheme = labeled.scheme
+        keys = [scheme.order_key(labeled.label_of(n)) for n in labeled.nodes_in_order]
+        assert all(a < b for a, b in zip(keys, keys[1:]))
+
+    def test_sibling_agrees_with_tree_when_supported(self, labeled):
+        rng = random.Random(3)
+        nodes = labeled.nodes_in_order
+        scheme = labeled.scheme
+        try:
+            scheme.is_sibling(labeled.label_of(nodes[1]), labeled.label_of(nodes[2]))
+        except UnsupportedOperationError:
+            pytest.skip(f"{scheme.name} has no label-only sibling test")
+        for a, b in _sample_pairs(nodes, rng, count=300):
+            expected = a is not b and a.parent is not None and a.parent is b.parent
+            got = scheme.is_sibling(labeled.label_of(a), labeled.label_of(b))
+            assert got == expected, (a, b)
+
+    def test_level_when_supported(self, labeled):
+        scheme = labeled.scheme
+        try:
+            scheme.level_of(labeled.label_of(labeled.document.root))
+        except UnsupportedOperationError:
+            pytest.skip(f"{scheme.name} labels do not record levels")
+        for node in labeled.nodes_in_order[:100]:
+            assert scheme.level_of(labeled.label_of(node)) == node.depth + 1
+
+    def test_label_bits_positive(self, labeled):
+        scheme = labeled.scheme
+        for node in labeled.nodes_in_order:
+            if node.parent is None and scheme.family == "prefix":
+                continue  # the prefix root label is empty (0 bits)
+            assert scheme.label_bits(labeled.label_of(node)) >= 0
+        assert labeled.total_label_bits() > 0
+
+
+class TestDynamicInsertAgreement:
+    """After a dynamic insertion, the same invariants must still hold."""
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_insert_then_verify(self, name):
+        from repro.xmltree.node import Node
+
+        document = make_small_document(seed=99, size=120)
+        scheme = make_scheme(name)
+        labeled = scheme.label_document(document)
+        rng = random.Random(5)
+        elements = [
+            n for n in labeled.nodes_in_order if n.kind is NodeKind.ELEMENT
+        ]
+        for step in range(8):
+            parent = rng.choice(elements)
+            index = rng.randint(0, len(parent.children))
+            subtree = Node.element("new")
+            subtree.append_child(Node.text(f"t{step}"))
+            scheme.insert_subtree(labeled, parent, index, subtree)
+            elements.append(subtree)
+        # Full re-verification of all three relationship predicates.
+        nodes = labeled.nodes_in_order
+        assert len(labeled.labels) == len(nodes)
+        keys = [scheme.order_key(labeled.label_of(n)) for n in nodes]
+        assert all(a < b for a, b in zip(keys, keys[1:]))
+        for a, b in _sample_pairs(nodes, rng, count=300):
+            assert scheme.is_ancestor(
+                labeled.label_of(a), labeled.label_of(b)
+            ) == a.is_ancestor_of(b)
+            assert scheme.is_parent(
+                labeled.label_of(a), labeled.label_of(b)
+            ) == (b.parent is a)
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_delete_then_verify(self, name):
+        document = make_small_document(seed=101, size=150)
+        scheme = make_scheme(name)
+        labeled = scheme.label_document(document)
+        rng = random.Random(7)
+        for _ in range(5):
+            deletable = [
+                n
+                for n in labeled.nodes_in_order
+                if n.parent is not None and n.kind is NodeKind.ELEMENT
+            ]
+            scheme.delete_subtree(labeled, rng.choice(deletable))
+        nodes = labeled.nodes_in_order
+        assert len(labeled.labels) == len(nodes)
+        keys = [scheme.order_key(labeled.label_of(n)) for n in nodes]
+        assert all(a < b for a, b in zip(keys, keys[1:]))
+        for a, b in _sample_pairs(nodes, rng, count=200):
+            assert scheme.is_ancestor(
+                labeled.label_of(a), labeled.label_of(b)
+            ) == a.is_ancestor_of(b)

@@ -1,0 +1,306 @@
+"""Prefix scheme specifics: ordinals, policies, update behaviour."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitstring import BitString
+from repro.errors import InvalidCodeError, LengthFieldOverflow, RelabelRequired
+from repro.labeling.prefix import (
+    BinaryStringPolicy,
+    CDBSComponentPolicy,
+    DeweyPolicy,
+    OrdPathPolicy,
+    QEDComponentPolicy,
+    binary_string_prefix,
+    cdbs_prefix,
+    dewey_prefix,
+    ordinal_between,
+    ordpath1_prefix,
+    ordpath_li_oi_bits,
+    qed_prefix,
+    utf8_bits,
+)
+from repro.xmltree import Node, parse_document
+
+
+class TestUtf8Bits:
+    def test_one_byte(self):
+        assert utf8_bits(1) == 8
+        assert utf8_bits(7) == 8
+
+    def test_rfc2279_progression(self):
+        assert utf8_bits(8) == 16
+        assert utf8_bits(11) == 16
+        assert utf8_bits(12) == 24
+        assert utf8_bits(16) == 24
+        assert utf8_bits(21) == 32
+        assert utf8_bits(31) == 48
+
+    def test_extends_beyond_rfc(self):
+        assert utf8_bits(100) > utf8_bits(31)
+
+
+class TestOrdPathBits:
+    def test_small_values_cheap(self):
+        assert ordpath_li_oi_bits(1) == 6  # '100' + 3 payload bits
+        assert ordpath_li_oi_bits(7) == 6
+
+    def test_buckets_monotone_in_magnitude(self):
+        sizes = [ordpath_li_oi_bits(v) for v in (1, 20, 80, 300, 4000, 60000)]
+        assert sizes == sorted(sizes)
+
+    def test_negative_values_covered(self):
+        assert ordpath_li_oi_bits(-1) == 6  # '011' + 3
+        assert ordpath_li_oi_bits(-300) == 12  # '0001' + 8
+
+    def test_top_bucket(self):
+        assert ordpath_li_oi_bits(10**12) == 70  # '11111110' + 62
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ordpath_li_oi_bits(1 << 70)
+
+    def test_li_codes_prefix_free(self):
+        from repro.labeling.prefix import ORDPATH_BUCKETS
+
+        codes = [li for (_, _, li, _) in ORDPATH_BUCKETS]
+        for a in codes:
+            for b in codes:
+                if a is not b:
+                    assert not b.startswith(a)
+
+    def test_buckets_contiguous(self):
+        from repro.labeling.prefix import ORDPATH_BUCKETS
+
+        for (low1, high1, _, _), (low2, _, _, _) in zip(
+            ORDPATH_BUCKETS, ORDPATH_BUCKETS[1:]
+        ):
+            assert low2 == high1 + 1
+
+    def test_payload_widths_fit_ranges(self):
+        from repro.labeling.prefix import ORDPATH_BUCKETS
+
+        for low, high, _, oi in ORDPATH_BUCKETS:
+            assert high - low + 1 <= (1 << oi)
+
+
+class TestOrdinalBetween:
+    def test_first(self):
+        assert ordinal_between(None, None) == (1,)
+
+    def test_after(self):
+        assert ordinal_between((3,), None) == (5,)
+
+    def test_before(self):
+        assert ordinal_between(None, (1,)) == (-1,)
+
+    def test_careting_between_adjacent_odds(self):
+        # Between 1 and 3 lies only the even 2: caret through it.
+        assert ordinal_between((1,), (3,)) == (2, 1)
+
+    def test_wide_gap_uses_plain_odd(self):
+        middle = ordinal_between((1,), (7,))
+        assert len(middle) == 1
+        assert (1,) < middle < (7,)
+        assert middle[0] % 2 == 1
+
+    def test_invalid_ordinals_rejected(self):
+        with pytest.raises(InvalidCodeError):
+            ordinal_between((2,), (3,))  # even terminal
+        with pytest.raises(InvalidCodeError):
+            ordinal_between((1, 3), (5,))  # odd interior
+        with pytest.raises(InvalidCodeError):
+            ordinal_between((3,), (1,))  # unordered
+
+    @settings(max_examples=60)
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=100))
+    def test_compound_insertions(self, positions):
+        ordinals = []
+        for raw in positions:
+            index = raw % (len(ordinals) + 1)
+            left = ordinals[index - 1] if index > 0 else None
+            right = ordinals[index] if index < len(ordinals) else None
+            middle = ordinal_between(left, right)
+            assert middle[-1] % 2 == 1
+            assert all(c % 2 == 0 for c in middle[:-1])
+            ordinals.insert(index, middle)
+        assert all(a < b for a, b in zip(ordinals, ordinals[1:]))
+
+
+class TestPolicies:
+    def test_dewey_bulk(self):
+        assert DeweyPolicy().bulk(4) == [1, 2, 3, 4]
+
+    def test_dewey_append_only(self):
+        policy = DeweyPolicy()
+        assert policy.between(4, None) == 5
+        with pytest.raises(RelabelRequired):
+            policy.between(1, 2)
+        with pytest.raises(RelabelRequired):
+            policy.between(None, 1)
+
+    def test_ordpath_bulk_odd(self):
+        assert OrdPathPolicy().bulk(4) == [(1,), (3,), (5,), (7,)]
+
+    def test_binary_string_bulk(self):
+        assert BinaryStringPolicy().bulk(3) == ["0", "10", "110"]
+
+    def test_binary_string_append(self):
+        policy = BinaryStringPolicy()
+        assert policy.between("110", None) == "1110"
+        with pytest.raises(RelabelRequired):
+            policy.between("0", "10")
+
+    def test_cdbs_bulk_matches_example_5_1(self):
+        # "To encode 4 numbers ... the V-CDBS codes will be 001, 01, 1, 11".
+        codes = CDBSComponentPolicy().bulk(4)
+        assert [c.to01() for c in codes] == ["001", "01", "1", "11"]
+
+    def test_cdbs_overflow_guard(self):
+        policy = CDBSComponentPolicy(max_code_bits=6)
+        left = BitString.from_str("011111")
+        with pytest.raises(LengthFieldOverflow):
+            policy.between(left, BitString.from_str("1"))
+
+    def test_qed_bulk_valid(self):
+        from repro.core.qed import validate_qed_code
+
+        for code in QEDComponentPolicy().bulk(10):
+            validate_qed_code(code)
+
+
+@pytest.fixture()
+def doc():
+    return parse_document("<r><a><b/><c/></a><d/><e/></r>")
+
+
+class TestPrefixScheme:
+    def test_root_label_empty(self, doc):
+        labeled = dewey_prefix().label_document(doc)
+        assert labeled.label_of(doc.root) == ()
+
+    def test_dewey_paths(self, doc):
+        labeled = dewey_prefix().label_document(doc)
+        a = doc.root.children[0]
+        assert labeled.label_of(a) == (1,)
+        assert labeled.label_of(a.children[1]) == (1, 2)
+        assert labeled.label_of(doc.root.children[2]) == (3,)
+
+    def test_self_and_parent_label(self, doc):
+        scheme = dewey_prefix()
+        labeled = scheme.label_document(doc)
+        label = labeled.label_of(doc.root.children[0].children[1])
+        assert scheme.self_label(label) == 2
+        assert scheme.parent_label(label) == (1,)
+        with pytest.raises(ValueError):
+            scheme.self_label(())
+        with pytest.raises(ValueError):
+            scheme.parent_label(())
+
+    def test_level(self, doc):
+        scheme = qed_prefix()
+        labeled = scheme.label_document(doc)
+        assert scheme.level_of(labeled.label_of(doc.root)) == 1
+        assert scheme.level_of(labeled.label_of(doc.root.children[0])) == 2
+
+    def test_sibling_from_labels(self, doc):
+        scheme = qed_prefix()
+        labeled = scheme.label_document(doc)
+        d, e = doc.root.children[1], doc.root.children[2]
+        a_child = doc.root.children[0].children[0]
+        assert scheme.is_sibling(labeled.label_of(d), labeled.label_of(e))
+        assert not scheme.is_sibling(labeled.label_of(d), labeled.label_of(d))
+        assert not scheme.is_sibling(labeled.label_of(d), labeled.label_of(a_child))
+
+
+class TestPrefixUpdates:
+    def test_dynamic_insert_no_relabel(self, doc):
+        for factory in (ordpath1_prefix, qed_prefix, cdbs_prefix):
+            document = parse_document("<r><a><b/><c/></a><d/><e/></r>")
+            scheme = factory()
+            labeled = scheme.label_document(document)
+            stats = scheme.insert_subtree(
+                labeled, document.root, 1, Node.element("x")
+            )
+            assert stats.relabeled_nodes == 0, scheme.name
+
+    def test_ordpath_carets_between_siblings(self, doc):
+        scheme = ordpath1_prefix()
+        labeled = scheme.label_document(doc)
+        new = Node.element("x")
+        scheme.insert_subtree(labeled, doc.root, 1, new)
+        label = labeled.label_of(new)
+        assert label == ((2, 1),)  # careted between (1,) and (3,)
+
+    def test_dewey_relabels_following_siblings(self, doc):
+        scheme = dewey_prefix()
+        labeled = scheme.label_document(doc)
+        stats = scheme.insert_subtree(labeled, doc.root, 1, Node.element("x"))
+        # Following siblings d and e (plus no descendants) re-labeled;
+        # the a-subtree before the insertion point is untouched.
+        assert stats.relabeled_nodes == 2
+        assert labeled.label_of(doc.root.children[1]) == (2,)  # new node
+        assert labeled.label_of(doc.root.children[2]) == (3,)  # d
+        assert labeled.label_of(doc.root.children[3]) == (4,)  # e
+
+    def test_dewey_relabel_counts_descendants(self):
+        document = parse_document("<r><a/><b><x/><y/></b></r>")
+        scheme = dewey_prefix()
+        labeled = scheme.label_document(document)
+        stats = scheme.insert_subtree(labeled, document.root, 0, Node.element("n"))
+        # a, b, x, y all change complete labels.
+        assert stats.relabeled_nodes == 4
+
+    def test_dewey_append_no_relabel(self, doc):
+        scheme = dewey_prefix()
+        labeled = scheme.label_document(doc)
+        stats = scheme.insert_subtree(
+            labeled, doc.root, len(doc.root.children), Node.element("x")
+        )
+        assert stats.relabeled_nodes == 0
+
+    def test_insert_subtree_deep(self, doc):
+        scheme = qed_prefix()
+        labeled = scheme.label_document(doc)
+        subtree = Node.element("s")
+        subtree.append_child(Node.element("t"))
+        scheme.insert_subtree(labeled, doc.root, 0, subtree)
+        assert scheme.is_parent(
+            labeled.label_of(subtree), labeled.label_of(subtree.children[0])
+        )
+
+    def test_unknown_parent_rejected(self, doc):
+        scheme = qed_prefix()
+        labeled = scheme.label_document(doc)
+        with pytest.raises(ValueError):
+            scheme.insert_subtree(labeled, Node.element("alien"), 0, Node.element("x"))
+
+
+class TestLabelSizes:
+    def test_cdbs_utf8_matches_dewey(self, doc):
+        """The paper: CDBS(UTF8)-Prefix has the same label size as
+        DeweyID(UTF8)-Prefix (both UTF-8 framed)."""
+        dewey = dewey_prefix().label_document(doc)
+        cdbs = cdbs_prefix().label_document(doc)
+        assert dewey.total_label_bits() == cdbs.total_label_bits()
+
+    def test_ordpath_larger_than_qed_on_small_fanouts(self):
+        """Figure 5: QED-Prefix beats OrdPath at realistic fan-outs,
+        where OrdPath's odd-only ordinals waste a value bit per level."""
+        body = "<a><b/><c/><d/></a>" * 8
+        document = parse_document(f"<r>{body}</r>")
+        ordpath = ordpath1_prefix().label_document(document)
+        qed = qed_prefix().label_document(document)
+        assert qed.total_label_bits() < ordpath.total_label_bits()
+
+    def test_binary_string_grows_with_position(self):
+        document = parse_document(
+            "<r>" + "<c/>" * 60 + "</r>"
+        )
+        scheme = binary_string_prefix()
+        labeled = scheme.label_document(document)
+        last = labeled.label_of(document.root.children[-1])
+        assert scheme.label_bits(last) == 60

@@ -1,0 +1,197 @@
+"""Prime scheme: primes, CRT, SC maintenance (Sections 2.3 / 7.3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.labeling.prime import (
+    GROUP_SIZE,
+    PrimeScheme,
+    crt,
+    first_primes,
+    prime_scheme,
+)
+from repro.xmltree import Node, parse_document
+
+
+class TestFirstPrimes:
+    def test_starts_at_eleven(self):
+        assert first_primes(5) == [11, 13, 17, 19, 23]
+
+    def test_count(self):
+        assert len(first_primes(1000)) == 1000
+
+    def test_all_prime(self):
+        for p in first_primes(200):
+            assert p >= 2
+            assert all(p % d for d in range(2, int(math.isqrt(p)) + 1))
+
+    def test_minimum_respected(self):
+        primes = first_primes(5, minimum=100)
+        assert primes[0] >= 100
+
+    def test_zero(self):
+        assert first_primes(0) == []
+
+    def test_negative(self):
+        with pytest.raises(ValueError):
+            first_primes(-1)
+
+    def test_large_count_bound_growth(self):
+        primes = first_primes(20_000)
+        assert len(primes) == 20_000
+        assert primes == sorted(primes)
+
+
+class TestCrt:
+    def test_textbook_example(self):
+        # x = 2 mod 3, 3 mod 5, 2 mod 7 -> 23.
+        assert crt([2, 3, 2], [3, 5, 7]) == 23
+
+    def test_single(self):
+        assert crt([4], [11]) == 4
+
+    def test_residues_recoverable(self):
+        moduli = [11, 13, 17, 19, 23]
+        residues = [1, 2, 3, 4, 5]
+        solution = crt(residues, moduli)
+        assert [solution % m for m in moduli] == residues
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            crt([1, 2], [3])
+
+    @settings(max_examples=40)
+    @given(st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=5))
+    def test_property_recovery(self, residues):
+        moduli = first_primes(len(residues))
+        solution = crt(residues, moduli)
+        assert [solution % m for m in moduli] == residues
+        assert 0 <= solution < math.prod(moduli)
+
+
+@pytest.fixture()
+def doc():
+    return parse_document("<r><a><b/><c/></a><d/><e><f/></e></r>")
+
+
+class TestPrimeLabeling:
+    def test_products_multiply_down_paths(self, doc):
+        scheme = prime_scheme()
+        labeled = scheme.label_document(doc)
+        root_label = labeled.label_of(doc.root)
+        a_label = labeled.label_of(doc.root.children[0])
+        assert a_label.product % root_label.product == 0
+        assert a_label.product // a_label.self_label == root_label.product
+
+    def test_self_labels_distinct_primes(self, doc):
+        labeled = prime_scheme().label_document(doc)
+        selfs = [label.self_label for label in labeled.labels.values()]
+        assert len(set(selfs)) == len(selfs)
+        assert min(selfs) >= 11
+
+    def test_groups_cover_all_nodes(self, doc):
+        labeled = prime_scheme().label_document(doc)
+        groups = labeled.extra["sc_groups"]
+        assert sum(len(g.primes) for g in groups) == doc.node_count()
+        assert len(groups) == -(-doc.node_count() // GROUP_SIZE)
+
+    def test_local_order_recovery(self, doc):
+        labeled = prime_scheme().label_document(doc)
+        for group in labeled.extra["sc_groups"]:
+            recovered = [group.local_order(p) for p in group.primes]
+            assert recovered == list(range(1, len(group.primes) + 1))
+
+    def test_order_key_requires_group(self):
+        from repro.labeling.prime import PrimeLabel
+
+        scheme = prime_scheme()
+        with pytest.raises(ValueError):
+            scheme.order_key(PrimeLabel(11, 11))
+
+    def test_label_bits_grow_with_depth(self, doc):
+        scheme = prime_scheme()
+        labeled = scheme.label_document(doc)
+        shallow = scheme.label_bits(labeled.label_of(doc.root))
+        deep = scheme.label_bits(
+            labeled.label_of(doc.root.children[0].children[0])
+        )
+        assert deep > shallow
+
+
+class TestPrimeUpdates:
+    def test_insert_relabels_nothing(self, doc):
+        scheme = prime_scheme()
+        labeled = scheme.label_document(doc)
+        old_products = {
+            node_id: label.product for node_id, label in labeled.labels.items()
+        }
+        stats = scheme.insert_subtree(labeled, doc.root, 1, Node.element("x"))
+        assert stats.relabeled_nodes == 0
+        for node_id, product in old_products.items():
+            assert labeled.labels[node_id].product == product
+
+    def test_insert_recomputes_suffix_groups(self, doc):
+        scheme = prime_scheme()
+        labeled = scheme.label_document(doc)
+        stats = scheme.insert_subtree(labeled, doc.root, 0, Node.element("x"))
+        # Insertion at document position 2 (0-based 1): groups from 0 on.
+        total_after = -(-labeled.node_count() // GROUP_SIZE)
+        assert stats.sc_recomputed == total_after
+
+    def test_insert_at_end_touches_last_group_only(self):
+        document = parse_document("<r>" + "<a/>" * 14 + "</r>")
+        scheme = prime_scheme()
+        labeled = scheme.label_document(document)
+        stats = scheme.insert_subtree(
+            labeled, document.root, 14, Node.element("x")
+        )
+        assert stats.sc_recomputed == 1
+
+    def test_new_nodes_get_fresh_primes(self, doc):
+        scheme = prime_scheme()
+        labeled = scheme.label_document(doc)
+        before_max = max(l.self_label for l in labeled.labels.values())
+        new = Node.element("x")
+        scheme.insert_subtree(labeled, doc.root, 0, new)
+        assert labeled.label_of(new).self_label > before_max
+
+    def test_order_still_correct_after_inserts(self, doc):
+        scheme = prime_scheme()
+        labeled = scheme.label_document(doc)
+        for index in (0, 2, 4):
+            scheme.insert_subtree(labeled, doc.root, index, Node.element("x"))
+        keys = [
+            scheme.order_key(labeled.label_of(n))
+            for n in labeled.nodes_in_order
+        ]
+        assert keys == sorted(keys)
+
+    def test_delete_recomputes_groups(self, doc):
+        scheme = prime_scheme()
+        labeled = scheme.label_document(doc)
+        stats = scheme.delete_subtree(labeled, doc.root.children[0])
+        assert stats.deleted_nodes == 3
+        assert stats.sc_recomputed >= 1
+        keys = [
+            scheme.order_key(labeled.label_of(n))
+            for n in labeled.nodes_in_order
+        ]
+        assert keys == sorted(keys)
+
+    def test_table4_prime_formula(self, fresh_hamlet):
+        """sc_recomputed == total_groups_after − insert_position // 5."""
+        scheme = prime_scheme()
+        labeled = scheme.label_document(fresh_hamlet)
+        acts = [c for c in fresh_hamlet.root.children if c.name == "act"]
+        target = acts[2]
+        position = labeled.nodes_in_order.index(target)
+        stats = scheme.insert_subtree(
+            labeled, fresh_hamlet.root, target.index_in_parent, Node.element("act")
+        )
+        total_groups = -(-labeled.node_count() // GROUP_SIZE)
+        assert stats.sc_recomputed == total_groups - position // GROUP_SIZE

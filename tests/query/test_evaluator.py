@@ -1,0 +1,147 @@
+"""Differential testing: the label-driven engine vs the reference
+evaluator, for every scheme family (DESIGN.md invariant 8)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets import build_play
+from repro.labeling import make_scheme, scheme_names
+from repro.query import (
+    CollectionQueryEngine,
+    QueryEngine,
+    TABLE3_QUERIES,
+    evaluate_reference,
+    parse_query,
+)
+from repro.xmltree import Collection, Node, parse_document
+
+from tests.conftest import make_small_document
+
+ALL = tuple(scheme_names())
+
+GENERIC_QUERIES = [
+    "/root",
+    "/root/a",
+    "//b",
+    "//a/b",
+    "/root//c",
+    "/root/*",
+    "//a[1]",
+    "//b[2]",
+    "//a[./b]",
+    "//a[.//c]",
+    "//a[2]/following::b",
+    "//b[1]/preceding-sibling::*",
+    "//c/ancestor::a",
+    "//a/following-sibling::a",
+]
+
+
+@pytest.fixture(scope="module", params=ALL)
+def play_engine(request):
+    document = build_play("queryplay", 900, seed=31)
+    labeled = make_scheme(request.param).label_document(document)
+    return document, QueryEngine(labeled)
+
+
+class TestTable3Differential:
+    @pytest.mark.parametrize("query_id", list(TABLE3_QUERIES))
+    def test_matches_reference(self, play_engine, query_id):
+        document, engine = play_engine
+        query = TABLE3_QUERIES[query_id]
+        expected = evaluate_reference(document, query)
+        got = engine.evaluate(query)
+        assert [id(n) for n in got] == [id(n) for n in expected]
+
+
+class TestGenericDifferential:
+    @pytest.mark.parametrize("scheme_name", ALL)
+    def test_random_documents(self, scheme_name):
+        document = make_small_document(seed=55, size=220)
+        labeled = make_scheme(scheme_name).label_document(document)
+        engine = QueryEngine(labeled)
+        for query in GENERIC_QUERIES:
+            expected = evaluate_reference(document, query)
+            got = engine.evaluate(query)
+            assert [id(n) for n in got] == [id(n) for n in expected], query
+
+
+class TestEngineBehaviour:
+    def test_count(self):
+        document = parse_document("<r><a/><a/></r>")
+        engine = QueryEngine(
+            make_scheme("QED-Containment").label_document(document)
+        )
+        assert engine.count("/r/a") == 2
+
+    def test_accepts_parsed_path(self):
+        document = parse_document("<r><a/></r>")
+        engine = QueryEngine(
+            make_scheme("QED-Prefix").label_document(document)
+        )
+        assert engine.count(parse_query("/r/a")) == 1
+
+    def test_empty_result_short_circuit(self):
+        document = parse_document("<r><a/></r>")
+        engine = QueryEngine(
+            make_scheme("QED-Prefix").label_document(document)
+        )
+        assert engine.evaluate("/zzz/a/b") == []
+
+    def test_scan_bytes_accumulates(self):
+        document = parse_document("<r>" + "<a/>" * 30 + "</r>")
+        engine = QueryEngine(
+            make_scheme("V-CDBS-Containment").label_document(document)
+        )
+        engine.evaluate("/r/a")
+        assert engine.scan_bytes > 0
+
+    def test_scan_bytes_bigger_for_bigger_labels(self):
+        # Prime's label size blows up with depth (path products), which
+        # is what drives its Figure 6 response times.
+        body = "<a>" * 8 + "<a/>" + "</a>" * 8
+        document = parse_document(f"<r>{body * 3}</r>")
+        small = QueryEngine(
+            make_scheme("V-CDBS-Containment").label_document(document)
+        )
+        big = QueryEngine(make_scheme("Prime").label_document(document))
+        small.evaluate("//a")
+        big.evaluate("//a")
+        assert big.scan_bytes > small.scan_bytes
+
+    def test_query_after_update(self):
+        document = parse_document("<r><a/><a/></r>")
+        labeled = make_scheme("V-CDBS-Containment").label_document(document)
+        engine = QueryEngine(labeled)
+        assert engine.count("/r/a") == 2
+        labeled.scheme.insert_subtree(labeled, document.root, 1, Node.element("a"))
+        assert engine.count("/r/a") == 3
+        expected = evaluate_reference(document, "/r/a")
+        assert [id(n) for n in engine.evaluate("/r/a")] == [
+            id(n) for n in expected
+        ]
+
+
+class TestCollectionEngine:
+    def test_aggregates_documents(self):
+        docs = [
+            parse_document("<r><a/></r>", name="one"),
+            parse_document("<r><a/><a/></r>", name="two"),
+        ]
+        labeled = [
+            make_scheme("QED-Containment").label_document(d) for d in docs
+        ]
+        engine = CollectionQueryEngine(labeled)
+        assert engine.count("/r/a") == 3
+
+    def test_scan_bytes_summed(self):
+        docs = [parse_document("<r><a/></r>") for _ in range(3)]
+        labeled = [
+            make_scheme("V-CDBS-Containment").label_document(d) for d in docs
+        ]
+        engine = CollectionQueryEngine(labeled)
+        engine.evaluate("/r/a")
+        assert engine.scan_bytes == sum(e.scan_bytes for e in engine.engines)

@@ -1,0 +1,116 @@
+"""Direct unit tests of the structural-join strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.labeling import make_scheme
+from repro.query.joins import (
+    join_ancestor,
+    join_child,
+    join_descendant,
+    parent_key,
+)
+from repro.xmltree import parse_document
+
+DOC_TEXT = "<r><a><b/><b><c/></b></a><a><c/></a><b/></r>"
+
+
+@pytest.fixture(
+    params=["V-CDBS-Containment", "QED-Prefix", "Prime", "F-Binary-Containment"]
+)
+def fixture(request):
+    document = parse_document(DOC_TEXT)
+    labeled = make_scheme(request.param).label_document(document)
+    return document, labeled
+
+
+def nodes_of(labeled, tag):
+    return labeled.tag_index.get(tag, [])
+
+
+class TestJoinChild:
+    def test_basic(self, fixture):
+        document, labeled = fixture
+        a_nodes = nodes_of(labeled, "a")
+        b_nodes = nodes_of(labeled, "b")
+        result = join_child(labeled, a_nodes, b_nodes)
+        # b children of a: the two inside the first <a>.
+        assert len(result) == 2
+        assert all(node.parent.name == "a" for node in result)
+
+    def test_empty_inputs(self, fixture):
+        document, labeled = fixture
+        assert join_child(labeled, [], nodes_of(labeled, "b")) == []
+        assert join_child(labeled, nodes_of(labeled, "a"), []) == []
+
+    def test_no_matches(self, fixture):
+        document, labeled = fixture
+        c_nodes = nodes_of(labeled, "c")
+        a_nodes = nodes_of(labeled, "a")
+        # No <a> is a child of a <c>.
+        assert join_child(labeled, c_nodes, a_nodes) == []
+
+    def test_output_in_document_order(self, fixture):
+        document, labeled = fixture
+        result = join_child(
+            labeled, [document.root], nodes_of(labeled, "a") + []
+        )
+        keys = [
+            labeled.scheme.order_key(labeled.label_of(n)) for n in result
+        ]
+        assert keys == sorted(keys)
+
+
+class TestJoinDescendant:
+    def test_basic(self, fixture):
+        document, labeled = fixture
+        a_nodes = nodes_of(labeled, "a")
+        c_nodes = nodes_of(labeled, "c")
+        result = join_descendant(labeled, a_nodes, c_nodes)
+        assert len(result) == 2  # both <c>s are under some <a>
+
+    def test_strictness(self, fixture):
+        document, labeled = fixture
+        a_nodes = nodes_of(labeled, "a")
+        # A node is not its own descendant.
+        assert join_descendant(labeled, a_nodes, a_nodes) == []
+
+    def test_from_root(self, fixture):
+        document, labeled = fixture
+        everything = [
+            n for n in labeled.nodes_in_order if n is not document.root
+        ]
+        result = join_descendant(labeled, [document.root], everything)
+        assert len(result) == len(everything)
+
+
+class TestJoinAncestor:
+    def test_basic(self, fixture):
+        document, labeled = fixture
+        c_nodes = nodes_of(labeled, "c")
+        a_nodes = nodes_of(labeled, "a")
+        result = join_ancestor(labeled, c_nodes, a_nodes)
+        assert len(result) == 2  # both <a>s contain a <c>
+
+    def test_root_is_everyones_ancestor(self, fixture):
+        document, labeled = fixture
+        result = join_ancestor(
+            labeled, nodes_of(labeled, "c"), [document.root]
+        )
+        assert result == [document.root]
+
+
+class TestParentKey:
+    def test_same_parent_same_key(self, fixture):
+        document, labeled = fixture
+        first_a = nodes_of(labeled, "a")[0]
+        b_children = [c for c in first_a.children if c.name == "b"]
+        keys = {parent_key(labeled, node) for node in b_children}
+        assert len(keys) == 1
+
+    def test_different_parents_different_keys(self, fixture):
+        document, labeled = fixture
+        c_nodes = nodes_of(labeled, "c")
+        keys = {parent_key(labeled, node) for node in c_nodes}
+        assert len(keys) == 2

@@ -1,0 +1,135 @@
+"""Hand-checked semantics of the reference (tree-walking) evaluator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query import evaluate_reference
+from repro.xmltree import parse_document
+
+DOC = parse_document(
+    """
+    <play>
+      <title>T</title>
+      <personae>
+        <title>Persons</title>
+        <persona>P1</persona>
+        <pgroup><persona>P2</persona><grpdescr>g</grpdescr></pgroup>
+        <persona>P3</persona>
+      </personae>
+      <act>
+        <title>A1</title>
+        <scene><speech><speaker>S1</speaker><line>l1</line><line>l2</line></speech></scene>
+      </act>
+      <act>
+        <title>A2</title>
+        <scene><speech><speaker>S2</speaker><line>l3</line></speech></scene>
+      </act>
+    </play>
+    """
+)
+
+
+def names(nodes):
+    return [n.name for n in nodes]
+
+
+def texts(nodes):
+    return [n.text_content() for n in nodes]
+
+
+class TestChildAndDescendant:
+    def test_root_match(self):
+        assert names(evaluate_reference(DOC, "/play")) == ["play"]
+
+    def test_root_mismatch(self):
+        assert evaluate_reference(DOC, "/nope") == []
+
+    def test_child_chain(self):
+        assert texts(evaluate_reference(DOC, "/play/act/title")) == ["A1", "A2"]
+
+    def test_descendant(self):
+        assert len(evaluate_reference(DOC, "//line")) == 3
+
+    def test_descendant_includes_root_level(self):
+        assert names(evaluate_reference(DOC, "//play")) == ["play"]
+
+    def test_wildcard(self):
+        assert names(evaluate_reference(DOC, "/play/*")) == [
+            "title",
+            "personae",
+            "act",
+            "act",
+        ]
+
+    def test_results_in_document_order(self):
+        lines = evaluate_reference(DOC, "//line")
+        assert texts(lines) == ["l1", "l2", "l3"]
+
+
+class TestPredicates:
+    def test_positional(self):
+        acts = evaluate_reference(DOC, "/play/act[2]")
+        assert texts(evaluate_reference(DOC, "/play/act[2]/title")) == ["A2"]
+        assert len(acts) == 1
+
+    def test_positional_out_of_range(self):
+        assert evaluate_reference(DOC, "/play/act[9]") == []
+
+    def test_positional_is_per_parent(self):
+        # //line[1]: the first line of EACH speech.
+        assert texts(evaluate_reference(DOC, "//line[1]")) == ["l1", "l3"]
+
+    def test_exists_child(self):
+        assert names(evaluate_reference(DOC, "/play/personae[./title]")) == [
+            "personae"
+        ]
+        assert evaluate_reference(DOC, "/play/personae[./persona_x]") == []
+
+    def test_exists_descendant(self):
+        found = evaluate_reference(DOC, "/play//pgroup[.//grpdescr]")
+        assert names(found) == ["pgroup"]
+
+    def test_q2_shape(self):
+        found = evaluate_reference(
+            DOC, "/play//personae[./title]/pgroup[.//grpdescr]/persona"
+        )
+        assert texts(found) == ["P2"]
+
+
+class TestOrderedAxes:
+    def test_preceding_sibling(self):
+        found = evaluate_reference(
+            DOC, "/play/personae/persona[2]/preceding-sibling::*"
+        )
+        assert names(found) == ["title", "persona", "pgroup"]
+
+    def test_preceding_sibling_with_test(self):
+        found = evaluate_reference(
+            DOC, "/play/personae/persona[2]/preceding-sibling::persona"
+        )
+        assert texts(found) == ["P1"]
+
+    def test_following_sibling(self):
+        found = evaluate_reference(
+            DOC, "/play/personae/following-sibling::act"
+        )
+        assert len(found) == 2
+
+    def test_following_excludes_descendants(self):
+        found = evaluate_reference(DOC, "//act[1]/following::line")
+        assert texts(found) == ["l3"]
+
+    def test_following_includes_non_siblings(self):
+        found = evaluate_reference(DOC, "//personae/following::speaker")
+        assert texts(found) == ["S1", "S2"]
+
+    def test_ancestor(self):
+        found = evaluate_reference(DOC, "//line/ancestor::act")
+        assert len(found) == 2  # deduped
+
+    def test_q4_shape(self):
+        found = evaluate_reference(DOC, "//act[2]/following::speaker")
+        assert texts(found) == []  # nothing after act 2's speaker? S2 is inside act[2]
+        found_after_first = evaluate_reference(DOC, "//act[1]/following::speaker")
+        assert texts(found_after_first) == ["S2"]

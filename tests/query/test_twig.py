@@ -1,0 +1,116 @@
+"""Twig-pattern evaluation by semi-join reduction vs the general engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import UnsupportedOperationError
+from repro.labeling import make_scheme
+from repro.query import QueryEngine
+from repro.query.twig import compile_twig, evaluate_twig
+from repro.xmltree import parse_document
+
+from tests.conftest import make_small_document
+
+TWIG_QUERIES = [
+    "/root",
+    "/root/a",
+    "//b",
+    "//a/b",
+    "/root//c",
+    "/root/*",
+    "//a[./b]",
+    "//a[.//c]/b",
+    "//a[./b][./c]",
+    "//a[./b[./c]]",
+    "/nомatch/x".replace("о", "o"),
+]
+
+FAMILY_SCHEMES = (
+    "V-CDBS-Containment",
+    "QED-Prefix",
+    "Prime",
+    "F-Binary-Containment",
+)
+
+
+class TestCompile:
+    def test_simple_chain(self):
+        twig = compile_twig("/a/b//c")
+        assert twig.test == "a" and twig.axis == "child"
+        assert twig.children[0].test == "b"
+        assert twig.children[0].children[0].axis == "descendant"
+        assert twig.children[0].children[0].output
+
+    def test_predicates_become_branches(self):
+        twig = compile_twig("//a[./b][.//c]/d")
+        tests = sorted(child.test for child in twig.children)
+        assert tests == ["b", "c", "d"]
+        outputs = [child for child in twig.children if child.output]
+        assert [node.test for node in outputs] == ["d"]
+
+    def test_predicate_chains_not_output(self):
+        twig = compile_twig("//a[./b/c]")
+        branch = twig.children[0]
+        assert not branch.output and not branch.children[0].output
+        assert twig.output  # the main tail
+
+    def test_describe(self):
+        assert "//" in compile_twig("//a/b").describe()
+
+    @pytest.mark.parametrize(
+        "query",
+        ["/a[2]", "/a/preceding-sibling::b", "//a/following::b", "/a/parent::b"],
+    )
+    def test_non_twig_rejected(self, query):
+        with pytest.raises(UnsupportedOperationError):
+            compile_twig(query)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("scheme_name", FAMILY_SCHEMES)
+    def test_matches_general_engine(self, scheme_name):
+        document = make_small_document(seed=71, size=250)
+        labeled = make_scheme(scheme_name).label_document(document)
+        engine = QueryEngine(labeled)
+        for query in TWIG_QUERIES:
+            expected = [id(n) for n in engine.evaluate(query)]
+            got = [id(n) for n in evaluate_twig(labeled, query)]
+            assert got == expected, query
+
+    def test_attribute_twigs(self):
+        document = parse_document('<r><a id="1"><b/></a><a><b/></a></r>')
+        labeled = make_scheme("QED-Containment").label_document(document)
+        engine = QueryEngine(labeled)
+        for query in ("//a[./@id]/b", "/r/a/@id"):
+            expected = [id(n) for n in engine.evaluate(query)]
+            assert [
+                id(n) for n in evaluate_twig(labeled, query)
+            ] == expected, query
+
+    def test_deep_branch_pruning(self):
+        # Only the <a> with the full sub-pattern survives reduction.
+        document = parse_document(
+            "<r><a><b><c/></b></a><a><b/></a><a/></r>"
+        )
+        labeled = make_scheme("V-CDBS-Containment").label_document(document)
+        result = evaluate_twig(labeled, "//a[./b[./c]]")
+        assert len(result) == 1
+        assert result[0].children[0].children[0].name == "c"
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_property_equivalence_random_documents(self, seed):
+        document = make_small_document(seed=seed, size=150)
+        labeled = make_scheme("V-CDBS-Containment").label_document(document)
+        engine = QueryEngine(labeled)
+        for query in ("//a[./b]", "//b/c", "/root//a[.//c]/b"):
+            expected = [id(n) for n in engine.evaluate(query)]
+            got = [id(n) for n in evaluate_twig(labeled, query)]
+            assert got == expected, (seed, query)

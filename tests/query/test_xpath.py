@@ -1,0 +1,150 @@
+"""The XPath-fragment parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.query import (
+    ExistsPredicate,
+    Path,
+    PositionPredicate,
+    Step,
+    TABLE3_QUERIES,
+    parse_query,
+)
+
+
+class TestBasicPaths:
+    def test_single_child_step(self):
+        path = parse_query("/play")
+        assert path.absolute
+        assert path.steps == (Step("child", "play"),)
+
+    def test_child_chain(self):
+        path = parse_query("/a/b/c")
+        assert [s.axis for s in path.steps] == ["child"] * 3
+        assert [s.test for s in path.steps] == ["a", "b", "c"]
+
+    def test_descendant(self):
+        path = parse_query("//line")
+        assert path.steps == (Step("descendant", "line"),)
+
+    def test_mixed_separators(self):
+        path = parse_query("/play//act/scene")
+        assert [s.axis for s in path.steps] == ["child", "descendant", "child"]
+
+    def test_wildcard(self):
+        path = parse_query("/play/*")
+        assert path.steps[1].test is None
+
+    def test_whitespace_tolerated(self):
+        assert parse_query(" /a / b ") == parse_query("/a/b")
+
+    def test_names_with_digits_and_dots(self):
+        path = parse_query("/ns:tag.v2/x-y")
+        assert path.steps[0].test == "ns:tag.v2"
+        assert path.steps[1].test == "x-y"
+
+
+class TestAxes:
+    def test_preceding_sibling(self):
+        path = parse_query("/a/preceding-sibling::*")
+        assert path.steps[1].axis == "preceding-sibling"
+        assert path.steps[1].test is None
+
+    def test_following(self):
+        path = parse_query("//act[2]/following::speaker")
+        assert path.steps[1] == Step("following", "speaker")
+
+    def test_following_sibling(self):
+        assert parse_query("/a/following-sibling::b").steps[1].axis == (
+            "following-sibling"
+        )
+
+    def test_ancestor(self):
+        assert parse_query("/a/ancestor::r").steps[1].axis == "ancestor"
+
+    def test_explicit_child_axis(self):
+        assert parse_query("/child::a") == parse_query("/a")
+
+    def test_parent_axis(self):
+        assert parse_query("/a/b/parent::a").steps[2].axis == "parent"
+
+    def test_attribute_test(self):
+        step = parse_query("/a/@id").steps[1]
+        assert step.attribute and step.test == "id"
+        wildcard = parse_query("/a/@*").steps[1]
+        assert wildcard.attribute and wildcard.test is None
+
+    def test_attribute_on_non_child_axis_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_query("/a/following::@id")
+
+    def test_unknown_axis(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_query("/a/preceding::b")
+
+    def test_dslash_with_axis_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_query("/a//preceding-sibling::b")
+
+
+class TestPredicates:
+    def test_positional(self):
+        path = parse_query("/play/act[4]")
+        assert path.steps[1].predicates == (PositionPredicate(4),)
+
+    def test_zero_position_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_query("/a[0]")
+
+    def test_relative_child_exists(self):
+        path = parse_query("/personae[./title]")
+        (predicate,) = path.steps[0].predicates
+        assert isinstance(predicate, ExistsPredicate)
+        assert not predicate.path.absolute
+        assert predicate.path.steps == (Step("child", "title"),)
+
+    def test_relative_descendant_exists(self):
+        path = parse_query("/pgroup[.//grpdescr]")
+        (predicate,) = path.steps[0].predicates
+        assert predicate.path.steps == (Step("descendant", "grpdescr"),)
+
+    def test_bare_name_shorthand(self):
+        assert parse_query("/a[title]") == parse_query("/a[./title]")
+
+    def test_multi_step_predicate_path(self):
+        path = parse_query("/a[./b//c]")
+        (predicate,) = path.steps[0].predicates
+        assert [s.axis for s in predicate.path.steps] == ["child", "descendant"]
+
+    def test_stacked_predicates(self):
+        path = parse_query("/a[./b][2]")
+        kinds = [type(p) for p in path.steps[0].predicates]
+        assert kinds == [ExistsPredicate, PositionPredicate]
+
+    def test_absolute_predicate_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_query("/a[/b]")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        ["", "a/b", "/", "/a[", "/a[]", "/a[b", "/a]", "/a/", "/a[@id]", "/a$b"],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(XPathSyntaxError):
+            parse_query(text)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("query", list(TABLE3_QUERIES.values()))
+    def test_table3_queries_parse_and_reprint(self, query):
+        path = parse_query(query)
+        # The printed form re-parses to the identical AST.
+        assert parse_query(str(path)) == path
+
+    def test_str_of_simple_paths(self):
+        assert str(parse_query("/a//b[3]")) == "/a//b[3]"

@@ -1,0 +1,129 @@
+"""Shredding and the relational query translation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnsupportedOperationError
+from repro.labeling import make_scheme, scheme_names
+from repro.query import QueryEngine
+from repro.relational import RelationalQueryEngine, shred
+from repro.xmltree import Node, parse_document
+
+from tests.conftest import make_small_document
+
+FAMILY_SCHEMES = (
+    "V-CDBS-Containment",
+    "QED-Containment",
+    "QED-Prefix",
+    "OrdPath1-Prefix",
+    "DeweyID(UTF8)-Prefix",
+    "Prime",
+    "F-Binary-Containment",
+)
+
+QUERIES = [
+    "/root",
+    "/root/a",
+    "//b",
+    "//a/b",
+    "/root//c",
+    "/root/*",
+    "//a[1]",
+    "//b[2]",
+    "//a[./b]",
+    "//a[.//c]",
+    "//a/@*",
+]
+
+
+class TestShred:
+    def test_row_per_node(self):
+        document = parse_document('<r a="1"><x>t</x></r>')
+        labeled = make_scheme("V-CDBS-Containment").label_document(document)
+        shredded = shred(labeled)
+        assert shredded.row_count() == 4
+
+    def test_node_row_roundtrip(self):
+        document = parse_document("<r><x/><y/></r>")
+        labeled = make_scheme("QED-Prefix").label_document(document)
+        shredded = shred(labeled)
+        for node in labeled.nodes_in_order:
+            assert shredded.node_for_row(shredded.row_for_node(node)) is node
+
+    def test_add_and_remove_subtree(self):
+        document = parse_document("<r><x/></r>")
+        labeled = make_scheme("V-CDBS-Containment").label_document(document)
+        shredded = shred(labeled)
+        subtree = Node.element("new")
+        subtree.append_child(Node.text("hi"))
+        labeled.scheme.insert_subtree(labeled, document.root, 1, subtree)
+        assert shredded.add_subtree(subtree) == 2
+        assert shredded.row_count() == 4
+        assert shredded.remove_subtree(subtree) == 2
+        assert shredded.row_count() == 2
+
+    def test_refresh_node(self):
+        document = parse_document("<r><x/><y/></r>")
+        labeled = make_scheme("V-Binary-Containment").label_document(document)
+        shredded = shred(labeled)
+        # Force a re-label (static scheme) then refresh the moved rows.
+        labeled.scheme.insert_subtree(labeled, document.root, 0, Node.element("n"))
+        for node in (document.root, *document.root.children):
+            if id(node) in shredded._row_of:
+                shredded.refresh_node(node)
+        shredded.add_subtree(document.root.children[0])
+        engine = RelationalQueryEngine(shredded)
+        assert engine.count("/r/n") == 1
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("scheme_name", FAMILY_SCHEMES)
+    def test_matches_in_memory_engine(self, scheme_name):
+        document = make_small_document(seed=61, size=220)
+        labeled = make_scheme(scheme_name).label_document(document)
+        memory = QueryEngine(labeled)
+        relational = RelationalQueryEngine(shred(labeled))
+        for query in QUERIES:
+            expected = [id(n) for n in memory.evaluate(query)]
+            got = [id(n) for n in relational.evaluate(query)]
+            assert got == expected, (scheme_name, query)
+
+
+class TestPhysicalPlans:
+    def make(self, scheme_name):
+        document = make_small_document(seed=67, size=200)
+        labeled = make_scheme(scheme_name).label_document(document)
+        return RelationalQueryEngine(shred(labeled))
+
+    def test_containment_descendants_use_one_range_scan(self):
+        engine = self.make("V-CDBS-Containment")
+        engine.evaluate("/root//b")
+        assert engine.stats.range_scans == 1
+        assert engine.stats.table_scans == 0
+
+    def test_prefix_descendants_use_range_scans(self):
+        engine = self.make("QED-Prefix")
+        engine.evaluate("/root//b")
+        assert engine.stats.range_scans == 1
+
+    def test_prime_descendants_probe_instead(self):
+        engine = self.make("Prime")
+        engine.evaluate("/root//b")
+        assert engine.stats.range_scans == 0  # no index can answer it
+
+    def test_children_are_point_lookups(self):
+        engine = self.make("V-CDBS-Containment")
+        engine.evaluate("/root/a")
+        assert engine.stats.point_lookups >= 1
+        assert engine.stats.range_scans == 0
+
+    def test_wildcard_without_tag_uses_table_scan(self):
+        engine = self.make("QED-Containment")
+        engine.evaluate("//*")
+        assert engine.stats.table_scans == 1
+
+    def test_order_axes_rejected(self):
+        engine = self.make("V-CDBS-Containment")
+        with pytest.raises(UnsupportedOperationError):
+            engine.evaluate("//a/preceding-sibling::b")

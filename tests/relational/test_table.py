@@ -1,0 +1,130 @@
+"""The miniature relational substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational import OrderedIndex, RelationalError, Table
+
+
+class TestOrderedIndex:
+    def test_insert_and_point_scan(self):
+        index = OrderedIndex("i")
+        index.insert(5, 0)
+        index.insert(3, 1)
+        index.insert(5, 2)
+        assert sorted(index.scan_point(5)) == [0, 2]
+        assert list(index.scan_point(4)) == []
+
+    def test_range_scan_inclusive(self):
+        index = OrderedIndex("i")
+        for position, key in enumerate([1, 3, 5, 7, 9]):
+            index.insert(key, position)
+        assert list(index.scan_range(3, 7)) == [1, 2, 3]
+
+    def test_range_scan_exclusive(self):
+        index = OrderedIndex("i")
+        for position, key in enumerate([1, 3, 5, 7, 9]):
+            index.insert(key, position)
+        assert list(index.scan_range(3, 7, inclusive=(False, False))) == [2]
+
+    def test_open_ends(self):
+        index = OrderedIndex("i")
+        for position, key in enumerate("abc"):
+            index.insert(key, position)
+        assert list(index.scan_range(None, "b")) == [0, 1]
+        assert list(index.scan_range("b", None)) == [1, 2]
+        assert list(index.scan_range(None, None)) == [0, 1, 2]
+
+    def test_remove(self):
+        index = OrderedIndex("i")
+        index.insert("k", 7)
+        index.remove("k", 7)
+        assert len(index) == 0
+        with pytest.raises(RelationalError):
+            index.remove("k", 7)
+
+    def test_string_keys_ordered(self):
+        index = OrderedIndex("i")
+        for position, key in enumerate(["01", "0011", "1"]):
+            index.insert(key, position)
+        # Lexicographic: "0011" < "01" < "1".
+        assert list(index.scan_range(None, None)) == [1, 0, 2]
+
+
+class TestTable:
+    def make(self):
+        return Table("t", ["key", "value"])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(RelationalError):
+            Table("t", ["a", "a"])
+
+    def test_insert_fetch(self):
+        table = self.make()
+        row_id = table.insert(key=1, value="x")
+        assert table.fetch(row_id) == (1, "x")
+        assert table.value(row_id, "value") == "x"
+
+    def test_insert_wrong_columns(self):
+        table = self.make()
+        with pytest.raises(RelationalError):
+            table.insert(key=1)
+        with pytest.raises(RelationalError):
+            table.insert(key=1, value=2, extra=3)
+
+    def test_delete_leaves_tombstone(self):
+        table = self.make()
+        first = table.insert(key=1, value="a")
+        second = table.insert(key=2, value="b")
+        table.delete(first)
+        assert table.row_count() == 1
+        assert table.fetch(second) == (2, "b")
+        with pytest.raises(RelationalError):
+            table.fetch(first)
+
+    def test_update(self):
+        table = self.make()
+        row_id = table.insert(key=1, value="a")
+        table.update(row_id, value="z")
+        assert table.value(row_id, "value") == "z"
+
+    def test_update_maintains_index(self):
+        table = self.make()
+        table.create_index("key")
+        row_id = table.insert(key=1, value="a")
+        table.update(row_id, key=9)
+        assert list(table.index_on("key").scan_point(9)) == [row_id]
+        assert list(table.index_on("key").scan_point(1)) == []
+
+    def test_index_backfills_existing_rows(self):
+        table = self.make()
+        table.insert(key=2, value="b")
+        table.insert(key=1, value="a")
+        index = table.create_index("key")
+        assert list(index.scan_range(None, None)) == [1, 0]
+
+    def test_index_tracks_inserts_and_deletes(self):
+        table = self.make()
+        table.create_index("key")
+        row_id = table.insert(key=4, value="d")
+        assert list(table.index_on("key").scan_point(4)) == [row_id]
+        table.delete(row_id)
+        assert list(table.index_on("key").scan_point(4)) == []
+
+    def test_missing_index(self):
+        with pytest.raises(RelationalError):
+            self.make().index_on("key")
+
+    def test_missing_column(self):
+        table = self.make()
+        row_id = table.insert(key=1, value="a")
+        with pytest.raises(RelationalError):
+            table.value(row_id, "nope")
+
+    def test_scan_with_predicate(self):
+        table = self.make()
+        for key in range(5):
+            table.insert(key=key, value=key * 2)
+        rows = list(table.scan(lambda row: row[0] % 2 == 0))
+        assert len(rows) == 3

@@ -1,0 +1,116 @@
+"""Label bundle persistence: save/load round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.labeling import make_scheme, scheme_names
+from repro.query import QueryEngine, evaluate_reference
+from repro.storage import LabelFileError, load_labeled, save_labeled
+from repro.updates import UpdateEngine
+from repro.xmltree import Node, merge_adjacent_text, parse_document
+
+from tests.conftest import make_small_document
+
+
+def make_labeled(scheme_name, seed=41, size=140):
+    document = make_small_document(seed=seed, size=size)
+    merge_adjacent_text(document.root)
+    return make_scheme(scheme_name).label_document(document)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("scheme_name", scheme_names())
+    def test_queries_identical_after_reload(self, scheme_name, tmp_path):
+        labeled = make_labeled(scheme_name)
+        path = tmp_path / "doc.rpro"
+        save_labeled(labeled, path)
+        reloaded = load_labeled(path)
+        assert reloaded.scheme.name == scheme_name
+        assert reloaded.node_count() == labeled.node_count()
+        for query in ("/root/a", "//b", "//a/b", "//c[1]", "/root/*"):
+            original = [
+                n.text_content()
+                for n in QueryEngine(labeled).evaluate(query)
+            ]
+            restored = [
+                n.text_content()
+                for n in QueryEngine(reloaded).evaluate(query)
+            ]
+            assert original == restored, query
+
+    def test_reloaded_document_still_updatable(self, tmp_path):
+        labeled = make_labeled("V-CDBS-Containment")
+        path = tmp_path / "doc.rpro"
+        save_labeled(labeled, path)
+        reloaded = load_labeled(path)
+        engine = UpdateEngine(reloaded, with_storage=False)
+        result = engine.insert_child(reloaded.document.root, Node.element("new"), 0)
+        assert result.stats.relabeled_nodes == 0
+        keys = [
+            reloaded.scheme.order_key(reloaded.label_of(n))
+            for n in reloaded.nodes_in_order
+        ]
+        assert keys == sorted(keys)
+
+    def test_reloaded_prime_supports_order_and_updates(self, tmp_path):
+        labeled = make_labeled("Prime")
+        path = tmp_path / "doc.rpro"
+        save_labeled(labeled, path)
+        reloaded = load_labeled(path)
+        keys = [
+            reloaded.scheme.order_key(reloaded.label_of(n))
+            for n in reloaded.nodes_in_order
+        ]
+        assert keys == sorted(keys)
+        engine = UpdateEngine(reloaded, with_storage=False)
+        new = Node.element("fresh")
+        engine.insert_child(reloaded.document.root, new, 0)
+        # The new prime must not collide with any persisted one.
+        selfs = [label.self_label for label in reloaded.labels.values()]
+        assert len(set(selfs)) == len(selfs)
+
+    def test_reload_agrees_with_reference_evaluator(self, tmp_path):
+        labeled = make_labeled("QED-Containment")
+        path = tmp_path / "doc.rpro"
+        save_labeled(labeled, path)
+        reloaded = load_labeled(path)
+        expected = [
+            n.text_content()
+            for n in evaluate_reference(reloaded.document, "//b")
+        ]
+        got = [
+            n.text_content() for n in QueryEngine(reloaded).evaluate("//b")
+        ]
+        assert got == expected
+
+
+class TestErrors:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "junk.rpro"
+        path.write_bytes(b"NOT A BUNDLE")
+        with pytest.raises(LabelFileError):
+            load_labeled(path)
+
+    def test_truncated_payload(self, tmp_path):
+        labeled = make_labeled("QED-Prefix")
+        path = tmp_path / "doc.rpro"
+        save_labeled(labeled, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])
+        with pytest.raises(LabelFileError):
+            load_labeled(path)
+
+    def test_malformed_header(self, tmp_path):
+        path = tmp_path / "doc.rpro"
+        path.write_bytes(b"RPRO-LABELS-1\nonly-one-line")
+        with pytest.raises(LabelFileError):
+            load_labeled(path)
+
+    def test_unknown_scheme(self, tmp_path):
+        path = tmp_path / "doc.rpro"
+        path.write_bytes(
+            b"RPRO-LABELS-1\nNo-Such-Scheme\n{}\n1 1\n<a"
+        )
+        with pytest.raises(KeyError):
+            load_labeled(path)

@@ -1,0 +1,80 @@
+"""LabelStore: translating UpdateStats into page I/O."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.labeling import UpdateStats, make_scheme
+from repro.storage import IOCostModel, LabelStore
+from repro.xmltree import parse_document
+
+
+def build_store(scheme_name="V-CDBS-Containment", body=None):
+    doc = parse_document(body or "<r>" + "<a><b/></a>" * 50 + "</r>")
+    labeled = make_scheme(scheme_name).label_document(doc)
+    return LabelStore(labeled, io_model=IOCostModel(0.001, 0.001))
+
+
+class TestLoad:
+    def test_initial_layout(self):
+        store = build_store()
+        assert store.pages.record_count() == 101
+        assert store.pages.total_bytes() > 0
+
+    def test_prime_has_sc_file(self):
+        store = build_store("Prime")
+        assert store.sc_pages.record_count() == -(-101 // 5)
+
+    def test_non_prime_has_empty_sc_file(self):
+        store = build_store()
+        assert store.sc_pages.record_count() == 0
+
+    def test_io_seconds_counts_initial_write(self):
+        store = build_store()
+        assert store.io_seconds_so_far() > 0
+
+
+class TestApplyUpdate:
+    def test_dynamic_insert_one_page(self):
+        store = build_store()
+        pages, seconds = store.apply_update(
+            UpdateStats(inserted_nodes=1, labels_written=1), position=10
+        )
+        assert pages == 1
+        assert seconds == pytest.approx(0.002)
+
+    def test_relabel_touches_suffix(self):
+        store = build_store()
+        pages, seconds = store.apply_update(
+            UpdateStats(inserted_nodes=1, relabeled_nodes=90, labels_written=91),
+            position=10,
+        )
+        assert pages >= 1
+        assert seconds > 0.002 * 0  # read+write charged
+
+    def test_delete(self):
+        store = build_store()
+        before = store.pages.record_count()
+        pages, _ = store.apply_update(
+            UpdateStats(deleted_nodes=5), position=10
+        )
+        assert pages >= 1
+        assert store.pages.record_count() == before - 5
+
+    def test_sc_recompute_reads_label_suffix(self):
+        store = build_store("Prime")
+        reads_before = store.pages.counter.reads
+        store.apply_update(UpdateStats(sc_recomputed=10), position=0)
+        assert store.pages.counter.reads > reads_before
+
+    def test_relabel_costs_more_than_insert(self):
+        insert_store = build_store()
+        relabel_store = build_store()
+        _, insert_seconds = insert_store.apply_update(
+            UpdateStats(inserted_nodes=1, labels_written=1), position=0
+        )
+        _, relabel_seconds = relabel_store.apply_update(
+            UpdateStats(inserted_nodes=1, relabeled_nodes=100, labels_written=101),
+            position=0,
+        )
+        assert relabel_seconds >= insert_seconds

@@ -1,0 +1,119 @@
+"""Page store and I/O cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage import IOCostModel, PageCounter, PageStore
+
+
+class TestIOCostModel:
+    def test_defaults(self):
+        model = IOCostModel()
+        assert model.cost(1, 0) == pytest.approx(0.008)
+        assert model.cost(0, 2) == pytest.approx(0.016)
+
+    def test_custom(self):
+        model = IOCostModel(read_seconds=0.001, write_seconds=0.002)
+        assert model.cost(3, 4) == pytest.approx(0.011)
+
+
+class TestPageCounter:
+    def test_merge(self):
+        merged = PageCounter(1, 2).merge(PageCounter(3, 4))
+        assert (merged.reads, merged.writes) == (4, 6)
+
+
+class TestPageStore:
+    def test_bad_page_size(self):
+        with pytest.raises(ValueError):
+            PageStore(0)
+
+    def test_empty(self):
+        store = PageStore(100)
+        assert store.record_count() == 0
+        assert store.page_count() == 0
+
+    def test_load_counts_pages(self):
+        store = PageStore(100)
+        store.load_records([40] * 10)  # 400 bytes -> 4 pages
+        assert store.record_count() == 10
+        assert store.total_bytes() == 400
+        assert store.page_count() == 4
+        assert store.counter.writes == 4
+
+    def test_load_rejects_negative_sizes(self):
+        with pytest.raises(ValueError):
+            PageStore(100).load_records([10, -1])
+
+    def test_pages_of_range(self):
+        store = PageStore(100)
+        store.load_records([40] * 10)
+        assert store.pages_of_range(0, 0) == 1
+        assert store.pages_of_range(0, 9) == 4
+        # Records 2 (bytes 80..119) spans pages 0 and 1.
+        assert store.pages_of_range(2, 2) == 2
+
+    def test_touch_range_counts(self):
+        store = PageStore(100)
+        store.load_records([40] * 10)
+        store.counter = PageCounter()
+        pages = store.touch_range(0, 9)
+        assert pages == 4
+        assert store.counter.reads == 4
+        assert store.counter.writes == 4
+
+    def test_overwrite_single(self):
+        store = PageStore(100)
+        store.load_records([10] * 5)
+        store.counter = PageCounter()
+        assert store.overwrite(2) == 1
+
+    def test_splice_insert_local_cost(self):
+        store = PageStore(4096)
+        store.load_records([4] * 1000)
+        store.counter = PageCounter()
+        pages = store.splice(500, [4])
+        assert pages == 1  # slotted-page local insert
+        assert store.record_count() == 1001
+
+    def test_splice_large_insert_spans_pages(self):
+        store = PageStore(100)
+        store.load_records([10] * 10)
+        store.counter = PageCounter()
+        pages = store.splice(5, [50] * 10)  # 500 new bytes
+        assert pages == 1 + 500 // 100
+        assert store.record_count() == 20
+
+    def test_splice_remove(self):
+        store = PageStore(100)
+        store.load_records([10] * 10)
+        assert store.splice(2, [], removed=3) >= 1
+        assert store.record_count() == 7
+        assert store.total_bytes() == 70
+
+    def test_splice_noop(self):
+        store = PageStore(100)
+        store.load_records([10] * 10)
+        store.counter = PageCounter()
+        assert store.splice(5, []) == 0
+        assert store.counter.reads == 0
+
+    def test_splice_bounds(self):
+        store = PageStore(100)
+        store.load_records([10] * 10)
+        with pytest.raises(ValueError):
+            store.splice(11, [10])
+        with pytest.raises(ValueError):
+            store.splice(8, [], removed=5)
+
+    def test_relabel_vs_insert_asymmetry(self):
+        """The Figure 7 asymmetry: a re-label storm touches many pages,
+        a dynamic insert touches one."""
+        store = PageStore(4096)
+        store.load_records([4] * 6636)
+        store.counter = PageCounter()
+        insert_pages = store.splice(41, [4])
+        relabel_pages = store.touch_range(41, 6636)
+        assert insert_pages == 1
+        assert relabel_pages >= 6

@@ -1,0 +1,63 @@
+"""The bench CLI and the shipped examples must run end to end."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench.__main__ import main
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestBenchCli:
+    def test_single_experiment(self, capsys):
+        assert main(["--only", "E1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "'V-CDBS': 64" in out
+
+    def test_ablations(self, capsys):
+        assert main(["--only", "E9", "E10"]) == 0
+        out = capsys.readouterr().out
+        assert "binary_dead_end_gaps" in out
+        assert "sequential_total_bits" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["--only", "E99"]) == 2
+
+    def test_table4_output(self, capsys):
+        assert main(["--only", "E5"]) == 0
+        out = capsys.readouterr().out
+        assert "6,596" in out and "1,320" in out
+
+
+class TestExamples:
+    @pytest.mark.parametrize(
+        "script",
+        ["quickstart.py", "order_maintenance.py", "persistent_store.py"],
+    )
+    def test_example_runs(self, script, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", [script])
+        runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+        out = capsys.readouterr().out
+        assert out.strip()
+
+    def test_quickstart_reports_zero_relabels(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+        runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "re-labeled 0 existing nodes" in out
+        assert "Surprise" in out
+
+    def test_order_maintenance_shows_overflow_and_qed(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["order_maintenance.py"])
+        runpy.run_path(
+            str(EXAMPLES / "order_maintenance.py"), run_name="__main__"
+        )
+        out = capsys.readouterr().out
+        assert "CDBS overflowed" in out
+        assert "QED absorbed" in out

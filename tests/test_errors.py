@@ -1,0 +1,64 @@
+"""The exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    InvalidCodeError,
+    LengthFieldOverflow,
+    NotOrderedError,
+    PrecisionExhausted,
+    RelabelRequired,
+    ReproError,
+    UnsupportedOperationError,
+    XMLParseError,
+    XPathSyntaxError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            InvalidCodeError("x"),
+            NotOrderedError("x"),
+            RelabelRequired("x"),
+            LengthFieldOverflow(10, 7),
+            PrecisionExhausted(1.0, 1.0000001),
+            XMLParseError("bad", 3),
+            XPathSyntaxError("bad"),
+            UnsupportedOperationError("x"),
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert isinstance(exc, ReproError)
+
+    def test_relabel_triggers(self):
+        assert isinstance(LengthFieldOverflow(10, 7), RelabelRequired)
+        assert isinstance(PrecisionExhausted(1.0, 2.0), RelabelRequired)
+        assert not isinstance(InvalidCodeError("x"), RelabelRequired)
+
+    def test_value_error_compat(self):
+        # Callers used to ValueError semantics can still catch these.
+        assert isinstance(InvalidCodeError("x"), ValueError)
+        assert isinstance(XMLParseError("bad", 0), ValueError)
+        assert isinstance(XPathSyntaxError("bad"), ValueError)
+
+
+class TestPayloads:
+    def test_overflow_fields(self):
+        error = LengthFieldOverflow(300, 255)
+        assert error.code_bits == 300
+        assert error.max_bits == 255
+        assert "300" in str(error)
+
+    def test_precision_fields(self):
+        error = PrecisionExhausted(1.5, 1.5000001)
+        assert error.left == 1.5
+        assert "1.5" in str(error)
+
+    def test_xml_parse_position(self):
+        error = XMLParseError("unexpected", 42)
+        assert error.position == 42
+        assert "offset 42" in str(error)

@@ -1,0 +1,120 @@
+"""End-to-end integration: parse → label → query → update → re-query.
+
+Walks the full pipeline the way a downstream user would, across all
+three labeling families, and cross-checks against the reference
+evaluator after every mutation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import build_hamlet
+from repro.labeling import make_scheme
+from repro.query import QueryEngine, TABLE3_QUERIES, evaluate_reference
+from repro.updates import UpdateEngine
+from repro.xmltree import (
+    Node,
+    merge_adjacent_text,
+    parse_document,
+    serialize_document,
+)
+
+PIPELINE_SCHEMES = ("V-CDBS-Containment", "QED-Prefix", "Prime")
+
+
+@pytest.mark.parametrize("scheme_name", PIPELINE_SCHEMES)
+def test_full_pipeline(scheme_name):
+    # 1. Author a document as XML text and parse it.
+    text = serialize_document(build_hamlet())
+    document = parse_document(text, name="hamlet")
+    assert document.node_count() == 6636
+
+    # 2. Label it.
+    scheme = make_scheme(scheme_name)
+    labeled = scheme.label_document(document)
+
+    # 3. Query it; spot-check against the reference evaluator.
+    engine = QueryEngine(labeled)
+    for query in ("/play/act", "//speech/speaker", "/play/act[3]//line"):
+        expected = [id(n) for n in evaluate_reference(document, query)]
+        assert [id(n) for n in engine.evaluate(query)] == expected
+
+    # 4. Update: insert a new scene at the front of act 1.
+    updates = UpdateEngine(labeled, with_storage=True)
+    act1 = document.elements_by_tag("act")[0]
+    scene = Node.element("scene")
+    title = scene.append_child(Node.element("title"))
+    title.append_child(Node.text("SCENE 0. A new beginning."))
+    speech = scene.append_child(Node.element("speech"))
+    speech.append_child(Node.element("speaker")).append_child(Node.text("GHOST"))
+    result = updates.insert_child(act1, scene, index=1)  # after act title
+    assert result.stats.inserted_nodes == 6
+    assert result.total_seconds > 0
+
+    # 5. Re-query: results still agree with the reference.
+    for query in ("/play/act[1]/scene[1]/title", "//speaker"):
+        expected = [id(n) for n in evaluate_reference(document, query)]
+        assert [id(n) for n in engine.evaluate(query)] == expected
+
+    # 6. Delete the new scene again and re-check.
+    updates.delete(scene)
+    assert document.node_count() == 6636
+    expected = [id(n) for n in evaluate_reference(document, "//scene/title")]
+    assert [id(n) for n in engine.evaluate("//scene/title")] == expected
+
+
+def test_serialization_of_updated_document_round_trips():
+    document = parse_document("<library><shelf><book>A</book></shelf></library>")
+    labeled = make_scheme("QED-Containment").label_document(document)
+    updates = UpdateEngine(labeled, with_storage=False)
+    shelf = document.elements_by_tag("shelf")[0]
+    book = Node.element("book")
+    book.append_child(Node.text("B"))
+    updates.insert_child(shelf, book)
+    merge_adjacent_text(document.root)
+    text = serialize_document(document)
+    reparsed = parse_document(text)
+    assert [b.text_content() for b in reparsed.elements_by_tag("book")] == [
+        "A",
+        "B",
+    ]
+
+
+def test_order_keys_survive_heavy_churn():
+    """A labeled document subjected to interleaved updates keeps a
+    totally ordered, reference-consistent label set (all families)."""
+    import random
+
+    for scheme_name in PIPELINE_SCHEMES:
+        document = parse_document(
+            "<r>" + "<s><t/><t/></s>" * 10 + "</r>"
+        )
+        labeled = make_scheme(scheme_name).label_document(document)
+        engine = UpdateEngine(labeled, with_storage=False)
+        rng = random.Random(13)
+        for step in range(40):
+            elements = [
+                n
+                for n in labeled.nodes_in_order
+                if n.kind.value == "element"
+            ]
+            if step % 5 == 4:
+                victims = [
+                    n for n in elements if n.parent is not None and not n.children
+                ]
+                if victims:
+                    engine.delete(rng.choice(victims))
+                    continue
+            parent = rng.choice(elements)
+            engine.insert_child(
+                parent, Node.element("u"), rng.randint(0, len(parent.children))
+            )
+        keys = [
+            labeled.scheme.order_key(labeled.label_of(n))
+            for n in labeled.nodes_in_order
+        ]
+        assert keys == sorted(keys), scheme_name
+        expected = [id(n) for n in evaluate_reference(document, "//u")]
+        got = [id(n) for n in QueryEngine(labeled).evaluate("//u")]
+        assert got == expected, scheme_name

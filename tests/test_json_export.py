@@ -1,0 +1,26 @@
+"""The bench CLI's --json export."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.__main__ import main
+
+
+def test_json_export(tmp_path, capsys):
+    out = tmp_path / "results.json"
+    assert main(["--only", "E1", "E9", "E10", "--json", str(out)]) == 0
+    data = json.loads(out.read_text())
+    assert set(data) == {"E1", "E9", "E10"}
+    assert data["E1"]["totals"]["V-CDBS"] == 64
+    assert data["E9"]["cdbs_dead_end_gaps"] == 0
+    assert data["E10"]["sequential_max_bits"] == 1024
+    assert "raw results written" in capsys.readouterr().out
+
+
+def test_json_export_table4(tmp_path, capsys):
+    out = tmp_path / "t4.json"
+    assert main(["--only", "E5", "--json", str(out)]) == 0
+    data = json.loads(out.read_text())
+    assert data["E5"]["V-Binary-Containment"] == [6596, 5121, 3932, 2431, 1300]
+    assert data["E5"]["Prime"] == [1320, 1025, 787, 487, 261]

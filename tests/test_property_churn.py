@@ -1,0 +1,128 @@
+"""Hypothesis-driven churn: random update programs vs the tree oracle.
+
+For every scheme family, a random program of inserts, run-inserts,
+moves and deletes is replayed against a labeled document; after the
+final step all label-derived relationships and a set of queries must
+agree with the plain tree (DESIGN.md invariant 10, in its strongest
+form).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.labeling import make_scheme
+from repro.query import QueryEngine, evaluate_reference
+from repro.updates import UpdateEngine
+from repro.xmltree import Node, NodeKind, parse_document
+
+SCHEMES = (
+    "V-CDBS-Containment",
+    "F-CDBS-Containment",
+    "QED-Containment",
+    "QED-Prefix",
+    "CDBS(UTF8)-Prefix",
+    "OrdPath1-Prefix",
+    "Prime",
+    "V-Binary-Containment",
+    "F-Binary-Containment",
+    "DeweyID(UTF8)-Prefix",
+    "Binary-String-Prefix",
+    "Float-point-Containment",
+    "Gapped-Containment",
+    "Adaptive-CDBS-Containment",
+)
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "run", "delete", "move"]),
+        st.integers(min_value=0, max_value=10**9),
+        st.integers(min_value=0, max_value=10**9),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def _apply_program(scheme_name: str, program) -> None:
+    document = parse_document(
+        "<r>" + "<g><h/><h/></g>" * 6 + "</r>"
+    )
+    labeled = make_scheme(scheme_name).label_document(document)
+    engine = UpdateEngine(labeled, with_storage=False)
+    counter = 0
+    for op, pick_a, pick_b in program:
+        elements = [
+            n
+            for n in labeled.nodes_in_order
+            if n.kind is NodeKind.ELEMENT
+        ]
+        if op == "insert":
+            parent = elements[pick_a % len(elements)]
+            index = pick_b % (len(parent.children) + 1)
+            engine.insert_child(parent, Node.element(f"i{counter}"), index)
+            counter += 1
+        elif op == "run":
+            target = elements[pick_a % len(elements)]
+            if target.parent is None:
+                continue
+            roots = [
+                Node.element(f"r{counter}_{j}")
+                for j in range(1 + pick_b % 3)
+            ]
+            engine.insert_run_before(target, roots)
+            counter += 1
+        elif op == "delete":
+            victims = [
+                n
+                for n in elements
+                if n.parent is not None and not n.children
+            ]
+            if not victims:
+                continue
+            engine.delete(victims[pick_a % len(victims)])
+        elif op == "move":
+            movable = [n for n in elements if n.parent is not None]
+            if len(movable) < 2:
+                continue
+            node = movable[pick_a % len(movable)]
+            target = movable[pick_b % len(movable)]
+            if node is target or node.is_ancestor_of(target):
+                continue
+            engine.move_before(node, target)
+
+    # Oracle checks.
+    nodes = labeled.nodes_in_order
+    assert [id(n) for n in nodes] == [id(n) for n in document.pre_order()]
+    assert len(labeled.labels) == len(nodes)
+    scheme = labeled.scheme
+    keys = [scheme.order_key(labeled.label_of(n)) for n in nodes]
+    assert keys == sorted(keys)
+    rng = random.Random(17)
+    for _ in range(150):
+        a, b = rng.choice(nodes), rng.choice(nodes)
+        assert scheme.is_ancestor(
+            labeled.label_of(a), labeled.label_of(b)
+        ) == a.is_ancestor_of(b)
+        assert scheme.is_parent(
+            labeled.label_of(a), labeled.label_of(b)
+        ) == (b.parent is a)
+    query_engine = QueryEngine(labeled)
+    for query in ("//h", "/r/g", "//g[2]", "/r/*"):
+        expected = [id(n) for n in evaluate_reference(document, query)]
+        assert [id(n) for n in query_engine.evaluate(query)] == expected
+
+
+@pytest.mark.parametrize("scheme_name", SCHEMES)
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(program=operations)
+def test_random_update_programs(scheme_name, program):
+    _apply_program(scheme_name, program)

@@ -1,0 +1,136 @@
+"""Bulk run insertion and subtree moves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.labeling import make_scheme, scheme_names
+from repro.query import evaluate_reference
+from repro.updates import UpdateEngine
+from repro.xmltree import Node, parse_document
+
+RUN_SCHEMES = (
+    "V-CDBS-Containment",
+    "QED-Containment",
+    "QED-Prefix",
+    "CDBS(UTF8)-Prefix",
+    "OrdPath1-Prefix",
+    "Prime",
+    "V-Binary-Containment",
+    "DeweyID(UTF8)-Prefix",
+)
+
+
+def build(scheme_name):
+    doc = parse_document("<r><a><x/></a><b/><c/></r>")
+    labeled = make_scheme(scheme_name).label_document(doc)
+    return doc, labeled, UpdateEngine(labeled, with_storage=False)
+
+
+class TestInsertRun:
+    @pytest.mark.parametrize("scheme_name", RUN_SCHEMES)
+    def test_run_before_keeps_invariants(self, scheme_name):
+        doc, labeled, engine = build(scheme_name)
+        roots = [Node.element(f"n{i}") for i in range(7)]
+        result = engine.insert_run_before(doc.root.children[1], roots)
+        assert result.stats.inserted_nodes == 7
+        assert [c.name for c in doc.root.children] == [
+            "a", "n0", "n1", "n2", "n3", "n4", "n5", "n6", "b", "c",
+        ]
+        scheme = labeled.scheme
+        keys = [
+            scheme.order_key(labeled.label_of(n))
+            for n in labeled.nodes_in_order
+        ]
+        assert keys == sorted(keys)
+        for a in labeled.nodes_in_order:
+            for b in doc.root.children:
+                assert scheme.is_parent(
+                    labeled.label_of(doc.root), labeled.label_of(b)
+                )
+
+    def test_empty_run(self):
+        doc, labeled, engine = build("V-CDBS-Containment")
+        result = engine.insert_run_before(doc.root.children[1], [])
+        assert result.stats.inserted_nodes == 0
+
+    def test_balanced_run_grows_logarithmically(self):
+        """A 63-sibling run in one gap: balanced codes stay ~log(K)
+        bits; a chained loop would grow them linearly."""
+        doc, labeled, engine = build("V-CDBS-Containment")
+        roots = [Node.element(f"n{i}") for i in range(63)]
+        engine.insert_run_before(doc.root.children[1], roots)
+        lengths = [len(labeled.label_of(r).start) for r in roots]
+        assert max(lengths) <= 16
+
+        chained_doc, chained_labeled, chained_engine = build(
+            "V-CDBS-Containment"
+        )
+        target = chained_doc.root.children[1]
+        for i in range(63):
+            chained_engine.insert_before(target, Node.element(f"m{i}"))
+        chained_lengths = [
+            len(chained_labeled.label_of(c).start)
+            for c in chained_doc.root.children
+            if c.name.startswith("m")
+        ]
+        assert max(chained_lengths) > max(lengths)
+
+    def test_run_with_subtrees(self):
+        doc, labeled, engine = build("QED-Prefix")
+        roots = []
+        for i in range(3):
+            root = Node.element("s")
+            root.append_child(Node.element("t")).append_child(Node.text(str(i)))
+            roots.append(root)
+        result = engine.insert_run_before(doc.root.children[2], roots)
+        assert result.stats.inserted_nodes == 9
+        expected = [id(n) for n in evaluate_reference(doc, "//s/t")]
+        from repro.query import QueryEngine
+
+        got = [id(n) for n in QueryEngine(labeled).evaluate("//s/t")]
+        assert got == expected
+
+    def test_static_scheme_run_counts_relabels(self):
+        doc, labeled, engine = build("V-Binary-Containment")
+        roots = [Node.element(f"n{i}") for i in range(4)]
+        result = engine.insert_run_before(doc.root.children[1], roots)
+        assert result.stats.inserted_nodes == 4
+        assert result.stats.relabeled_nodes > 0
+
+
+class TestMove:
+    @pytest.mark.parametrize("scheme_name", RUN_SCHEMES)
+    def test_move_before(self, scheme_name):
+        doc, labeled, engine = build(scheme_name)
+        c = doc.root.children[2]
+        a = doc.root.children[0]
+        result = engine.move_before(c, a)
+        assert [ch.name for ch in doc.root.children] == ["c", "a", "b"]
+        assert result.stats.deleted_nodes == 1
+        assert result.stats.inserted_nodes == 1
+        scheme = labeled.scheme
+        keys = [
+            scheme.order_key(labeled.label_of(n))
+            for n in labeled.nodes_in_order
+        ]
+        assert keys == sorted(keys)
+
+    def test_move_subtree_keeps_descendants(self):
+        doc, labeled, engine = build("V-CDBS-Containment")
+        a = doc.root.children[0]  # has child x
+        engine.move_before(a, doc.root.children[2])
+        assert [c.name for c in doc.root.children] == ["b", "a", "c"]
+        assert a.children[0].name == "x"
+        assert id(a.children[0]) in labeled.labels
+        assert labeled.scheme.is_parent(
+            labeled.label_of(a), labeled.label_of(a.children[0])
+        )
+
+    def test_move_onto_own_descendant_rejected(self):
+        doc, labeled, engine = build("QED-Containment")
+        a = doc.root.children[0]
+        with pytest.raises(ValueError):
+            engine.move_before(a, a.children[0])
+        with pytest.raises(ValueError):
+            engine.move_before(a, a)

@@ -1,0 +1,103 @@
+"""UpdateEngine: positioned edits with cost accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.labeling import make_scheme
+from repro.updates import UpdateEngine
+from repro.xmltree import Node, parse_document
+
+
+def build_engine(scheme="V-CDBS-Containment", storage=False):
+    doc = parse_document("<r><a><b/><c/></a><d/></r>")
+    labeled = make_scheme(scheme).label_document(doc)
+    return UpdateEngine(labeled, with_storage=storage), doc
+
+
+class TestOperations:
+    def test_insert_before(self):
+        engine, doc = build_engine()
+        target = doc.root.children[1]  # <d/>
+        new = Node.element("x")
+        result = engine.insert_before(target, new)
+        assert doc.root.children[1] is new
+        assert result.stats.inserted_nodes == 1
+
+    def test_insert_after(self):
+        engine, doc = build_engine()
+        target = doc.root.children[0]
+        new = Node.element("x")
+        engine.insert_after(target, new)
+        assert doc.root.children[1] is new
+
+    def test_insert_child_default_last(self):
+        engine, doc = build_engine()
+        new = Node.element("x")
+        engine.insert_child(doc.root, new)
+        assert doc.root.children[-1] is new
+
+    def test_insert_child_at_index(self):
+        engine, doc = build_engine()
+        new = Node.element("x")
+        engine.insert_child(doc.root, new, index=0)
+        assert doc.root.children[0] is new
+
+    def test_insert_sibling_of_root_rejected(self):
+        engine, doc = build_engine()
+        with pytest.raises(ValueError):
+            engine.insert_before(doc.root, Node.element("x"))
+        with pytest.raises(ValueError):
+            engine.insert_after(doc.root, Node.element("x"))
+
+    def test_delete(self):
+        engine, doc = build_engine()
+        victim = doc.root.children[0]
+        result = engine.delete(victim)
+        assert result.stats.deleted_nodes == 3
+        assert victim.parent is None
+
+    def test_totals_accumulate(self):
+        engine, doc = build_engine()
+        engine.insert_child(doc.root, Node.element("x"))
+        engine.insert_child(doc.root, Node.element("y"))
+        assert engine.totals.inserted_nodes == 2
+
+
+class TestCostAccounting:
+    def test_processing_time_measured(self):
+        engine, doc = build_engine()
+        result = engine.insert_child(doc.root, Node.element("x"))
+        assert result.processing_seconds > 0
+
+    def test_no_storage_no_io(self):
+        engine, doc = build_engine(storage=False)
+        result = engine.insert_child(doc.root, Node.element("x"))
+        assert result.io_seconds == 0.0
+        assert result.pages_touched == 0
+
+    def test_storage_charges_io(self):
+        engine, doc = build_engine(storage=True)
+        result = engine.insert_child(doc.root, Node.element("x"))
+        assert result.io_seconds > 0
+        assert result.pages_touched >= 1
+
+    def test_total_is_sum(self):
+        engine, doc = build_engine(storage=True)
+        result = engine.insert_child(doc.root, Node.element("x"))
+        assert result.total_seconds == pytest.approx(
+            result.processing_seconds + result.io_seconds
+        )
+
+    def test_static_scheme_charges_relabel_io(self):
+        dynamic_engine, dynamic_doc = build_engine("V-CDBS-Containment", storage=True)
+        static_engine, static_doc = build_engine("V-Binary-Containment", storage=True)
+        dynamic = dynamic_engine.insert_child(
+            dynamic_doc.root, Node.element("x"), index=0
+        )
+        static = static_engine.insert_child(
+            static_doc.root, Node.element("x"), index=0
+        )
+        assert static.stats.relabeled_nodes > 0
+        assert dynamic.stats.relabeled_nodes == 0
+        assert static.pages_touched >= dynamic.pages_touched

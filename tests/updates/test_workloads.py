@@ -1,0 +1,137 @@
+"""Workloads: Table 4 cases, skewed and uniform frequent updates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.labeling import make_scheme
+from repro.updates import (
+    UpdateEngine,
+    run_mixed_workload,
+    run_skewed_insertions,
+    run_table4_case,
+    run_uniform_insertions,
+    table4_cases,
+)
+from repro.xmltree import parse_document
+
+TABLE4_BINARY = [6596, 5121, 3932, 2431, 1300]
+TABLE4_PRIME = [1320, 1025, 787, 487, 261]
+
+
+def hamlet_engine(scheme_name, storage=False):
+    from repro.datasets import build_hamlet
+
+    labeled = make_scheme(scheme_name).label_document(build_hamlet())
+    return UpdateEngine(labeled, with_storage=storage)
+
+
+class TestTable4:
+    def test_requires_five_acts(self):
+        doc = parse_document("<play><act/></play>")
+        with pytest.raises(ValueError):
+            table4_cases(doc)
+
+    @pytest.mark.parametrize("case", [1, 2, 3, 4, 5])
+    def test_binary_counts_exact(self, case):
+        engine = hamlet_engine("V-Binary-Containment")
+        result = run_table4_case(engine, case)
+        assert result.stats.relabeled_nodes == TABLE4_BINARY[case - 1]
+
+    @pytest.mark.parametrize("case", [1, 2, 3, 4, 5])
+    def test_prime_counts_exact(self, case):
+        engine = hamlet_engine("Prime")
+        result = run_table4_case(engine, case)
+        assert result.stats.sc_recomputed == TABLE4_PRIME[case - 1]
+
+    @pytest.mark.parametrize(
+        "scheme",
+        [
+            "OrdPath1-Prefix",
+            "OrdPath2-Prefix",
+            "QED-Prefix",
+            "Float-point-Containment",
+            "V-CDBS-Containment",
+            "F-CDBS-Containment",
+            "QED-Containment",
+        ],
+    )
+    def test_dynamic_schemes_zero(self, scheme):
+        for case in (1, 3, 5):
+            engine = hamlet_engine(scheme)
+            assert run_table4_case(engine, case).stats.relabeled_nodes == 0
+
+
+class TestSkewed:
+    def test_cdbs_survives_moderate_skew(self):
+        engine = hamlet_engine("V-CDBS-Containment")
+        target = table4_cases(engine.labeled.document)[0]
+        report = run_skewed_insertions(engine, target, 100)
+        assert report.operations == 100
+        assert report.relabel_events == 0
+
+    def test_float_point_storms_under_skew(self):
+        """~18 inserts per storm (the paper's float precision claim)."""
+        engine = hamlet_engine("Float-point-Containment")
+        target = table4_cases(engine.labeled.document)[0]
+        report = run_skewed_insertions(engine, target, 100)
+        assert report.relabel_events >= 3
+        assert report.relabeled_nodes > 10_000
+
+    def test_qed_never_relabels_under_skew(self):
+        engine = hamlet_engine("QED-Containment")
+        target = table4_cases(engine.labeled.document)[0]
+        report = run_skewed_insertions(engine, target, 300)
+        assert report.relabel_events == 0
+
+    def test_order_preserved_after_skew(self):
+        engine = hamlet_engine("QED-Prefix")
+        target = table4_cases(engine.labeled.document)[0]
+        run_skewed_insertions(engine, target, 50)
+        labeled = engine.labeled
+        keys = [
+            labeled.scheme.order_key(labeled.label_of(n))
+            for n in labeled.nodes_in_order
+        ]
+        assert keys == sorted(keys)
+
+
+class TestUniform:
+    def test_uniform_no_relabel_for_cdbs(self):
+        engine = hamlet_engine("V-CDBS-Containment")
+        report = run_uniform_insertions(engine, 60, seed=3)
+        assert report.relabel_events == 0
+        assert report.operations == 60
+
+    def test_uniform_deterministic(self):
+        first = hamlet_engine("QED-Containment")
+        second = hamlet_engine("QED-Containment")
+        r1 = run_uniform_insertions(first, 30, seed=9)
+        r2 = run_uniform_insertions(second, 30, seed=9)
+        assert r1.relabeled_nodes == r2.relabeled_nodes
+        flat1 = [n.name for n in first.labeled.nodes_in_order]
+        flat2 = [n.name for n in second.labeled.nodes_in_order]
+        assert flat1 == flat2
+
+
+class TestMixed:
+    def test_mixed_keeps_invariants(self):
+        doc = parse_document("<r>" + "<a><b/><c/></a>" * 20 + "</r>")
+        labeled = make_scheme("QED-Containment").label_document(doc)
+        engine = UpdateEngine(labeled, with_storage=False)
+        report = run_mixed_workload(engine, 60, seed=11)
+        assert report.operations == 60
+        keys = [
+            labeled.scheme.order_key(labeled.label_of(n))
+            for n in labeled.nodes_in_order
+        ]
+        assert keys == sorted(keys)
+        assert len(labeled.labels) == len(labeled.nodes_in_order)
+
+    def test_mixed_report_totals(self):
+        doc = parse_document("<r>" + "<a><b/></a>" * 10 + "</r>")
+        labeled = make_scheme("V-CDBS-Containment").label_document(doc)
+        engine = UpdateEngine(labeled, with_storage=False)
+        report = run_mixed_workload(engine, 20, seed=2)
+        assert report.total_seconds >= report.processing_seconds
+        assert len(report.results) == 20

@@ -1,0 +1,71 @@
+"""Document statistics and collections (Table 2 vocabulary)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xmltree import Collection, Document, Node, parse_document
+
+
+@pytest.fixture()
+def doc() -> Document:
+    return parse_document("<r><a><b/><b/></a><a>text</a></r>")
+
+
+class TestDocument:
+    def test_root_must_be_element(self):
+        with pytest.raises(ValueError):
+            Document(Node.text("x"))
+
+    def test_root_must_be_detached(self):
+        parent = Node.element("p")
+        child = parent.append_child(Node.element("c"))
+        with pytest.raises(ValueError):
+            Document(child)
+
+    def test_node_count(self, doc):
+        assert doc.node_count() == 6
+
+    def test_pre_order_positions(self, doc):
+        positions = doc.document_positions()
+        nodes = list(doc.pre_order())
+        assert positions[id(nodes[0])] == 1
+        assert positions[id(nodes[-1])] == 6
+
+    def test_elements_by_tag(self, doc):
+        assert len(doc.elements_by_tag("a")) == 2
+        assert len(doc.elements_by_tag("b")) == 2
+        assert doc.elements_by_tag("zzz") == []
+
+    def test_find_all(self, doc):
+        found = doc.find_all(lambda n: n.name == "b")
+        assert len(found) == 2
+
+    def test_stats(self, doc):
+        stats = doc.stats()
+        assert stats.node_count == 6
+        assert stats.max_depth == 3  # r -> a -> b
+        assert stats.max_fanout == 2
+        assert stats.avg_fanout == pytest.approx((2 + 2 + 1) / 3)
+        assert "nodes=6" in str(stats)
+
+
+class TestCollection:
+    def test_aggregate(self, doc):
+        other = parse_document("<r><x/></r>")
+        collection = Collection("D", [doc, other])
+        assert len(collection) == 2
+        assert collection.total_nodes() == 8
+        stats = collection.stats()
+        assert stats["files"] == 2
+        assert stats["total_nodes"] == 8
+        # Per-file max fan-out aggregated: max and mean across files.
+        assert stats["max_fanout"] == 2
+        assert stats["avg_fanout"] == pytest.approx(1.5)
+
+    def test_empty_collection(self):
+        assert Collection("E", []).stats() == {"files": 0, "total_nodes": 0}
+
+    def test_iteration(self, doc):
+        collection = Collection("D", [doc])
+        assert list(collection) == [doc]

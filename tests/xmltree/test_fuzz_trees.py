@@ -1,0 +1,117 @@
+"""Hypothesis-generated arbitrary trees: parser/serializer/labeling fuzz."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.labeling import make_scheme
+from repro.xmltree import (
+    Document,
+    Node,
+    NodeKind,
+    parse_document,
+    parse_document_streaming,
+    serialize_document,
+)
+
+_tags = st.sampled_from(["a", "b", "c", "data", "ns:x", "long-name.v2"])
+_texts = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=0x24F),
+    min_size=1,
+    max_size=12,
+)
+
+
+@st.composite
+def element_trees(draw, max_depth=4):
+    """An arbitrary element with attributes, text and child elements."""
+    element = Node.element(draw(_tags))
+    for index in range(draw(st.integers(0, 2))):
+        element.append_child(Node.attribute(f"at{index}", draw(_texts)))
+    if max_depth > 0:
+        child_count = draw(st.integers(0, 3))
+        previous_was_text = False
+        for _ in range(child_count):
+            if not previous_was_text and draw(st.booleans()):
+                element.append_child(Node.text(draw(_texts)))
+                previous_was_text = True
+            else:
+                element.append_child(
+                    draw(element_trees(max_depth=max_depth - 1))
+                )
+                previous_was_text = False
+    return element
+
+
+def flat(document: Document):
+    return [
+        (node.kind, node.name, node.value) for node in document.pre_order()
+    ]
+
+
+class TestFuzzRoundTrips:
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(element_trees())
+    def test_serialize_parse_roundtrip(self, root):
+        document = Document(root)
+        text = serialize_document(document)
+        reparsed = parse_document(text, keep_whitespace=True)
+        assert flat(reparsed) == flat(document)
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(element_trees())
+    def test_stream_parser_agrees_with_tree_parser(self, root):
+        text = serialize_document(Document(root))
+        assert flat(parse_document_streaming(text, keep_whitespace=True)) == flat(
+            parse_document(text, keep_whitespace=True)
+        )
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(element_trees(), st.sampled_from(
+        ["V-CDBS-Containment", "QED-Prefix", "Prime"]
+    ))
+    def test_arbitrary_trees_label_consistently(self, root, scheme_name):
+        document = Document(root)
+        scheme = make_scheme(scheme_name)
+        labeled = scheme.label_document(document)
+        nodes = labeled.nodes_in_order
+        assert len(labeled.labels) == len(nodes)
+        keys = [scheme.order_key(labeled.label_of(n)) for n in nodes]
+        assert keys == sorted(keys)
+        for node in nodes:
+            if node.parent is not None:
+                assert scheme.is_parent(
+                    labeled.label_of(node.parent), labeled.label_of(node)
+                )
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(element_trees())
+    def test_label_stream_roundtrip_on_fuzzed_trees(self, root):
+        from repro.storage import decode_labels, encode_labels
+
+        document = Document(root)
+        scheme = make_scheme("QED-Containment")
+        labeled = scheme.label_document(document)
+        decoded = decode_labels(scheme, encode_labels(labeled))
+        original = [labeled.label_of(n) for n in labeled.nodes_in_order]
+        assert [(l.start, l.end, l.level) for l in decoded] == [
+            (l.start, l.end, l.level) for l in original
+        ]

@@ -1,0 +1,85 @@
+"""Exact-budget synthetic tree generation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmltree import Node, ShapeSpec, fill_exact, generate_document, generate_element_tree
+
+
+def spec(**overrides) -> ShapeSpec:
+    defaults = dict(tags=("a", "b", "c"), max_depth=5, subtree_range=(2, 8))
+    defaults.update(overrides)
+    return ShapeSpec(**defaults)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("total", [1, 2, 3, 10, 57, 333, 2000])
+    def test_total_is_exact(self, total):
+        tree = generate_element_tree("r", total, spec(), random.Random(1))
+        assert tree.subtree_size() == total
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=1, max_value=1500), st.integers(min_value=0, max_value=10**6))
+    def test_exact_for_arbitrary_budgets(self, total, seed):
+        tree = generate_element_tree("r", total, spec(), random.Random(seed))
+        assert tree.subtree_size() == total
+
+    def test_fill_exact_zero(self):
+        parent = Node.element("p")
+        fill_exact(parent, 0, spec(), random.Random(0))
+        assert parent.children == []
+
+    def test_fill_exact_negative(self):
+        with pytest.raises(ValueError):
+            fill_exact(Node.element("p"), -1, spec(), random.Random(0))
+
+    def test_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            generate_element_tree("r", 0, spec(), random.Random(0))
+
+
+class TestShape:
+    @pytest.mark.parametrize("depth", [2, 3, 5, 7])
+    def test_max_depth_respected(self, depth):
+        tree = generate_element_tree(
+            "r", 800, spec(max_depth=depth), random.Random(3)
+        )
+        from repro.xmltree import Document
+
+        assert Document(tree).stats().max_depth <= depth
+
+    def test_small_subtrees_widen_the_tree(self):
+        from repro.xmltree import Document
+
+        wide = Document(
+            generate_element_tree(
+                "r", 1000, spec(subtree_range=(2, 3)), random.Random(5)
+            )
+        ).stats()
+        narrow = Document(
+            generate_element_tree(
+                "r", 1000, spec(subtree_range=(40, 60)), random.Random(5)
+            )
+        ).stats()
+        assert wide.max_fanout > narrow.max_fanout
+
+
+class TestDeterminism:
+    def test_same_seed_same_tree(self):
+        first = generate_document("d", "r", 400, spec(), seed=9)
+        second = generate_document("d", "r", 400, spec(), seed=9)
+        flat1 = [(n.kind, n.name, n.value) for n in first.pre_order()]
+        flat2 = [(n.kind, n.name, n.value) for n in second.pre_order()]
+        assert flat1 == flat2
+
+    def test_different_seed_different_tree(self):
+        first = generate_document("d", "r", 400, spec(), seed=9)
+        second = generate_document("d", "r", 400, spec(), seed=10)
+        flat1 = [(n.kind, n.name, n.value) for n in first.pre_order()]
+        flat2 = [(n.kind, n.name, n.value) for n in second.pre_order()]
+        assert flat1 != flat2

@@ -1,0 +1,153 @@
+"""The hand-written XML parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XMLParseError
+from repro.xmltree.node import NodeKind
+from repro.xmltree.parser import parse_document, parse_fragment
+
+
+class TestHappyPath:
+    def test_minimal(self):
+        doc = parse_document("<root/>")
+        assert doc.root.name == "root"
+        assert doc.root.children == []
+
+    def test_nested_elements(self):
+        doc = parse_document("<a><b><c/></b></a>")
+        assert doc.root.children[0].children[0].name == "c"
+
+    def test_text_content(self):
+        doc = parse_document("<a>hello</a>")
+        assert doc.root.children[0].value == "hello"
+
+    def test_mixed_content(self):
+        doc = parse_document("<a>x<b/>y</a>")
+        kinds = [c.kind for c in doc.root.children]
+        assert kinds == [NodeKind.TEXT, NodeKind.ELEMENT, NodeKind.TEXT]
+
+    def test_attributes(self):
+        doc = parse_document('<a id="1" name="two"/>')
+        assert doc.root.attributes() == {"id": "1", "name": "two"}
+
+    def test_single_quoted_attribute(self):
+        doc = parse_document("<a id='x'/>")
+        assert doc.root.attributes() == {"id": "x"}
+
+    def test_attributes_precede_children_in_order(self):
+        doc = parse_document('<a id="1"><b/></a>')
+        assert [c.kind for c in doc.root.children] == [
+            NodeKind.ATTRIBUTE,
+            NodeKind.ELEMENT,
+        ]
+
+    def test_xml_declaration_skipped(self):
+        doc = parse_document('<?xml version="1.0"?><root/>')
+        assert doc.root.name == "root"
+
+    def test_doctype_skipped(self):
+        doc = parse_document("<!DOCTYPE play [ <!ELEMENT a (b)> ]><root/>")
+        assert doc.root.name == "root"
+
+    def test_comments_dropped_by_default(self):
+        doc = parse_document("<a><!-- note --><b/></a>")
+        assert [c.name for c in doc.root.children] == ["b"]
+
+    def test_comments_kept_on_request(self):
+        doc = parse_document("<a><!-- note --></a>", keep_comments=True)
+        assert doc.root.children[0].kind is NodeKind.COMMENT
+        assert doc.root.children[0].value == " note "
+
+    def test_cdata(self):
+        doc = parse_document("<a><![CDATA[<raw> & text]]></a>")
+        assert doc.root.children[0].value == "<raw> & text"
+
+    def test_processing_instruction_inside_skipped(self):
+        doc = parse_document("<a><?php echo ?><b/></a>")
+        assert [c.name for c in doc.root.children] == ["b"]
+
+    def test_whitespace_dropped_by_default(self):
+        doc = parse_document("<a>\n  <b/>\n</a>")
+        assert [c.kind for c in doc.root.children] == [NodeKind.ELEMENT]
+
+    def test_whitespace_kept_on_request(self):
+        doc = parse_document("<a>\n<b/></a>", keep_whitespace=True)
+        assert doc.root.children[0].kind is NodeKind.TEXT
+
+    def test_namespaced_names_kept_verbatim(self):
+        doc = parse_document('<ns:a xmlns:ns="u"><ns:b/></ns:a>')
+        assert doc.root.name == "ns:a"
+        assert "xmlns:ns" in doc.root.attributes()
+
+    def test_document_name(self):
+        assert parse_document("<a/>", name="file1").name == "file1"
+
+
+class TestEntities:
+    def test_predefined(self):
+        doc = parse_document("<a>&lt;&gt;&amp;&apos;&quot;</a>")
+        assert doc.root.children[0].value == "<>&'\""
+
+    def test_decimal_reference(self):
+        assert parse_document("<a>&#65;</a>").root.children[0].value == "A"
+
+    def test_hex_reference(self):
+        assert parse_document("<a>&#x41;</a>").root.children[0].value == "A"
+
+    def test_in_attribute(self):
+        doc = parse_document('<a t="&amp;&#66;"/>')
+        assert doc.root.attributes()["t"] == "&B"
+
+    def test_unknown_entity(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<a>&nope;</a>")
+
+    def test_unterminated_entity(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<a>&amp</a>")
+
+    def test_bad_char_reference(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<a>&#xZZ;</a>")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "just text",
+            "<a>",
+            "<a></b>",
+            "<a><b></a></b>",
+            "<a",
+            "<a b=c/>",
+            '<a b="1" b="2"/>',
+            "<a/><b/>",
+            "<a><!-- unterminated </a>",
+            "<a><![CDATA[open</a>",
+            "<!DOCTYPE unterminated <a/>",
+            "<1tag/>",
+        ],
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(XMLParseError):
+            parse_document(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(XMLParseError) as info:
+            parse_document("<a></b>")
+        assert info.value.position > 0
+
+
+class TestFragment:
+    def test_fragment(self):
+        node = parse_fragment("<x><y/></x>")
+        assert node.name == "x"
+        assert node.parent is None
+
+    def test_fragment_requires_element(self):
+        with pytest.raises(XMLParseError):
+            parse_fragment("plain text")

@@ -1,0 +1,118 @@
+"""Streaming parse events and event-stream document assembly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XMLParseError
+from repro.xmltree import (
+    build_from_events,
+    iterparse,
+    parse_document,
+    parse_document_streaming,
+    serialize_document,
+)
+
+
+def flat(document):
+    return [(n.kind, n.name, n.value) for n in document.pre_order()]
+
+
+class TestIterparse:
+    def test_event_sequence(self):
+        events = list(iterparse('<r a="1">hi<b/></r>'))
+        assert events == [
+            ("start", "r"),
+            ("attribute", ("a", "1")),
+            ("text", "hi"),
+            ("start", "b"),
+            ("end", "b"),
+            ("end", "r"),
+        ]
+
+    def test_whitespace_dropped_by_default(self):
+        events = list(iterparse("<r>\n  <b/>\n</r>"))
+        assert ("text", "\n  ") not in events
+
+    def test_whitespace_kept(self):
+        events = list(iterparse("<r> <b/></r>", keep_whitespace=True))
+        assert ("text", " ") in events
+
+    def test_comments_kept_on_request(self):
+        events = list(iterparse("<r><!--x--></r>", keep_comments=True))
+        assert ("comment", "x") in events
+
+    def test_cdata_is_text(self):
+        events = list(iterparse("<r><![CDATA[<raw>]]></r>"))
+        assert ("text", "<raw>") in events
+
+    def test_entities_decoded(self):
+        events = list(iterparse("<r>&lt;&amp;</r>"))
+        assert ("text", "<&") in events
+
+    def test_max_events_budget(self):
+        text = "<r>" + "<a/>" * 50 + "</r>"
+        with pytest.raises(XMLParseError):
+            list(iterparse(text, max_events=10))
+
+    def test_budget_not_hit(self):
+        text = "<r><a/></r>"
+        assert len(list(iterparse(text, max_events=10))) == 4
+
+    @pytest.mark.parametrize(
+        "text", ["", "<a>", "<a></b>", "<a/><b/>", "plain"]
+    )
+    def test_malformed(self, text):
+        with pytest.raises(XMLParseError):
+            list(iterparse(text))
+
+
+class TestBuildFromEvents:
+    def test_roundtrip_via_events(self):
+        text = '<r a="1"><x>hello</x><y/></r>'
+        assert flat(parse_document_streaming(text)) == flat(
+            parse_document(text)
+        )
+
+    def test_matches_tree_parser_on_hamlet(self, hamlet):
+        text = serialize_document(hamlet)
+        streamed = parse_document_streaming(text)
+        assert streamed.node_count() == hamlet.node_count()
+        assert flat(streamed) == flat(parse_document(text))
+
+    def test_unbalanced_end(self):
+        with pytest.raises(XMLParseError):
+            build_from_events([("start", "a"), ("end", "b")])
+
+    def test_unclosed(self):
+        with pytest.raises(XMLParseError):
+            build_from_events([("start", "a")])
+
+    def test_empty_stream(self):
+        with pytest.raises(XMLParseError):
+            build_from_events([])
+
+    def test_multiple_roots(self):
+        with pytest.raises(XMLParseError):
+            build_from_events(
+                [("start", "a"), ("end", "a"), ("start", "b"), ("end", "b")]
+            )
+
+    def test_orphan_text(self):
+        with pytest.raises(XMLParseError):
+            build_from_events([("text", "floating")])
+
+    def test_orphan_attribute(self):
+        with pytest.raises(XMLParseError):
+            build_from_events([("attribute", ("a", "1"))])
+
+    def test_unknown_event(self):
+        with pytest.raises(XMLParseError):
+            build_from_events([("mystery", None)])
+
+    def test_streaming_then_label(self):
+        from repro.labeling import make_scheme
+
+        document = parse_document_streaming("<r><a/><b/></r>")
+        labeled = make_scheme("V-CDBS-Containment").label_document(document)
+        assert labeled.node_count() == 3
