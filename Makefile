@@ -1,12 +1,21 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench experiments experiments-full examples
+.PHONY: install test lint ci bench experiments experiments-full examples
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+# The paper-invariant static checker (RPR001-RPR005); exits non-zero on
+# any non-baselined finding.  See docs/STATIC_ANALYSIS.md.
+lint:
+	PYTHONPATH=src python -m repro.analysis src benchmarks examples
+
+# What CI runs: the analyzer, then the tier-1 suite.
+ci: lint
+	PYTHONPATH=src python -m pytest -x -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

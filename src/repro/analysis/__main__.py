@@ -1,0 +1,161 @@
+"""``python -m repro.analysis`` — the paper-invariant static checker.
+
+Exit codes: 0 clean (or everything below ``--fail-on``), 1 findings at
+or above the threshold, 2 configuration error (bad rule id, cyclic
+layering declaration, unreadable baseline).
+
+Typical invocations::
+
+    python -m repro.analysis                       # src benchmarks examples
+    python -m repro.analysis src --format json
+    python -m repro.analysis --rules RPR004        # layering only
+    python -m repro.analysis --write-baseline      # accept current findings
+    python -m repro.analysis --list-rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.findings import AnalysisConfigError, Severity
+from repro.analysis.registry import all_rules
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.runner import analyze_paths
+
+DEFAULT_PATHS = ("src", "benchmarks", "examples")
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "AST-based checker for the repo's paper invariants: raw "
+            "bit-string manipulation, raw label comparison, unguarded "
+            "codes, import layering, and generic hygiene."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "files or directories to analyze "
+            f"(default: {' '.join(DEFAULT_PATHS)}, where present)"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=(
+            "baseline file of accepted findings "
+            f"(default: {DEFAULT_BASELINE}; missing file = empty)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=(
+            "rewrite the baseline to accept all current findings "
+            "(existing justifications are preserved; new entries get a "
+            "placeholder to triage)"
+        ),
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("warning", "error", "never"),
+        default="warning",
+        help=(
+            "minimum severity that causes exit code 1 "
+            "(default: warning — any finding fails)"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.list_rules:
+            for rule in all_rules():
+                print(
+                    f"{rule.id}  [{rule.severity}]  allow-{rule.slug}\n"
+                    f"    {rule.description}"
+                )
+            return 0
+
+        paths = args.paths or [
+            path for path in DEFAULT_PATHS if Path(path).exists()
+        ]
+        if not paths:
+            print(
+                "error: no paths given and none of the default paths "
+                f"({', '.join(DEFAULT_PATHS)}) exist",
+                file=sys.stderr,
+            )
+            return 2
+
+        rules = args.rules.split(",") if args.rules else None
+        baseline = (
+            None if args.no_baseline else load_baseline(args.baseline)
+        )
+
+        if args.write_baseline:
+            # Analyze without the baseline so every finding is captured.
+            result = analyze_paths(paths, rules=rules, baseline=None)
+            written = write_baseline(
+                args.baseline,
+                result.findings,
+                baseline if baseline is not None else load_baseline(
+                    args.baseline
+                ),
+            )
+            print(
+                f"wrote {len(written)} baseline entr"
+                f"{'y' if len(written) == 1 else 'ies'} to {args.baseline}"
+            )
+            return 0
+
+        result = analyze_paths(paths, rules=rules, baseline=baseline)
+    except AnalysisConfigError as error:
+        print(f"configuration error: {error}", file=sys.stderr)
+        return 2
+
+    report = (
+        render_json(result) if args.format == "json" else render_text(result)
+    )
+    print(report)
+
+    if args.fail_on == "never":
+        return 0
+    threshold = (
+        Severity.ERROR if args.fail_on == "error" else Severity.WARNING
+    )
+    worst = result.max_severity()
+    return 1 if worst is not None and worst >= threshold else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""Baseline file: accepted findings that do not fail the build.
+
+The baseline is a JSON document, checked into the repository root as
+``analysis-baseline.json``::
+
+    {
+      "version": 1,
+      "entries": [
+        {
+          "rule": "RPR001",
+          "path": "src/repro/legacy/shim.py",
+          "justification": "pre-existing; tracked in #42"
+        }
+      ]
+    }
+
+An entry waives every finding of ``rule`` in ``path`` — deliberately
+coarse (no line numbers) so that unrelated edits to a baselined file do
+not churn the baseline.  Every entry must carry a non-empty
+``justification``; the test suite enforces that the shipped baseline is
+empty or justified.  ``python -m repro.analysis --write-baseline``
+regenerates the file from the current findings with placeholder
+justifications for triage.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.findings import AnalysisConfigError, Finding
+
+__all__ = ["Baseline", "BaselineEntry", "load_baseline", "write_baseline"]
+
+_PLACEHOLDER = "TODO: justify or fix"
+
+
+class BaselineEntry:
+    """One waived (rule, path) pair with its justification."""
+
+    __slots__ = ("rule", "path", "justification")
+
+    def __init__(self, rule: str, path: str, justification: str) -> None:
+        self.rule = rule
+        self.path = path
+        self.justification = justification
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "justification": self.justification,
+        }
+
+
+class Baseline:
+    """The set of waived (rule, path) pairs."""
+
+    def __init__(self, entries: list[BaselineEntry]) -> None:
+        self.entries = entries
+        self._waived = {(entry.rule, entry.path) for entry in entries}
+
+    def waives(self, finding: Finding) -> bool:
+        return (finding.rule, finding.path) in self._waived
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+EMPTY_BASELINE = Baseline([])
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Parse a baseline file; missing file means an empty baseline."""
+    file_path = Path(path)
+    if not file_path.exists():
+        return EMPTY_BASELINE
+    try:
+        document = json.loads(file_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise AnalysisConfigError(
+            f"unreadable baseline file {file_path}: {error}"
+        ) from error
+    if not isinstance(document, dict) or "entries" not in document:
+        raise AnalysisConfigError(
+            f"baseline file {file_path} must be an object with 'entries'"
+        )
+    entries = []
+    for raw in document["entries"]:
+        try:
+            entries.append(
+                BaselineEntry(
+                    rule=raw["rule"],
+                    path=raw["path"],
+                    justification=raw.get("justification", ""),
+                )
+            )
+        except (TypeError, KeyError) as error:
+            raise AnalysisConfigError(
+                f"malformed baseline entry {raw!r} in {file_path}"
+            ) from error
+    return Baseline(entries)
+
+
+def write_baseline(
+    path: str | Path, findings: Iterable[Finding], existing: Baseline
+) -> Baseline:
+    """Write a baseline waiving ``findings``, keeping old justifications."""
+    justifications = {
+        (entry.rule, entry.path): entry.justification
+        for entry in existing.entries
+    }
+    seen: set[tuple[str, str]] = set()
+    entries: list[BaselineEntry] = []
+    for finding in sorted(findings):
+        key = (finding.rule, finding.path)
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append(
+            BaselineEntry(
+                rule=finding.rule,
+                path=finding.path,
+                justification=justifications.get(key, _PLACEHOLDER),
+            )
+        )
+    document = {
+        "version": 1,
+        "entries": [entry.to_dict() for entry in entries],
+    }
+    Path(path).write_text(
+        json.dumps(document, indent=2) + "\n", encoding="utf-8"
+    )
+    return Baseline(entries)

@@ -1,0 +1,69 @@
+"""Finding and severity value types for the static-analysis pass.
+
+A :class:`Finding` is one rule violation at one source location; the
+whole pass produces a sorted list of them.  Findings are plain data —
+rendering is the reporters' job (:mod:`repro.analysis.reporters`) and
+policy (suppression, baselining, exit codes) lives in the runner and
+CLI.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+__all__ = ["AnalysisConfigError", "Finding", "Severity"]
+
+
+class AnalysisConfigError(ReproError):
+    """The analyzer's own configuration is unusable.
+
+    Raised for a cyclic layering declaration, an unreadable baseline
+    file, or an unknown rule id — never for a finding in analyzed code.
+    """
+
+
+class Severity(enum.IntEnum):
+    """Per-rule severity; ordering supports ``--fail-on`` thresholds."""
+
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # "error" / "warning" in reports
+        return self.name.lower()
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    """Project-relative POSIX path of the offending file."""
+
+    line: int
+    """1-based line of the offending node."""
+
+    col: int
+    """0-based column of the offending node."""
+
+    rule: str
+    """Rule id, e.g. ``"RPR001"``."""
+
+    severity: Severity = field(compare=False)
+    """The owning rule's severity."""
+
+    message: str = field(compare=False)
+    """Human-readable description of the violation."""
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (used by the JSON reporter)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "message": self.message,
+        }

@@ -1,0 +1,189 @@
+"""The declared import-layering DAG — the single source of truth.
+
+Every ``repro`` subsystem registers here which *other* subsystems it may
+import.  RPR004 (:mod:`repro.analysis.rules.layering`) checks the actual
+``import`` statements of every module against this table, so adding a
+new subsystem means adding one :func:`register_layer` call (or editing
+:data:`LAYERS`) — not editing the rule.
+
+The layer of a module is the first dotted component under ``repro``:
+``repro.core.bitstring`` lives in layer ``core``; the top-level modules
+``repro.errors`` / ``repro.store`` and the package root ``repro`` itself
+are each their own layer.  Files outside ``src/`` (benchmarks, examples,
+scripts) belong to the pseudo-layer :data:`SCRIPT_LAYER`, which may
+import anything.
+
+The table must describe a DAG; :func:`validate_layers` rejects declared
+cycles at load time, and RPR004 additionally reports any cycle in the
+*observed* import graph (which a stale or over-permissive declaration
+could otherwise let through).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import AnalysisConfigError
+
+__all__ = [
+    "ALL_LAYERS",
+    "LAYERS",
+    "SCRIPT_LAYER",
+    "allowed_imports",
+    "layer_of_module",
+    "register_layer",
+    "validate_layers",
+    "ASSERT_RULE_MODULE_PREFIXES",
+    "RAW_BITS_ALLOWED_MODULES",
+    "RAW_COMPARE_ALLOWED_MODULES",
+    "UNGUARDED_CODE_EXEMPT_MODULES",
+]
+
+
+SCRIPT_LAYER = "scripts"
+"""Pseudo-layer for files outside ``src/`` — unconstrained imports."""
+
+ALL_LAYERS = "*"
+"""Sentinel meaning "may import every layer" (facades and harnesses)."""
+
+
+#: layer name -> layers it may import.  ``ALL_LAYERS`` marks facades.
+#: Keep entries in dependency order (lowest first) for readability.
+LAYERS: dict[str, frozenset[str] | str] = {
+    # Foundations: no intra-package imports at all.
+    "errors": frozenset(),
+    # The static analyzer itself: deliberately near-leaf so it can lint
+    # everything above it without creating cycles.
+    "analysis": frozenset({"errors"}),
+    # Paper foundations (BitString, Algorithms 1/2, QED, order keys).
+    "core": frozenset({"errors"}),
+    # The XML document model is independent of encodings.
+    "xmltree": frozenset({"errors"}),
+    # Dataset generators build documents only.
+    "datasets": frozenset({"errors", "xmltree"}),
+    # Labeling schemes sit on the encodings and the tree model —
+    # never on storage, query, or relational (Property 5.1: encodings
+    # and schemes stay orthogonal to how labels are stored or queried).
+    "labeling": frozenset({"errors", "core", "xmltree"}),
+    "storage": frozenset({"errors", "core", "labeling", "xmltree"}),
+    "query": frozenset({"errors", "core", "labeling", "xmltree"}),
+    "relational": frozenset(
+        {"errors", "core", "labeling", "query", "xmltree"}
+    ),
+    "updates": frozenset(
+        {"errors", "core", "labeling", "storage", "xmltree"}
+    ),
+    # Facades and harnesses.
+    "store": ALL_LAYERS,
+    "bench": ALL_LAYERS,
+    "repro": ALL_LAYERS,  # the package root re-exports the public API
+}
+
+
+#: Modules allowed to manipulate raw '0'/'1' text (RPR001).  Everything
+#: else must go through :class:`repro.core.bitstring.BitString`.
+RAW_BITS_ALLOWED_MODULES = frozenset({"repro.core.bitstring"})
+
+#: Modules allowed to order labels via raw str()/tuple()/to01() casts
+#: (RPR002).  Empty: the comparators are the only sanctioned order.
+RAW_COMPARE_ALLOWED_MODULES: frozenset[str] = frozenset()
+
+#: Modules exempt from RPR003 because they *define* the insertion
+#: algorithms whose call sites the rule polices.
+UNGUARDED_CODE_EXEMPT_MODULES = frozenset({"repro.core.middle"})
+
+#: RPR005's assert-as-validation check applies only to library code;
+#: benchmarks and examples use ``assert`` as executable documentation.
+ASSERT_RULE_MODULE_PREFIXES = ("repro",)
+
+
+def register_layer(
+    name: str, allowed: frozenset[str] | set[str] | str
+) -> None:
+    """Declare a new subsystem and the layers it may import.
+
+    Future subsystems call this (or add a :data:`LAYERS` entry) instead
+    of editing RPR004.  Pass :data:`ALL_LAYERS` for facades.
+    """
+    if name in LAYERS:
+        raise AnalysisConfigError(f"layer {name!r} is already registered")
+    LAYERS[name] = (
+        allowed if allowed == ALL_LAYERS else frozenset(allowed)
+    )
+    try:
+        validate_layers()
+    except AnalysisConfigError:
+        del LAYERS[name]
+        raise
+
+
+def layer_of_module(module_name: str) -> str:
+    """The layer owning a dotted ``repro`` module name.
+
+    ``repro`` itself, ``repro.errors`` and ``repro.store`` are their own
+    layers; anything else under ``repro`` belongs to its first
+    sub-package.  Names outside the package map to the script layer.
+    """
+    parts = module_name.split(".")
+    if parts[0] != "repro":
+        return SCRIPT_LAYER
+    if len(parts) == 1:
+        return "repro"
+    return parts[1]
+
+
+def allowed_imports(layer: str) -> frozenset[str] | str:
+    """The layers ``layer`` may import (or :data:`ALL_LAYERS`).
+
+    Unknown layers get an empty allowance, so a brand-new subsystem
+    fails RPR004 until it is declared here — by design.
+    """
+    if layer == SCRIPT_LAYER:
+        return ALL_LAYERS
+    return LAYERS.get(layer, frozenset())
+
+
+def validate_layers(table: dict[str, frozenset[str] | str] | None = None) -> None:
+    """Reject a cyclic or dangling layering declaration.
+
+    Facade layers (``ALL_LAYERS``) are excluded from cycle checking:
+    they may import everything but nothing below is allowed to import
+    them back, which the per-edge check enforces.
+    """
+    layers = LAYERS if table is None else table
+    strict = {
+        name: allowed
+        for name, allowed in layers.items()
+        if allowed != ALL_LAYERS
+    }
+    for name, allowed in strict.items():
+        unknown = set(allowed) - set(layers)
+        if unknown:
+            raise AnalysisConfigError(
+                f"layer {name!r} allows unknown layers: {sorted(unknown)}"
+            )
+    # Depth-first search over the declared edges; a back edge is a cycle.
+    WHITE, GRAY, BLACK = 0, 1, 2
+    state = dict.fromkeys(strict, WHITE)
+
+    def visit(node: str, trail: list[str]) -> None:
+        state[node] = GRAY
+        trail.append(node)
+        for dep in sorted(strict.get(node, frozenset())):
+            if dep not in strict:
+                continue  # facade or script layer: no outgoing check
+            if state[dep] == GRAY:
+                cycle = trail[trail.index(dep) :] + [dep]
+                raise AnalysisConfigError(
+                    "layering declaration contains a cycle: "
+                    + " -> ".join(cycle)
+                )
+            if state[dep] == WHITE:
+                visit(dep, trail)
+        trail.pop()
+        state[node] = BLACK
+
+    for name in strict:
+        if state[name] == WHITE:
+            visit(name, [])
+
+
+validate_layers()

@@ -1,0 +1,142 @@
+"""Rule protocol, per-module context, and the rule registry.
+
+A rule is a class with an ``RPRnnn`` id, a suppression slug, a severity
+and a :meth:`Rule.check` generator over one :class:`ModuleContext`.
+Rules that need a whole-program view (RPR004's cycle detection) also
+override :meth:`Rule.finalize`, which runs once after every module has
+been checked.
+
+Registering is one decorator::
+
+    @register
+    class MyRule(Rule):
+        id = "RPR006"
+        slug = "my-thing"
+        severity = Severity.ERROR
+        description = "..."
+
+        def check(self, module):
+            yield from ()
+
+The CLI, the pytest entry point and the reporters all discover rules
+through :func:`all_rules`, so a new rule ships by merely importing its
+module from :mod:`repro.analysis.rules`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Type
+
+from repro.analysis.findings import AnalysisConfigError, Finding, Severity
+from repro.analysis.layers import SCRIPT_LAYER, layer_of_module
+
+__all__ = [
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "get_rules",
+    "register",
+]
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may inspect about one analyzed file."""
+
+    path: str
+    """Project-relative POSIX path (as reported in findings)."""
+
+    module_name: str | None
+    """Dotted module name for files under ``src/``; ``None`` for scripts."""
+
+    tree: ast.Module
+    """The parsed AST."""
+
+    source_lines: list[str] = field(default_factory=list)
+    """Raw source, split into lines (for suppression comments)."""
+
+    is_package: bool = False
+    """True when the file is an ``__init__.py``."""
+
+    @property
+    def layer(self) -> str:
+        """The layering-DAG layer owning this file."""
+        if self.module_name is None:
+            return SCRIPT_LAYER
+        return layer_of_module(self.module_name)
+
+    def finding(
+        self, rule: "Rule", node: ast.AST, message: str
+    ) -> Finding:
+        """A finding of ``rule`` anchored at ``node`` in this module."""
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule.id,
+            severity=rule.severity,
+            message=message,
+        )
+
+
+class Rule:
+    """Base class for analysis rules; subclass and :func:`register`."""
+
+    id: str = "RPR000"
+    slug: str = "unnamed"
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Findings for one module.  Override in subclasses."""
+        raise NotImplementedError
+
+    def finalize(
+        self, modules: Iterable[ModuleContext]
+    ) -> Iterator[Finding]:
+        """Whole-program findings, after every module was checked."""
+        return iter(())
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding one rule instance to the registry."""
+    rule = rule_class()
+    if not rule.id.startswith("RPR"):
+        raise AnalysisConfigError(
+            f"rule id {rule.id!r} must start with 'RPR'"
+        )
+    if rule.id in _REGISTRY:
+        raise AnalysisConfigError(f"duplicate rule id {rule.id!r}")
+    slugs = {existing.slug for existing in _REGISTRY.values()}
+    if rule.slug in slugs:
+        raise AnalysisConfigError(f"duplicate rule slug {rule.slug!r}")
+    _REGISTRY[rule.id] = rule
+    return rule_class
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, ordered by id."""
+    import repro.analysis.rules  # noqa: F401  (registers on import)
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rules(rule_ids: Iterable[str] | None = None) -> list[Rule]:
+    """The selected rules (``None`` means all), validating the ids."""
+    rules = all_rules()
+    if rule_ids is None:
+        return rules
+    wanted = list(rule_ids)
+    known = {rule.id for rule in rules}
+    unknown = [rule_id for rule_id in wanted if rule_id not in known]
+    if unknown:
+        raise AnalysisConfigError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    return [rule for rule in rules if rule.id in set(wanted)]

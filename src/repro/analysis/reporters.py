@@ -1,0 +1,55 @@
+"""Text and JSON reporters over an analysis result."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.runner import AnalysisResult
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(result: AnalysisResult) -> str:
+    """One ``path:line:col: RULE [severity] message`` line per finding."""
+    lines = [
+        f"{finding.path}:{finding.line}:{finding.col}: "
+        f"{finding.rule} [{finding.severity}] {finding.message}"
+        for finding in result.findings
+    ]
+    errors = sum(1 for f in result.findings if f.severity.name == "ERROR")
+    warnings = len(result.findings) - errors
+    summary = (
+        f"{len(result.findings)} finding(s) "
+        f"({errors} error(s), {warnings} warning(s)) "
+        f"in {result.files_scanned} file(s)"
+    )
+    extras = []
+    if result.suppressed:
+        extras.append(f"{result.suppressed} suppressed inline")
+    if result.baselined:
+        extras.append(f"{result.baselined} baselined")
+    if extras:
+        summary += f"; {', '.join(extras)}"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    """Stable machine-readable report (consumed by CI)."""
+    document = {
+        "version": 1,
+        "findings": [finding.to_dict() for finding in result.findings],
+        "summary": {
+            "files_scanned": result.files_scanned,
+            "findings": len(result.findings),
+            "errors": sum(
+                1 for f in result.findings if f.severity.name == "ERROR"
+            ),
+            "warnings": sum(
+                1 for f in result.findings if f.severity.name == "WARNING"
+            ),
+            "suppressed": result.suppressed,
+            "baselined": result.baselined,
+        },
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

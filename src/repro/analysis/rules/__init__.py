@@ -1,0 +1,22 @@
+"""The shipped rule set; importing this package registers every rule.
+
+Adding a rule = one module defining a :class:`~repro.analysis.registry.Rule`
+subclass under :func:`~repro.analysis.registry.register`, plus an import
+line here.  See ``docs/STATIC_ANALYSIS.md`` for the recipe.
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (import for registration)
+    hygiene,
+    layering,
+    raw_bits,
+    raw_compare,
+    unguarded_codes,
+)
+
+__all__ = [
+    "hygiene",
+    "layering",
+    "raw_bits",
+    "raw_compare",
+    "unguarded_codes",
+]

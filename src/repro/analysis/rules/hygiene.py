@@ -1,0 +1,122 @@
+"""RPR005 — generic hygiene: mutable defaults, bare except, assert-as-validation.
+
+Three classic Python hazards that have bitten ordered-labeling code
+before (a shared mutable default corrupts a scheme's cache across
+documents; a bare ``except`` swallows :class:`KeyboardInterrupt` during
+a long relabel; ``assert`` guards vanish under ``python -O``):
+
+* **mutable default arguments** — ``def f(x, acc=[])`` /
+  ``cache={}`` / ``seen=set()``;
+* **bare except** — ``except:`` (catch ``Exception`` or the concrete
+  error instead);
+* **assert used for data validation** — an ``assert`` whose condition
+  checks *values* rather than narrowing *types*.  Type-narrowing
+  asserts (``assert x is not None``, ``assert isinstance(x, T)`` and
+  ``and``-conjunctions of those) are idiomatic for type checkers and
+  stay allowed; everything else in library code should raise a real
+  error.  This sub-check applies only to modules under ``repro``
+  (benchmarks/examples use ``assert`` as executable documentation).
+
+Severity is *warning* — but the CLI's default ``--fail-on warning``
+still fails CI on any non-baselined hit.  Suppress a deliberate case
+with ``# repro: allow-hygiene`` and a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.layers import ASSERT_RULE_MODULE_PREFIXES
+from repro.analysis.registry import ModuleContext, Rule, register
+
+__all__ = ["HygieneRule"]
+
+_MUTABLE_CALLS = {"list", "dict", "set"}
+_NARROWING_CALLS = {"isinstance", "callable", "hasattr", "issubclass"}
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CALLS
+    )
+
+
+def _is_narrowing(test: ast.AST) -> bool:
+    """Type-narrowing assert conditions allowed in library code."""
+    if isinstance(test, ast.Compare) and all(
+        isinstance(op, (ast.Is, ast.IsNot)) for op in test.ops
+    ):
+        return True
+    if (
+        isinstance(test, ast.Call)
+        and isinstance(test.func, ast.Name)
+        and test.func.id in _NARROWING_CALLS
+    ):
+        return True
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        return all(_is_narrowing(value) for value in test.values)
+    return False
+
+
+def _assert_rule_applies(module: ModuleContext) -> bool:
+    if module.module_name is None:
+        return False
+    root = module.module_name.split(".")[0]
+    return root in ASSERT_RULE_MODULE_PREFIXES
+
+
+@register
+class HygieneRule(Rule):
+    id = "RPR005"
+    slug = "hygiene"
+    severity = Severity.WARNING
+    description = (
+        "generic hygiene: mutable default args, bare except, assert "
+        "used for data validation in library code"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        check_asserts = _assert_rule_applies(module)
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defaults = list(node.args.defaults) + [
+                    default
+                    for default in node.args.kw_defaults
+                    if default is not None
+                ]
+                for default in defaults:
+                    if _is_mutable_default(default):
+                        yield module.finding(
+                            self,
+                            default,
+                            f"mutable default argument in {node.name}(); "
+                            f"default to None and create inside the body",
+                        )
+            elif isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield module.finding(
+                    self,
+                    node,
+                    "bare 'except:' catches SystemExit and "
+                    "KeyboardInterrupt; catch Exception or the concrete "
+                    "error",
+                )
+            elif (
+                check_asserts
+                and isinstance(node, ast.Assert)
+                and not _is_narrowing(node.test)
+            ):
+                yield module.finding(
+                    self,
+                    node,
+                    "assert used for data validation vanishes under "
+                    "'python -O'; raise InvalidCodeError/ValueError "
+                    "instead (type-narrowing asserts are fine)",
+                )

@@ -1,0 +1,167 @@
+"""RPR004 — import-layering violations against the declared DAG.
+
+The allowed dependency structure lives in one place,
+:mod:`repro.analysis.layers`; this rule only *applies* it.  Per module
+it resolves every ``import`` / ``from ... import`` of a ``repro``
+target (absolute or relative) to the target's layer and flags edges the
+DAG does not allow.  After all modules are checked it aggregates the
+*observed* subsystem graph and reports any cycle — cycles are always
+errors, even between layers whose individual edges were somehow
+declared legal.
+
+A module's own layer may always import itself; scripts (benchmarks,
+examples) may import anything.  There is intentionally no suppression
+strong enough to excuse a cycle; single-edge exceptions take
+``# repro: allow-layering`` with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.layers import (
+    ALL_LAYERS,
+    SCRIPT_LAYER,
+    allowed_imports,
+    layer_of_module,
+)
+from repro.analysis.registry import ModuleContext, Rule, register
+
+__all__ = ["LayeringRule"]
+
+
+def _resolve_relative(
+    module: ModuleContext, level: int, target: str | None
+) -> str | None:
+    """Absolute dotted name of a relative import, or None if unknown."""
+    if module.module_name is None:
+        return None
+    anchor = module.module_name.split(".")
+    if not module.is_package:
+        anchor = anchor[:-1]
+    if level > 1:
+        if level - 1 >= len(anchor):
+            return None
+        anchor = anchor[: -(level - 1)]
+    if target:
+        return ".".join(anchor + target.split("."))
+    return ".".join(anchor)
+
+
+def _imported_repro_modules(
+    module: ModuleContext,
+) -> Iterator[tuple[ast.stmt, str]]:
+    """(statement, absolute dotted target) for every repro import."""
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro" or alias.name.startswith("repro."):
+                    yield node, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                resolved = _resolve_relative(module, node.level, node.module)
+            else:
+                resolved = node.module
+            if resolved and (
+                resolved == "repro" or resolved.startswith("repro.")
+            ):
+                yield node, resolved
+
+
+@register
+class LayeringRule(Rule):
+    id = "RPR004"
+    slug = "layering"
+    severity = Severity.ERROR
+    description = (
+        "import edge not allowed by the layering DAG "
+        "(repro.analysis.layers), or a subsystem import cycle"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        source_layer = module.layer
+        if source_layer == SCRIPT_LAYER:
+            return
+        allowed = allowed_imports(source_layer)
+        if allowed == ALL_LAYERS:
+            return
+        for statement, target in _imported_repro_modules(module):
+            target_layer = layer_of_module(target)
+            if target_layer == source_layer or target_layer in allowed:
+                continue
+            yield module.finding(
+                self,
+                statement,
+                f"layer '{source_layer}' may not import layer "
+                f"'{target_layer}' (imports {target}); allowed: "
+                f"{{{', '.join(sorted(allowed)) or 'nothing'}}} — see "
+                f"repro.analysis.layers",
+            )
+
+    def finalize(
+        self, modules: Iterable[ModuleContext]
+    ) -> Iterator[Finding]:
+        # Aggregate the observed subsystem graph (library code only) and
+        # remember the first witness of each edge for error anchoring.
+        graph: dict[str, set[str]] = {}
+        witness: dict[tuple[str, str], tuple[str, int]] = {}
+        for module in modules:
+            source = module.layer
+            if source == SCRIPT_LAYER:
+                continue
+            for statement, target in _imported_repro_modules(module):
+                target_layer = layer_of_module(target)
+                if target_layer == source:
+                    continue
+                graph.setdefault(source, set()).add(target_layer)
+                witness.setdefault(
+                    (source, target_layer), (module.path, statement.lineno)
+                )
+        for cycle in _find_cycles(graph):
+            path, line = witness.get((cycle[0], cycle[1]), ("<unknown>", 1))
+            yield Finding(
+                path=path,
+                line=line,
+                col=0,
+                rule=self.id,
+                severity=self.severity,
+                message=(
+                    "subsystem import cycle: "
+                    + " -> ".join(cycle + [cycle[0]])
+                    + " (cycles are always errors)"
+                ),
+            )
+
+
+def _find_cycles(graph: dict[str, set[str]]) -> list[list[str]]:
+    """Elementary cycles reachable by DFS, each reported once."""
+    cycles: list[list[str]] = []
+    seen_cycles: set[tuple[str, ...]] = set()
+    WHITE, GRAY, BLACK = 0, 1, 2
+    state = dict.fromkeys(graph, WHITE)
+
+    def visit(node: str, trail: list[str]) -> None:
+        state[node] = GRAY
+        trail.append(node)
+        for successor in sorted(graph.get(node, set())):
+            if successor not in graph:
+                continue
+            if state.get(successor) == GRAY:
+                cycle = trail[trail.index(successor) :]
+                # Canonicalise rotation so each cycle reports once.
+                pivot = cycle.index(min(cycle))
+                canonical = tuple(cycle[pivot:] + cycle[:pivot])
+                if canonical not in seen_cycles:
+                    seen_cycles.add(canonical)
+                    cycles.append(list(canonical))
+            elif state.get(successor, WHITE) == WHITE:
+                visit(successor, trail)
+        trail.pop()
+        state[node] = BLACK
+
+    for name in sorted(graph):
+        if state[name] == WHITE:
+            visit(name, [])
+    return cycles

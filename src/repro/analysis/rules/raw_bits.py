@@ -1,0 +1,146 @@
+"""RPR001 — raw '0'/'1' bit-string manipulation outside the codec core.
+
+Definition 3.1's lexicographical order and the CDBS invariants are
+implemented once, in :mod:`repro.core.bitstring`.  Code elsewhere that
+builds or picks apart binary text by hand — concatenating ``"0"``/``"1"``
+literals, ``format(x, 'b')`` / ``f"{x:b}"``, ``int(text, 2)``,
+``bin(x)``, or slicing a ``to01()`` rendering — bypasses those
+invariants and is exactly how a refactor silently re-introduces the
+mis-ordered labels of Example 3.3.
+
+Flagged patterns (outside :data:`~repro.analysis.layers.RAW_BITS_ALLOWED_MODULES`):
+
+* ``x + "01"`` / ``"1" * n + "0"`` — string concatenation where either
+  operand is binary text (a non-empty literal of only ``0``/``1``
+  characters, possibly repeated with ``*``);
+* ``format(x, "b")`` and f-strings with a trailing-``b`` format spec;
+* ``int(text, 2)`` — parsing binary text directly;
+* ``bin(x)`` — rendering binary text directly;
+* ``something.to01()[...]`` — manual slicing of a rendered code.
+
+Suppress a deliberate use with ``# repro: allow-raw-bits`` plus a
+justification (e.g. the Binary-String prefix scheme, whose *labels* are
+raw character strings by definition).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.layers import RAW_BITS_ALLOWED_MODULES
+from repro.analysis.registry import ModuleContext, Rule, register
+
+__all__ = ["RawBitsRule"]
+
+
+def _is_binary_literal(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, str)
+        and len(node.value) > 0
+        and set(node.value) <= {"0", "1"}
+    )
+
+
+def _is_binary_text(node: ast.AST) -> bool:
+    """Binary literal, or a ``*``-repetition involving one."""
+    if _is_binary_literal(node):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+        return _is_binary_literal(node.left) or _is_binary_literal(
+            node.right
+        )
+    return False
+
+
+def _is_to01_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "to01"
+    )
+
+
+def _format_spec_is_binary(spec: ast.AST | None) -> bool:
+    """True when an f-string format spec renders binary (ends in ``b``)."""
+    if not isinstance(spec, ast.JoinedStr):
+        return False
+    for part in spec.values:
+        if (
+            isinstance(part, ast.Constant)
+            and isinstance(part.value, str)
+            and part.value.rstrip().endswith("b")
+        ):
+            return True
+    return False
+
+
+@register
+class RawBitsRule(Rule):
+    id = "RPR001"
+    slug = "raw-bits"
+    severity = Severity.ERROR
+    description = (
+        "raw '0'/'1' bit-string manipulation outside repro.core.bitstring"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.module_name in RAW_BITS_ALLOWED_MODULES:
+            return
+        for node in ast.walk(module.tree):
+            message = self._violation(node)
+            if message is not None:
+                yield module.finding(self, node, message)
+
+    def _violation(self, node: ast.AST) -> str | None:
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+            if _is_binary_text(node.left) or _is_binary_text(node.right):
+                return (
+                    "binary text built by string concatenation; use "
+                    "BitString (e.g. append_bit / '+' on BitString) "
+                    "so Definition 3.1's order is enforced"
+                )
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            name = node.func.id
+            if (
+                name == "format"
+                and len(node.args) == 2
+                and isinstance(node.args[1], ast.Constant)
+                and isinstance(node.args[1].value, str)
+                and node.args[1].value.endswith("b")
+            ):
+                return (
+                    "format(x, 'b') renders raw binary text; use "
+                    "BitString.to01() instead"
+                )
+            if name == "bin" and len(node.args) == 1:
+                return (
+                    "bin(x) renders raw binary text; use "
+                    "BitString.to01() instead"
+                )
+            if (
+                name == "int"
+                and len(node.args) == 2
+                and isinstance(node.args[1], ast.Constant)
+                and node.args[1].value == 2
+            ):
+                return (
+                    "int(text, 2) parses raw binary text; use "
+                    "BitString.from_str() instead"
+                )
+        if isinstance(node, ast.FormattedValue) and _format_spec_is_binary(
+            node.format_spec
+        ):
+            return (
+                "f-string ':b' spec renders raw binary text; use "
+                "BitString.to01() instead"
+            )
+        if isinstance(node, ast.Subscript) and _is_to01_call(node.value):
+            return (
+                "slicing a to01() rendering manipulates raw binary text; "
+                "slice the BitString itself (it supports [] and "
+                "is_prefix_of)"
+            )
+        return None

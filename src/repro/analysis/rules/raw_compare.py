@@ -1,0 +1,110 @@
+"""RPR002 — ordering labels/codes by raw ``str``/``tuple`` casts.
+
+:class:`repro.core.bitstring.BitString` (Definition 3.1) and the QED
+validator define the *only* correct orders for codes; labeling schemes
+expose them through ``order_key`` / codec ``key`` methods.  Casting to
+``str`` or ``tuple`` just to compare — or comparing ``to01()`` renderings
+directly — happens to work for some encodings and silently mis-orders
+others (F-Binary's left-padded codes, OrdPath's negative components), so
+the cast pattern itself is banned.
+
+Flagged patterns (outside
+:data:`~repro.analysis.layers.RAW_COMPARE_ALLOWED_MODULES`):
+
+* ``a.to01() < b.to01()`` — ordering rendered code text;
+* ``str(a) < str(b)`` / ``tuple(a) >= tuple(b)`` — ordering via casts;
+* ``sorted(codes, key=str)`` / ``min(..., key=tuple)`` /
+  ``sorted(..., key=BitString.to01)`` — sorting via cast keys.
+
+Equality comparisons are fine; so is comparing :class:`BitString`
+values or scheme-provided sort keys directly.  Suppress a deliberate
+use with ``# repro: allow-raw-compare`` and a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.layers import RAW_COMPARE_ALLOWED_MODULES
+from repro.analysis.registry import ModuleContext, Rule, register
+
+__all__ = ["RawCompareRule"]
+
+_ORDER_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+_CAST_NAMES = {"str", "tuple"}
+_SORTERS = {"sorted", "min", "max"}
+
+
+def _is_cast_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _CAST_NAMES
+        and len(node.args) == 1
+    )
+
+
+def _is_to01_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "to01"
+    )
+
+
+def _is_cast_key(node: ast.AST) -> bool:
+    """``key=str`` / ``key=tuple`` / ``key=BitString.to01``."""
+    if isinstance(node, ast.Name) and node.id in _CAST_NAMES:
+        return True
+    return isinstance(node, ast.Attribute) and node.attr == "to01"
+
+
+@register
+class RawCompareRule(Rule):
+    id = "RPR002"
+    slug = "raw-compare"
+    severity = Severity.ERROR
+    description = (
+        "labels/codes ordered via str/tuple casts instead of the "
+        "BitString/codec comparators"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.module_name in RAW_COMPARE_ALLOWED_MODULES:
+            return
+        for node in ast.walk(module.tree):
+            message = self._violation(node)
+            if message is not None:
+                yield module.finding(self, node, message)
+
+    def _violation(self, node: ast.AST) -> str | None:
+        if isinstance(node, ast.Compare) and any(
+            isinstance(op, _ORDER_OPS) for op in node.ops
+        ):
+            operands = [node.left, *node.comparators]
+            if any(_is_to01_call(operand) for operand in operands):
+                return (
+                    "ordering to01() renderings; compare the BitString "
+                    "values themselves (Definition 3.1 order)"
+                )
+            if any(_is_cast_call(operand) for operand in operands):
+                return (
+                    "ordering via str()/tuple() casts; use the "
+                    "BitString/codec comparators or the scheme's "
+                    "order_key()"
+                )
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _SORTERS
+        ):
+            for keyword in node.keywords:
+                if keyword.arg == "key" and _is_cast_key(keyword.value):
+                    return (
+                        f"{node.func.id}(..., key={{str,tuple,to01}}) "
+                        "sorts by a raw cast; sort by the codec key() "
+                        "or the scheme's order_key()"
+                    )
+        return None

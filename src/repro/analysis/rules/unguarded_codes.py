@@ -1,0 +1,158 @@
+"""RPR003 — codes reach ``assign_middle`` without an ends-with-1 guard.
+
+``AssignMiddleBinaryString`` (Algorithm 1) is only correct for codes
+ending in ``1`` — Example 3.3 shows insertion between ``0``-tailed codes
+can be *impossible*.  Codes produced by the library always satisfy this
+(Lemma 3.2), but codes built from raw input — ``BitString(...)``,
+``BitString.from_str(...)`` — carry no such warranty and must pass an
+``ends_with_one()`` check before they are handed to an insertion
+routine.
+
+The rule examines every module that calls one of the insertion entry
+points (``assign_middle_binary_string`` / ``assign_middle_pair`` /
+``assign_middle_run``), except the module defining them
+(:data:`~repro.analysis.layers.UNGUARDED_CODE_EXEMPT_MODULES`), and
+flags the call sites:
+
+* a call whose *argument expression* itself constructs a BitString
+  (``assign_middle_binary_string(BitString.from_str(s), r)``) — the
+  fresh code can not have been guarded;
+* a call inside a function that constructs BitStrings from raw input
+  but never mentions ``ends_with_one`` — the construction and the
+  insertion share a scope with no guard between them.
+
+Call sites that validate (or sit in functions that validate) are
+untouched.  A deliberate pass-through — e.g. a test helper — takes
+``# repro: allow-raw-code`` with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.layers import UNGUARDED_CODE_EXEMPT_MODULES
+from repro.analysis.registry import ModuleContext, Rule, register
+
+__all__ = ["UnguardedCodesRule"]
+
+_INSERTION_ENTRY_POINTS = {
+    "assign_middle_binary_string",
+    "assign_middle_pair",
+    "assign_middle_run",
+}
+_RAW_CONSTRUCTORS = {"from_str", "from_bits"}
+
+
+def _call_name(node: ast.Call) -> str | None:
+    """The bare or attribute name a call invokes."""
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _is_insertion_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and _call_name(node) in _INSERTION_ENTRY_POINTS
+    )
+
+
+def _is_raw_constructor(node: ast.AST) -> bool:
+    """``BitString(...)`` / ``BitString.from_str(...)`` / ``.from_bits``."""
+    if not isinstance(node, ast.Call):
+        return False
+    if isinstance(node.func, ast.Name) and node.func.id == "BitString":
+        return True
+    return (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr in _RAW_CONSTRUCTORS
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "BitString"
+    )
+
+
+def _mentions_guard(scope: ast.AST) -> bool:
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Attribute) and node.attr == "ends_with_one":
+            return True
+    return False
+
+
+def _enclosing_functions(tree: ast.Module) -> dict[int, ast.AST]:
+    """Map every node id to its innermost enclosing function (or module)."""
+    owner: dict[int, ast.AST] = {}
+
+    def assign(scope: ast.AST, node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            child_scope = scope
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                child_scope = child
+            owner[id(child)] = child_scope
+            assign(child_scope, child)
+
+    owner[id(tree)] = tree
+    assign(tree, tree)
+    return owner
+
+
+@register
+class UnguardedCodesRule(Rule):
+    id = "RPR003"
+    slug = "raw-code"
+    severity = Severity.ERROR
+    description = (
+        "raw-constructed codes handed to assign_middle without an "
+        "ends_with_one() guard"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.module_name in UNGUARDED_CODE_EXEMPT_MODULES:
+            return
+        insertion_calls = [
+            node
+            for node in ast.walk(module.tree)
+            if _is_insertion_call(node)
+        ]
+        if not insertion_calls:
+            return
+        owner = _enclosing_functions(module.tree)
+        for call in insertion_calls:
+            # A constructor *inside* the argument list is always unguarded.
+            inline = any(
+                _is_raw_constructor(node)
+                for argument in [*call.args, *call.keywords]
+                for node in ast.walk(
+                    argument.value
+                    if isinstance(argument, ast.keyword)
+                    else argument
+                )
+            )
+            if inline:
+                yield module.finding(
+                    self,
+                    call,
+                    "a freshly constructed BitString is passed straight "
+                    "to an insertion routine; validate it with "
+                    "ends_with_one() first (Example 3.3)",
+                )
+                continue
+            scope = owner.get(id(call), module.tree)
+            if scope is module.tree:
+                continue  # module-level call with named, pre-built codes
+            scope_has_constructor = any(
+                _is_raw_constructor(node) for node in ast.walk(scope)
+            )
+            if scope_has_constructor and not _mentions_guard(scope):
+                yield module.finding(
+                    self,
+                    call,
+                    "this function builds BitStrings from raw input and "
+                    "inserts codes without any ends_with_one() guard; "
+                    "validate before calling assign_middle (Example 3.3)",
+                )

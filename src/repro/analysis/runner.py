@@ -1,0 +1,184 @@
+"""File walking and rule dispatch — the analyzer's engine.
+
+:func:`analyze_paths` walks the given files/directories, parses every
+``*.py`` with the stdlib :mod:`ast`, derives each file's module name
+(files under a ``src/`` component map to their dotted name; everything
+else is a script), applies the selected rules, then filters the raw
+findings through inline suppressions and the baseline.
+
+The result is deterministic: files are visited in sorted order and
+findings come back sorted by (path, line, col, rule).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.baseline import Baseline, EMPTY_BASELINE
+from repro.analysis.findings import AnalysisConfigError, Finding, Severity
+from repro.analysis.registry import ModuleContext, Rule, get_rules
+from repro.analysis.suppressions import collect_suppressions
+
+__all__ = ["AnalysisResult", "analyze_paths", "collect_files"]
+
+_SKIPPED_DIR_NAMES = {"__pycache__"}
+
+
+@dataclass
+class AnalysisResult:
+    """What one analysis run produced, post-filtering."""
+
+    findings: list[Finding] = field(default_factory=list)
+    """Active findings (not suppressed, not baselined), sorted."""
+
+    files_scanned: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+
+    def max_severity(self) -> Severity | None:
+        """The worst active severity, or None when clean."""
+        if not self.findings:
+            return None
+        return max(finding.severity for finding in self.findings)
+
+
+def collect_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Every ``*.py`` under the given files/directories, sorted."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise AnalysisConfigError(f"no such file or directory: {path}")
+        if path.is_file():
+            if path.suffix == ".py":
+                files.add(path)
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                parts = candidate.relative_to(path).parts
+                if any(
+                    part in _SKIPPED_DIR_NAMES or part.startswith(".")
+                    for part in parts
+                ):
+                    continue
+                files.add(candidate)
+    return sorted(files)
+
+
+def _module_name_for(path: Path) -> str | None:
+    """Dotted module name for files under a ``src`` directory.
+
+    ``.../src/repro/core/middle.py`` -> ``repro.core.middle``;
+    ``__init__.py`` maps to its package.  Files not under a ``src``
+    component (benchmarks, examples, loose scripts) return ``None``.
+    """
+    parts = path.parts
+    try:
+        anchor = len(parts) - 1 - parts[::-1].index("src")
+    except ValueError:
+        return None
+    module_parts = list(parts[anchor + 1 :])
+    if not module_parts:
+        return None
+    module_parts[-1] = module_parts[-1][: -len(".py")]
+    if module_parts[-1] == "__init__":
+        module_parts.pop()
+    if not module_parts:
+        return None
+    return ".".join(module_parts)
+
+
+def _display_path(path: Path, project_root: Path | None) -> str:
+    """Project-relative POSIX path when possible, else as given."""
+    if project_root is not None:
+        try:
+            return path.resolve().relative_to(
+                project_root.resolve()
+            ).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def load_module_context(
+    path: Path, project_root: Path | None = None
+) -> ModuleContext:
+    """Parse one file into the context rules operate on.
+
+    Raises :class:`SyntaxError` for unparsable source — the caller
+    converts that into an RPR000 finding.
+    """
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    return ModuleContext(
+        path=_display_path(path, project_root),
+        module_name=_module_name_for(path),
+        tree=tree,
+        source_lines=source.splitlines(),
+        is_package=path.name == "__init__.py",
+    )
+
+
+def analyze_paths(
+    paths: Sequence[str | Path],
+    *,
+    rules: Iterable[str] | None = None,
+    baseline: Baseline | None = None,
+    project_root: str | Path | None = None,
+) -> AnalysisResult:
+    """Run the selected rules over every Python file under ``paths``."""
+    selected: list[Rule] = get_rules(rules)
+    active_baseline = baseline if baseline is not None else EMPTY_BASELINE
+    root = Path(project_root) if project_root is not None else None
+
+    result = AnalysisResult()
+    contexts: list[ModuleContext] = []
+    raw: list[tuple[ModuleContext | None, Finding]] = []
+
+    for path in collect_files(paths):
+        result.files_scanned += 1
+        try:
+            context = load_module_context(path, root)
+        except SyntaxError as error:
+            raw.append(
+                (
+                    None,
+                    Finding(
+                        path=_display_path(path, root),
+                        line=error.lineno or 1,
+                        col=(error.offset or 1) - 1,
+                        rule="RPR000",
+                        severity=Severity.ERROR,
+                        message=f"file does not parse: {error.msg}",
+                    ),
+                )
+            )
+            continue
+        contexts.append(context)
+        for rule in selected:
+            for finding in rule.check(context):
+                raw.append((context, finding))
+
+    for rule in selected:
+        for finding in rule.finalize(contexts):
+            raw.append((None, finding))
+
+    slug_by_rule = {rule.id: rule.slug for rule in selected}
+    suppressions_cache = {
+        context.path: collect_suppressions(context.source_lines)
+        for context in contexts
+    }
+    for context, finding in raw:
+        slug = slug_by_rule.get(finding.rule)
+        if context is not None and slug is not None:
+            if suppressions_cache[context.path].allows(finding.line, slug):
+                result.suppressed += 1
+                continue
+        if active_baseline.waives(finding):
+            result.baselined += 1
+            continue
+        result.findings.append(finding)
+    result.findings.sort()
+    return result

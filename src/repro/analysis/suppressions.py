@@ -1,0 +1,50 @@
+"""Inline suppression comments: ``# repro: allow-<slug>``.
+
+A finding is suppressed when its rule's slug is allowed on the finding's
+own line or on the line directly above it (so multi-line statements and
+black-formatted code can carry the comment on a lead-in line)::
+
+    return left + "1"  # repro: allow-raw-bits — CKM labels ARE raw strings
+
+    # repro: allow-raw-code
+    code = assign_middle_binary_string(BitString.from_str(text), right)
+
+Suppressions are per-rule — there is deliberately no blanket
+``allow-everything`` comment; each exemption names what it exempts.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+__all__ = ["Suppressions", "collect_suppressions"]
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow-([a-z][a-z0-9-]*)")
+
+
+class Suppressions:
+    """The parsed suppression comments of one file."""
+
+    def __init__(self, by_line: dict[int, frozenset[str]]) -> None:
+        self._by_line = by_line
+
+    def allows(self, line: int, slug: str) -> bool:
+        """True when ``slug`` is suppressed at 1-based ``line``."""
+        return (
+            slug in self._by_line.get(line, frozenset())
+            or slug in self._by_line.get(line - 1, frozenset())
+        )
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+
+def collect_suppressions(source_lines: Iterable[str]) -> Suppressions:
+    """Scan source lines for ``# repro: allow-<slug>`` comments."""
+    by_line: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(source_lines, start=1):
+        slugs = _ALLOW_RE.findall(text)
+        if slugs:
+            by_line[lineno] = frozenset(slugs)
+    return Suppressions(by_line)

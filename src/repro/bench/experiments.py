@@ -389,10 +389,10 @@ def run_invariant_ablation(count: int = 256) -> dict[str, Any]:
     dead ends.
     """
     def dead_end(left: BitString, right: BitString) -> bool:
-        # The gap (L, R) is empty exactly when R == L + "0": any middle
-        # must extend L with a non-empty suffix lexicographically below
-        # "0", and no such suffix exists (Example 3.3's "0" vs "00").
-        return right == left + "0"
+        # The gap (L, R) is empty exactly when R is L with a 0 appended:
+        # any middle must extend L with a non-empty suffix below "0",
+        # and no such suffix exists (Example 3.3's "0" vs "00").
+        return right == left.append_bit(0)
 
     binary = vbinary_encode(count)
     binary_sorted = sorted(binary)  # lexicographic order of raw binary

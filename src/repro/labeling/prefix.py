@@ -268,10 +268,15 @@ class BinaryStringPolicy(ComponentPolicy):
     dynamic = False
 
     def bulk(self, count: int) -> list[str]:
+        # CKM self labels ARE raw '1'*k + '0' character strings by the
+        # scheme's definition; they never mix with CDBS codes or reach
+        # Algorithm 1.
+        # repro: allow-raw-bits
         return ["1" * (position - 1) + "0" for position in range(1, count + 1)]
 
     def between(self, left: str | None, right: str | None) -> str:
         if right is None:
+            # repro: allow-raw-bits — same CKM raw-string label domain.
             return "1" * (len(left) if left else 0) + "0"
         raise RelabelRequired(
             "binary-string self labels admit no middle insertion"

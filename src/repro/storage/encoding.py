@@ -86,7 +86,7 @@ class BitWriter:
 
     def write_bits_text(self, text: str) -> None:
         if text:
-            self.write(int(text, 2), len(text))
+            self.write_bitstring(BitString.from_str(text))
 
     def bit_length(self) -> int:
         return self._bits

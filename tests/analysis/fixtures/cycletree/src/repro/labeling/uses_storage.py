@@ -1,0 +1,3 @@
+"""Half of an import cycle: labeling reaching into storage (illegal)."""
+
+from repro.storage import labelstore  # VIOLATION: labeling -> storage

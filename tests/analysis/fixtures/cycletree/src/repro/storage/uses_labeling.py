@@ -1,0 +1,3 @@
+"""Other half of the cycle: storage -> labeling is individually legal."""
+
+from repro.labeling import codecs  # allowed edge, but closes the cycle

@@ -1,0 +1,25 @@
+"""RPR001 negative fixture: bit work routed through BitString, plus
+look-alikes that must not be flagged."""
+
+QED_TAIL = "2"
+SYMBOLS = {"1": 0b01, "2": 0b10}  # dict of literals: no manipulation
+
+
+def quaternary_concat(code):
+    return code + "2"  # quaternary symbol, not binary text
+
+
+def append_via_bitstring(code):
+    return code.append_bit(1)
+
+
+def parse_via_bitstring(bitstring_type, text):
+    return bitstring_type.from_str(text)
+
+
+def int_default_base(text):
+    return int(text)  # no base argument
+
+
+def suppressed_concat(code):
+    return code + "1"  # repro: allow-raw-bits — exercised by tests

@@ -1,0 +1,37 @@
+"""RPR001 positive fixture: every flavour of raw bit-string manipulation.
+
+Each violating line carries a trailing marker comment naming the count
+expectations in test_rules.py; the file is analyzed, never imported.
+"""
+
+
+def concat_literal(code):
+    return code + "1"  # VIOLATION: concat with binary literal
+
+
+def concat_repeated(position):
+    return "1" * (position - 1) + "0"  # VIOLATION: repeated binary text
+
+
+def render_format(value):
+    return format(value, "b")  # VIOLATION: format(x, 'b')
+
+
+def render_padded_format(value, width):
+    return format(value, f"0{width}b")  # no flag: spec is dynamic
+
+
+def render_fstring(value):
+    return f"{value:08b}"  # VIOLATION: f-string ':b' spec
+
+
+def parse_binary(text):
+    return int(text, 2)  # VIOLATION: int(text, 2)
+
+
+def render_builtin(value):
+    return bin(value)  # VIOLATION: bin(x)
+
+
+def slice_rendering(code):
+    return code.to01()[:3]  # VIOLATION: slicing a to01() rendering

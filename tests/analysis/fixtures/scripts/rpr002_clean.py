@@ -1,0 +1,21 @@
+"""RPR002 negative fixture: sanctioned comparisons and look-alikes."""
+
+
+def compare_codes(a, b):
+    return a < b  # BitString comparators carry Definition 3.1
+
+
+def equality_of_renderings(a, b):
+    return a.to01() == b.to01()  # equality is fine, only ordering is banned
+
+
+def sort_by_codec_key(codes, codec):
+    return sorted(codes, key=codec.key)
+
+
+def sort_by_scheme(labels, scheme):
+    return sorted(labels, key=scheme.order_key)
+
+
+def str_for_display(a, b):
+    return f"{str(a)} vs {str(b)}"  # casts without ordering

@@ -1,0 +1,25 @@
+"""RPR002 positive fixture: raw-cast orderings of labels/codes."""
+
+
+def compare_rendered(a, b):
+    return a.to01() < b.to01()  # VIOLATION: ordering to01() text
+
+
+def compare_str_cast(a, b):
+    return str(a) >= str(b)  # VIOLATION: ordering str() casts
+
+
+def compare_tuple_cast(a, b):
+    return tuple(a) > tuple(b)  # VIOLATION: ordering tuple() casts
+
+
+def sort_by_str(codes):
+    return sorted(codes, key=str)  # VIOLATION: sorting by str cast
+
+
+def smallest_by_tuple(labels):
+    return min(labels, key=tuple)  # VIOLATION: min by tuple cast
+
+
+def sort_by_rendering(codes, bitstring_type):
+    return sorted(codes, key=bitstring_type.to01)  # VIOLATION: to01 key

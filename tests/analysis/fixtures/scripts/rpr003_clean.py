@@ -1,0 +1,27 @@
+"""RPR003 negative fixture: guarded constructions and pre-built codes."""
+
+from repro.core.bitstring import BitString
+from repro.core.middle import assign_middle_binary_string
+from repro.errors import InvalidCodeError
+
+
+def guarded_constructor(text, right):
+    code = BitString.from_str(text)
+    if not code.ends_with_one():
+        raise InvalidCodeError(f"{text!r} must end with '1'")
+    return assign_middle_binary_string(code, right)
+
+
+def prebuilt_codes(left, right):
+    # No construction from raw input here: the caller owns validation.
+    return assign_middle_binary_string(left, right)
+
+
+def construction_without_insertion(text):
+    # Constructing alone is fine; only the insertion path needs guards.
+    return BitString.from_str(text)
+
+
+def suppressed_inline(text, right):
+    # repro: allow-raw-code — exercised by the suppression tests
+    return assign_middle_binary_string(BitString.from_str(text), right)

@@ -1,0 +1,15 @@
+"""RPR003 positive fixture: unguarded codes reaching assign_middle."""
+
+from repro.core.bitstring import BitString
+from repro.core.middle import assign_middle_binary_string
+
+
+def inline_constructor(text, right):
+    # VIOLATION: fresh code passed straight into the insertion routine.
+    return assign_middle_binary_string(BitString.from_str(text), right)
+
+
+def constructor_in_scope_without_guard(text, right):
+    code = BitString.from_str(text)
+    # VIOLATION: the enclosing function never checks ends_with_one().
+    return assign_middle_binary_string(code, right)

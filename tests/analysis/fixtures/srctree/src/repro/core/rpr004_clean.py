@@ -1,0 +1,6 @@
+"""RPR004 negative fixture: a core module importing only what it may."""
+
+from repro.core.bitstring import BitString  # own layer
+from repro.errors import InvalidCodeError  # declared dependency
+
+from . import rpr004_clean_sibling  # relative: still the core layer

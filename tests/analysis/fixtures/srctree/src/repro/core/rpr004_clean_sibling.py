@@ -1,0 +1,1 @@
+"""Companion module for the relative-import case of rpr004_clean."""

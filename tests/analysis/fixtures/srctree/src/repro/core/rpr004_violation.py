@@ -1,0 +1,10 @@
+"""RPR004 positive fixture: a core module reaching up the stack.
+
+Lives under a ``src/repro/core/`` path so the runner assigns it the
+``core`` layer; the imports below are illegal for that layer.
+"""
+
+from repro.storage import labelstore  # VIOLATION: core -> storage
+from repro.query import evaluator  # VIOLATION: core -> query
+
+import repro  # VIOLATION: core -> package root facade

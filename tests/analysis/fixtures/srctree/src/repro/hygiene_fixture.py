@@ -1,0 +1,47 @@
+"""RPR005 fixture (library-scoped): asserts, defaults, bare except.
+
+Lives under ``src/repro/`` so the assert-as-validation sub-check —
+which only applies to library code — sees it.
+"""
+
+
+def mutable_list_default(items=[]):  # VIOLATION: mutable default
+    return items
+
+
+def mutable_call_default(cache=dict()):  # VIOLATION: mutable default
+    return cache
+
+
+def keyword_only_default(*, seen={}):  # VIOLATION: mutable default
+    return seen
+
+
+def safe_default(items=None, label=(), name="x"):
+    return items, label, name
+
+
+def swallow_everything(action):
+    try:
+        return action()
+    except:  # VIOLATION: bare except
+        return None
+
+
+def catch_concrete(action):
+    try:
+        return action()
+    except ValueError:
+        return None
+
+
+def validate_with_assert(count):
+    assert count > 0  # VIOLATION: data validation via assert
+    return count
+
+
+def narrow_with_assert(found, node, type_):
+    assert found is not None  # fine: type narrowing
+    assert isinstance(node, type_)  # fine: type narrowing
+    assert found is not None and node is not None  # fine: conjunction
+    return found

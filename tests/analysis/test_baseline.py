@@ -1,0 +1,155 @@
+"""Baseline semantics, the CLI, and the shipped baseline's hygiene."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import AnalysisConfigError, analyze_paths, load_baseline
+from repro.analysis.__main__ import main
+from repro.analysis.baseline import write_baseline
+
+HERE = Path(__file__).parent
+SCRIPTS = HERE / "fixtures" / "scripts"
+REPO_ROOT = HERE.parents[1]
+VIOLATIONS = SCRIPTS / "rpr001_violations.py"
+
+
+class TestBaselineMatching:
+    def test_waives_by_rule_and_path(self, tmp_path):
+        raw = analyze_paths([VIOLATIONS], rules=["RPR001"])
+        assert raw.findings
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(
+            baseline_path, raw.findings, load_baseline(baseline_path)
+        )
+        result = analyze_paths(
+            [VIOLATIONS],
+            rules=["RPR001"],
+            baseline=load_baseline(baseline_path),
+        )
+        assert result.findings == []
+        assert result.baselined == len(raw.findings)
+
+    def test_does_not_waive_other_rules(self, tmp_path):
+        raw = analyze_paths([VIOLATIONS], rules=["RPR001"])
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(
+            baseline_path, raw.findings, load_baseline(baseline_path)
+        )
+        other = analyze_paths(
+            [SCRIPTS / "rpr002_violations.py"],
+            rules=["RPR002"],
+            baseline=load_baseline(baseline_path),
+        )
+        assert other.findings  # untouched by the RPR001 baseline
+
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = load_baseline(tmp_path / "absent.json")
+        assert len(baseline) == 0
+
+    def test_malformed_file_raises_config_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2, 3]")
+        with pytest.raises(AnalysisConfigError):
+            load_baseline(bad)
+
+    def test_rewrite_preserves_justifications(self, tmp_path):
+        raw = analyze_paths([VIOLATIONS], rules=["RPR001"])
+        baseline_path = tmp_path / "baseline.json"
+        first = write_baseline(
+            baseline_path, raw.findings, load_baseline(baseline_path)
+        )
+        document = json.loads(baseline_path.read_text())
+        document["entries"][0]["justification"] = "reviewed: legacy"
+        baseline_path.write_text(json.dumps(document))
+        second = write_baseline(
+            baseline_path, raw.findings, load_baseline(baseline_path)
+        )
+        assert second.entries[0].justification == "reviewed: legacy"
+        assert len(second) == len(first)
+
+
+class TestShippedBaseline:
+    """The repository's own baseline must stay empty or justified."""
+
+    def test_empty_or_every_entry_justified(self):
+        baseline = load_baseline(REPO_ROOT / "analysis-baseline.json")
+        for entry in baseline.entries:
+            assert entry.justification.strip(), (
+                f"baseline entry {entry.rule} @ {entry.path} lacks a "
+                f"justification"
+            )
+            assert "TODO" not in entry.justification, (
+                f"baseline entry {entry.rule} @ {entry.path} still has "
+                f"a placeholder justification"
+            )
+
+
+class TestCli:
+    def test_exit_zero_on_clean_path(self, capsys):
+        assert main([str(SCRIPTS / "rpr001_clean.py")]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_exit_one_on_findings(self, capsys):
+        assert main([str(VIOLATIONS), "--rules", "RPR001"]) == 1
+        assert "RPR001" in capsys.readouterr().out
+
+    def test_exit_two_on_unknown_rule(self, capsys):
+        assert main([str(VIOLATIONS), "--rules", "RPR999"]) == 2
+        assert "configuration error" in capsys.readouterr().err
+
+    def test_exit_two_on_nonexistent_path(self, tmp_path, capsys):
+        # A typo'd path must not silently pass the lint in CI.
+        assert main([str(tmp_path / "no_such_dir")]) == 2
+        assert "no such file or directory" in capsys.readouterr().err
+
+    def test_fail_on_error_ignores_warnings(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "warn_only.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f(xs=[]):\n    return xs\n")
+        assert main([str(bad)]) == 1
+        assert main([str(bad), "--fail-on", "error"]) == 0
+        assert main([str(bad), "--fail-on", "never"]) == 0
+
+    def test_json_format_emits_json(self, capsys):
+        assert main([str(VIOLATIONS), "--format", "json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["summary"]["errors"] >= 1
+
+    def test_list_rules_names_all_five(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
+            assert rule_id in out
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        baseline_path = tmp_path / "baseline.json"
+        assert (
+            main(
+                [
+                    str(VIOLATIONS),
+                    "--rules",
+                    "RPR001",
+                    "--baseline",
+                    str(baseline_path),
+                    "--write-baseline",
+                ]
+            )
+            == 0
+        )
+        assert baseline_path.exists()
+        assert (
+            main(
+                [
+                    str(VIOLATIONS),
+                    "--rules",
+                    "RPR001",
+                    "--baseline",
+                    str(baseline_path),
+                ]
+            )
+            == 0
+        )

@@ -1,0 +1,90 @@
+"""The layering declaration itself: shape, validation, registration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import AnalysisConfigError
+from repro.analysis.layers import (
+    ALL_LAYERS,
+    LAYERS,
+    SCRIPT_LAYER,
+    allowed_imports,
+    layer_of_module,
+    register_layer,
+    validate_layers,
+)
+
+
+class TestLayerOfModule:
+    def test_subpackages(self):
+        assert layer_of_module("repro.core.bitstring") == "core"
+        assert layer_of_module("repro.labeling.prefix") == "labeling"
+        assert layer_of_module("repro.analysis.rules.raw_bits") == "analysis"
+
+    def test_top_level_modules_are_their_own_layers(self):
+        assert layer_of_module("repro.errors") == "errors"
+        assert layer_of_module("repro.store") == "store"
+        assert layer_of_module("repro") == "repro"
+
+    def test_foreign_modules_map_to_scripts(self):
+        assert layer_of_module("numpy.linalg") == SCRIPT_LAYER
+
+
+class TestDeclaredDag:
+    def test_paper_mandated_edges(self):
+        # The ISSUE's contract: core imports nothing above it; labeling
+        # may import core but not storage/query/relational.
+        assert allowed_imports("core") == frozenset({"errors"})
+        labeling = allowed_imports("labeling")
+        assert "core" in labeling
+        assert not {"storage", "query", "relational"} & set(labeling)
+
+    def test_facades_allow_everything(self):
+        assert allowed_imports("bench") == ALL_LAYERS
+        assert allowed_imports("store") == ALL_LAYERS
+        assert allowed_imports(SCRIPT_LAYER) == ALL_LAYERS
+
+    def test_unknown_layer_allows_nothing(self):
+        assert allowed_imports("brand-new-subsystem") == frozenset()
+
+    def test_declaration_is_acyclic(self):
+        validate_layers()  # the shipped table must not raise
+
+    def test_cyclic_declaration_rejected(self):
+        with pytest.raises(AnalysisConfigError, match="cycle"):
+            validate_layers(
+                {
+                    "a": frozenset({"b"}),
+                    "b": frozenset({"a"}),
+                }
+            )
+
+    def test_dangling_reference_rejected(self):
+        with pytest.raises(AnalysisConfigError, match="unknown"):
+            validate_layers({"a": frozenset({"ghost"})})
+
+
+class TestRegisterLayer:
+    def test_future_subsystems_register_in_one_place(self):
+        assert "caching" not in LAYERS
+        try:
+            register_layer("caching", {"errors", "core"})
+            assert allowed_imports("caching") == frozenset(
+                {"errors", "core"}
+            )
+        finally:
+            del LAYERS["caching"]
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(AnalysisConfigError, match="already"):
+            register_layer("core", {"errors"})
+
+    def test_cycle_introduced_by_registration_rejected(self):
+        assert "tmp-layer" not in LAYERS
+        # 'errors' allows nothing, so a layer that only errors could
+        # import cannot be added as a dependency *of* errors afterwards;
+        # simulate by registering a layer that depends on itself.
+        with pytest.raises(AnalysisConfigError):
+            register_layer("tmp-layer", {"tmp-layer"})
+        LAYERS.pop("tmp-layer", None)

@@ -1,0 +1,66 @@
+"""Reporter output: text shape and the JSON golden file."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import analyze_paths, render_json, render_text
+
+HERE = Path(__file__).parent
+SCRIPTS = HERE / "fixtures" / "scripts"
+GOLDEN = HERE / "golden" / "rpr002_report.json"
+
+
+def rpr002_result():
+    # project_root makes reported paths stable and repo-relative.
+    return analyze_paths(
+        [SCRIPTS / "rpr002_violations.py"],
+        rules=["RPR002"],
+        project_root=HERE.parents[1],
+    )
+
+
+class TestTextReporter:
+    def test_line_shape_and_summary(self):
+        result = rpr002_result()
+        text = render_text(result)
+        lines = text.splitlines()
+        assert len(lines) == len(result.findings) + 1
+        first = lines[0]
+        assert first.startswith(
+            "tests/analysis/fixtures/scripts/rpr002_violations.py:"
+        )
+        assert "RPR002 [error]" in first
+        assert lines[-1] == "6 finding(s) (6 error(s), 0 warning(s)) in 1 file(s)"
+
+    def test_clean_run_reports_zero(self):
+        result = analyze_paths(
+            [SCRIPTS / "rpr002_clean.py"], rules=["RPR002"]
+        )
+        assert render_text(result) == (
+            "0 finding(s) (0 error(s), 0 warning(s)) in 1 file(s)"
+        )
+
+
+class TestJsonReporter:
+    def test_matches_golden_report(self):
+        rendered = render_json(rpr002_result())
+        assert rendered == GOLDEN.read_text().rstrip("\n")
+
+    def test_round_trips_as_json(self):
+        document = json.loads(render_json(rpr002_result()))
+        assert document["version"] == 1
+        assert document["summary"]["findings"] == 6
+        assert document["summary"]["errors"] == 6
+        assert document["summary"]["warnings"] == 0
+        assert len(document["findings"]) == 6
+        for finding in document["findings"]:
+            assert set(finding) == {
+                "path",
+                "line",
+                "col",
+                "rule",
+                "severity",
+                "message",
+            }

@@ -1,0 +1,130 @@
+"""Per-rule fixture tests: positive and negative cases for RPR001-005."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SCRIPTS = FIXTURES / "scripts"
+SRCTREE = FIXTURES / "srctree"
+CYCLETREE = FIXTURES / "cycletree"
+
+
+def findings_for(path, rule):
+    result = analyze_paths([path], rules=[rule])
+    return result.findings
+
+
+class TestRPR001RawBits:
+    def test_flags_every_raw_manipulation(self):
+        findings = findings_for(SCRIPTS / "rpr001_violations.py", "RPR001")
+        assert len(findings) == 7
+        assert {f.rule for f in findings} == {"RPR001"}
+
+    def test_flagged_lines_are_the_marked_ones(self):
+        source = (SCRIPTS / "rpr001_violations.py").read_text()
+        marked = {
+            lineno
+            for lineno, text in enumerate(source.splitlines(), start=1)
+            if "# VIOLATION" in text
+        }
+        findings = findings_for(SCRIPTS / "rpr001_violations.py", "RPR001")
+        assert {f.line for f in findings} == marked
+
+    def test_clean_fixture_is_clean(self):
+        assert findings_for(SCRIPTS / "rpr001_clean.py", "RPR001") == []
+
+    def test_core_bitstring_is_exempt(self):
+        repo_root = Path(__file__).parents[2]
+        bitstring = repo_root / "src" / "repro" / "core" / "bitstring.py"
+        assert findings_for(bitstring, "RPR001") == []
+
+
+class TestRPR002RawCompare:
+    def test_flags_every_cast_ordering(self):
+        findings = findings_for(SCRIPTS / "rpr002_violations.py", "RPR002")
+        assert len(findings) == 6
+        assert {f.rule for f in findings} == {"RPR002"}
+
+    def test_clean_fixture_is_clean(self):
+        assert findings_for(SCRIPTS / "rpr002_clean.py", "RPR002") == []
+
+
+class TestRPR003UnguardedCodes:
+    def test_flags_unguarded_call_sites(self):
+        findings = findings_for(SCRIPTS / "rpr003_violations.py", "RPR003")
+        assert len(findings) == 2
+
+    def test_clean_fixture_is_clean(self):
+        assert findings_for(SCRIPTS / "rpr003_clean.py", "RPR003") == []
+
+
+class TestRPR004Layering:
+    def test_flags_upward_imports_from_core(self):
+        findings = findings_for(
+            SRCTREE / "src" / "repro" / "core" / "rpr004_violation.py",
+            "RPR004",
+        )
+        assert len(findings) == 3
+        messages = " ".join(f.message for f in findings)
+        assert "'storage'" in messages
+        assert "'query'" in messages
+        assert "'repro'" in messages
+
+    def test_allowed_and_relative_imports_pass(self):
+        findings = findings_for(
+            SRCTREE / "src" / "repro" / "core" / "rpr004_clean.py",
+            "RPR004",
+        )
+        assert findings == []
+
+    def test_cycle_is_reported_even_on_the_legal_edge(self):
+        result = analyze_paths([CYCLETREE], rules=["RPR004"])
+        cycle_findings = [
+            f for f in result.findings if "cycle" in f.message
+        ]
+        edge_findings = [
+            f for f in result.findings if "may not import" in f.message
+        ]
+        assert len(cycle_findings) == 1
+        assert "labeling -> storage" in cycle_findings[0].message
+        assert len(edge_findings) == 1  # only labeling -> storage
+
+
+class TestRPR005Hygiene:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return findings_for(
+            SRCTREE / "src" / "repro" / "hygiene_fixture.py", "RPR005"
+        )
+
+    def test_counts_by_kind(self, findings):
+        mutable = [f for f in findings if "mutable default" in f.message]
+        bare = [f for f in findings if "bare 'except:'" in f.message]
+        asserts = [f for f in findings if "assert" in f.message]
+        assert len(mutable) == 3
+        assert len(bare) == 1
+        assert len(asserts) == 1
+
+    def test_narrowing_asserts_not_flagged(self, findings):
+        source = (
+            SRCTREE / "src" / "repro" / "hygiene_fixture.py"
+        ).read_text()
+        fine_lines = {
+            lineno
+            for lineno, text in enumerate(source.splitlines(), start=1)
+            if "# fine" in text
+        }
+        assert fine_lines and not fine_lines & {f.line for f in findings}
+
+    def test_severity_is_warning(self, findings):
+        assert all(str(f.severity) == "warning" for f in findings)
+
+    def test_asserts_ignored_outside_library_code(self, tmp_path):
+        script = tmp_path / "bench_script.py"
+        script.write_text("assert 1 + 1 == 2\n")
+        assert findings_for(script, "RPR005") == []

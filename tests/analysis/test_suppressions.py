@@ -1,0 +1,61 @@
+"""Inline ``# repro: allow-<slug>`` suppression behaviour."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+from repro.analysis.suppressions import collect_suppressions
+
+SCRIPTS = Path(__file__).parent / "fixtures" / "scripts"
+
+
+class TestCommentParsing:
+    def test_same_line_and_preceding_line(self):
+        suppressions = collect_suppressions(
+            [
+                "x = 1  # repro: allow-raw-bits",
+                "y = 2",
+                "# repro: allow-layering",
+                "import something",
+            ]
+        )
+        assert suppressions.allows(1, "raw-bits")
+        # A suppression also covers the line below it (lead-in comments).
+        assert suppressions.allows(2, "raw-bits")
+        assert not suppressions.allows(3, "raw-bits")
+        assert suppressions.allows(3, "layering")
+        assert suppressions.allows(4, "layering")
+        assert not suppressions.allows(4, "raw-bits")
+
+    def test_justification_text_after_slug_is_ignored(self):
+        suppressions = collect_suppressions(
+            ["code + '1'  # repro: allow-raw-bits — CKM label domain"]
+        )
+        assert suppressions.allows(1, "raw-bits")
+
+    def test_multiple_slugs_on_one_line(self):
+        suppressions = collect_suppressions(
+            ["x  # repro: allow-raw-bits  # repro: allow-raw-code"]
+        )
+        assert suppressions.allows(1, "raw-bits")
+        assert suppressions.allows(1, "raw-code")
+
+
+class TestSuppressionFiltering:
+    def test_suppressed_findings_are_counted_not_reported(self):
+        result = analyze_paths(
+            [SCRIPTS / "rpr001_clean.py"], rules=["RPR001"]
+        )
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_wrong_slug_does_not_suppress(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "def f(code):\n"
+            "    return code + '1'  # repro: allow-hygiene\n"
+        )
+        result = analyze_paths([bad], rules=["RPR001"])
+        assert len(result.findings) == 1
+        assert result.suppressed == 0
