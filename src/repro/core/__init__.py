@@ -10,6 +10,9 @@
   completely avoids re-labeling.
 * :mod:`repro.core.sizes` — the Section 4.2 size analysis.
 * :mod:`repro.core.orderkeys` — Property 5.1 as a reusable order-key API.
+* :mod:`repro.core.orderindex` — O(log N) dynamic order-statistic
+  sequence (document-order ranks, positional splices, weight prefix
+  sums) backing the update hot path.
 """
 
 from repro.core.bitstring import EMPTY, BitString
@@ -26,6 +29,7 @@ from repro.core.middle import (
     assign_middle_pair,
     assign_middle_run,
 )
+from repro.core.orderindex import OrderStatisticTree
 from repro.core.orderkeys import OrderKey, OrderKeyFactory
 from repro.core.qed import (
     assign_middle_quaternary,
@@ -56,4 +60,5 @@ __all__ = [
     "validate_qed_code",
     "OrderKey",
     "OrderKeyFactory",
+    "OrderStatisticTree",
 ]

@@ -1,0 +1,437 @@
+"""Dynamic order-statistic sequences for the update hot path.
+
+The update engine needs three queries that a plain Python list answers
+only in O(N): *where* in document order a node sits (``list.index``),
+*splice* a run of nodes in or out at a position, and *prefix sums* over
+per-record byte sizes (the page store's offset map).  The paper takes
+these for granted — CDBS makes the *labels* cheap to update, and the
+surrounding bookkeeping must not re-introduce a linear term, or measured
+"update time" scales with document size for reasons the paper never had.
+
+:class:`OrderStatisticTree` answers all three in O(log N) expected time.
+It is an implicit treap (randomised balanced BST ordered by position,
+heap-ordered by priority) augmented with two subtree aggregates:
+
+* ``size`` — element counts, giving rank/select (position ↔ item);
+* ``wsum`` — an integer *weight* per element, giving prefix sums over
+  arbitrary weights (byte offsets when the weights are record sizes).
+
+A Fenwick tree gives the same aggregates over a *fixed* universe, but
+both clients here insert and delete in the middle of the sequence —
+which shifts every later ordinal, exactly the operation Fenwick trees
+cannot absorb — so the order-statistic tree is the Fenwick generalised
+to a dynamic universe.  With ``track_identity=True`` the tree also keeps
+an ``id(item) -> node`` map so :meth:`position` can walk parent pointers
+from the item itself: rank-of-item without any search or hashing of
+item *values* (tree nodes are mutable and unhashable by content).
+
+All operations are iterative — no recursion limits to trip on large
+documents — and priorities come from a seeded PRNG so sequences are
+reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterable, Iterator
+
+__all__ = ["OrderStatisticTree"]
+
+
+class _TreapNode:
+    """One element: its payload, weight, and augmented subtree sums."""
+
+    __slots__ = (
+        "item",
+        "weight",
+        "prio",
+        "left",
+        "right",
+        "parent",
+        "size",
+        "wsum",
+    )
+
+    def __init__(self, item: Any, weight: int, prio: float) -> None:
+        self.item = item
+        self.weight = weight
+        self.prio = prio
+        self.left: _TreapNode | None = None
+        self.right: _TreapNode | None = None
+        self.parent: _TreapNode | None = None
+        self.size = 1
+        self.wsum = weight
+
+
+def _size(node: _TreapNode | None) -> int:
+    return node.size if node is not None else 0
+
+
+def _wsum(node: _TreapNode | None) -> int:
+    return node.wsum if node is not None else 0
+
+
+class OrderStatisticTree:
+    """A positional sequence with O(log N) rank, select, splice and
+    weight-prefix queries.
+
+    Args:
+        items: initial elements, in sequence order (bulk-built in O(N)).
+        weights: optional per-item integer weights (defaults to 1 each);
+            :meth:`prefix_weight` sums them by position.
+        track_identity: keep an ``id(item) -> node`` map so
+            :meth:`position` / ``in`` work; requires every item to be a
+            distinct live object (document nodes are; small interned
+            ints are *not*, so weight-only clients leave this off).
+        seed: PRNG seed for treap priorities (determinism only).
+    """
+
+    def __init__(
+        self,
+        items: Iterable[Any] = (),
+        *,
+        weights: Iterable[int] | None = None,
+        track_identity: bool = False,
+        seed: int = 0x0D0C,
+    ) -> None:
+        self._rng = random.Random(seed)
+        self._track = track_identity
+        self._where: dict[int, _TreapNode] = {}
+        self._root: _TreapNode | None = None
+        self._bulk_build(items, weights)
+
+    # -- construction ------------------------------------------------------
+
+    @staticmethod
+    def _paired(
+        items: Iterable[Any], weights: Iterable[int]
+    ) -> Iterable[tuple[Any, int]]:
+        try:
+            yield from zip(items, weights, strict=True)
+        except ValueError:
+            raise ValueError("items and weights differ in length") from None
+
+    def _bulk_build(
+        self, items: Iterable[Any], weights: Iterable[int] | None
+    ) -> None:
+        """Cartesian-tree build from a sequence: O(N) via a right spine."""
+        rand = self._rng.random
+        spine: list[_TreapNode] = []
+        if weights is None:
+            pairs: Iterable[tuple[Any, int]] = ((item, 1) for item in items)
+        else:
+            pairs = self._paired(items, weights)
+        for item, weight in pairs:
+            node = _TreapNode(item, self._checked_weight(weight), rand())
+            last: _TreapNode | None = None
+            while spine and spine[-1].prio < node.prio:
+                last = spine.pop()
+            node.left = last
+            if last is not None:
+                last.parent = node
+            if spine:
+                spine[-1].right = node
+                node.parent = spine[-1]
+            spine.append(node)
+            if self._track:
+                self._where[id(item)] = node
+        self._root = spine[0] if spine else None
+        self._refresh_aggregates()
+
+    def _refresh_aggregates(self) -> None:
+        """Recompute size/wsum bottom-up over the whole tree (build only)."""
+        if self._root is None:
+            return
+        stack: list[tuple[_TreapNode, bool]] = [(self._root, False)]
+        while stack:
+            node, done = stack.pop()
+            if done:
+                node.size = 1 + _size(node.left) + _size(node.right)
+                node.wsum = node.weight + _wsum(node.left) + _wsum(node.right)
+                continue
+            stack.append((node, True))
+            if node.left is not None:
+                stack.append((node.left, False))
+            if node.right is not None:
+                stack.append((node.right, False))
+
+    @staticmethod
+    def _checked_weight(weight: int) -> int:
+        if weight < 0:
+            raise ValueError(f"weight must be non-negative, got {weight}")
+        return weight
+
+    # -- size and membership -----------------------------------------------
+
+    def __len__(self) -> int:
+        return _size(self._root)
+
+    def __contains__(self, item: Any) -> bool:
+        if not self._track:
+            raise TypeError(
+                "membership requires track_identity=True at construction"
+            )
+        return id(item) in self._where
+
+    def total_weight(self) -> int:
+        """Sum of every element's weight (total bytes for a size map)."""
+        return _wsum(self._root)
+
+    # -- rank / select -----------------------------------------------------
+
+    def position(self, item: Any) -> int:
+        """Rank of ``item`` in the sequence — O(log N), no scanning.
+
+        Walks parent pointers from the item's tree node, accumulating
+        the sizes of subtrees that precede it.  Raises :class:`ValueError`
+        (matching ``list.index``) when the item is not in the sequence.
+        """
+        if not self._track:
+            raise TypeError(
+                "position() requires track_identity=True at construction"
+            )
+        node = self._where.get(id(item))
+        if node is None:
+            raise ValueError("item is not in the sequence")
+        rank = _size(node.left)
+        while node.parent is not None:
+            parent = node.parent
+            if node is parent.right:
+                rank += _size(parent.left) + 1
+            node = parent
+        return rank
+
+    def index(self, item: Any) -> int:
+        """Alias of :meth:`position` (list-compatible spelling)."""
+        return self.position(item)
+
+    def _node_at(self, position: int) -> _TreapNode:
+        node = self._root
+        remaining = position
+        while node is not None:
+            left_size = _size(node.left)
+            if remaining < left_size:
+                node = node.left
+            elif remaining == left_size:
+                return node
+            else:
+                remaining -= left_size + 1
+                node = node.right
+        raise IndexError(f"position {position} out of range 0..{len(self) - 1}")
+
+    def __getitem__(self, key: int | slice) -> Any:
+        if isinstance(key, slice):
+            start, stop, step = key.indices(len(self))
+            if step == 1:
+                span = max(0, stop - start)
+                out: list[Any] = []
+                for item in self.iter_from(start):
+                    if len(out) == span:
+                        break
+                    out.append(item)
+                return out
+            return [self[i] for i in range(start, stop, step)]
+        position = key
+        if position < 0:
+            position += len(self)
+        if not 0 <= position < len(self):
+            raise IndexError(
+                f"position {key} out of range for {len(self)} items"
+            )
+        return self._node_at(position).item
+
+    # -- iteration ---------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Any]:
+        stack: list[_TreapNode] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.item
+            node = node.right
+
+    def iter_from(self, position: int) -> Iterator[Any]:
+        """Iterate items starting at ``position`` — O(log N) to locate,
+        O(1) amortised per step (parent-pointer successor walk)."""
+        total = len(self)
+        if not 0 <= position <= total:
+            raise IndexError(f"position {position} out of range 0..{total}")
+        if position == total:
+            return
+        node: _TreapNode | None = self._node_at(position)
+        while node is not None:
+            yield node.item
+            if node.right is not None:
+                node = node.right
+                while node.left is not None:
+                    node = node.left
+            else:
+                child = node
+                node = node.parent
+                while node is not None and child is node.right:
+                    child = node
+                    node = node.parent
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert_run(
+        self,
+        position: int,
+        items: Iterable[Any],
+        weights: Iterable[int] | None = None,
+    ) -> None:
+        """Insert ``items`` so the first lands at ``position``.
+
+        O(K log N) for a K-item run: each element is threaded in with a
+        positional descent plus rotations that restore the heap order.
+        """
+        total = len(self)
+        if not 0 <= position <= total:
+            raise IndexError(f"position {position} out of range 0..{total}")
+        if weights is None:
+            pairs: Iterable[tuple[Any, int]] = ((item, 1) for item in items)
+        else:
+            pairs = self._paired(items, weights)
+        offset = position
+        for item, weight in pairs:
+            self._insert_one(offset, item, self._checked_weight(weight))
+            offset += 1
+
+    def _insert_one(self, position: int, item: Any, weight: int) -> None:
+        node = _TreapNode(item, weight, self._rng.random())
+        if self._track:
+            if id(item) in self._where:
+                raise ValueError("item is already in the sequence")
+            self._where[id(item)] = node
+        if self._root is None:
+            self._root = node
+            return
+        current = self._root
+        remaining = position
+        while True:
+            current.size += 1
+            current.wsum += weight
+            left_size = _size(current.left)
+            if remaining <= left_size:
+                if current.left is None:
+                    current.left = node
+                    node.parent = current
+                    break
+                current = current.left
+            else:
+                remaining -= left_size + 1
+                if current.right is None:
+                    current.right = node
+                    node.parent = current
+                    break
+                current = current.right
+        while node.parent is not None and node.prio > node.parent.prio:
+            self._rotate_up(node)
+
+    def delete_run(self, position: int, count: int) -> list[Any]:
+        """Remove ``count`` items starting at ``position``; returns them.
+
+        O(K log N) for a K-item run.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        total = len(self)
+        if not 0 <= position <= total or position + count > total:
+            raise IndexError(
+                f"range [{position}, {position + count}) exceeds {total} items"
+            )
+        removed: list[Any] = []
+        for _ in range(count):
+            removed.append(self._delete_at(position))
+        return removed
+
+    def _delete_at(self, position: int) -> Any:
+        node = self._node_at(position)
+        while node.left is not None or node.right is not None:
+            left, right = node.left, node.right
+            if right is None or (left is not None and left.prio >= right.prio):
+                self._rotate_up(left)
+            else:
+                self._rotate_up(right)
+        parent = node.parent
+        if parent is None:
+            self._root = None
+        else:
+            if parent.left is node:
+                parent.left = None
+            else:
+                parent.right = None
+            ancestor: _TreapNode | None = parent
+            while ancestor is not None:
+                ancestor.size -= 1
+                ancestor.wsum -= node.weight
+                ancestor = ancestor.parent
+        node.parent = None
+        if self._track:
+            del self._where[id(node.item)]
+        return node.item
+
+    def _rotate_up(self, node: _TreapNode) -> None:
+        """Rotate ``node`` above its parent, preserving in-order sequence
+        and recomputing the two disturbed aggregates."""
+        parent = node.parent
+        if parent is None:
+            raise ValueError("cannot rotate the root")
+        grand = parent.parent
+        if parent.left is node:
+            parent.left = node.right
+            if node.right is not None:
+                node.right.parent = parent
+            node.right = parent
+        else:
+            parent.right = node.left
+            if node.left is not None:
+                node.left.parent = parent
+            node.left = parent
+        parent.parent = node
+        node.parent = grand
+        if grand is None:
+            self._root = node
+        elif grand.left is parent:
+            grand.left = node
+        else:
+            grand.right = node
+        parent.size = 1 + _size(parent.left) + _size(parent.right)
+        parent.wsum = (
+            parent.weight + _wsum(parent.left) + _wsum(parent.right)
+        )
+        node.size = 1 + _size(node.left) + _size(node.right)
+        node.wsum = node.weight + _wsum(node.left) + _wsum(node.right)
+
+    # -- weight prefix sums ------------------------------------------------
+
+    def prefix_weight(self, position: int) -> int:
+        """Sum of the weights of the first ``position`` items — O(log N).
+
+        With record sizes as weights this is the byte offset of record
+        ``position``; ``prefix_weight(len(self))`` is the total size.
+        """
+        total = len(self)
+        if not 0 <= position <= total:
+            raise IndexError(f"position {position} out of range 0..{total}")
+        node = self._root
+        remaining = position
+        acc = 0
+        while node is not None and remaining > 0:
+            left_size = _size(node.left)
+            if remaining <= left_size:
+                node = node.left
+            else:
+                acc += _wsum(node.left) + node.weight
+                remaining -= left_size + 1
+                node = node.right
+        return acc
+
+    def __repr__(self) -> str:
+        return (
+            f"<OrderStatisticTree {len(self)} items, "
+            f"weight {self.total_weight()}>"
+        )

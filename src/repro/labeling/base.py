@@ -24,6 +24,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any
 
+from repro.core.orderindex import OrderStatisticTree
 from repro.errors import UnsupportedOperationError
 from repro.xmltree.document import Document
 from repro.xmltree.node import Node, NodeKind
@@ -74,15 +75,20 @@ class LabeledDocument:
 
     Labels are keyed by node identity (``id(node)``) because nodes are
     mutable tree objects.  The class also maintains the document-order
-    node list and a tag index for the query engine; schemes update all
+    index and a tag index for the query engine; schemes update all
     three in their insert/delete hooks.
+
+    ``nodes_in_order`` is an :class:`OrderStatisticTree`, not a list: it
+    iterates, indexes and slices like one, but answers *rank* queries
+    (:meth:`position_of`) and positional splices in O(log N), keeping
+    the update path free of linear scans.
     """
 
     def __init__(self, document: Document, scheme: "LabelingScheme") -> None:
         self.document = document
         self.scheme = scheme
         self.labels: dict[int, Any] = {}
-        self.nodes_in_order: list[Node] = []
+        self.nodes_in_order = OrderStatisticTree(track_identity=True)
         self.tag_index: dict[str, list[Node]] = {}
         self.extra: dict[str, Any] = {}
         self._tag_bytes_cache: dict[str | None, int] = {}
@@ -103,11 +109,21 @@ class LabeledDocument:
     def node_count(self) -> int:
         return len(self.nodes_in_order)
 
+    def position_of(self, node: Node) -> int:
+        """Document-order position of ``node`` — O(log N), no scanning.
+
+        The update engine's replacement for the seed's list-index scan,
+        which re-walked the whole document on every structural update.
+        """
+        return self.nodes_in_order.position(node)
+
     # -- index maintenance ---------------------------------------------------
 
     def rebuild_order(self) -> None:
         """Recompute document order and the tag index from the tree."""
-        self.nodes_in_order = list(self.document.pre_order())
+        self.nodes_in_order = OrderStatisticTree(
+            self.document.pre_order(), track_identity=True
+        )
         self.tag_index = {}
         self._tag_bytes_cache: dict[str | None, int] = {}
         for node in self.nodes_in_order:
@@ -149,7 +165,7 @@ class LabeledDocument:
         new_nodes = list(subtree_root.pre_order())
         self._tag_bytes_cache = {}
         position = self._order_position(subtree_root)
-        self.nodes_in_order[position:position] = new_nodes
+        self.nodes_in_order.insert_run(position, new_nodes)
         for node in new_nodes:
             if node.kind is NodeKind.ELEMENT:
                 siblings = self.tag_index.setdefault(node.name, [])
@@ -157,20 +173,44 @@ class LabeledDocument:
         return new_nodes
 
     def unregister_subtree(self, subtree_root: Node) -> list[Node]:
-        """Remove a subtree's nodes from order/tag indexes and labels."""
+        """Remove a subtree's nodes from order/tag indexes and labels.
+
+        A subtree is contiguous in document order, so the order index
+        drops it as one positional run — O(K log N) for K nodes instead
+        of the full-list rebuild this used to cost.  Tag buckets are
+        pruned by binary search *before* the order/labels are touched
+        (the search keys need them).
+        """
         removed = list(subtree_root.pre_order())
         self._tag_bytes_cache = {}
-        removed_ids = {id(node) for node in removed}
-        self.nodes_in_order = [
-            node for node in self.nodes_in_order if id(node) not in removed_ids
-        ]
+        position = self.nodes_in_order.position(subtree_root)
         for node in removed:
             if node.kind is NodeKind.ELEMENT:
                 bucket = self.tag_index.get(node.name)
-                if bucket is not None:
-                    bucket[:] = [n for n in bucket if id(n) != id(node)]
+                if bucket:
+                    self._bucket_discard(bucket, node)
+        dropped = self.nodes_in_order.delete_run(position, len(removed))
+        if any(a is not b for a, b in zip(dropped, removed)):
+            raise RuntimeError(
+                "order index out of sync with the tree: the removed run "
+                "does not match the subtree's pre-order"
+            )
+        for node in removed:
             self.labels.pop(id(node), None)
         return removed
+
+    def _bucket_discard(self, bucket: list[Node], node: Node) -> None:
+        """Drop ``node`` from one tag bucket — O(log B) bisect, not a
+        full rebuild.  Falls back to an identity scan if the bucket's
+        ordering is ever out of step with the search keys."""
+        index = self._tag_position(node, bucket)
+        if index < len(bucket) and bucket[index] is node:
+            del bucket[index]
+            return
+        for fallback, candidate in enumerate(bucket):
+            if candidate is node:
+                del bucket[fallback]
+                return
 
     def _order_position(self, subtree_root: Node) -> int:
         """Index in ``nodes_in_order`` where the subtree now begins.
@@ -181,16 +221,14 @@ class LabeledDocument:
         parent = subtree_root.parent
         if parent is None:
             return 0
-        siblings = parent.children
-        position = siblings.index(subtree_root)
+        position = parent.index_of_child(subtree_root)
         if position == 0:
             predecessor = parent
         else:
-            predecessor = siblings[position - 1]
+            predecessor = parent.children[position - 1]
             while predecessor.children:
                 predecessor = predecessor.children[-1]
-        index = self.nodes_in_order.index(predecessor)
-        return index + 1
+        return self.nodes_in_order.position(predecessor) + 1
 
     def _tag_position(self, node: Node, bucket: list[Node]) -> int:
         """Binary search the tag bucket by document order."""
@@ -207,14 +245,15 @@ class LabeledDocument:
             return lo
         except (KeyError, ValueError):
             # The node is not fully labeled yet (e.g. Prime assigns SC
-            # groups only after registration); fall back to positions in
-            # the already-updated global order list.
-            order = {id(n): i for i, n in enumerate(self.nodes_in_order)}
-            target = order[id(node)]
+            # groups only after registration); fall back to ranks in the
+            # already-updated global order index — O(log² N) instead of
+            # materialising an O(N) position map per call.
+            rank = self.nodes_in_order.position
+            target = rank(node)
             lo, hi = 0, len(bucket)
             while lo < hi:
                 mid = (lo + hi) // 2
-                if order.get(id(bucket[mid]), -1) < target:
+                if rank(bucket[mid]) < target:
                     lo = mid + 1
                 else:
                     hi = mid

@@ -26,6 +26,8 @@ Two deliberate, documented deviations that keep the arithmetic sound:
 from __future__ import annotations
 
 import math
+from itertools import islice
+
 import numpy as np
 
 from repro.labeling.base import LabeledDocument, LabelingScheme, UpdateStats
@@ -148,13 +150,22 @@ class PrimeScheme(LabelingScheme):
         return labeled
 
     def _rebuild_groups(self, labeled: LabeledDocument, from_group: int) -> int:
-        """Recompute SC groups from ``from_group`` on; returns the count."""
+        """Recompute SC groups from ``from_group`` on; returns the count.
+
+        One ordered walk from the first disturbed position — O(log N) to
+        locate it, then linear in the *suffix* (the CRT work the paper
+        charges Prime for), never in the whole document.
+        """
         groups: list[ScGroup] = labeled.extra.setdefault("sc_groups", [])
         del groups[from_group:]
         nodes = labeled.nodes_in_order
+        start = min(from_group * GROUP_SIZE, len(nodes))
+        suffix = nodes.iter_from(start)
         rebuilt = 0
-        for start in range(from_group * GROUP_SIZE, len(nodes), GROUP_SIZE):
-            members = nodes[start : start + GROUP_SIZE]
+        while True:
+            members = list(islice(suffix, GROUP_SIZE))
+            if not members:
+                break
             labels = [labeled.label_of(node) for node in members]
             group = ScGroup(
                 index=len(groups),
@@ -220,7 +231,7 @@ class PrimeScheme(LabelingScheme):
         # Every node from the subtree's position onward changed document
         # order; re-derive the SC value of each group that covers any of
         # them (groups are fixed chunks of five in document order).
-        position = labeled.nodes_in_order.index(subtree_root)
+        position = labeled.position_of(subtree_root)
         recomputed = self._rebuild_groups(
             labeled, from_group=position // GROUP_SIZE
         )
@@ -233,7 +244,7 @@ class PrimeScheme(LabelingScheme):
     def delete_subtree(
         self, labeled: LabeledDocument, subtree_root: Node
     ) -> UpdateStats:
-        position = labeled.nodes_in_order.index(subtree_root)
+        position = labeled.position_of(subtree_root)
         removed = labeled.unregister_subtree(subtree_root)
         subtree_root.detach()
         recomputed = self._rebuild_groups(

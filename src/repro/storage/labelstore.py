@@ -42,8 +42,15 @@ class LabelStore:
         self.labeled = labeled
         self.io_model = io_model or IOCostModel()
         self.buffer_pool = BufferPool(cache_pages) if cache_pages else None
-        self.pages = PageStore(page_bytes, buffer_pool=self.buffer_pool)
-        self.sc_pages = PageStore(page_bytes, buffer_pool=self.buffer_pool)
+        # Distinct namespaces: both stores number pages from 0, so a
+        # shared pool would otherwise alias label page 0 with SC page 0
+        # and report cache hits for pages never actually cached.
+        self.pages = PageStore(
+            page_bytes, buffer_pool=self.buffer_pool, namespace="labels"
+        )
+        self.sc_pages = PageStore(
+            page_bytes, buffer_pool=self.buffer_pool, namespace="sc"
+        )
         self._load()
 
     def _label_bytes(self, node: Node) -> int:

@@ -7,16 +7,25 @@ CDBS (Section 7.3's closing remark).  To reproduce that decomposition on
 a simulator we model label storage as fixed-size pages and charge a
 calibratable cost per page read and write.
 
-The model is deliberately simple (sequential record layout, no caching
-across operations) because the experiment only needs the page-touch
-*counts* to be faithful: a dynamic insert touches the one page holding
-the neighbourhood of the new label, while a re-label of K nodes dirties
-every page across K contiguous records.
+The model is deliberately simple (sequential record layout, write-through
+caching) because the experiment only needs the page-touch *counts* to be
+faithful: a dynamic insert touches the one page holding the neighbourhood
+of the new label, while a re-label of K nodes dirties every page across K
+contiguous records.
+
+Record byte offsets live in an :class:`~repro.core.orderindex.OrderStatisticTree`
+keyed by record ordinal with record sizes as weights, so a splice —
+which shifts every later ordinal — is O(log N) instead of the
+rebuild-the-whole-prefix-sum-array it used to cost, and offset lookups
+stay O(log N).  That keeps the simulator's own bookkeeping off the
+update path it is supposed to be measuring.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro.core.orderindex import OrderStatisticTree
 
 __all__ = ["IOCostModel", "PageCounter", "PageStore", "BufferPool"]
 
@@ -56,6 +65,14 @@ class PageStore:
     byte offset of each record so it can answer "which pages does record
     range [i, j) occupy?".  All mutation paths count page reads (the
     page must be fetched to modify it) and writes.
+
+    Args:
+        page_bytes: page size of the simulated device.
+        buffer_pool: optional shared LRU pool fronting reads.
+        namespace: distinguishes this store's pages in a *shared*
+            buffer pool.  Two stores both number pages from 0, so
+            without a namespace their page 0s alias and every cross-file
+            read counts as a bogus cache hit.
     """
 
     def __init__(
@@ -63,47 +80,43 @@ class PageStore:
         page_bytes: int = DEFAULT_PAGE_BYTES,
         *,
         buffer_pool: "BufferPool | None" = None,
+        namespace: str = "",
     ) -> None:
         if page_bytes <= 0:
             raise ValueError(f"page size must be positive, got {page_bytes}")
         self.page_bytes = page_bytes
         self.counter = PageCounter()
         self.buffer_pool = buffer_pool
-        self._offsets: list[int] = [0]  # prefix sums of record sizes
+        self.namespace = namespace
+        self._records = OrderStatisticTree()  # weights = record sizes
 
     # -- layout ------------------------------------------------------------
 
     def load_records(self, sizes_bytes: list[int]) -> None:
         """Lay out records sequentially; counts the initial bulk write."""
-        offsets = [0]
-        total = 0
         for size in sizes_bytes:
             if size < 0:
                 raise ValueError(f"record size must be non-negative: {size}")
-            total += size
-            offsets.append(total)
-        self._offsets = offsets
+        self._records = OrderStatisticTree(sizes_bytes, weights=sizes_bytes)
         self.counter.writes += self.page_count()
 
     def record_count(self) -> int:
-        return len(self._offsets) - 1
+        return len(self._records)
 
     def total_bytes(self) -> int:
-        return self._offsets[-1]
+        return self._records.total_weight()
 
     def page_count(self) -> int:
-        return -(-self._offsets[-1] // self.page_bytes) if self._offsets[-1] else 0
+        total = self.total_bytes()
+        return -(-total // self.page_bytes) if total else 0
+
+    def _offset(self, record: int) -> int:
+        """Byte offset where record ``record`` begins — O(log N)."""
+        return self._records.prefix_weight(record)
 
     def pages_of_range(self, first_record: int, last_record: int) -> int:
         """Distinct pages occupied by records ``[first, last]`` inclusive."""
-        if self.record_count() == 0:
-            return 0
-        first_record = max(0, min(first_record, self.record_count() - 1))
-        last_record = max(first_record, min(last_record, self.record_count() - 1))
-        first_page = self._offsets[first_record] // self.page_bytes
-        end_byte = max(self._offsets[last_record + 1] - 1, self._offsets[first_record])
-        last_page = end_byte // self.page_bytes
-        return last_page - first_page + 1
+        return len(self._page_span(first_record, last_record))
 
     # -- mutation accounting ---------------------------------------------------
 
@@ -112,11 +125,13 @@ class PageStore:
             return range(0)
         first_record = max(0, min(first_record, self.record_count() - 1))
         last_record = max(first_record, min(last_record, self.record_count() - 1))
-        first_page = self._offsets[first_record] // self.page_bytes
-        end_byte = max(
-            self._offsets[last_record + 1] - 1, self._offsets[first_record]
-        )
+        first_byte = self._offset(first_record)
+        first_page = first_byte // self.page_bytes
+        end_byte = max(self._offset(last_record + 1) - 1, first_byte)
         return range(first_page, end_byte // self.page_bytes + 1)
+
+    def _pool_key(self, page_id: int) -> tuple[str, int]:
+        return (self.namespace, page_id)
 
     def touch_range(self, first_record: int, last_record: int) -> int:
         """Read-modify-write the pages covering a record range.
@@ -130,7 +145,7 @@ class PageStore:
             self.counter.reads += pages
         else:
             for page_id in span:
-                if not self.buffer_pool.access(page_id):
+                if not self.buffer_pool.access(self._pool_key(page_id)):
                     self.counter.reads += 1
         self.counter.writes += pages
         return pages
@@ -146,6 +161,11 @@ class PageStore:
         two page I/Os — while a re-label storm, driven through
         :meth:`touch_range`, pays for every page its records span.  This
         is the asymmetry behind Figure 7.
+
+        Every page past the ones this splice rewrites now holds shifted
+        records, so those pool entries are dropped: a later
+        :meth:`touch_range` over them must re-read, not count phantom
+        hits on contents that moved.
         """
         if not 0 <= position <= self.record_count():
             raise ValueError(
@@ -153,18 +173,14 @@ class PageStore:
             )
         if removed < 0 or position + removed > self.record_count():
             raise ValueError("removed range exceeds the stored records")
-        head = self._offsets[: position + 1]
-        tail_sizes = [
-            self._offsets[i + 1] - self._offsets[i]
-            for i in range(position + removed, self.record_count())
-        ]
-        offsets = head
-        total = head[-1]
-        for size in new_sizes + tail_sizes:
-            total += size
-            offsets.append(total)
-        anchor_page = head[-1] // self.page_bytes if head[-1] else 0
-        self._offsets = offsets
+        for size in new_sizes:
+            if size < 0:
+                raise ValueError(f"record size must be non-negative: {size}")
+        anchor_page = self._offset(position) // self.page_bytes
+        if removed:
+            self._records.delete_run(position, removed)
+        if new_sizes:
+            self._records.insert_run(position, new_sizes, weights=new_sizes)
         if not new_sizes and not removed:
             return 0
         # Local cost: the page holding the neighbourhood plus any pages
@@ -175,8 +191,13 @@ class PageStore:
             self.counter.reads += pages
         else:
             for page_id in range(anchor_page, anchor_page + pages):
-                if not self.buffer_pool.access(page_id):
+                if not self.buffer_pool.access(self._pool_key(page_id)):
                     self.counter.reads += 1
+            # The rewritten pages went through the pool (their frames
+            # now match storage); everything after them shifted.
+            self.buffer_pool.invalidate_from(
+                self.namespace, anchor_page + pages
+            )
         self.counter.writes += pages
         return pages
 
@@ -193,6 +214,10 @@ class BufferPool:
     with a buffer pool, and the update workloads' locality (skew!) makes
     its hit ratio interesting.  Write-through: writes always reach the
     page store; reads that hit the pool cost nothing.
+
+    Page keys are opaque hashables.  :class:`PageStore` keys its pages
+    as ``(namespace, page_id)`` tuples so several stores can share one
+    pool without their page numbers aliasing.
     """
 
     def __init__(self, capacity: int) -> None:
@@ -201,9 +226,9 @@ class BufferPool:
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
-        self._pages: dict[int, None] = {}  # insertion-ordered LRU
+        self._pages: dict[object, None] = {}  # insertion-ordered LRU
 
-    def access(self, page_id: int) -> bool:
+    def access(self, page_id: object) -> bool:
         """Touch a page; returns True on a cache hit."""
         if page_id in self._pages:
             self._pages.pop(page_id)
@@ -216,8 +241,29 @@ class BufferPool:
             self._pages.pop(next(iter(self._pages)))
         return False
 
-    def invalidate(self, page_id: int) -> None:
+    def invalidate(self, page_id: object) -> None:
         self._pages.pop(page_id, None)
+
+    def invalidate_from(self, namespace: str, first_page: int) -> int:
+        """Drop every cached page of ``namespace`` numbered >= ``first_page``.
+
+        Called after a splice shifts records: those frames describe
+        pre-shift contents, and counting hits on them inflates the hit
+        ratio with reads the device never saw.  Returns pages dropped.
+        Keys that are not ``(namespace, page_id)`` tuples (e.g. pages
+        cached directly by tests) are left alone.
+        """
+        stale = [
+            key
+            for key in self._pages
+            if isinstance(key, tuple)
+            and len(key) == 2
+            and key[0] == namespace
+            and key[1] >= first_page
+        ]
+        for key in stale:
+            del self._pages[key]
+        return len(stale)
 
     def clear(self) -> None:
         self._pages.clear()

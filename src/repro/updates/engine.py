@@ -70,7 +70,7 @@ class UpdateEngine:
         parent = target.parent
         if parent is None:
             raise ValueError("cannot insert a sibling of the document root")
-        return self._insert(parent, parent.children.index(target), subtree_root)
+        return self._insert(parent, parent.index_of_child(target), subtree_root)
 
     def insert_after(self, target: Node, subtree_root: Node) -> UpdateResult:
         """Insert ``subtree_root`` as the sibling immediately after ``target``."""
@@ -78,7 +78,7 @@ class UpdateEngine:
         if parent is None:
             raise ValueError("cannot insert a sibling of the document root")
         return self._insert(
-            parent, parent.children.index(target) + 1, subtree_root
+            parent, parent.index_of_child(target) + 1, subtree_root
         )
 
     def insert_child(
@@ -100,17 +100,23 @@ class UpdateEngine:
         parent = target.parent
         if parent is None:
             raise ValueError("cannot insert siblings of the document root")
-        index = parent.children.index(target)
+        if not subtree_roots:
+            # Nothing to insert: no scheme work, no storage charge.  The
+            # scheme's insert_run would otherwise still be invoked and
+            # the store billed a phantom splice at position 0.
+            return UpdateResult(
+                stats=UpdateStats(),
+                processing_seconds=0.0,
+                io_seconds=0.0,
+                pages_touched=0,
+            )
+        index = parent.index_of_child(target)
         start = time.perf_counter()
         stats = self.scheme.insert_run(
             self.labeled, parent, index, subtree_roots
         )
         processing = time.perf_counter() - start
-        position = (
-            self.labeled.nodes_in_order.index(subtree_roots[0])
-            if subtree_roots
-            else 0
-        )
+        position = self.labeled.position_of(subtree_roots[0])
         return self._account(stats, position, processing)
 
     def move_before(self, node: Node, target: Node) -> UpdateResult:
@@ -135,7 +141,7 @@ class UpdateEngine:
 
     def delete(self, node: Node) -> UpdateResult:
         """Delete ``node`` and its subtree."""
-        position = self.labeled.nodes_in_order.index(node)
+        position = self.labeled.position_of(node)
         start = time.perf_counter()
         stats = self.scheme.delete_subtree(self.labeled, node)
         processing = time.perf_counter() - start
@@ -151,7 +157,7 @@ class UpdateEngine:
             self.labeled, parent, index, subtree_root
         )
         processing = time.perf_counter() - start
-        position = self.labeled.nodes_in_order.index(subtree_root)
+        position = self.labeled.position_of(subtree_root)
         return self._account(stats, position, processing)
 
     def _account(

@@ -40,7 +40,7 @@ class Node:
         value: attribute value or text content; ``None`` for elements.
     """
 
-    __slots__ = ("kind", "name", "value", "parent", "children")
+    __slots__ = ("kind", "name", "value", "parent", "children", "_index_hint")
 
     def __init__(
         self,
@@ -57,6 +57,7 @@ class Node:
         self.value = value
         self.parent: Optional[Node] = None
         self.children: list[Node] = []
+        self._index_hint = 0
 
     # -- constructors ------------------------------------------------------
 
@@ -96,23 +97,57 @@ class Node:
             raise ValueError("a node cannot be its own child")
         self.children.insert(index, child)
         child.parent = self
+        child._index_hint = index
         return child
 
     def detach(self) -> "Node":
         """Remove this node (and its subtree) from its parent; returns self."""
         if self.parent is not None:
-            self.parent.children.remove(self)
+            del self.parent.children[self.parent.index_of_child(self)]
             self.parent = None
         return self
 
     # -- navigation --------------------------------------------------------
+
+    def index_of_child(self, child: "Node") -> int:
+        """Position of ``child`` among this node's children — O(1) amortised.
+
+        Every child carries a cached position hint, set on attachment and
+        refreshed on lookup.  A structural edit shifts the true position
+        of each later sibling by one, so after K edits the hint is at
+        most K away: the expanding ring scan around it re-finds the
+        child in O(1 + drift), which amortises to constant time when
+        edits and lookups interleave (the update-engine pattern) instead
+        of the O(fan-out) scan ``list.index`` pays every call.
+        """
+        children = self.children
+        count = len(children)
+        if count == 0:
+            raise ValueError("node is not a child of this element")
+        hint = child._index_hint
+        center = hint if 0 <= hint < count else count - 1
+        if children[center] is child:
+            child._index_hint = center
+            return center
+        for distance in range(1, count):
+            high = center + distance
+            if high < count and children[high] is child:
+                child._index_hint = high
+                return high
+            low = center - distance
+            if low >= 0 and children[low] is child:
+                child._index_hint = low
+                return low
+            if low < 0 and high >= count:
+                break
+        raise ValueError("node is not a child of this element")
 
     @property
     def index_in_parent(self) -> int:
         """Position among the parent's children (0-based)."""
         if self.parent is None:
             raise ValueError("root node has no parent")
-        return self.parent.children.index(self)
+        return self.parent.index_of_child(self)
 
     @property
     def depth(self) -> int:

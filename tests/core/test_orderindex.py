@@ -1,0 +1,191 @@
+"""OrderStatisticTree: the treap behind the O(log N) update path."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.orderindex import OrderStatisticTree
+
+
+class TestConstruction:
+    def test_empty(self):
+        tree = OrderStatisticTree()
+        assert len(tree) == 0
+        assert list(tree) == []
+        assert not tree
+        assert tree.total_weight() == 0
+
+    def test_bulk_build_preserves_order(self):
+        items = list(range(100))
+        tree = OrderStatisticTree(items)
+        assert list(tree) == items
+        assert len(tree) == 100
+
+    def test_bulk_build_with_weights(self):
+        tree = OrderStatisticTree(["a", "b", "c"], weights=[5, 7, 11])
+        assert tree.total_weight() == 23
+        assert tree.prefix_weight(0) == 0
+        assert tree.prefix_weight(1) == 5
+        assert tree.prefix_weight(2) == 12
+        assert tree.prefix_weight(3) == 23
+
+    def test_weights_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            OrderStatisticTree(["a", "b"], weights=[1])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            OrderStatisticTree(["a"], weights=[-1])
+
+
+class TestAccess:
+    def test_getitem_and_negative(self):
+        tree = OrderStatisticTree("abcdef")
+        assert tree[0] == "a"
+        assert tree[5] == "f"
+        assert tree[-1] == "f"
+        assert tree[-6] == "a"
+
+    def test_getitem_out_of_range(self):
+        tree = OrderStatisticTree("abc")
+        with pytest.raises(IndexError):
+            tree[3]
+        with pytest.raises(IndexError):
+            tree[-4]
+
+    def test_slices(self):
+        tree = OrderStatisticTree(range(10))
+        assert tree[2:5] == [2, 3, 4]
+        assert tree[:3] == [0, 1, 2]
+        assert tree[7:] == [7, 8, 9]
+        assert tree[::2] == [0, 2, 4, 6, 8]
+        assert tree[::-1] == list(range(10))[::-1]
+
+    def test_iter_from(self):
+        tree = OrderStatisticTree(range(20))
+        assert list(tree.iter_from(15)) == [15, 16, 17, 18, 19]
+        assert list(tree.iter_from(20)) == []
+
+
+class TestIdentity:
+    def test_position_tracks_identity_not_equality(self):
+        # Two equal-but-distinct lists: position must distinguish them.
+        first, second = [1], [1]
+        tree = OrderStatisticTree([first, second], track_identity=True)
+        assert tree.position(first) == 0
+        assert tree.position(second) == 1
+        assert first in tree
+
+    def test_position_missing_item_raises(self):
+        tree = OrderStatisticTree(["a"], track_identity=True)
+        with pytest.raises(ValueError):
+            tree.position("missing")
+
+    def test_index_alias(self):
+        tree = OrderStatisticTree(["a", "b"], track_identity=True)
+        assert tree.index("b") == 1
+
+    def test_contains_requires_tracking(self):
+        tree = OrderStatisticTree(["a"])
+        with pytest.raises(TypeError):
+            "a" in tree
+
+    def test_deleted_item_forgotten(self):
+        items = [object() for _ in range(5)]
+        tree = OrderStatisticTree(items, track_identity=True)
+        tree.delete_run(1, 2)
+        assert items[1] not in tree
+        assert tree.position(items[3]) == 1
+
+
+class TestMutation:
+    def test_insert_run_middle(self):
+        tree = OrderStatisticTree([0, 1, 2, 3])
+        tree.insert_run(2, ["x", "y"])
+        assert list(tree) == [0, 1, "x", "y", 2, 3]
+
+    def test_insert_run_with_weights_shifts_offsets(self):
+        tree = OrderStatisticTree([10, 10], weights=[10, 10])
+        tree.insert_run(1, [3], weights=[3])
+        assert tree.prefix_weight(2) == 13
+        assert tree.total_weight() == 23
+
+    def test_insert_position_out_of_range(self):
+        tree = OrderStatisticTree([1])
+        with pytest.raises(IndexError):
+            tree.insert_run(5, ["x"])
+
+    def test_delete_run_returns_removed(self):
+        tree = OrderStatisticTree("abcdef")
+        removed = tree.delete_run(1, 3)
+        assert removed == ["b", "c", "d"]
+        assert list(tree) == ["a", "e", "f"]
+
+    def test_delete_run_out_of_range(self):
+        tree = OrderStatisticTree("abc")
+        with pytest.raises(IndexError):
+            tree.delete_run(1, 5)
+
+
+class TestModelBasedChurn:
+    """The treap must agree with a plain list under random churn.
+
+    This is the property the ISSUE demands: the order index and the
+    naive ``list``/``list.index`` oracle stay interchangeable through
+    arbitrary insert/delete/reposition programs.
+    """
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_agrees_with_list_oracle(self, seed):
+        rng = random.Random(seed)
+        oracle: list[object] = []
+        tree = OrderStatisticTree(track_identity=True)
+        for step in range(400):
+            action = rng.random()
+            if action < 0.5 or not oracle:
+                position = rng.randint(0, len(oracle))
+                run = [object() for _ in range(rng.randint(1, 4))]
+                oracle[position:position] = run
+                tree.insert_run(position, run)
+            elif action < 0.8:
+                position = rng.randrange(len(oracle))
+                count = min(rng.randint(1, 3), len(oracle) - position)
+                expected = oracle[position : position + count]
+                del oracle[position : position + count]
+                assert tree.delete_run(position, count) == expected
+            else:
+                # Move: delete a run, reinsert elsewhere (the engine's
+                # move_before decomposition).
+                position = rng.randrange(len(oracle))
+                moved = oracle.pop(position)
+                tree.delete_run(position, 1)
+                destination = rng.randint(0, len(oracle))
+                oracle.insert(destination, moved)
+                tree.insert_run(destination, [moved])
+            if step % 20 == 0:
+                assert list(tree) == oracle
+                for i in rng.sample(range(len(oracle)), min(5, len(oracle))):
+                    assert tree.position(oracle[i]) == i
+                    assert tree[i] is oracle[i]
+        assert list(tree) == oracle
+        assert len(tree) == len(oracle)
+
+    def test_weighted_churn_prefix_sums(self):
+        rng = random.Random(99)
+        sizes: list[int] = []
+        tree = OrderStatisticTree()
+        for _ in range(300):
+            if rng.random() < 0.6 or not sizes:
+                position = rng.randint(0, len(sizes))
+                run = [rng.randint(0, 50) for _ in range(rng.randint(1, 3))]
+                sizes[position:position] = run
+                tree.insert_run(position, run, weights=run)
+            else:
+                position = rng.randrange(len(sizes))
+                del sizes[position]
+                tree.delete_run(position, 1)
+        assert tree.total_weight() == sum(sizes)
+        for position in range(0, len(sizes) + 1, 7):
+            assert tree.prefix_weight(position) == sum(sizes[:position])

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.storage import IOCostModel, PageCounter, PageStore
+from repro.storage import BufferPool, IOCostModel, PageCounter, PageStore
 
 
 class TestIOCostModel:
@@ -117,3 +117,88 @@ class TestPageStore:
         relabel_pages = store.touch_range(41, 6636)
         assert insert_pages == 1
         assert relabel_pages >= 6
+
+    def test_splice_rejects_negative_sizes(self):
+        store = PageStore(100)
+        store.load_records([10] * 10)
+        with pytest.raises(ValueError):
+            store.splice(5, [10, -2])
+
+
+class TestSharedPoolNamespacing:
+    """Two stores sharing one pool must not alias each other's pages.
+
+    Before namespacing, both stores numbered pages from 0, so a read of
+    store B's page 0 after a read of store A's page 0 counted as a cache
+    hit on a page the pool never held — inflating hit ratios (and
+    deflating modelled I/O) for every two-file workload, e.g. Prime's
+    label + SC files.
+    """
+
+    def test_same_page_number_different_store_misses(self):
+        pool = BufferPool(8)
+        labels = PageStore(100, buffer_pool=pool, namespace="labels")
+        sc = PageStore(100, buffer_pool=pool, namespace="sc")
+        labels.load_records([10] * 10)
+        sc.load_records([10] * 10)
+        labels.touch_range(0, 9)  # caches labels pages 0
+        hits_before = pool.hits
+        sc.counter = PageCounter()
+        sc.touch_range(0, 9)  # must MISS: sc page 0 was never cached
+        assert pool.hits == hits_before
+        assert sc.counter.reads == 1
+
+    def test_same_store_still_hits(self):
+        pool = BufferPool(8)
+        store = PageStore(100, buffer_pool=pool, namespace="labels")
+        store.load_records([10] * 10)
+        store.touch_range(0, 9)
+        store.counter = PageCounter()
+        store.touch_range(0, 9)
+        assert store.counter.reads == 0  # warm
+
+    def test_direct_pool_access_unaffected(self):
+        # Tests and callers may key pages with bare ints; namespaced
+        # tuples must coexist without clashing.
+        pool = BufferPool(8)
+        assert not pool.access(0)
+        assert pool.access(0)
+        store = PageStore(100, buffer_pool=pool, namespace="x")
+        store.load_records([10] * 10)
+        store.counter = PageCounter()
+        store.touch_range(0, 0)
+        assert store.counter.reads == 1  # ("x", 0) != 0
+
+
+class TestSpliceInvalidation:
+    """A splice shifts every later record; cached pages past the ones it
+    rewrote describe pre-shift contents and must be dropped."""
+
+    def test_pages_after_splice_are_reread(self):
+        pool = BufferPool(64)
+        store = PageStore(100, buffer_pool=pool, namespace="x")
+        store.load_records([10] * 100)  # 10 pages
+        store.touch_range(0, 99)  # warm all 10 pages
+        store.splice(5, [10])  # rewrites page 0, shifts pages 1..
+        store.counter = PageCounter()
+        store.touch_range(50, 59)  # pages past the splice point
+        assert store.counter.reads > 0
+
+    def test_rewritten_page_stays_cached(self):
+        pool = BufferPool(64)
+        store = PageStore(100, buffer_pool=pool, namespace="x")
+        store.load_records([10] * 100)
+        store.touch_range(0, 99)
+        store.splice(5, [10])  # page 0 goes through the pool
+        store.counter = PageCounter()
+        store.touch_range(0, 0)
+        assert store.counter.reads == 0
+
+    def test_invalidate_from_reports_drops(self):
+        pool = BufferPool(64)
+        store = PageStore(100, buffer_pool=pool, namespace="x")
+        store.load_records([10] * 100)
+        store.touch_range(0, 99)
+        assert pool.invalidate_from("x", 4) == 6
+        assert pool.invalidate_from("x", 0) == 4
+        assert pool.invalidate_from("other", 0) == 0

@@ -99,6 +99,14 @@ def _apply_program(scheme_name: str, program) -> None:
     nodes = labeled.nodes_in_order
     assert [id(n) for n in nodes] == [id(n) for n in document.pre_order()]
     assert len(labeled.labels) == len(nodes)
+    # The order index must agree with enumeration after arbitrary churn
+    # (it replaced the plain list whose .index() was the oracle).
+    for position, node in enumerate(nodes):
+        assert labeled.position_of(node) == position
+        assert nodes[position] is node
+    for position, node in enumerate(document.pre_order()):
+        if node.parent is not None:
+            assert node.parent.children[node.index_in_parent] is node
     scheme = labeled.scheme
     keys = [scheme.order_key(labeled.label_of(n)) for n in nodes]
     assert keys == sorted(keys)

@@ -63,6 +63,23 @@ class TestOperations:
         engine.insert_child(doc.root, Node.element("y"))
         assert engine.totals.inserted_nodes == 2
 
+    def test_insert_empty_run_is_free(self):
+        # The empty run used to still call the scheme and bill the
+        # store a phantom splice at position 0.
+        engine, doc = build_engine(storage=True)
+        target = doc.root.children[1]
+        reads = engine.store.pages.counter.reads
+        writes = engine.store.pages.counter.writes
+        result = engine.insert_run_before(target, [])
+        assert result.stats.inserted_nodes == 0
+        assert result.stats.labels_written == 0
+        assert result.processing_seconds == 0.0
+        assert result.io_seconds == 0.0
+        assert result.pages_touched == 0
+        assert engine.store.pages.counter.reads == reads
+        assert engine.store.pages.counter.writes == writes
+        assert engine.totals.inserted_nodes == 0
+
 
 class TestCostAccounting:
     def test_processing_time_measured(self):
@@ -88,6 +105,38 @@ class TestCostAccounting:
         assert result.total_seconds == pytest.approx(
             result.processing_seconds + result.io_seconds
         )
+
+    def test_move_merges_delete_and_insert_costs(self):
+        # move_before is delete + insert; its accounting must equal the
+        # two steps run explicitly on an identical twin document.
+        engine, doc = build_engine(storage=True)
+        twin_engine, twin_doc = build_engine(storage=True)
+
+        moved = doc.root.children[0].children[0]  # <b/>
+        target = doc.root.children[1]  # <d/>
+        move = engine.move_before(moved, target)
+
+        twin_moved = twin_doc.root.children[0].children[0]
+        twin_target = twin_doc.root.children[1]
+        deletion = twin_engine.delete(twin_moved)
+        insertion = twin_engine.insert_before(twin_target, twin_moved)
+
+        merged = deletion.stats.merge(insertion.stats)
+        assert move.stats.deleted_nodes == merged.deleted_nodes == 1
+        assert move.stats.inserted_nodes == merged.inserted_nodes == 1
+        assert move.stats.relabeled_nodes == merged.relabeled_nodes
+        assert move.stats.labels_written == merged.labels_written
+        assert move.pages_touched == (
+            deletion.pages_touched + insertion.pages_touched
+        )
+        assert move.io_seconds == pytest.approx(
+            deletion.io_seconds + insertion.io_seconds
+        )
+        assert doc.root.children[1] is moved
+        # Document order stayed coherent through the merge.
+        assert [id(n) for n in engine.labeled.nodes_in_order] == [
+            id(n) for n in doc.pre_order()
+        ]
 
     def test_static_scheme_charges_relabel_io(self):
         dynamic_engine, dynamic_doc = build_engine("V-CDBS-Containment", storage=True)

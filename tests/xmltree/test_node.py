@@ -144,3 +144,52 @@ class TestNavigation:
     def test_repr(self, small_tree):
         assert "root" in repr(small_tree)
         assert "text" in repr(Node.text("x"))
+
+
+class TestIndexOfChild:
+    """The hint-cached child lookup that replaced children.index()."""
+
+    def test_matches_enumeration(self):
+        root = Node.element("r")
+        children = [root.append_child(Node.element(f"c{i}")) for i in range(8)]
+        for expected, child in enumerate(children):
+            assert root.index_of_child(child) == expected
+            assert child.index_in_parent == expected
+
+    def test_hint_repaired_after_front_insert(self):
+        root = Node.element("r")
+        last = root.append_child(Node.element("last"))
+        assert root.index_of_child(last) == 0
+        for i in range(5):
+            root.insert_child(0, Node.element(f"front{i}"))
+        # `last` still carries a stale hint of 0; the ring scan repairs it.
+        assert root.index_of_child(last) == 5
+        assert root.index_of_child(last) == 5  # hint now fresh
+
+    def test_hint_survives_out_of_band_list_mutation(self):
+        # generator._make_leaf and merge_adjacent_text edit .children
+        # directly; lookups must still succeed afterwards.
+        root = Node.element("r")
+        kids = [root.append_child(Node.element(f"c{i}")) for i in range(6)]
+        root.children.reverse()
+        for child in kids:
+            assert root.children[root.index_of_child(child)] is child
+
+    def test_detach_uses_identity(self):
+        root = Node.element("r")
+        a = root.append_child(Node.element("x"))
+        b = root.append_child(Node.element("x"))  # equal-looking sibling
+        a.detach()
+        assert root.children == [b]
+        assert root.index_of_child(b) == 0
+
+    def test_non_child_raises(self):
+        root = Node.element("r")
+        root.append_child(Node.element("a"))
+        stranger = Node.element("a")
+        with pytest.raises(ValueError):
+            root.index_of_child(stranger)
+
+    def test_empty_parent_raises(self):
+        with pytest.raises(ValueError):
+            Node.element("r").index_of_child(Node.element("a"))
