@@ -1,6 +1,7 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test lint ci bench experiments experiments-full examples
+.PHONY: install test lint ci bench bench-smoke bench-gate bench-baseline \
+	experiments experiments-full examples
 
 install:
 	pip install -e . || python setup.py develop
@@ -8,17 +9,37 @@ install:
 test:
 	pytest tests/
 
-# The paper-invariant static checker (RPR001-RPR005); exits non-zero on
+# The paper-invariant static checker (RPR001-RPR006); exits non-zero on
 # any non-baselined finding.  See docs/STATIC_ANALYSIS.md.
 lint:
 	PYTHONPATH=src python -m repro.analysis src benchmarks examples
 
-# What CI runs: the analyzer, then the tier-1 suite.
+# What CI runs: the analyzer, then the tier-1 suite.  (The benchmark
+# regression gate is its own target so a slow machine can skip it.)
 ci: lint
 	PYTHONPATH=src python -m pytest -x -q
 
+# Full update hot-path sweep (benchmarks/ holds scripts, not pytest
+# benchmarks; see benchmarks/README if unsure which one you want).
 bench:
-	pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src python benchmarks/bench_update_hotpath.py --out BENCH_updates.json
+
+# The 1k smoke configuration the CI gate compares against its baseline.
+bench-smoke:
+	PYTHONPATH=src python benchmarks/bench_update_hotpath.py \
+		--sizes 1000 --ops 45 --no-legacy --out BENCH_smoke.json
+
+# CI regression gate: calibrated medians within +/-30%, ledger counters
+# exact.  See docs/OBSERVABILITY.md for how to read a failure.
+bench-gate: bench-smoke
+	PYTHONPATH=src python benchmarks/bench_gate.py BENCH_smoke.json \
+		benchmarks/baseline_smoke.json
+
+# Regenerate the checked-in baseline after an *intentional* change to
+# the update path's work profile; justify the refresh in the commit.
+bench-baseline: bench-smoke
+	PYTHONPATH=src python benchmarks/bench_gate.py BENCH_smoke.json \
+		benchmarks/baseline_smoke.json --update
 
 experiments:
 	python -m repro.bench

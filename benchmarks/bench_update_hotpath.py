@@ -32,6 +32,8 @@ import time
 from pathlib import Path
 
 from repro.labeling import make_scheme
+from repro.obs import OBS
+from repro.obs.export import bench_section
 from repro.updates import UpdateEngine
 from repro.xmltree import Node
 from repro.xmltree.generator import ShapeSpec, generate_document
@@ -119,8 +121,43 @@ def _pick_leaf(labeled, rng):
             return node
 
 
-def _run_workload(scheme_name: str, size: int, ops: int, *, legacy: bool, seed: int = 7):
-    """Mean seconds per update op over a mixed insert/delete/move trace."""
+def _calibration_seconds(repeats: int = 5, iterations: int = 200_000) -> float:
+    """Best-of-N wall time for a fixed integer busy-loop.
+
+    Stored alongside the timed results so the CI gate can compare
+    *calibration-normalized* medians across machines: a runner that is
+    uniformly 1.4x slower reports a 1.4x larger calibration too, and
+    the ratio cancels out of the regression check.
+    """
+    best = None
+    acc = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for i in range(iterations):
+            acc += i * i % 7
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def _run_workload(
+    scheme_name: str,
+    size: int,
+    ops: int,
+    *,
+    legacy: bool,
+    seed: int = 7,
+    obs_pass: bool = False,
+):
+    """Mean seconds per update op over a mixed insert/delete/move trace.
+
+    With ``obs_pass=True`` the identical (same-seed) workload runs with
+    the obs registry captured, and the result carries an ``obs`` section
+    (ledger totals, span aggregates) instead of being timing-faithful —
+    timings and counters are collected in *separate* passes so the
+    instrumentation never inflates the numbers the gate compares.
+    """
     labeled = _build_labeled(scheme_name, size, seed)
     labeled_cls = type(labeled)
     node_cls = Node
@@ -136,6 +173,9 @@ def _run_workload(scheme_name: str, size: int, ops: int, *, legacy: bool, seed: 
         per_kind = {kind: [] for kind in OP_KINDS}
         relabel_ops = 0
         counter = 0
+        if obs_pass:
+            OBS.reset()
+            OBS.enabled = True
         for step in range(ops):
             kind = OP_KINDS[step % len(OP_KINDS)]
             if kind == "insert":
@@ -161,8 +201,17 @@ def _run_workload(scheme_name: str, size: int, ops: int, *, legacy: bool, seed: 
             if result.stats.relabeled_nodes:
                 relabel_ops += 1
     finally:
+        if obs_pass:
+            OBS.enabled = False
         node_cls.index_of_child = saved_index_of_child
         labeled_cls.rebuild_order = saved_rebuild_order
+    if obs_pass:
+        return {
+            "scheme": scheme_name,
+            "n": size,
+            "mode": "legacy" if legacy else "optimized",
+            "obs": bench_section(OBS),
+        }
     samples = [t for times in per_kind.values() for t in times]
     return {
         "scheme": scheme_name,
@@ -190,13 +239,20 @@ def run_bench(
     schemes=DEFAULT_SCHEMES,
     *,
     with_legacy: bool = True,
+    with_obs: bool = True,
 ):
     configs = []
     for scheme_name in schemes:
         for size in sizes:
-            configs.append(
-                _run_workload(scheme_name, size, ops, legacy=False)
-            )
+            config = _run_workload(scheme_name, size, ops, legacy=False)
+            if with_obs:
+                # Second, identically-seeded pass with the registry on:
+                # deterministic ledger counters for the CI gate, without
+                # instrumentation overhead leaking into the timed pass.
+                config["obs"] = _run_workload(
+                    scheme_name, size, ops, legacy=False, obs_pass=True
+                )["obs"]
+            configs.append(config)
             if with_legacy:
                 # The legacy mode pays O(N) per op; cap its trace at the
                 # large sizes so the bench finishes in minutes.
@@ -237,6 +293,7 @@ def run_bench(
         "benchmark": "update_hotpath",
         "sizes": list(sizes),
         "schemes": list(schemes),
+        "calibration_seconds": _calibration_seconds(),
         "configs": configs,
         "summary": summary,
     }
@@ -263,6 +320,11 @@ def main(argv=None) -> int:
         help="skip the re-created O(N) baseline runs",
     )
     parser.add_argument(
+        "--no-obs",
+        action="store_true",
+        help="skip the obs counter pass (no embedded metric snapshots)",
+    )
+    parser.add_argument(
         "--out", default="BENCH_updates.json", help="output JSON path"
     )
     args = parser.parse_args(argv)
@@ -270,7 +332,11 @@ def main(argv=None) -> int:
     schemes = tuple(s for s in args.schemes.split(",") if s)
     started = time.perf_counter()
     results = run_bench(
-        sizes, args.ops, schemes, with_legacy=not args.no_legacy
+        sizes,
+        args.ops,
+        schemes,
+        with_legacy=not args.no_legacy,
+        with_obs=not args.no_obs,
     )
     results["wall_seconds"] = round(time.perf_counter() - started, 2)
     Path(args.out).write_text(json.dumps(results, indent=2) + "\n")

@@ -10,10 +10,9 @@ plans* each one admits — the architectural reason containment labels
 Run:  python examples/relational_hosting.py
 """
 
-import time
-
 from repro.datasets import build_hamlet
 from repro.labeling import make_scheme
+from repro.obs import OBS
 from repro.relational import RelationalQueryEngine, shred
 
 QUERIES = {
@@ -27,14 +26,14 @@ def main() -> None:
     document = build_hamlet()
     for scheme_name in ("V-CDBS-Containment", "QED-Prefix", "Prime"):
         labeled = make_scheme(scheme_name).label_document(document)
-        started = time.perf_counter()
-        engine = RelationalQueryEngine(shred(labeled))
-        shred_ms = 1000 * (time.perf_counter() - started)
+        with OBS.span("hosting.shred", op="shred") as shredding:
+            engine = RelationalQueryEngine(shred(labeled))
+        shred_ms = 1000 * shredding.seconds
         print(f"\n=== {scheme_name} (shredded in {shred_ms:.0f} ms) ===")
         for title, query in QUERIES.items():
-            started = time.perf_counter()
-            count = engine.count(query)
-            elapsed = 1000 * (time.perf_counter() - started)
+            with OBS.span("hosting.query", op="query") as timing:
+                count = engine.count(query)
+            elapsed = 1000 * timing.seconds
             stats = engine.stats
             print(
                 f"  {title:18s} {count:>5} rows in {elapsed:6.1f} ms | "

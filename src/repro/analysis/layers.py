@@ -34,6 +34,8 @@ __all__ = [
     "ASSERT_RULE_MODULE_PREFIXES",
     "RAW_BITS_ALLOWED_MODULES",
     "RAW_COMPARE_ALLOWED_MODULES",
+    "TIMING_ALLOWED_MODULE_PREFIXES",
+    "TIMING_ALLOWED_PATH_PARTS",
     "UNGUARDED_CODE_EXEMPT_MODULES",
 ]
 
@@ -50,11 +52,15 @@ ALL_LAYERS = "*"
 LAYERS: dict[str, frozenset[str] | str] = {
     # Foundations: no intra-package imports at all.
     "errors": frozenset(),
+    # Observability is a leaf: every instrumented layer may call into
+    # it, so it must not import back up (which is also why its CLI
+    # cannot build live documents — see repro/obs/__main__.py).
+    "obs": frozenset({"errors"}),
     # The static analyzer itself: deliberately near-leaf so it can lint
     # everything above it without creating cycles.
     "analysis": frozenset({"errors"}),
     # Paper foundations (BitString, Algorithms 1/2, QED, order keys).
-    "core": frozenset({"errors"}),
+    "core": frozenset({"errors", "obs"}),
     # The XML document model is independent of encodings.
     "xmltree": frozenset({"errors"}),
     # Dataset generators build documents only.
@@ -62,14 +68,14 @@ LAYERS: dict[str, frozenset[str] | str] = {
     # Labeling schemes sit on the encodings and the tree model —
     # never on storage, query, or relational (Property 5.1: encodings
     # and schemes stay orthogonal to how labels are stored or queried).
-    "labeling": frozenset({"errors", "core", "xmltree"}),
-    "storage": frozenset({"errors", "core", "labeling", "xmltree"}),
-    "query": frozenset({"errors", "core", "labeling", "xmltree"}),
+    "labeling": frozenset({"errors", "core", "obs", "xmltree"}),
+    "storage": frozenset({"errors", "core", "labeling", "obs", "xmltree"}),
+    "query": frozenset({"errors", "core", "labeling", "obs", "xmltree"}),
     "relational": frozenset(
         {"errors", "core", "labeling", "query", "xmltree"}
     ),
     "updates": frozenset(
-        {"errors", "core", "labeling", "storage", "xmltree"}
+        {"errors", "core", "labeling", "obs", "storage", "xmltree"}
     ),
     # Facades and harnesses.
     "store": ALL_LAYERS,
@@ -93,6 +99,15 @@ UNGUARDED_CODE_EXEMPT_MODULES = frozenset({"repro.core.middle"})
 #: RPR005's assert-as-validation check applies only to library code;
 #: benchmarks and examples use ``assert`` as executable documentation.
 ASSERT_RULE_MODULE_PREFIXES = ("repro",)
+
+#: RPR006: modules allowed to read wall clocks directly.  Everything
+#: else times code through ``repro.obs`` spans so the measurement is
+#: observable (and attributable) instead of a local variable.
+TIMING_ALLOWED_MODULE_PREFIXES = ("repro.obs",)
+
+#: RPR006 also exempts files under any ``benchmarks/`` directory —
+#: harnesses own their clocks (calibration loops, per-op timing).
+TIMING_ALLOWED_PATH_PARTS = frozenset({"benchmarks"})
 
 
 def register_layer(

@@ -10,6 +10,7 @@ from repro.analysis.rules import (  # noqa: F401  (import for registration)
     layering,
     raw_bits,
     raw_compare,
+    timing,
     unguarded_codes,
 )
 
@@ -18,5 +19,6 @@ __all__ = [
     "layering",
     "raw_bits",
     "raw_compare",
+    "timing",
     "unguarded_codes",
 ]

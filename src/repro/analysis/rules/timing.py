@@ -1,0 +1,105 @@
+"""RPR006 — wall-clock reads outside the observability layer.
+
+Every timing number this repo reports (Figure 6 response times, the
+Figure 7 processing/I-O split, bench medians) should be *observable*:
+recorded through :mod:`repro.obs` spans, where it lands in a snapshot
+the CI gate and the bench JSON can diff — not accumulated in a local
+variable via a bare ``time.perf_counter()`` pair that nothing else can
+see.  RPR006 therefore bans direct reads of the monotonic clocks
+outside the two places that legitimately own them:
+
+* modules under :data:`~repro.analysis.layers.TIMING_ALLOWED_MODULE_PREFIXES`
+  (``repro.obs`` — spans have to read a clock *somewhere*);
+* files under a ``benchmarks/`` directory
+  (:data:`~repro.analysis.layers.TIMING_ALLOWED_PATH_PARTS`) — harness
+  code times candidate operations and runs calibration loops by design.
+
+Flagged patterns everywhere else:
+
+* ``time.perf_counter()`` / ``time.monotonic()`` / ``time.process_time()``
+  calls (and their ``_ns`` variants);
+* ``from time import perf_counter`` (any clock name, aliased or not) —
+  flagged at the import so renamed clocks can't dodge the call check.
+
+``time.time()`` and ``time.sleep()`` stay legal: timestamps and delays
+are not measurements.  Suppress a deliberate use with
+``# repro: allow-raw-timing`` and a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.layers import (
+    TIMING_ALLOWED_MODULE_PREFIXES,
+    TIMING_ALLOWED_PATH_PARTS,
+)
+from repro.analysis.registry import ModuleContext, Rule, register
+
+__all__ = ["RawTimingRule"]
+
+_CLOCK_NAMES = frozenset(
+    {
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+
+def _module_exempt(module: ModuleContext) -> bool:
+    name = module.module_name
+    if name is not None and name.startswith(TIMING_ALLOWED_MODULE_PREFIXES):
+        return True
+    parts = module.path.split("/")
+    return bool(TIMING_ALLOWED_PATH_PARTS.intersection(parts))
+
+
+@register
+class RawTimingRule(Rule):
+    id = "RPR006"
+    slug = "raw-timing"
+    severity = Severity.ERROR
+    description = (
+        "direct monotonic-clock reads outside repro.obs/benchmarks; "
+        "time code with repro.obs spans so the measurement is "
+        "observable and attributable"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if _module_exempt(module):
+            return
+        for node in ast.walk(module.tree):
+            message = self._violation(node)
+            if message is not None:
+                yield module.finding(self, node, message)
+
+    def _violation(self, node: ast.AST) -> str | None:
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _CLOCK_NAMES
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "time"
+        ):
+            return (
+                f"time.{node.func.attr}() outside repro.obs; wrap the "
+                "timed section in an OBS.span(...) instead"
+            )
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            clocks = sorted(
+                alias.name
+                for alias in node.names
+                if alias.name in _CLOCK_NAMES
+            )
+            if clocks:
+                return (
+                    f"importing {', '.join(clocks)} from time outside "
+                    "repro.obs; time code with OBS.span(...) spans"
+                )
+        return None

@@ -13,7 +13,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 
 from repro.bench.experiments import (
     run_adaptive_skew,
@@ -31,6 +30,8 @@ from repro.bench.experiments import (
     run_table4,
 )
 from repro.bench.reporting import format_table
+from repro.obs import OBS
+from repro.obs.export import bench_section
 
 
 def _print_header(experiment_id: str, title: str) -> None:
@@ -285,16 +286,25 @@ def main(argv: list[str] | None = None) -> int:
     }
     selected = args.only or list(runners)
     dumped: dict[str, object] = {}
+    obs_sections: dict[str, object] = {}
     for experiment_id in selected:
         if experiment_id not in runners:
             print(f"unknown experiment id {experiment_id!r}", file=sys.stderr)
             return 2
-        started = time.perf_counter()
-        if args.json:
-            dumped[experiment_id] = collectors[experiment_id]()
-        runners[experiment_id]()
-        print(f"[{experiment_id} took {time.perf_counter() - started:.1f}s]")
+        with OBS.span(
+            "bench.experiment", op=experiment_id
+        ) as experiment_span:
+            if args.json:
+                with OBS.capture(reset=True):
+                    dumped[experiment_id] = collectors[experiment_id]()
+                obs_sections[experiment_id] = bench_section(OBS)
+            runners[experiment_id]()
+        print(f"[{experiment_id} took {experiment_span.seconds:.1f}s]")
     if args.json:
+        # Per-experiment obs snapshots ride along under "_obs" so the
+        # numbers in each experiment's payload are self-describing
+        # (ledger totals, span timings) without changing their shape.
+        dumped["_obs"] = obs_sections
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(dumped, handle, indent=2, default=str)
         print(f"raw results written to {args.json}")

@@ -27,7 +27,6 @@ E13   §5.2.2 size validity     :func:`run_uniform_size_validity`
 from __future__ import annotations
 
 import math
-import time
 from typing import Any
 
 from repro.core.bitstring import EMPTY, BitString
@@ -35,6 +34,7 @@ from repro.core.cdbs import fbinary_encode, fcdbs_encode, vbinary_encode, vcdbs_
 from repro.core.middle import assign_middle_binary_string
 from repro.core.sizes import SizeReport
 from repro.datasets import build_dataset, build_hamlet, dataset_names, scaled_d5
+from repro.obs import OBS
 from repro.labeling import (
     FIGURE5_SCHEMES,
     FIGURE6_SCHEMES,
@@ -193,9 +193,11 @@ def run_figure6(
             best = math.inf
             count = 0
             for _ in range(repeats):
-                started = time.perf_counter()
-                count = engine.count(query)
-                best = min(best, time.perf_counter() - started)
+                with OBS.span(
+                    "bench.figure6.query", op="query", query=query_id
+                ) as timing:
+                    count = engine.count(query)
+                best = min(best, timing.seconds)
             io_seconds = (
                 engine.scan_bytes / LABEL_SCAN_BYTES_PER_SECOND
                 if with_io

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from repro.core.bitstring import BitString
 from repro.errors import InvalidCodeError, NotOrderedError
+from repro.obs import OBS
 
 __all__ = [
     "assign_middle_binary_string",
@@ -64,9 +65,14 @@ def assign_middle_binary_string(left: BitString, right: BitString) -> BitString:
         )
     if len(left) >= len(right):
         # Case (1): grow the left code by one trailing "1".
-        return left + _ONE
-    # Case (2): the right code's final "1" becomes "01".
-    return right.drop_last() + _ZERO_ONE
+        middle = left + _ONE
+    else:
+        # Case (2): the right code's final "1" becomes "01".
+        middle = right.drop_last() + _ZERO_ONE
+    if OBS.enabled:
+        OBS.charge("middle.codes_assigned", 1)
+        OBS.charge("middle.bits_generated", len(middle))
+    return middle
 
 
 def assign_middle_pair(

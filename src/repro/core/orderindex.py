@@ -35,6 +35,8 @@ from __future__ import annotations
 import random
 from typing import Any, Iterable, Iterator
 
+from repro.obs import OBS
+
 __all__ = ["OrderStatisticTree"]
 
 
@@ -328,8 +330,12 @@ class OrderStatisticTree:
                     node.parent = current
                     break
                 current = current.right
+        rotations = 0
         while node.parent is not None and node.prio > node.parent.prio:
             self._rotate_up(node)
+            rotations += 1
+        if OBS.enabled and rotations:
+            OBS.charge("orderindex.rotations", rotations)
 
     def delete_run(self, position: int, count: int) -> list[Any]:
         """Remove ``count`` items starting at ``position``; returns them.
@@ -350,12 +356,16 @@ class OrderStatisticTree:
 
     def _delete_at(self, position: int) -> Any:
         node = self._node_at(position)
+        rotations = 0
         while node.left is not None or node.right is not None:
             left, right = node.left, node.right
             if right is None or (left is not None and left.prio >= right.prio):
                 self._rotate_up(left)
             else:
                 self._rotate_up(right)
+            rotations += 1
+        if OBS.enabled and rotations:
+            OBS.charge("orderindex.rotations", rotations)
         parent = node.parent
         if parent is None:
             self._root = None

@@ -23,6 +23,7 @@ from typing import Any
 
 from repro.errors import RelabelRequired
 from repro.labeling.base import LabeledDocument, LabelingScheme, UpdateStats
+from repro.obs import OBS
 from repro.labeling.codecs import (
     FBinaryCodec,
     FCDBSCodec,
@@ -163,6 +164,8 @@ class ContainmentScheme(LabelingScheme):
     def is_ancestor(
         self, ancestor_label: ContainmentLabel, descendant_label: ContainmentLabel
     ) -> bool:
+        if OBS.enabled:
+            OBS.charge("labels.compared", 1)
         return (
             ancestor_label.start_key < descendant_label.start_key
             and descendant_label.end_key < ancestor_label.end_key
@@ -171,6 +174,8 @@ class ContainmentScheme(LabelingScheme):
     def is_parent(
         self, parent_label: ContainmentLabel, child_label: ContainmentLabel
     ) -> bool:
+        # The nested is_ancestor charges its own comparison; the level
+        # test here is not a label-order decision, so no extra charge.
         return (
             child_label.level - parent_label.level == 1
             and self.is_ancestor(parent_label, child_label)
@@ -217,6 +222,8 @@ class ContainmentScheme(LabelingScheme):
         parent.insert_child(index, subtree_root)
         self._label_subtree(labeled, subtree_root, values, parent_label.level + 1)
         labeled.register_subtree(subtree_root)
+        if OBS.enabled:
+            OBS.charge("labeling.labels_assigned", new_count)
         return UpdateStats(
             inserted_nodes=new_count,
             labels_written=new_count,
@@ -291,6 +298,10 @@ class ContainmentScheme(LabelingScheme):
             ):
                 relabeled += 1
         inserted = len(new_node_ids)
+        if OBS.enabled:
+            OBS.charge("labeling.relabel_events", 1)
+            OBS.charge("labeling.nodes_relabeled", relabeled)
+            OBS.charge("labeling.labels_assigned", inserted)
         return UpdateStats(
             inserted_nodes=inserted,
             relabeled_nodes=relabeled,
@@ -381,6 +392,8 @@ def _containment_insert_run(
         )
         cursor += 2 * size
         labeled.register_subtree(subtree_root)
+        if OBS.enabled:
+            OBS.charge("labeling.labels_assigned", size)
         stats = stats.merge(
             UpdateStats(
                 inserted_nodes=size,

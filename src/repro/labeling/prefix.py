@@ -34,6 +34,7 @@ from repro.core.middle import assign_middle_binary_string
 from repro.core.qed import assign_middle_quaternary, qed_encode
 from repro.errors import InvalidCodeError, LengthFieldOverflow, RelabelRequired
 from repro.labeling.base import LabeledDocument, LabelingScheme, UpdateStats
+from repro.obs import OBS
 from repro.xmltree.document import Document
 from repro.xmltree.node import Node
 
@@ -398,18 +399,24 @@ class PrefixScheme(LabelingScheme):
     # -- predicates ----------------------------------------------------------
 
     def is_ancestor(self, ancestor_label: tuple, descendant_label: tuple) -> bool:
+        if OBS.enabled:
+            OBS.charge("labels.compared", 1)
         return (
             len(ancestor_label) < len(descendant_label)
             and descendant_label[: len(ancestor_label)] == ancestor_label
         )
 
     def is_parent(self, parent_label: tuple, child_label: tuple) -> bool:
+        if OBS.enabled:
+            OBS.charge("labels.compared", 1)
         return (
             len(child_label) == len(parent_label) + 1
             and child_label[:-1] == parent_label
         )
 
     def is_sibling(self, first_label: tuple, second_label: tuple) -> bool:
+        if OBS.enabled:
+            OBS.charge("labels.compared", 1)
         return (
             len(first_label) == len(second_label)
             and len(first_label) >= 1
@@ -469,6 +476,8 @@ class PrefixScheme(LabelingScheme):
         self._label_children(labeled, subtree_root, root_label)
         labeled.register_subtree(subtree_root)
         inserted = subtree_root.subtree_size()
+        if OBS.enabled:
+            OBS.charge("labeling.labels_assigned", inserted)
         return UpdateStats(
             inserted_nodes=inserted,
             labels_written=inserted,
@@ -508,6 +517,10 @@ class PrefixScheme(LabelingScheme):
             relabeled += child.subtree_size()
         labeled.register_subtree(subtree_root)
         inserted = subtree_root.subtree_size()
+        if OBS.enabled:
+            OBS.charge("labeling.relabel_events", 1)
+            OBS.charge("labeling.nodes_relabeled", relabeled)
+            OBS.charge("labeling.labels_assigned", inserted)
         return UpdateStats(
             inserted_nodes=inserted,
             relabeled_nodes=relabeled,
@@ -623,6 +636,8 @@ def _prefix_insert_run(
         scheme._label_children(labeled, subtree_root, root_label)
         labeled.register_subtree(subtree_root)
         size = subtree_root.subtree_size()
+        if OBS.enabled:
+            OBS.charge("labeling.labels_assigned", size)
         stats = stats.merge(
             UpdateStats(
                 inserted_nodes=size,

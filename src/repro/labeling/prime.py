@@ -31,6 +31,7 @@ from itertools import islice
 import numpy as np
 
 from repro.labeling.base import LabeledDocument, LabelingScheme, UpdateStats
+from repro.obs import OBS
 from repro.xmltree.document import Document
 from repro.xmltree.node import Node
 
@@ -176,6 +177,8 @@ class PrimeScheme(LabelingScheme):
                 label.group = group
             groups.append(group)
             rebuilt += 1
+        if OBS.enabled and rebuilt:
+            OBS.charge("prime.sc_groups_recomputed", rebuilt)
         return rebuilt
 
     def label_bits(self, label: PrimeLabel) -> int:
@@ -185,12 +188,16 @@ class PrimeScheme(LabelingScheme):
     # -- predicates ------------------------------------------------------------
 
     def is_ancestor(self, ancestor_label: PrimeLabel, descendant_label: PrimeLabel) -> bool:
+        if OBS.enabled:
+            OBS.charge("labels.compared", 1)
         return (
             descendant_label.product != ancestor_label.product
             and descendant_label.product % ancestor_label.product == 0
         )
 
     def is_parent(self, parent_label: PrimeLabel, child_label: PrimeLabel) -> bool:
+        if OBS.enabled:
+            OBS.charge("labels.compared", 1)
         return (
             child_label.product // child_label.self_label
             == parent_label.product
@@ -235,6 +242,8 @@ class PrimeScheme(LabelingScheme):
         recomputed = self._rebuild_groups(
             labeled, from_group=position // GROUP_SIZE
         )
+        if OBS.enabled:
+            OBS.charge("labeling.labels_assigned", len(new_nodes))
         return UpdateStats(
             inserted_nodes=len(new_nodes),
             labels_written=len(new_nodes),

@@ -1,0 +1,163 @@
+"""CLI for repro.obs: ``dump`` (JSON export) and ``overhead`` (the
+disabled-registry micro-benchmark).
+
+::
+
+    python -m repro.obs dump                 # demo workload -> snapshot JSON
+    python -m repro.obs dump --from-json BENCH_updates.json
+    python -m repro.obs overhead             # ns/call per hook, disabled
+    python -m repro.obs overhead --budget-ns 1000   # exit 1 over budget
+
+``dump`` without ``--from-json`` runs a small synthetic workload against
+a fresh registry — it exists to show the snapshot format, not to
+measure anything.  With ``--from-json`` it extracts the obs sections a
+bench run embedded in its output (``repro.obs`` sits below the rest of
+the codebase in the layering DAG, so the CLI cannot import the update
+engine to build a live document).
+
+``overhead`` times every hook registered via
+``@no_overhead_when_disabled`` against a bare attribute-check loop and
+reports nanoseconds per call.  This is the empirical check behind the
+"one attribute check per hook when disabled" claim.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.obs import OBS, DISABLED_SAFE_HOOKS, Registry
+from repro.obs.export import dumps, extract_bench_sections
+
+_DEMO_ROUNDS = 500
+
+
+def _demo_workload(registry: Registry) -> None:
+    with registry.capture():
+        with registry.span("demo.load", op="load"):
+            for i in range(_DEMO_ROUNDS):
+                registry.inc("demo.records")
+                registry.charge("demo.cost_units", i % 3)
+        with registry.span("demo.update", op="update"):
+            for i in range(_DEMO_ROUNDS):
+                with registry.span("demo.update.step"):
+                    registry.observe("demo.step_value", float(i % 17))
+                registry.charge("demo.cost_units", 1)
+        registry.set_gauge("demo.final_round", float(_DEMO_ROUNDS))
+    # Snapshot with enabled restored to its prior value but data intact.
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    if args.from_json:
+        try:
+            payload = json.loads(open(args.from_json).read())
+        except OSError as exc:
+            print(f"error: cannot read {args.from_json}: {exc}", file=sys.stderr)
+            return 2
+        sections = extract_bench_sections(payload)
+        if not sections:
+            print(
+                f"error: no embedded obs sections in {args.from_json} "
+                "(expected 'configs[*].obs' or a top-level '_obs' map)",
+                file=sys.stderr,
+            )
+            return 2
+        print(json.dumps(sections, indent=args.indent))
+        return 0
+    registry = Registry("dump-demo")
+    _demo_workload(registry)
+    print(dumps(registry, indent=args.indent))
+    return 0
+
+
+def _time_loop(fn, iterations: int) -> float:
+    """Best-of-3 nanoseconds per call for ``fn`` over a tight loop."""
+    best = None
+    for _ in range(3):
+        start = time.perf_counter_ns()
+        for _ in range(iterations):
+            fn()
+        elapsed = time.perf_counter_ns() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best / iterations
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    registry = Registry("overhead-probe")
+    registry.enabled = False
+    iterations = args.iterations
+
+    def baseline() -> None:
+        if not registry.enabled:
+            return
+
+    rows = [("attribute-check baseline", _time_loop(baseline, iterations))]
+    hook_args = {
+        "inc": ("probe.counter",),
+        "set_gauge": ("probe.gauge", 1.0),
+        "observe": ("probe.histogram", 1.0),
+        "charge": ("probe.unit", 1),
+    }
+    failures = []
+    for name in DISABLED_SAFE_HOOKS:
+        hook = getattr(registry, name)
+        call_args = hook_args.get(name, ())
+        per_call = _time_loop(lambda h=hook, a=call_args: h(*a), iterations)
+        rows.append((f"OBS.{name}", per_call))
+        if args.budget_ns is not None and per_call > args.budget_ns:
+            failures.append((name, per_call))
+
+    width = max(len(label) for label, _ in rows)
+    print(f"disabled-registry overhead ({iterations} calls, best of 3):")
+    for label, per_call in rows:
+        print(f"  {label:<{width}}  {per_call:8.1f} ns/call")
+    if failures:
+        for name, per_call in failures:
+            print(
+                f"FAIL: OBS.{name} costs {per_call:.1f} ns/call "
+                f"(budget {args.budget_ns} ns)",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description=__doc__.splitlines()[0],
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    dump = sub.add_parser("dump", help="print a registry snapshot as JSON")
+    dump.add_argument(
+        "--from-json",
+        metavar="PATH",
+        help="extract obs sections embedded in a bench JSON file "
+        "instead of running the demo workload",
+    )
+    dump.add_argument("--indent", type=int, default=2)
+    dump.set_defaults(func=_cmd_dump)
+
+    overhead = sub.add_parser(
+        "overhead",
+        help="micro-benchmark the disabled-registry hook cost",
+    )
+    overhead.add_argument("--iterations", type=int, default=200_000)
+    overhead.add_argument(
+        "--budget-ns",
+        type=float,
+        default=None,
+        help="fail (exit 1) if any hook exceeds this many ns/call",
+    )
+    overhead.set_defaults(func=_cmd_overhead)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

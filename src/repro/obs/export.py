@@ -1,0 +1,57 @@
+"""Snapshot-to-JSON helpers shared by the CLI and the benches."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.registry import Registry
+
+__all__ = ["dumps", "write", "bench_section", "extract_bench_sections"]
+
+
+def dumps(registry: Registry, *, indent: int | None = 2) -> str:
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=False)
+
+
+def write(registry: Registry, path: str | Path, *, indent: int | None = 2) -> Path:
+    path = Path(path)
+    path.write_text(dumps(registry, indent=indent) + "\n")
+    return path
+
+
+def bench_section(registry: Registry) -> dict:
+    """The snapshot subset benches embed per configuration/experiment.
+
+    Everything the CI gate and a human reader need — ledger, counters,
+    span aggregates, histogram summaries — without registry identity
+    noise.
+    """
+    snap = registry.snapshot()
+    return {
+        "ledger": snap["ledger"],
+        "counters": snap["counters"],
+        "spans": snap["spans"],
+        "histograms": snap["histograms"],
+    }
+
+
+def extract_bench_sections(payload: dict) -> dict[str, dict]:
+    """Pull embedded obs sections out of a bench JSON file.
+
+    Understands both bench formats in this repo:
+
+    * ``bench_update_hotpath.py`` output — ``configs`` list whose
+      entries may carry an ``obs`` key; sections are keyed
+      ``"<scheme>@<n>"``.
+    * ``repro.bench --json`` output — a top-level ``_obs`` map keyed by
+      experiment id.
+    """
+    sections: dict[str, dict] = {}
+    for config in payload.get("configs", []):
+        obs = config.get("obs")
+        if obs is not None:
+            sections[f"{config['scheme']}@{config['n']}"] = obs
+    for key, obs in payload.get("_obs", {}).items():
+        sections[key] = obs
+    return sections

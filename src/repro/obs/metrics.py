@@ -1,0 +1,159 @@
+"""Metric primitives: :class:`Counter`, :class:`Gauge`, :class:`Histogram`.
+
+These are deliberately tiny, dependency-free value holders.  All
+aggregation policy (when to record, how to attribute) lives in
+:mod:`repro.obs.registry`; the primitives only know how to accumulate
+and summarise themselves.
+
+Histogram keeps *exact* ``count``/``sum``/``min``/``max`` aggregates
+plus a bounded reservoir of samples for percentile estimation.  The
+reservoir uses Vitter's algorithm R with a fixed-seed RNG so snapshots
+are reproducible run-to-run — a requirement for the CI bench gate,
+which diffs snapshots across commits.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+__all__ = ["Counter", "Gauge", "Histogram", "DEFAULT_RESERVOIR_SIZE"]
+
+DEFAULT_RESERVOIR_SIZE = 4096
+_RESERVOIR_SEED = 0x0B5E12
+
+
+class Counter:
+    """Monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (got {amount})"
+            )
+        self.value += amount
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """Point-in-time value that can move in either direction."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Sampled distribution with exact moments and estimated quantiles.
+
+    ``count``/``sum``/``min``/``max`` are exact over every observation;
+    percentiles interpolate over a bounded reservoir (algorithm R), so
+    they are exact until ``max_samples`` observations and an unbiased
+    estimate after.
+    """
+
+    __slots__ = (
+        "name",
+        "count",
+        "sum",
+        "min",
+        "max",
+        "_samples",
+        "_sorted",
+        "_max_samples",
+        "_rng",
+    )
+
+    def __init__(
+        self, name: str, max_samples: int = DEFAULT_RESERVOIR_SIZE
+    ) -> None:
+        if max_samples <= 0:
+            raise ValueError("max_samples must be positive")
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._samples: list[float] = []
+        self._sorted: list[float] | None = None
+        self._max_samples = max_samples
+        self._rng = random.Random(_RESERVOIR_SEED)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self._samples) < self._max_samples:
+            self._samples.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self._max_samples:
+                self._samples[slot] = value
+            else:
+                return
+        self._sorted = None
+
+    @property
+    def mean(self) -> float | None:
+        if self.count == 0:
+            return None
+        return self.sum / self.count
+
+    def percentile(self, q: float) -> float | None:
+        """Linear-interpolation percentile, ``q`` in ``[0, 100]``.
+
+        Matches numpy's default ("linear") definition: rank
+        ``q/100 * (n-1)`` interpolated between its floor and ceil.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile out of range: {q}")
+        if not self._samples:
+            return None
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        data = self._sorted
+        if len(data) == 1:
+            return data[0]
+        rank = (q / 100.0) * (len(data) - 1)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return data[lo]
+        frac = rank - lo
+        return data[lo] * (1.0 - frac) + data[hi] * frac
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
+            "samples_kept": len(self._samples),
+        }

@@ -1,0 +1,288 @@
+"""Process-local metric registry, span tracing and the disabled fast path.
+
+Hot paths call into a single module-level registry (``repro.obs.OBS``).
+The contract that keeps instrumentation free when nobody is looking:
+
+* every hook decorated with :func:`no_overhead_when_disabled` begins
+  with ``if not self.enabled: return`` — one attribute check, nothing
+  else; ``python -m repro.obs overhead`` measures exactly this.
+* call sites that would do *any* work to prepare a charge (compute an
+  amount, snapshot a dict) guard themselves with ``if OBS.enabled:``
+  so the disabled cost stays at one attribute check per site.
+
+:class:`Span` is the one deliberate exception: it always reads the
+clock, because the update engine reports ``processing_seconds`` even
+with observability off (pre-existing API).  When the registry is
+enabled a span additionally pushes itself on the span stack — making
+it the attribution context for :meth:`Registry.charge` — and folds its
+duration into per-name aggregates on exit.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+from repro.obs.ledger import UNATTRIBUTED, CostLedger
+from repro.obs.metrics import (
+    DEFAULT_RESERVOIR_SIZE,
+    Counter,
+    Gauge,
+    Histogram,
+)
+
+__all__ = [
+    "Registry",
+    "Span",
+    "no_overhead_when_disabled",
+    "DISABLED_SAFE_HOOKS",
+]
+
+# Hook names registered by @no_overhead_when_disabled, in declaration
+# order.  The overhead micro-benchmark iterates this list so a new hook
+# is measured automatically.
+DISABLED_SAFE_HOOKS: list[str] = []
+
+
+def no_overhead_when_disabled(func: Callable) -> Callable:
+    """Marker for hooks whose disabled cost is one attribute check.
+
+    Purely declarative: the decorated function is returned unchanged
+    (a wrapper would *add* overhead), but its name is recorded in
+    ``DISABLED_SAFE_HOOKS`` so ``python -m repro.obs overhead`` and the
+    test suite can verify the claim empirically.
+    """
+    DISABLED_SAFE_HOOKS.append(func.__name__)
+    return func
+
+
+class Span:
+    """Context manager timing one named section of work.
+
+    ``seconds`` is valid after ``__exit__`` regardless of registry
+    state.  When the registry is enabled the span also participates in
+    attribution: its ``op`` is the explicit ``op`` tag if given, else
+    inherited from the enclosing span, else the span name.  Tags
+    propagate the same way (child tags override).
+    """
+
+    __slots__ = ("registry", "name", "tags", "op", "seconds", "_start", "_on_stack")
+
+    def __init__(self, registry: "Registry", name: str, tags: dict) -> None:
+        self.registry = registry
+        self.name = name
+        self.tags = tags
+        self.op: str = tags.get("op", name)
+        self.seconds = 0.0
+        self._start = 0.0
+        self._on_stack = False
+
+    def __enter__(self) -> "Span":
+        registry = self.registry
+        if registry.enabled:
+            stack = registry._span_stack
+            if stack:
+                parent = stack[-1]
+                if "op" not in self.tags:
+                    self.op = parent.op
+                merged = dict(parent.tags)
+                merged.update(self.tags)
+                self.tags = merged
+            stack.append(self)
+            self._on_stack = True
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.seconds = time.perf_counter() - self._start
+        if self._on_stack:
+            registry = self.registry
+            stack = registry._span_stack
+            # Exception-safe even if an inner span leaked: pop down to
+            # (and including) this span rather than blindly popping one.
+            while stack:
+                top = stack.pop()
+                if top is self:
+                    break
+            registry._record_span(self, failed=exc_type is not None)
+        return False
+
+
+class Registry:
+    """Named collection of metrics, spans and one cost ledger.
+
+    Starts disabled.  ``enabled`` is a plain attribute so hooks and
+    call sites pay one attribute check when observability is off.
+    """
+
+    __slots__ = (
+        "name",
+        "enabled",
+        "ledger",
+        "_counters",
+        "_gauges",
+        "_histograms",
+        "_span_stats",
+        "_span_stack",
+        "_histogram_max_samples",
+    )
+
+    def __init__(
+        self,
+        name: str = "default",
+        *,
+        enabled: bool = False,
+        histogram_max_samples: int = DEFAULT_RESERVOIR_SIZE,
+    ) -> None:
+        self.name = name
+        self.enabled = enabled
+        self.ledger = CostLedger()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._span_stats: dict[str, dict[str, Any]] = {}
+        self._span_stack: list[Span] = []
+        self._histogram_max_samples = histogram_max_samples
+
+    # -- accessors (not hooks: used by tests/exports, not hot paths) --
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = Counter(name)
+            self._counters[name] = metric
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = Gauge(name)
+            self._gauges[name] = metric
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = Histogram(name, self._histogram_max_samples)
+            self._histograms[name] = metric
+        return metric
+
+    def current_op(self) -> str:
+        stack = self._span_stack
+        return stack[-1].op if stack else UNATTRIBUTED
+
+    # -- hooks (hot-path entry points) --
+
+    @no_overhead_when_disabled
+    def inc(self, name: str, amount: int = 1) -> None:
+        if not self.enabled:
+            return
+        self.counter(name).inc(amount)
+
+    @no_overhead_when_disabled
+    def set_gauge(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        self.gauge(name).set(value)
+
+    @no_overhead_when_disabled
+    def observe(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        self.histogram(name).observe(value)
+
+    @no_overhead_when_disabled
+    def charge(self, unit: str, amount: int = 1) -> None:
+        if not self.enabled:
+            return
+        stack = self._span_stack
+        op = stack[-1].op if stack else UNATTRIBUTED
+        self.ledger.add(op, unit, amount)
+
+    def span(self, name: str, **tags: Any) -> Span:
+        # Not @no_overhead_when_disabled: spans time their body even
+        # when the registry is disabled (see class docstring).
+        return Span(self, name, tags)
+
+    # -- lifecycle --
+
+    def reset(self) -> None:
+        """Drop all recorded data; keeps ``enabled`` as-is."""
+        self.ledger.clear()
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._span_stats.clear()
+        self._span_stack.clear()
+
+    def capture(self, *, reset: bool = True) -> "_Capture":
+        """Context manager: enable (optionally after a reset), then
+        restore the previous enabled state on exit."""
+        return _Capture(self, reset)
+
+    # -- span aggregation --
+
+    def _record_span(self, span: Span, *, failed: bool) -> None:
+        stats = self._span_stats.get(span.name)
+        if stats is None:
+            stats = {
+                "count": 0,
+                "failed": 0,
+                "total_seconds": 0.0,
+                "min_seconds": None,
+                "max_seconds": None,
+            }
+            self._span_stats[span.name] = stats
+        stats["count"] += 1
+        if failed:
+            stats["failed"] += 1
+        seconds = span.seconds
+        stats["total_seconds"] += seconds
+        if stats["min_seconds"] is None or seconds < stats["min_seconds"]:
+            stats["min_seconds"] = seconds
+        if stats["max_seconds"] is None or seconds > stats["max_seconds"]:
+            stats["max_seconds"] = seconds
+
+    # -- export --
+
+    def snapshot(self) -> dict:
+        return {
+            "registry": self.name,
+            "enabled": self.enabled,
+            "counters": {
+                k: self._counters[k].snapshot()
+                for k in sorted(self._counters)
+            },
+            "gauges": {
+                k: self._gauges[k].snapshot() for k in sorted(self._gauges)
+            },
+            "histograms": {
+                k: self._histograms[k].snapshot()
+                for k in sorted(self._histograms)
+            },
+            "spans": {
+                k: dict(self._span_stats[k])
+                for k in sorted(self._span_stats)
+            },
+            "ledger": self.ledger.snapshot(),
+        }
+
+
+class _Capture:
+    __slots__ = ("_registry", "_reset", "_prior")
+
+    def __init__(self, registry: Registry, reset: bool) -> None:
+        self._registry = registry
+        self._reset = reset
+        self._prior = False
+
+    def __enter__(self) -> Registry:
+        if self._reset:
+            self._registry.reset()
+        self._prior = self._registry.enabled
+        self._registry.enabled = True
+        return self._registry
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._registry.enabled = self._prior
+        return False

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Any, Iterable
 
 from repro.labeling.base import LabeledDocument, LabelingScheme
+from repro.obs import OBS
 from repro.query.ast import ExistsPredicate, Path, PositionPredicate, Step
 from repro.query.joins import join_ancestor, join_child, join_descendant, parent_key
 from repro.query.xpath import parse_query
@@ -44,11 +45,16 @@ class QueryEngine:
         """
         path = parse_query(query) if isinstance(query, str) else query
         self.scan_bytes = 0
-        context: Any = _DOCUMENT
-        for step in path.steps:
-            context = self._apply_step(context, step)
-            if not context:
-                return []
+        with OBS.span("query.evaluate", op="query"):
+            context: Any = _DOCUMENT
+            for step in path.steps:
+                context = self._apply_step(context, step)
+                if not context:
+                    context = []
+                    break
+            if OBS.enabled:
+                OBS.charge("query.evaluations", 1)
+                OBS.charge("query.scan_bytes", self.scan_bytes)
         return context
 
     def count(self, query: "str | Path") -> int:
@@ -85,6 +91,8 @@ class QueryEngine:
     def _apply_step(self, context: Any, step: Step) -> list[Node]:
         candidates = self._candidates(step)
         self._scan_candidates(step, candidates)
+        if OBS.enabled:
+            OBS.charge("query.candidates_scanned", len(candidates))
         if context is _DOCUMENT:
             result = self._initial_step(step, candidates)
         else:

@@ -13,6 +13,7 @@ structural update to the store, which translates it into page I/O:
 from __future__ import annotations
 
 from repro.labeling.base import LabeledDocument, UpdateStats
+from repro.obs import OBS
 from repro.storage.pager import (
     DEFAULT_PAGE_BYTES,
     BufferPool,
@@ -75,6 +76,14 @@ class LabelStore:
             stats: the scheme's accounting for the update.
             position: document-order index where the change begins.
         """
+        # The span inherits the enclosing update's ``op`` tag, so page
+        # charges below attribute to the insert/delete that caused them.
+        with OBS.span("store.apply_update"):
+            return self._apply_update(stats, position)
+
+    def _apply_update(
+        self, stats: UpdateStats, position: int
+    ) -> tuple[int, float]:
         reads_before = self.pages.counter.reads + self.sc_pages.counter.reads
         writes_before = (
             self.pages.counter.writes + self.sc_pages.counter.writes
@@ -111,6 +120,8 @@ class LabelStore:
                 position, self.pages.record_count() - 1
             )
             self.pages.counter.reads += read_pages
+            if OBS.enabled:
+                OBS.charge("pager.pages_read", read_pages)
             pages += read_pages
             total_groups = len(self.labeled.extra.get("sc_groups", []))
             if self.sc_pages.record_count() != total_groups:

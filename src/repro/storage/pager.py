@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.orderindex import OrderStatisticTree
+from repro.obs import OBS
 
 __all__ = ["IOCostModel", "PageCounter", "PageStore", "BufferPool"]
 
@@ -98,7 +99,10 @@ class PageStore:
             if size < 0:
                 raise ValueError(f"record size must be non-negative: {size}")
         self._records = OrderStatisticTree(sizes_bytes, weights=sizes_bytes)
-        self.counter.writes += self.page_count()
+        pages = self.page_count()
+        self.counter.writes += pages
+        if OBS.enabled:
+            OBS.charge("pager.pages_written", pages)
 
     def record_count(self) -> int:
         return len(self._records)
@@ -142,12 +146,17 @@ class PageStore:
         span = self._page_span(first_record, last_record)
         pages = len(span)
         if self.buffer_pool is None:
-            self.counter.reads += pages
+            reads = pages
         else:
+            reads = 0
             for page_id in span:
                 if not self.buffer_pool.access(self._pool_key(page_id)):
-                    self.counter.reads += 1
+                    reads += 1
+        self.counter.reads += reads
         self.counter.writes += pages
+        if OBS.enabled:
+            OBS.charge("pager.pages_read", reads)
+            OBS.charge("pager.pages_written", pages)
         return pages
 
     def splice(
@@ -187,18 +196,25 @@ class PageStore:
         # the new records themselves span.
         new_bytes = sum(new_sizes)
         pages = 1 + new_bytes // self.page_bytes
+        dropped = 0
         if self.buffer_pool is None:
-            self.counter.reads += pages
+            reads = pages
         else:
+            reads = 0
             for page_id in range(anchor_page, anchor_page + pages):
                 if not self.buffer_pool.access(self._pool_key(page_id)):
-                    self.counter.reads += 1
+                    reads += 1
             # The rewritten pages went through the pool (their frames
             # now match storage); everything after them shifted.
-            self.buffer_pool.invalidate_from(
+            dropped = self.buffer_pool.invalidate_from(
                 self.namespace, anchor_page + pages
             )
+        self.counter.reads += reads
         self.counter.writes += pages
+        if OBS.enabled:
+            OBS.charge("pager.pages_read", reads)
+            OBS.charge("pager.pages_written", pages)
+            OBS.charge("pager.pages_invalidated", dropped)
         return pages
 
     def overwrite(self, record: int) -> int:
@@ -234,8 +250,12 @@ class BufferPool:
             self._pages.pop(page_id)
             self._pages[page_id] = None
             self.hits += 1
+            if OBS.enabled:
+                OBS.charge("pager.pool_hits", 1)
             return True
         self.misses += 1
+        if OBS.enabled:
+            OBS.charge("pager.pool_misses", 1)
         self._pages[page_id] = None
         if len(self._pages) > self.capacity:
             self._pages.pop(next(iter(self._pages)))

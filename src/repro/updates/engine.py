@@ -4,14 +4,24 @@ Ties together a labeled document, its scheme and (optionally) a label
 store, so one call — e.g. :meth:`UpdateEngine.insert_before` — yields
 the complete Figure 7 decomposition: the scheme's re-label/SC counts
 (Table 4), measured processing seconds, and modelled I/O seconds.
+
+All timing flows through :mod:`repro.obs` spans (rule RPR006).  Each
+operation runs inside an ``update.op`` span tagged with its kind, so
+every cost the scheme, the order index and the page store charge while
+it runs is attributed to that operation in ``OBS.ledger.by_op``.  With
+the registry enabled, :attr:`UpdateResult.costs` carries the ledger
+delta for the individual update — the per-op view of the same numbers
+``UpdateStats`` aggregates — and the engine cross-charges the stats
+fields as ``engine.*`` units so ledger and hand-maintained counters can
+be reconciled in tests.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.labeling.base import LabeledDocument, UpdateStats
+from repro.obs import OBS
 from repro.storage.labelstore import LabelStore
 from repro.storage.pager import IOCostModel
 from repro.xmltree.node import Node
@@ -21,12 +31,17 @@ __all__ = ["UpdateResult", "UpdateEngine"]
 
 @dataclass(frozen=True)
 class UpdateResult:
-    """Everything one structural update cost."""
+    """Everything one structural update cost.
+
+    ``costs`` is the obs-ledger delta attributed to this update (unit
+    name -> amount); it is ``None`` when the registry was disabled.
+    """
 
     stats: UpdateStats
     processing_seconds: float
     io_seconds: float
     pages_touched: int
+    costs: dict[str, int] | None = field(default=None, compare=False)
 
     @property
     def total_seconds(self) -> float:
@@ -111,23 +126,26 @@ class UpdateEngine:
                 pages_touched=0,
             )
         index = parent.index_of_child(target)
-        start = time.perf_counter()
-        stats = self.scheme.insert_run(
-            self.labeled, parent, index, subtree_roots
-        )
-        processing = time.perf_counter() - start
-        position = self.labeled.position_of(subtree_roots[0])
-        return self._account(stats, position, processing)
+        with OBS.span("update.op", op="insert_run"):
+            before = OBS.ledger.totals_snapshot() if OBS.enabled else None
+            with OBS.span("update.insert_run") as timing:
+                stats = self.scheme.insert_run(
+                    self.labeled, parent, index, subtree_roots
+                )
+            position = self.labeled.position_of(subtree_roots[0])
+            return self._account(stats, position, timing.seconds, before)
 
     def move_before(self, node: Node, target: Node) -> UpdateResult:
         """Relocate ``node`` (with its subtree) to just before ``target``.
 
         Expressed as delete + insert, which is how order-preserving
         labeling schemes process moves: the subtree's labels are minted
-        afresh at the destination gap.
+        afresh at the destination gap.  The ledger sees the two halves
+        under their own op kinds; ``costs`` spans both.
         """
         if node is target or node.is_ancestor_of(target):
             raise ValueError("cannot move a node before itself or its descendant")
+        before = OBS.ledger.totals_snapshot() if OBS.enabled else None
         deletion = self.delete(node)
         insertion = self.insert_before(target, node)
         return UpdateResult(
@@ -137,31 +155,38 @@ class UpdateEngine:
             ),
             io_seconds=deletion.io_seconds + insertion.io_seconds,
             pages_touched=deletion.pages_touched + insertion.pages_touched,
+            costs=self._costs_since(before),
         )
 
     def delete(self, node: Node) -> UpdateResult:
         """Delete ``node`` and its subtree."""
-        position = self.labeled.position_of(node)
-        start = time.perf_counter()
-        stats = self.scheme.delete_subtree(self.labeled, node)
-        processing = time.perf_counter() - start
-        return self._account(stats, position, processing)
+        with OBS.span("update.op", op="delete"):
+            before = OBS.ledger.totals_snapshot() if OBS.enabled else None
+            position = self.labeled.position_of(node)
+            with OBS.span("update.delete") as timing:
+                stats = self.scheme.delete_subtree(self.labeled, node)
+            return self._account(stats, position, timing.seconds, before)
 
     # -- internals ---------------------------------------------------------------
 
     def _insert(
         self, parent: Node, index: int, subtree_root: Node
     ) -> UpdateResult:
-        start = time.perf_counter()
-        stats = self.scheme.insert_subtree(
-            self.labeled, parent, index, subtree_root
-        )
-        processing = time.perf_counter() - start
-        position = self.labeled.position_of(subtree_root)
-        return self._account(stats, position, processing)
+        with OBS.span("update.op", op="insert"):
+            before = OBS.ledger.totals_snapshot() if OBS.enabled else None
+            with OBS.span("update.insert") as timing:
+                stats = self.scheme.insert_subtree(
+                    self.labeled, parent, index, subtree_root
+                )
+            position = self.labeled.position_of(subtree_root)
+            return self._account(stats, position, timing.seconds, before)
 
     def _account(
-        self, stats: UpdateStats, position: int, processing: float
+        self,
+        stats: UpdateStats,
+        position: int,
+        processing: float,
+        before: dict[str, int] | None,
     ) -> UpdateResult:
         pages, io_seconds = (
             self.store.apply_update(stats, position)
@@ -169,9 +194,31 @@ class UpdateEngine:
             else (0, 0.0)
         )
         self.totals = self.totals.merge(stats)
+        if OBS.enabled:
+            OBS.charge("engine.nodes_inserted", stats.inserted_nodes)
+            OBS.charge("engine.nodes_deleted", stats.deleted_nodes)
+            OBS.charge("engine.nodes_relabeled", stats.relabeled_nodes)
+            OBS.charge("engine.sc_groups_recomputed", stats.sc_recomputed)
+            OBS.charge("engine.labels_written", stats.labels_written)
+            OBS.charge("engine.pages_touched", pages)
+            OBS.observe("update.processing_seconds", processing)
+            OBS.observe("update.io_seconds", io_seconds)
         return UpdateResult(
             stats=stats,
             processing_seconds=processing,
             io_seconds=io_seconds,
             pages_touched=pages,
+            costs=self._costs_since(before),
         )
+
+    @staticmethod
+    def _costs_since(before: dict[str, int] | None) -> dict[str, int] | None:
+        """Ledger-totals delta since ``before`` (None when disabled)."""
+        if before is None or not OBS.enabled:
+            return None
+        after = OBS.ledger.totals
+        return {
+            unit: after[unit] - before.get(unit, 0)
+            for unit in after
+            if after[unit] != before.get(unit, 0)
+        }

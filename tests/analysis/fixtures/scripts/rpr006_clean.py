@@ -1,0 +1,15 @@
+"""RPR006 fixture: legal time usage — timestamps, delays and spans."""
+
+import time
+
+from time import sleep
+
+from repro.obs import OBS
+
+
+def run():
+    started_at = time.time()  # wall-clock timestamp, not a measurement
+    sleep(0)
+    with OBS.span("fixture.work", op="demo") as span:
+        total = sum(range(1_000))
+    return started_at, total, span.seconds

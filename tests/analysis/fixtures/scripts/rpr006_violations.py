@@ -1,0 +1,22 @@
+"""RPR006 fixture: raw monotonic-clock reads that must all be flagged."""
+
+import time
+
+from time import perf_counter  # VIOLATION
+from time import monotonic as tick, sleep  # VIOLATION
+
+
+def measure_inline():
+    start = time.perf_counter()  # VIOLATION
+    busy = sum(range(100))
+    elapsed = time.perf_counter() - start  # VIOLATION
+    return busy, elapsed
+
+
+def measure_variants():
+    a = time.monotonic()  # VIOLATION
+    b = time.perf_counter_ns()  # VIOLATION
+    c = time.process_time()  # VIOLATION
+    d = time.process_time_ns()  # VIOLATION
+    sleep(0)
+    return a, b, c, d, perf_counter(), tick()

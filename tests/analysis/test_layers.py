@@ -33,12 +33,18 @@ class TestLayerOfModule:
 
 class TestDeclaredDag:
     def test_paper_mandated_edges(self):
-        # The ISSUE's contract: core imports nothing above it; labeling
-        # may import core but not storage/query/relational.
-        assert allowed_imports("core") == frozenset({"errors"})
+        # The ISSUE's contract: core imports nothing above it (obs and
+        # errors are leaves below core); labeling may import core but
+        # not storage/query/relational.
+        assert allowed_imports("core") == frozenset({"errors", "obs"})
         labeling = allowed_imports("labeling")
         assert "core" in labeling
         assert not {"storage", "query", "relational"} & set(labeling)
+
+    def test_obs_is_a_leaf(self):
+        # Observability must not import back up into the layers it
+        # instruments — that would be a cycle through every hot path.
+        assert allowed_imports("obs") == frozenset({"errors"})
 
     def test_facades_allow_everything(self):
         assert allowed_imports("bench") == ALL_LAYERS

@@ -128,3 +128,50 @@ class TestRPR005Hygiene:
         script = tmp_path / "bench_script.py"
         script.write_text("assert 1 + 1 == 2\n")
         assert findings_for(script, "RPR005") == []
+
+
+class TestRPR006RawTiming:
+    def test_flags_every_raw_clock_read(self):
+        findings = findings_for(SCRIPTS / "rpr006_violations.py", "RPR006")
+        assert len(findings) == 8
+        assert {f.rule for f in findings} == {"RPR006"}
+        assert all(str(f.severity) == "error" for f in findings)
+
+    def test_flagged_lines_are_the_marked_ones(self):
+        source = (SCRIPTS / "rpr006_violations.py").read_text()
+        marked = {
+            lineno
+            for lineno, text in enumerate(source.splitlines(), start=1)
+            if "# VIOLATION" in text
+        }
+        findings = findings_for(SCRIPTS / "rpr006_violations.py", "RPR006")
+        assert {f.line for f in findings} == marked
+
+    def test_clean_fixture_is_clean(self):
+        # time.time()/time.sleep() and OBS.span usage stay legal.
+        assert findings_for(SCRIPTS / "rpr006_clean.py", "RPR006") == []
+
+    def test_benchmarks_directory_is_exempt(self, tmp_path):
+        harness = tmp_path / "benchmarks" / "bench_fixture.py"
+        harness.parent.mkdir()
+        harness.write_text(
+            "import time\n\nSTART = time.perf_counter()\n"
+        )
+        assert findings_for(harness, "RPR006") == []
+
+    def test_repro_obs_itself_is_exempt(self):
+        # Spans have to read a clock somewhere: the real registry module
+        # calls time.perf_counter() and must not flag itself.
+        repo_root = Path(__file__).parents[2]
+        registry = repo_root / "src" / "repro" / "obs" / "registry.py"
+        assert "perf_counter" in registry.read_text()
+        assert findings_for(registry, "RPR006") == []
+
+    def test_library_code_outside_obs_is_not_exempt(self, tmp_path):
+        tree = tmp_path / "src" / "repro" / "core"
+        tree.mkdir(parents=True)
+        module = tree / "fresh_timer.py"
+        module.write_text("import time\n\nSTART = time.monotonic()\n")
+        findings = findings_for(module, "RPR006")
+        assert len(findings) == 1
+        assert "OBS.span" in findings[0].message

@@ -1,0 +1,187 @@
+"""benchmarks/bench_gate.py: baseline comparison logic and CLI.
+
+``benchmarks/`` is a scripts directory, not a package, so the module
+under test is loaded by file path.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+GATE_PATH = (
+    Path(__file__).parents[2] / "benchmarks" / "bench_gate.py"
+)
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("bench_gate", GATE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def bench_payload(median=50e-6, totals=None, calibration=0.01):
+    """A minimal bench_update_hotpath-shaped JSON payload."""
+    if totals is None:
+        totals = {"pager.pages_written": 45, "middle.bits_generated": 310}
+    return {
+        "calibration_seconds": calibration,
+        "configs": [
+            {
+                "scheme": "V-CDBS-Containment",
+                "n": 1000,
+                "mode": "optimized",
+                "median_seconds_per_update": median,
+                "obs": {"ledger": {"totals": dict(totals)}},
+            },
+            {
+                # Legacy configs re-create seed behaviour; the gate
+                # must ignore them entirely.
+                "scheme": "V-CDBS-Containment",
+                "n": 1000,
+                "mode": "legacy",
+                "median_seconds_per_update": median * 40,
+            },
+        ],
+    }
+
+
+class TestLoadEntries:
+    def test_keys_optimized_configs_only(self, gate):
+        loaded = gate.load_entries(bench_payload())
+        assert set(loaded["entries"]) == {"V-CDBS-Containment@1000"}
+        entry = loaded["entries"]["V-CDBS-Containment@1000"]
+        assert entry["median_seconds_per_update"] == 50e-6
+        assert entry["ledger_totals"]["pager.pages_written"] == 45
+        assert loaded["calibration_seconds"] == 0.01
+
+    def test_tolerates_missing_obs_section(self, gate):
+        payload = bench_payload()
+        del payload["configs"][0]["obs"]
+        entry = gate.load_entries(payload)["entries"][
+            "V-CDBS-Containment@1000"
+        ]
+        assert "ledger_totals" not in entry
+
+
+class TestCompare:
+    def test_identical_runs_pass(self, gate):
+        entries = gate.load_entries(bench_payload())
+        rows, ok = gate.compare(entries, entries)
+        assert ok
+        assert all(row[-1] == gate.OK for row in rows)
+
+    def test_small_drift_within_tolerance_passes(self, gate):
+        baseline = gate.load_entries(bench_payload(median=50e-6))
+        current = gate.load_entries(bench_payload(median=60e-6))
+        rows, ok = gate.compare(current, baseline, tolerance=0.30)
+        assert ok and "+20.0%" in rows[0][4]
+
+    def test_2x_slowdown_fails(self, gate):
+        baseline = gate.load_entries(bench_payload(median=50e-6))
+        current = gate.load_entries(bench_payload(median=100e-6))
+        rows, ok = gate.compare(current, baseline)
+        assert not ok
+        (time_row,) = [r for r in rows if "median" in r[1]]
+        assert time_row[-1] == gate.FAIL
+        assert "+100.0%" in time_row[4]
+
+    def test_2x_speedup_also_fails(self, gate):
+        # Symmetric: an unexplained speedup usually means the bench
+        # stopped measuring what it used to measure.
+        baseline = gate.load_entries(bench_payload(median=50e-6))
+        current = gate.load_entries(bench_payload(median=25e-6))
+        _, ok = gate.compare(current, baseline)
+        assert not ok
+
+    def test_calibration_cancels_machine_speed(self, gate):
+        # Median doubled, but so did the busy-loop calibration: the
+        # machine is uniformly slower, not the code — must pass.
+        baseline = gate.load_entries(
+            bench_payload(median=50e-6, calibration=0.01)
+        )
+        current = gate.load_entries(
+            bench_payload(median=100e-6, calibration=0.02)
+        )
+        rows, ok = gate.compare(current, baseline)
+        assert ok
+        assert "calibrated" in rows[0][1]
+
+    def test_counter_drift_fails_exactly(self, gate):
+        baseline = gate.load_entries(bench_payload())
+        current = gate.load_entries(
+            bench_payload(
+                totals={"pager.pages_written": 46, "middle.bits_generated": 310}
+            )
+        )
+        rows, ok = gate.compare(current, baseline)
+        assert not ok
+        (drift_row,) = [r for r in rows if r[1] == "pager.pages_written"]
+        assert drift_row[2:] == ("45", "46", "drift", gate.FAIL)
+
+    def test_counter_missing_on_either_side_fails(self, gate):
+        baseline = gate.load_entries(bench_payload())
+        current = gate.load_entries(
+            bench_payload(totals={"pager.pages_written": 45})
+        )
+        _, ok = gate.compare(current, baseline)
+        assert not ok
+
+    def test_missing_config_fails(self, gate):
+        baseline = gate.load_entries(bench_payload())
+        current = {"calibration_seconds": 0.01, "entries": {}}
+        rows, ok = gate.compare(current, baseline)
+        assert not ok
+        assert rows[0][1] == "(config)"
+
+
+class TestMain:
+    def test_update_then_compare_roundtrip(self, gate, tmp_path, capsys):
+        run = tmp_path / "run.json"
+        baseline = tmp_path / "baseline.json"
+        run.write_text(json.dumps(bench_payload()))
+        assert gate.main([str(run), str(baseline), "--update"]) == 0
+        saved = json.loads(baseline.read_text())
+        assert saved["benchmark"] == "update_hotpath_smoke"
+        assert gate.main([str(run), str(baseline)]) == 0
+        assert "bench-gate: ok" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero_with_diff_table(
+        self, gate, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "benchmark": "update_hotpath_smoke",
+                    **gate.load_entries(bench_payload(median=50e-6)),
+                }
+            )
+        )
+        slow = tmp_path / "slow.json"
+        slow.write_text(json.dumps(bench_payload(median=100e-6)))
+        assert gate.main([str(slow), str(baseline)]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL" in captured.out
+        assert "REGRESSION" in captured.err
+        assert "make bench-baseline" in captured.err
+
+    def test_unreadable_baseline_is_a_usage_error(self, gate, tmp_path):
+        run = tmp_path / "run.json"
+        run.write_text(json.dumps(bench_payload()))
+        assert gate.main([str(run), str(tmp_path / "missing.json")]) == 2
+
+    def test_checked_in_baseline_matches_gate_schema(self, gate):
+        # Guard against hand-edits: the real baseline must carry exactly
+        # what compare() consumes.
+        baseline = json.loads(gate.BASELINE_PATH.read_text())
+        assert baseline["calibration_seconds"] > 0
+        assert baseline["entries"]
+        for entry in baseline["entries"].values():
+            assert entry["median_seconds_per_update"] > 0
+            assert entry["ledger_totals"]

@@ -1,0 +1,19 @@
+"""Registry isolation: every test starts and ends with a clean,
+disabled ``OBS`` so instrumentation state cannot leak between tests
+(or into the rest of the suite, which shares the process-global
+registry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import OBS
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    OBS.reset()
+    OBS.enabled = False
+    yield
+    OBS.reset()
+    OBS.enabled = False

@@ -1,0 +1,78 @@
+"""The ``python -m repro.obs`` CLI: dump and overhead subcommands."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.__main__ import main
+
+
+class TestDump:
+    def test_demo_workload_snapshot(self, capsys):
+        assert main(["dump"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["registry"] == "dump-demo"
+        # The demo finished its capture, so enabled is back to False
+        # but the recorded data survives into the snapshot.
+        assert snapshot["enabled"] is False
+        assert snapshot["counters"]["demo.records"] == 500
+        assert "demo.cost_units" in snapshot["ledger"]["totals"]
+        assert set(snapshot["ledger"]["by_op"]) == {"load", "update"}
+        assert snapshot["histograms"]["demo.step_value"]["count"] == 500
+        assert snapshot["spans"]["demo.update.step"]["count"] == 500
+
+    def test_from_json_extracts_embedded_sections(self, capsys, tmp_path):
+        section = {"ledger": {"totals": {"u": 1}, "by_op": {}}}
+        payload = {
+            "configs": [
+                {"scheme": "V", "n": 1000, "mode": "optimized", "obs": section}
+            ]
+        }
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(payload))
+        assert main(["dump", "--from-json", str(path)]) == 0
+        assert json.loads(capsys.readouterr().out) == {"V@1000": section}
+
+    def test_from_json_handles_toplevel_obs_map(self, capsys, tmp_path):
+        payload = {"_obs": {"E1": {"ledger": {"totals": {}, "by_op": {}}}}}
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(payload))
+        assert main(["dump", "--from-json", str(path)]) == 0
+        assert json.loads(capsys.readouterr().out) == payload["_obs"]
+
+    def test_missing_file_is_an_error(self, capsys, tmp_path):
+        assert main(["dump", "--from-json", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_json_without_sections_is_an_error(self, capsys, tmp_path):
+        path = tmp_path / "plain.json"
+        path.write_text("{}")
+        assert main(["dump", "--from-json", str(path)]) == 2
+        assert "no embedded obs sections" in capsys.readouterr().err
+
+
+class TestOverhead:
+    def test_measures_every_disabled_safe_hook(self, capsys):
+        assert main(["overhead", "--iterations", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "attribute-check baseline" in out
+        for hook in ("inc", "set_gauge", "observe", "charge"):
+            assert f"OBS.{hook}" in out
+
+    def test_budget_failure_exits_nonzero(self, capsys):
+        # No machine evaluates a Python method call in a femtosecond.
+        assert main(["overhead", "--iterations", "2000", "--budget-ns", "1e-6"]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_generous_budget_passes(self):
+        # 1ms per call would mean the "one attribute check" claim is
+        # off by ~4 orders of magnitude; as an upper bound it keeps the
+        # test meaningful without being timing-flaky in CI.
+        assert main(["overhead", "--iterations", "2000", "--budget-ns", "1e6"]) == 0
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

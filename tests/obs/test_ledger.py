@@ -1,0 +1,77 @@
+"""CostLedger accounting and the COST_UNITS catalogue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.ledger import COST_UNITS, UNATTRIBUTED, CostLedger
+
+
+class TestCostLedger:
+    def test_charges_land_in_totals_and_by_op(self):
+        ledger = CostLedger()
+        ledger.add("insert", "pager.pages_read", 3)
+        ledger.add("insert", "pager.pages_read", 2)
+        ledger.add("delete", "pager.pages_read", 1)
+        assert ledger.total("pager.pages_read") == 6
+        assert ledger.op_total("insert", "pager.pages_read") == 5
+        assert ledger.op_total("delete", "pager.pages_read") == 1
+
+    def test_unknown_unit_reads_as_zero(self):
+        ledger = CostLedger()
+        assert ledger.total("never.charged") == 0
+        assert ledger.op_total("nope", "never.charged") == 0
+
+    def test_negative_amount_rejected(self):
+        ledger = CostLedger()
+        with pytest.raises(ValueError, match="negative"):
+            ledger.add("op", "unit", -1)
+
+    def test_zero_amount_leaves_no_entry(self):
+        ledger = CostLedger()
+        ledger.add("op", "unit", 0)
+        assert ledger.totals == {}
+        assert ledger.by_op == {}
+
+    def test_totals_snapshot_is_detached(self):
+        ledger = CostLedger()
+        ledger.add("op", "unit", 1)
+        before = ledger.totals_snapshot()
+        ledger.add("op", "unit", 9)
+        assert before == {"unit": 1}
+        assert ledger.total("unit") == 10
+
+    def test_clear(self):
+        ledger = CostLedger()
+        ledger.add("op", "unit", 1)
+        ledger.clear()
+        assert ledger.snapshot() == {"totals": {}, "by_op": {}}
+
+    def test_snapshot_keys_sorted_for_stable_diffs(self):
+        ledger = CostLedger()
+        ledger.add("z-op", "b.unit", 1)
+        ledger.add("a-op", "a.unit", 1)
+        snapshot = ledger.snapshot()
+        assert list(snapshot["totals"]) == sorted(snapshot["totals"])
+        assert list(snapshot["by_op"]) == sorted(snapshot["by_op"])
+
+
+class TestCostUnitsCatalogue:
+    def test_every_entry_documents_measure_and_paper_cost(self):
+        for unit, entry in COST_UNITS.items():
+            measure, paper_cost = entry
+            assert unit and measure and paper_cost
+
+    def test_engine_units_mirror_update_stats(self):
+        # The reconciliation test (tests/updates) relies on these names.
+        assert {
+            "engine.nodes_inserted",
+            "engine.nodes_deleted",
+            "engine.nodes_relabeled",
+            "engine.sc_groups_recomputed",
+            "engine.labels_written",
+            "engine.pages_touched",
+        } <= set(COST_UNITS)
+
+    def test_unattributed_sentinel_is_not_a_unit(self):
+        assert UNATTRIBUTED not in COST_UNITS

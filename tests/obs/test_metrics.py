@@ -1,0 +1,125 @@
+"""Metric primitives: Counter/Gauge semantics and Histogram math.
+
+The histogram percentile tests check against a *sorted-list oracle*
+that re-implements numpy's "linear" interpolation independently, on
+workloads small enough that the reservoir holds every observation — so
+the estimate must be exact.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_RESERVOIR_SIZE,
+    Counter,
+    Gauge,
+    Histogram,
+)
+
+
+def oracle_percentile(values: list[float], q: float) -> float:
+    """numpy-"linear" percentile over a plain sorted list."""
+    data = sorted(values)
+    if len(data) == 1:
+        return data[0]
+    rank = (q / 100.0) * (len(data) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return data[lo]
+    frac = rank - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c")
+        assert counter.snapshot() == 0
+        counter.inc()
+        counter.inc(41)
+        assert counter.snapshot() == 42
+
+    def test_rejects_negative_increments(self):
+        counter = Counter("c")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+        assert counter.snapshot() == 0
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("g")
+        gauge.set(3.0)
+        gauge.add(-1.5)
+        assert gauge.snapshot() == 1.5
+
+
+class TestHistogramExactAggregates:
+    def test_count_sum_min_max_are_exact_past_reservoir(self):
+        histogram = Histogram("h", max_samples=64)
+        values = [float(i) for i in range(1_000)]
+        random.Random(5).shuffle(values)
+        for value in values:
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 1_000
+        assert snapshot["sum"] == sum(values)
+        assert snapshot["min"] == 0.0
+        assert snapshot["max"] == 999.0
+        assert snapshot["mean"] == pytest.approx(sum(values) / 1_000)
+        assert snapshot["samples_kept"] == 64
+
+    def test_empty_histogram_snapshot(self):
+        snapshot = Histogram("h").snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["mean"] is None
+        assert snapshot["p50"] is None
+        assert snapshot["min"] is None
+
+    def test_rejects_nonpositive_reservoir(self):
+        with pytest.raises(ValueError):
+            Histogram("h", max_samples=0)
+
+
+class TestHistogramPercentiles:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 100, 1_001])
+    @pytest.mark.parametrize("q", [0.0, 25.0, 50.0, 90.0, 99.0, 100.0])
+    def test_matches_sorted_list_oracle_while_unsampled(self, n, q):
+        rng = random.Random(n * 31 + int(q))
+        values = [rng.uniform(-50.0, 50.0) for _ in range(n)]
+        histogram = Histogram("h")  # default reservoir holds all of them
+        for value in values:
+            histogram.observe(value)
+        assert n <= DEFAULT_RESERVOIR_SIZE
+        assert histogram.percentile(q) == pytest.approx(
+            oracle_percentile(values, q)
+        )
+
+    def test_extremes_are_min_and_max(self):
+        histogram = Histogram("h")
+        for value in (9.0, -3.0, 4.0):
+            histogram.observe(value)
+        assert histogram.percentile(0.0) == -3.0
+        assert histogram.percentile(100.0) == 9.0
+
+    def test_out_of_range_rejected(self):
+        histogram = Histogram("h")
+        histogram.observe(1.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(-0.1)
+        with pytest.raises(ValueError):
+            histogram.percentile(100.1)
+
+    def test_reservoir_is_deterministic(self):
+        # Fixed seed per histogram: same observations -> same snapshot,
+        # which is what lets the CI gate diff snapshots run-to-run.
+        first, second = Histogram("a", max_samples=32), Histogram("b", max_samples=32)
+        values = [float(i % 97) for i in range(5_000)]
+        for value in values:
+            first.observe(value)
+            second.observe(value)
+        assert first.snapshot() == second.snapshot()

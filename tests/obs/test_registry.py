@@ -1,0 +1,126 @@
+"""Registry behaviour: isolation, disabled-mode no-ops, capture."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import DISABLED_SAFE_HOOKS, OBS, Registry
+
+
+class TestIsolation:
+    def test_global_registry_starts_clean(self):
+        # The autouse fixture resets OBS around every test; a test that
+        # observes data here would mean state leaked across tests.
+        snapshot = OBS.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["histograms"] == {}
+        assert snapshot["spans"] == {}
+        assert snapshot["ledger"]["totals"] == {}
+        assert OBS.enabled is False
+
+    def test_registries_are_independent(self):
+        left, right = Registry("left", enabled=True), Registry("right", enabled=True)
+        left.inc("shared.name", 3)
+        assert left.counter("shared.name").value == 3
+        assert right.counter("shared.name").value == 0
+
+    def test_reset_drops_data_but_keeps_enabled(self):
+        registry = Registry("r", enabled=True)
+        registry.inc("c")
+        registry.observe("h", 1.0)
+        with registry.span("s"):
+            registry.charge("unit", 2)
+        registry.reset()
+        assert registry.enabled is True
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["histograms"] == {}
+        assert snapshot["spans"] == {}
+        assert snapshot["ledger"] == {"totals": {}, "by_op": {}}
+
+
+class TestDisabledMode:
+    def test_hooks_are_no_ops(self):
+        registry = Registry("off")
+        registry.inc("c", 5)
+        registry.set_gauge("g", 1.0)
+        registry.observe("h", 2.0)
+        registry.charge("unit", 3)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["gauges"] == {}
+        assert snapshot["histograms"] == {}
+        assert snapshot["ledger"]["totals"] == {}
+
+    def test_spans_still_time_but_record_nothing(self):
+        registry = Registry("off")
+        with registry.span("work") as span:
+            sum(range(1_000))
+        assert span.seconds > 0.0
+        assert registry.snapshot()["spans"] == {}
+        assert registry._span_stack == []
+
+    def test_every_hot_path_hook_is_declared_disabled_safe(self):
+        assert set(DISABLED_SAFE_HOOKS) == {
+            "inc",
+            "set_gauge",
+            "observe",
+            "charge",
+        }
+        for name in DISABLED_SAFE_HOOKS:
+            assert callable(getattr(Registry, name))
+
+
+class TestEnabledMode:
+    def test_hooks_record(self):
+        registry = Registry("on", enabled=True)
+        registry.inc("c", 2)
+        registry.set_gauge("g", 7.5)
+        registry.observe("h", 1.0)
+        registry.observe("h", 3.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["c"] == 2
+        assert snapshot["gauges"]["g"] == 7.5
+        assert snapshot["histograms"]["h"]["count"] == 2
+        assert snapshot["histograms"]["h"]["mean"] == 2.0
+
+    def test_metric_accessors_are_memoised(self):
+        registry = Registry("on", enabled=True)
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.histogram("h") is registry.histogram("h")
+        assert registry.gauge("g") is registry.gauge("g")
+
+
+class TestCapture:
+    def test_enables_then_restores_disabled(self):
+        registry = Registry("cap")
+        with registry.capture() as active:
+            assert active is registry
+            assert registry.enabled is True
+            registry.inc("c")
+        assert registry.enabled is False
+        # Data survives the capture so callers can snapshot afterwards.
+        assert registry.counter("c").value == 1
+
+    def test_restores_enabled_when_it_was_on(self):
+        registry = Registry("cap", enabled=True)
+        with registry.capture(reset=False):
+            pass
+        assert registry.enabled is True
+
+    def test_reset_flag_controls_clearing(self):
+        registry = Registry("cap", enabled=True)
+        registry.inc("c")
+        with registry.capture(reset=False):
+            registry.inc("c")
+        assert registry.counter("c").value == 2
+        with registry.capture():
+            pass
+        assert registry.counter("c").value == 0
+
+    def test_restores_on_exception(self):
+        registry = Registry("cap")
+        with pytest.raises(RuntimeError):
+            with registry.capture():
+                raise RuntimeError("boom")
+        assert registry.enabled is False

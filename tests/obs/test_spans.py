@@ -1,0 +1,96 @@
+"""Span semantics: nesting, op/tag inheritance, exception safety."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Registry
+from repro.obs.ledger import UNATTRIBUTED
+
+
+@pytest.fixture()
+def registry():
+    return Registry("spans", enabled=True)
+
+
+class TestAttribution:
+    def test_op_defaults_to_span_name(self, registry):
+        with registry.span("update.insert"):
+            assert registry.current_op() == "update.insert"
+
+    def test_explicit_op_tag_wins(self, registry):
+        with registry.span("update.op", op="insert"):
+            assert registry.current_op() == "insert"
+
+    def test_child_inherits_parent_op(self, registry):
+        with registry.span("update.op", op="delete"):
+            with registry.span("store.apply_update"):
+                assert registry.current_op() == "delete"
+                registry.charge("pager.pages_read", 4)
+        assert registry.ledger.op_total("delete", "pager.pages_read") == 4
+
+    def test_child_explicit_op_overrides_parent(self, registry):
+        with registry.span("outer", op="outer-op"):
+            with registry.span("inner", op="inner-op"):
+                registry.charge("unit", 1)
+            registry.charge("unit", 2)
+        assert registry.ledger.op_total("inner-op", "unit") == 1
+        assert registry.ledger.op_total("outer-op", "unit") == 2
+
+    def test_charge_without_span_is_unattributed(self, registry):
+        registry.charge("unit", 5)
+        assert registry.ledger.op_total(UNATTRIBUTED, "unit") == 5
+        assert registry.current_op() == UNATTRIBUTED
+
+    def test_tags_merge_child_overrides(self, registry):
+        with registry.span("outer", scheme="V-CDBS", phase="load"):
+            with registry.span("inner", phase="update") as inner:
+                assert inner.tags == {"scheme": "V-CDBS", "phase": "update"}
+
+
+class TestAggregation:
+    def test_stats_accumulate_per_name(self, registry):
+        for _ in range(3):
+            with registry.span("work"):
+                pass
+        stats = registry.snapshot()["spans"]["work"]
+        assert stats["count"] == 3
+        assert stats["failed"] == 0
+        assert stats["min_seconds"] <= stats["max_seconds"]
+        assert stats["total_seconds"] >= stats["max_seconds"]
+
+    def test_seconds_valid_after_exit(self, registry):
+        with registry.span("work") as span:
+            sum(range(10_000))
+        assert span.seconds > 0.0
+
+
+class TestExceptionSafety:
+    def test_failure_is_counted_and_stack_unwound(self, registry):
+        with pytest.raises(ValueError):
+            with registry.span("failing"):
+                raise ValueError("boom")
+        stats = registry.snapshot()["spans"]["failing"]
+        assert stats["count"] == 1
+        assert stats["failed"] == 1
+        assert registry._span_stack == []
+
+    def test_leaked_inner_span_does_not_corrupt_stack(self, registry):
+        # An inner span entered but never exited (a bug in caller code)
+        # must not leave the outer span's exit popping the wrong frame.
+        outer = registry.span("outer")
+        outer.__enter__()
+        registry.span("leaked").__enter__()
+        outer.__exit__(None, None, None)
+        assert registry._span_stack == []
+        assert registry.current_op() == UNATTRIBUTED
+
+    def test_exception_inside_nested_spans(self, registry):
+        with pytest.raises(RuntimeError):
+            with registry.span("outer", op="op"):
+                with registry.span("inner"):
+                    raise RuntimeError("boom")
+        spans = registry.snapshot()["spans"]
+        assert spans["inner"]["failed"] == 1
+        assert spans["outer"]["failed"] == 1
+        assert registry._span_stack == []

@@ -11,10 +11,15 @@ def test_json_export(tmp_path, capsys):
     out = tmp_path / "results.json"
     assert main(["--only", "E1", "E9", "E10", "--json", str(out)]) == 0
     data = json.loads(out.read_text())
-    assert set(data) == {"E1", "E9", "E10"}
+    assert set(data) == {"E1", "E9", "E10", "_obs"}
     assert data["E1"]["totals"]["V-CDBS"] == 64
     assert data["E9"]["cdbs_dead_end_gaps"] == 0
     assert data["E10"]["sequential_max_bits"] == 1024
+    # Each experiment's collector ran under a captured registry, so the
+    # export is self-describing: an obs section per experiment id.
+    assert set(data["_obs"]) == {"E1", "E9", "E10"}
+    for section in data["_obs"].values():
+        assert {"ledger", "counters", "spans", "histograms"} <= set(section)
     assert "raw results written" in capsys.readouterr().out
 
 

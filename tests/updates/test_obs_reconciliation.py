@@ -1,0 +1,187 @@
+"""Ledger/engine reconciliation on a churn workload.
+
+The obs ledger and ``UpdateResult`` are two views of the same work:
+the engine charges ``engine.*`` units from the very ``UpdateStats`` it
+returns, the pager charges ``pager.*`` units alongside its own
+``PageCounter``, and every update's ``costs`` dict is a ledger delta.
+If instrumentation ever drifts from the accounting the paper's numbers
+are built on, these tests fail.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.labeling import make_scheme
+from repro.obs import OBS
+from repro.updates import UpdateEngine
+from repro.xmltree import Node, ShapeSpec
+from repro.xmltree.generator import generate_document
+
+CHURN_NODES = 500
+CHURN_OPS = 90
+
+SCHEMES = (
+    "V-CDBS-Containment",
+    "F-CDBS-Containment",
+    "CDBS(UTF8)-Prefix",
+    "Prime",
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    OBS.reset()
+    OBS.enabled = False
+    yield
+    OBS.reset()
+    OBS.enabled = False
+
+
+def _build_engine(scheme_name: str):
+    spec = ShapeSpec(
+        tags=("doc", "sect", "para", "span"),
+        max_depth=6,
+        subtree_range=(2, 12),
+    )
+    document = generate_document(
+        "churn", "doc", CHURN_NODES, spec, seed=11
+    )
+    labeled = make_scheme(scheme_name).label_document(document)
+    return UpdateEngine(labeled, with_storage=True)
+
+
+def _pick_leaf(labeled, rng):
+    nodes = labeled.nodes_in_order
+    while True:
+        node = nodes[rng.randrange(len(nodes))]
+        if node.parent is not None and not node.children:
+            return node
+
+
+def _churn(engine, ops: int = CHURN_OPS):
+    """Mixed insert/delete/move trace; returns every UpdateResult."""
+    labeled = engine.labeled
+    rng = random.Random(97)
+    results = []
+    counter = 0
+    for step in range(ops):
+        kind = ("insert", "delete", "move")[step % 3]
+        if kind == "insert":
+            target = _pick_leaf(labeled, rng)
+            fresh = Node.element(f"n{counter}")
+            counter += 1
+            results.append(engine.insert_before(target, fresh))
+        elif kind == "delete":
+            results.append(engine.delete(_pick_leaf(labeled, rng)))
+        else:
+            node = _pick_leaf(labeled, rng)
+            target = _pick_leaf(labeled, rng)
+            if node is target:
+                continue
+            results.append(engine.move_before(node, target))
+    return results
+
+
+@pytest.mark.parametrize("scheme_name", SCHEMES)
+class TestLedgerMatchesUpdateResults:
+    @pytest.fixture()
+    def churned(self, scheme_name):
+        # Engine construction loads the label store (pages written!), so
+        # build first, then snapshot the page counters before capturing.
+        engine = _build_engine(scheme_name)
+        stores = (engine.store.pages, engine.store.sc_pages)
+        pages_before = [
+            (store.counter.reads, store.counter.writes) for store in stores
+        ]
+        with OBS.capture():
+            results = _churn(engine)
+            pages_after = [
+                (store.counter.reads, store.counter.writes)
+                for store in stores
+            ]
+            totals = dict(OBS.ledger.totals)
+            by_op = {
+                op: dict(units) for op, units in OBS.ledger.by_op.items()
+            }
+        return engine, results, pages_before, pages_after, totals, by_op
+
+    def test_engine_units_equal_summed_stats(self, churned):
+        _, results, _, _, totals, _ = churned
+        expected = {
+            "engine.nodes_inserted": sum(
+                r.stats.inserted_nodes for r in results
+            ),
+            "engine.nodes_deleted": sum(
+                r.stats.deleted_nodes for r in results
+            ),
+            "engine.nodes_relabeled": sum(
+                r.stats.relabeled_nodes for r in results
+            ),
+            "engine.sc_groups_recomputed": sum(
+                r.stats.sc_recomputed for r in results
+            ),
+            "engine.labels_written": sum(
+                r.stats.labels_written for r in results
+            ),
+            "engine.pages_touched": sum(r.pages_touched for r in results),
+        }
+        for unit, value in expected.items():
+            assert totals.get(unit, 0) == value, unit
+        # The workload actually exercised the interesting counters.
+        assert expected["engine.nodes_inserted"] > 0
+        assert expected["engine.nodes_deleted"] > 0
+        assert expected["engine.pages_touched"] > 0
+
+    def test_pager_units_equal_page_counter_deltas(self, churned):
+        _, _, pages_before, pages_after, totals, _ = churned
+        read_delta = sum(
+            after[0] - before[0]
+            for before, after in zip(pages_before, pages_after)
+        )
+        write_delta = sum(
+            after[1] - before[1]
+            for before, after in zip(pages_before, pages_after)
+        )
+        assert totals.get("pager.pages_read", 0) == read_delta
+        assert totals.get("pager.pages_written", 0) == write_delta
+        assert write_delta > 0
+
+    def test_per_update_costs_partition_the_totals(self, churned):
+        _, results, _, _, totals, _ = churned
+        assert all(r.costs is not None for r in results)
+        summed: dict[str, int] = {}
+        for result in results:
+            for unit, amount in result.costs.items():
+                summed[unit] = summed.get(unit, 0) + amount
+        # Every charge in the capture happened inside some update, so
+        # the per-update deltas must sum back to the grand totals.
+        assert summed == totals
+
+    def test_costs_attributed_to_real_ops(self, churned):
+        _, _, _, _, _, by_op = churned
+        assert set(by_op) <= {"insert", "delete", "insert_run"}
+
+    def test_processing_histogram_counts_every_account(self, churned):
+        engine, results, _, _, _, _ = churned
+        del engine
+        histogram = OBS.histogram("update.processing_seconds")
+        # A move is delete + insert: two accounting events, one result.
+        # Every other result maps 1:1.
+        accounted = sum(
+            2 if (r.stats.inserted_nodes and r.stats.deleted_nodes) else 1
+            for r in results
+        )
+        assert histogram.count == accounted
+
+
+def test_disabled_registry_reports_no_costs():
+    engine = _build_engine("V-CDBS-Containment")
+    results = _churn(engine, ops=6)
+    assert all(r.costs is None for r in results)
+    assert OBS.snapshot()["ledger"]["totals"] == {}
+    assert OBS.snapshot()["histograms"] == {}
+    # Timing still works without the registry (pre-existing API).
+    assert all(r.processing_seconds >= 0.0 for r in results)
