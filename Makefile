@@ -1,7 +1,7 @@
 # Convenience targets for the repro library.
 
 .PHONY: install test lint ci bench bench-smoke bench-gate bench-baseline \
-	experiments experiments-full examples
+	chaos experiments experiments-full examples
 
 install:
 	pip install -e . || python setup.py develop
@@ -34,6 +34,13 @@ bench-smoke:
 bench-gate: bench-smoke
 	PYTHONPATH=src python benchmarks/bench_gate.py BENCH_smoke.json \
 		benchmarks/baseline_smoke.json
+
+# Seeded fault-injection matrix (scheme x site x seed): every aborted
+# op must roll back byte-identically and the resumed run must match a
+# fault-free oracle.  Failing cells' plans land in CHAOS_failures.json.
+# See docs/ROBUSTNESS.md.
+chaos:
+	PYTHONPATH=src python benchmarks/chaos_matrix.py --out CHAOS_failures.json
 
 # Regenerate the checked-in baseline after an *intentional* change to
 # the update path's work profile; justify the refresh in the commit.

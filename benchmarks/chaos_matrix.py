@@ -1,0 +1,192 @@
+"""Chaos matrix: scheme x fault site x seed, with an oracle comparison.
+
+Each cell replays a seeded churn script against an engine with a fault
+armed.  Three properties must hold (the ISSUE 4 acceptance bar):
+
+1. every op aborted by the fault rolls back to a byte-identical
+   pre-op snapshot;
+2. :func:`repro.verify.verify_integrity` reports zero violations after
+   every rollback and at the end of the run;
+3. after replaying each aborted op fault-free, the final state is
+   byte-identical to a no-injection oracle run of the same script.
+
+Failing cells are written to ``CHAOS_failures.json`` — each entry
+carries the serialized :class:`~repro.faults.FaultPlan`, so re-arming
+the deserialized plan replays the identical failure — and the process
+exits non-zero (the CI contract; the workflow uploads the file as an
+artifact).
+
+Usage::
+
+    python benchmarks/chaos_matrix.py [--ops 14] [--seeds 3 7]
+        [--out CHAOS_failures.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+
+from repro.errors import UpdateAborted
+from repro.faults import FAULTS, KNOWN_SITES, FaultPlan
+from repro.labeling import make_scheme
+from repro.updates import UpdateEngine, apply_churn_op, churn_script
+from repro.verify import verify_integrity
+from repro.xmltree import Node, parse_document, serialize_document
+
+SCHEMES = (
+    "V-CDBS-Containment",
+    "F-CDBS-Containment",
+    "CDBS(UTF8)-Prefix",
+)
+
+
+def seed_document(elements: int, seed: int):
+    rng = random.Random(seed)
+    document = parse_document("<root/>")
+    pool = [document.root]
+    for index in range(elements):
+        parent = rng.choice(pool)
+        child = Node.element(f"e{index % 9}")
+        parent.insert_child(len(parent.children), child)
+        pool.append(child)
+    return document
+
+
+def build_engine(scheme: str, doc_seed: int) -> UpdateEngine:
+    labeled = make_scheme(scheme).label_document(
+        seed_document(elements=30, seed=doc_seed)
+    )
+    return UpdateEngine(labeled, with_storage=True)
+
+
+def snapshot(engine: UpdateEngine):
+    """Everything a rollback must restore, hashable and comparable."""
+    labeled = engine.labeled
+    groups = labeled.extra.get("sc_groups")
+    store = engine.store
+    return (
+        serialize_document(labeled.document),
+        tuple(
+            repr(labeled.labels.get(id(node)))
+            for node in labeled.nodes_in_order
+        ),
+        None
+        if groups is None
+        else tuple((group.index, group.sc) for group in groups),
+        labeled.extra.get("next_prime_floor"),
+        tuple(store.pages.record_sizes()),
+        store.pages.counter.reads,
+        store.pages.counter.writes,
+        tuple(store.sc_pages.record_sizes()),
+    )
+
+
+def run_cell(scheme: str, site: str, seed: int, ops: int) -> list[str]:
+    """One matrix cell; returns the list of property violations (empty = pass)."""
+    script = churn_script(ops, seed)
+    problems: list[str] = []
+
+    oracle = build_engine(scheme, doc_seed=seed)
+    for op in script:
+        apply_churn_op(oracle, op)
+    oracle_state = snapshot(oracle)
+
+    engine = build_engine(scheme, doc_seed=seed)
+    plan = FaultPlan.single(site, at=1 + seed % 3, note=f"seed={seed}")
+    aborts = 0
+    for step, op in enumerate(script):
+        before = snapshot(engine)
+        try:
+            with FAULTS.armed(plan):
+                apply_churn_op(engine, op)
+        except UpdateAborted:
+            aborts += 1
+            if snapshot(engine) != before:
+                problems.append(
+                    f"op {step}: rolled-back state differs from the "
+                    f"pre-op snapshot"
+                )
+                break
+            violations = verify_integrity(engine.labeled, engine.store)
+            if violations:
+                problems.append(
+                    f"op {step}: {len(violations)} integrity violations "
+                    f"after rollback ({violations[0].code}: "
+                    f"{violations[0].message})"
+                )
+                break
+            apply_churn_op(engine, op)  # replay fault-free
+    if not problems:
+        if snapshot(engine) != oracle_state:
+            problems.append(
+                f"final state differs from the fault-free oracle "
+                f"({aborts} aborts)"
+            )
+        violations = verify_integrity(engine.labeled, engine.store)
+        if violations:
+            problems.append(
+                f"{len(violations)} integrity violations at end of run"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Seeded fault-injection matrix over the update path."
+    )
+    parser.add_argument(
+        "--ops", type=int, default=14, help="churn ops per cell"
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[3, 7, 20060403],
+        help="script seeds (each also offsets the fault ordinal)",
+    )
+    parser.add_argument(
+        "--out",
+        default="CHAOS_failures.json",
+        help="where to write failing cells' fault plans",
+    )
+    args = parser.parse_args(argv)
+
+    failures = []
+    cells = 0
+    for scheme in SCHEMES:
+        for site in KNOWN_SITES:
+            for seed in args.seeds:
+                cells += 1
+                problems = run_cell(scheme, site, seed, args.ops)
+                status = "ok" if not problems else "FAIL"
+                print(f"[{status}] {scheme:22s} {site:18s} seed={seed}")
+                if problems:
+                    failures.append(
+                        {
+                            "scheme": scheme,
+                            "site": site,
+                            "seed": seed,
+                            "ops": args.ops,
+                            "plan": FaultPlan.single(
+                                site, at=1 + seed % 3, note=f"seed={seed}"
+                            ).to_dict(),
+                            "problems": problems,
+                        }
+                    )
+    if failures:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(failures, handle, indent=2)
+        print(
+            f"\n{len(failures)}/{cells} cells FAILED; fault plans written "
+            f"to {args.out}"
+        )
+        return 1
+    print(f"\nall {cells} cells passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

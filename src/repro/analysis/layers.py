@@ -59,8 +59,12 @@ LAYERS: dict[str, frozenset[str] | str] = {
     # The static analyzer itself: deliberately near-leaf so it can lint
     # everything above it without creating cycles.
     "analysis": frozenset({"errors"}),
+    # Fault injection is a near-leaf like obs: every instrumented layer
+    # may consult the FAULTS registry, so it must not import back up.
+    # (It uses obs only to count injections.)
+    "faults": frozenset({"errors", "obs"}),
     # Paper foundations (BitString, Algorithms 1/2, QED, order keys).
-    "core": frozenset({"errors", "obs"}),
+    "core": frozenset({"errors", "faults", "obs"}),
     # The XML document model is independent of encodings.
     "xmltree": frozenset({"errors"}),
     # Dataset generators build documents only.
@@ -68,13 +72,22 @@ LAYERS: dict[str, frozenset[str] | str] = {
     # Labeling schemes sit on the encodings and the tree model —
     # never on storage, query, or relational (Property 5.1: encodings
     # and schemes stay orthogonal to how labels are stored or queried).
-    "labeling": frozenset({"errors", "core", "obs", "xmltree"}),
-    "storage": frozenset({"errors", "core", "labeling", "obs", "xmltree"}),
+    "labeling": frozenset({"errors", "core", "faults", "obs", "xmltree"}),
+    "storage": frozenset(
+        {"errors", "core", "faults", "labeling", "obs", "xmltree"}
+    ),
     "query": frozenset({"errors", "core", "labeling", "obs", "xmltree"}),
     "relational": frozenset(
         {"errors", "core", "labeling", "query", "xmltree"}
     ),
     "updates": frozenset(
+        {"errors", "core", "faults", "labeling", "obs", "storage", "xmltree"}
+    ),
+    # The integrity verifier reads every structure the update path
+    # mutates (labels, order index, SC groups, page offsets) but never
+    # mutates anything itself, so it sits beside `updates`, above
+    # storage and labeling.
+    "verify": frozenset(
         {"errors", "core", "labeling", "obs", "storage", "xmltree"}
     ),
     # Facades and harnesses.

@@ -10,6 +10,7 @@ from repro.analysis.rules import (  # noqa: F401  (import for registration)
     layering,
     raw_bits,
     raw_compare,
+    swallowing,
     timing,
     unguarded_codes,
 )
@@ -19,6 +20,7 @@ __all__ = [
     "layering",
     "raw_bits",
     "raw_compare",
+    "swallowing",
     "timing",
     "unguarded_codes",
 ]

@@ -1,0 +1,103 @@
+"""RPR007 — silently swallowed exceptions in library code.
+
+The transaction layer (ISSUE 4) only works if failures *propagate*: an
+undo log can roll an aborted operation back precisely because the
+exception that interrupted it reaches :class:`repro.updates.txn.Transaction`.
+A handler that eats the error instead leaves the mutation half-applied
+with nothing to unwind it — the exact corruption class the undo log
+exists to prevent.  RPR007 therefore bans, in modules under ``repro``:
+
+* **bare** ``except:`` — catches ``SystemExit``/``KeyboardInterrupt``
+  too, regardless of the handler body (RPR005 warns on this everywhere;
+  inside the library it is an error);
+* ``except Exception:`` / ``except BaseException:`` (or a tuple
+  containing them) whose body is only ``pass`` / ``...`` — the classic
+  silent swallow.
+
+Catching broad types and *doing something* (logging, wrapping,
+re-raising, recording a fallback) stays legal: the undo log itself
+catches ``BaseException`` to wrap it in ``RollbackError``.  Scripts and
+benchmarks are out of scope — a demo may ignore errors by design.
+Suppress a deliberate case with ``# repro: allow-swallow`` and a
+justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import ModuleContext, Rule, register
+
+__all__ = ["SwallowedExceptionRule"]
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _library_module(module: ModuleContext) -> bool:
+    if module.module_name is None:
+        return False
+    return module.module_name.split(".")[0] == "repro"
+
+
+def _broad_type_name(node: ast.AST | None) -> str | None:
+    """The broad exception name an ``except`` clause catches, if any."""
+    if isinstance(node, ast.Name) and node.id in _BROAD_NAMES:
+        return node.id
+    if isinstance(node, ast.Tuple):
+        for element in node.elts:
+            name = _broad_type_name(element)
+            if name is not None:
+                return name
+    return None
+
+
+def _body_swallows(body: list[ast.stmt]) -> bool:
+    """True when the handler body does nothing with the exception."""
+    for statement in body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if isinstance(statement, ast.Expr) and (
+            isinstance(statement.value, ast.Constant)
+            and statement.value.value is Ellipsis
+        ):
+            continue
+        return False
+    return True
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    id = "RPR007"
+    slug = "swallow"
+    severity = Severity.ERROR
+    description = (
+        "bare 'except:' or silently swallowed broad exceptions in "
+        "repro modules; let failures reach the transaction layer"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not _library_module(module):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield module.finding(
+                    self,
+                    node,
+                    "bare 'except:' in library code; name the exception "
+                    "and let everything else propagate to the "
+                    "transaction rollback",
+                )
+                continue
+            broad = _broad_type_name(node.type)
+            if broad is not None and _body_swallows(node.body):
+                yield module.finding(
+                    self,
+                    node,
+                    f"'except {broad}: pass' silently swallows failures "
+                    f"the undo log must see; handle the error or let it "
+                    f"propagate",
+                )

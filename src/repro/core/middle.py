@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from repro.core.bitstring import BitString
 from repro.errors import InvalidCodeError, NotOrderedError
+from repro.faults import FAULTS
 from repro.obs import OBS
 
 __all__ = [
@@ -56,6 +57,8 @@ def assign_middle_binary_string(left: BitString, right: BitString) -> BitString:
         NotOrderedError: if both endpoints are non-empty and
             ``left ≺ right`` does not hold.
     """
+    if FAULTS.enabled:
+        FAULTS.hit("middle.assign")
     _check_endpoint(left, "left")
     _check_endpoint(right, "right")
     if left and right and not left < right:

@@ -73,6 +73,57 @@ class PrecisionExhausted(RelabelRequired):
         self.right = right
 
 
+class UpdateAborted(ReproError):
+    """A structural update failed mid-flight and was rolled back.
+
+    Raised by :class:`~repro.updates.txn.Transaction` after the undo log
+    has restored the exact pre-operation state, so the caller knows two
+    things at once: *what* failed (``original``, also chained as
+    ``__cause__``) and that the document, its indexes and the page store
+    are still mutually consistent.
+    """
+
+    def __init__(self, op: str, original: BaseException) -> None:
+        super().__init__(
+            f"update {op!r} failed and was rolled back to the "
+            f"pre-operation state: {original!r}"
+        )
+        self.op = op
+        self.original = original
+
+
+class RollbackError(ReproError):
+    """An undo entry itself failed while rolling a transaction back.
+
+    This is always a bug in the undo log (inverse operations touch raw
+    state and pass through no fault points); the document may be left
+    inconsistent, which is why the partially-unwound transaction does
+    not swallow it.
+    """
+
+
+class InjectedFault(ReproError):
+    """A deterministic fault raised by :mod:`repro.faults`.
+
+    Never raised in production paths unless a :class:`FaultPlan` is
+    armed; chaos tests use it to prove every mutation site rolls back.
+    """
+
+    def __init__(self, site: str, hit: int, message: str = "") -> None:
+        detail = f": {message}" if message else ""
+        super().__init__(f"injected fault at {site!r} (hit #{hit}){detail}")
+        self.site = site
+        self.hit = hit
+
+
+class TransientFault(InjectedFault):
+    """An injected fault a bounded retry may clear (e.g. a flaky write)."""
+
+
+class PersistentFault(InjectedFault):
+    """An injected fault that fires on every retry of the same site."""
+
+
 class XMLParseError(ReproError, ValueError):
     """Malformed XML input fed to :mod:`repro.xmltree.parser`."""
 

@@ -1,0 +1,37 @@
+"""Deterministic fault injection for robustness testing.
+
+The package follows the seeded fault-plan + oracle-comparison pattern:
+arm a :class:`FaultPlan` on the process-wide :data:`FAULTS` registry,
+run an update, and compare the rolled-back state against a fault-free
+oracle.  Sites pay one attribute check when nothing is armed, so the
+instrumentation is free in production paths.
+
+See ``docs/ROBUSTNESS.md`` for the fault-plan format and the chaos
+matrix that sweeps schemes x sites x seeds in CI (``make chaos``).
+"""
+
+from repro.errors import InjectedFault, PersistentFault, TransientFault
+from repro.faults.plan import (
+    KNOWN_SITES,
+    PERSISTENT,
+    TRANSIENT,
+    FaultPlan,
+    FaultPoint,
+)
+from repro.faults.registry import FAULTS, FaultRegistry
+from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+
+__all__ = [
+    "FAULTS",
+    "FaultRegistry",
+    "FaultPlan",
+    "FaultPoint",
+    "KNOWN_SITES",
+    "TRANSIENT",
+    "PERSISTENT",
+    "InjectedFault",
+    "TransientFault",
+    "PersistentFault",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+]

@@ -1,0 +1,194 @@
+"""Deterministic fault plans: *where* and *when* an injected fault fires.
+
+A :class:`FaultPoint` arms one instrumented site — e.g. the k-th page
+write of a run — with a transient or persistent failure.  A
+:class:`FaultPlan` is an ordered collection of points plus the seed that
+produced it, so a failing chaos cell can be serialized (``to_dict``),
+uploaded as a CI artifact, and replayed bit-for-bit (``from_dict``).
+
+The known sites are the four the update path exercises:
+
+========================  ====================================================
+site                      instrumented in
+========================  ====================================================
+``pager.page_write``      :meth:`repro.storage.pager.PageStore` mutation paths
+                          (one hit per page written; retried when transient)
+``label.write``           :meth:`repro.labeling.base.LabeledDocument.set_label`
+``middle.assign``         :func:`repro.core.middle.assign_middle_binary_string`
+``relabel.step``          the per-node loop of every scheme's re-label fallback
+========================  ====================================================
+
+Sites are plain strings, so experiments can add ad-hoc ones without
+registration ceremony — but :data:`KNOWN_SITES` is what the chaos
+matrix sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import InjectedFault, PersistentFault, TransientFault
+
+__all__ = [
+    "KNOWN_SITES",
+    "TRANSIENT",
+    "PERSISTENT",
+    "FaultPoint",
+    "FaultPlan",
+]
+
+KNOWN_SITES: tuple[str, ...] = (
+    "pager.page_write",
+    "label.write",
+    "middle.assign",
+    "relabel.step",
+)
+
+TRANSIENT = "transient"
+PERSISTENT = "persistent"
+_KINDS = (TRANSIENT, PERSISTENT)
+
+
+@dataclass(frozen=True)
+class FaultPoint:
+    """One armed failure: the ``at``-th hit of ``site`` raises.
+
+    Args:
+        site: instrumented site name (see :data:`KNOWN_SITES`).
+        at: 1-based hit ordinal that triggers the fault.
+        kind: ``"transient"`` (clears after ``fires`` raises — a retry
+            may succeed) or ``"persistent"`` (every hit >= ``at``
+            raises — retries are futile).
+        fires: transient only — how many consecutive hits fail before
+            the site recovers.  ``fires`` below a retry policy's budget
+            models a blip the store absorbs; at or above it, the
+            exhausted retry propagates.
+    """
+
+    site: str
+    at: int = 1
+    kind: str = TRANSIENT
+    fires: int = 1
+
+    def __post_init__(self) -> None:
+        if self.at < 1:
+            raise ValueError(f"fault ordinal must be >= 1, got {self.at}")
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"fault kind must be one of {_KINDS}, got {self.kind!r}"
+            )
+        if self.fires < 1:
+            raise ValueError(f"fires must be >= 1, got {self.fires}")
+
+    def error_for(self, hit: int) -> InjectedFault | None:
+        """The exception the ``hit``-th site hit should raise, if any."""
+        if hit < self.at:
+            return None
+        if self.kind == PERSISTENT:
+            return PersistentFault(self.site, hit)
+        if hit < self.at + self.fires:
+            return TransientFault(self.site, hit)
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "site": self.site,
+            "at": self.at,
+            "kind": self.kind,
+            "fires": self.fires,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPoint":
+        return cls(
+            site=data["site"],
+            at=int(data.get("at", 1)),
+            kind=data.get("kind", TRANSIENT),
+            fires=int(data.get("fires", 1)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible set of fault points, tagged with its seed.
+
+    Plans are immutable and serializable so that the chaos harness can
+    write every *failing* cell's plan to its artifact file; re-arming
+    the deserialized plan replays the identical failure.
+    """
+
+    points: tuple[FaultPoint, ...] = ()
+    seed: int | None = None
+    note: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        sites = [point.site for point in self.points]
+        if len(sites) != len(set(sites)):
+            raise ValueError(
+                "a plan arms each site at most once; split multi-fault "
+                "scenarios across sequential plans"
+            )
+
+    @classmethod
+    def single(
+        cls,
+        site: str,
+        at: int = 1,
+        *,
+        kind: str = PERSISTENT,
+        fires: int = 1,
+        note: str = "",
+    ) -> "FaultPlan":
+        """The common one-site plan chaos cells use."""
+        return cls(
+            points=(FaultPoint(site, at, kind, fires),), note=note
+        )
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        *,
+        sites: tuple[str, ...] = KNOWN_SITES,
+        max_at: int = 8,
+        kind: str = PERSISTENT,
+    ) -> "FaultPlan":
+        """Derive one pseudo-random single-site plan from ``seed``.
+
+        Deterministic: the same seed always arms the same (site, at)
+        pair, which is how a chaos sweep turns a seed list into a
+        reproducible fault matrix without enumerating every ordinal.
+        """
+        rng = random.Random(seed)
+        site = sites[rng.randrange(len(sites))]
+        at = rng.randint(1, max_at)
+        return cls(
+            points=(FaultPoint(site, at, kind),),
+            seed=seed,
+            note=f"seeded({seed})",
+        )
+
+    def point_for(self, site: str) -> FaultPoint | None:
+        for point in self.points:
+            if point.site == site:
+                return point
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "note": self.note,
+            "points": [point.to_dict() for point in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(
+            points=tuple(
+                FaultPoint.from_dict(entry)
+                for entry in data.get("points", [])
+            ),
+            seed=data.get("seed"),
+            note=data.get("note", ""),
+        )

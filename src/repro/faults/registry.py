@@ -1,0 +1,104 @@
+"""The process-local fault registry and the instrumented-site hook.
+
+Mirrors the :mod:`repro.obs` design: one module-level singleton
+(:data:`FAULTS`), a plain ``enabled`` attribute so every instrumented
+site pays exactly one attribute check when no plan is armed, and a
+context manager (:meth:`FaultRegistry.armed`) that guarantees disarming
+even when the injected fault propagates through the caller.
+
+Instrumented code calls::
+
+    if FAULTS.enabled:
+        FAULTS.hit("pager.page_write", count=pages)
+
+``hit`` counts site occurrences and raises the armed
+:class:`~repro.errors.InjectedFault` subclass when the plan's ordinal
+comes up.  Counting is *per armed plan*: arming resets every site
+counter, so the k-th hit is always relative to the moment the plan was
+armed — what makes a replayed plan deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+from contextlib import contextmanager
+
+from repro.faults.plan import FaultPlan
+from repro.obs import OBS
+
+__all__ = ["FaultRegistry", "FAULTS"]
+
+
+class FaultRegistry:
+    """Counts instrumented-site hits and raises armed faults."""
+
+    __slots__ = ("enabled", "_plan", "_hits")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._plan: FaultPlan | None = None
+        self._hits: dict[str, int] = {}
+
+    # -- arming ------------------------------------------------------------
+
+    def arm(self, plan: FaultPlan) -> None:
+        """Install ``plan`` and reset every site counter."""
+        self._plan = plan
+        self._hits = {}
+        self.enabled = True
+
+    def disarm(self) -> None:
+        """Remove the plan; instrumented sites go back to one attribute
+        check of overhead."""
+        self._plan = None
+        self._hits = {}
+        self.enabled = False
+
+    @contextmanager
+    def armed(self, plan: FaultPlan) -> Iterator["FaultRegistry"]:
+        """Arm ``plan`` for the duration of a ``with`` block."""
+        self.arm(plan)
+        try:
+            yield self
+        finally:
+            self.disarm()
+
+    @property
+    def plan(self) -> FaultPlan | None:
+        return self._plan
+
+    # -- the instrumented-site hook ----------------------------------------
+
+    def hit(self, site: str, count: int = 1) -> None:
+        """Record ``count`` occurrences of ``site``; raise if armed.
+
+        When the armed ordinal falls inside the batch, the counter is
+        advanced to the raising occurrence before the fault propagates,
+        so a retry of the same batch sees fresh ordinals (transients
+        clear; persistents keep firing).
+        """
+        if not self.enabled:
+            return
+        plan = self._plan
+        if plan is None:
+            return
+        point = plan.point_for(site)
+        seen = self._hits.get(site, 0)
+        if point is None:
+            self._hits[site] = seen + count
+            return
+        for ordinal in range(seen + 1, seen + count + 1):
+            error = point.error_for(ordinal)
+            if error is not None:
+                self._hits[site] = ordinal
+                OBS.inc("faults.injected")
+                raise error
+        self._hits[site] = seen + count
+
+    def hits_of(self, site: str) -> int:
+        """Occurrences of ``site`` counted since the plan was armed."""
+        return self._hits.get(site, 0)
+
+
+FAULTS = FaultRegistry()
+"""The registry every instrumented site consults (one per process)."""

@@ -1,0 +1,57 @@
+"""Bounded retry with modeled exponential backoff.
+
+Real storage engines absorb transient write failures by retrying with
+backoff; the page store does the same for :class:`TransientFault`.  The
+backoff is *modeled* (seconds are computed, never slept — rule RPR006
+keeps wall clocks out of library code, and tests must stay fast): the
+caller folds :meth:`RetryPolicy.backoff_seconds` into its I/O cost the
+same way :class:`~repro.storage.pager.IOCostModel` charges page time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "DEFAULT_RETRY_POLICY"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a transient fault, and at what cost.
+
+    Attributes:
+        max_attempts: total tries including the first (so 3 means the
+            original attempt plus two retries).
+        backoff_base_seconds: modeled delay before the first retry.
+        backoff_factor: multiplier per subsequent retry (exponential).
+    """
+
+    max_attempts: int = 3
+    backoff_base_seconds: float = 0.001
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base_seconds < 0:
+            raise ValueError("backoff_base_seconds must be non-negative")
+        if self.backoff_factor < 1:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def backoff_seconds(self, retry: int) -> float:
+        """Modeled delay before the ``retry``-th retry (1-based)."""
+        if retry < 1:
+            raise ValueError(f"retry ordinal must be >= 1, got {retry}")
+        return self.backoff_base_seconds * self.backoff_factor ** (retry - 1)
+
+    def total_backoff_seconds(self, retries: int) -> float:
+        """Modeled delay accumulated over ``retries`` retries."""
+        return sum(
+            self.backoff_seconds(retry) for retry in range(1, retries + 1)
+        )
+
+
+DEFAULT_RETRY_POLICY = RetryPolicy()
+"""The page store's default: 3 attempts, 1 ms doubling backoff."""

@@ -22,14 +22,19 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from functools import partial
 from typing import Any
 
 from repro.core.orderindex import OrderStatisticTree
 from repro.errors import UnsupportedOperationError
+from repro.faults import FAULTS
 from repro.xmltree.document import Document
 from repro.xmltree.node import Node, NodeKind
 
 __all__ = ["UpdateStats", "LabeledDocument", "LabelingScheme", "compact_labels"]
+
+_MISSING = object()
+"""Sentinel distinguishing "no label recorded" from a ``None`` label."""
 
 
 @dataclass
@@ -92,6 +97,11 @@ class LabeledDocument:
         self.tag_index: dict[str, list[Node]] = {}
         self.extra: dict[str, Any] = {}
         self._tag_bytes_cache: dict[str | None, int] = {}
+        #: Duck-typed transaction hook: :class:`repro.updates.txn.Transaction`
+        #: binds its undo log here so every mutation below records its
+        #: inverse.  ``None`` (the default) keeps mutations log-free, and
+        #: keeps this layer from importing ``updates`` (RPR004).
+        self.undo_log: Any = None
 
     # -- label access ------------------------------------------------------
 
@@ -99,6 +109,17 @@ class LabeledDocument:
         return self.labels[id(node)]
 
     def set_label(self, node: Node, label: Any) -> None:
+        if FAULTS.enabled:
+            FAULTS.hit("label.write")
+        log = self.undo_log
+        if log is not None:
+            labels = self.labels
+            node_id = id(node)
+            previous = labels.get(node_id, _MISSING)
+            if previous is _MISSING:
+                log.record(partial(labels.pop, node_id, None))
+            else:
+                log.record(partial(labels.__setitem__, node_id, previous))
         self.labels[id(node)] = label
 
     def total_label_bits(self) -> int:
@@ -117,10 +138,59 @@ class LabeledDocument:
         """
         return self.nodes_in_order.position(node)
 
+    # -- structural splices (undo-aware tree edits) -------------------------
+
+    def splice_in(self, parent: Node, index: int, child: Node) -> Node:
+        """Attach ``child`` at ``parent.children[index]``; inverse: detach.
+
+        Schemes route tree attachment through this (rather than calling
+        ``parent.insert_child`` directly) so a transaction can unwind
+        the splice on failure.
+        """
+        parent.insert_child(index, child)
+        log = self.undo_log
+        if log is not None:
+            log.record(child.detach)
+        return child
+
+    def splice_out(self, node: Node) -> Node:
+        """Detach ``node`` from its parent; inverse: re-attach in place."""
+        log = self.undo_log
+        if log is not None:
+            parent = node.parent
+            if parent is not None:
+                index = parent.index_of_child(node)
+                log.record(partial(parent.insert_child, index, node))
+        node.detach()
+        return node
+
+    def _restore_order_state(
+        self,
+        nodes_in_order: OrderStatisticTree,
+        tag_index: dict[str, list[Node]],
+        tag_bytes_cache: dict[str | None, int],
+    ) -> None:
+        """Undo hook for :meth:`rebuild_order`: swap the old indexes back."""
+        self.nodes_in_order = nodes_in_order
+        self.tag_index = tag_index
+        self._tag_bytes_cache = tag_bytes_cache
+
     # -- index maintenance ---------------------------------------------------
 
     def rebuild_order(self) -> None:
         """Recompute document order and the tag index from the tree."""
+        log = self.undo_log
+        if log is not None:
+            # The rebuild replaces the index objects rather than mutating
+            # them, so the inverse is an O(1) reference swap.
+            log.record(
+                partial(
+                    self._restore_order_state,
+                    self.nodes_in_order,
+                    self.tag_index,
+                    self._tag_bytes_cache,
+                )
+            )
         self.nodes_in_order = OrderStatisticTree(
             self.document.pre_order(), track_identity=True
         )
@@ -163,6 +233,21 @@ class LabeledDocument:
         from the tree itself, so the list stays sorted by document order.
         """
         new_nodes = list(subtree_root.pre_order())
+        log = self.undo_log
+        if log is not None:
+            old_cache = self._tag_bytes_cache
+
+            def undo_register() -> None:
+                for node in new_nodes:
+                    if node.kind is NodeKind.ELEMENT:
+                        bucket = self.tag_index.get(node.name)
+                        if bucket:
+                            self._bucket_discard(bucket, node)
+                start = self.nodes_in_order.position(subtree_root)
+                self.nodes_in_order.delete_run(start, len(new_nodes))
+                self._tag_bytes_cache = old_cache
+
+            log.record(undo_register)
         self._tag_bytes_cache = {}
         position = self._order_position(subtree_root)
         self.nodes_in_order.insert_run(position, new_nodes)
@@ -182,6 +267,31 @@ class LabeledDocument:
         (the search keys need them).
         """
         removed = list(subtree_root.pre_order())
+        log = self.undo_log
+        if log is not None:
+            # Captured *before* the mutation: the labels about to be
+            # dropped and the order-index position of the run.  At
+            # rollback time every later mutation has already been
+            # unwound, so re-inserting the run at the same position and
+            # restoring the saved labels reproduces the pre-call state.
+            saved_labels = [
+                (node, self.labels.get(id(node), _MISSING)) for node in removed
+            ]
+            saved_position = self.nodes_in_order.position(subtree_root)
+            old_cache = self._tag_bytes_cache
+
+            def undo_unregister() -> None:
+                for node, label in saved_labels:
+                    if label is not _MISSING:
+                        self.labels[id(node)] = label
+                self.nodes_in_order.insert_run(saved_position, removed)
+                for node in removed:
+                    if node.kind is NodeKind.ELEMENT:
+                        bucket = self.tag_index.setdefault(node.name, [])
+                        bucket.insert(self._tag_position(node, bucket), node)
+                self._tag_bytes_cache = old_cache
+
+            log.record(undo_unregister)
         self._tag_bytes_cache = {}
         position = self.nodes_in_order.position(subtree_root)
         for node in removed:
@@ -359,7 +469,7 @@ class LabelingScheme(ABC):
         labels; Prime overrides it because SC values embed positions.
         """
         removed = labeled.unregister_subtree(subtree_root)
-        subtree_root.detach()
+        labeled.splice_out(subtree_root)
         return UpdateStats(deleted_nodes=len(removed))
 
     def __repr__(self) -> str:

@@ -19,9 +19,11 @@ the nodes after this inserted node in document order" (Table 4).
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any
 
 from repro.errors import RelabelRequired
+from repro.faults import FAULTS
 from repro.labeling.base import LabeledDocument, LabelingScheme, UpdateStats
 from repro.obs import OBS
 from repro.labeling.codecs import (
@@ -74,6 +76,26 @@ class ContainmentLabel:
 
     def __repr__(self) -> str:
         return f"ContainmentLabel({self.start!r}, {self.end!r}, {self.level})"
+
+
+def _codec_state_undo(codec: IntervalCodec):
+    """Closure restoring a codec's mutable bulk-encoding state.
+
+    ``bulk()`` re-derives the length-field width (V-CDBS) or code width
+    (F-CDBS) for the new document size; the attribute set here matches
+    the one :mod:`repro.storage.labelfile` persists as scheme config.
+    """
+    saved = {
+        attr: getattr(codec, attr)
+        for attr in ("_field_bits", "_width")
+        if hasattr(codec, attr)
+    }
+
+    def undo() -> None:
+        for attr, value in saved.items():
+            setattr(codec, attr, value)
+
+    return undo
 
 
 def _values_between(
@@ -219,7 +241,7 @@ class ContainmentScheme(LabelingScheme):
         except RelabelRequired:
             return self._insert_with_relabel(labeled, parent, index, subtree_root)
 
-        parent.insert_child(index, subtree_root)
+        labeled.splice_in(parent, index, subtree_root)
         self._label_subtree(labeled, subtree_root, values, parent_label.level + 1)
         labeled.register_subtree(subtree_root)
         if OBS.enabled:
@@ -275,12 +297,26 @@ class ContainmentScheme(LabelingScheme):
             node_id: (label.start, label.end, label.level)
             for node_id, label in labeled.labels.items()
         }
-        parent.insert_child(index, subtree_root)
+        log = labeled.undo_log
+        if log is not None:
+            # bulk() re-derives width/length-field state on the codec; a
+            # rollback must put those attributes back or later inserts
+            # would encode against the aborted relabel's geometry.
+            log.record(_codec_state_undo(self.codec))
+            log.record(partial(setattr, labeled, "labels", labeled.labels))
+            labeled.labels = dict(labeled.labels)
+        if FAULTS.enabled:
+            FAULTS.hit("relabel.step")  # step: before the structural insert
+        labeled.splice_in(parent, index, subtree_root)
         labeled.rebuild_order()
+        if FAULTS.enabled:
+            FAULTS.hit("relabel.step")  # step: order rebuilt, labels stale
         count = len(labeled.nodes_in_order)
         values = self.codec.bulk(2 * count)
         labeled.labels.clear()
         self._assign_all(labeled, values)
+        if FAULTS.enabled:
+            FAULTS.hit("relabel.step")  # step: every label reassigned
 
         new_node_ids = {id(node) for node in subtree_root.pre_order()}
         key = self.codec.key
@@ -383,7 +419,7 @@ def _containment_insert_run(
     stats = UpdateStats()
     for offset, subtree_root in enumerate(subtree_roots):
         size = subtree_root.subtree_size()
-        parent.insert_child(index + offset, subtree_root)
+        labeled.splice_in(parent, index + offset, subtree_root)
         scheme._label_subtree(
             labeled,
             subtree_root,

@@ -33,6 +33,7 @@ from repro.core.cdbs import vcdbs_encode
 from repro.core.middle import assign_middle_binary_string
 from repro.core.qed import assign_middle_quaternary, qed_encode
 from repro.errors import InvalidCodeError, LengthFieldOverflow, RelabelRequired
+from repro.faults import FAULTS
 from repro.labeling.base import LabeledDocument, LabelingScheme, UpdateStats
 from repro.obs import OBS
 from repro.xmltree.document import Document
@@ -470,7 +471,7 @@ class PrefixScheme(LabelingScheme):
             return self._insert_with_relabel(
                 labeled, parent, index, subtree_root
             )
-        parent.insert_child(index, subtree_root)
+        labeled.splice_in(parent, index, subtree_root)
         root_label = parent_label + (component,)
         labeled.set_label(subtree_root, root_label)
         self._label_children(labeled, subtree_root, root_label)
@@ -493,13 +494,15 @@ class PrefixScheme(LabelingScheme):
     ) -> UpdateStats:
         """DeweyID-style fallback: re-label the following siblings and
         their descendants (Section 2.2)."""
-        parent.insert_child(index, subtree_root)
+        labeled.splice_in(parent, index, subtree_root)
         parent_label: tuple = labeled.label_of(parent)
         components = self.policy.bulk(len(parent.children))
         relabeled = 0
         for position, (child, component) in enumerate(
             zip(parent.children, components)
         ):
+            if FAULTS.enabled:
+                FAULTS.hit("relabel.step")  # one step per renumbered sibling
             child_label = parent_label + (component,)
             if position == index:
                 labeled.set_label(child, child_label)
@@ -630,7 +633,7 @@ def _prefix_insert_run(
     for offset, (subtree_root, component) in enumerate(
         zip(subtree_roots, components)
     ):
-        parent.insert_child(index + offset, subtree_root)
+        labeled.splice_in(parent, index + offset, subtree_root)
         root_label = parent_label + (component,)
         labeled.set_label(subtree_root, root_label)
         scheme._label_children(labeled, subtree_root, root_label)

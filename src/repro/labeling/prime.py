@@ -26,10 +26,12 @@ Two deliberate, documented deviations that keep the arithmetic sound:
 from __future__ import annotations
 
 import math
+from functools import partial
 from itertools import islice
 
 import numpy as np
 
+from repro.faults import FAULTS
 from repro.labeling.base import LabeledDocument, LabelingScheme, UpdateStats
 from repro.obs import OBS
 from repro.xmltree.document import Document
@@ -158,6 +160,24 @@ class PrimeScheme(LabelingScheme):
         charges Prime for), never in the whole document.
         """
         groups: list[ScGroup] = labeled.extra.setdefault("sc_groups", [])
+        log = labeled.undo_log
+        saved_label_groups: list[tuple[PrimeLabel, ScGroup | None]] | None
+        if log is not None:
+            # The closure is recorded up front but keeps filling as the
+            # walk overwrites each label's group, so a fault mid-suffix
+            # still unwinds exactly the labels touched so far.
+            saved_tail = groups[from_group:]
+            saved_label_groups = []
+
+            def undo_groups() -> None:
+                del groups[from_group:]
+                groups.extend(saved_tail)
+                for label, old_group in reversed(saved_label_groups):
+                    label.group = old_group
+
+            log.record(undo_groups)
+        else:
+            saved_label_groups = None
         del groups[from_group:]
         nodes = labeled.nodes_in_order
         start = min(from_group * GROUP_SIZE, len(nodes))
@@ -167,6 +187,10 @@ class PrimeScheme(LabelingScheme):
             members = list(islice(suffix, GROUP_SIZE))
             if not members:
                 break
+            if FAULTS.enabled:
+                # SC recomputation is Prime's relabel analogue: each
+                # group re-solved is one step.
+                FAULTS.hit("relabel.step")
             labels = [labeled.label_of(node) for node in members]
             group = ScGroup(
                 index=len(groups),
@@ -174,6 +198,8 @@ class PrimeScheme(LabelingScheme):
                 orders=list(range(1, len(members) + 1)),
             )
             for label in labels:
+                if saved_label_groups is not None:
+                    saved_label_groups.append((label, label.group))
                 label.group = group
             groups.append(group)
             rebuilt += 1
@@ -213,6 +239,11 @@ class PrimeScheme(LabelingScheme):
 
     def _take_primes(self, labeled: LabeledDocument, count: int) -> list[int]:
         floor = labeled.extra.get("next_prime_floor", _MIN_PRIME)
+        log = labeled.undo_log
+        if log is not None:
+            log.record(
+                partial(labeled.extra.__setitem__, "next_prime_floor", floor)
+            )
         primes = first_primes(count, minimum=floor)
         labeled.extra["next_prime_floor"] = primes[-1] + 1 if primes else floor
         return primes
@@ -227,7 +258,7 @@ class PrimeScheme(LabelingScheme):
         if id(parent) not in labeled.labels:
             raise ValueError("parent does not belong to the labeled document")
         index = max(0, min(index, len(parent.children)))
-        parent.insert_child(index, subtree_root)
+        labeled.splice_in(parent, index, subtree_root)
         new_nodes = list(subtree_root.pre_order())
         primes = iter(self._take_primes(labeled, len(new_nodes)))
         for node in new_nodes:
@@ -255,7 +286,7 @@ class PrimeScheme(LabelingScheme):
     ) -> UpdateStats:
         position = labeled.position_of(subtree_root)
         removed = labeled.unregister_subtree(subtree_root)
-        subtree_root.detach()
+        labeled.splice_out(subtree_root)
         recomputed = self._rebuild_groups(
             labeled, from_group=position // GROUP_SIZE
         )

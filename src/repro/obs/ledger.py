@@ -141,6 +141,23 @@ class CostLedger:
         """Cheap copy of the totals map, for before/after cost deltas."""
         return dict(self.totals)
 
+    def state_snapshot(self) -> dict:
+        """Full copy of totals *and* per-op attribution.
+
+        Taken by :class:`repro.updates.txn.Transaction` at begin so a
+        rollback can return the ledger — not just the document — to the
+        exact pre-operation state via :meth:`restore`.
+        """
+        return {
+            "totals": dict(self.totals),
+            "by_op": {op: dict(units) for op, units in self.by_op.items()},
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reset the ledger to a :meth:`state_snapshot` capture."""
+        self.totals = dict(state["totals"])
+        self.by_op = {op: dict(units) for op, units in state["by_op"].items()}
+
     def clear(self) -> None:
         self.totals.clear()
         self.by_op.clear()

@@ -7,7 +7,12 @@ from repro.storage.encoding import (
     encode_labels,
     make_label_codec,
 )
-from repro.storage.labelfile import LabelFileError, load_labeled, save_labeled
+from repro.storage.labelfile import (
+    FORMAT_VERSION,
+    LabelFileError,
+    load_labeled,
+    save_labeled,
+)
 from repro.storage.labelstore import LabelStore
 from repro.storage.pager import (
     DEFAULT_PAGE_BYTES,
@@ -26,6 +31,7 @@ __all__ = [
     "save_labeled",
     "load_labeled",
     "LabelFileError",
+    "FORMAT_VERSION",
     "LabelStore",
     "PageStore",
     "BufferPool",

@@ -6,18 +6,27 @@ real CDBS deployment would keep in its catalog plus label file.  A
 reloaded document answers queries identically to the original without
 re-labeling anything.
 
-Format (all integers ASCII in the header, binary payloads after)::
+Format v2 (all integers ASCII in the header, binary payloads after)::
 
-    RPRO-LABELS-1\\n
+    RPRO-LABELS-2\\n
     <scheme name>\\n
     <config json>\\n
-    <xml byte length> <label byte length>\\n
+    <xml byte length> <label byte length> <crc32 of payload>\\n
     <xml bytes><label bytes>
+
+The version lives in the magic line; the CRC-32 covers the
+concatenated payload (XML bytes then label bytes), so a flipped bit
+anywhere in the body is caught before decoding is attempted.  Bundles
+written by version 1 (no checksum field) still load; new bundles are
+always written as v2.  Every malformation — bad magic, short header,
+checksum mismatch, undecodable XML or label stream, unknown scheme —
+surfaces as :class:`LabelFileError`, never a raw parser exception.
 """
 
 from __future__ import annotations
 
 import json
+import zlib
 from pathlib import Path
 from typing import Any
 
@@ -28,9 +37,13 @@ from repro.labeling.prime import PrimeScheme
 from repro.storage.encoding import decode_labels, encode_labels
 from repro.xmltree import parse_document, serialize_document
 
-__all__ = ["save_labeled", "load_labeled", "LabelFileError"]
+__all__ = ["save_labeled", "load_labeled", "LabelFileError", "FORMAT_VERSION"]
 
-_MAGIC = b"RPRO-LABELS-1\n"
+_MAGIC_V1 = b"RPRO-LABELS-1\n"
+_MAGIC_V2 = b"RPRO-LABELS-2\n"
+
+FORMAT_VERSION = 2
+"""The bundle format version :func:`save_labeled` writes."""
 
 
 class LabelFileError(ReproError):
@@ -57,14 +70,15 @@ def _apply_scheme_config(scheme, config: dict[str, Any]) -> None:
 
 
 def save_labeled(labeled: LabeledDocument, path: "str | Path") -> None:
-    """Write a labeled document bundle to ``path``."""
+    """Write a labeled document bundle (format v2) to ``path``."""
     xml_bytes = serialize_document(labeled.document).encode("utf-8")
     label_bytes = encode_labels(labeled)
+    checksum = zlib.crc32(xml_bytes + label_bytes)
     header = (
-        _MAGIC
+        _MAGIC_V2
         + f"{labeled.scheme.name}\n".encode("utf-8")
         + (json.dumps(_scheme_config(labeled.scheme)) + "\n").encode("utf-8")
-        + f"{len(xml_bytes)} {len(label_bytes)}\n".encode("ascii")
+        + f"{len(xml_bytes)} {len(label_bytes)} {checksum}\n".encode("ascii")
     )
     Path(path).write_bytes(header + xml_bytes + label_bytes)
 
@@ -72,20 +86,29 @@ def save_labeled(labeled: LabeledDocument, path: "str | Path") -> None:
 def load_labeled(path: "str | Path") -> LabeledDocument:
     """Reload a bundle; the result queries exactly like the original.
 
+    Accepts both format versions; only v2 carries a payload checksum.
+
     Raises:
-        LabelFileError: bad magic, malformed header, or a label count
+        LabelFileError: bad magic, malformed header, checksum mismatch,
+            an undecodable payload, an unknown scheme, or a label count
             that does not match the document.
     """
     data = Path(path).read_bytes()
-    if not data.startswith(_MAGIC):
+    if data.startswith(_MAGIC_V2):
+        version, rest = 2, data[len(_MAGIC_V2) :]
+    elif data.startswith(_MAGIC_V1):
+        version, rest = 1, data[len(_MAGIC_V1) :]
+    else:
         raise LabelFileError(f"{path}: not a repro label bundle")
-    rest = data[len(_MAGIC) :]
     try:
         scheme_line, rest = rest.split(b"\n", 1)
         config_line, rest = rest.split(b"\n", 1)
         sizes_line, rest = rest.split(b"\n", 1)
-        xml_size_text, label_size_text = sizes_line.split()
-        xml_size, label_size = int(xml_size_text), int(label_size_text)
+        fields = sizes_line.split()
+        if len(fields) != (3 if version == 2 else 2):
+            raise ValueError(f"expected {3 if version == 2 else 2} fields")
+        xml_size, label_size = int(fields[0]), int(fields[1])
+        checksum = int(fields[2]) if version == 2 else None
     except ValueError as error:
         raise LabelFileError(f"{path}: malformed header") from error
     if len(rest) != xml_size + label_size:
@@ -93,12 +116,29 @@ def load_labeled(path: "str | Path") -> LabeledDocument:
             f"{path}: payload is {len(rest)} bytes, header promises "
             f"{xml_size + label_size}"
         )
-    scheme = make_scheme(scheme_line.decode("utf-8"))
-    _apply_scheme_config(scheme, json.loads(config_line.decode("utf-8")))
-    document = parse_document(
-        rest[:xml_size].decode("utf-8"), keep_whitespace=True
-    )
-    labels = decode_labels(scheme, rest[xml_size:])
+    if checksum is not None and zlib.crc32(rest) != checksum:
+        raise LabelFileError(
+            f"{path}: payload checksum mismatch — the bundle is corrupt"
+        )
+    try:
+        scheme = make_scheme(scheme_line.decode("utf-8"))
+    except (KeyError, UnicodeDecodeError) as error:
+        raise LabelFileError(
+            f"{path}: unknown labeling scheme {scheme_line!r}"
+        ) from error
+    try:
+        _apply_scheme_config(scheme, json.loads(config_line.decode("utf-8")))
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise LabelFileError(f"{path}: malformed scheme config") from error
+    try:
+        document = parse_document(
+            rest[:xml_size].decode("utf-8"), keep_whitespace=True
+        )
+        labels = decode_labels(scheme, rest[xml_size:])
+    except LabelFileError:
+        raise
+    except (ReproError, ValueError, UnicodeDecodeError) as error:
+        raise LabelFileError(f"{path}: undecodable payload") from error
 
     labeled = LabeledDocument(document, scheme)
     labeled.rebuild_order()

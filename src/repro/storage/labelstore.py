@@ -54,6 +54,16 @@ class LabelStore:
         )
         self._load()
 
+    def bind_undo(self, log) -> None:
+        """Bind (or, with ``None``, unbind) a transaction's undo log.
+
+        Called by :class:`repro.updates.txn.Transaction`; both page
+        stores share the one log so a rollback unwinds label and SC
+        traffic in a single reverse pass.
+        """
+        self.pages.undo_log = log
+        self.sc_pages.undo_log = log
+
     def _label_bytes(self, node: Node) -> int:
         bits = self.labeled.scheme.label_bits(self.labeled.label_of(node))
         return max(1, -(-bits // 8))
@@ -88,6 +98,10 @@ class LabelStore:
         writes_before = (
             self.pages.counter.writes + self.sc_pages.counter.writes
         )
+        backoff_before = (
+            self.pages.retry_backoff_seconds
+            + self.sc_pages.retry_backoff_seconds
+        )
         pages = 0
         if stats.deleted_nodes:
             pages += self.pages.splice(position, [], removed=stats.deleted_nodes)
@@ -119,9 +133,7 @@ class LabelStore:
             read_pages = self.pages.pages_of_range(
                 position, self.pages.record_count() - 1
             )
-            self.pages.counter.reads += read_pages
-            if OBS.enabled:
-                OBS.charge("pager.pages_read", read_pages)
+            self.pages.charge_reads(read_pages)
             pages += read_pages
             total_groups = len(self.labeled.extra.get("sc_groups", []))
             if self.sc_pages.record_count() != total_groups:
@@ -134,7 +146,13 @@ class LabelStore:
         writes = (
             self.pages.counter.writes + self.sc_pages.counter.writes
         ) - writes_before
-        return pages, self.io_model.cost(reads, writes)
+        # Retried transient writes fold their modeled backoff into the
+        # update's I/O time (zero whenever no fault plan is armed).
+        backoff = (
+            self.pages.retry_backoff_seconds
+            + self.sc_pages.retry_backoff_seconds
+        ) - backoff_before
+        return pages, self.io_model.cost(reads, writes) + backoff
 
     def io_seconds_so_far(self) -> float:
         counter = self.pages.counter.merge(self.sc_pages.counter)

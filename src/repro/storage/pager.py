@@ -24,8 +24,11 @@ update path it is supposed to be measuring.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Callable
 
 from repro.core.orderindex import OrderStatisticTree
+from repro.errors import TransientFault
+from repro.faults import DEFAULT_RETRY_POLICY, FAULTS, RetryPolicy
 from repro.obs import OBS
 
 __all__ = ["IOCostModel", "PageCounter", "PageStore", "BufferPool"]
@@ -82,6 +85,7 @@ class PageStore:
         *,
         buffer_pool: "BufferPool | None" = None,
         namespace: str = "",
+        retry: RetryPolicy | None = None,
     ) -> None:
         if page_bytes <= 0:
             raise ValueError(f"page size must be positive, got {page_bytes}")
@@ -89,6 +93,15 @@ class PageStore:
         self.counter = PageCounter()
         self.buffer_pool = buffer_pool
         self.namespace = namespace
+        self.retry = DEFAULT_RETRY_POLICY if retry is None else retry
+        #: Modeled seconds spent in retry backoff (never slept — RPR006).
+        #: Monotone like the fault/retry counters: it records attempted
+        #: work, so rollback deliberately leaves it alone.
+        self.retry_backoff_seconds = 0.0
+        #: Duck-typed transaction hook, bound by
+        #: :class:`repro.updates.txn.Transaction` via the owning
+        #: :meth:`LabelStore.bind_undo`; ``None`` means log-free.
+        self.undo_log: Any = None
         self._records = OrderStatisticTree()  # weights = record sizes
 
     # -- layout ------------------------------------------------------------
@@ -98,14 +111,34 @@ class PageStore:
         for size in sizes_bytes:
             if size < 0:
                 raise ValueError(f"record size must be non-negative: {size}")
+        log = self.undo_log
+        if log is not None:
+            old_records = self._records
+            counters_undo = self._counters_undo()
+
+            def undo_load() -> None:
+                self._records = old_records
+                counters_undo()
+
+            log.record(undo_load)
         self._records = OrderStatisticTree(sizes_bytes, weights=sizes_bytes)
         pages = self.page_count()
         self.counter.writes += pages
+        self._write_pages(pages)
         if OBS.enabled:
             OBS.charge("pager.pages_written", pages)
 
     def record_count(self) -> int:
         return len(self._records)
+
+    def record_sizes(self) -> list[int]:
+        """Every record's byte size in storage order.
+
+        The integrity verifier recomputes offsets from these and checks
+        they agree with :meth:`total_bytes`; callers must treat the list
+        as a copy.
+        """
+        return list(self._records)
 
     def total_bytes(self) -> int:
         return self._records.total_weight()
@@ -137,6 +170,65 @@ class PageStore:
     def _pool_key(self, page_id: int) -> tuple[str, int]:
         return (self.namespace, page_id)
 
+    def _counters_undo(self) -> Callable[[], None]:
+        """A closure restoring the counters (and pool) to right now.
+
+        The buffer pool snapshot is bounded by the pool's capacity, so
+        the capture stays O(cache pages), not O(document).
+        """
+        reads, writes = self.counter.reads, self.counter.writes
+        pool = self.buffer_pool
+        pool_state = None if pool is None else pool.state_snapshot()
+
+        def undo() -> None:
+            self.counter.reads = reads
+            self.counter.writes = writes
+            if pool_state is not None:
+                pool.restore(pool_state)
+
+        return undo
+
+    def _write_pages(self, pages: int) -> None:
+        """The page-write fault point: every write path funnels through here.
+
+        With nothing armed this is one attribute check.  A
+        :class:`TransientFault` is retried up to the policy bound,
+        accumulating *modeled* backoff seconds (never slept — RPR006);
+        a persistent fault propagates to the enclosing transaction on
+        the first raise.
+        """
+        if not FAULTS.enabled:
+            return
+        attempt = 1
+        while True:
+            try:
+                FAULTS.hit("pager.page_write", count=pages)
+                return
+            except TransientFault:
+                if attempt >= self.retry.max_attempts:
+                    raise
+                self.retry_backoff_seconds += self.retry.backoff_seconds(
+                    attempt
+                )
+                attempt += 1
+                OBS.inc("retry.attempts")
+
+    def charge_reads(self, pages: int) -> None:
+        """Count ``pages`` pure page reads (no write, no pool traffic).
+
+        The undoable replacement for callers reaching into
+        ``counter.reads`` directly (e.g. the label store's SC-page
+        accounting), so a rollback reconciles these too.
+        """
+        if pages <= 0:
+            return
+        log = self.undo_log
+        if log is not None:
+            log.record(self._counters_undo())
+        self.counter.reads += pages
+        if OBS.enabled:
+            OBS.charge("pager.pages_read", pages)
+
     def touch_range(self, first_record: int, last_record: int) -> int:
         """Read-modify-write the pages covering a record range.
 
@@ -145,6 +237,9 @@ class PageStore:
         """
         span = self._page_span(first_record, last_record)
         pages = len(span)
+        log = self.undo_log
+        if log is not None:
+            log.record(self._counters_undo())
         if self.buffer_pool is None:
             reads = pages
         else:
@@ -154,6 +249,9 @@ class PageStore:
                     reads += 1
         self.counter.reads += reads
         self.counter.writes += pages
+        # Fault point last: a fault here leaves the counters and pool
+        # already mutated, which is exactly what the undo must unwind.
+        self._write_pages(pages)
         if OBS.enabled:
             OBS.charge("pager.pages_read", reads)
             OBS.charge("pager.pages_written", pages)
@@ -186,6 +284,27 @@ class PageStore:
             if size < 0:
                 raise ValueError(f"record size must be non-negative: {size}")
         anchor_page = self._offset(position) // self.page_bytes
+        log = self.undo_log
+        if log is not None and (new_sizes or removed):
+            # Items ARE the record sizes, so slicing the treap before the
+            # delete captures everything the inverse splice needs.
+            removed_sizes = (
+                list(self._records[position : position + removed])
+                if removed
+                else []
+            )
+            counters_undo = self._counters_undo()
+
+            def undo_splice() -> None:
+                if new_sizes:
+                    self._records.delete_run(position, len(new_sizes))
+                if removed_sizes:
+                    self._records.insert_run(
+                        position, removed_sizes, weights=removed_sizes
+                    )
+                counters_undo()
+
+            log.record(undo_splice)
         if removed:
             self._records.delete_run(position, removed)
         if new_sizes:
@@ -211,6 +330,9 @@ class PageStore:
             )
         self.counter.reads += reads
         self.counter.writes += pages
+        # Fault point after the treap splice and pool invalidation so an
+        # injected write failure exercises the full inverse.
+        self._write_pages(pages)
         if OBS.enabled:
             OBS.charge("pager.pages_read", reads)
             OBS.charge("pager.pages_written", pages)
@@ -263,6 +385,17 @@ class BufferPool:
 
     def invalidate(self, page_id: object) -> None:
         self._pages.pop(page_id, None)
+
+    def state_snapshot(self) -> tuple[dict, int, int]:
+        """Copy of the LRU contents (with order) and the hit/miss tallies."""
+        return (dict(self._pages), self.hits, self.misses)
+
+    def restore(self, state: tuple[dict, int, int]) -> None:
+        """Return the pool to a :meth:`state_snapshot` capture."""
+        pages, hits, misses = state
+        self._pages = dict(pages)
+        self.hits = hits
+        self.misses = misses
 
     def invalidate_from(self, namespace: str, first_page: int) -> int:
         """Drop every cached page of ``namespace`` numbered >= ``first_page``.

@@ -1,8 +1,11 @@
-"""Update processing: engine, workloads and cost accounting."""
+"""Update processing: engine, transactions, workloads, cost accounting."""
 
 from repro.updates.engine import UpdateEngine, UpdateResult
+from repro.updates.txn import Transaction, UndoLog
 from repro.updates.workloads import (
     WorkloadReport,
+    apply_churn_op,
+    churn_script,
     run_mixed_workload,
     run_skewed_insertions,
     run_table4_case,
@@ -13,10 +16,14 @@ from repro.updates.workloads import (
 __all__ = [
     "UpdateEngine",
     "UpdateResult",
+    "Transaction",
+    "UndoLog",
     "WorkloadReport",
     "table4_cases",
     "run_table4_case",
     "run_skewed_insertions",
     "run_uniform_insertions",
     "run_mixed_workload",
+    "churn_script",
+    "apply_churn_op",
 ]

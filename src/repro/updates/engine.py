@@ -18,12 +18,15 @@ be reconciled in tests.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.labeling.base import LabeledDocument, UpdateStats
 from repro.obs import OBS
 from repro.storage.labelstore import LabelStore
 from repro.storage.pager import IOCostModel
+from repro.updates.txn import Transaction
 from repro.xmltree.node import Node
 
 __all__ = ["UpdateResult", "UpdateEngine"]
@@ -77,6 +80,36 @@ class UpdateEngine:
             else None
         )
         self.totals = UpdateStats()
+        self._txn_depth = 0
+
+    # -- transactions --------------------------------------------------------
+
+    @contextmanager
+    def _atomic(self, op: str) -> Iterator[None]:
+        """Run one public operation as a transaction.
+
+        Nested calls (``move_before`` runs ``delete`` + ``insert_before``)
+        join the outermost transaction rather than opening their own, so
+        a failure in the second half unwinds the first half too.  Any
+        failure inside the body surfaces as
+        :class:`~repro.errors.UpdateAborted` after the undo log, the
+        ledger and ``self.totals`` are back to their pre-op state.
+        """
+        if self._txn_depth:
+            yield
+            return
+        self._txn_depth += 1
+        totals_before = self.totals
+        try:
+            with Transaction(op, self.labeled, self.store):
+                yield
+        except BaseException:
+            # UpdateStats is replaced (merge returns a new instance),
+            # never mutated, so the captured reference is a snapshot.
+            self.totals = totals_before
+            raise
+        finally:
+            self._txn_depth -= 1
 
     # -- public operations ---------------------------------------------------
 
@@ -126,7 +159,7 @@ class UpdateEngine:
                 pages_touched=0,
             )
         index = parent.index_of_child(target)
-        with OBS.span("update.op", op="insert_run"):
+        with self._atomic("insert_run"), OBS.span("update.op", op="insert_run"):
             before = OBS.ledger.totals_snapshot() if OBS.enabled else None
             with OBS.span("update.insert_run") as timing:
                 stats = self.scheme.insert_run(
@@ -146,8 +179,12 @@ class UpdateEngine:
         if node is target or node.is_ancestor_of(target):
             raise ValueError("cannot move a node before itself or its descendant")
         before = OBS.ledger.totals_snapshot() if OBS.enabled else None
-        deletion = self.delete(node)
-        insertion = self.insert_before(target, node)
+        with self._atomic("move_before"):
+            # Both halves share the outer transaction: if the re-insert
+            # fails, the deletion is unwound with it and the subtree is
+            # back at its source, labels and pages included.
+            deletion = self.delete(node)
+            insertion = self.insert_before(target, node)
         return UpdateResult(
             stats=deletion.stats.merge(insertion.stats),
             processing_seconds=(
@@ -160,7 +197,7 @@ class UpdateEngine:
 
     def delete(self, node: Node) -> UpdateResult:
         """Delete ``node`` and its subtree."""
-        with OBS.span("update.op", op="delete"):
+        with self._atomic("delete"), OBS.span("update.op", op="delete"):
             before = OBS.ledger.totals_snapshot() if OBS.enabled else None
             position = self.labeled.position_of(node)
             with OBS.span("update.delete") as timing:
@@ -172,7 +209,7 @@ class UpdateEngine:
     def _insert(
         self, parent: Node, index: int, subtree_root: Node
     ) -> UpdateResult:
-        with OBS.span("update.op", op="insert"):
+        with self._atomic("insert"), OBS.span("update.op", op="insert"):
             before = OBS.ledger.totals_snapshot() if OBS.enabled else None
             with OBS.span("update.insert") as timing:
                 stats = self.scheme.insert_subtree(

@@ -29,6 +29,8 @@ __all__ = [
     "run_skewed_insertions",
     "run_uniform_insertions",
     "run_mixed_workload",
+    "churn_script",
+    "apply_churn_op",
 ]
 
 
@@ -122,6 +124,67 @@ def run_uniform_insertions(
         report.absorb(engine.insert_child(parent, inserted, index))
         elements.append(inserted)
     return report
+
+
+def churn_script(operations: int, seed: int) -> list[tuple[str, int, int]]:
+    """A pure, replayable churn script for chaos testing.
+
+    Unlike :func:`run_mixed_workload`, whose RNG advances as it runs,
+    the script is generated up front as ``(kind, draw_a, draw_b)``
+    tuples: every op names positions, never node objects, so the same
+    script replays identically against any byte-identical document
+    state — the property the chaos matrix's oracle comparison needs
+    when it resumes a workload after a rolled-back fault.
+    """
+    rng = random.Random(seed)
+    kinds = ("insert", "insert", "insert", "delete", "move")
+    return [
+        (rng.choice(kinds), rng.randrange(1 << 30), rng.randrange(1 << 30))
+        for _ in range(operations)
+    ]
+
+
+def apply_churn_op(
+    engine: UpdateEngine, op: tuple[str, int, int]
+) -> UpdateResult | None:
+    """Apply one scripted op, resolving its draws positionally.
+
+    Returns ``None`` when the op has no legal target in the current
+    document (e.g. a delete with nothing deletable) — a skip, which is
+    itself deterministic.
+    """
+    kind, a, b = op
+    labeled = engine.labeled
+    elements = [
+        node
+        for node in labeled.nodes_in_order
+        if node.kind is NodeKind.ELEMENT
+    ]
+    if kind == "insert":
+        parent = elements[a % len(elements)]
+        index = b % (len(parent.children) + 1)
+        return engine.insert_child(parent, Node.element(f"n{b % 7}"), index)
+    if kind == "delete":
+        deletable = [
+            node
+            for node in elements
+            if node.parent is not None and not node.children
+        ]
+        if not deletable:
+            return None
+        return engine.delete(deletable[a % len(deletable)])
+    movable = [node for node in elements if node.parent is not None]
+    if len(movable) < 2:
+        return None
+    node = movable[a % len(movable)]
+    targets = [
+        candidate
+        for candidate in movable
+        if candidate is not node and not node.is_ancestor_of(candidate)
+    ]
+    if not targets:
+        return None
+    return engine.move_before(node, targets[b % len(targets)])
 
 
 def run_mixed_workload(

@@ -1,0 +1,20 @@
+"""Integrity verification for labeled documents and their storage.
+
+:func:`verify_integrity` re-derives, from first principles, every
+invariant the update path is supposed to preserve — label order, order
+index vs. tree agreement, SC-group consistency, page-store layout — and
+reports violations instead of raising, so tests can assert on the empty
+list and operators can inspect a broken bundle.
+
+Run it from the command line on a persisted bundle::
+
+    python -m repro.verify bundle.labels
+
+The layer deliberately sits beside ``updates`` (it never imports it):
+the checker validates what the update path produced without depending
+on the code under test.
+"""
+
+from repro.verify.checker import Violation, verify_integrity
+
+__all__ = ["Violation", "verify_integrity"]

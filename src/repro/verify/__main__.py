@@ -1,0 +1,68 @@
+"""CLI: verify a persisted label bundle.
+
+Usage::
+
+    python -m repro.verify bundle.labels [--json]
+
+Loads the bundle with :mod:`repro.storage.labelfile` and runs
+:func:`repro.verify.verify_integrity` over the result.  Exit status 0
+means every invariant holds; 1 means violations were found (they are
+printed, one per line, or as a JSON array with ``--json``); 2 means the
+bundle itself could not be loaded.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.errors import ReproError
+from repro.storage.labelfile import load_labeled
+from repro.verify import verify_integrity
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="Check every integrity invariant of a label bundle.",
+    )
+    parser.add_argument(
+        "bundle",
+        help="path to a bundle written by repro.storage.labelfile.save_labeled",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit violations as a JSON array instead of text lines",
+    )
+    args = parser.parse_args(argv)
+    try:
+        labeled = load_labeled(args.bundle)
+    except (ReproError, OSError) as error:
+        print(f"{args.bundle}: cannot load bundle: {error}", file=sys.stderr)
+        return 2
+    violations = verify_integrity(labeled)
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {"code": violation.code, "message": violation.message}
+                    for violation in violations
+                ],
+                indent=2,
+            )
+        )
+    elif violations:
+        for violation in violations:
+            print(f"{args.bundle}: {violation.code}: {violation.message}")
+    else:
+        print(
+            f"{args.bundle}: OK — {labeled.node_count()} nodes, "
+            f"scheme {labeled.scheme.name}"
+        )
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,8 @@
+"""RPR007 is scoped to repro modules: scripts may swallow freely."""
+
+
+def best_effort(action):
+    try:
+        return action()
+    except Exception:
+        pass

@@ -1,0 +1,31 @@
+"""RPR007 negative fixture: broad catches that handle are legal."""
+
+
+def wrap_and_reraise(action):
+    try:
+        return action()
+    except Exception as error:
+        raise RuntimeError("action failed") from error
+
+
+def broad_catch_that_handles(action, fallback):
+    try:
+        return action()
+    except Exception:
+        return fallback
+
+
+def concrete_swallow_is_fine(mapping, key):
+    try:
+        return mapping[key]
+    except KeyError:
+        pass
+    return None
+
+
+def base_exception_with_handling(log):
+    try:
+        return log.rollback()
+    except BaseException:
+        log.clear()
+        raise

@@ -1,0 +1,40 @@
+"""RPR007 fixture (library-scoped): swallowed exceptions.
+
+Lives under ``src/repro/`` because the rule only polices library
+modules — scripts and benchmarks may ignore errors by design.
+"""
+
+
+def bare_except(action):
+    try:
+        return action()
+    except:  # VIOLATION: bare except in library code
+        return None
+
+
+def swallow_exception(action):
+    try:
+        return action()
+    except Exception:  # VIOLATION: except Exception: pass
+        pass
+
+
+def swallow_base_exception(action):
+    try:
+        return action()
+    except BaseException:  # VIOLATION: except BaseException: ...
+        ...
+
+
+def swallow_in_tuple(action):
+    try:
+        return action()
+    except (ValueError, Exception):  # VIOLATION: broad type in tuple, swallowed
+        pass
+
+
+def suppressed_swallow(action):
+    try:
+        return action()
+    except Exception:  # repro: allow-swallow — demo of the escape hatch
+        pass

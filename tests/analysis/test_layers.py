@@ -33,10 +33,12 @@ class TestLayerOfModule:
 
 class TestDeclaredDag:
     def test_paper_mandated_edges(self):
-        # The ISSUE's contract: core imports nothing above it (obs and
-        # errors are leaves below core); labeling may import core but
-        # not storage/query/relational.
-        assert allowed_imports("core") == frozenset({"errors", "obs"})
+        # The ISSUE's contract: core imports nothing above it (errors,
+        # obs and faults are all leaves or near-leaves below core);
+        # labeling may import core but not storage/query/relational.
+        assert allowed_imports("core") == frozenset(
+            {"errors", "faults", "obs"}
+        )
         labeling = allowed_imports("labeling")
         assert "core" in labeling
         assert not {"storage", "query", "relational"} & set(labeling)
@@ -45,6 +47,16 @@ class TestDeclaredDag:
         # Observability must not import back up into the layers it
         # instruments — that would be a cycle through every hot path.
         assert allowed_imports("obs") == frozenset({"errors"})
+
+    def test_faults_is_a_near_leaf(self):
+        # Fault injection sits beside obs: every instrumented layer may
+        # consult FAULTS, so it must not import any of them back.
+        assert allowed_imports("faults") == frozenset({"errors", "obs"})
+
+    def test_verify_never_imports_updates(self):
+        # The integrity checker validates what the update path produced;
+        # importing updates would let it depend on the code under test.
+        assert "updates" not in allowed_imports("verify")
 
     def test_facades_allow_everything(self):
         assert allowed_imports("bench") == ALL_LAYERS

@@ -175,3 +175,48 @@ class TestRPR006RawTiming:
         findings = findings_for(module, "RPR006")
         assert len(findings) == 1
         assert "OBS.span" in findings[0].message
+
+
+class TestRPR007SwallowedExceptions:
+    FIXTURE = SRCTREE / "src" / "repro" / "rpr007_violations.py"
+
+    def test_flags_every_swallow(self):
+        findings = findings_for(self.FIXTURE, "RPR007")
+        assert len(findings) == 4
+        assert {f.rule for f in findings} == {"RPR007"}
+        assert all(str(f.severity) == "error" for f in findings)
+
+    def test_flagged_lines_are_the_marked_ones(self):
+        source = self.FIXTURE.read_text()
+        marked = {
+            lineno
+            for lineno, text in enumerate(source.splitlines(), start=1)
+            if "# VIOLATION" in text
+        }
+        findings = findings_for(self.FIXTURE, "RPR007")
+        assert {f.line for f in findings} == marked
+
+    def test_suppression_comment_is_honored(self):
+        source = self.FIXTURE.read_text()
+        (allowed_line,) = [
+            lineno
+            for lineno, text in enumerate(source.splitlines(), start=1)
+            if "allow-swallow" in text
+        ]
+        findings = findings_for(self.FIXTURE, "RPR007")
+        assert allowed_line not in {f.line for f in findings}
+
+    def test_clean_fixture_is_clean(self):
+        clean = SRCTREE / "src" / "repro" / "rpr007_clean.py"
+        assert findings_for(clean, "RPR007") == []
+
+    def test_scripts_are_exempt(self):
+        assert findings_for(SCRIPTS / "rpr007_script.py", "RPR007") == []
+
+    def test_undo_log_rollback_is_not_flagged(self):
+        # The undo log catches BaseException to *wrap* it — handling,
+        # not swallowing; the rule must not flag its own raison d'etre.
+        repo_root = Path(__file__).parents[2]
+        txn = repo_root / "src" / "repro" / "updates" / "txn.py"
+        assert "except BaseException" in txn.read_text()
+        assert findings_for(txn, "RPR007") == []

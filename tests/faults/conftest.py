@@ -1,0 +1,11 @@
+"""Safety net: never leak an armed fault plan into another test."""
+
+import pytest
+
+from repro.faults import FAULTS
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    yield
+    FAULTS.disarm()

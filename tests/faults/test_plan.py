@@ -1,0 +1,90 @@
+"""FaultPoint / FaultPlan: validation, firing semantics, serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PersistentFault, TransientFault
+from repro.faults import (
+    KNOWN_SITES,
+    PERSISTENT,
+    TRANSIENT,
+    FaultPlan,
+    FaultPoint,
+)
+
+
+class TestFaultPoint:
+    def test_ordinal_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FaultPoint("pager.page_write", at=0)
+
+    def test_kind_must_be_known(self):
+        with pytest.raises(ValueError):
+            FaultPoint("pager.page_write", kind="flaky")
+
+    def test_fires_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FaultPoint("pager.page_write", fires=0)
+
+    def test_persistent_fires_forever_from_ordinal(self):
+        point = FaultPoint("label.write", at=3, kind=PERSISTENT)
+        assert point.error_for(1) is None
+        assert point.error_for(2) is None
+        assert isinstance(point.error_for(3), PersistentFault)
+        assert isinstance(point.error_for(100), PersistentFault)
+
+    def test_transient_clears_after_fires_window(self):
+        point = FaultPoint("label.write", at=2, kind=TRANSIENT, fires=2)
+        assert point.error_for(1) is None
+        assert isinstance(point.error_for(2), TransientFault)
+        assert isinstance(point.error_for(3), TransientFault)
+        assert point.error_for(4) is None
+
+    def test_dict_round_trip(self):
+        point = FaultPoint("middle.assign", at=5, kind=TRANSIENT, fires=3)
+        assert FaultPoint.from_dict(point.to_dict()) == point
+
+    def test_from_dict_defaults(self):
+        point = FaultPoint.from_dict({"site": "relabel.step"})
+        assert point == FaultPoint("relabel.step", at=1, kind=TRANSIENT)
+
+
+class TestFaultPlan:
+    def test_single(self):
+        plan = FaultPlan.single("pager.page_write", at=4)
+        assert plan.point_for("pager.page_write").at == 4
+        assert plan.point_for("pager.page_write").kind == PERSISTENT
+        assert plan.point_for("label.write") is None
+
+    def test_rejects_duplicate_sites(self):
+        with pytest.raises(ValueError):
+            FaultPlan(
+                points=(
+                    FaultPoint("label.write"),
+                    FaultPoint("label.write", at=2),
+                )
+            )
+
+    def test_seeded_is_deterministic(self):
+        assert FaultPlan.seeded(42) == FaultPlan.seeded(42)
+        plans = {FaultPlan.seeded(seed).points for seed in range(64)}
+        assert len(plans) > 1  # the seed actually varies the plan
+
+    def test_seeded_stays_inside_known_sites(self):
+        for seed in range(32):
+            plan = FaultPlan.seeded(seed, max_at=8)
+            (point,) = plan.points
+            assert point.site in KNOWN_SITES
+            assert 1 <= point.at <= 8
+
+    def test_dict_round_trip(self):
+        plan = FaultPlan.seeded(7, kind=TRANSIENT)
+        restored = FaultPlan.from_dict(plan.to_dict())
+        assert restored == plan
+        assert restored.seed == 7
+
+    def test_from_dict_of_empty_payload(self):
+        plan = FaultPlan.from_dict({})
+        assert plan.points == ()
+        assert plan.seed is None

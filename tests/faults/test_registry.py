@@ -1,0 +1,79 @@
+"""FaultRegistry: arming, hit counting, batch ordinals, observability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PersistentFault, TransientFault
+from repro.faults import FAULTS, TRANSIENT, FaultPlan
+from repro.obs import OBS
+
+
+class TestArming:
+    def test_disabled_by_default_and_hits_are_free(self):
+        assert not FAULTS.enabled
+        FAULTS.hit("pager.page_write", count=1000)  # no plan: no-op
+        assert FAULTS.hits_of("pager.page_write") == 0
+
+    def test_armed_context_disarms_on_exit(self):
+        with FAULTS.armed(FaultPlan.single("label.write", at=99)):
+            assert FAULTS.enabled
+        assert not FAULTS.enabled
+        assert FAULTS.plan is None
+
+    def test_armed_context_disarms_when_fault_propagates(self):
+        with pytest.raises(PersistentFault):
+            with FAULTS.armed(FaultPlan.single("label.write", at=1)):
+                FAULTS.hit("label.write")
+        assert not FAULTS.enabled
+
+    def test_arming_resets_site_counters(self):
+        with FAULTS.armed(FaultPlan.single("label.write", at=5)):
+            FAULTS.hit("label.write", count=3)
+            assert FAULTS.hits_of("label.write") == 3
+        with FAULTS.armed(FaultPlan.single("label.write", at=5)):
+            assert FAULTS.hits_of("label.write") == 0
+
+
+class TestHits:
+    def test_fires_at_exact_ordinal(self):
+        with FAULTS.armed(FaultPlan.single("middle.assign", at=3)):
+            FAULTS.hit("middle.assign")
+            FAULTS.hit("middle.assign")
+            with pytest.raises(PersistentFault):
+                FAULTS.hit("middle.assign")
+
+    def test_unarmed_sites_are_counted_but_never_raise(self):
+        with FAULTS.armed(FaultPlan.single("label.write", at=1)):
+            FAULTS.hit("pager.page_write", count=7)
+            assert FAULTS.hits_of("pager.page_write") == 7
+
+    def test_batch_advances_counter_to_raising_ordinal(self):
+        with FAULTS.armed(FaultPlan.single("pager.page_write", at=3)):
+            with pytest.raises(PersistentFault):
+                FAULTS.hit("pager.page_write", count=10)
+            # the counter stops at the raising hit, not the batch end,
+            # so a retried batch sees fresh ordinals
+            assert FAULTS.hits_of("pager.page_write") == 3
+
+    def test_transient_clears_for_a_retried_batch(self):
+        plan = FaultPlan.single(
+            "pager.page_write", at=2, kind=TRANSIENT, fires=1
+        )
+        with FAULTS.armed(plan):
+            with pytest.raises(TransientFault):
+                FAULTS.hit("pager.page_write", count=4)
+            FAULTS.hit("pager.page_write", count=4)  # retry succeeds
+
+    def test_persistent_keeps_firing_on_retry(self):
+        with FAULTS.armed(FaultPlan.single("pager.page_write", at=2)):
+            for _ in range(3):
+                with pytest.raises(PersistentFault):
+                    FAULTS.hit("pager.page_write", count=4)
+
+    def test_injected_faults_are_counted(self):
+        with OBS.capture():
+            with FAULTS.armed(FaultPlan.single("label.write", at=1)):
+                with pytest.raises(PersistentFault):
+                    FAULTS.hit("label.write")
+            assert OBS.counter("faults.injected").value == 1

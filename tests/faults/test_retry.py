@@ -1,0 +1,95 @@
+"""RetryPolicy math and the page store's bounded transient retry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TransientFault, UpdateAborted
+from repro.faults import DEFAULT_RETRY_POLICY, FAULTS, TRANSIENT, FaultPlan
+from repro.faults.retry import RetryPolicy
+from repro.labeling import make_scheme
+from repro.obs import OBS
+from repro.updates import UpdateEngine
+from repro.xmltree import Node, parse_document
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base_seconds=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_backoff_is_exponential(self):
+        policy = RetryPolicy(
+            max_attempts=4, backoff_base_seconds=0.01, backoff_factor=3.0
+        )
+        assert policy.backoff_seconds(1) == pytest.approx(0.01)
+        assert policy.backoff_seconds(2) == pytest.approx(0.03)
+        assert policy.backoff_seconds(3) == pytest.approx(0.09)
+        with pytest.raises(ValueError):
+            policy.backoff_seconds(0)
+
+    def test_total_backoff(self):
+        policy = RetryPolicy(backoff_base_seconds=0.001, backoff_factor=2.0)
+        assert policy.total_backoff_seconds(3) == pytest.approx(0.007)
+        assert policy.total_backoff_seconds(0) == 0
+
+    def test_default_policy(self):
+        assert DEFAULT_RETRY_POLICY.max_attempts == 3
+
+
+def build_engine():
+    doc = parse_document("<r><a><b/><c/></a><d/></r>")
+    labeled = make_scheme("V-CDBS-Containment").label_document(doc)
+    return UpdateEngine(labeled, with_storage=True), doc
+
+
+class TestPageStoreRetry:
+    def test_blip_is_absorbed_and_costed(self):
+        """A short transient burst commits the op after a modeled backoff."""
+        engine, doc = build_engine()
+        plan = FaultPlan.single(
+            "pager.page_write", at=1, kind=TRANSIENT, fires=1
+        )
+        with OBS.capture():
+            with FAULTS.armed(plan):
+                result = engine.insert_before(
+                    doc.root.children[1], Node.element("x")
+                )
+            assert OBS.counter("retry.attempts").value == 1
+            assert OBS.counter("txn.rollbacks").value == 0
+        assert doc.root.children[1].name == "x"
+        backoff = engine.store.pages.retry_backoff_seconds
+        assert backoff == pytest.approx(
+            DEFAULT_RETRY_POLICY.backoff_seconds(1)
+        )
+        # the modeled delay is folded into the op's I/O time
+        assert result.io_seconds >= backoff
+
+    def test_exhausted_retries_abort_the_transaction(self):
+        engine, doc = build_engine()
+        plan = FaultPlan.single(
+            "pager.page_write", at=1, kind=TRANSIENT, fires=50
+        )
+        before = [child.name for child in doc.root.children]
+        with FAULTS.armed(plan):
+            with pytest.raises(UpdateAborted) as excinfo:
+                engine.insert_before(doc.root.children[1], Node.element("x"))
+        assert isinstance(excinfo.value.__cause__, TransientFault)
+        assert [child.name for child in doc.root.children] == before
+
+    def test_custom_policy_bounds_attempts(self):
+        doc = parse_document("<r><a/><b/></r>")
+        labeled = make_scheme("V-CDBS-Containment").label_document(doc)
+        engine = UpdateEngine(labeled, with_storage=True)
+        engine.store.pages.retry = RetryPolicy(max_attempts=5)
+        plan = FaultPlan.single(
+            "pager.page_write", at=1, kind=TRANSIENT, fires=4
+        )
+        with OBS.capture():
+            with FAULTS.armed(plan):
+                engine.insert_before(doc.root.children[1], Node.element("x"))
+            assert OBS.counter("retry.attempts").value == 4

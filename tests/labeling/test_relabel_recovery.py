@@ -1,0 +1,132 @@
+"""RelabelRequired recovery: overflow-driven re-labels leave clean state.
+
+Section 6 of the paper: when a CDBS length field overflows (or float
+precision runs out), the scheme falls back to a full re-label.  These
+tests force each trigger with deliberately tight codec capacities and
+assert the fallback leaves every integrity invariant intact, the cost
+ledger reconciled with the returned stats — and, combined with the
+transaction layer, that a fault *during* the fallback rolls the whole
+operation back.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    LengthFieldOverflow,
+    PrecisionExhausted,
+    UpdateAborted,
+)
+from repro.faults import FAULTS, FaultPlan
+from repro.labeling.containment import (
+    f_cdbs_containment,
+    float_point_containment,
+    v_cdbs_containment,
+)
+from repro.labeling.prefix import cdbs_prefix
+from repro.obs import OBS
+from repro.updates import UpdateEngine, run_skewed_insertions
+from repro.verify import verify_integrity
+from repro.xmltree import parse_document
+
+from tests.updates.stateutil import full_snapshot
+
+XML = "<r><a/><b/><c/><d/></r>"
+
+# (scheme factory, skewed insertions needed to trip the fallback)
+TIGHT_SCHEMES = [
+    pytest.param(lambda: v_cdbs_containment(field_bits=3), 40, id="v-cdbs"),
+    pytest.param(f_cdbs_containment, 40, id="f-cdbs"),
+    pytest.param(lambda: cdbs_prefix(max_code_bits=7), 40, id="cdbs-prefix"),
+    pytest.param(float_point_containment, 80, id="float-point"),
+]
+
+
+def build_engine(factory):
+    doc = parse_document(XML)
+    labeled = factory().label_document(doc)
+    return UpdateEngine(labeled, with_storage=True), doc
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    yield
+    FAULTS.disarm()
+
+
+class TestTriggers:
+    """The tight configs really do raise the documented errors."""
+
+    def test_v_cdbs_length_field_overflow(self):
+        codec = v_cdbs_containment(field_bits=3).codec
+        left = codec.bulk(4)[0]
+        with pytest.raises(LengthFieldOverflow):
+            for _ in range(20):
+                left = codec.between(left, None)
+
+    def test_cdbs_prefix_length_field_overflow(self):
+        policy = cdbs_prefix(max_code_bits=7).policy
+        left = policy.bulk(4)[0]
+        with pytest.raises(LengthFieldOverflow):
+            for _ in range(20):
+                left = policy.between(left, None)
+
+    def test_float_point_precision_exhausted(self):
+        codec = float_point_containment().codec
+        left, right = codec.bulk(4)[:2]
+        with pytest.raises(PrecisionExhausted):
+            for _ in range(100):
+                left = codec.between(left, right)
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("factory, count", TIGHT_SCHEMES)
+    def test_fallback_leaves_integrity_clean(self, factory, count):
+        engine, doc = build_engine(factory)
+        report = run_skewed_insertions(engine, doc.root.children[1], count)
+        # the tight capacity really forced at least one full re-label
+        assert report.relabel_events > 0
+        assert verify_integrity(engine.labeled, engine.store) == []
+        keys = [
+            engine.scheme.order_key(engine.labeled.label_of(node))
+            for node in engine.labeled.nodes_in_order
+        ]
+        assert keys == sorted(keys)
+
+    @pytest.mark.parametrize("factory, count", TIGHT_SCHEMES)
+    def test_fallback_costs_are_reconciled(self, factory, count):
+        engine, doc = build_engine(factory)
+        with OBS.capture():
+            report = run_skewed_insertions(
+                engine, doc.root.children[1], count
+            )
+            totals = dict(OBS.ledger.totals)
+        assert report.relabel_events > 0
+        assert totals.get("engine.nodes_relabeled", 0) == sum(
+            result.stats.relabeled_nodes for result in report.results
+        )
+        assert totals.get("engine.nodes_inserted", 0) == count
+        assert totals.get("engine.pages_touched", 0) == sum(
+            result.pages_touched for result in report.results
+        )
+
+    @pytest.mark.parametrize("factory, count", TIGHT_SCHEMES[:3])
+    def test_fault_during_fallback_rolls_back(self, factory, count):
+        """A relabel.step fault mid-fallback unwinds the whole insert."""
+        engine, doc = build_engine(factory)
+        target = doc.root.children[1]
+        aborted = False
+        for _ in range(count):
+            before = full_snapshot(engine)
+            try:
+                with FAULTS.armed(FaultPlan.single("relabel.step", at=2)):
+                    run_skewed_insertions(engine, target, 1)
+            except UpdateAborted:
+                aborted = True
+                assert full_snapshot(engine) == before
+                assert (
+                    verify_integrity(engine.labeled, engine.store) == []
+                )
+                break
+        assert aborted, "tight capacity never forced the relabel fallback"

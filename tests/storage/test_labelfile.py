@@ -85,6 +85,66 @@ class TestRoundTrip:
         assert got == expected
 
 
+class TestFormatV2:
+    def test_bundles_are_written_as_v2(self, tmp_path):
+        labeled = make_labeled("V-CDBS-Containment")
+        path = tmp_path / "doc.rpro"
+        save_labeled(labeled, path)
+        assert path.read_bytes().startswith(b"RPRO-LABELS-2\n")
+
+    def test_v1_bundles_still_load(self, tmp_path):
+        labeled = make_labeled("V-CDBS-Containment")
+        path = tmp_path / "doc.rpro"
+        save_labeled(labeled, path)
+        # rewrite the bundle as v1: old magic, no checksum field
+        magic, scheme, config, sizes, payload = path.read_bytes().split(
+            b"\n", 4
+        )
+        xml_size, label_size, _ = sizes.split()
+        path.write_bytes(
+            b"RPRO-LABELS-1\n"
+            + scheme
+            + b"\n"
+            + config
+            + b"\n"
+            + xml_size
+            + b" "
+            + label_size
+            + b"\n"
+            + payload
+        )
+        reloaded = load_labeled(path)
+        assert reloaded.node_count() == labeled.node_count()
+
+    def test_flipped_payload_byte_is_caught_by_checksum(self, tmp_path):
+        labeled = make_labeled("V-CDBS-Containment")
+        path = tmp_path / "doc.rpro"
+        save_labeled(labeled, path)
+        data = bytearray(path.read_bytes())
+        data[-3] ^= 0xFF  # corrupt the label stream, sizes unchanged
+        path.write_bytes(bytes(data))
+        with pytest.raises(LabelFileError, match="checksum"):
+            load_labeled(path)
+
+    def test_bad_checksum_field(self, tmp_path):
+        labeled = make_labeled("V-CDBS-Containment")
+        path = tmp_path / "doc.rpro"
+        save_labeled(labeled, path)
+        magic, scheme, config, sizes, payload = path.read_bytes().split(
+            b"\n", 4
+        )
+        xml_size, label_size, _ = sizes.split()
+        path.write_bytes(
+            b"\n".join(
+                (magic, scheme, config, xml_size + b" " + label_size + b" 1")
+            )
+            + b"\n"
+            + payload
+        )
+        with pytest.raises(LabelFileError, match="checksum"):
+            load_labeled(path)
+
+
 class TestErrors:
     def test_bad_magic(self, tmp_path):
         path = tmp_path / "junk.rpro"
@@ -107,10 +167,31 @@ class TestErrors:
         with pytest.raises(LabelFileError):
             load_labeled(path)
 
+    def test_v1_header_with_checksum_field_is_malformed(self, tmp_path):
+        path = tmp_path / "doc.rpro"
+        path.write_bytes(b"RPRO-LABELS-1\nPrime\n{}\n1 1 0\n<a")
+        with pytest.raises(LabelFileError, match="header"):
+            load_labeled(path)
+
     def test_unknown_scheme(self, tmp_path):
         path = tmp_path / "doc.rpro"
         path.write_bytes(
             b"RPRO-LABELS-1\nNo-Such-Scheme\n{}\n1 1\n<a"
         )
-        with pytest.raises(KeyError):
+        with pytest.raises(LabelFileError, match="scheme"):
+            load_labeled(path)
+
+    def test_malformed_config_json(self, tmp_path):
+        path = tmp_path / "doc.rpro"
+        path.write_bytes(b"RPRO-LABELS-1\nPrime\nnot json\n1 1\n<a")
+        with pytest.raises(LabelFileError, match="config"):
+            load_labeled(path)
+
+    def test_undecodable_payload(self, tmp_path):
+        body = b"\xff\xfe\x00\x01"
+        path = tmp_path / "doc.rpro"
+        path.write_bytes(
+            b"RPRO-LABELS-1\nPrime\n{}\n%d 0\n" % len(body) + body
+        )
+        with pytest.raises(LabelFileError, match="payload"):
             load_labeled(path)

@@ -1,0 +1,44 @@
+"""Byte-level state snapshots shared by the transaction and chaos tests.
+
+A snapshot captures everything an aborted operation must restore: the
+serialized tree, every label in document order, the Prime SC groups and
+prime floor, and (when a store is attached) the page layout plus the
+read/write counters of both page files.  Two snapshots compare equal
+iff the observable state is identical.
+"""
+
+from __future__ import annotations
+
+from repro.xmltree import serialize_document
+
+__all__ = ["full_snapshot"]
+
+
+def _store_state(store):
+    if store is None:
+        return None
+    return (
+        tuple(store.pages.record_sizes()),
+        store.pages.counter.reads,
+        store.pages.counter.writes,
+        tuple(store.sc_pages.record_sizes()),
+        store.sc_pages.counter.reads,
+        store.sc_pages.counter.writes,
+    )
+
+
+def full_snapshot(engine):
+    labeled = engine.labeled
+    groups = labeled.extra.get("sc_groups")
+    return (
+        serialize_document(labeled.document),
+        tuple(
+            repr(labeled.labels.get(id(node)))
+            for node in labeled.nodes_in_order
+        ),
+        None
+        if groups is None
+        else tuple((group.index, group.sc) for group in groups),
+        labeled.extra.get("next_prime_floor"),
+        _store_state(engine.store),
+    )

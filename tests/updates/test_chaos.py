@@ -1,0 +1,141 @@
+"""Chaos harness: seeded churn with a fault at every site.
+
+For every (scheme, site) cell the same scripted churn workload runs
+three ways:
+
+1. an *oracle* engine replays the script with no faults armed;
+2. a *victim* engine replays it with a persistent fault armed at the
+   site — every op whose path crosses the site aborts, must roll back
+   to a byte-identical pre-op snapshot with zero integrity violations,
+   and is then replayed fault-free;
+3. the victim's final state must equal the oracle's, byte for byte —
+   rollback + replay is indistinguishable from never having failed.
+
+The script names positions, never node objects (see
+:func:`repro.updates.workloads.churn_script`), which is what makes the
+oracle comparison sound after a rollback.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import UpdateAborted
+from repro.faults import FAULTS, KNOWN_SITES, FaultPlan
+from repro.labeling import make_scheme
+from repro.updates import UpdateEngine, apply_churn_op, churn_script
+from repro.verify import verify_integrity
+from repro.xmltree import Node, parse_document
+
+from tests.updates.stateutil import full_snapshot
+
+SCHEMES = [
+    "V-CDBS-Containment",
+    "F-CDBS-Containment",
+    "CDBS(UTF8)-Prefix",
+    "Prime",
+]
+
+OPERATIONS = 12
+DOC_SEED = 7
+SCRIPT_SEED = 20060403  # the paper's conference date, nothing magic
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    yield
+    FAULTS.disarm()
+
+
+def seed_document(elements=30, seed=DOC_SEED):
+    """A deterministic random tree, bushy enough for moves and deletes."""
+    rng = random.Random(seed)
+    doc = parse_document("<root/>")
+    pool = [doc.root]
+    for index in range(elements):
+        parent = rng.choice(pool)
+        child = Node.element(f"e{index % 9}")
+        parent.insert_child(len(parent.children), child)
+        pool.append(child)
+    return doc
+
+
+def build_engine(scheme):
+    labeled = make_scheme(scheme).label_document(seed_document())
+    return UpdateEngine(labeled, with_storage=True)
+
+
+def run_oracle(scheme, script):
+    engine = build_engine(scheme)
+    for op in script:
+        apply_churn_op(engine, op)
+    return full_snapshot(engine)
+
+
+class TestChaosMatrix:
+    @pytest.mark.parametrize("site", KNOWN_SITES)
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_rollback_then_replay_matches_fault_free_oracle(
+        self, scheme, site
+    ):
+        script = churn_script(OPERATIONS, SCRIPT_SEED)
+        oracle = run_oracle(scheme, script)
+        engine = build_engine(scheme)
+        aborts = 0
+        for op in script:
+            before = full_snapshot(engine)
+            try:
+                with FAULTS.armed(FaultPlan.single(site, at=1)):
+                    apply_churn_op(engine, op)
+            except UpdateAborted:
+                aborts += 1
+                assert full_snapshot(engine) == before
+                assert verify_integrity(engine.labeled, engine.store) == []
+                apply_churn_op(engine, op)  # replay fault-free
+        assert full_snapshot(engine) == oracle
+        assert verify_integrity(engine.labeled, engine.store) == []
+        if site == "pager.page_write":
+            # every scripted op writes pages, so every one must abort
+            assert aborts == OPERATIONS
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_deep_ordinals_roll_back_too(self, scheme):
+        """Faults landing mid-operation (not on the first write) unwind."""
+        script = churn_script(OPERATIONS, SCRIPT_SEED)
+        oracle = run_oracle(scheme, script)
+        engine = build_engine(scheme)
+        for ordinal, op in enumerate(script, start=1):
+            before = full_snapshot(engine)
+            plan = FaultPlan.single(
+                "pager.page_write", at=1 + ordinal % 3
+            )
+            try:
+                with FAULTS.armed(plan):
+                    apply_churn_op(engine, op)
+            except UpdateAborted:
+                assert full_snapshot(engine) == before
+                assert verify_integrity(engine.labeled, engine.store) == []
+                apply_churn_op(engine, op)
+        assert full_snapshot(engine) == oracle
+
+    def test_seeded_plans_replay_identically(self):
+        """A serialized failing plan re-arms to the identical failure."""
+        script = churn_script(OPERATIONS, SCRIPT_SEED)
+        plan = FaultPlan.seeded(99)
+        outcomes = []
+        for trial in range(2):
+            engine = build_engine("V-CDBS-Containment")
+            armed = FaultPlan.from_dict(plan.to_dict()) if trial else plan
+            trace = []
+            for op in script:
+                try:
+                    with FAULTS.armed(armed):
+                        apply_churn_op(engine, op)
+                    trace.append("ok")
+                except UpdateAborted:
+                    trace.append("abort")
+                    apply_churn_op(engine, op)
+            outcomes.append((trace, full_snapshot(engine)))
+        assert outcomes[0] == outcomes[1]

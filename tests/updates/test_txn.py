@@ -1,0 +1,201 @@
+"""Undo-log transactions: UndoLog mechanics and engine-level atomicity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    PersistentFault,
+    RollbackError,
+    UpdateAborted,
+)
+from repro.faults import FAULTS, FaultPlan
+from repro.labeling import make_scheme
+from repro.obs import OBS
+from repro.updates import Transaction, UndoLog, UpdateEngine
+from repro.verify import verify_integrity
+from repro.xmltree import Node, parse_document
+
+from tests.updates.stateutil import full_snapshot
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    yield
+    FAULTS.disarm()
+
+
+def build_engine(scheme="V-CDBS-Containment", storage=True):
+    doc = parse_document("<r><a><b/><c/></a><d/><e><f/></e></r>")
+    labeled = make_scheme(scheme).label_document(doc)
+    return UpdateEngine(labeled, with_storage=storage), doc
+
+
+class TestUndoLog:
+    def test_rollback_runs_inverses_newest_first(self):
+        log = UndoLog()
+        order = []
+        log.record(lambda: order.append("first"))
+        log.record(lambda: order.append("second"))
+        assert len(log) == 2
+        assert log.rollback() == 2
+        assert order == ["second", "first"]
+        assert len(log) == 0
+
+    def test_rollback_of_empty_log(self):
+        assert UndoLog().rollback() == 0
+
+    def test_failing_inverse_raises_rollback_error(self):
+        log = UndoLog()
+        ran = []
+
+        def bad():
+            raise RuntimeError("boom")
+
+        log.record(lambda: ran.append("bottom"))
+        log.record(bad)
+        log.record(lambda: ran.append("top"))
+        with pytest.raises(RollbackError) as excinfo:
+            log.rollback()
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+        # entries below the failure are dropped, not half-applied later
+        assert ran == ["top"]
+        assert len(log) == 0
+
+
+class TestTransaction:
+    def test_commit_unbinds_and_discards(self):
+        engine, _ = build_engine()
+        labeled, store = engine.labeled, engine.store
+        with Transaction("noop", labeled, store) as txn:
+            assert labeled.undo_log is txn.log
+            assert store.pages.undo_log is txn.log
+            assert store.sc_pages.undo_log is txn.log
+        assert labeled.undo_log is None
+        assert store.pages.undo_log is None
+
+    def test_rollback_wraps_exceptions_as_update_aborted(self):
+        engine, _ = build_engine()
+        cause = RuntimeError("mid-op failure")
+        with pytest.raises(UpdateAborted) as excinfo:
+            with Transaction("insert", engine.labeled, engine.store):
+                raise cause
+        assert excinfo.value.__cause__ is cause
+        assert engine.labeled.undo_log is None
+
+    def test_rollback_counts_and_restores_ledger(self):
+        engine, _ = build_engine()
+        with OBS.capture():
+            totals_before = OBS.ledger.totals_snapshot()
+            with pytest.raises(UpdateAborted):
+                with Transaction("insert", engine.labeled, engine.store):
+                    OBS.charge("pager.pages_written", 17)
+                    raise RuntimeError("abort")
+            assert OBS.ledger.totals_snapshot() == totals_before
+            assert OBS.counter("txn.rollbacks").value == 1
+
+    def test_keyboard_interrupt_rolls_back_but_is_not_wrapped(self):
+        engine, doc = build_engine()
+        before = full_snapshot(engine)
+
+        class Boom(KeyboardInterrupt):
+            pass
+
+        with pytest.raises(Boom):
+            with Transaction("insert", engine.labeled, engine.store):
+                engine.labeled.splice_in(doc.root, 0, Node.element("x"))
+                raise Boom()
+        assert full_snapshot(engine) == before
+
+
+SCHEMES = [
+    "V-CDBS-Containment",
+    "F-CDBS-Containment",
+    "CDBS(UTF8)-Prefix",
+    "Prime",
+    "DeweyID(UTF8)-Prefix",
+]
+
+
+class TestEngineAtomicity:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_aborted_insert_restores_everything(self, scheme):
+        engine, doc = build_engine(scheme)
+        before = full_snapshot(engine)
+        totals_before = engine.totals
+        with FAULTS.armed(FaultPlan.single("pager.page_write", at=1)):
+            with pytest.raises(UpdateAborted) as excinfo:
+                engine.insert_before(doc.root.children[1], Node.element("x"))
+        assert isinstance(excinfo.value.__cause__, PersistentFault)
+        assert full_snapshot(engine) == before
+        assert engine.totals is totals_before
+        assert verify_integrity(engine.labeled, engine.store) == []
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_aborted_delete_restores_everything(self, scheme):
+        engine, doc = build_engine(scheme)
+        before = full_snapshot(engine)
+        with FAULTS.armed(FaultPlan.single("pager.page_write", at=1)):
+            with pytest.raises(UpdateAborted):
+                engine.delete(doc.root.children[0])
+        assert full_snapshot(engine) == before
+        assert verify_integrity(engine.labeled, engine.store) == []
+
+    def test_aborted_insert_run_restores_everything(self):
+        engine, doc = build_engine()
+        before = full_snapshot(engine)
+        run = [Node.element("x"), Node.element("y"), Node.element("z")]
+        with FAULTS.armed(FaultPlan.single("pager.page_write", at=1)):
+            with pytest.raises(UpdateAborted):
+                engine.insert_run_before(doc.root.children[1], run)
+        assert full_snapshot(engine) == before
+        assert verify_integrity(engine.labeled, engine.store) == []
+
+    def test_guard_errors_do_not_open_a_transaction(self):
+        engine, doc = build_engine()
+        with OBS.capture():
+            with pytest.raises(ValueError):
+                engine.insert_before(doc.root, Node.element("x"))
+            with pytest.raises(ValueError):
+                engine.move_before(doc.root.children[0], doc.root.children[0])
+            assert OBS.counter("txn.rollbacks").value == 0
+
+    def test_operation_after_rollback_succeeds(self):
+        engine, doc = build_engine()
+        with FAULTS.armed(FaultPlan.single("label.write", at=1)):
+            with pytest.raises(UpdateAborted):
+                engine.insert_before(doc.root.children[1], Node.element("x"))
+        result = engine.insert_before(doc.root.children[1], Node.element("x"))
+        assert result.stats.inserted_nodes == 1
+        assert verify_integrity(engine.labeled, engine.store) == []
+
+
+class TestMoveAtomicity:
+    """Satellite regression: ``move_before`` commits both halves or neither."""
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_fault_in_insert_half_restores_the_deleted_subtree(self, scheme):
+        engine, doc = build_engine(scheme)
+        moved = doc.root.children[0]  # <a><b/><c/></a>
+        target = doc.root.children[2]  # <e><f/></e>
+        before = full_snapshot(engine)
+        # the delete half writes no labels; the first label.write is the
+        # re-insert minting fresh labels at the destination
+        with FAULTS.armed(FaultPlan.single("label.write", at=1)):
+            with pytest.raises(UpdateAborted):
+                engine.move_before(moved, target)
+        assert full_snapshot(engine) == before
+        assert doc.root.children[0] is moved
+        assert moved.parent is doc.root
+        assert verify_integrity(engine.labeled, engine.store) == []
+
+    def test_move_succeeds_after_aborted_move(self):
+        engine, doc = build_engine()
+        moved = doc.root.children[0]
+        target = doc.root.children[2]
+        with FAULTS.armed(FaultPlan.single("label.write", at=1)):
+            with pytest.raises(UpdateAborted):
+                engine.move_before(moved, target)
+        engine.move_before(moved, target)
+        assert doc.root.children[1] is moved
+        assert verify_integrity(engine.labeled, engine.store) == []

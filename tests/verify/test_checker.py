@@ -1,0 +1,126 @@
+"""verify_integrity: clean documents pass; each corruption is caught."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.labeling import ALL_SCHEMES, make_scheme
+from repro.updates import UpdateEngine
+from repro.verify import verify_integrity
+from repro.xmltree import Node, parse_document
+
+XML = "<r><a><b/><c/></a><d/><e><f/><g/></e></r>"
+
+
+def build(scheme="V-CDBS-Containment", storage=True, xml=XML):
+    doc = parse_document(xml)
+    labeled = make_scheme(scheme).label_document(doc)
+    engine = UpdateEngine(labeled, with_storage=storage)
+    return engine, doc
+
+
+def codes(engine):
+    return [
+        violation.code
+        for violation in verify_integrity(engine.labeled, engine.store)
+    ]
+
+
+class TestCleanDocuments:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_fresh_labeling_is_clean(self, scheme):
+        engine, _ = build(scheme)
+        assert verify_integrity(engine.labeled, engine.store) == []
+
+    @pytest.mark.parametrize(
+        "scheme", ["V-CDBS-Containment", "CDBS(UTF8)-Prefix", "Prime"]
+    )
+    def test_still_clean_after_updates(self, scheme):
+        engine, doc = build(scheme)
+        engine.insert_before(doc.root.children[1], Node.element("x"))
+        engine.delete(doc.root.children[0])
+        engine.move_before(doc.root.children[0], doc.root.children[-1])
+        assert verify_integrity(engine.labeled, engine.store) == []
+
+    def test_store_is_optional(self):
+        engine, _ = build(storage=False)
+        assert verify_integrity(engine.labeled) == []
+
+
+class TestTreeOrderViolations:
+    def test_detached_node_breaks_size(self):
+        engine, doc = build()
+        doc.root.children[0].children[0].detach()  # behind the index's back
+        assert "tree-order.size" in codes(engine)
+
+    def test_reordered_children_break_sequence(self):
+        engine, doc = build()
+        parent = doc.root.children[0]  # <a><b/><c/></a>
+        first = parent.children[0].detach()
+        parent.insert_child(len(parent.children), first)
+        assert "tree-order.sequence" in codes(engine)
+
+
+class TestLabelViolations:
+    def test_missing_label(self):
+        engine, doc = build()
+        del engine.labeled.labels[id(doc.root.children[1])]
+        assert "labels.missing" in codes(engine)
+
+    def test_orphaned_label(self):
+        engine, doc = build()
+        some_label = engine.labeled.labels[id(doc.root)]
+        engine.labeled.labels[123456789] = some_label
+        assert "labels.orphaned" in codes(engine)
+
+    def test_inverted_order(self):
+        engine, doc = build()
+        labels = engine.labeled.labels
+        a, b = doc.root.children[0], doc.root.children[1]
+        labels[id(a)], labels[id(b)] = labels[id(b)], labels[id(a)]
+        assert "labels.order" in codes(engine)
+
+    def test_unkeyable_label(self):
+        engine, doc = build()
+        engine.labeled.labels[id(doc.root.children[1])] = object()
+        assert "labels.unkeyable" in codes(engine)
+
+
+class TestSCGroupViolations:
+    def build_prime(self):
+        # 12 elements -> 3 SC groups of 5, 5, 2
+        xml = "<r>" + "".join(f"<a{i}/>" for i in range(11)) + "</r>"
+        return build("Prime", xml=xml)
+
+    def test_clean(self):
+        engine, _ = self.build_prime()
+        assert len(engine.labeled.extra["sc_groups"]) == 3
+        assert codes(engine) == []
+
+    def test_group_count(self):
+        engine, _ = self.build_prime()
+        engine.labeled.extra["sc_groups"].pop()
+        assert "sc.group-count" in codes(engine)
+
+    def test_membership(self):
+        engine, doc = self.build_prime()
+        groups = engine.labeled.extra["sc_groups"]
+        engine.labeled.labels[id(doc.root)].group = groups[1]
+        assert "sc.membership" in codes(engine)
+
+    def test_order(self):
+        engine, _ = self.build_prime()
+        engine.labeled.extra["sc_groups"][0].sc += 1
+        assert "sc.order" in codes(engine)
+
+
+class TestStorageViolations:
+    def test_record_count(self):
+        engine, _ = build()
+        engine.store.pages.splice(0, [4])  # phantom record
+        assert "storage.record-count" in codes(engine)
+
+    def test_sc_record_count(self):
+        engine, _ = build("Prime")
+        engine.store.sc_pages.splice(0, [8])  # phantom SC record
+        assert "storage.sc-records" in codes(engine)

@@ -1,0 +1,41 @@
+"""python -m repro.verify: exit codes and output formats."""
+
+from __future__ import annotations
+
+import json
+
+from repro.labeling import make_scheme
+from repro.storage.labelfile import save_labeled
+from repro.verify.__main__ import main
+from repro.xmltree import parse_document
+
+
+def save_bundle(tmp_path, scheme="V-CDBS-Containment"):
+    doc = parse_document("<r><a><b/></a><c/></r>")
+    labeled = make_scheme(scheme).label_document(doc)
+    path = tmp_path / "bundle.labels"
+    save_labeled(labeled, path)
+    return path
+
+
+class TestCLI:
+    def test_clean_bundle_exits_zero(self, tmp_path, capsys):
+        path = save_bundle(tmp_path)
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "V-CDBS-Containment" in out
+
+    def test_clean_bundle_json_output(self, tmp_path, capsys):
+        path = save_bundle(tmp_path)
+        assert main([str(path), "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+    def test_unreadable_bundle_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "garbage.labels"
+        path.write_bytes(b"not a label bundle at all\n")
+        assert main([str(path)]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, tmp_path):
+        assert main([str(tmp_path / "nope.labels")]) == 2
