@@ -1,7 +1,7 @@
 # Convenience targets for the repro library.
 
 .PHONY: install test lint ci bench bench-smoke bench-gate bench-baseline \
-	chaos experiments experiments-full examples
+	chaos crash experiments experiments-full examples
 
 install:
 	pip install -e . || python setup.py develop
@@ -41,6 +41,13 @@ bench-gate: bench-smoke
 # See docs/ROBUSTNESS.md.
 chaos:
 	PYTHONPATH=src python benchmarks/chaos_matrix.py --out CHAOS_failures.json
+
+# Crash-recovery matrix (scheme x WAL site x seed): kill the process at
+# every durability site, recover from the WAL directory alone, and
+# require equality with the committed-prefix oracle.  Failing cells'
+# plans land in CRASH_failures.json.  See docs/ROBUSTNESS.md.
+crash:
+	PYTHONPATH=src python benchmarks/crash_matrix.py --out CRASH_failures.json
 
 # Regenerate the checked-in baseline after an *intentional* change to
 # the update path's work profile; justify the refresh in the commit.

@@ -9,6 +9,10 @@ Compares a fresh ``bench_update_hotpath.py`` run against the checked-in
 * **ledger counters** — the obs pass is seeded and deterministic, so
   every counter must match **exactly**.  A counter drift means the
   algorithm did different work, not that the machine was slow.
+* **durability off stays free** — the smoke workload runs with
+  ``durability="off"``, so *any* ``wal.*`` unit in its ledger totals is
+  a leak (the WAL hooked itself into the default path) and fails the
+  gate outright, baseline or not.
 
 Usage::
 
@@ -60,6 +64,16 @@ def load_entries(payload: dict) -> dict:
         "calibration_seconds": payload.get("calibration_seconds"),
         "entries": entries,
     }
+
+
+def wal_leaks(current: dict) -> list[str]:
+    """``wal.*`` ledger units in a run that never opted into durability."""
+    leaks = []
+    for key, entry in sorted(current["entries"].items()):
+        for unit in sorted(entry.get("ledger_totals") or {}):
+            if unit.startswith("wal."):
+                leaks.append(f"{key}: {unit}")
+    return leaks
 
 
 def compare(
@@ -150,6 +164,15 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     current = load_entries(json.loads(Path(args.current).read_text()))
+    leaks = wal_leaks(current)
+    if leaks:
+        # Checked before --update too: a leak must never become baseline.
+        print(
+            "bench-gate: WAL counters leaked into a durability=off run:\n  "
+            + "\n  ".join(leaks),
+            file=sys.stderr,
+        )
+        return 1
     if args.update:
         payload = {
             "benchmark": "update_hotpath_smoke",

@@ -33,7 +33,7 @@ from repro.errors import UpdateAborted
 from repro.faults import FAULTS, KNOWN_SITES, FaultPlan
 from repro.labeling import make_scheme
 from repro.updates import UpdateEngine, apply_churn_op, churn_script
-from repro.verify import verify_integrity
+from repro.verify import verify_integrity, violation_dicts
 from repro.xmltree import Node, parse_document, serialize_document
 
 SCHEMES = (
@@ -114,8 +114,7 @@ def run_cell(scheme: str, site: str, seed: int, ops: int) -> list[str]:
             if violations:
                 problems.append(
                     f"op {step}: {len(violations)} integrity violations "
-                    f"after rollback ({violations[0].code}: "
-                    f"{violations[0].message})"
+                    f"after rollback: {violation_dicts(violations)}"
                 )
                 break
             apply_churn_op(engine, op)  # replay fault-free
@@ -128,7 +127,8 @@ def run_cell(scheme: str, site: str, seed: int, ops: int) -> list[str]:
         violations = verify_integrity(engine.labeled, engine.store)
         if violations:
             problems.append(
-                f"{len(violations)} integrity violations at end of run"
+                f"{len(violations)} integrity violations at end of run: "
+                f"{violation_dicts(violations)}"
             )
     return problems
 

@@ -1,0 +1,216 @@
+"""Crash matrix: scheme x WAL crash site x seed, with a prefix oracle.
+
+Each cell replays a seeded churn script against a ``durability="wal"``
+engine with a :class:`~repro.errors.SimulatedCrash` armed at one of the
+four durability sites, then recovers from the WAL directory alone.
+Three properties must hold (the ISSUE 5 acceptance bar):
+
+1. recovery equals the *committed prefix* oracle — the script prefix
+   without the crashing op for the pre-fsync sites (``wal.append``,
+   ``wal.fsync``: the op was never acknowledged), and including it for
+   the post-commit checkpoint sites (``wal.checkpoint_write``,
+   ``wal.checkpoint_truncate``: the record was already fsync'd);
+2. the recovered document passes ``verify_integrity`` with zero
+   violations;
+3. resuming the remaining script on the recovered state reaches the
+   same final state as a run that never crashed.
+
+Failing cells are written to ``CRASH_failures.json`` — each entry
+carries the serialized fault plan, so re-arming the deserialized plan
+replays the identical crash — and the process exits non-zero (the CI
+contract; the workflow uploads the file as an artifact).
+
+Usage::
+
+    python benchmarks/crash_matrix.py [--ops 14] [--seeds 3 7]
+        [--out CRASH_failures.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import tempfile
+
+from repro.errors import SimulatedCrash
+from repro.faults import FAULTS, WAL_CRASH_SITES, FaultPlan
+from repro.labeling import make_scheme
+from repro.updates import UpdateEngine, apply_churn_op, churn_script
+from repro.verify import verify_integrity, violation_dicts
+from repro.wal import recover
+from repro.xmltree import Node, parse_document, serialize_document
+
+SCHEMES = (
+    "V-CDBS-Containment",
+    "F-CDBS-Containment",
+    "CDBS(UTF8)-Prefix",
+)
+
+CHECKPOINT_EVERY = 3
+
+#: Crashes here land *after* the commit record fsync'd: the op is
+#: durable even though the caller never saw its result.
+POST_COMMIT_SITES = ("wal.checkpoint_write", "wal.checkpoint_truncate")
+
+
+def seed_document(elements: int, seed: int):
+    rng = random.Random(seed)
+    document = parse_document("<root/>")
+    pool = [document.root]
+    for index in range(elements):
+        parent = rng.choice(pool)
+        child = Node.element(f"e{index % 9}")
+        parent.insert_child(len(parent.children), child)
+        pool.append(child)
+    return document
+
+
+def build_labeled(scheme: str, doc_seed: int):
+    return make_scheme(scheme).label_document(
+        seed_document(elements=30, seed=doc_seed)
+    )
+
+
+def logical_state(labeled):
+    return (
+        serialize_document(labeled.document),
+        tuple(
+            repr(labeled.labels.get(id(node)))
+            for node in labeled.nodes_in_order
+        ),
+    )
+
+
+def prefix_states(scheme: str, script, doc_seed: int):
+    """Logical state after each script prefix (index = ops applied)."""
+    engine = UpdateEngine(build_labeled(scheme, doc_seed), with_storage=True)
+    states = [logical_state(engine.labeled)]
+    for op in script:
+        apply_churn_op(engine, op)
+        states.append(logical_state(engine.labeled))
+    return states
+
+
+def run_cell(scheme: str, site: str, seed: int, ops: int) -> list[str]:
+    """One matrix cell; returns the list of property violations (empty = pass)."""
+    script = churn_script(ops, seed)
+    oracle = prefix_states(scheme, script, doc_seed=seed)
+    plan = FaultPlan.crash(site, at=1 + seed % 3, note=f"seed={seed}")
+    problems: list[str] = []
+
+    with tempfile.TemporaryDirectory(prefix="repro-crash-") as wal_dir:
+        engine = UpdateEngine(
+            build_labeled(scheme, doc_seed=seed),
+            with_storage=True,
+            durability="wal",
+            wal_dir=wal_dir,
+            wal_checkpoint_commits=CHECKPOINT_EVERY,
+        )
+        done = None
+        with FAULTS.armed(plan):
+            for index, op in enumerate(script):
+                try:
+                    apply_churn_op(engine, op)
+                except SimulatedCrash:
+                    done = index
+                    break
+        if done is None:
+            return [f"crash at {site} never fired in {ops} ops"]
+        committed = done + (1 if site in POST_COMMIT_SITES else 0)
+
+        report = recover(wal_dir)
+        if logical_state(report.labeled) != oracle[committed]:
+            problems.append(
+                f"recovered state differs from the committed prefix "
+                f"({committed} of {ops} ops; crashed during op {done})"
+            )
+        violations = verify_integrity(report.labeled)
+        if violations:
+            problems.append(
+                f"{len(violations)} integrity violations after recovery: "
+                f"{violation_dicts(violations)}"
+            )
+        if problems:
+            return problems
+
+        resumed = UpdateEngine(
+            report.labeled,
+            with_storage=True,
+            durability="wal",
+            wal_dir=wal_dir,
+            wal_checkpoint_commits=CHECKPOINT_EVERY,
+        )
+        for op in script[committed:]:
+            apply_churn_op(resumed, op)
+        if logical_state(resumed.labeled) != oracle[-1]:
+            problems.append(
+                "resumed run diverges from the crash-free oracle end state"
+            )
+        violations = verify_integrity(resumed.labeled, resumed.store)
+        if violations:
+            problems.append(
+                f"{len(violations)} integrity violations at end of resumed "
+                f"run: {violation_dicts(violations)}"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Simulated-crash matrix over the WAL durability sites."
+    )
+    parser.add_argument(
+        "--ops", type=int, default=14, help="churn ops per cell"
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[3, 7, 20060403],
+        help="script seeds (each also offsets the crash ordinal)",
+    )
+    parser.add_argument(
+        "--out",
+        default="CRASH_failures.json",
+        help="where to write failing cells' fault plans",
+    )
+    args = parser.parse_args(argv)
+
+    failures = []
+    cells = 0
+    for scheme in SCHEMES:
+        for site in WAL_CRASH_SITES:
+            for seed in args.seeds:
+                cells += 1
+                problems = run_cell(scheme, site, seed, args.ops)
+                status = "ok" if not problems else "FAIL"
+                print(f"[{status}] {scheme:22s} {site:24s} seed={seed}")
+                if problems:
+                    failures.append(
+                        {
+                            "scheme": scheme,
+                            "site": site,
+                            "seed": seed,
+                            "ops": args.ops,
+                            "plan": FaultPlan.crash(
+                                site, at=1 + seed % 3, note=f"seed={seed}"
+                            ).to_dict(),
+                            "problems": problems,
+                        }
+                    )
+    if failures:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(failures, handle, indent=2)
+        print(
+            f"\n{len(failures)}/{cells} cells FAILED; fault plans written "
+            f"to {args.out}"
+        )
+        return 1
+    print(f"\nall {cells} cells passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,8 @@ __all__ = [
     "register_layer",
     "validate_layers",
     "ASSERT_RULE_MODULE_PREFIXES",
+    "NAKED_WRITE_EXEMPT_MODULES",
+    "NAKED_WRITE_MODULE_PREFIXES",
     "RAW_BITS_ALLOWED_MODULES",
     "RAW_COMPARE_ALLOWED_MODULES",
     "TIMING_ALLOWED_MODULE_PREFIXES",
@@ -80,8 +82,23 @@ LAYERS: dict[str, frozenset[str] | str] = {
     "relational": frozenset(
         {"errors", "core", "labeling", "query", "xmltree"}
     ),
-    "updates": frozenset(
+    # Durability: the WAL replays through labeling/storage directly and
+    # must never import `updates` — recovery cannot depend on the engine
+    # whose durability it implements (same rule as `verify`).
+    "wal": frozenset(
         {"errors", "core", "faults", "labeling", "obs", "storage", "xmltree"}
+    ),
+    "updates": frozenset(
+        {
+            "errors",
+            "core",
+            "faults",
+            "labeling",
+            "obs",
+            "storage",
+            "wal",
+            "xmltree",
+        }
     ),
     # The integrity verifier reads every structure the update path
     # mutates (labels, order index, SC groups, page offsets) but never
@@ -121,6 +138,16 @@ TIMING_ALLOWED_MODULE_PREFIXES = ("repro.obs",)
 #: RPR006 also exempts files under any ``benchmarks/`` directory —
 #: harnesses own their clocks (calibration loops, per-op timing).
 TIMING_ALLOWED_PATH_PARTS = frozenset({"benchmarks"})
+
+#: RPR008: module prefixes where a naked ``open(..., "w"/"wb")`` (or
+#: ``Path.write_bytes``/``write_text``) is banned — durable artifacts in
+#: these layers must go through ``atomic_write_bytes`` or the WAL's
+#: append path, so a crash can never expose a half-written file.
+NAKED_WRITE_MODULE_PREFIXES = ("repro.storage", "repro.wal")
+
+#: The one sanctioned implementation of the temp-file + ``os.replace``
+#: recipe (and therefore the one place allowed to open for writing).
+NAKED_WRITE_EXEMPT_MODULES = frozenset({"repro.storage.atomicio"})
 
 
 def register_layer(

@@ -8,6 +8,7 @@ line here.  See ``docs/STATIC_ANALYSIS.md`` for the recipe.
 from repro.analysis.rules import (  # noqa: F401  (import for registration)
     hygiene,
     layering,
+    naked_writes,
     raw_bits,
     raw_compare,
     swallowing,
@@ -18,6 +19,7 @@ from repro.analysis.rules import (  # noqa: F401  (import for registration)
 __all__ = [
     "hygiene",
     "layering",
+    "naked_writes",
     "raw_bits",
     "raw_compare",
     "swallowing",

@@ -1,0 +1,115 @@
+"""RPR008 — naked file writes in the durability-critical layers.
+
+The durability story (ISSUE 5) rests on two write disciplines: durable
+artifacts are replaced atomically (:func:`repro.storage.atomicio.atomic_write_bytes`,
+temp file + fsync + ``os.replace``) and log records are appended through
+the WAL manager's buffered append + fsync path.  A naked
+``open(path, "w")`` / ``open(path, "wb")`` — or a ``write_bytes`` /
+``write_text`` call — in :mod:`repro.storage` or :mod:`repro.wal`
+bypasses both: a crash mid-write leaves a truncated bundle or a
+half-frame that only the CRC catches *after* the good copy is gone.
+
+RPR008 therefore bans, in modules matching
+:data:`~repro.analysis.layers.NAKED_WRITE_MODULE_PREFIXES`:
+
+* ``open(..., "w")`` / ``"wb"`` (and any other ``w``-mode, positional
+  or ``mode=``) — truncate-on-open destroys the previous good copy
+  before the new one is durable;
+* ``.write_bytes(...)`` / ``.write_text(...)`` attribute calls — the
+  ``pathlib`` spelling of the same in-place overwrite.
+
+Append mode (``"ab"``) stays legal — the WAL's own append path — and
+:data:`~repro.analysis.layers.NAKED_WRITE_EXEMPT_MODULES` exempts the
+one module that *implements* the atomic recipe.  Other layers are out
+of scope: they own no durable artifacts.  Suppress a deliberate case
+with ``# repro: allow-naked-write`` and a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.layers import (
+    NAKED_WRITE_EXEMPT_MODULES,
+    NAKED_WRITE_MODULE_PREFIXES,
+)
+from repro.analysis.registry import ModuleContext, Rule, register
+
+__all__ = ["NakedWriteRule"]
+
+_WRITE_METHODS = frozenset({"write_bytes", "write_text"})
+
+
+def _in_scope(module: ModuleContext) -> bool:
+    name = module.module_name
+    if name is None or name in NAKED_WRITE_EXEMPT_MODULES:
+        return False
+    return any(
+        name == prefix or name.startswith(prefix + ".")
+        for prefix in NAKED_WRITE_MODULE_PREFIXES
+    )
+
+
+def _open_mode(call: ast.Call) -> str | None:
+    """The literal mode string of an ``open``/``io.open`` call, if any."""
+    func = call.func
+    is_open = (isinstance(func, ast.Name) and func.id == "open") or (
+        isinstance(func, ast.Attribute)
+        and func.attr == "open"
+        and isinstance(func.value, ast.Name)
+        and func.value.id in ("io", "os")
+    )
+    if not is_open:
+        return None
+    mode_node: ast.AST | None = None
+    if len(call.args) >= 2:
+        mode_node = call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode_node = keyword.value
+    if isinstance(mode_node, ast.Constant) and isinstance(mode_node.value, str):
+        return mode_node.value
+    return "r" if mode_node is None else None
+
+
+@register
+class NakedWriteRule(Rule):
+    id = "RPR008"
+    slug = "naked-write"
+    severity = Severity.ERROR
+    description = (
+        "naked open(..., 'w'/'wb') or write_bytes/write_text in "
+        "repro.storage / repro.wal; route durable writes through "
+        "atomic_write_bytes or the WAL append path"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not _in_scope(module):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            mode = _open_mode(node)
+            if mode is not None and "w" in mode:
+                yield module.finding(
+                    self,
+                    node,
+                    f"open(..., {mode!r}) truncates the previous copy "
+                    f"before the new bytes are durable; use "
+                    f"atomic_write_bytes (or append mode for logs)",
+                )
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _WRITE_METHODS
+            ):
+                yield module.finding(
+                    self,
+                    node,
+                    f".{func.attr}(...) overwrites in place; durable "
+                    f"artifacts in this layer must go through "
+                    f"atomic_write_bytes",
+                )

@@ -124,6 +124,17 @@ class PersistentFault(InjectedFault):
     """An injected fault that fires on every retry of the same site."""
 
 
+class SimulatedCrash(InjectedFault):
+    """An injected process death at a durability site.
+
+    Unlike :class:`TransientFault`/:class:`PersistentFault`, a crash is
+    never retried and never wrapped in :class:`UpdateAborted`: the
+    "process" is considered dead the instant it fires, so the crash
+    matrix catches it raw, throws the in-memory state away, and drives
+    :func:`repro.wal.recover` against what reached disk.
+    """
+
+
 class XMLParseError(ReproError, ValueError):
     """Malformed XML input fed to :mod:`repro.xmltree.parser`."""
 

@@ -10,11 +10,18 @@ See ``docs/ROBUSTNESS.md`` for the fault-plan format and the chaos
 matrix that sweeps schemes x sites x seeds in CI (``make chaos``).
 """
 
-from repro.errors import InjectedFault, PersistentFault, TransientFault
+from repro.errors import (
+    InjectedFault,
+    PersistentFault,
+    SimulatedCrash,
+    TransientFault,
+)
 from repro.faults.plan import (
+    CRASH,
     KNOWN_SITES,
     PERSISTENT,
     TRANSIENT,
+    WAL_CRASH_SITES,
     FaultPlan,
     FaultPoint,
 )
@@ -27,11 +34,14 @@ __all__ = [
     "FaultPlan",
     "FaultPoint",
     "KNOWN_SITES",
+    "WAL_CRASH_SITES",
     "TRANSIENT",
     "PERSISTENT",
+    "CRASH",
     "InjectedFault",
     "TransientFault",
     "PersistentFault",
+    "SimulatedCrash",
     "RetryPolicy",
     "DEFAULT_RETRY_POLICY",
 ]

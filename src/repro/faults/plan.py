@@ -28,12 +28,19 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from repro.errors import InjectedFault, PersistentFault, TransientFault
+from repro.errors import (
+    InjectedFault,
+    PersistentFault,
+    SimulatedCrash,
+    TransientFault,
+)
 
 __all__ = [
     "KNOWN_SITES",
+    "WAL_CRASH_SITES",
     "TRANSIENT",
     "PERSISTENT",
+    "CRASH",
     "FaultPoint",
     "FaultPlan",
 ]
@@ -45,9 +52,21 @@ KNOWN_SITES: tuple[str, ...] = (
     "relabel.step",
 )
 
+#: The durability sites :class:`repro.wal.WalManager` passes through on
+#: every commit/checkpoint.  A ``CRASH`` point at one of these models the
+#: process dying with the WAL buffer (volatile) lost and everything the
+#: manager already fsync'd preserved — the crash matrix sweeps them.
+WAL_CRASH_SITES: tuple[str, ...] = (
+    "wal.append",
+    "wal.fsync",
+    "wal.checkpoint_write",
+    "wal.checkpoint_truncate",
+)
+
 TRANSIENT = "transient"
 PERSISTENT = "persistent"
-_KINDS = (TRANSIENT, PERSISTENT)
+CRASH = "crash"
+_KINDS = (TRANSIENT, PERSISTENT, CRASH)
 
 
 @dataclass(frozen=True)
@@ -58,8 +77,10 @@ class FaultPoint:
         site: instrumented site name (see :data:`KNOWN_SITES`).
         at: 1-based hit ordinal that triggers the fault.
         kind: ``"transient"`` (clears after ``fires`` raises — a retry
-            may succeed) or ``"persistent"`` (every hit >= ``at``
-            raises — retries are futile).
+            may succeed), ``"persistent"`` (every hit >= ``at`` raises —
+            retries are futile), or ``"crash"`` (every hit >= ``at``
+            raises :class:`~repro.errors.SimulatedCrash` — the process is
+            dead; nothing catches or retries it).
         fires: transient only — how many consecutive hits fail before
             the site recovers.  ``fires`` below a retry policy's budget
             models a blip the store absorbs; at or above it, the
@@ -85,6 +106,10 @@ class FaultPoint:
         """The exception the ``hit``-th site hit should raise, if any."""
         if hit < self.at:
             return None
+        if self.kind == CRASH:
+            # Like persistent: once the process "died" at this site, any
+            # later hit within the same armed plan dies too.
+            return SimulatedCrash(self.site, hit)
         if self.kind == PERSISTENT:
             return PersistentFault(self.site, hit)
         if hit < self.at + self.fires:
@@ -144,6 +169,12 @@ class FaultPlan:
         return cls(
             points=(FaultPoint(site, at, kind, fires),), note=note
         )
+
+    @classmethod
+    def crash(cls, site: str, at: int = 1, *, note: str = "") -> "FaultPlan":
+        """A process-death plan: the ``at``-th hit of ``site`` raises
+        :class:`~repro.errors.SimulatedCrash` (see :data:`WAL_CRASH_SITES`)."""
+        return cls(points=(FaultPoint(site, at, CRASH),), note=note)
 
     @classmethod
     def seeded(

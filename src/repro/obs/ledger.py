@@ -104,6 +104,27 @@ COST_UNITS: dict[str, tuple[str, str]] = {
         "pages",
         "pages the storage model charged for one update",
     ),
+    "wal.records_appended": (
+        "records",
+        "redo records durably logged (one per committed transaction)",
+    ),
+    "wal.bytes_appended": (
+        "bytes",
+        "framed WAL bytes fsync'd — the durable footprint of updates "
+        "(Sec. 4.2: proportional to the label delta, not the document)",
+    ),
+    "wal.fsyncs": (
+        "fsyncs",
+        "explicit durability barriers (one per commit)",
+    ),
+    "wal.checkpoints": (
+        "checkpoints",
+        "labelfile-v2 bundles written by the K-commits/B-bytes policy",
+    ),
+    "wal.checkpoint_bytes": (
+        "bytes",
+        "total size of checkpoint bundles written",
+    ),
 }
 
 

@@ -1,5 +1,6 @@
 """Paged label storage, bit-exact label codecs, and persistence."""
 
+from repro.storage.atomicio import atomic_write_bytes
 from repro.storage.encoding import (
     BitReader,
     BitWriter,
@@ -23,6 +24,7 @@ from repro.storage.pager import (
 )
 
 __all__ = [
+    "atomic_write_bytes",
     "BitReader",
     "BitWriter",
     "encode_labels",

@@ -1,0 +1,65 @@
+"""Atomic file replacement for durable artifacts (bundles, WAL truncation).
+
+Every on-disk artifact the library owns — labelfile bundles, WAL
+checkpoint files, the truncated log — must never be observable in a
+half-written state: a crash mid-write would otherwise leave a short
+file whose corruption only the CRC catches *after* the good copy is
+gone.  :func:`atomic_write_bytes` gives the standard POSIX recipe:
+write a sibling temp file, flush + fsync it, then ``os.replace`` over
+the destination (atomic on the same filesystem).
+
+Rule RPR008 bans naked ``open(path, "w"/"wb")`` / ``write_bytes`` calls
+in ``repro.storage`` and ``repro.wal``; this module is the one
+sanctioned exemption (see ``repro.analysis.layers``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["atomic_write_bytes"]
+
+
+def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> int:
+    """Durably replace ``path``'s contents with ``data``; returns len(data).
+
+    The write goes to ``<path>.tmp`` in the same directory, is fsync'd,
+    and is then renamed over ``path`` — so a reader (or a recovery pass)
+    only ever sees the complete old file or the complete new one.  On
+    failure the temp file is removed and the destination is untouched.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            # Cleanup is best-effort: the original failure matters more
+            # than a stray .tmp file.
+            pass
+        raise
+    _fsync_directory(path.parent)
+    return len(data)
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Persist the rename itself (the directory entry), where supported."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        # Some filesystems refuse fsync on directories; the rename is
+        # still atomic, just not yet journalled.
+        pass
+    finally:
+        os.close(fd)

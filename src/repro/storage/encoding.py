@@ -360,18 +360,40 @@ def _containment_codec(scheme: ContainmentScheme) -> LabelStreamCodec:
             return np.float32(value)
 
     elif name == "v-cdbs":
+        # The length prefix stores ``len - 1`` in the *analytical* field
+        # of Example 4.2 (codes are never empty), so a bulk-encoded
+        # document streams in exactly ``total_label_bits()`` bits — the
+        # figure the paper's Figure 5 accounting reports.  Dynamic
+        # inserts legally mint codes longer than the analytical field
+        # describes (up to ``VCDBSCodec.max_code_bits``, byte-aligned
+        # >= 8 bits), and a WAL record or post-churn bundle must carry
+        # them: the all-ones prefix escapes to an explicit 16-bit
+        # length.  Bulk lengths peak at ``2**field - 1``, below the
+        # escape, so static streams never pay for the slack; both sides
+        # derive ``field`` from persisted codec state, so encode and
+        # decode agree across a save/load cycle.
         field = codec._field_bits  # noqa: SLF001
+        escape = (1 << field) - 1
 
         def write_value(writer: BitWriter, value: BitString) -> None:
-            if len(value) >= (1 << field):
+            length = len(value)
+            if length < 1:
+                raise InvalidCodeError("V-CDBS codes are never empty")
+            if length - 1 < escape:
+                writer.write(length - 1, field)
+            elif length >= (1 << 16):
                 raise InvalidCodeError(
-                    f"{len(value)}-bit code exceeds the {field}-bit length field"
+                    f"{length}-bit code exceeds the escaped length field"
                 )
-            writer.write(len(value), field)
+            else:
+                writer.write(escape, field)
+                writer.write(length, 16)
             writer.write_bitstring(value)
 
         def read_value(reader: BitReader) -> BitString:
-            return reader.read_bitstring(reader.read(field))
+            prefix = reader.read(field)
+            length = reader.read(16) if prefix == escape else prefix + 1
+            return reader.read_bitstring(length)
 
     elif name == "f-cdbs":
         width = codec.width

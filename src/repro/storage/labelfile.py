@@ -34,6 +34,7 @@ from repro.errors import ReproError
 from repro.labeling import LabeledDocument, make_scheme
 from repro.labeling.containment import ContainmentScheme
 from repro.labeling.prime import PrimeScheme
+from repro.storage.atomicio import atomic_write_bytes
 from repro.storage.encoding import decode_labels, encode_labels
 from repro.xmltree import parse_document, serialize_document
 
@@ -51,11 +52,18 @@ class LabelFileError(ReproError):
 
 
 def _scheme_config(scheme) -> dict[str, Any]:
-    """Codec state that must survive a save/load cycle."""
+    """Codec state that must survive a save/load cycle.
+
+    ``_configured_field_bits`` rides along for V-CDBS because the
+    stream framing derives its practical length field from it (a
+    deliberately tight Section 6 overflow configuration must decode
+    with the same tight field it encoded with).
+    """
     config: dict[str, Any] = {}
     if isinstance(scheme, ContainmentScheme):
         codec = scheme.codec
-        for attribute in ("_field_bits", "_width", "gap"):
+        attributes = ("_field_bits", "_configured_field_bits", "_width", "gap")
+        for attribute in attributes:
             if hasattr(codec, attribute):
                 config[attribute] = getattr(codec, attribute)
     return config
@@ -69,8 +77,14 @@ def _apply_scheme_config(scheme, config: dict[str, Any]) -> None:
                 setattr(codec, attribute, value)
 
 
-def save_labeled(labeled: LabeledDocument, path: "str | Path") -> None:
-    """Write a labeled document bundle (format v2) to ``path``."""
+def save_labeled(labeled: LabeledDocument, path: "str | Path") -> int:
+    """Write a labeled document bundle (format v2) to ``path``.
+
+    The write is atomic (temp file + ``os.replace``): a crash or fault
+    mid-save leaves the previous bundle intact instead of a truncated
+    file that only the CRC would catch later.  Returns the bundle size
+    in bytes (the WAL checkpointer reports it to the obs ledger).
+    """
     xml_bytes = serialize_document(labeled.document).encode("utf-8")
     label_bytes = encode_labels(labeled)
     checksum = zlib.crc32(xml_bytes + label_bytes)
@@ -80,7 +94,7 @@ def save_labeled(labeled: LabeledDocument, path: "str | Path") -> None:
         + (json.dumps(_scheme_config(labeled.scheme)) + "\n").encode("utf-8")
         + f"{len(xml_bytes)} {len(label_bytes)} {checksum}\n".encode("ascii")
     )
-    Path(path).write_bytes(header + xml_bytes + label_bytes)
+    return atomic_write_bytes(path, header + xml_bytes + label_bytes)
 
 
 def load_labeled(path: "str | Path") -> LabeledDocument:

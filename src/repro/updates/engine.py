@@ -19,7 +19,7 @@ be reconciled in tests.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterator
 
 from repro.labeling.base import LabeledDocument, UpdateStats
@@ -27,9 +27,13 @@ from repro.obs import OBS
 from repro.storage.labelstore import LabelStore
 from repro.storage.pager import IOCostModel
 from repro.updates.txn import Transaction
+from repro.wal import WalManager
 from repro.xmltree.node import Node
+from repro.xmltree.serializer import serialize
 
 __all__ = ["UpdateResult", "UpdateEngine"]
+
+DURABILITY_MODES = ("off", "wal")
 
 
 @dataclass(frozen=True)
@@ -52,6 +56,50 @@ class UpdateResult:
         return self.processing_seconds + self.io_seconds
 
 
+class _CommitScope:
+    """Carries the WAL commit receipt across the transaction boundary.
+
+    The op body builds its :class:`UpdateResult` *inside* the atomic
+    block, but the WAL write happens at the commit point — during the
+    transaction's ``__exit__``, after the body returned.  The scope is
+    how the durability cost still reaches the result: the commit hook
+    drops the receipt here, and :meth:`absorb` (called after the block)
+    folds its io-seconds and cost units into the frozen result.
+    """
+
+    __slots__ = ("receipt",)
+
+    def __init__(self) -> None:
+        self.receipt = None
+
+    def absorb(self, result: UpdateResult) -> UpdateResult:
+        receipt = self.receipt
+        if receipt is None:
+            return result
+        costs = result.costs
+        if costs is not None:
+            costs = dict(costs)
+            for unit, amount in receipt.charges.items():
+                costs[unit] = costs.get(unit, 0) + amount
+        return replace(
+            result,
+            io_seconds=result.io_seconds + receipt.io_seconds,
+            costs=costs,
+        )
+
+
+class _NullScope:
+    """No-op scope: durability off, or a nested (joined) transaction."""
+
+    __slots__ = ()
+
+    def absorb(self, result: UpdateResult) -> UpdateResult:
+        return result
+
+
+_NULL_SCOPE = _NullScope()
+
+
 class UpdateEngine:
     """Runs inserts/deletes against one labeled document.
 
@@ -62,6 +110,19 @@ class UpdateEngine:
         io_model: per-page costs for the store.
         cache_pages: optionally front the store with an LRU buffer pool
             of that many pages (reads that hit it are free).
+        durability: ``"off"`` (default — in-memory atomicity only, zero
+            WAL overhead) or ``"wal"`` — every committed operation is
+            appended to a write-ahead log and fsync'd before the call
+            returns; :func:`repro.wal.recover` rebuilds the state after
+            a crash.  The fsync cost lands in ``UpdateResult.io_seconds``
+            and its ``wal.*`` units in ``UpdateResult.costs``.
+        wal_dir: the log directory (required for ``durability="wal"``
+            unless ``wal`` is given); reopening an existing directory
+            resumes its LSN lineage.
+        wal: a pre-built :class:`repro.wal.WalManager` (overrides
+            ``wal_dir``), for tests that tune the checkpoint policy.
+        wal_checkpoint_commits / wal_checkpoint_bytes: the K/B
+            checkpoint policy when the engine builds the manager itself.
     """
 
     def __init__(
@@ -71,7 +132,17 @@ class UpdateEngine:
         with_storage: bool = True,
         io_model: IOCostModel | None = None,
         cache_pages: int | None = None,
+        durability: str = "off",
+        wal_dir=None,
+        wal: WalManager | None = None,
+        wal_checkpoint_commits: int = 64,
+        wal_checkpoint_bytes: int = 256 * 1024,
     ) -> None:
+        if durability not in DURABILITY_MODES:
+            raise ValueError(
+                f"durability must be one of {DURABILITY_MODES}, "
+                f"got {durability!r}"
+            )
         self.labeled = labeled
         self.scheme = labeled.scheme
         self.store = (
@@ -79,14 +150,32 @@ class UpdateEngine:
             if with_storage
             else None
         )
+        self.durability = durability
+        if durability == "wal":
+            if wal is None:
+                if wal_dir is None:
+                    raise ValueError(
+                        "durability='wal' needs wal_dir= or a wal= manager"
+                    )
+                wal = WalManager(
+                    wal_dir,
+                    labeled,
+                    io_model=io_model,
+                    checkpoint_every_commits=wal_checkpoint_commits,
+                    checkpoint_every_bytes=wal_checkpoint_bytes,
+                )
+            self.wal: WalManager | None = wal
+        else:
+            self.wal = None
+        self._wal_pending: list[dict] = []
         self.totals = UpdateStats()
         self._txn_depth = 0
 
     # -- transactions --------------------------------------------------------
 
     @contextmanager
-    def _atomic(self, op: str) -> Iterator[None]:
-        """Run one public operation as a transaction.
+    def _atomic(self, op: str) -> Iterator["_CommitScope | _NullScope"]:
+        """Run one public operation as a transaction; yields its scope.
 
         Nested calls (``move_before`` runs ``delete`` + ``insert_before``)
         join the outermost transaction rather than opening their own, so
@@ -94,22 +183,61 @@ class UpdateEngine:
         failure inside the body surfaces as
         :class:`~repro.errors.UpdateAborted` after the undo log, the
         ledger and ``self.totals`` are back to their pre-op state.
+
+        With ``durability="wal"`` the outermost transaction gains a
+        commit hook that appends + fsyncs one redo record built from the
+        sub-ops the body staged (``_wal_pending``).  The hook failing —
+        including an injected crash at the append/fsync sites — aborts
+        the whole operation, so "acknowledged" and "durable" coincide.
+        A due checkpoint runs *after* the transaction: its failure can
+        no longer un-commit the op (the record is already fsync'd).
         """
         if self._txn_depth:
-            yield
+            yield _NULL_SCOPE
             return
         self._txn_depth += 1
         totals_before = self.totals
+        scope = _NULL_SCOPE if self.wal is None else _CommitScope()
         try:
-            with Transaction(op, self.labeled, self.store):
-                yield
+            with Transaction(op, self.labeled, self.store) as txn:
+                if self.wal is not None:
+                    txn.on_commit(lambda: self._commit_wal(op, scope))
+                yield scope
         except BaseException:
             # UpdateStats is replaced (merge returns a new instance),
             # never mutated, so the captured reference is a snapshot.
+            self._wal_pending.clear()
             self.totals = totals_before
             raise
         finally:
             self._txn_depth -= 1
+        if self.wal is not None:
+            self.wal.maybe_checkpoint()
+
+    def _commit_wal(self, op: str, scope: "_CommitScope") -> None:
+        """The transaction's commit hook: log the staged sub-ops."""
+        subops = self._wal_pending
+        self._wal_pending = []
+        if subops:
+            scope.receipt = self.wal.commit(op, subops)
+
+    def _stage_insert(self, parent: Node, index: int, roots: list[Node]) -> None:
+        """Record one insert/insert_run sub-op for the pending WAL record.
+
+        Called after the scheme succeeded, so the fresh labels exist and
+        ``parent``'s document-order position is final (its new
+        descendants sort after it, so the position equals the pre-op
+        one replay will see).
+        """
+        self._wal_pending.append(
+            {
+                "kind": "insert" if len(roots) == 1 else "insert_run",
+                "parent": self.labeled.position_of(parent),
+                "index": index,
+                "xml": [serialize(root) for root in roots],
+                "labels": self.wal.encode_subtree_labels(self.labeled, roots),
+            }
+        )
 
     # -- public operations ---------------------------------------------------
 
@@ -159,14 +287,19 @@ class UpdateEngine:
                 pages_touched=0,
             )
         index = parent.index_of_child(target)
-        with self._atomic("insert_run"), OBS.span("update.op", op="insert_run"):
+        with self._atomic("insert_run") as scope, OBS.span(
+            "update.op", op="insert_run"
+        ):
             before = OBS.ledger.totals_snapshot() if OBS.enabled else None
             with OBS.span("update.insert_run") as timing:
                 stats = self.scheme.insert_run(
                     self.labeled, parent, index, subtree_roots
                 )
             position = self.labeled.position_of(subtree_roots[0])
-            return self._account(stats, position, timing.seconds, before)
+            if self.wal is not None:
+                self._stage_insert(parent, index, subtree_roots)
+            result = self._account(stats, position, timing.seconds, before)
+        return scope.absorb(result)
 
     def move_before(self, node: Node, target: Node) -> UpdateResult:
         """Relocate ``node`` (with its subtree) to just before ``target``.
@@ -179,44 +312,60 @@ class UpdateEngine:
         if node is target or node.is_ancestor_of(target):
             raise ValueError("cannot move a node before itself or its descendant")
         before = OBS.ledger.totals_snapshot() if OBS.enabled else None
-        with self._atomic("move_before"):
+        with self._atomic("move_before") as scope:
             # Both halves share the outer transaction: if the re-insert
             # fails, the deletion is unwound with it and the subtree is
-            # back at its source, labels and pages included.
+            # back at its source, labels and pages included.  Their
+            # staged sub-ops likewise land in one WAL record, replayed
+            # sequentially (positions were captured per half, so the
+            # insert half's are valid in the post-delete state).
             deletion = self.delete(node)
             insertion = self.insert_before(target, node)
-        return UpdateResult(
-            stats=deletion.stats.merge(insertion.stats),
-            processing_seconds=(
-                deletion.processing_seconds + insertion.processing_seconds
-            ),
-            io_seconds=deletion.io_seconds + insertion.io_seconds,
-            pages_touched=deletion.pages_touched + insertion.pages_touched,
-            costs=self._costs_since(before),
-        )
+            result = UpdateResult(
+                stats=deletion.stats.merge(insertion.stats),
+                processing_seconds=(
+                    deletion.processing_seconds + insertion.processing_seconds
+                ),
+                io_seconds=deletion.io_seconds + insertion.io_seconds,
+                pages_touched=deletion.pages_touched + insertion.pages_touched,
+                costs=self._costs_since(before),
+            )
+        return scope.absorb(result)
 
     def delete(self, node: Node) -> UpdateResult:
         """Delete ``node`` and its subtree."""
-        with self._atomic("delete"), OBS.span("update.op", op="delete"):
+        with self._atomic("delete") as scope, OBS.span(
+            "update.op", op="delete"
+        ):
             before = OBS.ledger.totals_snapshot() if OBS.enabled else None
             position = self.labeled.position_of(node)
             with OBS.span("update.delete") as timing:
                 stats = self.scheme.delete_subtree(self.labeled, node)
-            return self._account(stats, position, timing.seconds, before)
+            if self.wal is not None:
+                # The pre-delete document-order position: at replay time
+                # the record applies to exactly this state.
+                self._wal_pending.append({"kind": "delete", "root": position})
+            result = self._account(stats, position, timing.seconds, before)
+        return scope.absorb(result)
 
     # -- internals ---------------------------------------------------------------
 
     def _insert(
         self, parent: Node, index: int, subtree_root: Node
     ) -> UpdateResult:
-        with self._atomic("insert"), OBS.span("update.op", op="insert"):
+        with self._atomic("insert") as scope, OBS.span(
+            "update.op", op="insert"
+        ):
             before = OBS.ledger.totals_snapshot() if OBS.enabled else None
             with OBS.span("update.insert") as timing:
                 stats = self.scheme.insert_subtree(
                     self.labeled, parent, index, subtree_root
                 )
             position = self.labeled.position_of(subtree_root)
-            return self._account(stats, position, timing.seconds, before)
+            if self.wal is not None:
+                self._stage_insert(parent, index, [subtree_root])
+            result = self._account(stats, position, timing.seconds, before)
+        return scope.absorb(result)
 
     def _account(
         self,

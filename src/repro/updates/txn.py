@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.errors import RollbackError, UpdateAborted
+from repro.errors import RollbackError, SimulatedCrash, UpdateAborted
 from repro.obs import OBS
 
 __all__ = ["UndoLog", "Transaction"]
@@ -78,7 +78,17 @@ class Transaction:
     counts ``txn.rollbacks``, and re-raises as :class:`UpdateAborted`.
 
     Control-flow exceptions outside ``Exception`` (``KeyboardInterrupt``
-    and friends) still trigger the rollback but propagate unwrapped.
+    and friends) still trigger the rollback but propagate unwrapped, as
+    does :class:`~repro.errors.SimulatedCrash` — a crash is the process
+    dying, not a recoverable abort, so wrapping it in ``UpdateAborted``
+    would invite a retry that cannot help.
+
+    **Commit hooks.**  :meth:`on_commit` registers callables that run at
+    the commit point — inside ``__exit__``, after the body succeeded but
+    before the transaction is over.  This is where the WAL write lives:
+    a hook that raises turns the would-be commit into a full rollback
+    (abort ⇒ nothing logged *and* nothing logged ⇒ abort), which makes
+    fsync success the single durability point of the operation.
     """
 
     def __init__(self, op: str, labeled: Any, store: Any = None) -> None:
@@ -87,6 +97,11 @@ class Transaction:
         self.store = store
         self.log = UndoLog()
         self._ledger_state: dict | None = None
+        self._commit_hooks: list[Callable[[], Any]] = []
+
+    def on_commit(self, hook: Callable[[], Any]) -> None:
+        """Run ``hook`` at the commit point; its failure aborts the txn."""
+        self._commit_hooks.append(hook)
 
     def __enter__(self) -> "Transaction":
         self._ledger_state = (
@@ -98,17 +113,36 @@ class Transaction:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
+        failure = exc
+        if failure is None:
+            # The commit point: hooks (the WAL append/fsync) run while
+            # the transaction still owns the op.  The first failing hook
+            # demotes the commit to an abort — later hooks are skipped.
+            for hook in self._commit_hooks:
+                try:
+                    hook()
+                except BaseException as hook_error:
+                    failure = hook_error
+                    break
         # Unbind before rolling back: the inverses mutate raw state and
         # must not be re-recorded by the instrumented mutation sites.
         self.labeled.undo_log = None
         if self.store is not None:
             self.store.bind_undo(None)
-        if exc is None:
+        if failure is None:
             return False
         self.log.rollback()
         if self._ledger_state is not None:
             OBS.ledger.restore(self._ledger_state)
         OBS.inc("txn.rollbacks")
-        if isinstance(exc, Exception):
-            raise UpdateAborted(self.op, exc) from exc
+        if isinstance(failure, SimulatedCrash):
+            # The "process" is dead: roll back the in-memory state (the
+            # survivor is whatever reached disk) and propagate raw.
+            if exc is None:
+                raise failure
+            return False
+        if isinstance(failure, Exception):
+            raise UpdateAborted(self.op, failure) from failure
+        if exc is None:
+            raise failure
         return False

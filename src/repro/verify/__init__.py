@@ -15,6 +15,6 @@ the checker validates what the update path produced without depending
 on the code under test.
 """
 
-from repro.verify.checker import Violation, verify_integrity
+from repro.verify.checker import Violation, verify_integrity, violation_dicts
 
-__all__ = ["Violation", "verify_integrity"]
+__all__ = ["Violation", "verify_integrity", "violation_dicts"]

@@ -19,7 +19,7 @@ import sys
 
 from repro.errors import ReproError
 from repro.storage.labelfile import load_labeled
-from repro.verify import verify_integrity
+from repro.verify import verify_integrity, violation_dicts
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -44,15 +44,7 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     violations = verify_integrity(labeled)
     if args.json:
-        print(
-            json.dumps(
-                [
-                    {"code": violation.code, "message": violation.message}
-                    for violation in violations
-                ],
-                indent=2,
-            )
-        )
+        print(json.dumps(violation_dicts(violations), indent=2))
     elif violations:
         for violation in violations:
             print(f"{args.bundle}: {violation.code}: {violation.message}")

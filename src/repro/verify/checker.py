@@ -31,7 +31,7 @@ from repro.labeling.base import LabeledDocument
 from repro.labeling.prime import GROUP_SIZE
 from repro.xmltree.node import Node
 
-__all__ = ["Violation", "verify_integrity"]
+__all__ = ["Violation", "verify_integrity", "violation_dicts"]
 
 
 @dataclass(frozen=True)
@@ -40,6 +40,19 @@ class Violation:
 
     code: str
     message: str
+
+
+def violation_dicts(violations: list[Violation]) -> list[dict[str, str]]:
+    """Violations as JSON-ready dicts — the one shared shape.
+
+    The ``--json`` CLI flag, the chaos matrix and the crash matrix all
+    emit this; keeping it here stops each harness from re-deriving the
+    serialization by hand.
+    """
+    return [
+        {"code": violation.code, "message": violation.message}
+        for violation in violations
+    ]
 
 
 def _describe(node: Node) -> str:

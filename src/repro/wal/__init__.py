@@ -1,0 +1,56 @@
+"""Write-ahead logging, checkpointing, and crash recovery.
+
+The durability layer for :class:`repro.updates.UpdateEngine`
+(``durability="wal"``): every committed transaction appends one
+CRC-framed redo record whose size is proportional to the *label delta*
+(the paper's Section 4 claim made durable), checkpoints bound the log,
+and :func:`recover` rebuilds a process-equivalent state from the
+directory alone — tolerating a torn tail and replaying idempotently.
+
+See ``docs/ROBUSTNESS.md`` ("Durability") for the record format, the
+checkpoint policy, the recovery algorithm, and the crash-matrix cell
+semantics (``make crash``).  CLI: ``python -m repro.wal inspect <dir>``.
+"""
+
+from repro.wal.frames import (
+    FRAME_HEADER_BYTES,
+    FRAME_MAGIC,
+    TailStatus,
+    WalError,
+    WalRecord,
+    decode_frames,
+    decode_record,
+    encode_frame,
+    encode_record,
+    scan_frames,
+)
+from repro.wal.recovery import RecoveryReport, recover
+from repro.wal.writer import (
+    LOG_NAME,
+    CheckpointReceipt,
+    CommitReceipt,
+    WalManager,
+    checkpoint_files,
+    checkpoint_watermark,
+)
+
+__all__ = [
+    "WalError",
+    "WalRecord",
+    "TailStatus",
+    "FRAME_MAGIC",
+    "FRAME_HEADER_BYTES",
+    "encode_frame",
+    "encode_record",
+    "decode_frames",
+    "decode_record",
+    "scan_frames",
+    "WalManager",
+    "CommitReceipt",
+    "CheckpointReceipt",
+    "LOG_NAME",
+    "checkpoint_files",
+    "checkpoint_watermark",
+    "recover",
+    "RecoveryReport",
+]

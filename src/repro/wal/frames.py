@@ -1,0 +1,234 @@
+"""WAL frame and record codec: CRC-32-framed, length-prefixed redo records.
+
+On disk a log is a concatenation of frames::
+
+    frame   := b"WF" <payload_len:u32> <crc32(payload):u32> <payload>
+    payload := <lsn:u64> <header_len:u32> <header json, utf-8> <label blob>
+
+The JSON header carries the logical redo operation — op kind, scheme
+name, and a list of positional sub-operations (one per engine-level
+half-op; ``move_before`` logs two).  The binary label blob concatenates
+each sub-op's freshly-minted labels, encoded with the scheme's
+:func:`repro.storage.encoding.make_label_codec` stream codec — the same
+bit-exact framing the bundle format uses.  Recovery replays the logical
+sub-ops through the (deterministic) scheme and uses the recorded label
+bytes as a divergence check; the blob length is also the paper-facing
+"durable footprint" measurement (DESIGN.md §9).
+
+Two parsing surfaces:
+
+* :func:`decode_frames` / :func:`decode_record` are *strict*: any
+  malformation raises :class:`WalError`.
+* :func:`scan_frames` is *tolerant*: it parses the longest valid prefix
+  and reports why it stopped.  It never resynchronizes past a bad
+  frame — bytes after the first corruption are unreachable by design,
+  which is what makes torn-tail recovery safe (a valid-looking frame
+  after a torn one could be a stale remnant of a truncated-then-reused
+  log).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+__all__ = [
+    "WalError",
+    "WalRecord",
+    "FRAME_MAGIC",
+    "FRAME_HEADER_BYTES",
+    "encode_frame",
+    "encode_record",
+    "decode_record",
+    "decode_frames",
+    "scan_frames",
+    "TailStatus",
+]
+
+FRAME_MAGIC = b"WF"
+_FRAME_HEAD = struct.Struct(">2sII")  # magic, payload length, payload CRC-32
+_PAYLOAD_HEAD = struct.Struct(">QI")  # lsn, header length
+FRAME_HEADER_BYTES = _FRAME_HEAD.size
+
+#: Sub-op keys that carry binary label bytes out-of-band of the JSON
+#: header ("labels" in the decoded dict, "labels_len" in the header).
+_BLOB_KEY = "labels"
+
+
+class WalError(ReproError):
+    """A WAL frame, record, or log directory is malformed."""
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One committed transaction's redo record.
+
+    ``subops`` is a list of dicts; each has a ``kind`` key:
+
+    * ``{"kind": "insert", "parent": int, "index": int, "xml": [str],
+      "labels": bytes}`` — one subtree inserted at
+      ``parent.children[index]`` (``parent`` is the parent's document-
+      order position *at apply time*).
+    * ``{"kind": "insert_run", ...}`` — same shape, several roots.
+    * ``{"kind": "delete", "root": int}`` — the subtree rooted at
+      document-order position ``root`` removed.
+    """
+
+    lsn: int
+    op: str
+    scheme: str
+    subops: tuple = field(default_factory=tuple)
+
+    def label_bytes(self) -> int:
+        """Total encoded-label payload — the paper's durable delta."""
+        return sum(len(subop.get(_BLOB_KEY, b"")) for subop in self.subops)
+
+
+@dataclass(frozen=True)
+class TailStatus:
+    """Why a tolerant scan stopped.
+
+    ``clean`` means the log ended exactly at a frame boundary;
+    otherwise ``reason`` says what was wrong with the bytes starting at
+    ``valid_bytes`` (the torn tail recovery should truncate away).
+    """
+
+    clean: bool
+    valid_bytes: int
+    dropped_bytes: int = 0
+    reason: str = ""
+
+
+def encode_record(record: WalRecord) -> bytes:
+    """Serialize a record to a frame payload (no frame envelope)."""
+    header_subops = []
+    blobs = []
+    for subop in record.subops:
+        entry = {k: v for k, v in subop.items() if k != _BLOB_KEY}
+        blob = subop.get(_BLOB_KEY, b"")
+        entry["labels_len"] = len(blob)
+        header_subops.append(entry)
+        blobs.append(blob)
+    header = json.dumps(
+        {"op": record.op, "scheme": record.scheme, "subops": header_subops},
+        separators=(",", ":"),
+    ).encode("utf-8")
+    return (
+        _PAYLOAD_HEAD.pack(record.lsn, len(header)) + header + b"".join(blobs)
+    )
+
+
+def decode_record(payload: bytes) -> WalRecord:
+    """Parse a frame payload back into a :class:`WalRecord`.
+
+    Raises:
+        WalError: short payload, undecodable header JSON, or a label
+            blob shorter than the header's ``labels_len`` fields claim.
+    """
+    if len(payload) < _PAYLOAD_HEAD.size:
+        raise WalError(
+            f"record payload is {len(payload)} bytes, need at least "
+            f"{_PAYLOAD_HEAD.size}"
+        )
+    lsn, header_len = _PAYLOAD_HEAD.unpack_from(payload)
+    header_end = _PAYLOAD_HEAD.size + header_len
+    if header_end > len(payload):
+        raise WalError(
+            f"record header claims {header_len} bytes but only "
+            f"{len(payload) - _PAYLOAD_HEAD.size} remain"
+        )
+    try:
+        header = json.loads(payload[_PAYLOAD_HEAD.size : header_end])
+        op = header["op"]
+        scheme = header["scheme"]
+        raw_subops = header["subops"]
+        if not isinstance(raw_subops, list):
+            raise TypeError("subops must be a list")
+    except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError) as e:
+        raise WalError(f"undecodable record header for lsn region: {e}") from e
+    subops = []
+    cursor = header_end
+    for entry in raw_subops:
+        try:
+            blob_len = int(entry.pop("labels_len", 0))
+        except (TypeError, ValueError, AttributeError) as error:
+            raise WalError("malformed sub-op in record header") from error
+        if blob_len < 0 or cursor + blob_len > len(payload):
+            raise WalError(
+                f"label blob overruns the record payload "
+                f"({cursor + blob_len} > {len(payload)})"
+            )
+        entry[_BLOB_KEY] = payload[cursor : cursor + blob_len]
+        cursor += blob_len
+        subops.append(entry)
+    if cursor != len(payload):
+        raise WalError(
+            f"{len(payload) - cursor} trailing bytes after the last sub-op"
+        )
+    return WalRecord(lsn=lsn, op=op, scheme=scheme, subops=tuple(subops))
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Wrap a record payload in the on-disk frame envelope."""
+    return _FRAME_HEAD.pack(FRAME_MAGIC, len(payload), zlib.crc32(payload)) + (
+        payload
+    )
+
+
+def scan_frames(data: bytes) -> tuple[list[bytes], TailStatus]:
+    """Tolerantly parse ``data`` into frame payloads plus a tail status.
+
+    Returns the payloads of every frame up to (not including) the first
+    corruption — bad magic, a short/torn frame, or a CRC mismatch — and
+    a :class:`TailStatus` saying where the valid prefix ends.  Never
+    raises on corrupt input and never skips ahead to a later
+    valid-looking frame.
+    """
+    payloads: list[bytes] = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        remaining = total - offset
+        if remaining < _FRAME_HEAD.size:
+            return payloads, _torn(offset, total, "short frame header")
+        magic, length, checksum = _FRAME_HEAD.unpack_from(data, offset)
+        if magic != FRAME_MAGIC:
+            return payloads, _torn(offset, total, "bad frame magic")
+        body_start = offset + _FRAME_HEAD.size
+        if length > remaining - _FRAME_HEAD.size:
+            return payloads, _torn(offset, total, "torn frame body")
+        payload = data[body_start : body_start + length]
+        if zlib.crc32(payload) != checksum:
+            return payloads, _torn(offset, total, "frame CRC mismatch")
+        payloads.append(payload)
+        offset = body_start + length
+    return payloads, TailStatus(clean=True, valid_bytes=total)
+
+
+def _torn(valid: int, total: int, reason: str) -> TailStatus:
+    return TailStatus(
+        clean=False,
+        valid_bytes=valid,
+        dropped_bytes=total - valid,
+        reason=reason,
+    )
+
+
+def decode_frames(data: bytes) -> list[WalRecord]:
+    """Strictly parse a whole log image; any corruption raises.
+
+    The ``inspect`` CLI and tests use this; recovery goes through
+    :func:`scan_frames` + :func:`decode_record` so a torn tail is
+    truncated instead of fatal.
+    """
+    payloads, tail = scan_frames(data)
+    if not tail.clean:
+        raise WalError(
+            f"log corrupt at byte {tail.valid_bytes}: {tail.reason} "
+            f"({tail.dropped_bytes} bytes dropped)"
+        )
+    return [decode_record(payload) for payload in payloads]

@@ -1,0 +1,201 @@
+"""Crash recovery: newest valid checkpoint + idempotent redo replay.
+
+:func:`recover` rebuilds a process-equivalent labeled document from a
+WAL directory alone:
+
+1. **Base state** — load the newest checkpoint bundle that passes the
+   labelfile-v2 CRC; a corrupt newest bundle (crash mid-cleanup, bit
+   rot) falls back to the next-newest instead of failing.
+2. **Replay** — scan ``wal.log`` tolerantly, decode each frame, skip
+   records whose LSN is at or below the bundle's watermark (they are
+   already inside the checkpoint — the idempotency rule), and re-apply
+   the rest *in LSN order* through the scheme's deterministic update
+   operations.
+3. **Torn tail** — the first bad CRC / short frame / undecodable
+   record ends the replay; everything before it is applied, everything
+   after it is reported as dropped, and nothing raises.  A record that
+   *applies* but whose re-minted labels differ from the recorded label
+   bytes is a real divergence (non-deterministic scheme or corrupted
+   logic) and does raise :class:`WalError` — silently accepting it
+   would hand back a state that never existed.
+
+The module never imports :mod:`repro.updates`: replay drives the
+labeling schemes directly, so recovery cannot depend on the engine
+whose durability it implements (mirroring ``repro.verify``'s rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.labeling.base import LabeledDocument
+from repro.obs import OBS
+from repro.storage.encoding import make_label_codec
+from repro.storage.labelfile import LabelFileError, load_labeled
+from repro.wal.frames import WalError, WalRecord, decode_record, scan_frames
+from repro.wal.writer import LOG_NAME, checkpoint_files
+from repro.xmltree import parse_fragment
+
+__all__ = ["recover", "RecoveryReport"]
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What :func:`recover` rebuilt and how it got there."""
+
+    labeled: LabeledDocument
+    checkpoint_path: Path
+    watermark: int
+    last_lsn: int
+    replayed: int
+    skipped: int
+    tail_dropped_bytes: int
+    tail_reason: str
+
+    @property
+    def tail_truncated(self) -> bool:
+        return self.tail_dropped_bytes > 0
+
+
+def recover(directory: "str | Path") -> RecoveryReport:
+    """Rebuild the latest durable state from a WAL directory.
+
+    Raises:
+        WalError: no loadable checkpoint bundle exists, a replayed
+            record references an impossible position, or replayed labels
+            diverge from the recorded ones.  A torn log *tail* never
+            raises — it bounds the replay instead.
+    """
+    directory = Path(directory)
+    labeled, watermark, checkpoint_path = _load_newest_checkpoint(directory)
+    log_path = directory / LOG_NAME
+    data = log_path.read_bytes() if log_path.exists() else b""
+    payloads, tail = scan_frames(data)
+
+    replayed = skipped = 0
+    last_lsn = watermark
+    dropped = tail.dropped_bytes
+    reason = tail.reason
+    for index, payload in enumerate(payloads):
+        try:
+            record = decode_record(payload)
+        except WalError as error:
+            # CRC-valid but undecodable: bound the replay here, exactly
+            # like a torn frame (scan_frames already refuses to look
+            # past physical corruption; this is its logical twin).
+            dropped += sum(len(p) for p in payloads[index:])
+            reason = reason or f"undecodable record: {error}"
+            break
+        if record.lsn <= watermark:
+            skipped += 1
+            continue
+        if record.lsn != last_lsn + 1:
+            dropped += sum(len(p) for p in payloads[index:])
+            reason = reason or (
+                f"LSN gap: expected {last_lsn + 1}, found {record.lsn}"
+            )
+            break
+        _apply_record(labeled, record)
+        last_lsn = record.lsn
+        replayed += 1
+    if OBS.enabled:
+        OBS.inc("wal.records_replayed", replayed)
+        OBS.inc("wal.records_skipped", skipped)
+    return RecoveryReport(
+        labeled=labeled,
+        checkpoint_path=checkpoint_path,
+        watermark=watermark,
+        last_lsn=last_lsn,
+        replayed=replayed,
+        skipped=skipped,
+        tail_dropped_bytes=dropped,
+        tail_reason=reason,
+    )
+
+
+def _load_newest_checkpoint(directory: Path):
+    bundles = checkpoint_files(directory)
+    if not bundles:
+        raise WalError(f"{directory}: no checkpoint bundles to recover from")
+    failures = []
+    for watermark, path in bundles:
+        try:
+            return load_labeled(path), watermark, path
+        except (LabelFileError, OSError) as error:
+            failures.append(f"{path.name}: {error}")
+    raise WalError(
+        f"{directory}: no checkpoint bundle is loadable "
+        f"({'; '.join(failures)})"
+    )
+
+
+def _node_at(labeled: LabeledDocument, position: int, record: WalRecord):
+    order = labeled.nodes_in_order
+    if not 0 <= position < len(order):
+        raise WalError(
+            f"record lsn={record.lsn} references position {position} in a "
+            f"{len(order)}-node document — the log does not belong to "
+            f"this checkpoint lineage"
+        )
+    return order[position]
+
+
+def _apply_record(labeled, record: WalRecord) -> None:
+    """Re-apply one redo record through the scheme's deterministic ops."""
+    scheme = labeled.scheme
+    if record.scheme != scheme.name:
+        raise WalError(
+            f"record lsn={record.lsn} was written by scheme "
+            f"{record.scheme!r}, checkpoint uses {scheme.name!r}"
+        )
+    for subop in record.subops:
+        try:
+            kind = subop["kind"]
+            if kind in ("insert", "insert_run"):
+                parent = _node_at(labeled, subop["parent"], record)
+                index = subop["index"]
+                roots = [
+                    parse_fragment(xml, keep_whitespace=True)
+                    for xml in subop["xml"]
+                ]
+                if kind == "insert":
+                    scheme.insert_subtree(labeled, parent, index, roots[0])
+                else:
+                    scheme.insert_run(labeled, parent, index, roots)
+                _check_labels(labeled, roots, subop, record)
+            elif kind == "delete":
+                node = _node_at(labeled, subop["root"], record)
+                scheme.delete_subtree(labeled, node)
+            else:
+                raise WalError(
+                    f"record lsn={record.lsn}: unknown sub-op kind {kind!r}"
+                )
+        except WalError:
+            raise
+        except Exception as error:
+            raise WalError(
+                f"replaying record lsn={record.lsn} failed: {error!r}"
+            ) from error
+
+
+def _check_labels(labeled, roots, subop, record: WalRecord) -> None:
+    """Replayed labels must be byte-identical to the logged delta.
+
+    The codec is rebuilt per record: replaying an op that widened the
+    scheme codec's length field leaves the recovered scheme in the same
+    state the writer was in, so framing tracks it step for step.
+    """
+    replayed = make_label_codec(labeled.scheme).encode(
+        [
+            labeled.label_of(node)
+            for root in roots
+            for node in root.pre_order()
+        ]
+    )
+    if replayed != subop.get("labels", b""):
+        raise WalError(
+            f"record lsn={record.lsn}: replayed labels diverge from the "
+            f"logged label bytes — refusing to hand back a state that "
+            f"never existed"
+        )

@@ -1,0 +1,311 @@
+"""The WAL manager: commit logging, fsync modeling, and checkpointing.
+
+:class:`WalManager` owns one log directory::
+
+    <dir>/wal.log                    the redo log (frames, append-only)
+    <dir>/ckpt-<watermark>.labels    labelfile-v2 checkpoint bundles
+
+Durability protocol (single writer, redo-only):
+
+* **Commit.**  The engine's transaction calls :meth:`commit` from its
+  commit hook.  The frame is first staged in a volatile in-process
+  buffer (site ``wal.append``), then appended to ``wal.log`` with
+  ``flush`` + ``os.fsync`` (site ``wal.fsync``).  A simulated crash at
+  either site loses the record — the op was never acknowledged, so
+  recovery correctly omits it.  Only after the fsync returns is the
+  operation durable (and only then is anything charged to the ledger).
+* **Checkpoint.**  Every K commits or B log bytes (:meth:`maybe_checkpoint`,
+  driven by the engine *after* the transaction commits), the manager
+  writes a full bundle at the current watermark (site
+  ``wal.checkpoint_write``; the write itself is atomic via
+  :func:`repro.storage.atomicio.atomic_write_bytes`), then truncates the
+  log (site ``wal.checkpoint_truncate``, also an atomic replace) and
+  unlinks older bundles.  A crash between the two leaves the new bundle
+  *and* the full log: recovery skips records at or below the bundle's
+  watermark — the idempotency path.
+* **Reopen.**  Constructing a manager over an existing directory scans
+  the log tolerantly, physically truncates a torn tail, and resumes LSN
+  assignment after the highest durable record.
+
+Costs: each fsync is modeled as sequential page writes through the
+same :class:`~repro.storage.pager.IOCostModel` the page store uses, and
+shows up in ``UpdateResult.io_seconds``/``costs`` via the engine's
+commit scope; checkpoints charge the ledger directly (they amortize
+across commits and belong to no single update).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.faults import FAULTS
+from repro.obs import OBS
+from repro.storage.atomicio import atomic_write_bytes
+from repro.storage.encoding import make_label_codec
+from repro.storage.labelfile import save_labeled
+from repro.storage.pager import DEFAULT_PAGE_BYTES, IOCostModel
+from repro.wal.frames import (
+    WalError,
+    WalRecord,
+    decode_record,
+    encode_frame,
+    encode_record,
+    scan_frames,
+)
+
+__all__ = [
+    "WalManager",
+    "CommitReceipt",
+    "CheckpointReceipt",
+    "LOG_NAME",
+    "checkpoint_files",
+    "checkpoint_watermark",
+]
+
+LOG_NAME = "wal.log"
+_CKPT_RE = re.compile(r"^ckpt-(\d+)\.labels$")
+
+
+def checkpoint_files(directory: "str | Path") -> list[tuple[int, Path]]:
+    """All checkpoint bundles in ``directory``, newest watermark first."""
+    found = []
+    for path in Path(directory).iterdir():
+        match = _CKPT_RE.match(path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    found.sort(key=lambda entry: entry[0], reverse=True)
+    return found
+
+
+def checkpoint_watermark(path: "str | Path") -> int:
+    """The LSN watermark encoded in a checkpoint bundle's file name."""
+    match = _CKPT_RE.match(Path(path).name)
+    if match is None:
+        raise WalError(f"{path}: not a checkpoint bundle name")
+    return int(match.group(1))
+
+
+@dataclass(frozen=True)
+class CommitReceipt:
+    """What one durable commit cost (folded into ``UpdateResult``)."""
+
+    lsn: int
+    frame_bytes: int
+    io_seconds: float
+    charges: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CheckpointReceipt:
+    """One completed checkpoint: the new bundle and what it cost."""
+
+    path: Path
+    watermark: int
+    bundle_bytes: int
+    io_seconds: float
+    charges: dict[str, int] = field(default_factory=dict)
+
+
+class WalManager:
+    """Append-only redo logging + checkpointing for one labeled document.
+
+    Args:
+        directory: the log directory (created if missing).  A fresh
+            directory gets an initial checkpoint at watermark 0 so
+            recovery always has a base state.
+        labeled: the live document; checkpoints snapshot it, commits
+            record labels minted by its scheme.
+        io_model: per-page costs for fsync/checkpoint modeling
+            (defaults to the page store's 8 ms/page).
+        checkpoint_every_commits / checkpoint_every_bytes: the K/B
+            checkpoint policy thresholds.
+        page_bytes: page size used to convert byte counts to modeled
+            page writes.
+    """
+
+    def __init__(
+        self,
+        directory: "str | Path",
+        labeled,
+        *,
+        io_model: IOCostModel | None = None,
+        checkpoint_every_commits: int = 64,
+        checkpoint_every_bytes: int = 256 * 1024,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+    ) -> None:
+        if checkpoint_every_commits < 1:
+            raise ValueError("checkpoint_every_commits must be >= 1")
+        if checkpoint_every_bytes < 1:
+            raise ValueError("checkpoint_every_bytes must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.labeled = labeled
+        self.io_model = io_model or IOCostModel()
+        self.checkpoint_every_commits = checkpoint_every_commits
+        self.checkpoint_every_bytes = checkpoint_every_bytes
+        self.page_bytes = page_bytes
+        self.log_path = self.directory / LOG_NAME
+        self._buffer = bytearray()  # volatile: lost on SimulatedCrash
+        self.next_lsn = 1
+        self.commits_since_checkpoint = 0
+        self.bytes_since_checkpoint = 0
+        if checkpoint_files(self.directory):
+            self._reopen()
+        else:
+            self.checkpoint()
+            if not self.log_path.exists():
+                atomic_write_bytes(self.log_path, b"")
+
+    # -- logging -----------------------------------------------------------
+
+    def encode_subtree_labels(self, labeled, roots) -> bytes:
+        """The bit-exact byte image of every label under ``roots``.
+
+        This is the record's "delta" payload: for a CDBS insert it is
+        exactly the freshly-minted labels (existing labels are untouched
+        — the paper's Section 4 claim), so its size is the durable
+        footprint DESIGN.md §9 measures.
+        """
+        labels = [
+            labeled.label_of(node)
+            for root in roots
+            for node in root.pre_order()
+        ]
+        # Built per call, not cached: a relabel fallback can widen the
+        # scheme codec's length field mid-run, and the stream framing
+        # must track the state the labels were minted under.
+        return make_label_codec(labeled.scheme).encode(labels)
+
+    def commit(self, op: str, subops: list[dict]) -> CommitReceipt:
+        """Durably log one committed transaction; returns its receipt.
+
+        Raises whatever the armed fault plan injects at ``wal.append``
+        (before the frame reaches the volatile buffer) or ``wal.fsync``
+        (before the buffer reaches the file): in both cases nothing of
+        this record is on disk afterwards.
+        """
+        record = WalRecord(
+            lsn=self.next_lsn,
+            op=op,
+            scheme=self.labeled.scheme.name,
+            subops=tuple(subops),
+        )
+        frame = encode_frame(encode_record(record))
+        if FAULTS.enabled:
+            FAULTS.hit("wal.append")
+        self._buffer += frame
+        if FAULTS.enabled:
+            FAULTS.hit("wal.fsync")
+        self._flush()
+        self.next_lsn += 1
+        self.commits_since_checkpoint += 1
+        self.bytes_since_checkpoint += len(frame)
+        pages = self._pages_for(len(frame))
+        io_seconds = self.io_model.cost(0, pages)
+        charges = {
+            "wal.records_appended": 1,
+            "wal.bytes_appended": len(frame),
+            "wal.fsyncs": 1,
+        }
+        if OBS.enabled:
+            with OBS.span("wal.commit", op=op):
+                for unit, amount in charges.items():
+                    OBS.charge(unit, amount)
+        return CommitReceipt(
+            lsn=record.lsn,
+            frame_bytes=len(frame),
+            io_seconds=io_seconds,
+            charges=charges,
+        )
+
+    def _flush(self) -> None:
+        """Move the volatile buffer to the durable log (append + fsync)."""
+        if not self._buffer:
+            return
+        with open(self.log_path, "ab") as handle:
+            handle.write(bytes(self._buffer))
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._buffer.clear()
+
+    def _pages_for(self, byte_count: int) -> int:
+        return max(1, -(-byte_count // self.page_bytes))
+
+    # -- checkpointing -----------------------------------------------------
+
+    def maybe_checkpoint(self) -> CheckpointReceipt | None:
+        """Checkpoint if the K-commits / B-bytes policy says it is due."""
+        if (
+            self.commits_since_checkpoint < self.checkpoint_every_commits
+            and self.bytes_since_checkpoint < self.checkpoint_every_bytes
+        ):
+            return None
+        return self.checkpoint()
+
+    def checkpoint(self) -> CheckpointReceipt:
+        """Write a bundle at the current watermark, then truncate the log.
+
+        Ordering is the safety argument: the bundle lands (atomically)
+        *before* the log shrinks, so a crash at either fault site
+        leaves a recoverable pair — old bundle + full log, or new
+        bundle + full log (recovery skips the already-covered prefix).
+        """
+        watermark = self.next_lsn - 1
+        if FAULTS.enabled:
+            FAULTS.hit("wal.checkpoint_write")
+        path = self.directory / f"ckpt-{watermark:016d}.labels"
+        bundle_bytes = save_labeled(self.labeled, path)
+        if FAULTS.enabled:
+            FAULTS.hit("wal.checkpoint_truncate")
+        atomic_write_bytes(self.log_path, b"")
+        for old_watermark, old_path in checkpoint_files(self.directory):
+            if old_watermark < watermark:
+                old_path.unlink()
+        self.commits_since_checkpoint = 0
+        self.bytes_since_checkpoint = 0
+        pages = self._pages_for(bundle_bytes) + 1  # bundle + log truncate
+        io_seconds = self.io_model.cost(0, pages)
+        charges = {
+            "wal.checkpoints": 1,
+            "wal.checkpoint_bytes": bundle_bytes,
+        }
+        if OBS.enabled:
+            for unit, amount in charges.items():
+                OBS.charge(unit, amount)
+        return CheckpointReceipt(
+            path=path,
+            watermark=watermark,
+            bundle_bytes=bundle_bytes,
+            io_seconds=io_seconds,
+            charges=charges,
+        )
+
+    # -- reopen ------------------------------------------------------------
+
+    def _reopen(self) -> None:
+        """Resume over an existing directory: fix the tail, continue LSNs."""
+        watermark = checkpoint_files(self.directory)[0][0]
+        data = self.log_path.read_bytes() if self.log_path.exists() else b""
+        payloads, tail = scan_frames(data)
+        if not tail.clean:
+            # Drop the torn tail for good: later appends must not
+            # resurrect garbage between two valid frames.
+            atomic_write_bytes(self.log_path, data[: tail.valid_bytes])
+            if OBS.enabled:
+                OBS.inc("wal.tails_truncated")
+        last_lsn = watermark
+        if payloads:
+            # Frames are appended in LSN order; the last one wins.
+            try:
+                last_lsn = max(last_lsn, decode_record(payloads[-1]).lsn)
+            except WalError:
+                # CRC-valid but undecodable: treat like a torn tail.
+                pass
+        self.next_lsn = last_lsn + 1
+        self.commits_since_checkpoint = max(0, last_lsn - watermark)
+        self.bytes_since_checkpoint = (
+            self.log_path.stat().st_size if self.log_path.exists() else 0
+        )

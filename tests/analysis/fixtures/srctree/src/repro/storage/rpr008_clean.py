@@ -1,0 +1,29 @@
+"""RPR008 clean fixture: the writes the rule must leave alone."""
+
+from pathlib import Path
+
+
+def read_is_fine(path):
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def default_mode_is_fine(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def append_is_fine(path, data):
+    # the WAL's own append discipline: no truncation involved
+    with open(path, "ab") as handle:
+        handle.write(data)
+
+
+def read_bytes_is_fine(path: Path):
+    return path.read_bytes()
+
+
+def dynamic_mode_is_not_guessed(path, mode):
+    # a non-literal mode cannot be judged statically; stay silent
+    with open(path, mode) as handle:
+        return handle

@@ -1,0 +1,40 @@
+"""RPR008 fixture (storage-scoped): naked writes to durable artifacts.
+
+Lives under ``src/repro/storage/`` because the rule only polices the
+durability-critical layers (``repro.storage`` / ``repro.wal``).
+"""
+
+import io
+from pathlib import Path
+
+
+def naked_binary_write(path, data):
+    with open(path, "wb") as handle:  # VIOLATION: open(..., "wb")
+        handle.write(data)
+
+
+def naked_text_write(path, text):
+    with open(path, "w", encoding="utf-8") as handle:  # VIOLATION
+        handle.write(text)
+
+
+def naked_mode_keyword(path, data):
+    with open(path, mode="wb") as handle:  # VIOLATION: mode= spelling
+        handle.write(data)
+
+
+def naked_io_open(path, data):
+    with io.open(path, "wb") as handle:  # VIOLATION: io.open alias
+        handle.write(data)
+
+
+def pathlib_write_bytes(path: Path, data):
+    path.write_bytes(data)  # VIOLATION: in-place overwrite
+
+
+def pathlib_write_text(path: Path, text):
+    path.write_text(text)  # VIOLATION: in-place overwrite
+
+
+def suppressed_write(path, data):
+    path.write_bytes(data)  # repro: allow-naked-write — fixture escape hatch

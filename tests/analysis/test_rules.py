@@ -220,3 +220,55 @@ class TestRPR007SwallowedExceptions:
         txn = repo_root / "src" / "repro" / "updates" / "txn.py"
         assert "except BaseException" in txn.read_text()
         assert findings_for(txn, "RPR007") == []
+
+
+class TestRPR008NakedWrites:
+    FIXTURE = SRCTREE / "src" / "repro" / "storage" / "rpr008_violations.py"
+
+    def test_flags_every_naked_write(self):
+        findings = findings_for(self.FIXTURE, "RPR008")
+        assert len(findings) == 6
+        assert {f.rule for f in findings} == {"RPR008"}
+        assert all(str(f.severity) == "error" for f in findings)
+
+    def test_flagged_lines_are_the_marked_ones(self):
+        source = self.FIXTURE.read_text()
+        marked = {
+            lineno
+            for lineno, text in enumerate(source.splitlines(), start=1)
+            if "# VIOLATION" in text
+        }
+        findings = findings_for(self.FIXTURE, "RPR008")
+        assert {f.line for f in findings} == marked
+
+    def test_suppression_comment_is_honored(self):
+        source = self.FIXTURE.read_text()
+        (allowed_line,) = [
+            lineno
+            for lineno, text in enumerate(source.splitlines(), start=1)
+            if "allow-naked-write" in text
+        ]
+        findings = findings_for(self.FIXTURE, "RPR008")
+        assert allowed_line not in {f.line for f in findings}
+
+    def test_clean_fixture_is_clean(self):
+        clean = SRCTREE / "src" / "repro" / "storage" / "rpr008_clean.py"
+        assert findings_for(clean, "RPR008") == []
+
+    def test_other_layers_are_out_of_scope(self):
+        # The same naked writes outside repro.storage / repro.wal are
+        # legal: those layers own no durable artifacts.
+        assert findings_for(
+            SRCTREE / "src" / "repro" / "rpr007_violations.py", "RPR008"
+        ) == []
+
+    def test_atomicio_is_the_sanctioned_exemption(self):
+        repo_root = Path(__file__).parents[2]
+        atomicio = repo_root / "src" / "repro" / "storage" / "atomicio.py"
+        assert 'open(tmp, "wb")' in atomicio.read_text()
+        assert findings_for(atomicio, "RPR008") == []
+
+    def test_wal_writer_append_path_is_clean(self):
+        repo_root = Path(__file__).parents[2]
+        writer = repo_root / "src" / "repro" / "wal" / "writer.py"
+        assert findings_for(writer, "RPR008") == []

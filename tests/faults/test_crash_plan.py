@@ -1,0 +1,44 @@
+"""CRASH fault points: SimulatedCrash semantics and serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InjectedFault, SimulatedCrash, UpdateAborted
+from repro.faults import CRASH, WAL_CRASH_SITES, FaultPlan, FaultPoint
+
+
+class TestCrashPoint:
+    def test_crash_fires_forever_from_ordinal(self):
+        point = FaultPoint("wal.fsync", at=2, kind=CRASH)
+        assert point.error_for(1) is None
+        assert isinstance(point.error_for(2), SimulatedCrash)
+        assert isinstance(point.error_for(99), SimulatedCrash)
+
+    def test_crash_is_an_injected_fault_but_not_an_abort(self):
+        error = FaultPoint("wal.append", kind=CRASH).error_for(1)
+        assert isinstance(error, InjectedFault)
+        assert not isinstance(error, UpdateAborted)
+
+    def test_plan_crash_constructor(self):
+        plan = FaultPlan.crash("wal.checkpoint_write", at=3, note="cell")
+        point = plan.point_for("wal.checkpoint_write")
+        assert point is not None
+        assert point.kind == CRASH
+        assert point.at == 3
+
+    def test_crash_round_trips_through_dict(self):
+        plan = FaultPlan.crash("wal.checkpoint_truncate", at=2)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_wal_crash_sites_cover_the_protocol(self):
+        assert WAL_CRASH_SITES == (
+            "wal.append",
+            "wal.fsync",
+            "wal.checkpoint_write",
+            "wal.checkpoint_truncate",
+        )
+
+    def test_unknown_kind_still_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPoint("wal.fsync", kind="explode")

@@ -1,0 +1,95 @@
+"""atomic_write_bytes and the atomic save_labeled regression.
+
+The regression this file pins down (ISSUE 5 satellite): before the
+atomic rewrite, ``save_labeled`` opened the destination with ``"wb"`` —
+a failure mid-save *truncated the previous good bundle*.  Now a failed
+save must leave the old bundle byte-identical and loadable.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.labeling import make_scheme
+from repro.storage import atomic_write_bytes
+from repro.storage.labelfile import load_labeled, save_labeled
+from repro.xmltree import parse_document, serialize_document
+
+
+class TestAtomicWriteBytes:
+    def test_writes_and_returns_length(self, tmp_path):
+        target = tmp_path / "artifact.bin"
+        assert atomic_write_bytes(target, b"hello") == 5
+        assert target.read_bytes() == b"hello"
+        assert not target.with_name("artifact.bin.tmp").exists()
+
+    def test_replaces_existing_content(self, tmp_path):
+        target = tmp_path / "artifact.bin"
+        target.write_bytes(b"old")
+        atomic_write_bytes(target, b"new bytes")
+        assert target.read_bytes() == b"new bytes"
+
+    def test_failure_leaves_destination_untouched(self, tmp_path, monkeypatch):
+        target = tmp_path / "artifact.bin"
+        target.write_bytes(b"the good copy")
+
+        real_replace = os.replace
+
+        def exploding_replace(src, dst):
+            raise OSError("disk pulled")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="disk pulled"):
+            atomic_write_bytes(target, b"half-written garbage")
+        monkeypatch.setattr(os, "replace", real_replace)
+
+        assert target.read_bytes() == b"the good copy"
+        assert not target.with_name("artifact.bin.tmp").exists()
+
+    def test_failure_during_write_cleans_tmp(self, tmp_path, monkeypatch):
+        target = tmp_path / "artifact.bin"
+
+        def exploding_fsync(fd):
+            raise OSError("power cut")
+
+        monkeypatch.setattr(os, "fsync", exploding_fsync)
+        with pytest.raises(OSError, match="power cut"):
+            atomic_write_bytes(target, b"data")
+        assert not target.exists()
+        assert not target.with_name("artifact.bin.tmp").exists()
+
+
+class TestSaveLabeledIsAtomic:
+    def build(self):
+        doc = parse_document("<r><a><b/></a><c/></r>")
+        return make_scheme("V-CDBS-Containment").label_document(doc)
+
+    def test_failed_resave_keeps_the_previous_bundle(
+        self, tmp_path, monkeypatch
+    ):
+        labeled = self.build()
+        path = tmp_path / "doc.labels"
+        save_labeled(labeled, path)
+        good = path.read_bytes()
+
+        def exploding_replace(src, dst):
+            raise OSError("crash mid-save")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="crash mid-save"):
+            save_labeled(labeled, path)
+        monkeypatch.undo()
+
+        assert path.read_bytes() == good
+        reloaded = load_labeled(path)
+        assert serialize_document(reloaded.document) == serialize_document(
+            labeled.document
+        )
+
+    def test_save_returns_the_bundle_size(self, tmp_path):
+        labeled = self.build()
+        path = tmp_path / "doc.labels"
+        written = save_labeled(labeled, path)
+        assert written == path.stat().st_size > 0

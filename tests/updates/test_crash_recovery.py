@@ -1,0 +1,153 @@
+"""Crash matrix: kill the process at every WAL site, recover, compare.
+
+The cell contract (ISSUE 5 acceptance):
+
+* a :class:`~repro.errors.SimulatedCrash` at ``wal.append`` or
+  ``wal.fsync`` fires *before* the record reaches the durable log, so
+  the crashing operation was never acknowledged — recovery must equal
+  the script prefix **without** it;
+* a crash at ``wal.checkpoint_write`` or ``wal.checkpoint_truncate``
+  fires *after* the commit fsync'd, so the operation is durable —
+  recovery must equal the prefix **including** it (the truncate site is
+  also the idempotent-replay path: the new bundle and the full log
+  coexist, and replay must skip the covered LSNs);
+* either way the recovered document passes ``verify_integrity`` and can
+  resume the rest of the script to the same final state as a run that
+  never crashed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulatedCrash
+from repro.faults import FAULTS, WAL_CRASH_SITES, FaultPlan
+from repro.labeling import make_scheme
+from repro.updates import UpdateEngine, apply_churn_op, churn_script
+from repro.verify import verify_integrity
+from repro.wal import recover
+from repro.wal.writer import LOG_NAME
+
+from tests.wal.walutil import build_wal_engine, logical_state, seed_document
+
+SCHEMES = [
+    "V-CDBS-Containment",
+    "F-CDBS-Containment",
+    "CDBS(UTF8)-Prefix",
+]
+
+OPERATIONS = 20
+SEED = 7
+CHECKPOINT_EVERY = 3
+
+#: Crashes at these sites land after the commit record is fsync'd: the
+#: op survives the crash even though the caller never got its result.
+_POST_COMMIT_SITES = ("wal.checkpoint_write", "wal.checkpoint_truncate")
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    yield
+    FAULTS.disarm()
+
+
+def prefix_oracle(scheme, script):
+    """The logical state after each prefix of ``script`` (index = ops)."""
+    engine = UpdateEngine(
+        make_scheme(scheme).label_document(seed_document()),
+        with_storage=True,
+    )
+    states = [logical_state(engine.labeled)]
+    for op in script:
+        apply_churn_op(engine, op)
+        states.append(logical_state(engine.labeled))
+    return states
+
+
+def crash_cell(scheme, site, tmp_path, at=2):
+    """Run the script until the armed crash fires; return (done, dir)."""
+    engine = build_wal_engine(
+        scheme, tmp_path, checkpoint_commits=CHECKPOINT_EVERY
+    )
+    script = churn_script(OPERATIONS, SEED)
+    plan = FaultPlan.crash(site, at=at, note=f"{scheme}/{site}")
+    done = None
+    with FAULTS.armed(plan):
+        for index, op in enumerate(script):
+            try:
+                apply_churn_op(engine, op)
+            except SimulatedCrash:
+                done = index
+                break
+    assert done is not None, f"crash at {site} never fired"
+    return script, done
+
+
+class TestCrashMatrix:
+    @pytest.mark.parametrize("site", WAL_CRASH_SITES)
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_recovery_equals_committed_prefix(self, scheme, site, tmp_path):
+        script, done = crash_cell(scheme, site, tmp_path)
+        committed = done + (1 if site in _POST_COMMIT_SITES else 0)
+        oracle = prefix_oracle(scheme, script)
+
+        report = recover(tmp_path)
+        assert logical_state(report.labeled) == oracle[committed]
+        assert verify_integrity(report.labeled) == []
+
+    @pytest.mark.parametrize("site", WAL_CRASH_SITES)
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_resume_after_recovery_reaches_the_oracle_end(
+        self, scheme, site, tmp_path
+    ):
+        script, done = crash_cell(scheme, site, tmp_path)
+        committed = done + (1 if site in _POST_COMMIT_SITES else 0)
+        oracle = prefix_oracle(scheme, script)
+
+        resumed = UpdateEngine(
+            recover(tmp_path).labeled,
+            with_storage=True,
+            durability="wal",
+            wal_dir=tmp_path,
+            wal_checkpoint_commits=CHECKPOINT_EVERY,
+        )
+        for op in script[committed:]:
+            apply_churn_op(resumed, op)
+        assert logical_state(resumed.labeled) == oracle[-1]
+        assert verify_integrity(resumed.labeled, resumed.store) == []
+
+    def test_checkpoint_truncate_crash_exercises_the_skip_path(
+        self, tmp_path
+    ):
+        """New bundle + full log: replay must skip the covered LSNs."""
+        crash_cell(SCHEMES[0], "wal.checkpoint_truncate", tmp_path)
+        report = recover(tmp_path)
+        assert report.skipped > 0
+        assert report.watermark > 0
+
+    def test_crash_is_never_wrapped_as_update_aborted(self, tmp_path):
+        """The engine must re-raise SimulatedCrash raw: rollback-and-retry
+        semantics are for faults a live process can survive."""
+        engine = build_wal_engine(SCHEMES[0], tmp_path)
+        script = churn_script(OPERATIONS, SEED)
+        with FAULTS.armed(FaultPlan.crash("wal.fsync", at=1)):
+            with pytest.raises(SimulatedCrash):
+                for op in script:
+                    apply_churn_op(engine, op)
+
+    def test_crash_then_torn_tail_still_recovers(self, tmp_path):
+        """The worst cell: die at an fsync *and* lose half the last frame."""
+        script, done = crash_cell(SCHEMES[0], "wal.fsync", tmp_path)
+        assert done == 1  # op 2 crashed pre-fsync; only op 1 is durable
+        oracle = prefix_oracle(SCHEMES[0], script)
+        log_path = tmp_path / LOG_NAME
+        data = log_path.read_bytes()
+        assert data, "need a non-empty log to tear"
+        log_path.write_bytes(data[:-5])
+
+        report = recover(tmp_path)
+        assert report.tail_truncated
+        # the torn frame takes op 1 off the durable prefix too: the
+        # recovered state is the initial checkpoint, nothing newer
+        assert logical_state(report.labeled) == oracle[0]
+        assert verify_integrity(report.labeled) == []

@@ -6,7 +6,7 @@ import pytest
 
 from repro.labeling import ALL_SCHEMES, make_scheme
 from repro.updates import UpdateEngine
-from repro.verify import verify_integrity
+from repro.verify import verify_integrity, violation_dicts
 from repro.xmltree import Node, parse_document
 
 XML = "<r><a><b/><c/></a><d/><e><f/><g/></e></r>"
@@ -24,6 +24,22 @@ def codes(engine):
         violation.code
         for violation in verify_integrity(engine.labeled, engine.store)
     ]
+
+
+class TestViolationDicts:
+    def test_empty_list_round_trips(self):
+        assert violation_dicts([]) == []
+
+    def test_shared_shape_matches_the_json_cli(self):
+        """Every harness (CLI --json, chaos, crash) emits this shape."""
+        engine, doc = build()
+        del engine.labeled.labels[id(doc.root.children[1])]
+        dicts = violation_dicts(
+            verify_integrity(engine.labeled, engine.store)
+        )
+        assert dicts
+        assert all(set(entry) == {"code", "message"} for entry in dicts)
+        assert any(entry["code"] == "labels.missing" for entry in dicts)
 
 
 class TestCleanDocuments:

@@ -1,0 +1,72 @@
+"""python -m repro.wal inspect: output shapes and exit codes."""
+
+from __future__ import annotations
+
+import json
+
+from repro.wal.__main__ import inspect_dir, main
+from repro.wal.writer import LOG_NAME
+from repro.xmltree import Node
+
+from tests.wal.walutil import build_wal_engine
+
+SCHEME = "V-CDBS-Containment"
+
+
+def populated_dir(tmp_path, commits=2):
+    engine = build_wal_engine(SCHEME, tmp_path)
+    root = engine.labeled.document.root
+    for index in range(commits):
+        engine.insert_child(root, Node.element(f"n{index}"))
+    return tmp_path
+
+
+class TestInspectDir:
+    def test_report_shape(self, tmp_path):
+        report = inspect_dir(populated_dir(tmp_path))
+        assert [b["watermark"] for b in report["checkpoints"]] == [0]
+        assert [f["lsn"] for f in report["frames"]] == [1, 2]
+        assert all(f["crc"] == "ok" for f in report["frames"])
+        assert all(f["label_bytes"] > 0 for f in report["frames"])
+        assert report["tail"]["clean"]
+
+    def test_torn_tail_reported_not_fatal(self, tmp_path):
+        populated_dir(tmp_path)
+        log_path = tmp_path / LOG_NAME
+        log_path.write_bytes(log_path.read_bytes()[:-4])
+        report = inspect_dir(tmp_path)
+        assert len(report["frames"]) == 1
+        assert not report["tail"]["clean"]
+        assert report["tail"]["dropped_bytes"] > 0
+
+
+class TestCLI:
+    def test_clean_dir_exits_zero(self, tmp_path, capsys):
+        assert main(["inspect", str(populated_dir(tmp_path))]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint ckpt-" in out
+        assert "lsn=1" in out
+        assert "log clean" in out
+
+    def test_json_output_parses(self, tmp_path, capsys):
+        assert main(["inspect", str(populated_dir(tmp_path)), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["log_bytes"] > 0
+        assert len(report["frames"]) == 2
+
+    def test_torn_tail_exits_one(self, tmp_path, capsys):
+        populated_dir(tmp_path)
+        log_path = tmp_path / LOG_NAME
+        log_path.write_bytes(log_path.read_bytes()[:-4])
+        assert main(["inspect", str(tmp_path)]) == 1
+        assert "TORN TAIL" in capsys.readouterr().out
+
+    def test_no_lineage_exits_two(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["inspect", str(empty)]) == 2
+        assert "no checkpoint bundles" in capsys.readouterr().err
+
+    def test_missing_directory_exits_two(self, tmp_path, capsys):
+        assert main(["inspect", str(tmp_path / "nope")]) == 2
+        assert "not a directory" in capsys.readouterr().err

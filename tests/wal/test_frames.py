@@ -1,0 +1,207 @@
+"""WAL frame/record codec: round-trips, tolerant scans, corruption.
+
+The load-bearing property (ISSUE 5 satellite): under arbitrary single
+byte flips and truncations, parsing either yields a clean prefix of the
+original records or raises :class:`WalError` — it never hands back an
+altered record as if it were valid.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wal import (
+    FRAME_HEADER_BYTES,
+    TailStatus,
+    WalError,
+    WalRecord,
+    decode_frames,
+    decode_record,
+    encode_frame,
+    encode_record,
+    scan_frames,
+)
+
+
+def sample_record(lsn=1, blob=b"\x01\x02\x03"):
+    return WalRecord(
+        lsn=lsn,
+        op="insert",
+        scheme="V-CDBS-Containment",
+        subops=(
+            {
+                "kind": "insert",
+                "parent": 4,
+                "index": 0,
+                "xml": ["<e7/>"],
+                "labels": blob,
+            },
+        ),
+    )
+
+
+def sample_log(count=4):
+    records = [
+        sample_record(lsn=lsn, blob=bytes([lsn]) * lsn)
+        for lsn in range(1, count + 1)
+    ]
+    return records, b"".join(
+        encode_frame(encode_record(record)) for record in records
+    )
+
+
+class TestRecordRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        record = sample_record()
+        assert decode_record(encode_record(record)) == record
+
+    def test_multi_subop_blobs_slice_correctly(self):
+        record = WalRecord(
+            lsn=9,
+            op="move_before",
+            scheme="CDBS(UTF8)-Prefix",
+            subops=(
+                {"kind": "delete", "root": 3, "labels": b""},
+                {
+                    "kind": "insert",
+                    "parent": 1,
+                    "index": 2,
+                    "xml": ["<a/>"],
+                    "labels": b"\xff\x00\xff",
+                },
+            ),
+        )
+        decoded = decode_record(encode_record(record))
+        assert decoded == record
+        assert decoded.label_bytes() == 3
+
+    def test_empty_subops(self):
+        record = WalRecord(lsn=1, op="noop", scheme="s", subops=())
+        assert decode_record(encode_record(record)) == record
+
+    def test_trailing_bytes_rejected(self):
+        payload = encode_record(sample_record()) + b"junk"
+        with pytest.raises(WalError, match="trailing bytes"):
+            decode_record(payload)
+
+    def test_short_payload_rejected(self):
+        with pytest.raises(WalError):
+            decode_record(b"\x00\x01")
+
+    def test_blob_overrun_rejected(self):
+        # A header that claims more label bytes than the payload holds.
+        payload = encode_record(sample_record(blob=b"abcdef"))
+        with pytest.raises(WalError, match="overruns"):
+            decode_record(payload[:-2])
+
+
+class TestScanFrames:
+    def test_clean_log_yields_all_records(self):
+        records, data = sample_log(4)
+        payloads, tail = scan_frames(data)
+        assert tail == TailStatus(clean=True, valid_bytes=len(data))
+        assert [decode_record(p) for p in payloads] == records
+
+    def test_empty_log_is_clean(self):
+        assert scan_frames(b"") == ([], TailStatus(clean=True, valid_bytes=0))
+
+    def test_torn_tail_bounds_the_scan(self):
+        records, data = sample_log(3)
+        torn = data[:-5]  # chop mid-frame: classic torn write
+        payloads, tail = scan_frames(torn)
+        assert [decode_record(p) for p in payloads] == records[:2]
+        assert not tail.clean
+        assert tail.reason == "torn frame body"
+        assert tail.valid_bytes + tail.dropped_bytes == len(torn)
+
+    def test_bad_magic_stops_without_resync(self):
+        records, data = sample_log(2)
+        frame = encode_frame(encode_record(sample_record(lsn=9)))
+        # Garbage between two otherwise-valid frames: the scan must not
+        # skip ahead to the later frame (it could be a stale remnant).
+        mangled = data + b"XX" + frame
+        payloads, tail = scan_frames(mangled)
+        assert len(payloads) == 2
+        assert not tail.clean
+        assert tail.reason == "bad frame magic"
+
+    def test_crc_mismatch_detected(self):
+        _, data = sample_log(1)
+        flipped = bytearray(data)
+        flipped[-1] ^= 0xFF  # inside the payload, CRC now wrong
+        payloads, tail = scan_frames(bytes(flipped))
+        assert payloads == []
+        assert tail.reason == "frame CRC mismatch"
+
+    def test_short_header_tail(self):
+        _, data = sample_log(1)
+        payloads, tail = scan_frames(data + b"WF\x00")
+        assert len(payloads) == 1
+        assert tail.reason == "short frame header"
+
+
+class TestDecodeFramesStrict:
+    def test_clean_log_decodes(self):
+        records, data = sample_log(3)
+        assert decode_frames(data) == records
+
+    def test_any_corruption_raises(self):
+        _, data = sample_log(3)
+        with pytest.raises(WalError, match="corrupt at byte"):
+            decode_frames(data[:-1])
+
+
+class TestMutationProperty:
+    """Byte flips / truncation => clean prefix or WalError, never a lie."""
+
+    @given(
+        flip_at=st.integers(min_value=0),
+        flip_bits=st.integers(min_value=1, max_value=255),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_single_byte_flip_never_alters_a_record(self, flip_at, flip_bits):
+        records, data = sample_log(4)
+        flip_at %= len(data)
+        mutated = bytearray(data)
+        mutated[flip_at] ^= flip_bits
+        payloads, tail = scan_frames(bytes(mutated))
+        decoded = []
+        for payload in payloads:
+            try:
+                decoded.append(decode_record(payload))
+            except WalError:
+                break  # logical corruption bounds the usable prefix
+        # Every record that parsed must be one of the originals, in
+        # order, from the start — a flipped byte may shorten the log
+        # but can never smuggle in a different record.
+        assert decoded == records[: len(decoded)]
+        if tail.clean and len(decoded) == len(payloads) == len(records):
+            # The flip landed somewhere it provably cannot hide: frames
+            # are CRC-checked and records reject trailing/short blobs.
+            assert bytes(mutated) == data
+
+    @given(keep=st.integers(min_value=0))
+    @settings(max_examples=80, deadline=None)
+    def test_truncation_yields_a_strict_prefix(self, keep):
+        records, data = sample_log(4)
+        keep %= len(data) + 1
+        payloads, tail = scan_frames(data[:keep])
+        decoded = [decode_record(p) for p in payloads]
+        assert decoded == records[: len(decoded)]
+        assert tail.valid_bytes + tail.dropped_bytes == keep
+        if keep == len(data):
+            assert tail.clean
+
+    @given(
+        cut=st.integers(min_value=1, max_value=FRAME_HEADER_BYTES + 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_torn_last_frame_preserves_the_rest(self, cut):
+        records, data = sample_log(3)
+        cut = min(cut, len(data) - 1)
+        payloads, tail = scan_frames(data[:-cut])
+        assert [decode_record(p) for p in payloads] == records[: len(payloads)]
+        assert len(payloads) >= 2  # only the last frame is cuttable here
+        assert not tail.clean

@@ -1,0 +1,63 @@
+"""Shared builders for the WAL tests: seeded trees and logical snapshots.
+
+A *logical* snapshot (tree bytes + every label in document order) is
+the equality the durability contract promises: :func:`repro.wal.recover`
+rebuilds a document that queries identically, not the page layout or
+I/O counters of the live engine (those belong to the process that
+crashed).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.labeling import make_scheme
+from repro.updates import UpdateEngine
+from repro.xmltree import Node, parse_document, serialize_document
+
+__all__ = ["seed_document", "build_wal_engine", "logical_state"]
+
+
+def seed_document(elements=30, seed=7):
+    rng = random.Random(seed)
+    doc = parse_document("<root/>")
+    pool = [doc.root]
+    for index in range(elements):
+        parent = rng.choice(pool)
+        child = Node.element(f"e{index % 9}")
+        parent.insert_child(len(parent.children), child)
+        pool.append(child)
+    return doc
+
+
+def build_wal_engine(
+    scheme,
+    wal_dir,
+    *,
+    elements=30,
+    seed=7,
+    checkpoint_commits=10_000,
+    checkpoint_bytes=1 << 30,
+):
+    """An engine with WAL durability and (by default) no auto-checkpoint."""
+    labeled = make_scheme(scheme).label_document(
+        seed_document(elements=elements, seed=seed)
+    )
+    return UpdateEngine(
+        labeled,
+        with_storage=True,
+        durability="wal",
+        wal_dir=wal_dir,
+        wal_checkpoint_commits=checkpoint_commits,
+        wal_checkpoint_bytes=checkpoint_bytes,
+    )
+
+
+def logical_state(labeled):
+    return (
+        serialize_document(labeled.document),
+        tuple(
+            repr(labeled.labels.get(id(node)))
+            for node in labeled.nodes_in_order
+        ),
+    )
