@@ -9,10 +9,16 @@ install:
 test:
 	pytest tests/
 
-# The paper-invariant static checker (RPR001-RPR006); exits non-zero on
-# any non-baselined finding.  See docs/STATIC_ANALYSIS.md.
+# The paper-invariant static checker (RPR001-RPR011); exits non-zero on
+# any non-baselined finding or dead waiver.  The second invocation runs
+# the whole-program transactional rules over the test helpers that
+# mutate engine state.  See docs/STATIC_ANALYSIS.md.
 lint:
-	PYTHONPATH=src python -m repro.analysis src benchmarks examples
+	PYTHONPATH=src python -m repro.analysis src benchmarks examples \
+		--check-baseline --cache .analysis-cache.json
+	PYTHONPATH=src python -m repro.analysis tests --no-baseline \
+		--rules RPR009,RPR010,RPR011 --exclude tests/analysis/fixtures \
+		--cache .analysis-tests-cache.json
 
 # What CI runs: the analyzer, then the tier-1 suite.  (The benchmark
 # regression gate is its own target so a slow machine can skip it.)

@@ -11,15 +11,25 @@ label later.
 
 Shipped rules (see ``docs/STATIC_ANALYSIS.md``):
 
-======  ============  ========================================================
-id      suppression   checks
-======  ============  ========================================================
-RPR001  raw-bits      raw '0'/'1' text manipulation outside core/bitstring.py
-RPR002  raw-compare   ordering labels via str()/tuple()/to01() casts
-RPR003  raw-code      unguarded codes handed to assign_middle (Example 3.3)
-RPR004  layering      import edges outside the declared DAG; cycles
-RPR005  hygiene       mutable defaults, bare except, assert-as-validation
-======  ============  ========================================================
+======  ====================  ================================================
+id      suppression           checks
+======  ====================  ================================================
+RPR001  raw-bits              raw '0'/'1' text outside core/bitstring.py
+RPR002  raw-compare           ordering labels via str()/tuple()/to01() casts
+RPR003  raw-code              unguarded codes handed to assign_middle
+RPR004  layering              import edges outside the declared DAG; cycles
+RPR005  hygiene               mutable defaults, bare except, assert-validation
+RPR009  mutation-without-undo tracked-state writes with no undo registration
+RPR010  durability-protocol   durable effects outside the WAL protocol
+RPR011  shared-state          process-wide mutable state before MVCC
+======  ====================  ================================================
+
+RPR009-RPR011 are *whole-program* rules: per-file facts feed a
+project-wide call graph (:mod:`repro.analysis.callgraph`) and effect
+summaries (:mod:`repro.analysis.effects`), assembled into a
+:class:`~repro.analysis.program.Program` each rule's ``finalize`` sees.
+Extraction is cached by content hash (:mod:`repro.analysis.cache`) and
+parallelizable (``--jobs``).
 
 Programmatic use::
 
@@ -27,11 +37,12 @@ Programmatic use::
     result = analyze_paths(["src"])
     assert not result.findings
 
-CLI: ``python -m repro.analysis [paths...] [--format json]``.
+CLI: ``python -m repro.analysis [paths...] [--format json|sarif]``.
 """
 
 from repro.analysis.baseline import Baseline, load_baseline
 from repro.analysis.findings import AnalysisConfigError, Finding, Severity
+from repro.analysis.program import Program
 from repro.analysis.registry import (
     ModuleContext,
     Rule,
@@ -39,8 +50,14 @@ from repro.analysis.registry import (
     get_rules,
     register,
 )
-from repro.analysis.reporters import render_json, render_text
-from repro.analysis.runner import AnalysisResult, analyze_paths
+from repro.analysis.reporters import render_json, render_sarif, render_text
+from repro.analysis.runner import (
+    AnalysisResult,
+    ProgramRun,
+    analyze_paths,
+    check_hygiene,
+    run_analysis,
+)
 
 __all__ = [
     "AnalysisConfigError",
@@ -48,13 +65,18 @@ __all__ = [
     "Baseline",
     "Finding",
     "ModuleContext",
+    "Program",
+    "ProgramRun",
     "Rule",
     "Severity",
     "all_rules",
     "analyze_paths",
+    "check_hygiene",
     "get_rules",
     "load_baseline",
     "register",
     "render_json",
+    "render_sarif",
     "render_text",
+    "run_analysis",
 ]

@@ -1,14 +1,19 @@
 """``python -m repro.analysis`` — the paper-invariant static checker.
 
 Exit codes: 0 clean (or everything below ``--fail-on``), 1 findings at
-or above the threshold, 2 configuration error (bad rule id, cyclic
-layering declaration, unreadable baseline).
+or above the threshold (or hygiene failures under ``--check-baseline``),
+2 configuration error (bad rule id, cyclic layering declaration,
+unreadable baseline).
 
 Typical invocations::
 
     python -m repro.analysis                       # src benchmarks examples
     python -m repro.analysis src --format json
+    python -m repro.analysis src --format sarif    # CI artifact
     python -m repro.analysis --rules RPR004        # layering only
+    python -m repro.analysis --check-baseline      # + dead-waiver hygiene
+    python -m repro.analysis --effects UpdateEngine.insert_before
+    python -m repro.analysis --jobs 4 --cache .analysis-cache.json
     python -m repro.analysis --write-baseline      # accept current findings
     python -m repro.analysis --list-rules
 """
@@ -16,17 +21,19 @@ Typical invocations::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
 from repro.analysis.baseline import load_baseline, write_baseline
 from repro.analysis.findings import AnalysisConfigError, Severity
 from repro.analysis.registry import all_rules
-from repro.analysis.reporters import render_json, render_text
-from repro.analysis.runner import analyze_paths
+from repro.analysis.reporters import render_json, render_sarif, render_text
+from repro.analysis.runner import check_hygiene, run_analysis
 
 DEFAULT_PATHS = ("src", "benchmarks", "examples")
 DEFAULT_BASELINE = "analysis-baseline.json"
+DEFAULT_CACHE = ".analysis-cache.json"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -35,7 +42,8 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "AST-based checker for the repo's paper invariants: raw "
             "bit-string manipulation, raw label comparison, unguarded "
-            "codes, import layering, and generic hygiene."
+            "codes, import layering, generic hygiene, and the "
+            "whole-program transactional-effect rules (RPR009-RPR011)."
         ),
     )
     parser.add_argument(
@@ -47,8 +55,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--exclude",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help=(
+            "drop files under this path from the scan (repeatable; "
+            "used to skip deliberately-violating rule fixtures)"
+        ),
+    )
+    parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -79,6 +97,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help=(
+            "also fail (exit 1) on stale baseline entries and dead or "
+            "unknown inline suppressions — waivers that no longer "
+            "match any finding"
+        ),
+    )
+    parser.add_argument(
         "--fail-on",
         choices=("warning", "error", "never"),
         default="warning",
@@ -88,11 +115,104 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for the parse/extract phase "
+            "(default: os.cpu_count(); findings are identical to a "
+            "serial run)"
+        ),
+    )
+    parser.add_argument(
+        "--cache",
+        nargs="?",
+        const=DEFAULT_CACHE,
+        default=None,
+        metavar="FILE",
+        help=(
+            "incremental extraction cache keyed on file content hashes "
+            f"(default file when given bare: {DEFAULT_CACHE})"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the extraction cache",
+    )
+    parser.add_argument(
+        "--effects",
+        metavar="SYMBOL",
+        help=(
+            "print the effect summary of a function/method (exact "
+            "fullqual or dotted suffix, e.g. 'LabeledDocument.set_label') "
+            "and exit"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the registered rules and exit",
     )
     return parser
+
+
+def _dump_effects(run, symbol: str) -> int:
+    """Human-readable effect summaries for ``--effects SYMBOL``."""
+    effects = run.program.effects
+    matches = effects.find_symbols(symbol)
+    if not matches:
+        print(f"no function matches {symbol!r}", file=sys.stderr)
+        return 2
+    for fullqual in matches:
+        summary = effects.summaries[fullqual]
+        node = summary.node
+        print(f"{fullqual}  ({node.module.path}:{node.facts.lineno})")
+        print(f"  registers undo:    {summary.registers_undo}")
+        print(f"  opens transaction: {summary.opens_transaction}")
+        reachable = fullqual in effects.reachable
+        print(f"  engine-reachable:  {reachable}")
+        if reachable:
+            chain = effects.entry_path(fullqual)
+            if len(chain) > 1:
+                print(f"    via {' -> '.join(chain)}")
+        if summary.tracked:
+            print("  tracked mutations:")
+            for mutation in summary.tracked:
+                counts = "" if mutation.counts else "  [durable-state]"
+                print(
+                    f"    {mutation.owner}.{mutation.target} "
+                    f"({mutation.kind}) at line {mutation.lineno}{counts}"
+                )
+        else:
+            print("  tracked mutations: none")
+        direct = [e for e in summary.durables if not e.marker]
+        if direct:
+            print("  durable effects (direct):")
+            for event in direct:
+                print(f"    {event.kind} at line {event.lineno}")
+        closure = sorted(effects.durable_effects_of(fullqual))
+        if closure:
+            print("  durable effects (transitive):")
+            for kind, where, line in closure:
+                print(f"    {kind} via {where}:{line}")
+        else:
+            print("  durable effects (transitive): none")
+        if node.facts.raises:
+            print(f"  raises: {', '.join(sorted(set(node.facts.raises)))}")
+        callees = run.program.call_graph.edges.get(fullqual, ())
+        if callees:
+            print("  calls:")
+            for callee in callees:
+                print(f"    {callee}")
+        callers = run.program.call_graph.reverse.get(fullqual, ())
+        if callers:
+            print("  callers:")
+            for caller in callers:
+                print(f"    {caller}")
+        print()
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -121,13 +241,22 @@ def main(argv: list[str] | None = None) -> int:
         baseline = (
             None if args.no_baseline else load_baseline(args.baseline)
         )
+        jobs = args.jobs if args.jobs is not None else os.cpu_count() or 1
+        cache_path = None if args.no_cache else args.cache
 
         if args.write_baseline:
             # Analyze without the baseline so every finding is captured.
-            result = analyze_paths(paths, rules=rules, baseline=None)
+            run = run_analysis(
+                paths,
+                rules=rules,
+                baseline=None,
+                jobs=jobs,
+                cache_path=cache_path,
+                exclude=args.exclude,
+            )
             written = write_baseline(
                 args.baseline,
-                result.findings,
+                run.result.findings,
                 baseline if baseline is not None else load_baseline(
                     args.baseline
                 ),
@@ -138,23 +267,57 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 0
 
-        result = analyze_paths(paths, rules=rules, baseline=baseline)
+        run = run_analysis(
+            paths,
+            rules=rules,
+            baseline=baseline,
+            jobs=jobs,
+            cache_path=cache_path,
+            exclude=args.exclude,
+        )
+
+        if args.effects:
+            return _dump_effects(run, args.effects)
     except AnalysisConfigError as error:
         print(f"configuration error: {error}", file=sys.stderr)
         return 2
 
-    report = (
-        render_json(result) if args.format == "json" else render_text(result)
-    )
+    result = run.result
+    if args.format == "json":
+        report = render_json(result)
+    elif args.format == "sarif":
+        report = render_sarif(result)
+    else:
+        report = render_text(result)
     print(report)
 
+    hygiene_failed = False
+    if args.check_baseline:
+        issues = check_hygiene(
+            run, baseline if baseline is not None else load_baseline(
+                args.baseline
+            )
+        )
+        for issue in issues:
+            print(f"hygiene: {issue}", file=sys.stderr)
+        if issues:
+            hygiene_failed = True
+        else:
+            print(
+                "hygiene: baseline entries and inline suppressions all "
+                "match live findings",
+                file=sys.stderr,
+            )
+
     if args.fail_on == "never":
-        return 0
+        return 1 if hygiene_failed else 0
     threshold = (
         Severity.ERROR if args.fail_on == "error" else Severity.WARNING
     )
     worst = result.max_severity()
-    return 1 if worst is not None and worst >= threshold else 0
+    if worst is not None and worst >= threshold:
+        return 1
+    return 1 if hygiene_failed else 0
 
 
 if __name__ == "__main__":

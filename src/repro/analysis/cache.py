@@ -1,0 +1,81 @@
+"""Incremental extraction cache keyed on file content hashes.
+
+The expensive half of a run — parsing and per-file extraction — is pure
+in the file's bytes, the analyzer's extraction-format version, and the
+set of registered rules.  This cache memoizes that half: a warm
+``make lint`` re-parses only files whose sha256 changed.  The cheap
+half (call graph, effects, finalize, filtering) always re-runs, so
+whole-program findings stay correct when *other* files change.
+
+The cache file is a single JSON document; a version or rule-set
+mismatch discards it wholesale.  All I/O is best-effort — a corrupt or
+unwritable cache degrades to a cold run, never to an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+__all__ = ["ExtractionCache", "CACHE_FORMAT_VERSION", "content_hash"]
+
+#: Bump when the extraction payload shape changes (facts fields, the
+#: per-file finding set, suppression encoding...).
+CACHE_FORMAT_VERSION = 1
+
+
+def content_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class ExtractionCache:
+    """sha256 -> extraction payload, persisted as one JSON file."""
+
+    def __init__(self, path: "str | Path", signature: str) -> None:
+        self.path = Path(path)
+        self.signature = signature
+        self._entries: dict[str, dict] = {}
+        self._fresh: dict[str, dict] = {}
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(raw, dict):
+            return
+        if raw.get("version") != CACHE_FORMAT_VERSION:
+            return
+        if raw.get("signature") != self.signature:
+            return
+        entries = raw.get("files")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def get(self, display_path: str, digest: str) -> dict | None:
+        """The cached payload for a file at this exact content, if any."""
+        entry = self._entries.get(display_path)
+        if entry is None or entry.get("sha256") != digest:
+            return None
+        self._fresh[display_path] = entry
+        return entry.get("payload")
+
+    def put(self, display_path: str, digest: str, payload: dict) -> None:
+        self._fresh[display_path] = {"sha256": digest, "payload": payload}
+
+    def save(self) -> None:
+        """Persist only this run's files (dropping deleted ones)."""
+        document = {
+            "version": CACHE_FORMAT_VERSION,
+            "signature": self.signature,
+            "files": self._fresh,
+        }
+        try:
+            self.path.write_text(
+                json.dumps(document, separators=(",", ":"), sort_keys=True),
+                encoding="utf-8",
+            )
+        except OSError:
+            pass

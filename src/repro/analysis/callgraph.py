@@ -1,0 +1,438 @@
+"""Project-wide symbol table and call graph over per-file facts.
+
+Nodes are program-wide function ids (``module.qualname`` for importable
+modules, ``path::qualname`` for scripts).  Edges come from the call
+sites :mod:`repro.analysis.facts` extracted, resolved in three tiers:
+
+1. **Named resolution** — bare names against the caller's locals,
+   module-level functions, imports, and classes (a class call edges to
+   its ``__init__``); ``self``/``cls``/``super()`` receivers against a
+   linearized class hierarchy (bases resolved through imports, so
+   ``ContainmentScheme(LabelingScheme)`` inherits ``insert_run`` edges
+   from ``repro.labeling.base``).
+2. **Transaction hooks** — constructing ``Transaction`` also edges to
+   its ``__enter__``/``__exit__``, mirroring the duck-typed ``undo_log``
+   bind/unbind that happens at runtime without a syntactic call.
+3. **Duck typing** — a method call through an untyped receiver edges to
+   every known class method with a *compatible* signature.  Compatible
+   means the call's positional/keyword shape fits the candidate's
+   parameters, and the method name is not a generic container verb
+   (``append``, ``clear``, ...) — both filters exist to kill false
+   edges like ``self._wal_pending.clear()`` -> ``BufferPool.clear``.
+
+The graph is rebuilt from facts on every run (it is cheap); only the
+per-file extraction is cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.analysis.facts import CallSite, FunctionFacts, ModuleFacts
+from repro.analysis.layers import DUCK_SKIP_METHOD_NAMES
+
+__all__ = ["CallGraph", "FunctionNode", "build_call_graph"]
+
+
+@dataclass
+class FunctionNode:
+    """One function in the program, with its owning module."""
+
+    fullqual: str
+    module: ModuleFacts
+    facts: FunctionFacts
+
+    @property
+    def display(self) -> str:
+        return self.fullqual
+
+
+class CallGraph:
+    """Resolved call edges + class hierarchy over a set of modules."""
+
+    def __init__(self, modules: Iterable[ModuleFacts]) -> None:
+        self.modules: list[ModuleFacts] = sorted(
+            modules, key=lambda m: m.path
+        )
+        self.by_module_name: dict[str, ModuleFacts] = {
+            m.module_name: m for m in self.modules if m.module_name
+        }
+        self.functions: dict[str, FunctionNode] = {}
+        #: class name -> [(module, class_name)] — names can collide
+        #: across modules; resolution prefers import-directed matches.
+        self._classes: dict[str, list[tuple[ModuleFacts, str]]] = {}
+        #: method name -> [FunctionNode] for duck resolution.
+        self._methods_by_name: dict[str, list[FunctionNode]] = {}
+        self.edges: dict[str, tuple[str, ...]] = {}
+        self.reverse: dict[str, tuple[str, ...]] = {}
+        #: (defining module path, class) -> direct subclasses.
+        self._subclasses: (
+            dict[tuple[str, str], list[tuple[ModuleFacts, str]]] | None
+        ) = None
+        self._index()
+        self._link()
+
+    # -- indexing ----------------------------------------------------------
+
+    def _index(self) -> None:
+        for module in self.modules:
+            for qualname, facts in module.functions.items():
+                node = FunctionNode(
+                    fullqual=module.qualify(qualname),
+                    module=module,
+                    facts=facts,
+                )
+                self.functions[node.fullqual] = node
+                if (
+                    facts.class_name is not None
+                    and "<locals>" not in qualname
+                ):
+                    self._methods_by_name.setdefault(
+                        facts.name, []
+                    ).append(node)
+            for class_name in module.classes:
+                self._classes.setdefault(class_name, []).append(
+                    (module, class_name)
+                )
+
+    # -- class hierarchy ---------------------------------------------------
+
+    def resolve_class(
+        self, module: ModuleFacts, name: str
+    ) -> tuple[ModuleFacts, str] | None:
+        """(defining module, class name) for ``name`` seen in ``module``."""
+        last = name.rsplit(".", 1)[-1]
+        if name in module.classes:
+            return (module, name)
+        # Import-directed: `from x import C` / `import x as m; m.C`.
+        target = module.imports.get(name)
+        if target is None and "." in name:
+            head, rest = name.split(".", 1)
+            head_target = module.imports.get(head)
+            if head_target is not None:
+                target = f"{head_target}.{rest}"
+        if target is not None:
+            owner_name, _, cls = target.rpartition(".")
+            owner = self.by_module_name.get(owner_name)
+            if owner is not None and cls in owner.classes:
+                return (owner, cls)
+            # `from x import C` may re-export; fall through to global.
+            last = cls or last
+        candidates = self._classes.get(last, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        for candidate in candidates:
+            if candidate[0] is module:
+                return candidate
+        return candidates[0] if candidates else None
+
+    def linearize(
+        self, module: ModuleFacts, class_name: str
+    ) -> list[tuple[ModuleFacts, str]]:
+        """The class and its base classes, nearest first (BFS, no C3)."""
+        seen: set[tuple[str, str]] = set()
+        order: list[tuple[ModuleFacts, str]] = []
+        queue: list[tuple[ModuleFacts, str]] = []
+        start = self.resolve_class(module, class_name)
+        if start is not None:
+            queue.append(start)
+        while queue:
+            owner, name = queue.pop(0)
+            key = (owner.path, name)
+            if key in seen:
+                continue
+            seen.add(key)
+            order.append((owner, name))
+            for base in owner.classes[name].bases:
+                resolved = self.resolve_class(owner, base)
+                if resolved is not None:
+                    queue.append(resolved)
+        return order
+
+    def lookup_method(
+        self, module: ModuleFacts, class_name: str, method: str
+    ) -> FunctionNode | None:
+        """Nearest definition of ``method`` in the hierarchy."""
+        for owner, name in self.linearize(module, class_name):
+            qual = owner.classes[name].methods.get(method)
+            if qual is not None:
+                return self.functions.get(owner.qualify(qual))
+        return None
+
+    def class_kind_names(
+        self, module: ModuleFacts, class_name: str
+    ) -> set[str]:
+        """Every class name in the hierarchy (for tracked-class tests)."""
+        return {name for _, name in self.linearize(module, class_name)}
+
+    # -- edge construction -------------------------------------------------
+
+    def _link(self) -> None:
+        reverse: dict[str, set[str]] = {}
+        for fullqual, node in self.functions.items():
+            targets: set[str] = set()
+            for call in node.facts.calls:
+                targets.update(self._resolve_call(node, call))
+            targets.discard(fullqual)
+            self.edges[fullqual] = tuple(sorted(targets))
+            for target in targets:
+                reverse.setdefault(target, set()).add(fullqual)
+        self.reverse = {
+            target: tuple(sorted(sources))
+            for target, sources in reverse.items()
+        }
+
+    def _resolve_call(
+        self, caller: FunctionNode, call: CallSite
+    ) -> set[str]:
+        module = caller.module
+        if call.kind == "name":
+            return self._resolve_name_call(caller, call)
+        if call.kind == "super":
+            return self._resolve_super_call(caller, call)
+        # Method call through a receiver.
+        receiver = call.receiver
+        if receiver in ("self", "cls") and caller.facts.class_name:
+            # The MRO target plus every subclass override: at runtime
+            # `self` may be any subtype, and an override that mutates
+            # without undo must not hide behind a base-class call site.
+            targets = self._subclass_overrides(
+                module, caller.facts.class_name, call.name
+            )
+            found = self.lookup_method(
+                module, caller.facts.class_name, call.name
+            )
+            if found is not None:
+                targets.add(found.fullqual)
+            return targets
+        head = receiver.split(".", 1)[0]
+        if receiver and head in module.imports and "." not in receiver:
+            # Module alias or imported class as the receiver.
+            target = module.imports[receiver]
+            owner = self.by_module_name.get(target)
+            if owner is not None:
+                return self._in_module(owner, call.name)
+            owner_name, _, cls = target.rpartition(".")
+            owner = self.by_module_name.get(owner_name)
+            if owner is not None and cls in owner.classes:
+                found = self.lookup_method(owner, cls, call.name)
+                if found is not None:
+                    return {found.fullqual}
+                return set()
+        if receiver in module.classes:
+            found = self.lookup_method(module, receiver, call.name)
+            if found is not None:
+                return {found.fullqual}
+            return set()
+        return self._duck(call)
+
+    def _resolve_name_call(
+        self, caller: FunctionNode, call: CallSite
+    ) -> set[str]:
+        module = caller.module
+        # Nested function defined in the caller.
+        local = f"{caller.facts.qualname}.<locals>.{call.name}"
+        if local in module.functions:
+            return {module.qualify(local)}
+        # Module-level function.
+        if call.name in module.functions:
+            return {module.qualify(call.name)}
+        # Class in this module or imported: edge to the constructor
+        # (plus Transaction's duck-typed enter/exit hooks).
+        resolved_class = self.resolve_class(module, call.name)
+        if (
+            resolved_class is not None
+            and self._names_class(module, call.name)
+        ):
+            return self._constructor_edges(resolved_class)
+        # Imported function.
+        target = module.imports.get(call.name)
+        if target is not None:
+            owner_name, _, func = target.rpartition(".")
+            owner = self.by_module_name.get(owner_name)
+            if owner is not None and func in owner.functions:
+                return {owner.qualify(func)}
+        return set()
+
+    def _names_class(self, module: ModuleFacts, name: str) -> bool:
+        if name in module.classes:
+            return True
+        target = module.imports.get(name)
+        if target is None:
+            return False
+        owner_name, _, cls = target.rpartition(".")
+        owner = self.by_module_name.get(owner_name)
+        return owner is not None and cls in owner.classes
+
+    def _constructor_edges(
+        self, resolved: tuple[ModuleFacts, str]
+    ) -> set[str]:
+        owner, cls = resolved
+        edges: set[str] = set()
+        init = self.lookup_method(owner, cls, "__init__")
+        if init is not None:
+            edges.add(init.fullqual)
+        if cls == "Transaction":
+            # The context-manager protocol and the undo_log bind happen
+            # without a syntactic call; model them as explicit edges.
+            for hook in ("__enter__", "__exit__"):
+                found = self.lookup_method(owner, cls, hook)
+                if found is not None:
+                    edges.add(found.fullqual)
+        return edges
+
+    def _subclass_map(
+        self,
+    ) -> dict[tuple[str, str], list[tuple[ModuleFacts, str]]]:
+        if self._subclasses is None:
+            subclasses: dict[
+                tuple[str, str], list[tuple[ModuleFacts, str]]
+            ] = {}
+            for module in self.modules:
+                for class_name, class_facts in module.classes.items():
+                    for base in class_facts.bases:
+                        resolved = self.resolve_class(module, base)
+                        if resolved is not None:
+                            key = (resolved[0].path, resolved[1])
+                            subclasses.setdefault(key, []).append(
+                                (module, class_name)
+                            )
+            self._subclasses = subclasses
+        return self._subclasses
+
+    def _subclass_overrides(
+        self, module: ModuleFacts, class_name: str, method: str
+    ) -> set[str]:
+        """Definitions of ``method`` in (transitive) subclasses."""
+        start = self.resolve_class(module, class_name)
+        if start is None:
+            return set()
+        found: set[str] = set()
+        seen = {(start[0].path, start[1])}
+        queue = [start]
+        while queue:
+            owner, name = queue.pop(0)
+            for sub in self._subclass_map().get((owner.path, name), ()):
+                key = (sub[0].path, sub[1])
+                if key in seen:
+                    continue
+                seen.add(key)
+                queue.append(sub)
+                qual = sub[0].classes[sub[1]].methods.get(method)
+                if qual is not None:
+                    node = self.functions.get(sub[0].qualify(qual))
+                    if node is not None:
+                        found.add(node.fullqual)
+        return found
+
+    def _resolve_super_call(
+        self, caller: FunctionNode, call: CallSite
+    ) -> set[str]:
+        class_name = caller.facts.class_name
+        if class_name is None:
+            return set()
+        order = self.linearize(caller.module, class_name)
+        for owner, name in order[1:]:
+            qual = owner.classes[name].methods.get(call.name)
+            if qual is not None:
+                found = self.functions.get(owner.qualify(qual))
+                if found is not None:
+                    return {found.fullqual}
+        return set()
+
+    def _in_module(self, owner: ModuleFacts, name: str) -> set[str]:
+        if name in owner.functions:
+            return {owner.qualify(name)}
+        if name in owner.classes:
+            return self._constructor_edges((owner, name))
+        return set()
+
+    def _duck(self, call: CallSite) -> set[str]:
+        if call.name in DUCK_SKIP_METHOD_NAMES:
+            return set()
+        matches: set[str] = set()
+        for node in self._methods_by_name.get(call.name, ()):
+            if self._signature_fits(node.facts, call):
+                matches.add(node.fullqual)
+        return matches
+
+    @staticmethod
+    def _signature_fits(facts: FunctionFacts, call: CallSite) -> bool:
+        params = list(facts.params)
+        if params and params[0] in ("self", "cls"):
+            params = params[1:]
+        if call.args < 0 or "**" in call.keywords:
+            return True  # splats: assume the caller knows the shape
+        for keyword in call.keywords:
+            if (
+                keyword not in params
+                and keyword not in facts.kwonly
+                and not facts.has_kwarg
+            ):
+                return False
+        if not facts.has_vararg and call.args > len(params):
+            return False
+        required = max(0, len(params) - facts.defaults)
+        keyword_hits = sum(1 for k in call.keywords if k in params)
+        return call.args + keyword_hits >= required
+
+    # -- traversal ---------------------------------------------------------
+
+    def reachable_from(self, seeds: Iterable[str]) -> set[str]:
+        """Every function reachable over call edges from ``seeds``."""
+        seen: set[str] = set()
+        stack = [s for s in seeds if s in self.functions]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.edges.get(current, ()))
+        return seen
+
+    def shortest_parents(
+        self, seeds: Iterable[str]
+    ) -> dict[str, str | None]:
+        """BFS parent map from ``seeds`` (for "via ..." diagnostics)."""
+        parents: dict[str, str | None] = {}
+        queue: list[str] = []
+        for seed in sorted(seeds):
+            if seed in self.functions and seed not in parents:
+                parents[seed] = None
+                queue.append(seed)
+        while queue:
+            current = queue.pop(0)
+            for target in self.edges.get(current, ()):
+                if target not in parents:
+                    parents[target] = current
+                    queue.append(target)
+        return parents
+
+    def path_to(
+        self, parents: dict[str, str | None], target: str, limit: int = 6
+    ) -> list[str]:
+        """The seed -> ... -> target chain recorded by a parent map."""
+        chain: list[str] = []
+        cursor: str | None = target
+        while cursor is not None and len(chain) < limit:
+            chain.append(cursor)
+            cursor = parents.get(cursor)
+        chain.reverse()
+        return chain
+
+    # -- serialization (golden snapshot tests) ------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "functions": sorted(self.functions),
+            "edges": {
+                source: list(targets)
+                for source, targets in sorted(self.edges.items())
+                if targets
+            },
+        }
+
+
+def build_call_graph(modules: Iterable[ModuleFacts]) -> CallGraph:
+    return CallGraph(modules)

@@ -1,0 +1,312 @@
+"""Per-function effect summaries over the call graph.
+
+The effect engine classifies each raw mutation recorded by
+:mod:`repro.analysis.facts` against the tracked-state taxonomy in
+:mod:`repro.analysis.layers` (facade / primitive / durable classes),
+computes which functions are reachable from the public
+``UpdateEngine`` entry points, and propagates durable side effects to a
+fixpoint over the call graph (so "does this undo closure eventually
+fsync?" has a static answer).  The RPR009-RPR011 rules are thin
+consumers of this engine; ``python -m repro.analysis --effects`` dumps
+its summaries for debugging.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analysis.callgraph import CallGraph, FunctionNode
+from repro.analysis.facts import DurableEvent, ModuleFacts, Mutation
+from repro.analysis.layers import (
+    DURABLE_STATE_CLASSES,
+    EFFECT_ENTRY_POINTS,
+    EFFECT_PARAM_CONVENTIONS,
+    TXN_STATE_FACADE_CLASSES,
+    TXN_STATE_PRIMITIVE_CLASSES,
+)
+
+__all__ = ["EffectEngine", "EffectSummary", "TrackedMutation"]
+
+_IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+_CONTAINER_ANNOTATIONS = frozenset(
+    {
+        "list",
+        "tuple",
+        "dict",
+        "set",
+        "frozenset",
+        "List",
+        "Tuple",
+        "Dict",
+        "Set",
+        "Sequence",
+        "Iterable",
+        "Iterator",
+        "Mapping",
+        "MutableMapping",
+    }
+)
+
+
+@dataclass(frozen=True)
+class TrackedMutation:
+    """One raw mutation classified as touching tracked state."""
+
+    owner: str
+    """The tracked class whose state is written (taxonomy name)."""
+
+    target: str
+    """Human-readable write target (``labels[...]``, ``detach()``...)."""
+
+    kind: str
+    lineno: int
+    col: int
+
+    counts: bool
+    """True when RPR009 demands an inverse registration for this write
+    (False for durable-class state, which RPR010 polices instead)."""
+
+
+@dataclass
+class EffectSummary:
+    """Everything the rules need to know about one function."""
+
+    fullqual: str
+    node: FunctionNode
+    tracked: list[TrackedMutation] = field(default_factory=list)
+
+    @property
+    def registers_undo(self) -> bool:
+        return self.node.facts.registers_undo
+
+    @property
+    def opens_transaction(self) -> bool:
+        return self.node.facts.opens_transaction
+
+    @property
+    def durables(self) -> list[DurableEvent]:
+        return self.node.facts.durables
+
+    @property
+    def counting_mutations(self) -> list[TrackedMutation]:
+        return [m for m in self.tracked if m.counts]
+
+
+class EffectEngine:
+    """Summaries + reachability + durable-effect fixpoint for a program."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        self.summaries: dict[str, EffectSummary] = {}
+        self._kind_cache: dict[tuple[str, str], tuple[str, frozenset[str]] | None] = {}
+        for fullqual, node in graph.functions.items():
+            self.summaries[fullqual] = self._summarize(fullqual, node)
+        self.entry_points: tuple[str, ...] = self._entry_points()
+        self.reachable: set[str] = graph.reachable_from(self.entry_points)
+        self.entry_parents: dict[str, str | None] = graph.shortest_parents(
+            self.entry_points
+        )
+        self.durable_closure: dict[str, frozenset[tuple[str, str, int]]] = (
+            self._durable_fixpoint()
+        )
+
+    # -- tracked-class taxonomy --------------------------------------------
+
+    def _kind_of_names(
+        self, names: Iterable[str]
+    ) -> tuple[str, frozenset[str]] | None:
+        """(kind, excluded attrs) when any hierarchy name is tracked."""
+        exclude: set[str] = set()
+        kind: str | None = None
+        for name in names:
+            if name in TXN_STATE_FACADE_CLASSES:
+                kind = "facade"
+                exclude |= TXN_STATE_FACADE_CLASSES[name]
+            elif name in DURABLE_STATE_CLASSES and kind is None:
+                kind = "durable"
+            elif name in TXN_STATE_PRIMITIVE_CLASSES and kind is None:
+                kind = "primitive"
+        if kind is None:
+            return None
+        return (kind, frozenset(exclude))
+
+    def class_kind(
+        self, module: ModuleFacts, class_name: str
+    ) -> tuple[str, frozenset[str]] | None:
+        """Taxonomy kind of a class as seen from ``module``, or None."""
+        key = (module.path, class_name)
+        if key not in self._kind_cache:
+            names = self.graph.class_kind_names(module, class_name)
+            names.add(class_name)  # config may name undeclared classes
+            self._kind_cache[key] = self._kind_of_names(names)
+        return self._kind_cache[key]
+
+    def _param_class(self, node: FunctionNode, root: str) -> str | None:
+        """The tracked-state class a parameter is typed as, if any."""
+        facts = node.facts
+        if root not in facts.params and root not in facts.kwonly:
+            return None
+        annotation = facts.annotations.get(root)
+        if annotation:
+            for token in _IDENTIFIER_RE.findall(annotation):
+                if token in ("Optional", "None", "Union"):
+                    continue
+                if token in _CONTAINER_ANNOTATIONS:
+                    # `bucket: list[Node]` — mutating the *container*
+                    # is not mutating the tracked element type.
+                    return None
+                return token
+        return EFFECT_PARAM_CONVENTIONS.get(root)
+
+    # -- mutation classification -------------------------------------------
+
+    def _summarize(self, fullqual: str, node: FunctionNode) -> EffectSummary:
+        summary = EffectSummary(fullqual=fullqual, node=node)
+        for mutation in node.facts.mutations:
+            tracked = self._classify(node, mutation)
+            if tracked is not None:
+                summary.tracked.append(tracked)
+        return summary
+
+    def _classify(
+        self, node: FunctionNode, mutation: Mutation
+    ) -> TrackedMutation | None:
+        module = node.module
+        own_kind = None
+        if node.facts.class_name is not None:
+            own_kind = self.class_kind(module, node.facts.class_name)
+        if mutation.root in ("self", "cls"):
+            if own_kind is None:
+                return None
+            kind, exclude = own_kind
+            if kind == "primitive":
+                # The wrapper that *calls* the primitive owns the undo.
+                return None
+            if mutation.chain and mutation.chain[0] in exclude:
+                return None
+            return TrackedMutation(
+                owner=node.facts.class_name or "?",
+                target=mutation.describe(),
+                kind=mutation.kind,
+                lineno=mutation.lineno,
+                col=mutation.col,
+                counts=kind != "durable",
+            )
+        class_name = self._param_class(node, mutation.root)
+        if class_name is None:
+            return None
+        kind_info = self.class_kind(module, class_name)
+        if kind_info is None:
+            return None
+        kind, exclude = kind_info
+        if (
+            kind == "primitive"
+            and own_kind is not None
+            and own_kind[0] == "primitive"
+        ):
+            # Primitive-to-primitive plumbing (Node methods rewiring a
+            # sibling Node) is internal to the structure.
+            return None
+        if mutation.chain and mutation.chain[0] in exclude:
+            return None
+        if (
+            kind == "primitive"
+            and not mutation.chain
+            and mutation.kind.startswith("call:")
+            and not self._class_has_method(
+                module, class_name, mutation.kind[5:]
+            )
+        ):
+            # `parent.pop()` on a Node-typed name is a container verb
+            # the class does not define — a misclassified receiver.
+            return None
+        return TrackedMutation(
+            owner=class_name,
+            target=mutation.describe(),
+            kind=mutation.kind,
+            lineno=mutation.lineno,
+            col=mutation.col,
+            counts=kind != "durable",
+        )
+
+    def _class_has_method(
+        self, module: ModuleFacts, class_name: str, method: str
+    ) -> bool:
+        for owner, name in self.graph.linearize(module, class_name):
+            if method in owner.classes[name].methods:
+                return True
+        # The class may not be defined in the analyzed tree (config
+        # names it); accept the call rather than silently dropping it.
+        return not self.graph.linearize(module, class_name)
+
+    # -- reachability -------------------------------------------------------
+
+    def _entry_points(self) -> tuple[str, ...]:
+        entries: list[str] = []
+        for module_name, class_name in EFFECT_ENTRY_POINTS:
+            module = self.graph.by_module_name.get(module_name)
+            if module is None:
+                continue
+            class_facts = module.classes.get(class_name)
+            if class_facts is None:
+                continue
+            for method, qual in sorted(class_facts.methods.items()):
+                if not method.startswith("_"):
+                    entries.append(module.qualify(qual))
+        return tuple(entries)
+
+    def entry_path(self, fullqual: str) -> list[str]:
+        """Entry -> ... -> function chain (for finding messages)."""
+        return self.graph.path_to(self.entry_parents, fullqual)
+
+    # -- durable-effect fixpoint -------------------------------------------
+
+    def _durable_fixpoint(self) -> dict[str, frozenset[tuple[str, str, int]]]:
+        """Transitive non-marker durable effects per function.
+
+        Monotone set union over call edges; iterate until stable (the
+        mutual-recursion case converges because the lattice is finite).
+        """
+        closure: dict[str, set[tuple[str, str, int]]] = {}
+        for fullqual, summary in self.summaries.items():
+            closure[fullqual] = {
+                (event.kind, fullqual, event.lineno)
+                for event in summary.durables
+                if not event.marker
+            }
+        changed = True
+        while changed:
+            changed = False
+            for fullqual in self.graph.functions:
+                current = closure[fullqual]
+                before = len(current)
+                for callee in self.graph.edges.get(fullqual, ()):
+                    current |= closure.get(callee, set())
+                if len(current) != before:
+                    changed = True
+        return {
+            fullqual: frozenset(events)
+            for fullqual, events in closure.items()
+        }
+
+    def durable_effects_of(
+        self, fullqual: str
+    ) -> frozenset[tuple[str, str, int]]:
+        return self.durable_closure.get(fullqual, frozenset())
+
+    # -- symbol lookup (--effects CLI) --------------------------------------
+
+    def find_symbols(self, symbol: str) -> list[str]:
+        """Fullquals matching ``symbol`` exactly or as a dotted suffix."""
+        if symbol in self.summaries:
+            return [symbol]
+        matches = [
+            fullqual
+            for fullqual in sorted(self.summaries)
+            if fullqual.endswith(f".{symbol}")
+            or fullqual.endswith(f"::{symbol}")
+        ]
+        return matches

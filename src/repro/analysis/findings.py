@@ -57,8 +57,12 @@ class Finding:
     message: str = field(compare=False)
     """Human-readable description of the violation."""
 
+    unsuppressable: bool = field(default=False, compare=False)
+    """True for findings no inline comment may silence (layer cycles:
+    there is no single line that owns a cycle)."""
+
     def to_dict(self) -> dict:
-        """JSON-ready representation (used by the JSON reporter)."""
+        """JSON-ready representation (reporters and the facts cache)."""
         return {
             "path": self.path,
             "line": self.line,
@@ -67,3 +71,19 @@ class Finding:
             "severity": str(self.severity),
             "message": self.message,
         }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "Finding":
+        """Rebuild from :meth:`to_dict` output (the cache round trip)."""
+        return cls(
+            path=raw["path"],
+            line=raw["line"],
+            col=raw["col"],
+            rule=raw["rule"],
+            severity=(
+                Severity.ERROR
+                if raw["severity"] == "error"
+                else Severity.WARNING
+            ),
+            message=raw["message"],
+        )

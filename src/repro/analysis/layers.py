@@ -150,6 +150,125 @@ NAKED_WRITE_MODULE_PREFIXES = ("repro.storage", "repro.wal")
 NAKED_WRITE_EXEMPT_MODULES = frozenset({"repro.storage.atomicio"})
 
 
+# -- whole-program effect analysis (RPR009-RPR011) --------------------------
+#
+# The tracked-state taxonomy.  "Facade" classes own transactional state
+# and *their own methods* are the mutation sites that must register
+# inverses (the PR-4 idiom: ``log = self.undo_log; if log is not None:
+# log.record(<inverse>)``).  "Primitive" classes are the raw structures
+# the facades wrap: mutations *inside* them are exempt (the wrapper owns
+# the undo responsibility), but calling one of their mutator methods
+# from outside counts as a tracked mutation of the receiver.  "Durable"
+# classes appear in effect summaries but are policed by RPR010's
+# protocol checks rather than RPR009's undo discipline.
+
+#: Facade class -> attributes excluded from mutation tracking (the
+#: undo-log binding itself, plus knobs that are not document state).
+TXN_STATE_FACADE_CLASSES: dict[str, frozenset[str]] = {
+    "LabeledDocument": frozenset({"undo_log"}),
+    "PageStore": frozenset({"undo_log", "retry_backoff_seconds"}),
+}
+
+#: Primitive state classes (self-mutations exempt; external calls to
+#: their mutator methods are tracked mutations of the receiver chain).
+TXN_STATE_PRIMITIVE_CLASSES = frozenset(
+    {
+        "Node",
+        "OrderStatisticTree",
+        "BufferPool",
+        "PageCounter",
+        # Labeling-scheme codec state: ``bulk()`` widens _field_bits/_width.
+        "IntervalCodec",
+        "VBinaryCodec",
+        "FBinaryCodec",
+        "GappedIntegerCodec",
+        "FloatPointCodec",
+        "VCDBSCodec",
+        "FCDBSCodec",
+        "QEDCodec",
+    }
+)
+
+#: Durable-state classes: summarized, never RPR009-flagged.
+DURABLE_STATE_CLASSES = frozenset({"WalManager"})
+
+#: Parameter-name conventions that type untyped parameters for effect
+#: classification (annotations win when present).
+EFFECT_PARAM_CONVENTIONS: dict[str, str] = {
+    "labeled": "LabeledDocument",
+    "node": "Node",
+    "parent": "Node",
+    "child": "Node",
+    "target": "Node",
+    "subtree_root": "Node",
+}
+
+#: Public entry points the RPR009 reachability starts from.
+EFFECT_ENTRY_POINTS: tuple[tuple[str, str], ...] = (
+    ("repro.updates.engine", "UpdateEngine"),
+)
+
+#: Modules exempt from RPR009: the transaction machinery itself (its
+#: whole job is to mutate state while orchestrating the undo log).
+EFFECT_EXEMPT_MODULES = frozenset({"repro.updates.txn"})
+
+#: Module prefixes where durable side effects are sanctioned (RPR010).
+DURABLE_ALLOWED_MODULE_PREFIXES = (
+    "repro.wal",
+    "repro.storage.atomicio",
+    "repro.storage.labelfile",
+)
+
+#: RPR011 exempts the explicit process-wide registries and the tooling
+#: that is never on an engine code path.
+SHARED_STATE_EXEMPT_MODULE_PREFIXES = (
+    "repro.obs",
+    "repro.faults",
+    "repro.analysis",
+    "repro.bench",
+)
+
+#: Script files under these directory names are exempt from the
+#: script-mode effect checks (harnesses own their state).
+SCRIPT_EFFECTS_EXEMPT_PATH_PARTS = frozenset({"benchmarks", "examples"})
+
+#: Generic container verbs never duck-resolved to class methods — they
+#: would wire ``self._wal_pending.clear()`` to ``BufferPool.clear``.
+DUCK_SKIP_METHOD_NAMES = frozenset(
+    {
+        "add",
+        "append",
+        "clear",
+        "close",
+        "copy",
+        "count",
+        "discard",
+        "endswith",
+        "extend",
+        "flush",
+        "get",
+        "index",
+        "insert",
+        "items",
+        "join",
+        "keys",
+        "pop",
+        "popitem",
+        "read",
+        "remove",
+        "reverse",
+        "setdefault",
+        "sort",
+        "split",
+        "startswith",
+        "strip",
+        "update",
+        "values",
+        "write",
+    }
+)
+
+
 def register_layer(
     name: str, allowed: frozenset[str] | set[str] | str
 ) -> None:

@@ -1,0 +1,42 @@
+"""The whole-program view handed to rule ``finalize`` hooks.
+
+A :class:`Program` bundles every analyzed module's facts and lazily
+builds the call graph and effect engine on first use, so runs that
+select only per-file rules never pay for interprocedural analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.effects import EffectEngine
+from repro.analysis.facts import ModuleFacts
+
+__all__ = ["Program"]
+
+
+class Program:
+    """Facts for every analyzed file + lazy interprocedural engines."""
+
+    def __init__(self, modules: Iterable[ModuleFacts]) -> None:
+        self.modules: list[ModuleFacts] = sorted(
+            modules, key=lambda m: m.path
+        )
+        self.by_path: dict[str, ModuleFacts] = {
+            module.path: module for module in self.modules
+        }
+        self._graph: CallGraph | None = None
+        self._effects: EffectEngine | None = None
+
+    @property
+    def call_graph(self) -> CallGraph:
+        if self._graph is None:
+            self._graph = CallGraph(self.modules)
+        return self._graph
+
+    @property
+    def effects(self) -> EffectEngine:
+        if self._effects is None:
+            self._effects = EffectEngine(self.call_graph)
+        return self._effects

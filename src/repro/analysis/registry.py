@@ -2,9 +2,10 @@
 
 A rule is a class with an ``RPRnnn`` id, a suppression slug, a severity
 and a :meth:`Rule.check` generator over one :class:`ModuleContext`.
-Rules that need a whole-program view (RPR004's cycle detection) also
-override :meth:`Rule.finalize`, which runs once after every module has
-been checked.
+Rules that need a whole-program view (RPR004's cycle detection, the
+RPR009-RPR011 effect rules) also override :meth:`Rule.finalize`, which
+runs once over the assembled :class:`~repro.analysis.program.Program`
+after every module has been extracted.
 
 Registering is one decorator::
 
@@ -27,7 +28,10 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Type
+from typing import TYPE_CHECKING, Iterable, Iterator, Type
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.program import Program
 
 from repro.analysis.findings import AnalysisConfigError, Finding, Severity
 from repro.analysis.layers import SCRIPT_LAYER, layer_of_module
@@ -93,10 +97,15 @@ class Rule:
         """Findings for one module.  Override in subclasses."""
         raise NotImplementedError
 
-    def finalize(
-        self, modules: Iterable[ModuleContext]
-    ) -> Iterator[Finding]:
-        """Whole-program findings, after every module was checked."""
+    def finalize(self, program: "Program") -> Iterator[Finding]:
+        """Whole-program findings over the assembled fact base.
+
+        ``program.modules`` holds every file's
+        :class:`~repro.analysis.facts.ModuleFacts`;
+        ``program.call_graph`` / ``program.effects`` build lazily, so
+        per-file rules cost nothing extra.  Runs after every module was
+        extracted (including cache hits — facts round-trip the cache).
+        """
         return iter(())
 
 

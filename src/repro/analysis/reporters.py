@@ -1,12 +1,13 @@
-"""Text and JSON reporters over an analysis result."""
+"""Text, JSON, and SARIF reporters over an analysis result."""
 
 from __future__ import annotations
 
 import json
 
+from repro.analysis.registry import all_rules
 from repro.analysis.runner import AnalysisResult
 
-__all__ = ["render_json", "render_text"]
+__all__ = ["render_json", "render_sarif", "render_text"]
 
 
 def render_text(result: AnalysisResult) -> str:
@@ -51,5 +52,75 @@ def render_json(result: AnalysisResult) -> str:
             "suppressed": result.suppressed,
             "baselined": result.baselined,
         },
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_sarif(result: AnalysisResult) -> str:
+    """SARIF 2.1.0 report (the format CI uploads so findings annotate
+    pull requests).  Only rules with at least the minimal metadata are
+    emitted; severities map error -> "error", warning -> "warning".
+    """
+    rule_index: dict[str, int] = {}
+    rules_meta = []
+    for rule in all_rules():
+        rule_index[rule.id] = len(rules_meta)
+        rules_meta.append(
+            {
+                "id": rule.id,
+                "name": rule.slug,
+                "shortDescription": {"text": rule.description},
+                "defaultConfiguration": {
+                    "level": str(rule.severity),
+                },
+            }
+        )
+    results = []
+    for finding in result.findings:
+        entry = {
+            "ruleId": finding.rule,
+            "level": str(finding.severity),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule in rule_index:
+            entry["ruleIndex"] = rule_index[finding.rule]
+        results.append(entry)
+    document = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "informationUri": (
+                            "docs/STATIC_ANALYSIS.md"
+                        ),
+                        "rules": rules_meta,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///"}
+                },
+                "results": results,
+            }
+        ],
     }
     return json.dumps(document, indent=2, sort_keys=True)

@@ -6,22 +6,28 @@ line here.  See ``docs/STATIC_ANALYSIS.md`` for the recipe.
 """
 
 from repro.analysis.rules import (  # noqa: F401  (import for registration)
+    durability,
+    effects_undo,
     hygiene,
     layering,
     naked_writes,
     raw_bits,
     raw_compare,
+    shared_state,
     swallowing,
     timing,
     unguarded_codes,
 )
 
 __all__ = [
+    "durability",
+    "effects_undo",
     "hygiene",
     "layering",
     "naked_writes",
     "raw_bits",
     "raw_compare",
+    "shared_state",
     "swallowing",
     "timing",
     "unguarded_codes",

@@ -1,0 +1,113 @@
+"""RPR009 — tracked-state mutation without an undo registration.
+
+The PR-4 atomicity argument is a *code discipline*: while a
+:class:`~repro.updates.txn.Transaction` is open, every mutation of
+transactional state records a closure that inverts it (the
+``log = self.undo_log; if log is not None: log.record(...)`` idiom).
+The chaos matrix samples that discipline dynamically, one fault site at
+a time; this rule checks it statically for **every** function reachable
+from a public ``UpdateEngine`` entry point.
+
+A function violates the rule when it directly mutates tracked state
+(the facade/primitive taxonomy in :mod:`repro.analysis.layers`) and
+does not itself register an inverse on the bound undo log.  The
+discipline is per mutation site — a registering caller does *not*
+excuse a non-registering callee, because rollback replays inverses in
+strict LIFO order and a missing entry leaves that one structure stale.
+
+Script mode: files outside ``src/`` (test helpers that poke engine
+state) are checked without the reachability requirement — a helper that
+mutates a ``LabeledDocument``-annotated parameter without registering
+is flagged wherever it lives, except under ``benchmarks/`` and
+``examples/`` (harnesses own their state).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.layers import (
+    EFFECT_EXEMPT_MODULES,
+    SCRIPT_EFFECTS_EXEMPT_PATH_PARTS,
+)
+from repro.analysis.registry import ModuleContext, Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.program import Program
+
+__all__ = ["MutationWithoutUndoRule"]
+
+
+def _is_dunder(name: str) -> bool:
+    return name.startswith("__") and name.endswith("__")
+
+
+@register
+class MutationWithoutUndoRule(Rule):
+    id = "RPR009"
+    slug = "mutation-without-undo"
+    severity = Severity.ERROR
+    description = (
+        "mutation of tracked transactional state reachable from an "
+        "UpdateEngine entry point without registering an inverse on "
+        "the undo log"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def finalize(self, program: "Program") -> Iterator[Finding]:
+        effects = program.effects
+        graph = program.call_graph
+        for fullqual in sorted(effects.summaries):
+            summary = effects.summaries[fullqual]
+            node = summary.node
+            module = node.module
+            facts = node.facts
+            if _is_dunder(facts.name) or facts.registers_undo:
+                continue
+            mutations = summary.counting_mutations
+            if not mutations:
+                continue
+            if module.module_name is not None:
+                if not module.module_name.startswith("repro"):
+                    continue
+                if module.module_name in EFFECT_EXEMPT_MODULES:
+                    continue
+                if fullqual not in effects.reachable:
+                    continue
+                chain = effects.entry_path(fullqual)
+                via = (
+                    " (reachable via "
+                    + " -> ".join(
+                        part.split("::", 1)[-1] for part in chain
+                    )
+                    + ")"
+                    if len(chain) > 1
+                    else ""
+                )
+            else:
+                parts = set(module.path.split("/"))
+                if parts & SCRIPT_EFFECTS_EXEMPT_PATH_PARTS:
+                    continue
+                via = ""
+            first = min(mutations, key=lambda m: (m.lineno, m.col))
+            targets = ", ".join(
+                sorted({f"{m.owner}.{m.target}" for m in mutations})
+            )
+            yield Finding(
+                path=module.path,
+                line=first.lineno,
+                col=first.col,
+                rule=self.id,
+                severity=self.severity,
+                message=(
+                    f"{facts.qualname} mutates tracked state "
+                    f"({targets}) without registering an inverse on the "
+                    f"undo log{via}; use the guarded "
+                    f"'log = self.undo_log; if log is not None: "
+                    f"log.record(<inverse>)' idiom or route the write "
+                    f"through a registering facade method"
+                ),
+            )

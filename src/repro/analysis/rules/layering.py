@@ -18,9 +18,12 @@ strong enough to excuse a cycle; single-edge exceptions take
 from __future__ import annotations
 
 import ast
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.analysis.findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.program import Program
 from repro.analysis.layers import (
     ALL_LAYERS,
     SCRIPT_LAYER,
@@ -100,24 +103,24 @@ class LayeringRule(Rule):
                 f"repro.analysis.layers",
             )
 
-    def finalize(
-        self, modules: Iterable[ModuleContext]
-    ) -> Iterator[Finding]:
+    def finalize(self, program: "Program") -> Iterator[Finding]:
         # Aggregate the observed subsystem graph (library code only) and
         # remember the first witness of each edge for error anchoring.
+        # Works off the cached import facts, so warm runs still see the
+        # whole graph without re-parsing a single file.
         graph: dict[str, set[str]] = {}
         witness: dict[tuple[str, str], tuple[str, int]] = {}
-        for module in modules:
+        for module in program.modules:
             source = module.layer
             if source == SCRIPT_LAYER:
                 continue
-            for statement, target in _imported_repro_modules(module):
+            for lineno, target in module.repro_imports:
                 target_layer = layer_of_module(target)
                 if target_layer == source:
                     continue
                 graph.setdefault(source, set()).add(target_layer)
                 witness.setdefault(
-                    (source, target_layer), (module.path, statement.lineno)
+                    (source, target_layer), (module.path, lineno)
                 )
         for cycle in _find_cycles(graph):
             path, line = witness.get((cycle[0], cycle[1]), ("<unknown>", 1))
@@ -132,6 +135,7 @@ class LayeringRule(Rule):
                     + " -> ".join(cycle + [cycle[0]])
                     + " (cycles are always errors)"
                 ),
+                unsuppressable=True,
             )
 
 

@@ -1,0 +1,155 @@
+"""RPR011 — shared mutable state that blocks the MVCC refactor.
+
+ROADMAP item 1 puts many clients over many documents in one process.
+Everything in ``repro.*`` that is mutable and not owned by a single
+document instance is a hazard for that refactor, and this rule
+inventories it (as warnings — each site gets fixed or earns a
+justified suppression before the service lands):
+
+* **Module-level mutable containers** — shared across every document
+  in the process.  Constant-cased names are allowed but must never be
+  written from a function.
+* **Class-level mutable attribute defaults** — silently shared by all
+  instances; the classic aliasing bug becomes a cross-document data
+  leak under MVCC.
+* **Memo-cache fills outside the undo discipline** — a method that
+  populates a ``*cache*`` attribute without registering an inverse is
+  invisible to rollback and racy under concurrent readers.  Wholesale
+  cache *resets* (``self._cache = {}``) are fine; incremental fills
+  are the hazard.
+
+The explicit process-wide registries (``OBS``, ``FAULTS``) and the
+analyzer/bench tooling are exempt by module prefix — they are the
+sanctioned globals this rule pushes everything else toward.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.layers import SHARED_STATE_EXEMPT_MODULE_PREFIXES
+from repro.analysis.registry import ModuleContext, Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.program import Program
+
+__all__ = ["SharedStateRule"]
+
+
+def _exempt(module_name: str) -> bool:
+    return any(
+        module_name == prefix or module_name.startswith(prefix + ".")
+        for prefix in SHARED_STATE_EXEMPT_MODULE_PREFIXES
+    )
+
+
+def _is_dunder(name: str) -> bool:
+    return name.startswith("__") and name.endswith("__")
+
+
+@register
+class SharedStateRule(Rule):
+    id = "RPR011"
+    slug = "shared-state"
+    severity = Severity.WARNING
+    description = (
+        "process-wide mutable state (module/class-level containers, "
+        "unregistered memo-cache fills) that must be per-document "
+        "before the concurrent MVCC service"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def finalize(self, program: "Program") -> Iterator[Finding]:
+        for module in program.modules:
+            name = module.module_name
+            if name is None or not name.startswith("repro"):
+                continue
+            if _exempt(name):
+                continue
+            yield from self._module_level(module)
+            yield from self._class_level(module)
+            yield from self._memo_caches(module)
+
+    def _module_level(self, module) -> Iterator[Finding]:
+        constant_names: set[str] = set()
+        for name, lineno, caps in module.module_mutables:
+            if caps:
+                constant_names.add(name)
+                continue
+            yield Finding(
+                path=module.path,
+                line=lineno,
+                col=0,
+                rule=self.id,
+                severity=self.severity,
+                message=(
+                    f"module-level mutable container {name!r} is shared "
+                    f"by every document in the process; make it "
+                    f"per-instance state, or rename to CONSTANT_CASE "
+                    f"and never mutate it"
+                ),
+            )
+        if not constant_names:
+            return
+        for facts in module.functions.values():
+            for write in facts.global_writes:
+                if write.root in constant_names:
+                    yield Finding(
+                        path=module.path,
+                        line=write.lineno,
+                        col=write.col,
+                        rule=self.id,
+                        severity=self.severity,
+                        message=(
+                            f"{facts.qualname} mutates module constant "
+                            f"{write.root!r} ({write.describe()}); a "
+                            f"CONSTANT_CASE container is a promise of "
+                            f"immutability — copy it or move the state "
+                            f"onto an instance"
+                        ),
+                    )
+
+    def _class_level(self, module) -> Iterator[Finding]:
+        for class_facts in module.classes.values():
+            for attr, lineno in class_facts.mutable_class_attrs:
+                yield Finding(
+                    path=module.path,
+                    line=lineno,
+                    col=0,
+                    rule=self.id,
+                    severity=self.severity,
+                    message=(
+                        f"class-level mutable default "
+                        f"{class_facts.name}.{attr} is shared by every "
+                        f"instance (and every document); initialize it "
+                        f"in __init__ instead"
+                    ),
+                )
+
+    def _memo_caches(self, module) -> Iterator[Finding]:
+        for facts in module.functions.values():
+            if _is_dunder(facts.name) or facts.registers_undo:
+                continue
+            for mutation in facts.mutations:
+                if mutation.kind != "subscript":
+                    continue
+                if not any("cache" in part for part in mutation.chain):
+                    continue
+                yield Finding(
+                    path=module.path,
+                    line=mutation.lineno,
+                    col=mutation.col,
+                    rule=self.id,
+                    severity=self.severity,
+                    message=(
+                        f"{facts.qualname} fills memo cache "
+                        f"{mutation.describe()} without undo "
+                        f"registration; the fill is invisible to "
+                        f"rollback and racy under concurrent readers — "
+                        f"register an inverse or make the cache "
+                        f"per-transaction"
+                    ),
+                )

@@ -1,13 +1,24 @@
-"""File walking and rule dispatch — the analyzer's engine.
+"""File walking, two-phase rule dispatch, and result filtering.
 
-:func:`analyze_paths` walks the given files/directories, parses every
-``*.py`` with the stdlib :mod:`ast`, derives each file's module name
-(files under a ``src/`` component map to their dotted name; everything
-else is a script), applies the selected rules, then filters the raw
-findings through inline suppressions and the baseline.
+The run is split into two phases:
 
-The result is deterministic: files are visited in sorted order and
-findings come back sorted by (path, line, col, rule).
+1. **Extraction** (per file, cacheable, parallelizable): parse, run
+   every registered rule's :meth:`~repro.analysis.registry.Rule.check`,
+   extract :class:`~repro.analysis.facts.ModuleFacts` and suppression
+   comments.  The result is a plain-JSON payload keyed by the file's
+   content hash, so warm runs skip this phase entirely
+   (:mod:`repro.analysis.cache`) and cold runs can fan it out across
+   processes (``--jobs``).
+2. **Assembly** (whole-program, always live): build the
+   :class:`~repro.analysis.program.Program`, run each selected rule's
+   ``finalize``, then filter through inline suppressions and the
+   baseline.  Findings are sorted, so serial and parallel runs are
+   byte-identical.
+
+:func:`analyze_paths` keeps its original signature and defaults
+(serial, no cache); :func:`run_analysis` returns the richer
+:class:`ProgramRun` the CLI needs for ``--check-baseline`` and
+``--effects``.
 """
 
 from __future__ import annotations
@@ -18,13 +29,31 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.analysis.baseline import Baseline, EMPTY_BASELINE
+from repro.analysis.cache import (
+    CACHE_FORMAT_VERSION,
+    ExtractionCache,
+    content_hash,
+)
+from repro.analysis.facts import ModuleFacts, extract_module_facts
 from repro.analysis.findings import AnalysisConfigError, Finding, Severity
-from repro.analysis.registry import ModuleContext, Rule, get_rules
-from repro.analysis.suppressions import collect_suppressions
+from repro.analysis.program import Program
+from repro.analysis.registry import ModuleContext, Rule, all_rules, get_rules
+from repro.analysis.suppressions import Suppressions
 
-__all__ = ["AnalysisResult", "analyze_paths", "collect_files"]
+__all__ = [
+    "AnalysisResult",
+    "ProgramRun",
+    "analyze_paths",
+    "check_hygiene",
+    "collect_files",
+    "run_analysis",
+]
 
 _SKIPPED_DIR_NAMES = {"__pycache__"}
+
+#: Folded into the cache signature alongside the registered rule ids;
+#: bump when extraction behavior changes without a facts-format change.
+_EXTRACTION_SALT = 3
 
 
 @dataclass
@@ -45,8 +74,30 @@ class AnalysisResult:
         return max(finding.severity for finding in self.findings)
 
 
-def collect_files(paths: Sequence[str | Path]) -> list[Path]:
-    """Every ``*.py`` under the given files/directories, sorted."""
+@dataclass
+class ProgramRun:
+    """One analysis run with its unfiltered internals exposed."""
+
+    result: AnalysisResult
+    program: Program
+    raw_findings: list[Finding]
+    """Every finding of the selected rules *before* suppression and
+    baseline filtering (the hygiene check's reference set)."""
+
+    suppressions: dict[str, Suppressions]
+    """Display path -> parsed inline suppressions."""
+
+
+def collect_files(
+    paths: Sequence[str | Path],
+    exclude: Sequence[str | Path] = (),
+) -> list[Path]:
+    """Every ``*.py`` under the given files/directories, sorted.
+
+    ``exclude`` drops files under any of the given roots (used to keep
+    deliberately-violating rule fixtures out of a ``tests`` scan).
+    """
+    excluded = [Path(e).resolve() for e in exclude]
     files: set[Path] = set()
     for raw in paths:
         path = Path(raw)
@@ -64,6 +115,16 @@ def collect_files(paths: Sequence[str | Path]) -> list[Path]:
                 ):
                     continue
                 files.add(candidate)
+    if excluded:
+        files = {
+            path
+            for path in files
+            if not any(
+                root == path.resolve()
+                or root in path.resolve().parents
+                for root in excluded
+            )
+        }
     return sorted(files)
 
 
@@ -121,64 +182,245 @@ def load_module_context(
     )
 
 
+def _cache_signature() -> str:
+    rule_ids = ",".join(rule.id for rule in all_rules())
+    return f"v{CACHE_FORMAT_VERSION}.{_EXTRACTION_SALT}:{rule_ids}"
+
+
+def _extract_file(job: tuple[str, str | None]) -> tuple[str, dict]:
+    """Phase-1 worker: parse + check + facts for one file.
+
+    Module-level (not a closure) so :mod:`concurrent.futures` can ship
+    it to worker processes.  Returns ``(display_path, payload)`` where
+    the payload is the JSON-serializable extraction result.
+    """
+    path_text, root_text = job
+    path = Path(path_text)
+    root = Path(root_text) if root_text is not None else None
+    display = _display_path(path, root)
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=path_text)
+    except SyntaxError as error:
+        finding = Finding(
+            path=display,
+            line=error.lineno or 1,
+            col=(error.offset or 1) - 1,
+            rule="RPR000",
+            severity=Severity.ERROR,
+            message=f"file does not parse: {error.msg}",
+        )
+        return display, {"findings": [finding.to_dict()], "facts": None}
+    context = ModuleContext(
+        path=display,
+        module_name=_module_name_for(path),
+        tree=tree,
+        source_lines=source.splitlines(),
+        is_package=path.name == "__init__.py",
+    )
+    findings: list[dict] = []
+    for rule in all_rules():
+        for finding in rule.check(context):
+            findings.append(finding.to_dict())
+    facts = extract_module_facts(
+        context.path,
+        context.module_name,
+        context.is_package,
+        tree,
+        context.source_lines,
+    )
+    return display, {"findings": findings, "facts": facts.to_dict()}
+
+
+def _run_extraction(
+    jobs_list: list[tuple[str, str | None]], jobs: int
+) -> dict[str, dict]:
+    """Run phase 1, fanning out when asked (and possible)."""
+    payloads: dict[str, dict] = {}
+    if jobs > 1 and len(jobs_list) > 1:
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                for display, payload in pool.map(
+                    _extract_file, jobs_list, chunksize=8
+                ):
+                    payloads[display] = payload
+            return payloads
+        except Exception:
+            # Sandboxes without working process pools degrade to serial
+            # — same findings, just slower.
+            payloads.clear()
+    for job in jobs_list:
+        display, payload = _extract_file(job)
+        payloads[display] = payload
+    return payloads
+
+
+def run_analysis(
+    paths: Sequence[str | Path],
+    *,
+    rules: Iterable[str] | None = None,
+    baseline: Baseline | None = None,
+    project_root: str | Path | None = None,
+    jobs: int | None = None,
+    cache_path: str | Path | None = None,
+    exclude: Sequence[str | Path] = (),
+) -> ProgramRun:
+    """Run the selected rules over every Python file under ``paths``."""
+    selected: list[Rule] = get_rules(rules)
+    selected_ids = {rule.id for rule in selected} | {"RPR000"}
+    active_baseline = baseline if baseline is not None else EMPTY_BASELINE
+    root = Path(project_root) if project_root is not None else None
+    worker_count = max(1, jobs) if jobs is not None else 1
+
+    files = collect_files(paths, exclude)
+    cache = (
+        ExtractionCache(cache_path, _cache_signature())
+        if cache_path is not None
+        else None
+    )
+
+    payloads: dict[str, dict] = {}
+    pending: list[tuple[str, str | None]] = []
+    digests: dict[str, str] = {}
+    for path in files:
+        display = _display_path(path, root)
+        if cache is not None:
+            try:
+                digest = content_hash(path.read_bytes())
+            except OSError:
+                digest = ""
+            digests[display] = digest
+            hit = cache.get(display, digest) if digest else None
+            if hit is not None:
+                payloads[display] = hit
+                continue
+        pending.append((str(path), str(root) if root is not None else None))
+
+    payloads.update(_run_extraction(pending, worker_count))
+    if cache is not None:
+        for job_path, _ in pending:
+            display = _display_path(Path(job_path), root)
+            payload = payloads.get(display)
+            digest = digests.get(display, "")
+            if payload is not None and digest:
+                cache.put(display, digest, payload)
+        cache.save()
+
+    # -- assembly ----------------------------------------------------------
+    raw: list[Finding] = []
+    modules: list[ModuleFacts] = []
+    suppressions: dict[str, Suppressions] = {}
+    for display in sorted(payloads):
+        payload = payloads[display]
+        for entry in payload["findings"]:
+            finding = Finding.from_dict(entry)
+            if finding.rule in selected_ids:
+                raw.append(finding)
+        if payload["facts"] is not None:
+            facts = ModuleFacts.from_dict(payload["facts"])
+            modules.append(facts)
+            suppressions[display] = Suppressions.from_mapping(
+                facts.suppressions
+            )
+
+    program = Program(modules)
+    for rule in selected:
+        raw.extend(rule.finalize(program))
+
+    result = AnalysisResult(files_scanned=len(files))
+    slug_by_rule = {rule.id: rule.slug for rule in all_rules()}
+    for finding in raw:
+        slug = slug_by_rule.get(finding.rule)
+        file_suppressions = suppressions.get(finding.path)
+        if (
+            slug is not None
+            and file_suppressions is not None
+            and not finding.unsuppressable
+            and file_suppressions.allows(finding.line, slug)
+        ):
+            result.suppressed += 1
+            continue
+        if active_baseline.waives(finding):
+            result.baselined += 1
+            continue
+        result.findings.append(finding)
+    result.findings.sort()
+    raw.sort()
+    return ProgramRun(
+        result=result,
+        program=program,
+        raw_findings=raw,
+        suppressions=suppressions,
+    )
+
+
 def analyze_paths(
     paths: Sequence[str | Path],
     *,
     rules: Iterable[str] | None = None,
     baseline: Baseline | None = None,
     project_root: str | Path | None = None,
+    jobs: int | None = None,
+    cache_path: str | Path | None = None,
+    exclude: Sequence[str | Path] = (),
 ) -> AnalysisResult:
     """Run the selected rules over every Python file under ``paths``."""
-    selected: list[Rule] = get_rules(rules)
-    active_baseline = baseline if baseline is not None else EMPTY_BASELINE
-    root = Path(project_root) if project_root is not None else None
+    return run_analysis(
+        paths,
+        rules=rules,
+        baseline=baseline,
+        project_root=project_root,
+        jobs=jobs,
+        cache_path=cache_path,
+        exclude=exclude,
+    ).result
 
-    result = AnalysisResult()
-    contexts: list[ModuleContext] = []
-    raw: list[tuple[ModuleContext | None, Finding]] = []
 
-    for path in collect_files(paths):
-        result.files_scanned += 1
-        try:
-            context = load_module_context(path, root)
-        except SyntaxError as error:
-            raw.append(
-                (
-                    None,
-                    Finding(
-                        path=_display_path(path, root),
-                        line=error.lineno or 1,
-                        col=(error.offset or 1) - 1,
-                        rule="RPR000",
-                        severity=Severity.ERROR,
-                        message=f"file does not parse: {error.msg}",
-                    ),
-                )
-            )
-            continue
-        contexts.append(context)
-        for rule in selected:
-            for finding in rule.check(context):
-                raw.append((context, finding))
+def check_hygiene(run: ProgramRun, baseline: Baseline) -> list[str]:
+    """Stale baseline entries and dead/unknown inline suppressions.
 
-    for rule in selected:
-        for finding in rule.finalize(contexts):
-            raw.append((None, finding))
-
-    slug_by_rule = {rule.id: rule.slug for rule in selected}
-    suppressions_cache = {
-        context.path: collect_suppressions(context.source_lines)
-        for context in contexts
+    The reference set is the run's *raw* findings (pre-suppression,
+    pre-baseline): an entry or comment that matches none of them no
+    longer suppresses anything and must be removed — dead waivers are
+    how real violations sneak back in unnoticed.
+    """
+    issues: list[str] = []
+    by_rule_path: set[tuple[str, str]] = {
+        (finding.rule, finding.path) for finding in run.raw_findings
     }
-    for context, finding in raw:
-        slug = slug_by_rule.get(finding.rule)
-        if context is not None and slug is not None:
-            if suppressions_cache[context.path].allows(finding.line, slug):
-                result.suppressed += 1
-                continue
-        if active_baseline.waives(finding):
-            result.baselined += 1
-            continue
-        result.findings.append(finding)
-    result.findings.sort()
-    return result
+    lines_by_rule_path: dict[tuple[str, str], set[int]] = {}
+    for finding in run.raw_findings:
+        lines_by_rule_path.setdefault(
+            (finding.rule, finding.path), set()
+        ).add(finding.line)
+
+    for entry in baseline.entries:
+        if (entry.rule, entry.path) not in by_rule_path:
+            issues.append(
+                f"stale baseline entry: {entry.rule} at {entry.path} "
+                f"matches no current finding"
+            )
+
+    slug_to_rule = {rule.slug: rule.id for rule in all_rules()}
+    for path in sorted(run.suppressions):
+        for line, slugs in sorted(
+            run.suppressions[path].by_line().items()
+        ):
+            for slug in sorted(slugs):
+                rule_id = slug_to_rule.get(slug)
+                if rule_id is None:
+                    issues.append(
+                        f"unknown suppression slug at {path}:{line}: "
+                        f"allow-{slug}"
+                    )
+                    continue
+                covered = lines_by_rule_path.get((rule_id, path), set())
+                # A comment on line L silences findings on L and L+1.
+                if not (line in covered or line + 1 in covered):
+                    issues.append(
+                        f"dead suppression at {path}:{line}: allow-{slug} "
+                        f"matches no {rule_id} finding"
+                    )
+    return issues

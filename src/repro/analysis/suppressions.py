@@ -16,6 +16,7 @@ Suppressions are per-rule — there is deliberately no blanket
 from __future__ import annotations
 
 import re
+import tokenize
 from typing import Iterable
 
 __all__ = ["Suppressions", "collect_suppressions"]
@@ -36,15 +37,47 @@ class Suppressions:
             or slug in self._by_line.get(line - 1, frozenset())
         )
 
+    def by_line(self) -> dict[int, frozenset[str]]:
+        """Line -> slugs, for serialization and hygiene checks."""
+        return dict(self._by_line)
+
+    @classmethod
+    def from_mapping(cls, mapping: dict[int, Iterable[str]]) -> "Suppressions":
+        """Rebuild from a plain mapping (the cached-facts round trip)."""
+        return cls(
+            {line: frozenset(slugs) for line, slugs in mapping.items()}
+        )
+
     def __len__(self) -> int:
         return len(self._by_line)
 
 
 def collect_suppressions(source_lines: Iterable[str]) -> Suppressions:
-    """Scan source lines for ``# repro: allow-<slug>`` comments."""
+    """Scan real ``# repro: allow-<slug>`` comments.
+
+    Tokenizes so that docstrings which merely *quote* the waiver syntax
+    (every rule module documents its own slug) do not register as live
+    suppressions — a textual scan would report each of those as a dead
+    waiver under ``--check-baseline``.
+    """
+    lines = list(source_lines)
     by_line: dict[int, frozenset[str]] = {}
-    for lineno, text in enumerate(source_lines, start=1):
-        slugs = _ALLOW_RE.findall(text)
-        if slugs:
-            by_line[lineno] = frozenset(slugs)
+    try:
+        readline = iter(
+            line if line.endswith("\n") else line + "\n" for line in lines
+        ).__next__
+        for token in tokenize.generate_tokens(readline):
+            if token.type != tokenize.COMMENT:
+                continue
+            slugs = _ALLOW_RE.findall(token.string)
+            if slugs:
+                by_line[token.start[0]] = frozenset(slugs)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Untokenizable source (the analyzer still line-scans files it
+        # cannot parse): fall back to the plain textual match.
+        by_line.clear()
+        for lineno, text in enumerate(lines, start=1):
+            slugs = _ALLOW_RE.findall(text)
+            if slugs:
+                by_line[lineno] = frozenset(slugs)
     return Suppressions(by_line)

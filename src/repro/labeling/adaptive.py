@@ -89,7 +89,10 @@ class AdaptiveCDBSContainment(ContainmentScheme):
         region_label: ContainmentLabel = labeled.label_of(region)
         attached = subtree_root.parent is parent
         if not attached:
-            parent.insert_child(index, subtree_root)
+            # Through the registering facade (not parent.insert_child):
+            # an abort after a successful region relabel must detach
+            # the new subtree again, not just restore the labels.
+            labeled.splice_in(parent, index, subtree_root)
         interior = [
             child for child in region.children
         ]
@@ -103,7 +106,7 @@ class AdaptiveCDBSContainment(ContainmentScheme):
             )
         except RelabelRequired:
             if not attached:
-                subtree_root.detach()
+                labeled.splice_out(subtree_root)
             raise
 
         key = self.codec.key

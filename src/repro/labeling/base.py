@@ -220,7 +220,10 @@ class LabeledDocument:
             else:
                 nodes = self.tag_index.get(tag, [])
             bits = self.scheme.label_bits
-            cache[tag] = sum(
+            # Derived byte-size memo, invalidated by every mutator and
+            # rebuilt from scratch by rebuild_order/register_subtree;
+            # must move into per-snapshot state before MVCC lands.
+            cache[tag] = sum(  # repro: allow-shared-state
                 -(-bits(self.labels[id(node)]) // 8) for node in nodes
             )
         return cache[tag]

@@ -1,0 +1,35 @@
+"""Frozen call-graph fixture: every resolution tier in one module.
+
+The golden snapshot test pins ``CallGraph.to_dict`` over this tree;
+edit it only together with ``tests/analysis/golden/calltree.json``.
+"""
+
+from repro import util
+from repro.util import helper
+
+
+class Base:
+    def area(self):
+        return self.side() * self.side()
+
+    def side(self):
+        return 1
+
+
+class Square(Base):
+    def side(self):
+        return helper(2)
+
+    def describe(self):
+        return self.area()
+
+
+def render(shape):
+    def fmt(value):
+        return util.pad(str(value))
+
+    return fmt(shape.describe())
+
+
+def top():
+    return render(Square())

@@ -1,0 +1,9 @@
+"""Support module for the call-graph fixture."""
+
+
+def helper(width):
+    return width + 1
+
+
+def pad(text):
+    return f" {text} "

@@ -1,0 +1,39 @@
+"""RPR009 fixture facade: one reachable unregistered write.
+
+Every other method demonstrates a way a tracked-state write is *not*
+flagged: the guarded-record idiom, the scoped waiver, and
+engine-unreachability.
+"""
+
+
+class UndoLog:
+    def __init__(self):
+        self.entries = []
+
+    def record(self, undo):
+        self.entries.append(undo)
+
+
+class LabeledDocument:
+    def __init__(self):
+        self.labels = {}
+        self.undo_log = None
+
+    def set_label(self, node, label):
+        """Guarded idiom: inverse registered, write exempt."""
+        old = self.labels.get(id(node))
+        log = self.undo_log
+        if log is not None:
+            log.record(lambda: self.set_label(node, old))
+        self.labels[id(node)] = label
+
+    def bad_write(self, node, label):
+        self.labels[id(node)] = label  # VIOLATION: no inverse registered
+
+    def waived_write(self, node):
+        # Deliberately unregistered; the scoped slug waives it.
+        self.labels.pop(id(node), None)  # repro: allow-mutation-without-undo
+
+    def offline_rebuild(self):
+        """Never called from the engine: reachability exempts it."""
+        self.labels.clear()

@@ -1,0 +1,16 @@
+"""RPR009 fixture engine: its public methods define reachability."""
+
+from repro.labeling.base import LabeledDocument, UndoLog
+
+
+class UpdateEngine:
+    def __init__(self, labeled: LabeledDocument):
+        self.labeled = labeled
+        self.undo_log = UndoLog()
+
+    def insert(self, node, label):
+        self.labeled.set_label(node, label)
+        self.labeled.bad_write(node, label)
+
+    def delete(self, node):
+        self.labeled.waived_write(node)

@@ -1,0 +1,34 @@
+"""RPR010 fixture engine: location and abort-path violations."""
+
+from os import fsync
+
+from repro.wal.writer import WalManager
+
+
+class UndoLog:
+    def __init__(self):
+        self.entries = []
+
+    def record(self, undo):
+        self.entries.append(undo)
+
+
+class UpdateEngine:
+    def __init__(self, labeled):
+        self.labeled = labeled
+        self.undo_log = UndoLog()
+        self.wal = WalManager(labeled, "wal.log")
+
+    def flush_now(self, fd):
+        fsync(fd)  # VIOLATION: durable effect outside the WAL layer
+
+    def risky_delete(self, path):
+        log = self.undo_log
+        if log is not None:
+            # VIOLATION: the undo closure checkpoints, i.e. touches disk.
+            log.record(lambda: self.wal.checkpoint(path))
+
+    def safe_delete(self, node):
+        log = self.undo_log
+        if log is not None:
+            log.record(lambda: self.labeled.restore(node))

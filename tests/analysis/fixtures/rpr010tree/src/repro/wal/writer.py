@@ -1,0 +1,30 @@
+"""RPR010 fixture WAL layer: good and bad checkpoint orderings.
+
+The module lives under ``repro.wal`` so clause 1 (location) never
+fires here; only the intra-function ordering clause does.
+"""
+
+from repro.storage.atomicio import atomic_write_bytes
+from repro.storage.labelfile import save_labeled
+
+
+class WalManager:
+    def __init__(self, labeled, log_path):
+        self.labeled = labeled
+        self.log_path = log_path
+
+    def checkpoint(self, path):
+        """Protocol order: the bundle lands before the log shrinks."""
+        save_labeled(self.labeled, path)
+        atomic_write_bytes(self.log_path, b"")
+
+    def bad_checkpoint(self, path):
+        atomic_write_bytes(self.log_path, b"")  # VIOLATION: truncate first
+        save_labeled(self.labeled, path)
+
+    def marker_drift(self, path):
+        """Real calls ordered correctly, protocol markers swapped."""
+        FAULTS.hit("wal.checkpoint_truncate")  # VIOLATION: marker order
+        save_labeled(self.labeled, path)
+        FAULTS.hit("wal.checkpoint_write")
+        atomic_write_bytes(self.log_path, b"")

@@ -1,0 +1,45 @@
+"""RPR011 fixture: every shape of process-wide mutable state.
+
+Marked lines are warnings; the rest are the accepted spellings
+(CAPS-frozen constants, dunders, per-instance state).
+"""
+
+__all__ = ["Catalog", "lookup"]
+
+LIMITS = (16, 32)
+
+SEEN_TAGS = {"r"}  # caps-named: fine here, but see bump() below
+
+registry = {}  # VIOLATION: module-level mutable container
+
+waived = []  # repro: allow-shared-state
+
+
+class Catalog:
+    sizes = {}  # VIOLATION: class-level mutable default
+
+    def __init__(self):
+        self._result_cache = {}
+        self.entries = []
+
+    def lookup(self, key):
+        if key not in self._result_cache:
+            # VIOLATION: memo fill with no undo registration
+            self._result_cache[key] = len(self.entries)
+        return self._result_cache[key]
+
+    def lookup_logged(self, key, undo_log):
+        if undo_log is not None:
+            undo_log.record(lambda: self._result_cache.pop(key, None))
+        if key not in self._result_cache:
+            self._result_cache[key] = len(self.entries)
+        return self._result_cache[key]
+
+
+def bump(tag):
+    global SEEN_TAGS
+    SEEN_TAGS = SEEN_TAGS | {tag}  # VIOLATION: rebinding a constant
+
+
+def lookup(key):
+    return registry.get(key)

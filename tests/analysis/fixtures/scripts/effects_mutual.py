@@ -1,0 +1,14 @@
+"""Mutual recursion with a durable effect: the fixpoint must converge."""
+
+from os import fsync
+
+
+def ping(fd, n):
+    if n:
+        pong(fd, n - 1)
+    fsync(fd)
+
+
+def pong(fd, n):
+    if n:
+        ping(fd, n - 1)

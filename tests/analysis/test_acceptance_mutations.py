@@ -1,0 +1,144 @@
+"""Acceptance guardrail: the analyzer must catch seeded regressions.
+
+These tests copy the real ``src`` tree into a scratch ``src`` layout
+(preserving library mode), seed the exact regressions the rules exist
+for, and require a finding for every seeded site:
+
+* deleting any undo-registration statement in ``labeling/base.py`` or
+  ``storage/pager.py`` -> RPR009 on each now-unregistered function;
+* reordering the WAL checkpoint write after the log truncate ->
+  RPR010 on the reordered function.
+
+If one of these passes silently, the whole effect engine is
+decorative — keep them green.
+"""
+
+from __future__ import annotations
+
+import ast
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths
+
+REPO_ROOT = Path(__file__).parents[2]
+MUTATED_FILES = ("repro/labeling/base.py", "repro/storage/pager.py")
+
+
+@pytest.fixture()
+def scratch_src(tmp_path):
+    target = tmp_path / "src"
+    shutil.copytree(REPO_ROOT / "src", target)
+    return target
+
+
+def _strip_record_statements(path: Path) -> list[str]:
+    """Replace every ``*.record(...)`` statement with ``pass``.
+
+    Returns the qualnames of the functions that contained one.
+    """
+    source = path.read_text()
+    tree = ast.parse(source)
+    lines = source.splitlines()
+    touched: list[str] = []
+
+    class Finder(ast.NodeVisitor):
+        def __init__(self):
+            self.stack: list[str] = []
+            self.spans: list[tuple[int, int, int]] = []
+
+        def visit_FunctionDef(self, node):
+            self.stack.append(node.name)
+            self.generic_visit(node)
+            self.stack.pop()
+
+        visit_AsyncFunctionDef = visit_FunctionDef
+
+        def visit_Expr(self, node):
+            value = node.value
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr == "record"
+            ):
+                self.spans.append(
+                    (node.lineno, node.end_lineno, node.col_offset)
+                )
+                if self.stack:
+                    touched.append(self.stack[-1])
+
+    finder = Finder()
+    finder.visit(tree)
+    assert finder.spans, f"no record statements found in {path}"
+    for start, end, col in finder.spans:
+        lines[start - 1] = " " * col + "pass"
+        for lineno in range(start + 1, end + 1):
+            lines[lineno - 1] = ""
+    path.write_text("\n".join(lines) + "\n")
+    return touched
+
+
+def test_unmutated_copy_is_clean(scratch_src):
+    result = analyze_paths([scratch_src], rules=["RPR009", "RPR010"])
+    assert result.findings == []
+
+
+def test_every_deleted_undo_registration_is_caught(scratch_src):
+    stripped: dict[str, list[str]] = {}
+    for rel in MUTATED_FILES:
+        stripped[rel] = _strip_record_statements(scratch_src / rel)
+    result = analyze_paths([scratch_src], rules=["RPR009"])
+    findings_by_path: dict[str, str] = {}
+    for finding in result.findings:
+        assert finding.rule == "RPR009"
+        findings_by_path.setdefault(finding.path, "")
+        findings_by_path[finding.path] += " " + finding.message
+    for rel, functions in stripped.items():
+        messages = next(
+            (
+                text
+                for path, text in findings_by_path.items()
+                if path.endswith(rel)
+            ),
+            "",
+        )
+        # Every function that lost its registration must be named in
+        # some finding on that file (directly or as an undo closure's
+        # enclosing function).
+        for name in set(functions):
+            assert name in messages, (
+                f"{rel}: deleting record() in {name} produced no RPR009"
+            )
+
+
+def test_checkpoint_reorder_is_caught(scratch_src):
+    writer = scratch_src / "repro" / "wal" / "writer.py"
+    source = writer.read_text()
+    lines = source.splitlines()
+    checkpoint = next(
+        node
+        for node in ast.walk(ast.parse(source))
+        if isinstance(node, ast.FunctionDef) and node.name == "checkpoint"
+    )
+    body = range(checkpoint.lineno - 1, checkpoint.end_lineno)
+    truncate_line = next(
+        i
+        for i in body
+        if 'atomic_write_bytes(self.log_path, b"")' in lines[i]
+    )
+    bundle_line = next(
+        i for i in body if "save_labeled(" in lines[i]
+    )
+    assert bundle_line < truncate_line, "seed expects write-then-truncate"
+    # Move the truncate above the bundle write, leaving markers alone.
+    moved = lines.pop(truncate_line)
+    lines.insert(bundle_line, moved.strip().rjust(len(moved.strip()) + 8))
+    writer.write_text("\n".join(lines) + "\n")
+    result = analyze_paths([scratch_src], rules=["RPR010"])
+    assert any(
+        "truncates the log" in f.message
+        and f.path.endswith("wal/writer.py")
+        for f in result.findings
+    ), "reordered checkpoint did not trigger RPR010"

@@ -1,0 +1,109 @@
+"""Call-graph resolution and effect-fixpoint tests.
+
+The golden snapshot pins every resolution tier over the frozen
+``calltree`` fixture: MRO method lookup, inherited-method dispatch,
+duck-typed receivers, nested functions, module-alias calls, and
+imported functions.  Regenerate with::
+
+    PYTHONPATH=src python - <<'PY'
+    import json
+    from repro.analysis import run_analysis
+    run = run_analysis(["tests/analysis/fixtures/calltree"], rules=["RPR009"])
+    print(json.dumps(run.program.call_graph.to_dict(), indent=2, sort_keys=True))
+    PY
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import run_analysis
+
+FIXTURES = Path(__file__).parent / "fixtures"
+GOLDEN = Path(__file__).parent / "golden"
+
+
+def graph_of(tree):
+    return run_analysis([tree], rules=["RPR009"]).program.call_graph
+
+
+class TestGoldenSnapshot:
+    def test_calltree_matches_the_golden_graph(self):
+        expected = json.loads((GOLDEN / "calltree.json").read_text())
+        actual = graph_of(FIXTURES / "calltree").to_dict()
+        assert actual == expected
+
+    def test_inherited_method_resolves_through_the_mro(self):
+        graph = graph_of(FIXTURES / "calltree")
+        # Square has no `area`; `describe` finds Base.area via the MRO.
+        assert "repro.shapes::Base.area" in graph.edges[
+            "repro.shapes::Square.describe"
+        ]
+
+    def test_duck_receiver_resolves_by_method_name(self):
+        graph = graph_of(FIXTURES / "calltree")
+        # `shape.describe()` has an untyped receiver; only Square
+        # defines `describe`.
+        assert "repro.shapes::Square.describe" in graph.edges[
+            "repro.shapes::render"
+        ]
+
+    def test_nested_function_gets_its_own_node(self):
+        graph = graph_of(FIXTURES / "calltree")
+        fmt = "repro.shapes::render.<locals>.fmt"
+        assert fmt in graph.functions
+        assert graph.edges[fmt] == ("repro.util::pad",)
+
+    def test_reverse_edges_mirror_forward_edges(self):
+        graph = graph_of(FIXTURES / "calltree")
+        for caller, callees in graph.edges.items():
+            for callee in callees:
+                assert caller in graph.reverse[callee]
+
+
+class TestReachability:
+    def test_reachable_from_walks_transitively(self):
+        graph = graph_of(FIXTURES / "calltree")
+        reached = graph.reachable_from(["repro.shapes::top"])
+        assert "repro.util::pad" in reached
+        assert "repro.util::helper" in reached
+
+    def test_shortest_parents_reconstructs_a_path(self):
+        graph = graph_of(FIXTURES / "calltree")
+        parents = graph.shortest_parents(["repro.shapes::top"])
+        path = graph.path_to(parents, "repro.util::pad")
+        assert path[0] == "repro.shapes::top"
+        assert path[-1] == "repro.util::pad"
+
+
+class TestDurableFixpoint:
+    def test_mutual_recursion_converges_and_both_see_the_fsync(self):
+        run = run_analysis(
+            [FIXTURES / "scripts" / "effects_mutual.py"], rules=["RPR010"]
+        )
+        effects = run.program.effects
+        (module,) = run.program.modules
+        ping = module.qualify("ping")
+        pong = module.qualify("pong")
+        ping_closure = effects.durable_effects_of(ping)
+        pong_closure = effects.durable_effects_of(pong)
+        # The cycle ping -> pong -> ping must not loop forever, and the
+        # fsync inside `ping` must propagate onto both participants.
+        assert {kind for kind, _, _ in ping_closure} == {"fsync"}
+        assert ping_closure == pong_closure
+
+    def test_effect_summaries_exist_for_every_graph_node(self):
+        run = run_analysis([FIXTURES / "calltree"], rules=["RPR009"])
+        effects = run.program.effects
+        assert set(effects.summaries) == set(
+            run.program.call_graph.functions
+        )
+
+    def test_symbol_lookup_accepts_dotted_suffixes(self):
+        run = run_analysis([FIXTURES / "calltree"], rules=["RPR009"])
+        effects = run.program.effects
+        assert effects.find_symbols("Square.describe") == [
+            "repro.shapes::Square.describe"
+        ]
+        assert effects.find_symbols("no.such.symbol") == []

@@ -1,0 +1,143 @@
+"""Whole-program rule tests: RPR009-RPR011 over library-mode fixtures.
+
+Each fixture tree carries an inner ``src/repro`` layout so the runner
+derives real module names — that is what switches RPR009 into
+library mode (entry-point reachability) and scopes RPR010's sanctioned
+modules.  Positive cases are marked ``# VIOLATION`` in the fixtures;
+negatives document each exemption (guarded idiom, waiver slug,
+unreachability, sanctioned module).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+RPR009TREE = FIXTURES / "rpr009tree"
+RPR010TREE = FIXTURES / "rpr010tree"
+RPR011TREE = FIXTURES / "rpr011tree"
+
+
+def run(tree, rule):
+    return analyze_paths([tree], rules=[rule])
+
+
+class TestRPR009MutationWithoutUndo:
+    def test_only_the_reachable_unregistered_write_is_flagged(self):
+        result = run(RPR009TREE, "RPR009")
+        assert [f.rule for f in result.findings] == ["RPR009"]
+        (finding,) = result.findings
+        assert finding.path.endswith("labeling/base.py")
+        assert "bad_write" in finding.message
+
+    def test_message_names_the_entry_path(self):
+        (finding,) = run(RPR009TREE, "RPR009").findings
+        assert "reachable via UpdateEngine.insert" in finding.message
+
+    def test_finding_sits_on_the_marked_line(self):
+        base = RPR009TREE / "src" / "repro" / "labeling" / "base.py"
+        marked = [
+            lineno
+            for lineno, text in enumerate(
+                base.read_text().splitlines(), start=1
+            )
+            if "# VIOLATION" in text
+        ]
+        assert [f.line for f in run(RPR009TREE, "RPR009").findings] == marked
+
+    def test_guarded_idiom_and_unreachable_method_are_exempt(self):
+        messages = " ".join(
+            f.message for f in run(RPR009TREE, "RPR009").findings
+        )
+        assert "set_label" not in messages  # guarded record
+        assert "offline_rebuild" not in messages  # engine-unreachable
+
+    def test_scoped_suppression_waives_the_deliberate_write(self):
+        result = run(RPR009TREE, "RPR009")
+        assert result.suppressed == 1
+        assert not any("waived_write" in f.message for f in result.findings)
+
+
+class TestRPR010DurabilityProtocol:
+    def test_all_three_clauses_fire_once_each(self):
+        result = run(RPR010TREE, "RPR010")
+        messages = [f.message for f in result.findings]
+        assert len(messages) == 4
+        assert sum("outside the sanctioned" in m for m in messages) == 1
+        assert sum("truncates the log" in m for m in messages) == 2
+        assert sum("undo closure" in m for m in messages) == 1
+
+    def test_findings_sit_on_the_marked_lines(self):
+        marked = set()
+        for name in ("wal/writer.py", "updates/engine.py"):
+            path = RPR010TREE / "src" / "repro" / name
+            lines = path.read_text().splitlines()
+            for lineno, text in enumerate(lines, start=1):
+                if "VIOLATION" not in text:
+                    continue
+                # A comment-only marker lines annotates the next line.
+                target = lineno if not text.lstrip().startswith("#") else (
+                    lineno + 1
+                )
+                marked.add((path.as_posix(), target))
+        result = run(RPR010TREE, "RPR010")
+        assert {(f.path, f.line) for f in result.findings} == marked
+
+    def test_correct_checkpoint_order_is_clean(self):
+        messages = " ".join(
+            f.message for f in run(RPR010TREE, "RPR010").findings
+        )
+        assert "WalManager.checkpoint " not in messages
+
+    def test_marker_drift_is_caught_independently_of_real_calls(self):
+        """``marker_drift`` orders the real I/O correctly; only the
+        FAULTS protocol markers are swapped — still an error."""
+        result = run(RPR010TREE, "RPR010")
+        assert any(
+            "marker_drift" in f.message for f in result.findings
+        )
+
+    def test_pure_undo_closure_is_clean(self):
+        messages = " ".join(
+            f.message for f in run(RPR010TREE, "RPR010").findings
+        )
+        assert "safe_delete" not in messages
+
+
+class TestRPR011SharedState:
+    def test_each_shape_of_shared_state_is_flagged(self):
+        result = run(RPR011TREE, "RPR011")
+        messages = [f.message for f in result.findings]
+        assert len(messages) == 4
+        assert any("module-level mutable container" in m for m in messages)
+        assert any("class-level mutable default" in m for m in messages)
+        assert any("fills memo cache" in m for m in messages)
+        assert any("mutates module constant" in m for m in messages)
+
+    def test_everything_is_a_warning(self):
+        result = run(RPR011TREE, "RPR011")
+        assert {str(f.severity) for f in result.findings} == {"warning"}
+
+    def test_caps_constant_and_dunder_are_exempt_until_written(self):
+        result = run(RPR011TREE, "RPR011")
+        messages = " ".join(f.message for f in result.findings)
+        assert "__all__" not in messages
+        assert "LIMITS" not in messages
+        # SEEN_TAGS the *binding* is fine; no finding on its def line.
+        assert all(f.line != 12 for f in result.findings)
+
+    def test_caps_rebinding_inside_a_function_is_flagged(self):
+        # `bump` writes the SEEN_TAGS constant through `global`.
+        result = run(RPR011TREE, "RPR011")
+        assert any("SEEN_TAGS" in f.message for f in result.findings)
+
+    def test_registered_memo_fill_is_exempt(self):
+        messages = " ".join(
+            f.message for f in run(RPR011TREE, "RPR011").findings
+        )
+        assert "lookup_logged" not in messages
+
+    def test_waiver_slug_suppresses(self):
+        assert run(RPR011TREE, "RPR011").suppressed == 1

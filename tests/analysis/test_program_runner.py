@@ -1,0 +1,162 @@
+"""Two-phase runner behavior: parallelism, cache, and hygiene checks."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import check_hygiene, run_analysis
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.cache import ExtractionCache, content_hash
+from tests.analysis.test_effects_rules import (
+    FIXTURES,
+    RPR009TREE,
+    RPR010TREE,
+    RPR011TREE,
+)
+
+ALL_TREES = [RPR009TREE, RPR010TREE, RPR011TREE, FIXTURES / "calltree"]
+
+
+def _snapshot(result):
+    return [
+        (f.path, f.line, f.col, f.rule, str(f.severity), f.message)
+        for f in result.findings
+    ]
+
+
+class TestParallelDeterminism:
+    def test_parallel_run_matches_serial_run_exactly(self):
+        serial = run_analysis(ALL_TREES)
+        parallel = run_analysis(ALL_TREES, jobs=2)
+        assert _snapshot(parallel.result) == _snapshot(serial.result)
+        assert parallel.result.suppressed == serial.result.suppressed
+        assert parallel.result.files_scanned == serial.result.files_scanned
+
+    def test_oversubscribed_pool_is_still_deterministic(self):
+        serial = run_analysis(ALL_TREES)
+        wide = run_analysis(ALL_TREES, jobs=8)
+        assert _snapshot(wide.result) == _snapshot(serial.result)
+
+
+class TestExtractionCache:
+    def test_warm_run_reproduces_cold_findings(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        cold = run_analysis(ALL_TREES, cache_path=cache)
+        assert cache.exists()
+        warm = run_analysis(ALL_TREES, cache_path=cache)
+        assert _snapshot(warm.result) == _snapshot(cold.result)
+        assert warm.result.suppressed == cold.result.suppressed
+
+    def test_cache_is_invalidated_by_content_change(self, tmp_path):
+        source = tmp_path / "src" / "repro" / "mod.py"
+        source.parent.mkdir(parents=True)
+        source.write_text("registry = {}\n")
+        cache = tmp_path / "cache.json"
+        first = run_analysis([source], cache_path=cache)
+        assert len(first.result.findings) == 1
+        source.write_text("REGISTRY = ()\n")
+        second = run_analysis([source], cache_path=cache)
+        assert second.result.findings == []
+
+    def test_stale_signature_discards_the_cache(self, tmp_path):
+        cache_file = tmp_path / "cache.json"
+        cache = ExtractionCache(cache_file, "v0.0:old-rules")
+        cache.put("a.py", content_hash(b"x"), {"findings": [], "facts": None})
+        cache.save()
+        reopened = ExtractionCache(cache_file, "v9.9:new-rules")
+        assert reopened.get("a.py", content_hash(b"x")) is None
+
+    def test_corrupt_cache_file_is_ignored(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json")
+        run = run_analysis([RPR011TREE], cache_path=cache)
+        assert len(run.result.findings) == 4
+
+
+class TestHygiene:
+    def test_clean_run_with_matching_waivers_has_no_issues(self):
+        run = run_analysis([RPR009TREE])
+        assert check_hygiene(run, Baseline([])) == []
+
+    def test_stale_baseline_entry_is_reported(self):
+        run = run_analysis([RPR009TREE])
+        stale = Baseline(
+            [BaselineEntry("RPR001", "src/never/was.py", "old waiver")]
+        )
+        issues = check_hygiene(run, stale)
+        assert len(issues) == 1
+        assert "stale baseline entry" in issues[0]
+
+    def test_live_baseline_entry_is_not_stale(self):
+        run = run_analysis([RPR009TREE])
+        (finding,) = run.result.findings
+        live = Baseline([BaselineEntry(finding.rule, finding.path, "known")])
+        assert check_hygiene(run, live) == []
+
+    def test_dead_suppression_is_reported(self, tmp_path):
+        source = tmp_path / "src" / "repro" / "mod.py"
+        source.parent.mkdir(parents=True)
+        source.write_text(
+            "VALUES = (1, 2)  # repro: allow-shared-state\n"
+        )
+        run = run_analysis([source])
+        issues = check_hygiene(run, Baseline([]))
+        assert len(issues) == 1
+        assert "dead suppression" in issues[0]
+        assert "allow-shared-state" in issues[0]
+
+    def test_unknown_slug_is_reported(self, tmp_path):
+        source = tmp_path / "src" / "repro" / "mod.py"
+        source.parent.mkdir(parents=True)
+        source.write_text("X = 1  # repro: allow-warp-drive\n")
+        run = run_analysis([source])
+        issues = check_hygiene(run, Baseline([]))
+        assert any("unknown suppression slug" in i for i in issues)
+
+    def test_cli_check_baseline_fails_on_dead_waivers(self, tmp_path):
+        from repro.analysis.__main__ import main
+
+        source = tmp_path / "src" / "repro" / "mod.py"
+        source.parent.mkdir(parents=True)
+        source.write_text(
+            "VALUES = (1, 2)  # repro: allow-shared-state\n"
+        )
+        assert (
+            main([str(source), "--no-baseline", "--check-baseline"]) == 1
+        )
+        assert main([str(source), "--no-baseline"]) == 0
+
+
+class TestSarifReport:
+    @pytest.fixture()
+    def document(self):
+        from repro.analysis import render_sarif
+
+        run = run_analysis([RPR010TREE])
+        return json.loads(render_sarif(run.result))
+
+    def test_is_a_valid_sarif_2_1_0_skeleton(self, document):
+        assert document["version"] == "2.1.0"
+        (sarif_run,) = document["runs"]
+        assert sarif_run["tool"]["driver"]["name"] == "repro.analysis"
+
+    def test_every_registered_rule_has_metadata(self, document):
+        from repro.analysis import all_rules
+
+        (sarif_run,) = document["runs"]
+        ids = {r["id"] for r in sarif_run["tool"]["driver"]["rules"]}
+        assert {rule.id for rule in all_rules()} <= ids
+
+    def test_results_carry_location_and_level(self, document):
+        (sarif_run,) = document["runs"]
+        results = sarif_run["results"]
+        assert results, "fixture tree should produce findings"
+        for entry in results:
+            assert entry["ruleId"] == "RPR010"
+            assert entry["level"] == "error"
+            location = entry["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uri"].endswith(".py")
+            # SARIF columns are 1-based; internal cols are 0-based.
+            assert location["region"]["startColumn"] >= 1

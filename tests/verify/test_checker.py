@@ -26,6 +26,24 @@ def codes(engine):
     ]
 
 
+_DELETE = object()
+
+
+def corrupt_label(labeled, key, value=_DELETE):
+    """Damage ``labeled.labels`` in place, behind the engine's back.
+
+    Centralizing the corruption keeps it visible to the static
+    checker: the writes below are *intentional* RPR009 violations
+    (deliberately no undo registration — the whole point is to break
+    the document), so they carry the scoped waiver instead of hiding
+    behind an untyped local.
+    """
+    if value is _DELETE:
+        del labeled.labels[key]  # repro: allow-mutation-without-undo
+    else:
+        labeled.labels[key] = value
+
+
 class TestViolationDicts:
     def test_empty_list_round_trips(self):
         assert violation_dicts([]) == []
@@ -33,7 +51,7 @@ class TestViolationDicts:
     def test_shared_shape_matches_the_json_cli(self):
         """Every harness (CLI --json, chaos, crash) emits this shape."""
         engine, doc = build()
-        del engine.labeled.labels[id(doc.root.children[1])]
+        corrupt_label(engine.labeled, id(doc.root.children[1]))
         dicts = violation_dicts(
             verify_integrity(engine.labeled, engine.store)
         )
@@ -80,25 +98,26 @@ class TestTreeOrderViolations:
 class TestLabelViolations:
     def test_missing_label(self):
         engine, doc = build()
-        del engine.labeled.labels[id(doc.root.children[1])]
+        corrupt_label(engine.labeled, id(doc.root.children[1]))
         assert "labels.missing" in codes(engine)
 
     def test_orphaned_label(self):
         engine, doc = build()
         some_label = engine.labeled.labels[id(doc.root)]
-        engine.labeled.labels[123456789] = some_label
+        corrupt_label(engine.labeled, 123456789, some_label)
         assert "labels.orphaned" in codes(engine)
 
     def test_inverted_order(self):
         engine, doc = build()
         labels = engine.labeled.labels
         a, b = doc.root.children[0], doc.root.children[1]
-        labels[id(a)], labels[id(b)] = labels[id(b)], labels[id(a)]
+        corrupt_label(engine.labeled, id(a), labels[id(b)])
+        corrupt_label(engine.labeled, id(b), labels[id(a)])
         assert "labels.order" in codes(engine)
 
     def test_unkeyable_label(self):
         engine, doc = build()
-        engine.labeled.labels[id(doc.root.children[1])] = object()
+        corrupt_label(engine.labeled, id(doc.root.children[1]), object())
         assert "labels.unkeyable" in codes(engine)
 
 
