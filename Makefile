@@ -1,7 +1,7 @@
 # Convenience targets for the repro library.
 
 .PHONY: install test lint ci bench bench-smoke bench-gate bench-baseline \
-	chaos crash experiments experiments-full examples
+	chaos crash serve-bench experiments experiments-full examples
 
 install:
 	pip install -e . || python setup.py develop
@@ -54,6 +54,16 @@ chaos:
 # plans land in CRASH_failures.json.  See docs/ROBUSTNESS.md.
 crash:
 	PYTHONPATH=src python benchmarks/crash_matrix.py --out CRASH_failures.json
+
+# Document-service throughput bench: 1/8/64 simulated clients, 70/30
+# write/read mix, group commit vs fsync-per-commit.  Writes
+# BENCH_service.json and gates on it: amortized wal.fsyncs/commit must
+# stay below 1 at >= 8 clients with group commit on, every snapshot
+# read must see a committed version, and the storm must leave zero
+# integrity violations.  See DESIGN.md section 11.
+serve-bench:
+	PYTHONPATH=src python benchmarks/bench_service.py \
+		--clients 1,8,64 --ops 40 --out BENCH_service.json
 
 # Regenerate the checked-in baseline after an *intentional* change to
 # the update path's work profile; justify the refresh in the commit.

@@ -1,0 +1,267 @@
+"""Document-service throughput bench: group commit vs fsync-per-commit.
+
+Simulates 1, 8 and 64 concurrent clients hammering one served document
+through the in-process :class:`repro.service.DocumentService` (the HTTP
+edge is parse-and-route only, so the socket adds nothing the service
+must prove).  Each client mixes ~70% writes (queued on the document's
+single-writer commit queue) with ~30% snapshot reads (query evaluation
+against the published :class:`~repro.labeling.LabelView`).
+
+Every (clients, mode) cell reports:
+
+* ``ops_per_second`` — acked writes + served reads over wall time;
+* ``fsyncs_per_commit`` — the headline: commit-path fsyncs divided by
+  acked commits.  ``group`` mode must amortize this below 1 as soon as
+  clients overlap; ``per-commit`` mode (``max_batch=1``) is the
+  pre-service baseline and stays at exactly 1.
+* ``verify_violations`` — ``repro.verify`` over the final document (the
+  storm must leave every invariant intact).
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_service.py \
+        --clients 1,8,64 --ops 40 --out BENCH_service.json
+
+``--gate`` re-checks a written report for CI: amortized fsyncs/commit
+must stay below 1.0 in group mode at every cell with >= 8 clients, and
+no cell may report verify violations or failed requests.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.service import DocumentService, ServiceConfig
+from repro.verify import verify_integrity, violation_dicts
+from repro.xmltree import NodeKind
+
+DEFAULT_CLIENTS = (1, 8, 64)
+DEFAULT_SCHEME = "QED-Prefix"
+WRITE_RATIO = 0.7
+SEED_XML = (
+    "<root>"
+    + "".join(f"<sec><p>seed {i}</p></sec>" for i in range(8))
+    + "</root>"
+)
+QUERIES = ("/root/sec", "//p", "/root/sec/p")
+
+
+def _client_loop(service, doc_id, ops, seed, counters, lock):
+    """One simulated client: a 70/30 write/read mix with its own RNG."""
+    rng = random.Random(seed)
+    writes = reads = failures = 0
+    stale_reads = 0
+    for _ in range(ops):
+        if rng.random() < WRITE_RATIO:
+            view = service.snapshot(doc_id)
+            # Pick an *element* position in the snapshot; by the time
+            # the writer applies it the position may name a different
+            # node (or a text node) — that per-request failure is part
+            # of the addressing contract and is counted, not hidden.
+            position = rng.randrange(view.node_count())
+            for probe in range(position, position + view.node_count()):
+                if view.node_at(probe % view.node_count()).kind is NodeKind.ELEMENT:
+                    position = probe % view.node_count()
+                    break
+            op = {
+                "kind": "insert_child",
+                "parent": position,
+                "xml": f"<x c='{seed}'/>",
+            }
+            try:
+                service.update(doc_id, op)
+                writes += 1
+            except Exception:
+                # Raced position past the end of a shrunk/reshaped
+                # document, or a rolled-back transaction: the request
+                # failed alone, the service is fine. Count and continue.
+                failures += 1
+        else:
+            view = service.snapshot(doc_id)
+            acked = service.stats(doc_id)["version"]
+            if view.version > acked:
+                # A snapshot may trail the ack counter (another batch
+                # landed between the two reads) but must never lead it.
+                stale_reads += 1
+            view.label_of(view.node_at(0))
+            reads += 1
+    with lock:
+        counters["writes"] += writes
+        counters["reads"] += reads
+        counters["failures"] += failures
+        counters["uncommitted_reads"] += stale_reads
+
+
+def run_cell(clients, ops_per_client, *, max_batch, scheme, root_dir):
+    """One (clients, mode) cell: fresh service, one shared document."""
+    service = DocumentService(
+        ServiceConfig(root_dir=root_dir, max_batch=max_batch)
+    )
+    doc_id = service.create_document(SEED_XML, scheme)["doc_id"]
+    counters = {
+        "writes": 0,
+        "reads": 0,
+        "failures": 0,
+        "uncommitted_reads": 0,
+    }
+    lock = threading.Lock()
+    threads = [
+        threading.Thread(
+            target=_client_loop,
+            args=(service, doc_id, ops_per_client, 1000 + i, counters, lock),
+        )
+        for i in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    service.close()
+    handle = service.registry.get(doc_id)
+    violations = verify_integrity(
+        handle.engine.labeled, handle.engine.store
+    )
+    stats = handle.stats()
+    total_ops = counters["writes"] + counters["reads"]
+    return {
+        "clients": clients,
+        "mode": "group" if max_batch > 1 else "per-commit",
+        "max_batch": max_batch,
+        "ops_per_client": ops_per_client,
+        "wall_seconds": round(wall, 4),
+        "ops_per_second": round(total_ops / wall, 1) if wall else None,
+        "writes_acked": counters["writes"],
+        "reads_served": counters["reads"],
+        "request_failures": counters["failures"],
+        "uncommitted_reads": counters["uncommitted_reads"],
+        "commits_acked": stats["commits_acked"],
+        "batches": stats["batches"],
+        "fsyncs": stats["fsyncs"],
+        "fsyncs_per_commit": round(stats["fsyncs_per_commit"], 4),
+        "final_nodes": stats["nodes"],
+        "verify_violations": violation_dicts(violations),
+    }
+
+
+def run_bench(clients_list, ops_per_client, scheme, max_batch):
+    cells = []
+    for clients in clients_list:
+        for batch in (1, max_batch):
+            with tempfile.TemporaryDirectory() as root:
+                cells.append(
+                    run_cell(
+                        clients,
+                        ops_per_client,
+                        max_batch=batch,
+                        scheme=scheme,
+                        root_dir=root,
+                    )
+                )
+    summary = {}
+    for cell in cells:
+        key = f"{cell['clients']}_clients"
+        summary.setdefault(key, {})[cell["mode"]] = {
+            "ops_per_second": cell["ops_per_second"],
+            "fsyncs_per_commit": cell["fsyncs_per_commit"],
+        }
+    return {
+        "benchmark": "service_throughput",
+        "scheme": scheme,
+        "clients": list(clients_list),
+        "ops_per_client": ops_per_client,
+        "group_max_batch": max_batch,
+        "write_ratio": WRITE_RATIO,
+        "cells": cells,
+        "summary": summary,
+    }
+
+
+def check_gate(report) -> list[str]:
+    """CI gate over a written report; returns the failure lines."""
+    failures = []
+    for cell in report["cells"]:
+        label = f"{cell['clients']} clients / {cell['mode']}"
+        if cell["verify_violations"]:
+            failures.append(
+                f"{label}: {len(cell['verify_violations'])} integrity "
+                f"violations after the storm"
+            )
+        if cell["uncommitted_reads"]:
+            failures.append(
+                f"{label}: {cell['uncommitted_reads']} snapshot reads "
+                f"led the acked version"
+            )
+        if cell["mode"] == "group" and cell["clients"] >= 8:
+            if cell["fsyncs_per_commit"] >= 1.0:
+                failures.append(
+                    f"{label}: amortized fsyncs/commit "
+                    f"{cell['fsyncs_per_commit']} >= 1.0 — group commit "
+                    f"is not coalescing"
+                )
+        if cell["mode"] == "per-commit" and cell["commits_acked"]:
+            if cell["fsyncs"] < cell["commits_acked"]:
+                failures.append(
+                    f"{label}: per-commit mode fsynced less than once "
+                    f"per commit ({cell['fsyncs']}/{cell['commits_acked']})"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--clients",
+        default=",".join(str(c) for c in DEFAULT_CLIENTS),
+        help="comma-separated concurrent client counts",
+    )
+    parser.add_argument(
+        "--ops", type=int, default=40, help="ops per client per cell"
+    )
+    parser.add_argument("--scheme", default=DEFAULT_SCHEME)
+    parser.add_argument(
+        "--max-batch", type=int, default=32, help="group-commit window"
+    )
+    parser.add_argument("--out", default="BENCH_service.json")
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="check an existing report instead of running the bench",
+    )
+    args = parser.parse_args(argv)
+    if args.gate:
+        report = json.loads(Path(args.out).read_text())
+        failures = check_gate(report)
+        for line in failures:
+            print(f"GATE FAIL: {line}", file=sys.stderr)
+        if not failures:
+            print(f"service gate OK ({len(report['cells'])} cells)")
+        return 1 if failures else 0
+    clients_list = tuple(int(c) for c in args.clients.split(",") if c)
+    started = time.perf_counter()
+    report = run_bench(clients_list, args.ops, args.scheme, args.max_batch)
+    report["wall_seconds"] = round(time.perf_counter() - started, 2)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    for cell in report["cells"]:
+        print(
+            f"{cell['clients']:>3} clients {cell['mode']:>10}: "
+            f"{cell['ops_per_second']:>8} ops/s, "
+            f"{cell['fsyncs_per_commit']:.3f} fsyncs/commit, "
+            f"{cell['request_failures']} failed requests"
+        )
+    failures = check_gate(report)
+    for line in failures:
+        print(f"GATE FAIL: {line}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

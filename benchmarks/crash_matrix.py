@@ -15,6 +15,15 @@ Three properties must hold (the ISSUE 5 acceptance bar):
 3. resuming the remaining script on the recovered state reaches the
    same final state as a run that never crashed.
 
+A second block of cells (``service``) replays the same sites through
+the document service's writer with **group commit** on: fixed batches
+of :data:`SERVICE_BATCH` updates share one fsync, and the "process"
+dies mid-batch.  There the prefix oracle moves to batch granularity —
+recovery must rebuild exactly the *acked-batch* prefix (plus the
+crashed batch for the post-commit checkpoint sites, where the batch
+fsync'd before the crash): an acked commit is never lost, an unacked
+coalesced commit may be.
+
 Failing cells are written to ``CRASH_failures.json`` — each entry
 carries the serialized fault plan, so re-arming the deserialized plan
 replays the identical crash — and the process exits non-zero (the CI
@@ -34,13 +43,14 @@ import random
 import sys
 import tempfile
 
-from repro.errors import SimulatedCrash
+from repro.errors import ServiceCrashed, SimulatedCrash
 from repro.faults import FAULTS, WAL_CRASH_SITES, FaultPlan
 from repro.labeling import make_scheme
+from repro.service import DocumentWriter, UpdateRequest
 from repro.updates import UpdateEngine, apply_churn_op, churn_script
 from repro.verify import verify_integrity, violation_dicts
 from repro.wal import recover
-from repro.xmltree import Node, parse_document, serialize_document
+from repro.xmltree import Node, NodeKind, parse_document, serialize_document
 
 SCHEMES = (
     "V-CDBS-Containment",
@@ -157,6 +167,198 @@ def run_cell(scheme: str, site: str, seed: int, ops: int) -> list[str]:
     return problems
 
 
+# -- service / group-commit cells -------------------------------------------
+#
+# The server-killed-mid-batch extension: the same crash sites, but the
+# ops flow through the document service's writer with group commit on.
+# Determinism comes from driving DocumentWriter.apply_batch directly
+# with a fixed batch partition (no thread timing in the cell), so the
+# crash lands in the same batch every run.  The contract under test:
+# recovery rebuilds exactly the *acked-batch* prefix for the pre-fsync
+# sites (an unacked coalesced batch may be lost), and the acked prefix
+# plus the crashed batch for the post-commit checkpoint sites (the
+# batch fsync'd before the checkpoint crashed — "unacked may be lost"
+# never requires loss, "acked never lost" always holds).
+
+SERVICE_BATCH = 3
+
+
+def _plan_spec(labeled, rng):
+    """One writer-format op spec, legal against the current state."""
+    order = labeled.nodes_in_order
+    elements = [
+        index
+        for index, node in enumerate(order)
+        if node.kind is NodeKind.ELEMENT
+    ]
+    kind = rng.choice(
+        ("insert_child", "insert_child", "insert_child", "delete",
+         "move_before")
+    )
+    if kind == "delete":
+        deletable = [
+            index
+            for index in elements
+            if order[index].parent is not None and not order[index].children
+        ]
+        if deletable:
+            return {"kind": "delete", "target": rng.choice(deletable)}
+        kind = "insert_child"
+    if kind == "move_before":
+        movable = [
+            index for index in elements if order[index].parent is not None
+        ]
+        rng.shuffle(movable)
+        for node_pos in movable:
+            targets = [
+                index
+                for index in movable
+                if index != node_pos
+                and not order[node_pos].is_ancestor_of(order[index])
+            ]
+            if targets:
+                return {
+                    "kind": "move_before",
+                    "node": node_pos,
+                    "target": rng.choice(targets),
+                }
+        kind = "insert_child"
+    return {
+        "kind": "insert_child",
+        "parent": rng.choice(elements),
+        "xml": f"<n{rng.randrange(7)}/>",
+    }
+
+
+def plan_service_run(scheme: str, seed: int, ops: int):
+    """The crash-free twin: specs + the logical state per batch boundary.
+
+    Planning and oracle are one pass: each spec is chosen against the
+    exact state it will see at apply time (the writer resolves
+    positions at apply time, so the crash run replays identically).
+    """
+    engine = UpdateEngine(build_labeled(scheme, seed), with_storage=True)
+    writer = DocumentWriter(engine, max_batch=SERVICE_BATCH)
+    rng = random.Random(seed * 7919 + 11)
+    specs: list[dict] = []
+    batch_states = [logical_state(engine.labeled)]
+    for start in range(0, ops, SERVICE_BATCH):
+        for _ in range(min(SERVICE_BATCH, ops - start)):
+            spec = _plan_spec(engine.labeled, rng)
+            writer.apply_batch([UpdateRequest(op=spec)])
+            specs.append(spec)
+        batch_states.append(logical_state(engine.labeled))
+    return specs, batch_states
+
+
+def run_service_cell(scheme: str, site: str, seed: int, ops: int) -> list[str]:
+    """One service cell; returns the list of property violations."""
+    specs, batch_states = plan_service_run(scheme, seed, ops)
+    plan = FaultPlan.crash(site, at=1 + seed % 3, note=f"service seed={seed}")
+    problems: list[str] = []
+
+    with tempfile.TemporaryDirectory(prefix="repro-crash-svc-") as wal_dir:
+        engine = UpdateEngine(
+            build_labeled(scheme, doc_seed=seed),
+            with_storage=True,
+            durability="wal",
+            wal_dir=wal_dir,
+            wal_checkpoint_commits=CHECKPOINT_EVERY,
+        )
+        writer = DocumentWriter(engine, max_batch=SERVICE_BATCH)
+        batches = [
+            [UpdateRequest(op=spec) for spec in specs[start : start + SERVICE_BATCH]]
+            for start in range(0, len(specs), SERVICE_BATCH)
+        ]
+        acked = None
+        crashed_batch = None
+        with FAULTS.armed(plan):
+            for index, batch in enumerate(batches):
+                try:
+                    writer.apply_batch(batch)
+                except SimulatedCrash:
+                    acked = index
+                    crashed_batch = batch
+                    break
+        if acked is None:
+            return [f"service crash at {site} never fired in {len(batches)} batches"]
+
+        # Ack protocol: every request in an acked batch resolved with a
+        # receipt; every request in the crashed batch failed with
+        # ServiceCrashed; the quarantined writer refuses new work.
+        for batch in batches[:acked]:
+            for request in batch:
+                if request.future.exception() is not None:
+                    problems.append(
+                        "an acked batch carries a failed future "
+                        f"({request.future.exception()!r})"
+                    )
+        for request in crashed_batch:
+            if not isinstance(request.future.exception(), ServiceCrashed):
+                problems.append(
+                    "a crashed-batch future did not fail with ServiceCrashed"
+                )
+        if writer.status != "crashed":
+            problems.append(
+                f"writer status is {writer.status!r} after the crash"
+            )
+        try:
+            writer.submit({"kind": "delete", "target": 0})
+        except Exception:
+            pass  # expected: the quarantined writer rejects new updates
+        else:
+            problems.append("quarantined writer accepted a new update")
+        if problems:
+            return problems
+
+        committed = acked + (1 if site in POST_COMMIT_SITES else 0)
+        report = recover(wal_dir)
+        if logical_state(report.labeled) != batch_states[committed]:
+            problems.append(
+                f"recovered state differs from the acked-batch prefix "
+                f"({committed} of {len(batches)} batches; crashed in "
+                f"batch {acked})"
+            )
+        violations = verify_integrity(report.labeled)
+        if violations:
+            problems.append(
+                f"{len(violations)} integrity violations after recovery: "
+                f"{violation_dicts(violations)}"
+            )
+        if problems:
+            return problems
+
+        resumed_engine = UpdateEngine(
+            report.labeled,
+            with_storage=True,
+            durability="wal",
+            wal_dir=wal_dir,
+            wal_checkpoint_commits=CHECKPOINT_EVERY,
+        )
+        resumed = DocumentWriter(resumed_engine, max_batch=SERVICE_BATCH)
+        remaining = specs[committed * SERVICE_BATCH :]
+        for start in range(0, len(remaining), SERVICE_BATCH):
+            resumed.apply_batch(
+                [
+                    UpdateRequest(op=spec)
+                    for spec in remaining[start : start + SERVICE_BATCH]
+                ]
+            )
+        if logical_state(resumed_engine.labeled) != batch_states[-1]:
+            problems.append(
+                "resumed service run diverges from the crash-free oracle"
+            )
+        violations = verify_integrity(
+            resumed_engine.labeled, resumed_engine.store
+        )
+        if violations:
+            problems.append(
+                f"{len(violations)} integrity violations at end of resumed "
+                f"service run: {violation_dicts(violations)}"
+            )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Simulated-crash matrix over the WAL durability sites."
@@ -180,26 +382,31 @@ def main(argv: list[str] | None = None) -> int:
 
     failures = []
     cells = 0
-    for scheme in SCHEMES:
-        for site in WAL_CRASH_SITES:
-            for seed in args.seeds:
-                cells += 1
-                problems = run_cell(scheme, site, seed, args.ops)
-                status = "ok" if not problems else "FAIL"
-                print(f"[{status}] {scheme:22s} {site:24s} seed={seed}")
-                if problems:
-                    failures.append(
-                        {
-                            "scheme": scheme,
-                            "site": site,
-                            "seed": seed,
-                            "ops": args.ops,
-                            "plan": FaultPlan.crash(
-                                site, at=1 + seed % 3, note=f"seed={seed}"
-                            ).to_dict(),
-                            "problems": problems,
-                        }
+    for kind, runner in (("engine", run_cell), ("service", run_service_cell)):
+        for scheme in SCHEMES:
+            for site in WAL_CRASH_SITES:
+                for seed in args.seeds:
+                    cells += 1
+                    problems = runner(scheme, site, seed, args.ops)
+                    status = "ok" if not problems else "FAIL"
+                    print(
+                        f"[{status}] {kind:7s} {scheme:22s} {site:24s} "
+                        f"seed={seed}"
                     )
+                    if problems:
+                        failures.append(
+                            {
+                                "kind": kind,
+                                "scheme": scheme,
+                                "site": site,
+                                "seed": seed,
+                                "ops": args.ops,
+                                "plan": FaultPlan.crash(
+                                    site, at=1 + seed % 3, note=f"seed={seed}"
+                                ).to_dict(),
+                                "problems": problems,
+                            }
+                        )
     if failures:
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(failures, handle, indent=2)

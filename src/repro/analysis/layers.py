@@ -36,6 +36,7 @@ __all__ = [
     "NAKED_WRITE_MODULE_PREFIXES",
     "RAW_BITS_ALLOWED_MODULES",
     "RAW_COMPARE_ALLOWED_MODULES",
+    "SHARED_STATE_SERVICE_REACHABLE_PREFIXES",
     "TIMING_ALLOWED_MODULE_PREFIXES",
     "TIMING_ALLOWED_PATH_PARTS",
     "UNGUARDED_CODE_EXEMPT_MODULES",
@@ -106,6 +107,26 @@ LAYERS: dict[str, frozenset[str] | str] = {
     # storage and labeling.
     "verify": frozenset(
         {"errors", "core", "labeling", "obs", "storage", "xmltree"}
+    ),
+    # The concurrent document service (ROADMAP item 1) sits on top of
+    # the whole engine stack: it owns writer threads and the commit
+    # queue, delegates document work to `updates`, durability to `wal`
+    # (via the engine's group-commit scope) and reads to `labeling`
+    # snapshots + `query`.  Nothing below may import it back.
+    "service": frozenset(
+        {
+            "errors",
+            "core",
+            "faults",
+            "labeling",
+            "obs",
+            "query",
+            "storage",
+            "updates",
+            "verify",
+            "wal",
+            "xmltree",
+        }
     ),
     # Facades and harnesses.
     "store": ALL_LAYERS,
@@ -226,6 +247,22 @@ SHARED_STATE_EXEMPT_MODULE_PREFIXES = (
     "repro.faults",
     "repro.analysis",
     "repro.bench",
+)
+
+#: RPR011 severity promotion: module prefixes reachable from the
+#: concurrent document service, where shared mutable state is no longer
+#: a future hazard but a live data race (many writer threads, snapshot
+#: readers).  Findings in these modules are errors; elsewhere they stay
+#: warnings until the module joins a service code path.
+SHARED_STATE_SERVICE_REACHABLE_PREFIXES = (
+    "repro.service",
+    "repro.updates",
+    "repro.wal",
+    "repro.labeling",
+    "repro.storage",
+    "repro.query",
+    "repro.core",
+    "repro.xmltree",
 )
 
 #: Script files under these directory names are exempt from the

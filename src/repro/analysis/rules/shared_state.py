@@ -3,8 +3,12 @@
 ROADMAP item 1 puts many clients over many documents in one process.
 Everything in ``repro.*`` that is mutable and not owned by a single
 document instance is a hazard for that refactor, and this rule
-inventories it (as warnings — each site gets fixed or earns a
-justified suppression before the service lands):
+inventories it.  Now that the service exists, findings in modules its
+code paths reach (:data:`SHARED_STATE_SERVICE_REACHABLE_PREFIXES` —
+the service itself plus the engine/WAL/labeling/query stack under it)
+are **errors**: shared state there races for real.  Modules off every
+service path keep the original warning severity until they join one.
+The flagged shapes:
 
 * **Module-level mutable containers** — shared across every document
   in the process.  Constant-cased names are allowed but must never be
@@ -28,7 +32,10 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterator
 
 from repro.analysis.findings import Finding, Severity
-from repro.analysis.layers import SHARED_STATE_EXEMPT_MODULE_PREFIXES
+from repro.analysis.layers import (
+    SHARED_STATE_EXEMPT_MODULE_PREFIXES,
+    SHARED_STATE_SERVICE_REACHABLE_PREFIXES,
+)
 from repro.analysis.registry import ModuleContext, Rule, register
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -41,6 +48,13 @@ def _exempt(module_name: str) -> bool:
     return any(
         module_name == prefix or module_name.startswith(prefix + ".")
         for prefix in SHARED_STATE_EXEMPT_MODULE_PREFIXES
+    )
+
+
+def _service_reachable(module_name: str) -> bool:
+    return any(
+        module_name == prefix or module_name.startswith(prefix + ".")
+        for prefix in SHARED_STATE_SERVICE_REACHABLE_PREFIXES
     )
 
 
@@ -69,11 +83,19 @@ class SharedStateRule(Rule):
                 continue
             if _exempt(name):
                 continue
-            yield from self._module_level(module)
-            yield from self._class_level(module)
-            yield from self._memo_caches(module)
+            # Service-reachable modules run under many writer threads
+            # and concurrent snapshot readers: shared mutable state
+            # there is a live data race, not a future hazard.
+            severity = (
+                Severity.ERROR
+                if _service_reachable(name)
+                else self.severity
+            )
+            yield from self._module_level(module, severity)
+            yield from self._class_level(module, severity)
+            yield from self._memo_caches(module, severity)
 
-    def _module_level(self, module) -> Iterator[Finding]:
+    def _module_level(self, module, severity) -> Iterator[Finding]:
         constant_names: set[str] = set()
         for name, lineno, caps in module.module_mutables:
             if caps:
@@ -84,7 +106,7 @@ class SharedStateRule(Rule):
                 line=lineno,
                 col=0,
                 rule=self.id,
-                severity=self.severity,
+                severity=severity,
                 message=(
                     f"module-level mutable container {name!r} is shared "
                     f"by every document in the process; make it "
@@ -102,7 +124,7 @@ class SharedStateRule(Rule):
                         line=write.lineno,
                         col=write.col,
                         rule=self.id,
-                        severity=self.severity,
+                        severity=severity,
                         message=(
                             f"{facts.qualname} mutates module constant "
                             f"{write.root!r} ({write.describe()}); a "
@@ -112,7 +134,7 @@ class SharedStateRule(Rule):
                         ),
                     )
 
-    def _class_level(self, module) -> Iterator[Finding]:
+    def _class_level(self, module, severity) -> Iterator[Finding]:
         for class_facts in module.classes.values():
             for attr, lineno in class_facts.mutable_class_attrs:
                 yield Finding(
@@ -120,7 +142,7 @@ class SharedStateRule(Rule):
                     line=lineno,
                     col=0,
                     rule=self.id,
-                    severity=self.severity,
+                    severity=severity,
                     message=(
                         f"class-level mutable default "
                         f"{class_facts.name}.{attr} is shared by every "
@@ -129,7 +151,7 @@ class SharedStateRule(Rule):
                     ),
                 )
 
-    def _memo_caches(self, module) -> Iterator[Finding]:
+    def _memo_caches(self, module, severity) -> Iterator[Finding]:
         for facts in module.functions.values():
             if _is_dunder(facts.name) or facts.registers_undo:
                 continue
@@ -143,7 +165,7 @@ class SharedStateRule(Rule):
                     line=mutation.lineno,
                     col=mutation.col,
                     rule=self.id,
-                    severity=self.severity,
+                    severity=severity,
                     message=(
                         f"{facts.qualname} fills memo cache "
                         f"{mutation.describe()} without undo "

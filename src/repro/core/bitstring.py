@@ -114,6 +114,18 @@ class BitString:
         return self._value == other._value and self._length == other._length
 
     def __lt__(self, other: "BitString") -> bool:
+        if isinstance(other, str):
+            # Concatenation (__add__) coerces '0'/'1' text for
+            # convenience, but ordering deliberately does not: a silent
+            # coercion here would let ``code < "0110"`` typo paths
+            # compare under Definition 3.1 while ``==`` (and hashing)
+            # still treat the operands as distinct types.  Without this
+            # guard @total_ordering surfaces only an opaque TypeError.
+            raise TypeError(
+                f"'<' not supported between BitString and str: wrap the "
+                f"text with BitString.from_str({other!r:.32}) — only "
+                f"concatenation (+) accepts raw '0'/'1' text"
+            )
         if not isinstance(other, BitString):
             return NotImplemented
         width = max(self._length, other._length)

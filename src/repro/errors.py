@@ -135,6 +135,28 @@ class SimulatedCrash(InjectedFault):
     """
 
 
+class ServiceError(ReproError):
+    """A document-service request that cannot be served.
+
+    Covers malformed update specs, positions outside the current
+    document, and requests against unknown or closed documents.  The
+    HTTP layer maps it to a 4xx response; the engine state is untouched
+    (either the request never reached a transaction, or the transaction
+    rolled back and :class:`UpdateAborted` is chained as the cause).
+    """
+
+
+class ServiceCrashed(ReproError):
+    """The document's writer died before this commit was acknowledged.
+
+    Raised to waiters whose queued update was in (or behind) a batch
+    whose group fsync never returned.  The commit may or may not have
+    reached disk; the only truth is what :func:`repro.wal.recover`
+    rebuilds — which is why the service quarantines the document
+    instead of guessing.
+    """
+
+
 class XMLParseError(ReproError, ValueError):
     """Malformed XML input fed to :mod:`repro.xmltree.parser`."""
 

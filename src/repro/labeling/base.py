@@ -210,23 +210,27 @@ class LabeledDocument:
         cache = getattr(self, "_tag_bytes_cache", None)
         if cache is None:
             cache = self._tag_bytes_cache = {}
-        if tag not in cache:
-            if tag is None:
-                nodes = [
-                    node
-                    for node in self.nodes_in_order
-                    if node.kind is NodeKind.ELEMENT
-                ]
-            else:
-                nodes = self.tag_index.get(tag, [])
-            bits = self.scheme.label_bits
-            # Derived byte-size memo, invalidated by every mutator and
-            # rebuilt from scratch by rebuild_order/register_subtree;
-            # must move into per-snapshot state before MVCC lands.
-            cache[tag] = sum(  # repro: allow-shared-state
-                -(-bits(self.labels[id(node)]) // 8) for node in nodes
-            )
-        return cache[tag]
+        if tag in cache:
+            return cache[tag]
+        if tag is None:
+            nodes = [
+                node
+                for node in self.nodes_in_order
+                if node.kind is NodeKind.ELEMENT
+            ]
+        else:
+            nodes = self.tag_index.get(tag, [])
+        bits = self.scheme.label_bits
+        total = sum(-(-bits(self.labels[id(node)]) // 8) for node in nodes)
+        # Copy-on-write fill: the memo is *replaced wholesale*, never
+        # filled in place.  A concurrent snapshot reader holding the old
+        # reference keeps a complete (if smaller) map, a transaction
+        # rollback's reference-swap undo restores exactly the dict it
+        # captured, and the memo stays strictly per-document state —
+        # two documents labeled concurrently cannot see each other's
+        # sizes because nothing here outlives ``self``.
+        self._tag_bytes_cache = {**cache, tag: total}
+        return total
 
     def register_subtree(self, subtree_root: Node) -> list[Node]:
         """Splice a freshly inserted subtree into order and tag indexes.

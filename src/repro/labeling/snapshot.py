@@ -1,0 +1,184 @@
+"""Versioned, immutable read views over a labeled document (MVCC reads).
+
+The concurrent document service serves every read endpoint from a
+:class:`LabelView` — a frozen copy of the *committed* label state taken
+at a version boundary — while the single writer keeps mutating the live
+:class:`~repro.labeling.base.LabeledDocument`.  Publication is one
+reference assignment (atomic under the GIL), so readers never block the
+writer and the writer never blocks readers: a reader that grabbed
+version ``v`` keeps a consistent view of ``v`` for as long as it holds
+the object, no matter how many batches commit meanwhile.
+
+What is copied and what is shared
+---------------------------------
+
+The view copies the *label-driven* state: the label map, the document
+order (as a flat tuple — views never splice), the tag index, and the
+serialized XML text.  The :class:`~repro.xmltree.node.Node` objects
+themselves are shared with the live tree, which is safe for everything
+the paper's query model needs — node names/kinds are immutable, and
+every structural decision (ancestry, order, siblinghood) is made from
+the view's own labels through the scheme's predicates.  The one caveat:
+axes that chase live ``parent``/``children`` pointers (XPath ``parent``)
+see the tree as it is *now*, not at the view's version; the service's
+query endpoints are label-driven, and :meth:`LabelView.serialize`
+returns the text captured at the version boundary.
+
+The scheme object is shared too: its predicates are pure functions of
+the labels they are given.  (Scheme *codec* state advances as the writer
+relabels, but already-minted label objects are immutable values.)
+
+Capture cost is O(N) in document size and is paid by the writer once
+per committed batch — group commit amortizes it across the commits in
+the batch, the same way it amortizes the fsync.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.labeling.base import LabeledDocument
+from repro.xmltree.document import Document
+from repro.xmltree.node import Node, NodeKind
+from repro.xmltree.serializer import serialize_document
+
+__all__ = ["LabelView", "capture"]
+
+
+class LabelView:
+    """A frozen, queryable snapshot of one committed document version.
+
+    Duck-compatible with the slice of :class:`LabeledDocument` the query
+    engine reads (``scheme``, ``document``, ``labels``,
+    ``nodes_in_order``, ``tag_index``, :meth:`label_of`,
+    :meth:`tag_label_bytes`), so ``QueryEngine(view)`` evaluates Table 3
+    queries against the snapshot without special cases.  Never mutated
+    after construction; the derived tag-byte memo is maintained by
+    whole-dict replacement so concurrent readers only ever observe a
+    complete map.
+    """
+
+    __slots__ = (
+        "version",
+        "scheme",
+        "document",
+        "labels",
+        "nodes_in_order",
+        "tag_index",
+        "xml",
+        "_positions",
+        "_tag_bytes",
+    )
+
+    def __init__(
+        self,
+        *,
+        version: int,
+        scheme: Any,
+        document: Document,
+        labels: dict[int, Any],
+        nodes_in_order: tuple[Node, ...],
+        tag_index: dict[str, tuple[Node, ...]],
+        xml: str,
+    ) -> None:
+        self.version = version
+        self.scheme = scheme
+        self.document = document
+        self.labels = labels
+        self.nodes_in_order = nodes_in_order
+        self.tag_index = tag_index
+        self.xml = xml
+        self._positions: dict[int, int] | None = None
+        self._tag_bytes: dict[str | None, int] = {}
+
+    # -- label access ------------------------------------------------------
+
+    def label_of(self, node: Node) -> Any:
+        return self.labels[id(node)]
+
+    def node_count(self) -> int:
+        return len(self.nodes_in_order)
+
+    def __len__(self) -> int:
+        return len(self.nodes_in_order)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.nodes_in_order)
+
+    def node_at(self, position: int) -> Node:
+        """The node at a document-order position of *this* version."""
+        if not 0 <= position < len(self.nodes_in_order):
+            raise IndexError(
+                f"position {position} outside this "
+                f"{len(self.nodes_in_order)}-node snapshot"
+            )
+        return self.nodes_in_order[position]
+
+    def position_of(self, node: Node) -> int:
+        """Document-order position at this version (O(1) after warm-up)."""
+        positions = self._positions
+        if positions is None:
+            positions = {
+                id(entry): index
+                for index, entry in enumerate(self.nodes_in_order)
+            }
+            self._positions = positions
+        return positions[id(node)]
+
+    def total_label_bits(self) -> int:
+        bits = self.scheme.label_bits
+        return sum(bits(label) for label in self.labels.values())
+
+    def tag_label_bytes(self, tag: str | None) -> int:
+        """Label bytes a node test scans, computed from snapshot labels.
+
+        Same copy-on-write fill discipline as the live document's memo:
+        the map is replaced wholesale, never filled in place, so a
+        reader racing the fill sees either the old or the new complete
+        map.
+        """
+        table = self._tag_bytes
+        if tag in table:
+            return table[tag]
+        if tag is None:
+            nodes: tuple[Node, ...] | list[Node] = [
+                node
+                for node in self.nodes_in_order
+                if node.kind is NodeKind.ELEMENT
+            ]
+        else:
+            nodes = self.tag_index.get(tag, ())
+        bits = self.scheme.label_bits
+        total = sum(-(-bits(self.labels[id(node)]) // 8) for node in nodes)
+        self._tag_bytes = {**table, tag: total}
+        return total
+
+    def serialize(self) -> str:
+        """The document text as of this version (captured, not re-walked)."""
+        return self.xml
+
+    def __repr__(self) -> str:
+        return (
+            f"<LabelView v{self.version} {self.scheme.name!r} "
+            f"{len(self.nodes_in_order)} nodes>"
+        )
+
+
+def capture(labeled: LabeledDocument, version: int) -> LabelView:
+    """Freeze the committed state of ``labeled`` as a :class:`LabelView`.
+
+    Must be called from the document's writer (or any point where no
+    mutation is in flight): the copies below iterate live structures.
+    The service calls it at batch boundaries, after the batch fsync.
+    """
+    return LabelView(
+        version=version,
+        scheme=labeled.scheme,
+        document=labeled.document,
+        labels=dict(labeled.labels),
+        nodes_in_order=tuple(labeled.nodes_in_order),
+        tag_index={
+            tag: tuple(nodes) for tag, nodes in labeled.tag_index.items()
+        },
+        xml=serialize_document(labeled.document),
+    )

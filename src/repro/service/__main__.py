@@ -1,0 +1,45 @@
+"""CLI entry point: ``python -m repro.service [--port N] [--wal-dir D]``.
+
+Runs the document service until interrupted.  With ``--wal-dir`` every
+document gets a WAL home under that directory and group-commit
+durability; without it the service runs memory-only (no fsyncs — for
+demos and latency experiments, not for data you care about).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.service.core import DocumentService, ServiceConfig
+from repro.service.http import serve
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve labeled XML documents over HTTP/JSON.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument(
+        "--wal-dir",
+        default=None,
+        help="root directory for per-document WALs (omit: durability off)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="group-commit window (1 = one fsync per commit)",
+    )
+    args = parser.parse_args(argv)
+    service = DocumentService(
+        ServiceConfig(root_dir=args.wal_dir, max_batch=args.max_batch)
+    )
+    print(f"serving on http://{args.host}:{args.port} (Ctrl-C to stop)")
+    serve(service, args.host, args.port)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,176 @@
+"""The in-process document service: the pure core behind the HTTP edge.
+
+:class:`DocumentService` is the whole service minus sockets — every
+HTTP handler delegates here, and the throughput bench and concurrency
+tests drive it directly.  Reads (:meth:`snapshot`, :meth:`xml`,
+:meth:`query`, :meth:`relationship`) resolve the document's published
+:class:`~repro.labeling.LabelView` once and never touch the live tree,
+so they proceed while the writer is mid-batch.  Writes go through
+:meth:`update`, which enqueues on the document's single writer and
+blocks on the ack future — resolved only after the batch's group fsync
+returned.
+
+The query and relationship endpoints exercise the paper's central
+claim: both run off the captured *labels* (the relationship check never
+walks the tree at all), which is what makes serving them from an
+immutable snapshot sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from concurrent.futures import Future
+
+from repro.errors import ServiceError, UnsupportedOperationError
+from repro.labeling.snapshot import LabelView
+from repro.query import QueryEngine
+from repro.service.registry import DocumentHandle, DocumentRegistry
+
+__all__ = ["ServiceConfig", "DocumentService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service-wide knobs (one registry, shared by every document)."""
+
+    #: Per-document WAL directories live under here; ``None`` turns
+    #: durability off for every served document.
+    root_dir: "str | None" = None
+    #: Group-commit window: the most queued commits one fsync may cover.
+    #: ``1`` degenerates to commit-per-fsync (the pre-service behavior).
+    max_batch: int = 32
+    #: Default labeling scheme for documents that don't name one.
+    default_scheme: str = "QED-Prefix"
+    #: Seconds :meth:`DocumentService.update` waits for a commit ack.
+    ack_timeout: float = 30.0
+
+
+class DocumentService:
+    """Many documents, many clients, one writer per document."""
+
+    def __init__(self, config: "ServiceConfig | None" = None) -> None:
+        self.config = config or ServiceConfig()
+        self.registry = DocumentRegistry(
+            self.config.root_dir, max_batch=self.config.max_batch
+        )
+
+    # -- document lifecycle ------------------------------------------------
+
+    def create_document(
+        self,
+        xml: str,
+        scheme: "str | None" = None,
+        *,
+        doc_id: "str | None" = None,
+    ) -> dict:
+        handle = self.registry.create(
+            xml, scheme or self.config.default_scheme, doc_id=doc_id
+        )
+        return handle.stats()
+
+    def list_documents(self) -> "list[dict]":
+        return [
+            self.registry.get(doc_id).stats() for doc_id in self.registry.ids()
+        ]
+
+    def stats(self, doc_id: str) -> dict:
+        return self.registry.get(doc_id).stats()
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Drain every commit queue and stop every writer."""
+        self.registry.close(timeout=timeout)
+
+    # -- the write path ----------------------------------------------------
+
+    def submit(self, doc_id: str, op: dict) -> "Future":
+        """Enqueue one update; returns the ack future (non-blocking)."""
+        return self.registry.get(doc_id).writer.submit(op)
+
+    def update(
+        self, doc_id: str, op: dict, timeout: "float | None" = None
+    ) -> dict:
+        """Enqueue one update and wait for its post-fsync ack.
+
+        Raises whatever the writer recorded for this request:
+        :class:`ServiceError` for a bad spec,
+        :class:`~repro.errors.UpdateAborted` for a rolled-back
+        transaction, :class:`~repro.errors.ServiceCrashed` when the
+        writer died before the ack.
+        """
+        future = self.submit(doc_id, op)
+        return future.result(
+            self.config.ack_timeout if timeout is None else timeout
+        )
+
+    # -- the read path (snapshot-only, never blocks the writer) ------------
+
+    def snapshot(self, doc_id: str) -> LabelView:
+        """The last committed view; stable for as long as you hold it."""
+        return self.registry.get(doc_id).view
+
+    def xml(self, doc_id: str) -> "tuple[int, str]":
+        view = self.snapshot(doc_id)
+        return view.version, view.serialize()
+
+    def query(self, doc_id: str, query: str) -> dict:
+        """Evaluate an XPath-subset query against the committed view."""
+        view = self.snapshot(doc_id)
+        engine = QueryEngine(view)
+        matches = engine.evaluate(query)
+        return {
+            "doc_id": doc_id,
+            "version": view.version,
+            "query": query,
+            "count": len(matches),
+            "matches": [
+                {
+                    "position": view.position_of(node),
+                    "tag": node.name,
+                    "label": repr(view.label_of(node)),
+                }
+                for node in matches
+            ],
+            "scan_bytes": engine.scan_bytes,
+        }
+
+    def relationship(self, doc_id: str, first: int, second: int) -> dict:
+        """Decide structural relationships *from the labels alone*.
+
+        The service never touches the snapshot's tree here — each
+        predicate sees only the two captured labels, which is exactly
+        the paper's claim for these schemes.  Predicates a scheme
+        cannot decide from labels come back as ``None``.
+        """
+        view = self.snapshot(doc_id)
+        count = view.node_count()
+        for name, position in (("first", first), ("second", second)):
+            if not 0 <= position < count:
+                raise ServiceError(
+                    f"{name}={position} is outside the {count}-node snapshot"
+                )
+        node_a = view.node_at(first)
+        node_b = view.node_at(second)
+        label_a = view.label_of(node_a)
+        label_b = view.label_of(node_b)
+        scheme = view.scheme
+
+        def decide(predicate):
+            try:
+                return predicate()
+            except UnsupportedOperationError:
+                return None
+
+        return {
+            "doc_id": doc_id,
+            "version": view.version,
+            "first": {"position": first, "tag": node_a.name, "label": repr(label_a)},
+            "second": {"position": second, "tag": node_b.name, "label": repr(label_b)},
+            "ancestor": decide(lambda: scheme.is_ancestor(label_a, label_b)),
+            "descendant": decide(lambda: scheme.is_ancestor(label_b, label_a)),
+            "parent": decide(lambda: scheme.is_parent(label_a, label_b)),
+            "child": decide(lambda: scheme.is_parent(label_b, label_a)),
+            "sibling": decide(lambda: scheme.is_sibling(label_a, label_b)),
+            "level_first": decide(lambda: scheme.level_of(label_a)),
+            "level_second": decide(lambda: scheme.level_of(label_b)),
+        }

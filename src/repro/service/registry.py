@@ -1,0 +1,152 @@
+"""Per-document handles and the id -> handle registry.
+
+A :class:`DocumentHandle` bundles everything the service owns for one
+document: its engine, its single :class:`~repro.service.writer.DocumentWriter`
+and its WAL directory.  The :class:`DocumentRegistry` maps document ids
+to handles; it is the only piece of service state shared across client
+threads, so it is the only piece that takes a lock — and only around
+the dict itself, never around document work.  Reads resolve a handle
+under the lock, then proceed lock-free against the handle's published
+:class:`~repro.labeling.LabelView`.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+from repro.errors import ServiceError
+from repro.labeling import make_scheme
+from repro.labeling.snapshot import LabelView
+from repro.service.writer import DocumentWriter
+from repro.updates import UpdateEngine
+from repro.xmltree import parse_document
+
+__all__ = ["DocumentHandle", "DocumentRegistry"]
+
+
+class DocumentHandle:
+    """One served document: engine + writer + WAL home, plus its stats."""
+
+    __slots__ = ("doc_id", "engine", "writer", "wal_dir")
+
+    def __init__(
+        self,
+        doc_id: str,
+        engine: UpdateEngine,
+        writer: DocumentWriter,
+        wal_dir: "Path | None",
+    ) -> None:
+        self.doc_id = doc_id
+        self.engine = engine
+        self.writer = writer
+        self.wal_dir = wal_dir
+
+    @property
+    def view(self) -> LabelView:
+        """The last committed snapshot (never an in-flight batch)."""
+        return self.writer.view
+
+    def stats(self) -> dict:
+        """The handle's counters, JSON-shaped for ``GET /docs/<id>``."""
+        writer = self.writer
+        return {
+            "doc_id": self.doc_id,
+            "status": writer.status,
+            "scheme": self.engine.labeled.scheme.name,
+            "nodes": self.view.node_count(),
+            "version": writer.acked_version,
+            "commits_acked": writer.commits_acked,
+            "requests_failed": writer.requests_failed,
+            "batches": writer.batches,
+            "fsyncs": writer.fsyncs,
+            "fsyncs_per_commit": writer.amortized_fsyncs_per_commit,
+        }
+
+
+class DocumentRegistry:
+    """Thread-safe id -> :class:`DocumentHandle` map.
+
+    Args:
+        root_dir: where per-document WAL directories live
+            (``<root_dir>/<doc_id>``).  ``None`` serves documents with
+            durability off — useful for pure-throughput experiments.
+        max_batch: group-commit window handed to each writer.
+    """
+
+    def __init__(
+        self, root_dir: "str | Path | None" = None, *, max_batch: int = 32
+    ) -> None:
+        self.root_dir = None if root_dir is None else Path(root_dir)
+        self.max_batch = max_batch
+        self._lock = threading.Lock()
+        self._handles: dict[str, DocumentHandle] = {}
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._handles)
+
+    def ids(self) -> "list[str]":
+        with self._lock:
+            return sorted(self._handles)
+
+    def get(self, doc_id: str) -> DocumentHandle:
+        with self._lock:
+            handle = self._handles.get(doc_id)
+        if handle is None:
+            raise ServiceError(f"unknown document {doc_id!r}")
+        return handle
+
+    def create(
+        self,
+        xml: str,
+        scheme: str,
+        *,
+        doc_id: "str | None" = None,
+        start_writer: bool = True,
+    ) -> DocumentHandle:
+        """Label ``xml`` under ``scheme`` and start serving it.
+
+        The document id is allocated under the lock; the (potentially
+        expensive) parse + label + engine construction runs outside it,
+        so creating a large document never stalls lookups of others.
+        """
+        try:
+            factory = make_scheme(scheme)
+        except KeyError as error:
+            raise ServiceError(str(error)) from None
+        labeled = factory.label_document(parse_document(xml))
+        with self._lock:
+            if doc_id is None:
+                self._sequence += 1
+                doc_id = f"doc-{self._sequence}"
+            elif doc_id in self._handles:
+                raise ServiceError(f"document {doc_id!r} already exists")
+        wal_dir = None if self.root_dir is None else self.root_dir / doc_id
+        if wal_dir is None:
+            engine = UpdateEngine(labeled, with_storage=True)
+        else:
+            engine = UpdateEngine(
+                labeled,
+                with_storage=True,
+                durability="wal",
+                wal_dir=wal_dir,
+            )
+        writer = DocumentWriter(engine, max_batch=self.max_batch)
+        if start_writer:
+            writer.start()
+        handle = DocumentHandle(doc_id, engine, writer, wal_dir)
+        with self._lock:
+            if doc_id in self._handles:
+                writer.close(timeout=1.0)
+                raise ServiceError(f"document {doc_id!r} already exists")
+            self._handles[doc_id] = handle
+        return handle
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Drain and stop every writer (documents stay registered)."""
+        with self._lock:
+            handles = list(self._handles.values())
+        for handle in handles:
+            handle.writer.close(timeout=timeout)

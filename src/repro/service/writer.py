@@ -1,0 +1,328 @@
+"""The per-document writer: one thread, one commit queue, group commit.
+
+Every mutation of a served document flows through exactly one
+:class:`DocumentWriter`.  Client threads :meth:`~DocumentWriter.submit`
+an update spec and receive a future; the writer thread drains the queue
+in batches and applies each batch inside
+:meth:`~repro.updates.UpdateEngine.commit_group`, so the whole batch
+shares a single WAL ``flush`` + ``os.fsync``.  The acknowledgement
+protocol is the durability contract:
+
+* a future resolves (with its LSN and receipts) **only after** the
+  batch fsync returned — an acked commit is on disk, always;
+* a crash before or during the batch fsync loses the staged records —
+  every commit in that batch is *unacked*, its future fails with
+  :class:`~repro.errors.ServiceCrashed`, and recovery rebuilds exactly
+  the acked prefix;
+* a request that fails on its own (bad position, rolled-back
+  transaction) fails *only its own* future — the rest of the batch
+  commits normally, because each op is still its own transaction.
+
+After each batch the writer publishes a fresh
+:class:`~repro.labeling.LabelView` by one reference assignment; read
+endpoints follow :attr:`DocumentWriter.view` and therefore never
+observe an in-flight batch (and never block the writer).
+
+:meth:`DocumentWriter.apply_batch` is deliberately callable without the
+thread: the crash matrix and the deterministic tests drive the same
+batch/ack/publish code path synchronously.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.errors import ServiceCrashed, ServiceError, UpdateAborted
+from repro.labeling.snapshot import LabelView, capture
+from repro.obs import OBS
+from repro.updates.engine import UpdateEngine, UpdateResult
+from repro.xmltree import parse_fragment
+
+__all__ = ["UpdateRequest", "DocumentWriter", "UPDATE_KINDS"]
+
+UPDATE_KINDS = (
+    "insert_child",
+    "insert_before",
+    "insert_after",
+    "delete",
+    "move_before",
+)
+
+_SHUTDOWN = object()
+"""Queue sentinel: drain what is ahead of it, then stop the thread."""
+
+
+@dataclass
+class UpdateRequest:
+    """One queued update: the client-facing spec plus its ack future."""
+
+    op: dict
+    future: Future = field(default_factory=Future)
+
+
+class DocumentWriter:
+    """Single-writer commit queue with group commit for one document.
+
+    Args:
+        engine: the document's update engine.  With ``durability="wal"``
+            batches run under :meth:`UpdateEngine.commit_group`; without
+            a WAL the batching still serializes writers and publishes
+            snapshots, there is just nothing to fsync.
+        max_batch: the most queued requests one batch may coalesce.
+            ``1`` disables group commit (one fsync per commit — the
+            bench's baseline mode).
+    """
+
+    def __init__(self, engine: UpdateEngine, *, max_batch: int = 32) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.engine = engine
+        self.max_batch = max_batch
+        self.status = "serving"
+        self.crash_cause: BaseException | None = None
+        self.commits_acked = 0
+        self.requests_failed = 0
+        self.batches = 0
+        self.fsyncs = 0
+        if engine.wal is not None:
+            self.acked_version = engine.wal.next_lsn - 1
+        else:
+            self.acked_version = 0
+        #: The published committed read view; replaced (never mutated)
+        #: at each batch boundary.  Readers copy the reference once and
+        #: work with a consistent version for as long as they hold it.
+        self.view: LabelView = capture(engine.labeled, self.acked_version)
+        self._queue: queue.Queue = queue.Queue()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "DocumentWriter":
+        """Launch the writer thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name="repro-writer", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Stop accepting updates, drain the queue, join the thread."""
+        if self.status == "serving":
+            self.status = "closing"
+        self._queue.put(_SHUTDOWN)
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+        if self.status == "closing":
+            self.status = "closed"
+
+    # -- the client side ---------------------------------------------------
+
+    def submit(self, op: dict) -> Future:
+        """Enqueue one update spec; returns the future its ack resolves."""
+        if self.status != "serving":
+            raise ServiceError(
+                f"document writer is {self.status}; not accepting updates"
+            )
+        request = UpdateRequest(op=op)
+        self._queue.put(request)
+        return request.future
+
+    @property
+    def amortized_fsyncs_per_commit(self) -> float:
+        """Commit-path fsyncs divided by acked commits (the headline)."""
+        if not self.commits_acked:
+            return 0.0
+        return self.fsyncs / self.commits_acked
+
+    # -- the writer side ---------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            entry = self._queue.get()
+            stop = entry is _SHUTDOWN
+            requests = [] if stop else [entry]
+            while len(requests) < self.max_batch:
+                try:
+                    extra = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is _SHUTDOWN:
+                    stop = True
+                else:
+                    requests.append(extra)
+            if requests:
+                try:
+                    self.apply_batch(requests)
+                except BaseException:
+                    # apply_batch already quarantined the document and
+                    # failed every outstanding future; the thread's only
+                    # remaining job is to stop driving the engine.
+                    return
+            if stop:
+                return
+
+    def apply_batch(self, requests: "list[UpdateRequest]") -> None:
+        """Apply one batch: N transactions, one fsync, then the acks.
+
+        Synchronous on purpose — the thread loop, the crash matrix and
+        the deterministic tests all run batches through here.  Any
+        failure that is not a per-request error (a simulated crash at a
+        WAL site, an unexpected bug) quarantines the document: memory
+        can be ahead of the log once a batch dies half-flushed, so no
+        further writes are accepted and every waiter is told the truth
+        (:class:`ServiceCrashed` — "consult recovery, not me").
+        """
+        engine = self.engine
+        outcomes: list[tuple[UpdateRequest, BaseException | None, UpdateResult | None]] = []
+        try:
+            if engine.wal is not None:
+                with engine.commit_group() as group:
+                    self._apply_requests(requests, outcomes)
+                receipts = list(group.receipts)
+                batch = group.batch
+            else:
+                self._apply_requests(requests, outcomes)
+                receipts = [None] * len(outcomes)
+                batch = None
+        except BaseException as error:
+            self._quarantine(error, requests, outcomes)
+            raise
+        self._acknowledge(outcomes, receipts, batch)
+
+    def _apply_requests(self, requests, outcomes) -> None:
+        for request in requests:
+            try:
+                result = self._apply(request.op)
+            except (ServiceError, UpdateAborted, ValueError) as error:
+                # This request's own failure: nothing of it was logged
+                # (aborts roll back before the commit hook), the rest of
+                # the batch is unaffected.
+                outcomes.append((request, error, None))
+            else:
+                outcomes.append((request, None, result))
+
+    def _apply(self, op) -> UpdateResult:
+        """Resolve one update spec against the *current* document state.
+
+        Positions are document-order indexes interpreted at apply time,
+        i.e. after every earlier update in the submission order — the
+        service's documented addressing contract.
+        """
+        if not isinstance(op, dict):
+            raise ServiceError(f"update spec must be an object, got {op!r}")
+        kind = op.get("kind")
+        if kind not in UPDATE_KINDS:
+            raise ServiceError(
+                f"unknown update kind {kind!r}; expected one of {UPDATE_KINDS}"
+            )
+        engine = self.engine
+        order = engine.labeled.nodes_in_order
+
+        def node_at(key: str):
+            position = op.get(key)
+            if isinstance(position, bool) or not isinstance(position, int):
+                raise ServiceError(
+                    f"op {kind!r} needs an integer {key!r} position, "
+                    f"got {position!r}"
+                )
+            if not 0 <= position < len(order):
+                raise ServiceError(
+                    f"{key}={position} is outside the current "
+                    f"{len(order)}-node document"
+                )
+            return order[position]
+
+        if kind == "delete":
+            return engine.delete(node_at("target"))
+        if kind == "move_before":
+            return engine.move_before(node_at("node"), node_at("target"))
+        xml = op.get("xml")
+        if not isinstance(xml, str) or not xml:
+            raise ServiceError(f"op {kind!r} needs a non-empty 'xml' string")
+        subtree = parse_fragment(xml, keep_whitespace=True)
+        if kind == "insert_before":
+            return engine.insert_before(node_at("target"), subtree)
+        if kind == "insert_after":
+            return engine.insert_after(node_at("target"), subtree)
+        index = op.get("index")
+        if index is not None and (
+            isinstance(index, bool) or not isinstance(index, int)
+        ):
+            raise ServiceError(f"op {kind!r} index must be an integer or null")
+        return engine.insert_child(node_at("parent"), subtree, index)
+
+    def _acknowledge(self, outcomes, receipts, batch) -> None:
+        """Publish the new committed view, then resolve every future.
+
+        Ordering matters: the version/view are visible before any
+        waiter wakes, so a client that re-reads right after its ack
+        always sees (at least) its own commit.
+        """
+        engine = self.engine
+        committed = sum(1 for _, error, _ in outcomes if error is None)
+        if engine.wal is not None:
+            version = engine.wal.next_lsn - 1
+        else:
+            version = self.acked_version + committed
+        fsyncs = 1 if batch is not None else 0
+        self.commits_acked += committed
+        self.requests_failed += sum(
+            1 for _, error, _ in outcomes if error is not None
+        )
+        self.batches += 1
+        self.fsyncs += fsyncs
+        self.acked_version = version
+        self.view = capture(engine.labeled, version)
+        if OBS.enabled:
+            OBS.inc("service.batches")
+            OBS.inc("service.commits_acked", committed)
+        receipt_iter = iter(receipts)
+        for request, error, result in outcomes:
+            if error is not None:
+                request.future.set_exception(error)
+                continue
+            receipt = next(receipt_iter, None)
+            stats = result.stats
+            request.future.set_result(
+                {
+                    "lsn": None if receipt is None else receipt.lsn,
+                    "version": version,
+                    "batch_commits": committed,
+                    "batch_fsyncs": fsyncs,
+                    "inserted_nodes": stats.inserted_nodes,
+                    "deleted_nodes": stats.deleted_nodes,
+                    "relabeled_nodes": stats.relabeled_nodes,
+                    "processing_seconds": result.processing_seconds,
+                    "io_seconds": result.io_seconds,
+                }
+            )
+
+    def _quarantine(self, error, requests, outcomes) -> None:
+        """Mark the document failed and tell every waiter the truth."""
+        self.status = "crashed"
+        self.crash_cause = error
+        del outcomes  # no ack ran, so no future in the batch is resolved yet
+        failed = list(requests)
+        while True:
+            try:
+                pending = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if pending is not _SHUTDOWN:
+                failed.append(pending)
+        for request in failed:
+            if request.future.done():
+                continue
+            request.future.set_exception(
+                ServiceCrashed(
+                    f"writer died before this commit was acknowledged "
+                    f"({error!r}); recover from the WAL directory for "
+                    f"the durable (acked) prefix"
+                )
+            )
+            self.requests_failed += 1

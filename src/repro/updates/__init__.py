@@ -1,6 +1,6 @@
 """Update processing: engine, transactions, workloads, cost accounting."""
 
-from repro.updates.engine import UpdateEngine, UpdateResult
+from repro.updates.engine import GroupCommitScope, UpdateEngine, UpdateResult
 from repro.updates.txn import Transaction, UndoLog
 from repro.updates.workloads import (
     WorkloadReport,
@@ -16,6 +16,7 @@ from repro.updates.workloads import (
 __all__ = [
     "UpdateEngine",
     "UpdateResult",
+    "GroupCommitScope",
     "Transaction",
     "UndoLog",
     "WorkloadReport",

@@ -27,11 +27,11 @@ from repro.obs import OBS
 from repro.storage.labelstore import LabelStore
 from repro.storage.pager import IOCostModel
 from repro.updates.txn import Transaction
-from repro.wal import WalManager
+from repro.wal import BatchReceipt, CommitReceipt, WalManager
 from repro.xmltree.node import Node
 from repro.xmltree.serializer import serialize
 
-__all__ = ["UpdateResult", "UpdateEngine"]
+__all__ = ["UpdateResult", "UpdateEngine", "GroupCommitScope"]
 
 DURABILITY_MODES = ("off", "wal")
 
@@ -98,6 +98,29 @@ class _NullScope:
 
 
 _NULL_SCOPE = _NullScope()
+
+
+class GroupCommitScope:
+    """What one :meth:`UpdateEngine.commit_group` block committed.
+
+    ``receipts`` holds one entry per transaction committed inside the
+    group, in commit order — a :class:`~repro.wal.CommitReceipt` (no
+    fsync charge; the batch pays it), or ``None`` for an op that staged
+    nothing.  ``batch`` is filled at block exit, after the single
+    coalesced fsync returned; until then nothing in the group may be
+    acknowledged as durable.
+    """
+
+    __slots__ = ("receipts", "batch")
+
+    def __init__(self) -> None:
+        self.receipts: list[CommitReceipt | None] = []
+        self.batch: BatchReceipt | None = None
+
+    @property
+    def commits(self) -> int:
+        """Transactions that actually logged a record."""
+        return sum(1 for receipt in self.receipts if receipt is not None)
 
 
 class UpdateEngine:
@@ -170,6 +193,7 @@ class UpdateEngine:
         self._wal_pending: list[dict] = []
         self.totals = UpdateStats()
         self._txn_depth = 0
+        self._group: GroupCommitScope | None = None
 
     # -- transactions --------------------------------------------------------
 
@@ -211,15 +235,59 @@ class UpdateEngine:
             raise
         finally:
             self._txn_depth -= 1
-        if self.wal is not None:
+        if self.wal is not None and self._group is None:
+            # Inside a commit group the checkpoint is deferred to the
+            # group's end: a bundle must never cover records that are
+            # still sitting in the volatile batch buffer.
             self.wal.maybe_checkpoint()
+
+    @contextmanager
+    def commit_group(self) -> Iterator[GroupCommitScope]:
+        """Coalesce the ops in this block into one WAL fsync (group commit).
+
+        The service's per-document writer drains its commit queue
+        through this: each op still runs as its own atomic transaction
+        (an abort rolls back that op alone and logs nothing), but the
+        commit records only reach the volatile WAL buffer — the single
+        ``flush`` + ``os.fsync`` happens once, at block exit.  Only
+        after that returns is *any* op in the group durable, which is
+        why the caller must acknowledge queued commits strictly after
+        the block, using the yielded scope's receipts.
+
+        Due checkpoints run after the batch fsync (never inside it).
+        If the block body — or the batch fsync itself — raises, the
+        staged records are abandoned un-flushed: the in-memory document
+        may then be ahead of the log, so the caller must treat the
+        document as failed (the service quarantines it; the crash
+        matrix recovers from disk, which holds exactly the
+        acknowledged prefix).
+        """
+        if self.wal is None:
+            raise ValueError("commit_group() requires durability='wal'")
+        if self._group is not None:
+            raise RuntimeError("a commit group is already open")
+        self.wal.begin_batch()
+        group = GroupCommitScope()
+        self._group = group
+        try:
+            yield group
+            group.batch = self.wal.end_batch()
+        except BaseException:
+            self.wal.abandon_batch()
+            raise
+        finally:
+            self._group = None
+        self.wal.maybe_checkpoint()
 
     def _commit_wal(self, op: str, scope: "_CommitScope") -> None:
         """The transaction's commit hook: log the staged sub-ops."""
         subops = self._wal_pending
         self._wal_pending = []
-        if subops:
-            scope.receipt = self.wal.commit(op, subops)
+        receipt = self.wal.commit(op, subops) if subops else None
+        if receipt is not None:
+            scope.receipt = receipt
+        if self._group is not None:
+            self._group.receipts.append(receipt)
 
     def _stage_insert(self, parent: Node, index: int, roots: list[Node]) -> None:
         """Record one insert/insert_run sub-op for the pending WAL record.

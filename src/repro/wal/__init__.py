@@ -27,6 +27,7 @@ from repro.wal.frames import (
 from repro.wal.recovery import RecoveryReport, recover
 from repro.wal.writer import (
     LOG_NAME,
+    BatchReceipt,
     CheckpointReceipt,
     CommitReceipt,
     WalManager,
@@ -48,6 +49,7 @@ __all__ = [
     "WalManager",
     "CommitReceipt",
     "CheckpointReceipt",
+    "BatchReceipt",
     "LOG_NAME",
     "checkpoint_files",
     "checkpoint_watermark",

@@ -60,6 +60,7 @@ __all__ = [
     "WalManager",
     "CommitReceipt",
     "CheckpointReceipt",
+    "BatchReceipt",
     "LOG_NAME",
     "checkpoint_files",
     "checkpoint_watermark",
@@ -70,11 +71,22 @@ _CKPT_RE = re.compile(r"^ckpt-(\d+)\.labels$")
 
 
 def checkpoint_files(directory: "str | Path") -> list[tuple[int, Path]]:
-    """All checkpoint bundles in ``directory``, newest watermark first."""
+    """All checkpoint bundles in ``directory``, newest watermark first.
+
+    Tolerant of edge states a crash (or an operator) can leave behind:
+    a missing directory scans as empty, and entries whose *name* matches
+    the bundle pattern but which are not regular files (a directory, a
+    dangling symlink) are skipped — recovery and pruning must never
+    trip over them.
+    """
     found = []
-    for path in Path(directory).iterdir():
+    try:
+        entries = list(Path(directory).iterdir())
+    except FileNotFoundError:
+        return []
+    for path in entries:
         match = _CKPT_RE.match(path.name)
-        if match:
+        if match and path.is_file():
             found.append((int(match.group(1)), path))
     found.sort(key=lambda entry: entry[0], reverse=True)
     return found
@@ -96,6 +108,42 @@ class CommitReceipt:
     frame_bytes: int
     io_seconds: float
     charges: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class BatchReceipt:
+    """One group-commit batch: N coalesced commits behind a single fsync.
+
+    ``io_seconds`` is the cost of the one shared fsync; dividing it (and
+    the single ``wal.fsyncs`` unit in ``charges``) by ``commits`` gives
+    the amortized per-commit durability cost the service reports.
+    """
+
+    first_lsn: int
+    last_lsn: int
+    commits: int
+    frame_bytes: int
+    io_seconds: float
+    charges: dict[str, int] = field(default_factory=dict)
+
+
+class _OpenBatch:
+    """Mutable accumulator for the commits staged since ``begin_batch``."""
+
+    __slots__ = ("commits", "frame_bytes", "first_lsn", "last_lsn")
+
+    def __init__(self) -> None:
+        self.commits = 0
+        self.frame_bytes = 0
+        self.first_lsn = 0
+        self.last_lsn = 0
+
+    def absorb(self, lsn: int, frame_bytes: int) -> None:
+        if self.commits == 0:
+            self.first_lsn = lsn
+        self.last_lsn = lsn
+        self.commits += 1
+        self.frame_bytes += frame_bytes
 
 
 @dataclass(frozen=True)
@@ -149,15 +197,39 @@ class WalManager:
         self.page_bytes = page_bytes
         self.log_path = self.directory / LOG_NAME
         self._buffer = bytearray()  # volatile: lost on SimulatedCrash
+        self._batch: _OpenBatch | None = None
         self.next_lsn = 1
         self.commits_since_checkpoint = 0
         self.bytes_since_checkpoint = 0
+        self._sweep_stray_temp_files()
         if checkpoint_files(self.directory):
             self._reopen()
         else:
             self.checkpoint()
             if not self.log_path.exists():
                 atomic_write_bytes(self.log_path, b"")
+
+    def _sweep_stray_temp_files(self) -> None:
+        """Remove ``*.tmp`` leftovers of a crashed ``atomic_write_bytes``.
+
+        The atomic-replace recipe guarantees a ``.tmp`` sibling is never
+        a valid artifact (the ``os.replace`` happened or it did not), so
+        a stray one is pure garbage — but left in place it confuses
+        directory listings and operators, and a *directory* squatting on
+        a bundle-like name must simply be ignored (``checkpoint_files``
+        skips non-regular entries).
+        """
+        try:
+            entries = list(self.directory.iterdir())
+        except FileNotFoundError:
+            return
+        for path in entries:
+            if path.name.endswith(".tmp") and path.is_file():
+                try:
+                    path.unlink()
+                except OSError:
+                    # Best-effort: a locked stray file is still inert.
+                    continue
 
     # -- logging -----------------------------------------------------------
 
@@ -180,7 +252,15 @@ class WalManager:
         return make_label_codec(labeled.scheme).encode(labels)
 
     def commit(self, op: str, subops: list[dict]) -> CommitReceipt:
-        """Durably log one committed transaction; returns its receipt.
+        """Log one committed transaction; returns its receipt.
+
+        Outside a batch the commit is immediately durable: the frame is
+        appended and ``flush`` + ``os.fsync`` runs before this returns.
+        Inside an open batch (:meth:`begin_batch`) the frame only
+        reaches the volatile buffer — the fsync is deferred to
+        :meth:`end_batch`, the receipt carries no fsync charge (the
+        batch receipt does), and the caller must not acknowledge the
+        commit until that batch fsync has returned.
 
         Raises whatever the armed fault plan injects at ``wal.append``
         (before the frame reaches the volatile buffer) or ``wal.fsync``
@@ -197,19 +277,26 @@ class WalManager:
         if FAULTS.enabled:
             FAULTS.hit("wal.append")
         self._buffer += frame
-        if FAULTS.enabled:
-            FAULTS.hit("wal.fsync")
-        self._flush()
+        batch = self._batch
+        if batch is None:
+            if FAULTS.enabled:
+                FAULTS.hit("wal.fsync")
+            self._flush()
+        else:
+            batch.absorb(record.lsn, len(frame))
         self.next_lsn += 1
         self.commits_since_checkpoint += 1
         self.bytes_since_checkpoint += len(frame)
-        pages = self._pages_for(len(frame))
-        io_seconds = self.io_model.cost(0, pages)
         charges = {
             "wal.records_appended": 1,
             "wal.bytes_appended": len(frame),
-            "wal.fsyncs": 1,
         }
+        if batch is None:
+            charges["wal.fsyncs"] = 1
+            pages = self._pages_for(len(frame))
+            io_seconds = self.io_model.cost(0, pages)
+        else:
+            io_seconds = 0.0
         if OBS.enabled:
             with OBS.span("wal.commit", op=op):
                 for unit, amount in charges.items():
@@ -220,6 +307,76 @@ class WalManager:
             io_seconds=io_seconds,
             charges=charges,
         )
+
+    # -- group commit ------------------------------------------------------
+
+    @property
+    def in_batch(self) -> bool:
+        """True while a group-commit batch is open."""
+        return self._batch is not None
+
+    def begin_batch(self) -> None:
+        """Start coalescing commits: appends buffer, the fsync waits.
+
+        Until :meth:`end_batch`, every :meth:`commit` is staged in the
+        volatile buffer only.  A crash in that window loses the staged
+        records — which is exactly the contract: none of them may be
+        acknowledged before the batch fsync returns.
+        """
+        if self._batch is not None:
+            raise WalError("a commit batch is already open")
+        self._batch = _OpenBatch()
+
+    def end_batch(self) -> BatchReceipt | None:
+        """Durably flush the open batch with one fsync; fan out receipts.
+
+        Returns ``None`` when the batch staged nothing (no fsync is
+        issued for an empty batch).  Raises whatever the armed fault
+        plan injects at ``wal.fsync`` — the staged records are then
+        still volatile, so a simulated crash there loses the whole
+        (unacknowledged) batch.
+        """
+        batch = self._batch
+        if batch is None:
+            raise WalError("no commit batch is open")
+        try:
+            if batch.commits == 0:
+                return None
+            if FAULTS.enabled:
+                FAULTS.hit("wal.fsync")
+            self._flush()
+        finally:
+            self._batch = None
+        pages = self._pages_for(batch.frame_bytes)
+        io_seconds = self.io_model.cost(0, pages)
+        charges = {
+            "wal.fsyncs": 1,
+            "wal.batches": 1,
+            "wal.batch_commits": batch.commits,
+        }
+        if OBS.enabled:
+            with OBS.span("wal.batch", op="batch"):
+                for unit, amount in charges.items():
+                    OBS.charge(unit, amount)
+        return BatchReceipt(
+            first_lsn=batch.first_lsn,
+            last_lsn=batch.last_lsn,
+            commits=batch.commits,
+            frame_bytes=batch.frame_bytes,
+            io_seconds=io_seconds,
+            charges=charges,
+        )
+
+    def abandon_batch(self) -> None:
+        """Close an open batch without flushing (the crash/failure path).
+
+        The staged frames stay in the volatile buffer but are never
+        fsync'd by this call; the caller owns what happens to the
+        document next (the service quarantines it — memory and disk can
+        no longer be proven to agree).  Safe to call when no batch is
+        open.
+        """
+        self._batch = None
 
     def _flush(self) -> None:
         """Move the volatile buffer to the durable log (append + fsync)."""
@@ -253,6 +410,12 @@ class WalManager:
         leaves a recoverable pair — old bundle + full log, or new
         bundle + full log (recovery skips the already-covered prefix).
         """
+        if self._batch is not None:
+            raise WalError(
+                "cannot checkpoint inside an open commit batch: the "
+                "watermark would cover staged records that are not yet "
+                "durable — end_batch() first"
+            )
         watermark = self.next_lsn - 1
         if FAULTS.enabled:
             FAULTS.hit("wal.checkpoint_write")

@@ -1,0 +1,7 @@
+"""Severity fixture: shared state off every service path (warning)."""
+
+totals = {}  # VIOLATION: module-level mutable container, offline tooling
+
+
+def tally(key):
+    return totals.get(key, 0)

@@ -1,0 +1,7 @@
+"""Severity fixture: shared state on a service-reachable path (error)."""
+
+pending = []  # VIOLATION: module-level mutable container, service path
+
+
+def enqueue(record):
+    pending.append(record)

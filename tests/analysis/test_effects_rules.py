@@ -18,6 +18,7 @@ FIXTURES = Path(__file__).parent / "fixtures"
 RPR009TREE = FIXTURES / "rpr009tree"
 RPR010TREE = FIXTURES / "rpr010tree"
 RPR011TREE = FIXTURES / "rpr011tree"
+RPR011SVCTREE = FIXTURES / "rpr011svctree"
 
 
 def run(tree, rule):
@@ -116,7 +117,9 @@ class TestRPR011SharedState:
         assert any("fills memo cache" in m for m in messages)
         assert any("mutates module constant" in m for m in messages)
 
-    def test_everything_is_a_warning(self):
+    def test_off_service_modules_stay_warnings(self):
+        # repro.shared sits on no service code path, so the original
+        # warning severity applies (see TestRPR011SeverityPromotion).
         result = run(RPR011TREE, "RPR011")
         assert {str(f.severity) for f in result.findings} == {"warning"}
 
@@ -141,3 +144,24 @@ class TestRPR011SharedState:
 
     def test_waiver_slug_suppresses(self):
         assert run(RPR011TREE, "RPR011").suppressed == 1
+
+
+class TestRPR011SeverityPromotion:
+    """The same hazard is an error on a service path, a warning off it."""
+
+    def test_service_reachable_module_is_promoted_to_error(self):
+        result = run(RPR011SVCTREE, "RPR011")
+        severities = {
+            f.path.rsplit("repro/", 1)[1]: str(f.severity)
+            for f in result.findings
+        }
+        assert severities == {
+            "wal/buffers.py": "error",
+            "reports/scratch.py": "warning",
+        }
+
+    def test_promotion_changes_severity_not_the_message(self):
+        result = run(RPR011SVCTREE, "RPR011")
+        for finding in result.findings:
+            assert finding.rule == "RPR011"
+            assert "module-level mutable container" in finding.message

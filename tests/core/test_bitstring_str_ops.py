@@ -1,0 +1,85 @@
+"""BitString mixed-type operators: '+' coerces, ordering refuses loudly.
+
+Regression tests for the operator inconsistency: ``__add__`` accepted
+raw ``'0'``/``'1'`` text while ``code < "0110"`` surfaced only
+``@total_ordering``'s opaque ``TypeError``.  The resolution keeps
+concatenation convenient and makes every ordering comparison against a
+``str`` raise a message that names the fix (``BitString.from_str``),
+on both operand orders and through every derived operator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bitstring import BitString
+
+
+@pytest.fixture
+def code():
+    return BitString.from_str("0110")
+
+
+class TestConcatenationStillCoerces:
+    def test_add_accepts_binary_text(self, code):
+        assert (code + "01").to01() == "011001"
+
+    def test_add_rejects_non_binary_text(self, code):
+        with pytest.raises(ValueError, match="not a binary string"):
+            code + "21"
+
+
+class TestOrderingRefusesStrings:
+    @pytest.mark.parametrize(
+        "compare",
+        [
+            lambda a, b: a < b,
+            lambda a, b: a <= b,
+            lambda a, b: a > b,
+            lambda a, b: a >= b,
+        ],
+        ids=["lt", "le", "gt", "ge"],
+    )
+    def test_every_ordering_operator_names_the_fix(self, code, compare):
+        with pytest.raises(TypeError, match=r"BitString\.from_str"):
+            compare(code, "0110")
+
+    @pytest.mark.parametrize(
+        "compare",
+        [
+            lambda a, b: b < a,
+            lambda a, b: b <= a,
+            lambda a, b: b > a,
+            lambda a, b: b >= a,
+        ],
+        ids=["lt", "le", "gt", "ge"],
+    )
+    def test_reflected_operand_order_is_also_loud(self, code, compare):
+        # str's own comparison returns NotImplemented, so Python falls
+        # back to BitString's reflected slot — same clear message.
+        with pytest.raises(TypeError, match=r"BitString\.from_str"):
+            compare(code, "0110")
+
+    def test_sorting_a_mixed_list_fails_loudly(self, code):
+        with pytest.raises(TypeError, match=r"BitString\.from_str"):
+            sorted([code, "0110"])
+
+    def test_long_operand_is_truncated_in_the_message(self, code):
+        with pytest.raises(TypeError) as excinfo:
+            code < "01" * 100
+        assert len(str(excinfo.value)) < 250
+
+
+class TestEqualityContractUnchanged:
+    def test_equality_with_text_is_false_not_an_error(self, code):
+        assert not (code == "0110")
+        assert code != "0110"
+
+    def test_hash_eq_contract_holds_between_bitstrings(self, code):
+        twin = BitString.from_str("0110")
+        assert code == twin
+        assert hash(code) == hash(twin)
+
+    def test_bitstring_ordering_still_works(self, code):
+        assert code < BitString.from_str("0111")
+        assert BitString.from_str("011") < code  # prefix is smaller

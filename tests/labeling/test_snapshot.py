@@ -1,0 +1,94 @@
+"""LabelView: immutable committed snapshots the read path serves.
+
+The MVCC half of the service contract: ``capture()`` freezes the label
+map, document order, tag index and serialized bytes; subsequent engine
+mutations must be invisible through the captured view, and the query
+engine must run against a view exactly as it runs against the live
+``LabeledDocument``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.labeling import LabelView, make_scheme
+from repro.labeling.snapshot import capture
+from repro.query import QueryEngine
+from repro.updates import UpdateEngine
+from repro.xmltree import Node, parse_document
+
+SCHEME = "QED-Prefix"
+XML = "<root><a><b/></a><a/><c>text</c></root>"
+
+
+@pytest.fixture
+def engine():
+    labeled = make_scheme(SCHEME).label_document(parse_document(XML))
+    return UpdateEngine(labeled, with_storage=True)
+
+
+def test_capture_freezes_counts_and_labels(engine):
+    view = capture(engine.labeled, version=7)
+    assert view.version == 7
+    before_count = view.node_count()
+    before_labels = [view.label_of(node) for node in view]
+    engine.insert_child(engine.labeled.document.root, Node.element("new"))
+    engine.insert_child(engine.labeled.document.root, Node.element("new"))
+    assert view.node_count() == before_count
+    assert [view.label_of(node) for node in view] == before_labels
+    assert engine.labeled.nodes_in_order[0] is view.node_at(0)
+
+
+def test_serialize_returns_the_captured_bytes(engine):
+    view = capture(engine.labeled, version=1)
+    frozen = view.serialize()
+    engine.delete(engine.labeled.document.root.children[0])
+    assert view.serialize() == frozen
+    assert "<b/>" in frozen
+
+
+def test_tag_index_is_frozen(engine):
+    view = capture(engine.labeled, version=1)
+    assert len(view.tag_index["a"]) == 2
+    engine.insert_child(engine.labeled.document.root, Node.element("a"))
+    assert len(view.tag_index["a"]) == 2
+    assert len(engine.labeled.tag_index["a"]) == 3
+
+
+def test_query_engine_matches_live_results(engine):
+    live = QueryEngine(engine.labeled).evaluate("//a")
+    view = capture(engine.labeled, version=1)
+    snapshot_results = QueryEngine(view).evaluate("//a")
+    assert snapshot_results == live
+    # Mutate: the live engine sees the new node, the view does not.
+    engine.insert_child(engine.labeled.document.root, Node.element("a"))
+    assert len(QueryEngine(engine.labeled).evaluate("//a")) == 3
+    assert len(QueryEngine(view).evaluate("//a")) == 2
+
+
+def test_position_round_trip(engine):
+    view = capture(engine.labeled, version=1)
+    for position in range(view.node_count()):
+        assert view.position_of(view.node_at(position)) == position
+
+
+def test_tag_label_bytes_matches_live_and_is_cow(engine):
+    view = capture(engine.labeled, version=1)
+    assert view.tag_label_bytes("a") == engine.labeled.tag_label_bytes("a")
+    first_map = view._tag_bytes
+    view.tag_label_bytes(None)
+    # Copy-on-write: the fill replaced the map, never mutated it.
+    assert view._tag_bytes is not first_map
+    assert "a" in first_map and None not in first_map
+
+
+def test_view_exported_from_labeling_package():
+    assert LabelView.__name__ == "LabelView"
+
+
+def test_total_label_bits_frozen(engine):
+    view = capture(engine.labeled, version=1)
+    before = view.total_label_bits()
+    engine.insert_child(engine.labeled.document.root, Node.element("z"))
+    assert view.total_label_bits() == before
+    assert engine.labeled.total_label_bits() > before

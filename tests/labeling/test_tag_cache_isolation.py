@@ -1,0 +1,88 @@
+"""The tag-size memo is per-document state filled copy-on-write.
+
+Regression tests for the shared-state waiver that used to sit on
+``LabeledDocument.tag_label_bytes``: the fill now replaces the memo
+dict wholesale (never mutates it in place), which makes it safe for
+concurrent snapshot readers, exact under rollback's reference-swap
+undo, and strictly isolated between documents served side by side.
+"""
+
+from __future__ import annotations
+
+from repro.labeling import make_scheme
+from repro.updates import UpdateEngine
+from repro.xmltree import Node, parse_document
+
+SCHEME = "QED-Prefix"
+
+
+def build(xml):
+    return make_scheme(SCHEME).label_document(parse_document(xml))
+
+
+def fresh_total(labeled, tag):
+    """The uncached answer: recompute on a pristine twin of the doc."""
+    bits = labeled.scheme.label_bits
+    nodes = labeled.tag_index.get(tag, [])
+    return sum(-(-bits(labeled.labels[id(node)]) // 8) for node in nodes)
+
+
+class TestTwoDocumentInterleaving:
+    def test_interleaved_queries_never_cross_documents(self):
+        # Same tag names, very different label populations: if any
+        # cache state leaked across documents, the sizes would collide.
+        small = build("<root><item/></root>")
+        large = build(
+            "<root>" + "<item><sub/></item>" * 40 + "</root>"
+        )
+        interleaved = []
+        for _ in range(3):
+            interleaved.append(("small", small.tag_label_bytes("item")))
+            interleaved.append(("large", large.tag_label_bytes("item")))
+            interleaved.append(("small", small.tag_label_bytes(None)))
+            interleaved.append(("large", large.tag_label_bytes(None)))
+        assert small.tag_label_bytes("item") == fresh_total(small, "item")
+        assert large.tag_label_bytes("item") == fresh_total(large, "item")
+        small_answers = {v for k, v in interleaved if k == "small"}
+        large_answers = {v for k, v in interleaved if k == "large"}
+        assert small_answers.isdisjoint(large_answers)
+
+    def test_caches_live_on_distinct_documents(self):
+        first = build("<root><x/></root>")
+        second = build("<root><x/><x/></root>")
+        first.tag_label_bytes("x")
+        second.tag_label_bytes("x")
+        assert first._tag_bytes_cache is not second._tag_bytes_cache
+        assert first._tag_bytes_cache["x"] != second._tag_bytes_cache["x"]
+
+
+class TestCopyOnWriteFill:
+    def test_fill_replaces_the_dict_instead_of_mutating(self):
+        labeled = build("<root><a/><b/></root>")
+        labeled.tag_label_bytes("a")
+        captured = labeled._tag_bytes_cache
+        labeled.tag_label_bytes("b")
+        # The reader holding `captured` still sees a complete map; the
+        # new entry landed in a replacement dict.
+        assert labeled._tag_bytes_cache is not captured
+        assert "b" not in captured
+        assert "a" in captured
+        assert labeled._tag_bytes_cache["a"] == captured["a"]
+
+    def test_rollback_reference_swap_restores_exact_snapshot(self):
+        labeled = build("<root><a/></root>")
+        engine = UpdateEngine(labeled, with_storage=True)
+        labeled.tag_label_bytes("a")
+        before = labeled._tag_bytes_cache
+        engine.insert_child(labeled.document.root, Node.element("a"))
+        # The insert invalidated the memo (sizes changed); filling it
+        # again must still match a from-scratch computation.
+        assert labeled.tag_label_bytes("a") == fresh_total(labeled, "a")
+        assert labeled.tag_label_bytes("a") > before["a"]
+
+    def test_cached_answer_stays_stable_and_correct(self):
+        labeled = build("<root>" + "<q/>" * 9 + "</root>")
+        first = labeled.tag_label_bytes("q")
+        assert labeled.tag_label_bytes("q") == first == fresh_total(
+            labeled, "q"
+        )

@@ -1,0 +1,147 @@
+"""The storm test: many client threads, one document, live writer thread.
+
+This is the service's concurrency contract under real thread
+interleaving: every snapshot read sees a *committed* version (never an
+in-flight batch), every acked write is immediately visible to its own
+client, group commit keeps fsyncs at or below the batch count, and the
+WAL recovers the exact final state after the storm.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service import DocumentService, ServiceConfig
+from repro.verify import verify_integrity
+from repro.wal import recover
+from repro.xmltree import serialize_document
+
+THREADS = 8
+OPS_PER_THREAD = 12
+
+
+@pytest.fixture
+def service(tmp_path):
+    built = DocumentService(
+        ServiceConfig(root_dir=str(tmp_path), max_batch=16)
+    )
+    yield built
+    built.close()
+
+
+def storm(service, doc_id, errors, reads):
+    """One client: alternate committed writes with snapshot reads."""
+    thread = threading.current_thread().name
+    for index in range(OPS_PER_THREAD):
+        try:
+            ack = service.update(
+                doc_id,
+                {
+                    "kind": "insert_child",
+                    "parent": 0,
+                    "xml": f"<w_{thread}_{index}/>",
+                },
+                timeout=30.0,
+            )
+            # Read-after-own-write: the published view must already
+            # carry (at least) this client's acked version.
+            view = service.snapshot(doc_id)
+            acked = service.stats(doc_id)["version"]
+            reads.append(
+                {
+                    "view_version": view.version,
+                    "acked_version": acked,
+                    "own_version": ack["version"],
+                    "nodes": view.node_count(),
+                    "serialized": view.serialize(),
+                }
+            )
+        except Exception as error:  # noqa: BLE001 - collected, asserted on
+            errors.append(error)
+
+
+def test_storm_on_one_document(service):
+    doc = service.create_document("<root/>")
+    doc_id = doc["doc_id"]
+    errors, reads = [], []
+    threads = [
+        threading.Thread(
+            target=storm,
+            args=(service, doc_id, errors, reads),
+            name=f"c{index}",
+        )
+        for index in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60.0)
+    assert not any(thread.is_alive() for thread in threads)
+    assert errors == []
+    assert len(reads) == THREADS * OPS_PER_THREAD
+
+    # Every read observed a committed version: at or beyond the
+    # client's own acked commit, never beyond what was acked when the
+    # reader sampled the counter right after.
+    for read in reads:
+        assert read["own_version"] <= read["view_version"] <= read["acked_version"]
+        # A snapshot is internally consistent: its serialized bytes
+        # carry exactly its node population.
+        assert read["serialized"].count("<w_") == read["nodes"] - 1
+
+    handle = service.registry.get(doc_id)
+    writer = handle.writer
+    total_writes = THREADS * OPS_PER_THREAD
+    assert writer.commits_acked == total_writes
+    assert writer.requests_failed == 0
+    assert writer.view.node_count() == total_writes + 1
+
+    # Group commit did its job: never more than one fsync per batch,
+    # and strictly fewer fsyncs than commits once batching kicked in.
+    assert writer.fsyncs <= writer.batches
+    assert writer.fsyncs <= writer.commits_acked
+    stats = handle.stats()
+    assert stats["fsyncs_per_commit"] == pytest.approx(
+        writer.amortized_fsyncs_per_commit
+    )
+
+    # The live document is structurally sound after the storm...
+    assert verify_integrity(handle.engine.labeled, handle.engine.store) == []
+
+    # ...and the WAL replays to exactly the live state once drained.
+    live = serialize_document(handle.engine.labeled.document)
+    service.close()
+    report = recover(handle.wal_dir)
+    assert serialize_document(report.labeled.document) == live
+    assert verify_integrity(report.labeled) == []
+
+
+def test_storm_across_documents_is_isolated(service):
+    ids = [service.create_document("<root/>")["doc_id"] for _ in range(3)]
+    errors, reads = [], []
+    threads = [
+        threading.Thread(
+            target=storm,
+            args=(service, ids[index % len(ids)], errors, reads),
+            name=f"c{index}",
+        )
+        for index in range(6)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60.0)
+    assert errors == []
+    writers_per_doc = 6 // len(ids)
+    for doc_id in ids:
+        handle = service.registry.get(doc_id)
+        assert handle.writer.commits_acked == writers_per_doc * OPS_PER_THREAD
+        assert verify_integrity(handle.engine.labeled, handle.engine.store) == []
+        # No cross-document leakage: only this doc's writers appear.
+        serialized = handle.view.serialize()
+        own = {f"c{i}" for i in range(6) if ids[i % len(ids)] == doc_id}
+        for client in range(6):
+            marker = f"<w_c{client}_"
+            assert (marker in serialized) == (f"c{client}" in own)

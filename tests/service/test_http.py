@@ -1,0 +1,232 @@
+"""End-to-end HTTP tests: a real socket, real threads, JSON in and out.
+
+One module-scoped server instance (ThreadingHTTPServer on an ephemeral
+port) serves every test; each test creates its own documents so state
+never leaks between them.  The assertions pin the HTTP contract: route
+shapes, the 400/404/409/503-style error mapping, and the pipelined
+``ops`` form coalescing into fewer fsyncs than commits.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import DocumentService, ServiceConfig, make_server
+
+XML = "<root><a><b/></a><c>text</c></root>"
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    root = tmp_path_factory.mktemp("service-wal")
+    service = DocumentService(ServiceConfig(root_dir=str(root), max_batch=8))
+    httpd = make_server(service)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    host, port = httpd.server_address
+    yield f"http://{host}:{port}"
+    httpd.shutdown()
+    httpd.server_close()
+    thread.join(timeout=5.0)
+    service.close()
+
+
+def call(base, method, path, body=None):
+    """Returns (status, decoded-json) without raising on HTTP errors."""
+    data = None if body is None else json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(
+        base + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def create(base, **extra):
+    status, doc = call(base, "POST", "/docs", {"xml": XML, **extra})
+    assert status == 201, doc
+    return doc
+
+
+class TestDocumentLifecycle:
+    def test_create_returns_stats(self, server):
+        doc = create(server)
+        assert doc["doc_id"].startswith("doc-")
+        assert doc["status"] == "serving"
+        assert doc["scheme"] == "QED-Prefix"
+        assert doc["nodes"] == 5  # root, a, b, c and the text node
+
+    def test_create_with_explicit_id_and_scheme(self, server):
+        doc = create(server, doc_id="mine", scheme="V-CDBS-Containment")
+        assert doc["doc_id"] == "mine"
+        assert doc["scheme"] == "V-CDBS-Containment"
+        status, _ = call(
+            server, "POST", "/docs", {"xml": XML, "doc_id": "mine"}
+        )
+        assert status == 400  # duplicate id
+
+    def test_list_and_single_stats(self, server):
+        doc = create(server)
+        status, listing = call(server, "GET", "/docs")
+        assert status == 200
+        assert doc["doc_id"] in {d["doc_id"] for d in listing["documents"]}
+        status, stats = call(server, "GET", f"/docs/{doc['doc_id']}")
+        assert status == 200
+        assert stats["fsyncs_per_commit"] == 0.0
+
+
+class TestReadEndpoints:
+    def test_xml_round_trips_the_snapshot(self, server):
+        doc = create(server)
+        status, payload = call(server, "GET", f"/docs/{doc['doc_id']}/xml")
+        assert status == 200
+        assert "<b/>" in payload["xml"]
+        assert payload["version"] == 0
+
+    def test_query_runs_on_the_committed_view(self, server):
+        doc = create(server)
+        status, payload = call(
+            server, "GET", f"/docs/{doc['doc_id']}/query?q=//a"
+        )
+        assert status == 200
+        assert payload["count"] == 1
+        (match,) = payload["matches"]
+        assert match["tag"] == "a"
+        assert payload["scan_bytes"] > 0
+
+    def test_relationship_is_label_only(self, server):
+        doc = create(server)
+        status, payload = call(
+            server,
+            "GET",
+            f"/docs/{doc['doc_id']}/relationship?first=1&second=2",
+        )
+        assert status == 200
+        assert payload["ancestor"] is True
+        assert payload["parent"] is True
+        assert payload["sibling"] is False
+
+    @pytest.mark.parametrize(
+        "path, fragment",
+        [
+            ("/query", "needs ?q="),
+            ("/relationship?first=1", "missing required parameter"),
+            ("/relationship?first=1&second=x", "must be an integer"),
+            ("/relationship?first=1&second=999", "outside the"),
+        ],
+    )
+    def test_read_endpoint_validation_is_400(self, server, path, fragment):
+        doc = create(server)
+        status, payload = call(server, "GET", f"/docs/{doc['doc_id']}{path}")
+        assert status == 400
+        assert fragment in payload["message"]
+
+
+class TestUpdateEndpoint:
+    def test_single_op_acks_after_fsync(self, server):
+        doc = create(server)
+        status, payload = call(
+            server,
+            "POST",
+            f"/docs/{doc['doc_id']}/updates",
+            {"op": {"kind": "insert_child", "parent": 0, "xml": "<new/>"}},
+        )
+        assert status == 200
+        ack = payload["ack"]
+        assert ack["lsn"] == 1
+        assert ack["inserted_nodes"] == 1
+        status, payload = call(server, "GET", f"/docs/{doc['doc_id']}/xml")
+        assert "<new/>" in payload["xml"]
+        assert payload["version"] == ack["version"]
+
+    def test_pipelined_ops_coalesce_fsyncs(self, server):
+        doc = create(server)
+        ops = [
+            {"kind": "insert_child", "parent": 0, "xml": f"<n{i}/>"}
+            for i in range(6)
+        ]
+        status, payload = call(
+            server, "POST", f"/docs/{doc['doc_id']}/updates", {"ops": ops}
+        )
+        assert status == 200
+        assert all(result["ok"] for result in payload["results"])
+        status, stats = call(server, "GET", f"/docs/{doc['doc_id']}")
+        assert stats["commits_acked"] == 6
+        assert stats["fsyncs"] < 6  # group commit actually coalesced
+
+    def test_pipelined_failures_are_per_op(self, server):
+        doc = create(server)
+        ops = [
+            {"kind": "insert_child", "parent": 0, "xml": "<good/>"},
+            {"kind": "bogus"},
+        ]
+        status, payload = call(
+            server, "POST", f"/docs/{doc['doc_id']}/updates", {"ops": ops}
+        )
+        assert status == 200
+        good, bad = payload["results"]
+        assert good["ok"] is True
+        assert bad["ok"] is False
+        assert bad["error"] == "ServiceError"
+
+    @pytest.mark.parametrize(
+        "body, fragment",
+        [
+            ({}, "needs 'op' or 'ops'"),
+            ({"ops": []}, "non-empty list"),
+            ({"op": {"kind": "bogus"}}, "unknown update kind"),
+            ({"op": {"kind": "delete", "target": 999}}, "outside the"),
+        ],
+    )
+    def test_bad_update_requests_are_400(self, server, body, fragment):
+        doc = create(server)
+        status, payload = call(
+            server, "POST", f"/docs/{doc['doc_id']}/updates", body
+        )
+        assert status == 400
+        assert fragment in payload["message"]
+
+
+class TestErrorMapping:
+    def test_unknown_document_is_404_everywhere(self, server):
+        for method, path, body in (
+            ("GET", "/docs/ghost", None),
+            ("GET", "/docs/ghost/xml", None),
+            ("GET", "/docs/ghost/query?q=//a", None),
+            ("POST", "/docs/ghost/updates", {"op": {"kind": "delete"}}),
+        ):
+            status, payload = call(server, method, path, body)
+            assert status == 404, path
+            assert "unknown document" in payload["message"]
+
+    def test_unrouted_path_is_404(self, server):
+        status, payload = call(server, "GET", "/nothing/here")
+        assert status == 404
+        assert payload["error"] == "NotFound"
+
+    def test_malformed_json_body_is_400(self, server):
+        request = urllib.request.Request(
+            server + "/docs",
+            data=b"this is not json",
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10.0)
+        assert excinfo.value.code == 400
+        assert "not valid JSON" in json.loads(excinfo.value.read())["message"]
+
+    def test_non_object_json_body_is_400(self, server):
+        status, payload = call(server, "POST", "/docs", ["not", "an", "obj"])
+        assert status == 400
+        assert "JSON object" in payload["message"]

@@ -1,0 +1,107 @@
+"""Acked-prefix semantics through the service stack, deterministically.
+
+The crash matrix sweeps every WAL site at scale; these tests pin the
+two interesting outcomes at test speed by driving ``apply_batch``
+synchronously on a registry-served document:
+
+* a crash *before* the batch fsync (``wal.fsync``) loses the whole
+  batch — recovery is exactly the previously acked prefix;
+* a crash *after* commit, inside the deferred checkpoint
+  (``wal.checkpoint_write``), keeps the batch — it was durable before
+  the crash point, even though no client was ever acked.
+
+Either way the service's promise holds: **an acked commit is never
+lost**, and a quarantined document refuses writes while its stats tell
+clients the truth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceCrashed, ServiceError, SimulatedCrash
+from repro.faults import FAULTS, FaultPlan
+from repro.service import DocumentRegistry, UpdateRequest
+from repro.verify import verify_integrity
+from repro.wal import recover
+
+from tests.wal.walutil import logical_state
+
+
+@pytest.fixture(autouse=True)
+def disarm():
+    yield
+    FAULTS.disarm()
+
+
+@pytest.fixture
+def handle(tmp_path):
+    registry = DocumentRegistry(str(tmp_path), max_batch=8)
+    served = registry.create(
+        "<root><a/></root>", "QED-Prefix", start_writer=False
+    )
+    yield served
+    registry.close(timeout=5.0)
+
+
+def batch(tags):
+    return [
+        UpdateRequest(
+            op={"kind": "insert_child", "parent": 0, "xml": f"<{tag}/>"}
+        )
+        for tag in tags
+    ]
+
+
+def test_crash_before_fsync_loses_exactly_the_unacked_batch(handle):
+    writer = handle.writer
+    acked = batch(["first", "second"])
+    writer.apply_batch(acked)
+    for request in acked:
+        assert request.future.result(timeout=0)["version"] == 2
+    acked_state = logical_state(handle.engine.labeled)
+
+    doomed = batch(["third", "fourth"])
+    with FAULTS.armed(FaultPlan.crash("wal.fsync", at=1)):
+        with pytest.raises(SimulatedCrash):
+            writer.apply_batch(doomed)
+    for request in doomed:
+        with pytest.raises(ServiceCrashed):
+            request.future.result(timeout=0)
+
+    # The quarantined handle is honest with clients...
+    assert handle.stats()["status"] == "crashed"
+    with pytest.raises(ServiceError, match="crashed"):
+        writer.submit({"kind": "delete", "target": 1})
+    # ...and recovery rebuilds exactly the acked prefix: batch 1 is
+    # there in full, batch 2 left no trace.
+    report = recover(handle.wal_dir)
+    assert logical_state(report.labeled) == acked_state
+    assert verify_integrity(report.labeled) == []
+
+
+def test_crash_in_deferred_checkpoint_keeps_the_durable_batch(handle):
+    writer = handle.writer
+    survivors = batch(["kept"])
+    # Make the deferred checkpoint due immediately, so commit_group
+    # runs it right after the batch fsync — the crash fires there.
+    # The client never saw an ack, but the commit is on disk:
+    # recovery MAY include an unacked commit, it may only never drop
+    # an acked one.
+    handle.engine.wal.checkpoint_every_commits = 1
+    with FAULTS.armed(FaultPlan.crash("wal.checkpoint_write", at=1)):
+        with pytest.raises(SimulatedCrash):
+            writer.apply_batch(survivors)
+    with pytest.raises(ServiceCrashed):
+        survivors[0].future.result(timeout=0)
+    report = recover(handle.wal_dir)
+    assert logical_state(report.labeled) == logical_state(
+        handle.engine.labeled
+    )
+    names = [
+        node.name
+        for node in report.labeled.nodes_in_order
+        if node.name is not None
+    ]
+    assert "kept" in names
+    assert verify_integrity(report.labeled) == []

@@ -1,0 +1,209 @@
+"""DocumentWriter: spec validation, batching, acks, quarantine, lifecycle.
+
+The writer is the service's durability boundary, so these tests pin the
+ack protocol precisely: one fsync per batch, futures resolved only
+after it, per-request failures isolated to their own future, and a
+mid-batch crash failing every unacked waiter with ``ServiceCrashed``
+while refusing all further writes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceCrashed, ServiceError, SimulatedCrash
+from repro.faults import FAULTS, FaultPlan
+from repro.labeling import make_scheme
+from repro.obs import OBS
+from repro.service import DocumentWriter, UpdateRequest
+from repro.updates import UpdateEngine
+from repro.wal import recover
+
+from repro.xmltree import parse_document
+
+from tests.wal.walutil import build_wal_engine, logical_state, seed_document
+
+SCHEME = "QED-Prefix"
+
+
+@pytest.fixture(autouse=True)
+def clean_slate():
+    OBS.reset()
+    OBS.enabled = False
+    yield
+    FAULTS.disarm()
+    OBS.reset()
+    OBS.enabled = False
+
+
+@pytest.fixture
+def writer(tmp_path):
+    wal_writer = DocumentWriter(build_wal_engine(SCHEME, tmp_path))
+    yield wal_writer
+    wal_writer.close(timeout=5.0)
+
+
+def batch(*ops):
+    return [UpdateRequest(op=op) for op in ops]
+
+
+def insert_spec(parent=0, tag="n"):
+    return {"kind": "insert_child", "parent": parent, "xml": f"<{tag}/>"}
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize(
+        "op, message",
+        [
+            ("not-a-dict", "must be an object"),
+            ({"kind": "rename"}, "unknown update kind"),
+            ({}, "unknown update kind"),
+            ({"kind": "delete", "target": "root"}, "integer 'target'"),
+            ({"kind": "delete", "target": True}, "integer 'target'"),
+            ({"kind": "delete", "target": 10_000}, "outside the current"),
+            ({"kind": "delete", "target": -1}, "outside the current"),
+            ({"kind": "insert_child", "parent": 0}, "non-empty 'xml'"),
+            (
+                {"kind": "insert_child", "parent": 0, "xml": "<x/>", "index": "end"},
+                "integer or null",
+            ),
+        ],
+    )
+    def test_bad_specs_fail_with_service_errors(self, writer, op, message):
+        (request,) = batch(op)
+        writer.apply_batch([request])
+        with pytest.raises(ServiceError, match=message):
+            request.future.result(timeout=0)
+
+    def test_bad_spec_failure_is_isolated_in_its_batch(self, writer):
+        requests = batch(insert_spec(tag="a"), {"kind": "nope"}, insert_spec(tag="b"))
+        writer.apply_batch(requests)
+        assert requests[0].future.result(timeout=0)["inserted_nodes"] == 1
+        with pytest.raises(ServiceError):
+            requests[1].future.result(timeout=0)
+        assert requests[2].future.result(timeout=0)["inserted_nodes"] == 1
+        assert writer.commits_acked == 2
+        assert writer.requests_failed == 1
+        # The two commits still shared one fsync.
+        assert writer.fsyncs == 1
+        assert writer.batches == 1
+
+
+class TestBatchAcks:
+    def test_one_fsync_covers_the_whole_batch(self, writer):
+        requests = batch(*(insert_spec(tag=f"t{i}") for i in range(5)))
+        writer.apply_batch(requests)
+        acks = [request.future.result(timeout=0) for request in requests]
+        assert writer.fsyncs == 1
+        assert all(ack["batch_commits"] == 5 for ack in acks)
+        assert all(ack["batch_fsyncs"] == 1 for ack in acks)
+        assert writer.amortized_fsyncs_per_commit == pytest.approx(0.2)
+
+    def test_ack_carries_lsn_version_and_stats(self, writer):
+        (request,) = batch(insert_spec())
+        writer.apply_batch([request])
+        ack = request.future.result(timeout=0)
+        assert ack["lsn"] == writer.engine.wal.next_lsn - 1
+        assert ack["version"] == writer.acked_version
+        assert ack["inserted_nodes"] == 1
+        assert ack["deleted_nodes"] == 0
+        assert ack["processing_seconds"] >= 0.0
+
+    def test_view_is_republished_at_batch_boundaries(self, writer):
+        before = writer.view
+        count = before.node_count()
+        writer.apply_batch(batch(insert_spec()))
+        assert writer.view is not before
+        assert before.node_count() == count  # the old snapshot is frozen
+        assert writer.view.node_count() == count + 1
+        assert writer.view.version == writer.acked_version
+
+    def test_positions_resolve_at_apply_time(self):
+        # The second op addresses the node the first op just inserted:
+        # position indexes are interpreted against the post-op order.
+        labeled = make_scheme(SCHEME).label_document(
+            parse_document("<root><a/></root>")
+        )
+        writer = DocumentWriter(UpdateEngine(labeled, with_storage=True))
+        # Document order after op 1: root=0, a=1, outer=2.
+        requests = batch(
+            insert_spec(parent=0, tag="outer"),
+            {"kind": "insert_child", "parent": 2, "xml": "<inner/>"},
+        )
+        writer.apply_batch(requests)
+        for request in requests:
+            request.future.result(timeout=0)
+        outer = labeled.nodes_in_order[2]
+        assert outer.name == "outer"
+        assert [child.name for child in outer.children] == ["inner"]
+
+
+class TestQuarantine:
+    def test_crash_mid_batch_fails_every_unacked_future(self, writer):
+        requests = batch(*(insert_spec(tag=f"t{i}") for i in range(3)))
+        with FAULTS.armed(FaultPlan.crash("wal.fsync", at=1)):
+            with pytest.raises(SimulatedCrash):
+                writer.apply_batch(requests)
+        assert writer.status == "crashed"
+        assert isinstance(writer.crash_cause, SimulatedCrash)
+        for request in requests:
+            with pytest.raises(ServiceCrashed, match="recover"):
+                request.future.result(timeout=0)
+        with pytest.raises(ServiceError, match="crashed"):
+            writer.submit(insert_spec())
+
+    def test_queued_requests_behind_a_crash_fail_too(self, writer):
+        straggler = UpdateRequest(op=insert_spec())
+        writer._queue.put(straggler)
+        with FAULTS.armed(FaultPlan.crash("wal.fsync", at=1)):
+            with pytest.raises(SimulatedCrash):
+                writer.apply_batch(batch(insert_spec()))
+        with pytest.raises(ServiceCrashed):
+            straggler.future.result(timeout=0)
+
+    def test_recovery_after_crash_is_the_acked_prefix(self, writer, tmp_path):
+        acked = batch(insert_spec(tag="durable"))
+        writer.apply_batch(acked)
+        acked[0].future.result(timeout=0)
+        state = logical_state(writer.engine.labeled)
+        with FAULTS.armed(FaultPlan.crash("wal.fsync", at=1)):
+            with pytest.raises(SimulatedCrash):
+                writer.apply_batch(batch(insert_spec(tag="lost")))
+        report = recover(tmp_path)
+        assert logical_state(report.labeled) == state
+
+
+class TestLifecycle:
+    def test_thread_submit_and_close(self, tmp_path):
+        writer = DocumentWriter(build_wal_engine(SCHEME, tmp_path)).start()
+        futures = [writer.submit(insert_spec(tag=f"t{i}")) for i in range(4)]
+        acks = [future.result(timeout=5.0) for future in futures]
+        assert writer.commits_acked == 4
+        assert all(ack["version"] <= writer.acked_version for ack in acks)
+        writer.close(timeout=5.0)
+        assert writer.status == "closed"
+        with pytest.raises(ServiceError, match="closed"):
+            writer.submit(insert_spec())
+
+    def test_start_is_idempotent(self, tmp_path):
+        writer = DocumentWriter(build_wal_engine(SCHEME, tmp_path)).start()
+        thread = writer._thread
+        assert writer.start()._thread is thread
+        writer.close(timeout=5.0)
+
+    def test_durability_off_mode_still_batches_and_publishes(self):
+        labeled = make_scheme(SCHEME).label_document(seed_document())
+        engine = UpdateEngine(labeled, with_storage=True)
+        writer = DocumentWriter(engine)
+        requests = batch(insert_spec(tag="a"), insert_spec(tag="b"))
+        writer.apply_batch(requests)
+        acks = [request.future.result(timeout=0) for request in requests]
+        assert writer.fsyncs == 0
+        assert all(ack["lsn"] is None for ack in acks)
+        assert all(ack["batch_fsyncs"] == 0 for ack in acks)
+        assert writer.acked_version == 2
+        assert writer.view.version == 2
+
+    def test_max_batch_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="max_batch"):
+            DocumentWriter(build_wal_engine(SCHEME, tmp_path), max_batch=0)

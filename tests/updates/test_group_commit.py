@@ -1,0 +1,135 @@
+"""UpdateEngine.commit_group: one fsync per batch, per-op isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UpdateAborted
+from repro.faults import FAULTS, FaultPlan
+from repro.labeling import make_scheme
+from repro.obs import OBS
+from repro.updates import UpdateEngine
+from repro.wal import decode_frames, recover
+from repro.wal.writer import LOG_NAME
+from repro.xmltree import Node
+
+from tests.wal.walutil import build_wal_engine, logical_state, seed_document
+
+SCHEME = "V-CDBS-Containment"
+
+
+@pytest.fixture(autouse=True)
+def clean_slate():
+    OBS.reset()
+    OBS.enabled = False
+    yield
+    FAULTS.disarm()
+    OBS.reset()
+    OBS.enabled = False
+
+
+def log_bytes(engine):
+    return (engine.wal.directory / LOG_NAME).read_bytes()
+
+
+def insert(engine, tag="x"):
+    return engine.insert_child(engine.labeled.document.root, Node.element(tag))
+
+
+class TestGroupCommit:
+    def test_n_commits_one_fsync(self, tmp_path):
+        engine = build_wal_engine(SCHEME, tmp_path)
+        with engine.commit_group() as group:
+            insert(engine, "a")
+            insert(engine, "b")
+            insert(engine, "c")
+            # Mid-group: everything volatile, nothing durable yet.
+            assert log_bytes(engine) == b""
+        assert group.commits == 3
+        assert len(group.receipts) == 3
+        assert group.batch is not None
+        assert group.batch.commits == 3
+        assert group.batch.charges["wal.fsyncs"] == 1
+        assert [record.lsn for record in decode_frames(log_bytes(engine))] == [
+            receipt.lsn for receipt in group.receipts
+        ]
+
+    def test_receipts_carry_no_per_commit_fsync(self, tmp_path):
+        engine = build_wal_engine(SCHEME, tmp_path)
+        with engine.commit_group() as group:
+            insert(engine)
+        (receipt,) = group.receipts
+        assert "wal.fsyncs" not in receipt.charges
+
+    def test_aborted_op_inside_group_is_isolated(self, tmp_path):
+        engine = build_wal_engine(SCHEME, tmp_path)
+        root = engine.labeled.document.root
+        with engine.commit_group() as group:
+            insert(engine, "good")
+            with pytest.raises(UpdateAborted):
+                with FAULTS.armed(FaultPlan.single("label.write", at=1)):
+                    insert(engine, "bad")
+            insert(engine, "also-good")
+        # The abort rolled back before its commit hook: the batch holds
+        # exactly the two successful transactions.
+        assert group.commits == 2
+        assert group.batch.commits == 2
+        tags = [child.name for child in root.children]
+        assert "bad" not in tags
+        report = recover(tmp_path)
+        assert logical_state(report.labeled) == logical_state(engine.labeled)
+
+    def test_exception_abandons_batch_without_flush(self, tmp_path):
+        engine = build_wal_engine(SCHEME, tmp_path)
+        before = logical_state(engine.labeled)
+        with pytest.raises(RuntimeError, match="boom"):
+            with engine.commit_group():
+                insert(engine, "staged")
+                raise RuntimeError("boom")
+        assert not engine.wal.in_batch
+        assert log_bytes(engine) == b""
+        assert logical_state(recover(tmp_path).labeled) == before
+
+    def test_empty_group_commits_nothing(self, tmp_path):
+        engine = build_wal_engine(SCHEME, tmp_path)
+        with engine.commit_group() as group:
+            pass
+        assert group.commits == 0
+        assert group.batch is None
+        assert log_bytes(engine) == b""
+
+    def test_nested_group_rejected(self, tmp_path):
+        engine = build_wal_engine(SCHEME, tmp_path)
+        with engine.commit_group():
+            with pytest.raises(RuntimeError, match="already open"):
+                with engine.commit_group():
+                    pass
+
+    def test_group_requires_wal_durability(self):
+        labeled = make_scheme(SCHEME).label_document(seed_document())
+        engine = UpdateEngine(labeled, with_storage=True)
+        with pytest.raises(ValueError, match="durability"):
+            with engine.commit_group():
+                pass
+
+
+class TestDeferredCheckpoint:
+    def test_no_checkpoint_fires_inside_the_group(self, tmp_path):
+        engine = build_wal_engine(SCHEME, tmp_path, checkpoint_commits=2)
+        with engine.commit_group():
+            for tag in ("a", "b", "c", "d"):
+                insert(engine, tag)
+            # Threshold long passed, but a checkpoint here would cover
+            # volatile records; it must wait for the batch fsync.
+            assert engine.wal.commits_since_checkpoint == 4
+        # At group end the deferred checkpoint ran and reset the count.
+        assert engine.wal.commits_since_checkpoint == 0
+
+    def test_group_end_checkpoint_recovers_cleanly(self, tmp_path):
+        engine = build_wal_engine(SCHEME, tmp_path, checkpoint_commits=2)
+        with engine.commit_group():
+            insert(engine, "a")
+            insert(engine, "b")
+            insert(engine, "c")
+        report = recover(tmp_path)
+        assert logical_state(report.labeled) == logical_state(engine.labeled)

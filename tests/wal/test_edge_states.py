@@ -1,0 +1,91 @@
+"""WAL directory edge states: missing dirs, stray temp files, impostors.
+
+Regression tests for the reopen/``checkpoint_files`` crashes: a missing
+WAL directory used to raise ``FileNotFoundError`` out of the bundle
+scan, and a stray ``.tmp`` file (or a *directory*) matching the
+``ckpt-*.labels`` pattern broke reopen.  Both edge states are real: a
+crash between ``mkdir`` and the first checkpoint leaves the former, a
+crash inside ``atomic_write_bytes`` leaves the latter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.wal import WalManager, recover
+from repro.wal.writer import LOG_NAME, checkpoint_files
+from repro.xmltree import Node
+
+from tests.wal.walutil import build_wal_engine, logical_state
+
+SCHEME = "V-CDBS-Containment"
+
+
+class TestCheckpointFilesTolerance:
+    def test_missing_directory_is_empty_not_an_error(self, tmp_path):
+        assert checkpoint_files(tmp_path / "never" / "created") == []
+
+    def test_directory_entry_matching_bundle_pattern_is_skipped(
+        self, tmp_path
+    ):
+        engine = build_wal_engine(SCHEME, tmp_path)
+        watermarks = [w for w, _ in checkpoint_files(tmp_path)]
+        (tmp_path / "ckpt-000099.labels").mkdir()
+        assert [w for w, _ in checkpoint_files(tmp_path)] == watermarks
+        del engine
+
+    def test_unparseable_names_are_skipped(self, tmp_path):
+        engine = build_wal_engine(SCHEME, tmp_path)
+        watermarks = [w for w, _ in checkpoint_files(tmp_path)]
+        (tmp_path / "ckpt-xyz.labels").write_bytes(b"junk")
+        (tmp_path / "notes.txt").write_bytes(b"junk")
+        assert [w for w, _ in checkpoint_files(tmp_path)] == watermarks
+        del engine
+
+
+class TestReopenEdgeStates:
+    def test_open_on_missing_directory_creates_it(self, tmp_path):
+        target = tmp_path / "brand" / "new" / "wal"
+        engine = build_wal_engine(SCHEME, target)
+        assert target.is_dir()
+        assert (target / LOG_NAME).exists()
+        assert [w for w, _ in checkpoint_files(target)] == [0]
+        del engine
+
+    def test_stray_tmp_files_swept_on_open(self, tmp_path):
+        engine = build_wal_engine(SCHEME, tmp_path)
+        engine.insert_child(
+            engine.labeled.document.root, Node.element("survivor")
+        )
+        state = logical_state(engine.labeled)
+        # A crash inside atomic_write_bytes leaves a .tmp sibling; it is
+        # never a valid artifact, so reopen must remove, not trip over it.
+        (tmp_path / "ckpt-000123.labels.tmp").write_bytes(b"half-written")
+        reopened = WalManager(tmp_path, engine.labeled)
+        assert not list(tmp_path.glob("*.tmp"))
+        assert reopened.next_lsn == engine.wal.next_lsn
+        report = recover(tmp_path)
+        assert logical_state(report.labeled) == state
+
+    def test_tmp_directory_is_left_alone_but_harmless(self, tmp_path):
+        engine = build_wal_engine(SCHEME, tmp_path)
+        (tmp_path / "weird.tmp").mkdir()
+        reopened = WalManager(tmp_path, engine.labeled)
+        assert (tmp_path / "weird.tmp").is_dir()
+        assert reopened.next_lsn == engine.wal.next_lsn
+
+    def test_reopen_with_impostor_bundle_entries(self, tmp_path):
+        engine = build_wal_engine(SCHEME, tmp_path)
+        engine.insert_child(engine.labeled.document.root, Node.element("x"))
+        state = logical_state(engine.labeled)
+        (tmp_path / "ckpt-999999.labels").mkdir()
+        report = recover(tmp_path)
+        assert logical_state(report.labeled) == state
+
+
+@pytest.mark.parametrize("junk", ["ckpt-.labels", "ckpt--12.labels"])
+def test_malformed_watermarks_do_not_break_the_scan(tmp_path, junk):
+    engine = build_wal_engine(SCHEME, tmp_path)
+    (tmp_path / junk).write_bytes(b"")
+    assert [w for w, _ in checkpoint_files(tmp_path)] == [0]
+    del engine

@@ -1,0 +1,141 @@
+"""Group commit at the WAL layer: batch protocol, receipts, crash loss."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulatedCrash
+from repro.faults import FAULTS, FaultPlan
+from repro.obs import OBS
+from repro.wal import WalError, decode_frames, recover
+from repro.wal.writer import LOG_NAME
+from repro.xmltree import Node
+
+from tests.wal.walutil import build_wal_engine, logical_state
+
+SCHEME = "V-CDBS-Containment"
+
+
+@pytest.fixture(autouse=True)
+def clean_slate():
+    OBS.reset()
+    OBS.enabled = False
+    yield
+    FAULTS.disarm()
+    OBS.reset()
+    OBS.enabled = False
+
+
+def log_bytes(engine):
+    return (engine.wal.directory / LOG_NAME).read_bytes()
+
+
+def insert(engine, tag="x"):
+    return engine.insert_child(engine.labeled.document.root, Node.element(tag))
+
+
+class TestBatchProtocol:
+    def test_commits_stay_volatile_until_end_batch(self, tmp_path):
+        engine = build_wal_engine(SCHEME, tmp_path)
+        wal = engine.wal
+        wal.begin_batch()
+        assert wal.in_batch
+        insert(engine, "a")
+        insert(engine, "b")
+        # Nothing on disk yet: the frames sit in the volatile buffer.
+        assert log_bytes(engine) == b""
+        receipt = wal.end_batch()
+        assert not wal.in_batch
+        assert receipt.commits == 2
+        assert receipt.charges["wal.fsyncs"] == 1
+        assert receipt.charges["wal.batch_commits"] == 2
+        assert (receipt.first_lsn, receipt.last_lsn) == (1, 2)
+        records = decode_frames(log_bytes(engine))
+        assert [record.lsn for record in records] == [1, 2]
+
+    def test_batched_commit_receipts_carry_no_fsync_charge(self, tmp_path):
+        engine = build_wal_engine(SCHEME, tmp_path)
+        wal = engine.wal
+        receipt_outside = wal.commit("probe", [{"kind": "noop"}])
+        assert receipt_outside.charges["wal.fsyncs"] == 1
+        wal.begin_batch()
+        receipt_inside = wal.commit("probe", [{"kind": "noop"}])
+        assert "wal.fsyncs" not in receipt_inside.charges
+        assert receipt_inside.io_seconds == 0.0
+        wal.end_batch()
+
+    def test_empty_batch_skips_the_fsync(self, tmp_path):
+        engine = build_wal_engine(SCHEME, tmp_path)
+        wal = engine.wal
+        wal.begin_batch()
+        assert wal.end_batch() is None
+
+    def test_nested_begin_batch_rejected(self, tmp_path):
+        engine = build_wal_engine(SCHEME, tmp_path)
+        engine.wal.begin_batch()
+        with pytest.raises(WalError, match="already open"):
+            engine.wal.begin_batch()
+
+    def test_end_batch_without_begin_rejected(self, tmp_path):
+        engine = build_wal_engine(SCHEME, tmp_path)
+        with pytest.raises(WalError, match="no commit batch"):
+            engine.wal.end_batch()
+
+    def test_checkpoint_inside_open_batch_rejected(self, tmp_path):
+        engine = build_wal_engine(SCHEME, tmp_path)
+        engine.wal.begin_batch()
+        insert(engine)
+        # A bundle here would cover records that are still volatile.
+        with pytest.raises(WalError, match="open commit batch"):
+            engine.wal.checkpoint()
+        engine.wal.abandon_batch()
+
+    def test_abandon_batch_flushes_nothing(self, tmp_path):
+        engine = build_wal_engine(SCHEME, tmp_path)
+        before = logical_state(engine.labeled)
+        engine.wal.begin_batch()
+        insert(engine, "doomed")
+        engine.wal.abandon_batch()
+        assert not engine.wal.in_batch
+        assert log_bytes(engine) == b""
+        # Recovery sees only the pre-batch state: the abandoned records
+        # were never durable (and never acknowledged).
+        report = recover(tmp_path)
+        assert logical_state(report.labeled) == before
+
+    def test_abandon_without_batch_is_a_noop(self, tmp_path):
+        engine = build_wal_engine(SCHEME, tmp_path)
+        engine.wal.abandon_batch()
+        assert not engine.wal.in_batch
+
+
+class TestCrashMidBatch:
+    def test_crash_at_batch_fsync_loses_the_whole_batch(self, tmp_path):
+        engine = build_wal_engine(SCHEME, tmp_path)
+        insert(engine, "acked")
+        acked = logical_state(engine.labeled)
+        engine.wal.begin_batch()
+        insert(engine, "staged1")
+        insert(engine, "staged2")
+        with FAULTS.armed(FaultPlan.crash("wal.fsync", at=1)):
+            with pytest.raises(SimulatedCrash):
+                engine.wal.end_batch()
+        # The contract: no commit of the batch was acked, so losing all
+        # of them is allowed — and the previously acked commit survives.
+        report = recover(tmp_path)
+        assert logical_state(report.labeled) == acked
+
+    def test_crash_mid_batch_append_loses_earlier_batch_commits(
+        self, tmp_path
+    ):
+        engine = build_wal_engine(SCHEME, tmp_path)
+        insert(engine, "acked")
+        acked = logical_state(engine.labeled)
+        engine.wal.begin_batch()
+        insert(engine, "staged")
+        with FAULTS.armed(FaultPlan.crash("wal.append", at=1)):
+            with pytest.raises(SimulatedCrash):
+                insert(engine, "crashing")
+        engine.wal.abandon_batch()
+        report = recover(tmp_path)
+        assert logical_state(report.labeled) == acked
