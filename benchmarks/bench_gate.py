@@ -9,6 +9,13 @@ Compares a fresh ``bench_update_hotpath.py`` run against the checked-in
 * **ledger counters** — the obs pass is seeded and deterministic, so
   every counter must match **exactly**.  A counter drift means the
   algorithm did different work, not that the machine was slow.
+* **codec microbench** — per-operation medians of the raw packed-codec
+  hot loops (compare, middle assignment, batch encode, run insert),
+  calibration-normalized like the engine medians but held to a
+  *tighter*, one-sided envelope (+25 % by default; improvements never
+  fail).  These loops are pure codec work, so a silent fallback to a
+  per-bit path — 2-4x slower on every one of them — fails here even
+  when treap/pager time hides it from the engine-level medians.
 * **durability off stays free** — the smoke workload runs with
   ``durability="off"``, so *any* ``wal.*`` unit in its ledger totals is
   a leak (the WAL hooked itself into the default path) and fails the
@@ -37,6 +44,17 @@ import sys
 from pathlib import Path
 
 DEFAULT_TOLERANCE = 0.30
+# Tighter envelope for the pure-codec loops: no engine noise to hide
+# behind, and the cheapest slow-path fallback costs ~2x.
+CODEC_TOLERANCE = 0.25
+# The gated microbench metrics; ``run_insert_sequential`` is the slow
+# reference denominator, so its drift is deliberately not gated.
+CODEC_METRICS = (
+    "compare_median_seconds",
+    "assign_middle_median_seconds",
+    "encode_run_median_seconds",
+    "run_insert_batch_median_seconds",
+)
 BASELINE_PATH = Path(__file__).parent / "baseline_smoke.json"
 
 OK = "ok"
@@ -62,6 +80,7 @@ def load_entries(payload: dict) -> dict:
         entries[f"{config['scheme']}@{config['n']}"] = entry
     return {
         "calibration_seconds": payload.get("calibration_seconds"),
+        "codec_microbench": payload.get("codec_microbench"),
         "entries": entries,
     }
 
@@ -133,6 +152,74 @@ def compare(
     return rows, ok
 
 
+def compare_microbench(
+    current: dict, baseline: dict, tolerance: float = CODEC_TOLERANCE
+) -> tuple[list[tuple[str, str, str, str, str, str]], bool]:
+    """Gate the codec microbench medians against the baseline.
+
+    Same calibration normalization as :func:`compare`, a tighter
+    one-sided tolerance (only slowdowns fail), and a hard shape check:
+    the batch/run sizes must match or the per-operation numbers are not
+    comparable at all.
+    """
+    rows = []
+    ok = True
+    base_micro = baseline.get("codec_microbench")
+    cur_micro = current.get("codec_microbench")
+    if not base_micro:
+        return rows, ok  # pre-microbench baseline: nothing to hold to
+    if not cur_micro:
+        return [("codec", "(microbench)", "present", "MISSING", "", FAIL)], False
+    cur_cal = current.get("calibration_seconds")
+    base_cal = baseline.get("calibration_seconds")
+    for shape_key in ("batch_size", "run_size"):
+        base_shape = base_micro.get(shape_key)
+        cur_shape = cur_micro.get(shape_key)
+        if base_shape != cur_shape:
+            rows.append(
+                (
+                    "codec",
+                    shape_key,
+                    str(base_shape),
+                    str(cur_shape),
+                    "mismatch",
+                    FAIL,
+                )
+            )
+            ok = False
+    if not ok:
+        return rows, ok
+    for metric in CODEC_METRICS:
+        base_value = base_micro.get(metric)
+        cur_value = cur_micro.get(metric)
+        if base_value is None:
+            continue
+        if cur_value is None:
+            rows.append(("codec", metric, "present", "MISSING", "", FAIL))
+            ok = False
+            continue
+        if cur_cal and base_cal:
+            ratio = (cur_value / cur_cal) / (base_value / base_cal)
+        else:
+            ratio = cur_value / base_value
+        delta = f"{(ratio - 1) * 100:+.1f}%"
+        # One-sided: a fallback to a per-bit slow path only ever makes
+        # these *slower*, so getting faster never fails the gate.
+        status = OK if ratio - 1.0 <= tolerance else FAIL
+        rows.append(
+            (
+                "codec",
+                metric,
+                f"{base_value * 1e9:.0f}ns",
+                f"{cur_value * 1e9:.0f}ns",
+                delta,
+                status,
+            )
+        )
+        ok = ok and status == OK
+    return rows, ok
+
+
 def print_table(rows) -> None:
     headers = ("config", "metric", "baseline", "current", "delta", "")
     table = [headers, *rows]
@@ -155,6 +242,13 @@ def main(argv=None) -> int:
         type=float,
         default=DEFAULT_TOLERANCE,
         help="relative time tolerance (default 0.30 = +/-30%%)",
+    )
+    parser.add_argument(
+        "--codec-tolerance",
+        type=float,
+        default=CODEC_TOLERANCE,
+        help="relative tolerance for the codec microbench medians "
+        "(default 0.25 = +/-25%%)",
     )
     parser.add_argument(
         "--update",
@@ -194,6 +288,11 @@ def main(argv=None) -> int:
         print(f"error: cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
         return 2
     rows, ok = compare(current, baseline, args.tolerance)
+    micro_rows, micro_ok = compare_microbench(
+        current, baseline, args.codec_tolerance
+    )
+    rows += micro_rows
+    ok = ok and micro_ok
     print_table(rows)
     if not ok:
         print(

@@ -26,8 +26,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
 import statistics
+import subprocess
+import sys
 import tempfile
 import time
 from pathlib import Path
@@ -231,7 +234,131 @@ def _run_workload(
             kind: statistics.fmean(times) if times else None
             for kind, times in per_kind.items()
         },
+        "per_kind_median_seconds": {
+            kind: statistics.median(times) if times else None
+            for kind, times in per_kind.items()
+        },
     }
+
+
+def _codec_microbench(repeats: int = 7, run_size: int = 4096):
+    """Per-operation medians of the raw codec hot loops.
+
+    Timed in-process on the packed codec (whatever implementation the
+    ``REPRO_BITSTRING_IMPL`` switch selected), best-of-``repeats`` per
+    batch then divided by the batch size.  The CI gate compares these
+    against the baseline so a silent fallback to a per-bit path — which
+    is 4-8x slower on every one of these — fails the build even when
+    the engine-level medians hide it behind treap/pager time.
+
+    The two ``run_insert_*`` metrics time a run insert of ``run_size``
+    codes into one gap — the workload behind bulk load,
+    ``insert_run_before`` and the V-CDBS relabel fallback.  *Batch* is
+    the production path (``VCDBSCodec.between_run`` on the packed
+    kernel); *sequential* is the pre-packed-codec path kept as the
+    generic :meth:`IntervalCodec.between_run` fallback — one
+    ``codec.between`` call per code, with per-code endpoint validation
+    and ledger charges.  Their ratio, taken across the packed and
+    reference processes, is the PR's headline insert speedup.
+    """
+    from repro.core import bitstring as bitstring_mod
+    from repro.core.middle import assign_middle_binary_string
+    from repro.labeling.codecs import IntervalCodec, VCDBSCodec
+
+    codes = bitstring_mod.encode_run(4096)
+    probe = codes[len(codes) // 2]
+
+    def best(fn, count=repeats):
+        times = []
+        for _ in range(count):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    def compare_batch():
+        bitstring_mod.compare_many(codes, probe)
+
+    pairs = list(zip(codes[:-1], codes[1:]))
+
+    def assign_batch():
+        for left, right in pairs:
+            assign_middle_binary_string(left, right)
+
+    def encode_batch():
+        bitstring_mod.encode_run(4096)
+
+    codec = VCDBSCodec()
+
+    def run_insert_batch():
+        codec.between_run(None, None, run_size)
+
+    def run_insert_sequential():
+        IntervalCodec.between_run(codec, None, None, run_size)
+
+    # The sequential chain costs ~5-9 us/code, so cap its repeats to
+    # keep the microbench under a few seconds at run_size=100k.
+    run_repeats = max(3, min(repeats, 3_000_000 // max(run_size, 1)))
+    return {
+        "batch_size": 4096,
+        "run_size": run_size,
+        "compare_median_seconds": best(compare_batch) / len(codes),
+        "assign_middle_median_seconds": best(assign_batch) / len(pairs),
+        "encode_run_median_seconds": best(encode_batch) / 4096,
+        "run_insert_batch_median_seconds": best(run_insert_batch, run_repeats)
+        / run_size,
+        "run_insert_sequential_median_seconds": best(
+            run_insert_sequential, run_repeats
+        )
+        / run_size,
+    }
+
+
+def _refcodec_configs(sizes, ops, schemes):
+    """Re-run the timed workloads with the per-bit reference codec.
+
+    The reference implementation is selected at import time
+    (``REPRO_BITSTRING_IMPL=ref``), so the run happens in a fresh
+    subprocess: monkeypatching cannot reach the ``from ... import
+    BitString`` bindings every module already holds.  The subprocess
+    executes this same script with identical seeds/ops and its configs
+    are re-tagged ``mode="refcodec"`` — the pre-packed-codec baseline
+    the ≥5x insert-speedup acceptance bar compares against.
+
+    Returns ``(configs, codec_microbench)`` where the microbench dict
+    carries the reference process's per-operation medians.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-refcodec-") as tmp:
+        out = Path(tmp) / "ref.json"
+        env = dict(os.environ)
+        env["REPRO_BITSTRING_IMPL"] = "ref"
+        subprocess.run(
+            [
+                sys.executable,
+                __file__,
+                "--sizes",
+                ",".join(str(size) for size in sizes),
+                "--ops",
+                str(ops),
+                "--schemes",
+                ",".join(schemes),
+                "--no-legacy",
+                "--no-obs",
+                "--no-durability",
+                "--no-refcodec",
+                "--out",
+                str(out),
+            ],
+            env=env,
+            check=True,
+            stdout=subprocess.DEVNULL,
+        )
+        payload = json.loads(out.read_text())
+    configs = []
+    for config in payload["configs"]:
+        config["mode"] = "refcodec"
+        configs.append(config)
+    return configs, payload.get("codec_microbench")
 
 
 def _durability_probe(scheme_name: str, size: int, ops: int = 40, seed: int = 7):
@@ -288,6 +415,7 @@ def run_bench(
     with_legacy: bool = True,
     with_obs: bool = True,
     with_durability: bool = True,
+    with_refcodec: bool = False,
 ):
     configs = []
     for scheme_name in schemes:
@@ -308,6 +436,15 @@ def run_bench(
                 configs.append(
                     _run_workload(scheme_name, size, legacy_ops, legacy=True)
                 )
+    ref_microbench = None
+    if with_refcodec:
+        # One subprocess covers every (scheme, largest size) cell: the
+        # per-bit codec is the slow path being measured, so the sweep is
+        # restricted to the size the acceptance bar quotes.
+        ref_configs, ref_microbench = _refcodec_configs(
+            (max(sizes),), ops, schemes
+        )
+        configs.extend(ref_configs)
 
     def _stat(scheme_name, size, mode, key):
         for config in configs:
@@ -346,15 +483,55 @@ def run_bench(
             entry[f"{stat}_speedup_vs_legacy_at_{largest}"] = (
                 legacy_large / large if large and legacy_large else None
             )
+        if with_refcodec:
+            # Sanity cross-check, NOT the headline: single-node insert
+            # latency through the whole engine is treap/pager-dominated,
+            # so this ratio hovers near 1 even though the codec itself
+            # got much faster.  It guards against the packed codec
+            # *regressing* the end-to-end path.
+            packed_kinds = _stat(
+                scheme_name, largest, "optimized", "per_kind_median_seconds"
+            )
+            ref_kinds = _stat(
+                scheme_name, largest, "refcodec", "per_kind_median_seconds"
+            )
+            packed_insert = (packed_kinds or {}).get("insert")
+            ref_insert = (ref_kinds or {}).get("insert")
+            entry[f"end_to_end_insert_ratio_vs_refcodec_at_{largest}"] = (
+                ref_insert / packed_insert
+                if packed_insert and ref_insert
+                else None
+            )
         summary[scheme_name] = entry
+    codec_microbench = _codec_microbench(run_size=largest)
+    if with_refcodec and ref_microbench:
+        # The headline of the packed-codec rewrite: median per-code
+        # insert latency for a run insert at the largest size — the new
+        # packed batch kernel against the pre-PR path (a sequential
+        # ``codec.between`` chain on the per-bit reference codec).
+        packed_insert = codec_microbench["run_insert_batch_median_seconds"]
+        ref_insert = ref_microbench.get("run_insert_sequential_median_seconds")
+        summary["codec_run_insert"] = {
+            "run_size": largest,
+            "packed_batch_seconds_per_code": packed_insert,
+            "refcodec_sequential_seconds_per_code": ref_insert,
+            f"median_insert_speedup_vs_refcodec_at_{largest}": (
+                ref_insert / packed_insert
+                if packed_insert and ref_insert
+                else None
+            ),
+        }
     results = {
         "benchmark": "update_hotpath",
         "sizes": list(sizes),
         "schemes": list(schemes),
         "calibration_seconds": _calibration_seconds(),
+        "codec_microbench": codec_microbench,
         "configs": configs,
         "summary": summary,
     }
+    if ref_microbench:
+        results["refcodec_microbench"] = ref_microbench
     if durability:
         results["durability"] = durability
     return results
@@ -391,11 +568,28 @@ def main(argv=None) -> int:
         help="skip the WAL durable-footprint probe",
     )
     parser.add_argument(
+        "--refcodec",
+        dest="refcodec",
+        action="store_true",
+        default=None,
+        help="also run the per-bit reference-codec subprocess pass "
+        "(default: on for full sweeps, off for single-size smokes)",
+    )
+    parser.add_argument(
+        "--no-refcodec",
+        dest="refcodec",
+        action="store_false",
+        help="skip the reference-codec subprocess pass",
+    )
+    parser.add_argument(
         "--out", default="BENCH_updates.json", help="output JSON path"
     )
     args = parser.parse_args(argv)
     sizes = tuple(int(s) for s in args.sizes.split(",") if s)
     schemes = tuple(s for s in args.schemes.split(",") if s)
+    with_refcodec = (
+        len(sizes) > 1 if args.refcodec is None else args.refcodec
+    )
     started = time.perf_counter()
     results = run_bench(
         sizes,
@@ -404,6 +598,7 @@ def main(argv=None) -> int:
         with_legacy=not args.no_legacy,
         with_obs=not args.no_obs,
         with_durability=not args.no_durability,
+        with_refcodec=with_refcodec,
     )
     results["wall_seconds"] = round(time.perf_counter() - started, 2)
     Path(args.out).write_text(json.dumps(results, indent=2) + "\n")

@@ -135,9 +135,14 @@ LAYERS: dict[str, frozenset[str] | str] = {
 }
 
 
-#: Modules allowed to manipulate raw '0'/'1' text (RPR001).  Everything
-#: else must go through :class:`repro.core.bitstring.BitString`.
-RAW_BITS_ALLOWED_MODULES = frozenset({"repro.core.bitstring"})
+#: Modules allowed to manipulate raw '0'/'1' text and packed
+#: ``(value, length)`` payloads (RPR001).  Everything else must go
+#: through :class:`repro.core.bitstring.BitString`.  The per-bit
+#: differential oracle is codec core too — it *is* an alternative
+#: BitString implementation.
+RAW_BITS_ALLOWED_MODULES = frozenset(
+    {"repro.core.bitstring", "repro.core.bitstring_ref"}
+)
 
 #: Modules allowed to order labels via raw str()/tuple()/to01() casts
 #: (RPR002).  Empty: the comparators are the only sanctioned order.

@@ -18,6 +18,18 @@ Flagged patterns (outside :data:`~repro.analysis.layers.RAW_BITS_ALLOWED_MODULES
 * ``bin(x)`` — rendering binary text directly;
 * ``something.to01()[...]`` — manual slicing of a rendered code.
 
+Since the packed rewrite, a ``BitString`` *is* a ``(value, length)``
+integer pair, so raw-bit manipulation has an int-flavoured twin: code
+outside the codec core poking the packed payload directly.  Also
+flagged:
+
+* ``code._value`` / ``code._length`` — reading the private payload of a
+  non-``self`` receiver (``self._value`` inside one's own class, e.g.
+  the storage layer's ``BitWriter``, is fine — that's its own state);
+* ``code.value << n`` / ``n >> code.value`` — shift arithmetic on a
+  ``.value`` payload read, which re-implements packed-code alignment by
+  hand (a plain ``.value`` read is public API and stays allowed).
+
 Suppress a deliberate use with ``# repro: allow-raw-bits`` plus a
 justification (e.g. the Binary-String prefix scheme, whose *labels* are
 raw character strings by definition).
@@ -61,6 +73,23 @@ def _is_to01_call(node: ast.AST) -> bool:
         and isinstance(node.func, ast.Attribute)
         and node.func.attr == "to01"
     )
+
+
+def _is_self_receiver(node: ast.AST) -> bool:
+    return isinstance(node, ast.Name) and node.id in {"self", "cls"}
+
+
+def _is_payload_read(node: ast.AST, attrs: frozenset[str]) -> bool:
+    """An ``<expr>.<attr>`` read of a packed payload on a foreign object."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr in attrs
+        and not _is_self_receiver(node.value)
+    )
+
+
+_PRIVATE_PAYLOAD_ATTRS = frozenset({"_value", "_length"})
+_SHIFTED_PAYLOAD_ATTRS = frozenset({"value", "_value"})
 
 
 def _format_spec_is_binary(spec: ast.AST | None) -> bool:
@@ -143,4 +172,23 @@ class RawBitsRule(Rule):
                 "slice the BitString itself (it supports [] and "
                 "is_prefix_of)"
             )
+        if _is_payload_read(node, _PRIVATE_PAYLOAD_ATTRS):
+            return (
+                "reading a BitString's packed payload (._value/._length) "
+                "outside the codec core; use the public API (len(), "
+                ".value, .bitstring_key, slicing) so the packed "
+                "representation stays encapsulated"
+            )
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.LShift, ast.RShift)
+        ):
+            if _is_payload_read(
+                node.left, _SHIFTED_PAYLOAD_ATTRS
+            ) or _is_payload_read(node.right, _SHIFTED_PAYLOAD_ATTRS):
+                return (
+                    "shift arithmetic on a .value payload read "
+                    "re-implements packed-code alignment by hand; use "
+                    "BitString operations (pad_right, slicing, "
+                    "compare_many) instead"
+                )
         return None

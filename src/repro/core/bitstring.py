@@ -1,36 +1,78 @@
-"""Immutable binary strings with the paper's lexicographical order.
+"""Packed binary strings with the paper's lexicographical order.
 
 Definition 3.1 of the paper orders binary strings *lexicographically*:
 comparison runs bit by bit from the left; if one string runs out while
 matching the other, the shorter (the prefix) is the smaller.  This is the
 order under which CDBS codes stay sorted across arbitrary insertions.
 
-A :class:`BitString` stores its bits as ``(value, length)`` — an unsigned
-integer whose binary expansion, left-padded with zeros to ``length`` bits,
-is the bit sequence.  This makes concatenation, comparison and slicing
-O(1)-ish big-int operations instead of per-character work, which matters
-when labeling documents with hundreds of thousands of nodes.
+A :class:`BitString` stores its bits *packed*: ``(value, length)`` — an
+unsigned machine integer whose binary expansion, left-padded with zeros
+to ``length`` bits, is the bit sequence.  Leading zeros are significant
+(``0`` and ``00`` are different labels), which is why the explicit
+``length`` travels with the payload and participates in equality and
+hashing.  Packing is what makes every codec operation word arithmetic:
 
-The comparison trick: right-pad both strings with zeros to a common
-length and compare the padded integers; on a tie the shorter operand is a
-prefix of the longer and therefore smaller.  Right-padding with zeros is
-order-preserving because a longer string that continues with ``1`` after
-the common prefix compares greater either way.
+* **ordering** is one aligned integer compare — left-shift the shorter
+  payload so both read as the same width, compare, and break ties by
+  length (the shorter operand is then a proper prefix, hence smaller;
+  right-padding with zeros is order-preserving because a longer string
+  that continues with ``1`` after the common prefix compares greater
+  either way);
+* **concatenation** is a shift and an or;
+* **slicing** is a shift and a mask.
+
+The module also hosts the *batch kernels* — :func:`encode_run` (all N
+middle codes of one Algorithm 2 bisection in a single pass over raw
+``(value, length)`` pairs, no per-node object churn) and
+:func:`compare_many` — because raw packed-int manipulation is confined
+to ``repro.core.bitstring*`` by rule RPR001 (docs/STATIC_ANALYSIS.md).
+Everything outside goes through the public API.
+
+:mod:`repro.core.bitstring_ref` keeps the per-bit reference
+implementation of this exact contract as a differential oracle; setting
+``REPRO_BITSTRING_IMPL=ref`` in the environment swaps it in
+process-wide (the benchmark's ``refcodec`` mode and the
+``codec-differential`` CI lane).
 """
 
 from __future__ import annotations
 
-from functools import total_ordering
+import os
 from typing import Iterator
 
-__all__ = ["BitString", "EMPTY"]
+from repro.errors import (
+    InvalidCodeError,
+    LengthFieldOverflow,
+    NotOrderedError,
+)
+from repro.faults import FAULTS
+from repro.obs import OBS
+
+__all__ = ["BitString", "EMPTY", "encode_run", "compare_many"]
 
 
-@total_ordering
+def _reject_str_ordering(other: str) -> None:
+    # Concatenation (__add__) coerces '0'/'1' text for convenience, but
+    # ordering deliberately does not: a silent coercion would let
+    # ``code < "0110"`` typo paths compare under Definition 3.1 while
+    # ``==`` (and hashing) still treat the operands as distinct types.
+    raise TypeError(
+        f"ordering not supported between BitString and str: wrap the "
+        f"text with BitString.from_str({other!r:.32}) — only "
+        f"concatenation (+) accepts raw '0'/'1' text"
+    )
+
+
 class BitString:
-    """An immutable sequence of bits, ordered per Definition 3.1."""
+    """An immutable packed sequence of bits, ordered per Definition 3.1."""
 
     __slots__ = ("_value", "_length", "_text")
+
+    #: Cross-implementation marker: equality and hashing agree with any
+    #: object exposing the same ``bitstring_key`` protocol (the per-bit
+    #: reference codec), so packed and reference forms of one bit
+    #: pattern are ``==`` and co-hash.
+    is_bitstring_like = True
 
     def __init__(self, value: int = 0, length: int = 0) -> None:
         if length < 0:
@@ -45,6 +87,19 @@ class BitString:
         self._length = length
         self._text: str | None = None
 
+    @classmethod
+    def _new(cls, value: int, length: int) -> "BitString":
+        """Internal unvalidated constructor for the hot paths.
+
+        Callers guarantee ``0 <= value < 2**length``; every public
+        constructor and operator validates before reaching here.
+        """
+        fresh = object.__new__(cls)
+        fresh._value = value
+        fresh._length = length
+        fresh._text = None
+        return fresh
+
     # -- constructors ----------------------------------------------------
 
     @classmethod
@@ -52,7 +107,7 @@ class BitString:
         """Build from a string of ``'0'``/``'1'`` characters."""
         if bits and set(bits) - {"0", "1"}:
             raise ValueError(f"not a binary string: {bits!r}")
-        return cls(int(bits, 2) if bits else 0, len(bits))
+        return cls._new(int(bits, 2) if bits else 0, len(bits))
 
     @classmethod
     def from_bits(cls, bits: Iterator[int]) -> "BitString":
@@ -64,7 +119,7 @@ class BitString:
                 raise ValueError(f"not a bit: {bit!r}")
             value = (value << 1) | bit
             length += 1
-        return cls(value, length)
+        return cls._new(value, length)
 
     @classmethod
     def from_int_binary(cls, number: int) -> "BitString":
@@ -75,7 +130,7 @@ class BitString:
         """
         if number < 1:
             raise ValueError(f"V-Binary encodes positive integers, got {number}")
-        return cls(number, number.bit_length())
+        return cls._new(number, number.bit_length())
 
     # -- basic protocol --------------------------------------------------
 
@@ -98,48 +153,136 @@ class BitString:
                 return EMPTY
             width = stop - start
             shifted = self._value >> (self._length - stop)
-            return BitString(shifted & ((1 << width) - 1), width)
+            return BitString._new(shifted & ((1 << width) - 1), width)
         if index < 0:
             index += self._length
         if not 0 <= index < self._length:
             raise IndexError("bit index out of range")
         return (self._value >> (self._length - 1 - index)) & 1
 
+    @property
+    def bitstring_key(self) -> tuple[int, int]:
+        """``(value, length)`` — the canonical identity of a bit pattern.
+
+        Shared with the reference codec: both implementations hash and
+        compare this key, keeping packed and per-bit renderings of the
+        same pattern equal and co-hashing while leading zeros stay
+        significant (``(0, 1)`` for ``0`` vs ``(0, 2)`` for ``00``).
+        """
+        return (self._value, self._length)
+
     def __hash__(self) -> int:
         return hash((self._value, self._length))
 
     def __eq__(self, other: object) -> bool:
-        if not isinstance(other, BitString):
-            return NotImplemented
-        return self._value == other._value and self._length == other._length
+        if isinstance(other, BitString):
+            return (
+                self._value == other._value and self._length == other._length
+            )
+        if getattr(other, "is_bitstring_like", False):
+            return (self._value, self._length) == other.bitstring_key
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    # Ordering is implemented directly (no functools.total_ordering):
+    # the derived operators would route every >=/<= through two calls,
+    # and these comparisons are the innermost loop of every label
+    # operation, so the right-pad alignment is inlined in each operator
+    # rather than shared through a helper call.  Raw text raises the
+    # loud ``from_str`` TypeError in both operand orders — str's own
+    # comparison yields NotImplemented, so Python falls back to the
+    # reflected slot on this class.
 
     def __lt__(self, other: "BitString") -> bool:
-        if isinstance(other, str):
-            # Concatenation (__add__) coerces '0'/'1' text for
-            # convenience, but ordering deliberately does not: a silent
-            # coercion here would let ``code < "0110"`` typo paths
-            # compare under Definition 3.1 while ``==`` (and hashing)
-            # still treat the operands as distinct types.  Without this
-            # guard @total_ordering surfaces only an opaque TypeError.
-            raise TypeError(
-                f"'<' not supported between BitString and str: wrap the "
-                f"text with BitString.from_str({other!r:.32}) — only "
-                f"concatenation (+) accepts raw '0'/'1' text"
-            )
-        if not isinstance(other, BitString):
+        if isinstance(other, BitString):
+            their_value = other._value
+            their_length = other._length
+        elif isinstance(other, str):
+            _reject_str_ordering(other)
+        elif getattr(other, "is_bitstring_like", False):
+            their_value, their_length = other.bitstring_key
+        else:
             return NotImplemented
-        width = max(self._length, other._length)
-        mine = self._value << (width - self._length)
-        theirs = other._value << (width - other._length)
-        if mine != theirs:
-            return mine < theirs
-        return self._length < other._length
+        my_value = self._value
+        my_length = self._length
+        if my_length < their_length:
+            my_value <<= their_length - my_length
+        elif their_length < my_length:
+            their_value <<= my_length - their_length
+        if my_value != their_value:
+            return my_value < their_value
+        return my_length < their_length
+
+    def __le__(self, other: "BitString") -> bool:
+        if isinstance(other, BitString):
+            their_value = other._value
+            their_length = other._length
+        elif isinstance(other, str):
+            _reject_str_ordering(other)
+        elif getattr(other, "is_bitstring_like", False):
+            their_value, their_length = other.bitstring_key
+        else:
+            return NotImplemented
+        my_value = self._value
+        my_length = self._length
+        if my_length < their_length:
+            my_value <<= their_length - my_length
+        elif their_length < my_length:
+            their_value <<= my_length - their_length
+        if my_value != their_value:
+            return my_value < their_value
+        return my_length <= their_length
+
+    def __gt__(self, other: "BitString") -> bool:
+        if isinstance(other, BitString):
+            their_value = other._value
+            their_length = other._length
+        elif isinstance(other, str):
+            _reject_str_ordering(other)
+        elif getattr(other, "is_bitstring_like", False):
+            their_value, their_length = other.bitstring_key
+        else:
+            return NotImplemented
+        my_value = self._value
+        my_length = self._length
+        if my_length < their_length:
+            my_value <<= their_length - my_length
+        elif their_length < my_length:
+            their_value <<= my_length - their_length
+        if my_value != their_value:
+            return my_value > their_value
+        return my_length > their_length
+
+    def __ge__(self, other: "BitString") -> bool:
+        if isinstance(other, BitString):
+            their_value = other._value
+            their_length = other._length
+        elif isinstance(other, str):
+            _reject_str_ordering(other)
+        elif getattr(other, "is_bitstring_like", False):
+            their_value, their_length = other.bitstring_key
+        else:
+            return NotImplemented
+        my_value = self._value
+        my_length = self._length
+        if my_length < their_length:
+            my_value <<= their_length - my_length
+        elif their_length < my_length:
+            their_value <<= my_length - their_length
+        if my_value != their_value:
+            return my_value > their_value
+        return my_length >= their_length
 
     def __add__(self, other: "BitString | str") -> "BitString":
         """Concatenation — the paper's ``⊕`` operator."""
         if isinstance(other, str):
             other = BitString.from_str(other)
-        return BitString(
+        return BitString._new(
             (self._value << other._length) | other._value,
             self._length + other._length,
         )
@@ -196,13 +339,13 @@ class BitString:
         """A new string with one extra trailing bit."""
         if bit not in (0, 1):
             raise ValueError(f"not a bit: {bit!r}")
-        return BitString((self._value << 1) | bit, self._length + 1)
+        return BitString._new((self._value << 1) | bit, self._length + 1)
 
     def drop_last(self) -> "BitString":
         """A new string with the final bit removed."""
         if self._length == 0:
             raise ValueError("cannot drop a bit from the empty string")
-        return BitString(self._value >> 1, self._length - 1)
+        return BitString._new(self._value >> 1, self._length - 1)
 
     def pad_right(self, width: int) -> "BitString":
         """Right-pad with ``0`` bits to ``width`` (the F-CDBS transform).
@@ -215,7 +358,7 @@ class BitString:
             raise ValueError(
                 f"cannot pad {self._length}-bit string down to {width} bits"
             )
-        return BitString(self._value << (width - self._length), width)
+        return BitString._new(self._value << (width - self._length), width)
 
     def pad_left(self, width: int) -> "BitString":
         """Left-pad with ``0`` bits to ``width`` (the F-Binary transform)."""
@@ -223,14 +366,14 @@ class BitString:
             raise ValueError(
                 f"cannot pad {self._length}-bit string down to {width} bits"
             )
-        return BitString(self._value, width)
+        return BitString._new(self._value, width)
 
     def strip_trailing_zeros(self) -> "BitString":
         """Remove all trailing ``0`` bits (inverse of :meth:`pad_right`)."""
         if self._value == 0:
             return EMPTY
         trailing = (self._value & -self._value).bit_length() - 1
-        return BitString(self._value >> trailing, self._length - trailing)
+        return BitString._new(self._value >> trailing, self._length - trailing)
 
     # -- storage ---------------------------------------------------------
 
@@ -250,3 +393,200 @@ class BitString:
 
 EMPTY = BitString(0, 0)
 """The empty binary string — the sentinel ``S_L``/``S_R`` of Algorithm 2."""
+
+
+# ---------------------------------------------------------------------------
+# Batch kernels
+# ---------------------------------------------------------------------------
+
+def _check_run_endpoint(code: "BitString", side: str) -> None:
+    if code and not code.ends_with_one():
+        raise InvalidCodeError(
+            f"{side} code {code.to01()!r} does not end with '1'; "
+            f"Example 3.3 of the paper shows insertion between such codes "
+            f"can be impossible"
+        )
+
+
+def encode_run(
+    count: int,
+    left: "BitString" = EMPTY,
+    right: "BitString" = EMPTY,
+    *,
+    max_code_bits: int | None = None,
+) -> "list[BitString]":
+    """``count`` ordered middle codes between two endpoints, in one pass.
+
+    This is Algorithm 2's balanced bisection (midpoint first, then
+    recurse into both halves) run entirely on raw ``(value, length)``
+    pairs: the two-case middle rule of Algorithm 1 —
+
+    * ``size(S_L) >= size(S_R)``: ``S_M = S_L ⊕ "1"`` is
+      ``((v_L << 1) | 1, len_L + 1)``;
+    * ``size(S_L) < size(S_R)``: the right code's final ``"1"`` becomes
+      ``"01"``, i.e. ``(((v_R >> 1) << 2) | 1, len_R + 1)``
+
+    — so minting N codes allocates N result objects and nothing else.
+    With both sentinels empty this *is* the bulk encoding of ``1..N``
+    (``vcdbs_encode``); with real endpoints it is the balanced gap
+    assignment behind ``insert_run_before`` and the codecs'
+    ``between_run``.
+
+    Cost-accounting parity with the sequential path is exact: per minted
+    code the ``middle.assign`` fault site is hit and the
+    ``middle.codes_assigned`` / ``middle.bits_generated`` ledger units
+    are charged, in the same bisection visit order, so ledger totals and
+    chaos-matrix fault schedules cannot tell the two paths apart.
+
+    Args:
+        count: how many codes to mint (>= 0).
+        left, right: gap endpoints; empty means unbounded on that side.
+            Non-empty endpoints must end with ``1`` and satisfy
+            ``left ≺ right``.
+        max_code_bits: when given, a minted code longer than this raises
+            :class:`~repro.errors.LengthFieldOverflow` at the first
+            offender in visit order — after its obs charge, exactly as
+            the sequential codec check would.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    _check_run_endpoint(left, "left")
+    _check_run_endpoint(right, "right")
+    if left and right and not left < right:
+        raise NotOrderedError(
+            f"left code {left.to01()!r} is not lexicographically smaller "
+            f"than right code {right.to01()!r}"
+        )
+    if count == 0:
+        return []
+    # Positions 0 and count+1 hold the endpoints (Algorithm 2's
+    # imaginary sentinels when empty); 1..count are minted.
+    values = [0] * (count + 2)
+    lengths = [0] * (count + 2)
+    values[0], lengths[0] = left.bitstring_key
+    values[-1], lengths[-1] = right.bitstring_key
+    faults_on = FAULTS.enabled
+    obs_on = OBS.enabled
+    new = BitString._new
+    codes: list[BitString | None] = [None] * count
+    stack: list[tuple[int, int]] = [(0, count + 1)]
+    while stack:
+        lo, hi = stack.pop()
+        if lo + 1 >= hi:
+            continue
+        if faults_on:
+            FAULTS.hit("middle.assign")
+        mid = (lo + hi + 1) // 2
+        lo_length = lengths[lo]
+        hi_length = lengths[hi]
+        if lo_length >= hi_length:
+            # Case (1): grow the left code by one trailing "1".
+            value = (values[lo] << 1) | 1
+            length = lo_length + 1
+        else:
+            # Case (2): the right code's final "1" becomes "01".
+            value = ((values[hi] >> 1) << 2) | 1
+            length = hi_length + 1
+        values[mid] = value
+        lengths[mid] = length
+        codes[mid - 1] = new(value, length)
+        if obs_on:
+            OBS.charge("middle.codes_assigned", 1)
+            OBS.charge("middle.bits_generated", length)
+        if max_code_bits is not None and length > max_code_bits:
+            raise LengthFieldOverflow(length, max_code_bits)
+        stack.append((lo, mid))
+        stack.append((mid, hi))
+    return codes
+
+
+def compare_many(keys, probe: "BitString") -> list[int]:
+    """Three-way compare every key against one probe: -1, 0 or +1 each.
+
+    The probe's payload is aligned once per key by shift alone — no
+    intermediate BitString objects — which is what a range scan over a
+    run of labels wants (all-smaller/all-larger partitions of a sorted
+    key block against one boundary code).
+    """
+    probe_value, probe_length = probe.bitstring_key
+    out = []
+    append = out.append
+    for key in keys:
+        key_value, key_length = key.bitstring_key
+        if key_length < probe_length:
+            mine = key_value << (probe_length - key_length)
+            theirs = probe_value
+        elif key_length > probe_length:
+            mine = key_value
+            theirs = probe_value << (key_length - probe_length)
+        else:
+            mine = key_value
+            theirs = probe_value
+        if mine < theirs:
+            append(-1)
+        elif mine > theirs:
+            append(1)
+        elif key_length < probe_length:
+            append(-1)
+        elif key_length > probe_length:
+            append(1)
+        else:
+            append(0)
+    return out
+
+
+if os.environ.get("REPRO_BITSTRING_IMPL") == "ref":
+    # Differential mode: the whole process runs on the per-bit reference
+    # codec (the benchmark's ``refcodec`` runs, and CI's full-suite
+    # cross-check).  Every ``from repro.core.bitstring import BitString``
+    # site then binds the oracle, since this executes at first import.
+    from repro.core import bitstring_ref as _ref
+
+    BitString = _ref.BitStringRef  # type: ignore[misc,assignment]  # noqa: F811
+    EMPTY = _ref.EMPTY_REF  # type: ignore[assignment]  # noqa: F811
+    compare_many = _ref.compare_many  # type: ignore[assignment]  # noqa: F811
+
+    def encode_run(  # type: ignore[misc]  # noqa: F811
+        count,
+        left=_ref.EMPTY_REF,
+        right=_ref.EMPTY_REF,
+        *,
+        max_code_bits=None,
+    ):
+        # Same bisection visit order and per-code accounting as the
+        # packed kernel, with the per-bit middle rule doing the minting.
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        _check_run_endpoint(left, "left")
+        _check_run_endpoint(right, "right")
+        if left and right and not left < right:
+            raise NotOrderedError(
+                f"left code {left.to01()!r} is not lexicographically "
+                f"smaller than right code {right.to01()!r}"
+            )
+        if count == 0:
+            return []
+        faults_on = FAULTS.enabled
+        obs_on = OBS.enabled
+        slots = [_ref.EMPTY_REF] * (count + 2)
+        slots[0] = left
+        slots[count + 1] = right
+        codes = [None] * count
+        stack = [(0, count + 1)]
+        while stack:
+            lo, hi = stack.pop()
+            if lo + 1 >= hi:
+                continue
+            if faults_on:
+                FAULTS.hit("middle.assign")
+            mid = (lo + hi + 1) // 2
+            slots[mid] = code = _ref._middle(slots[lo], slots[hi])
+            codes[mid - 1] = code
+            if obs_on:
+                OBS.charge("middle.codes_assigned", 1)
+                OBS.charge("middle.bits_generated", len(code))
+            if max_code_bits is not None and len(code) > max_code_bits:
+                raise LengthFieldOverflow(len(code), max_code_bits)
+            stack.append((lo, mid))
+            stack.append((mid, hi))
+        return codes

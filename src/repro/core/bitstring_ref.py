@@ -1,0 +1,316 @@
+"""The reference bit-string codec: per-bit, obviously correct, slow.
+
+This module is the *differential oracle* for :mod:`repro.core.bitstring`.
+Where the packed codec turns Definition 3.1's lexicographical order into
+one aligned machine-integer compare, :class:`BitStringRef` stores its
+bits as a tuple of ``0``/``1`` ints and implements every operation as
+the literal per-bit transcription of the paper's definitions:
+
+* comparison walks bit by bit from the left and falls back to "the
+  shorter (a proper prefix) is smaller" (Definition 3.1, verbatim);
+* concatenation is tuple concatenation;
+* slicing is tuple slicing;
+* ``encode_run`` is Algorithm 2's bisection calling the two-case middle
+  rule one code at a time.
+
+Nothing here is shared with the packed implementation — no int payloads,
+no shift/mask arithmetic — so agreement between the two codecs on random
+programs (``tests/core/test_codec_differential.py``, the
+``codec-differential`` CI lane) is evidence of correctness rather than
+of both calling the same kernel.  The reference is also what the update
+benchmark's ``refcodec`` mode swaps in process-wide
+(``REPRO_BITSTRING_IMPL=ref``) to measure what the packed rewrite buys.
+
+The public surface mirrors ``repro.core.bitstring`` exactly, including
+the PR-7 contract that ordering against ``str`` raises ``TypeError``
+while concatenation coerces, and the hashing rule that leading zeros are
+significant (``0`` and ``00`` are distinct labels with distinct hashes).
+Hashes and equality agree *across* the two implementations: both hash
+``(value, length)`` where ``value`` is the bits read as a big-endian
+unsigned integer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["BitStringRef", "EMPTY_REF", "encode_run", "compare_many"]
+
+
+class BitStringRef:
+    """Per-bit reference implementation of the ``BitString`` contract."""
+
+    __slots__ = ("_bits",)
+
+    #: Cross-implementation marker: the packed codec's ``__eq__`` accepts
+    #: any object exposing ``bitstring_key`` (see satellite regression
+    #: tests — packed and reference forms of one bit pattern must agree
+    #: under ``==`` and ``hash``).
+    is_bitstring_like = True
+
+    def __init__(self, value: int = 0, length: int = 0) -> None:
+        if length < 0:
+            raise ValueError(f"length must be non-negative, got {length}")
+        if value < 0:
+            raise ValueError(f"value must be non-negative, got {value}")
+        if value.bit_length() > length:
+            raise ValueError(f"value {value:#x} does not fit in {length} bits")
+        bits = []
+        for shift in range(length - 1, -1, -1):
+            bits.append((value >> shift) & 1)
+        self._bits = tuple(bits)
+
+    @classmethod
+    def _from_bits_tuple(cls, bits: tuple[int, ...]) -> "BitStringRef":
+        fresh = object.__new__(cls)
+        fresh._bits = bits
+        return fresh
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def from_str(cls, bits: str) -> "BitStringRef":
+        if bits and set(bits) - {"0", "1"}:
+            raise ValueError(f"not a binary string: {bits!r}")
+        return cls._from_bits_tuple(tuple(1 if c == "1" else 0 for c in bits))
+
+    @classmethod
+    def from_bits(cls, bits: Iterator[int]) -> "BitStringRef":
+        collected = []
+        for bit in bits:
+            if bit not in (0, 1):
+                raise ValueError(f"not a bit: {bit!r}")
+            collected.append(bit)
+        return cls._from_bits_tuple(tuple(collected))
+
+    @classmethod
+    def from_int_binary(cls, number: int) -> "BitStringRef":
+        if number < 1:
+            raise ValueError(f"V-Binary encodes positive integers, got {number}")
+        return cls(number, number.bit_length())
+
+    # -- basic protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def __bool__(self) -> bool:
+        return len(self._bits) > 0
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._bits)
+
+    def __getitem__(self, index: int | slice) -> "int | BitStringRef":
+        if isinstance(index, slice):
+            start, stop, step = index.indices(len(self._bits))
+            if step != 1:
+                raise ValueError("BitString slices must be contiguous")
+            return BitStringRef._from_bits_tuple(self._bits[start:stop])
+        return self._bits[index]
+
+    @property
+    def bitstring_key(self) -> tuple[int, int]:
+        """``(value, length)`` — the canonical identity of a bit pattern.
+
+        Leading zeros are significant: ``0`` has key ``(0, 1)``, ``00``
+        has ``(0, 2)``.  Both codecs hash and compare this key, which is
+        what keeps a packed and a reference rendering of one pattern
+        equal and co-hashing.
+        """
+        value = 0
+        for bit in self._bits:
+            value = (value << 1) | bit
+        return (value, len(self._bits))
+
+    @property
+    def value(self) -> int:
+        return self.bitstring_key[0]
+
+    def __hash__(self) -> int:
+        return hash(self.bitstring_key)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, BitStringRef):
+            return self._bits == other._bits
+        if getattr(other, "is_bitstring_like", False):
+            return self.bitstring_key == other.bitstring_key
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def _compare(self, other: "BitStringRef") -> int:
+        """Definition 3.1, bit by bit: -1, 0 or +1."""
+        if isinstance(other, str):
+            raise TypeError(
+                f"ordering not supported between BitString and str: wrap "
+                f"the text with BitString.from_str({other!r:.32}) — only "
+                f"concatenation (+) accepts raw '0'/'1' text"
+            )
+        if not getattr(other, "is_bitstring_like", False) and not isinstance(
+            other, BitStringRef
+        ):
+            return NotImplemented  # type: ignore[return-value]
+        mine = self._bits
+        theirs = tuple(iter(other))
+        for a, b in zip(mine, theirs):
+            if a < b:
+                return -1
+            if a > b:
+                return 1
+        if len(mine) == len(theirs):
+            return 0
+        # One ran out while matching the other: the prefix is smaller.
+        return -1 if len(mine) < len(theirs) else 1
+
+    def __lt__(self, other: "BitStringRef") -> bool:
+        decided = self._compare(other)
+        return NotImplemented if decided is NotImplemented else decided < 0
+
+    def __le__(self, other: "BitStringRef") -> bool:
+        decided = self._compare(other)
+        return NotImplemented if decided is NotImplemented else decided <= 0
+
+    def __gt__(self, other: "BitStringRef") -> bool:
+        decided = self._compare(other)
+        return NotImplemented if decided is NotImplemented else decided > 0
+
+    def __ge__(self, other: "BitStringRef") -> bool:
+        decided = self._compare(other)
+        return NotImplemented if decided is NotImplemented else decided >= 0
+
+    def __add__(self, other: "BitStringRef | str") -> "BitStringRef":
+        if isinstance(other, str):
+            other = BitStringRef.from_str(other)
+        return BitStringRef._from_bits_tuple(self._bits + tuple(iter(other)))
+
+    def __repr__(self) -> str:
+        return f"BitString({self.to01()!r})"
+
+    def __str__(self) -> str:
+        return self.to01()
+
+    # -- inspection ------------------------------------------------------
+
+    def to01(self) -> str:
+        return "".join("1" if bit else "0" for bit in self._bits)
+
+    def ends_with_one(self) -> bool:
+        return len(self._bits) > 0 and self._bits[-1] == 1
+
+    def is_prefix_of(self, other: "BitStringRef") -> bool:
+        theirs = tuple(iter(other))
+        if len(self._bits) > len(theirs):
+            return False
+        return theirs[: len(self._bits)] == self._bits
+
+    def common_prefix_length(self, other: "BitStringRef") -> int:
+        shared = 0
+        for a, b in zip(self._bits, tuple(iter(other))):
+            if a != b:
+                break
+            shared += 1
+        return shared
+
+    # -- derivation ------------------------------------------------------
+
+    def append_bit(self, bit: int) -> "BitStringRef":
+        if bit not in (0, 1):
+            raise ValueError(f"not a bit: {bit!r}")
+        return BitStringRef._from_bits_tuple(self._bits + (bit,))
+
+    def drop_last(self) -> "BitStringRef":
+        if not self._bits:
+            raise ValueError("cannot drop a bit from the empty string")
+        return BitStringRef._from_bits_tuple(self._bits[:-1])
+
+    def pad_right(self, width: int) -> "BitStringRef":
+        if width < len(self._bits):
+            raise ValueError(
+                f"cannot pad {len(self._bits)}-bit string down to {width} bits"
+            )
+        return BitStringRef._from_bits_tuple(
+            self._bits + (0,) * (width - len(self._bits))
+        )
+
+    def pad_left(self, width: int) -> "BitStringRef":
+        if width < len(self._bits):
+            raise ValueError(
+                f"cannot pad {len(self._bits)}-bit string down to {width} bits"
+            )
+        return BitStringRef._from_bits_tuple(
+            (0,) * (width - len(self._bits)) + self._bits
+        )
+
+    def strip_trailing_zeros(self) -> "BitStringRef":
+        bits = self._bits
+        end = len(bits)
+        while end > 0 and bits[end - 1] == 0:
+            end -= 1
+        return BitStringRef._from_bits_tuple(bits[:end])
+
+    # -- storage ---------------------------------------------------------
+
+    def storage_bits(self) -> int:
+        return len(self._bits)
+
+    def to_bytes(self) -> bytes:
+        if not self._bits:
+            return b""
+        padded = self._bits + (0,) * ((-len(self._bits)) % 8)
+        out = bytearray()
+        for start in range(0, len(padded), 8):
+            byte = 0
+            for bit in padded[start : start + 8]:
+                byte = (byte << 1) | bit
+            out.append(byte)
+        return bytes(out)
+
+
+EMPTY_REF = BitStringRef(0, 0)
+"""The empty reference string — Algorithm 2's ``S_L``/``S_R`` sentinel."""
+
+
+def _middle(left: BitStringRef, right: BitStringRef) -> BitStringRef:
+    """Algorithm 1's two cases, on per-bit tuples."""
+    if len(left) >= len(right):
+        return left.append_bit(1)
+    return right.drop_last().append_bit(0).append_bit(1)
+
+
+def encode_run(
+    count: int,
+    left: BitStringRef = EMPTY_REF,
+    right: BitStringRef = EMPTY_REF,
+) -> list[BitStringRef]:
+    """Algorithm 2's bisection, one per-bit middle call per code.
+
+    Mirrors :func:`repro.core.bitstring.encode_run` (same visit order,
+    same sentinel convention) so differential programs can compare the
+    two code lists element-wise.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    codes: list[BitStringRef] = [EMPTY_REF] * (count + 2)
+    codes[0] = left
+    codes[count + 1] = right
+    stack: list[tuple[int, int]] = [(0, count + 1)]
+    while stack:
+        lo, hi = stack.pop()
+        if lo + 1 >= hi:
+            continue
+        mid = (lo + hi + 1) // 2
+        codes[mid] = _middle(codes[lo], codes[hi])
+        stack.append((lo, mid))
+        stack.append((mid, hi))
+    return codes[1 : count + 1]
+
+
+def compare_many(
+    keys: "list[BitStringRef]", probe: BitStringRef
+) -> list[int]:
+    """Per-key three-way compare against ``probe`` (-1, 0 or +1)."""
+    return [key._compare(probe) for key in keys]

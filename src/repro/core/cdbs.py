@@ -28,6 +28,7 @@ the paper's Step 2 computes ``round(0 + (19 - 0)/2) = 10`` and Step 5
 
 from __future__ import annotations
 
+from repro.core import bitstring as _bitstring
 from repro.core.bitstring import EMPTY, BitString
 from repro.core.middle import assign_middle_binary_string
 from repro.errors import InvalidCodeError
@@ -61,23 +62,17 @@ def vcdbs_encode(count: int) -> list[BitString]:
     hit Python's recursion limit; the visit order is immaterial because a
     midpoint's code depends only on the codes at its enclosing gap
     endpoints, which are always assigned before the gap is pushed.
+
+    Bulk encoding runs on the packed batch kernel
+    (:func:`repro.core.bitstring.encode_run` with both sentinels empty —
+    Algorithm 2's imaginary positions 0 and ``count + 1``), which mints
+    every code as raw ``(value, length)`` arithmetic in one pass while
+    preserving the per-code fault-site hits and ledger charges of the
+    sequential middle-assignment chain.
     """
     if count < 1:
         raise ValueError(f"count must be positive, got {count}")
-    # Positions 0 and count+1 are the paper's imaginary sentinels; they
-    # hold the empty string and are discarded at the end (Algorithm 2,
-    # lines 1 and 3).
-    codes: list[BitString] = [EMPTY] * (count + 2)
-    stack: list[tuple[int, int]] = [(0, count + 1)]
-    while stack:
-        lo, hi = stack.pop()
-        if lo + 1 >= hi:
-            continue
-        mid = (lo + hi + 1) // 2  # round-half-up, see module docstring
-        codes[mid] = assign_middle_binary_string(codes[lo], codes[hi])
-        stack.append((lo, mid))
-        stack.append((mid, hi))
-    return codes[1 : count + 1]
+    return _bitstring.encode_run(count)
 
 
 def fcdbs_encode(count: int) -> list[BitString]:

@@ -19,6 +19,7 @@ insert a ``start``/``end`` pair at one gap.
 
 from __future__ import annotations
 
+from repro.core import bitstring as _bitstring
 from repro.core.bitstring import BitString
 from repro.errors import InvalidCodeError, NotOrderedError
 from repro.faults import FAULTS
@@ -103,29 +104,12 @@ def assign_middle_run(
     longer than the gap's endpoints — instead of the O(count) growth a
     naive left-to-right chain of :func:`assign_middle_binary_string`
     calls would produce.
+
+    Delegates to the packed batch kernel
+    (:func:`repro.core.bitstring.encode_run`), which mints all codes on
+    raw ``(value, length)`` pairs in one pass while hitting the
+    ``middle.assign`` fault site and charging the middle-assignment
+    ledger units per code, in the same visit order as the equivalent
+    chain of :func:`assign_middle_binary_string` calls.
     """
-    if count < 0:
-        raise ValueError(f"count must be non-negative, got {count}")
-    codes: list[BitString | None] = [None] * count
-
-    # Iterative bisection; (lo, hi) are gap-relative positions where
-    # position 0 is `left` and position count+1 is `right`.
-    def code_at(position: int) -> BitString:
-        if position == 0:
-            return left
-        if position == count + 1:
-            return right
-        found = codes[position - 1]
-        assert found is not None, "bisection visited a child before its parent"
-        return found
-
-    stack: list[tuple[int, int]] = [(0, count + 1)]
-    while stack:
-        lo, hi = stack.pop()
-        if lo + 1 >= hi:
-            continue
-        mid = (lo + hi + 1) // 2
-        codes[mid - 1] = assign_middle_binary_string(code_at(lo), code_at(hi))
-        stack.append((lo, mid))
-        stack.append((mid, hi))
-    return [code for code in codes if code is not None]
+    return _bitstring.encode_run(count, left, right)

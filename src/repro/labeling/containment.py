@@ -106,26 +106,13 @@ def _values_between(
     Balanced assignment keeps dynamic codes short (O(log count) growth,
     Section 5.2.2's "evenly at different places" argument); any
     :class:`RelabelRequired` from the codec propagates to the caller.
+
+    Delegates to :meth:`IntervalCodec.between_run`, so the CDBS codecs
+    mint the whole run on the packed batch kernel while everything else
+    falls back to one ``between`` call per value in the same visit
+    order.
     """
-    values: list[Any] = [None] * count
-    stack: list[tuple[int, int]] = [(0, count + 1)]
-
-    def value_at(position: int) -> Any:
-        if position == 0:
-            return left
-        if position == count + 1:
-            return right
-        return values[position - 1]
-
-    while stack:
-        lo, hi = stack.pop()
-        if lo + 1 >= hi:
-            continue
-        mid = (lo + hi + 1) // 2
-        values[mid - 1] = codec.between(value_at(lo), value_at(hi))
-        stack.append((lo, mid))
-        stack.append((mid, hi))
-    return values
+    return codec.between_run(left, right, count)
 
 
 class ContainmentScheme(LabelingScheme):

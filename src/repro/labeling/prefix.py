@@ -199,6 +199,37 @@ class ComponentPolicy(ABC):
     def between(self, left: Any, right: Any) -> Any:
         """A fresh self label in the sibling gap; RelabelRequired if none."""
 
+    def between_run(self, left: Any, right: Any, count: int) -> list[Any]:
+        """``count`` ordered self labels in one sibling gap, balanced.
+
+        Same bisection visit order as Algorithm 2; the default calls
+        :meth:`between` once per label, the CDBS policy overrides it
+        with the packed batch kernel.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        components: list[Any] = [None] * count
+
+        def component_at(position: int) -> Any:
+            if position == 0:
+                return left
+            if position == count + 1:
+                return right
+            return components[position - 1]
+
+        stack: list[tuple[int, int]] = [(0, count + 1)]
+        while stack:
+            lo, hi = stack.pop()
+            if lo + 1 >= hi:
+                continue
+            mid = (lo + hi + 1) // 2
+            components[mid - 1] = self.between(
+                component_at(lo), component_at(hi)
+            )
+            stack.append((lo, mid))
+            stack.append((mid, hi))
+        return components
+
     @abstractmethod
     def bits(self, component: Any) -> int:
         """Storage bits of one self label, delimiter included."""
@@ -322,6 +353,28 @@ class CDBSComponentPolicy(ComponentPolicy):
         if len(code) > self.max_code_bits:
             raise LengthFieldOverflow(len(code), self.max_code_bits)
         return code
+
+    def between_run(
+        self, left: BitString | None, right: BitString | None, count: int
+    ) -> list[BitString]:
+        from repro.core import bitstring as _bitstring
+        from repro.core.bitstring import EMPTY
+
+        # A replaced `between` must keep governing run minting.
+        if (
+            "between" in self.__dict__
+            or type(self).between is not CDBSComponentPolicy.between
+        ):
+            return ComponentPolicy.between_run(self, left, right, count)
+        # Packed batch kernel: identical codes, fault-site hits, ledger
+        # charges, and first-overflow semantics to a chain of `between`
+        # calls in bisection order.
+        return _bitstring.encode_run(
+            count,
+            EMPTY if left is None else left,
+            EMPTY if right is None else right,
+            max_code_bits=self.max_code_bits,
+        )
 
     def bits(self, component: BitString) -> int:
         return utf8_bits(len(component))
@@ -578,26 +631,12 @@ def qed_prefix() -> PrefixScheme:
 def _components_between(
     policy: ComponentPolicy, left: Any, right: Any, count: int
 ) -> list[Any]:
-    """``count`` ordered self labels in one sibling gap, balanced."""
-    components: list[Any] = [None] * count
+    """``count`` ordered self labels in one sibling gap, balanced.
 
-    def component_at(position: int) -> Any:
-        if position == 0:
-            return left
-        if position == count + 1:
-            return right
-        return components[position - 1]
-
-    stack: list[tuple[int, int]] = [(0, count + 1)]
-    while stack:
-        lo, hi = stack.pop()
-        if lo + 1 >= hi:
-            continue
-        mid = (lo + hi + 1) // 2
-        components[mid - 1] = policy.between(component_at(lo), component_at(hi))
-        stack.append((lo, mid))
-        stack.append((mid, hi))
-    return components
+    Thin wrapper over :meth:`ComponentPolicy.between_run` (the CDBS
+    policy mints the run on the packed batch kernel).
+    """
+    return policy.between_run(left, right, count)
 
 
 def _prefix_insert_run(

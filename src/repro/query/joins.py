@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.core.bitstring import compare_many
 from repro.labeling.base import LabeledDocument
 from repro.xmltree.node import Node
 
@@ -154,6 +155,22 @@ def _containment_join(
     inspects at most one stack entry per level.
     """
     scheme = labeled.scheme
+    if len(contexts) == 1 and not parent_only:
+        # Single-context descendant join (the common shape of an XPath
+        # step from one node): containment nesting is strict, so the
+        # candidates inside the context interval are exactly those whose
+        # start code partitions strictly between the context's start and
+        # end — two batch probes instead of a per-candidate stack walk.
+        ctx_label = labeled.label_of(contexts[0])
+        if getattr(ctx_label.start, "is_bitstring_like", False):
+            starts = [labeled.label_of(node).start for node in candidates]
+            after_start = compare_many(starts, ctx_label.start)
+            before_end = compare_many(starts, ctx_label.end)
+            return [
+                node
+                for node, lo, hi in zip(candidates, after_start, before_end)
+                if lo > 0 and hi < 0
+            ]
     key = scheme.order_key
     out: list[Node] = []
     stack: list[Any] = []  # open context labels

@@ -100,10 +100,17 @@ class BitWriter:
 
 
 class BitReader:
-    """Reads MSB-first bits from bytes."""
+    """Reads MSB-first bits from bytes.
+
+    The whole buffer is converted to one big integer up front, so each
+    ``read`` is a shift and a mask instead of a per-bit loop — the
+    decoding mirror of :class:`BitWriter`'s packed accumulator, and the
+    hot path of WAL frame and checkpoint-bundle label decoding.
+    """
 
     def __init__(self, data: bytes) -> None:
-        self._data = data
+        self._total_bits = len(data) * 8
+        self._packed = int.from_bytes(data, "big") if data else 0
         self._position = 0
 
     @property
@@ -111,25 +118,20 @@ class BitReader:
         return self._position
 
     def remaining(self) -> int:
-        return len(self._data) * 8 - self._position
+        return self._total_bits - self._position
 
     def read(self, width: int) -> int:
         if width < 0:
             raise ValueError("width must be non-negative")
-        if self.remaining() < width:
+        position = self._position
+        if self._total_bits - position < width:
             raise EncodingError(
                 f"label stream truncated: needed {width} bits at offset "
-                f"{self._position}, have {self.remaining()}"
+                f"{position}, have {self._total_bits - position}"
             )
-        value = 0
-        position = self._position
-        for _ in range(width):
-            byte = self._data[position // 8]
-            bit = (byte >> (7 - position % 8)) & 1
-            value = (value << 1) | bit
-            position += 1
-        self._position = position
-        return value
+        end = position + width
+        self._position = end
+        return (self._packed >> (self._total_bits - end)) & ((1 << width) - 1)
 
     def read_bitstring(self, width: int) -> BitString:
         return BitString(self.read(width), width)
@@ -214,8 +216,7 @@ def _encode_cdbs_in_utf8(writer: BitWriter, code: BitString) -> None:
         )
     extra = _utf8_frame_for(len(code))
     capacity = _utf8_frame_capacity(extra)
-    padded = code.value << (capacity - len(code))
-    _write_utf8_frame(writer, padded, extra)
+    _write_utf8_frame(writer, code.pad_right(capacity).value, extra)
 
 
 def _decode_cdbs_in_utf8(reader: BitReader) -> BitString:

@@ -23,3 +23,19 @@ def int_default_base(text):
 
 def suppressed_concat(code):
     return code + "1"  # repro: allow-raw-bits — exercised by tests
+
+
+def plain_value_read(code):
+    return code.value  # public API read, no shift: allowed
+
+
+class OwnPackedState:
+    """Self-receiver payload use is a class's own state, not a poke."""
+
+    def __init__(self):
+        self._value = 0
+        self._length = 0
+
+    def push(self, bit):
+        self._value = (self._value << 1) | bit
+        self._length += 1

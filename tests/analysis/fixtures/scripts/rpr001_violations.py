@@ -35,3 +35,19 @@ def render_builtin(value):
 
 def slice_rendering(code):
     return code.to01()[:3]  # VIOLATION: slicing a to01() rendering
+
+
+def read_private_payload(code):
+    return code._value  # VIOLATION: private packed payload read
+
+
+def read_private_length(code):
+    return code._length  # VIOLATION: private packed payload read
+
+
+def align_by_hand(code, other):
+    return code.value << (8 - len(other))  # VIOLATION: shift on .value read
+
+
+def align_by_hand_right(code, probe):
+    return probe >> code.value  # VIOLATION: shift on .value read

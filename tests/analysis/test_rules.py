@@ -22,7 +22,7 @@ def findings_for(path, rule):
 class TestRPR001RawBits:
     def test_flags_every_raw_manipulation(self):
         findings = findings_for(SCRIPTS / "rpr001_violations.py", "RPR001")
-        assert len(findings) == 7
+        assert len(findings) == 11
         assert {f.rule for f in findings} == {"RPR001"}
 
     def test_flagged_lines_are_the_marked_ones(self):
@@ -40,8 +40,9 @@ class TestRPR001RawBits:
 
     def test_core_bitstring_is_exempt(self):
         repo_root = Path(__file__).parents[2]
-        bitstring = repo_root / "src" / "repro" / "core" / "bitstring.py"
-        assert findings_for(bitstring, "RPR001") == []
+        core = repo_root / "src" / "repro" / "core"
+        assert findings_for(core / "bitstring.py", "RPR001") == []
+        assert findings_for(core / "bitstring_ref.py", "RPR001") == []
 
 
 class TestRPR002RawCompare:

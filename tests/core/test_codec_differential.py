@@ -1,0 +1,264 @@
+"""Differential equivalence: packed codec vs the per-bit reference.
+
+The packed :mod:`repro.core.bitstring` turns every operation into
+shift/mask arithmetic on ``(value, length)`` pairs; the reference
+:mod:`repro.core.bitstring_ref` is the literal per-bit transcription of
+the paper's definitions and shares no code with it.  These tests run
+random *programs* — sequences of construct / compare / concat / slice /
+``encode_run`` steps — against both implementations in lockstep and
+require bit-identical answers at every step.
+
+This is the test behind the ``codec-differential`` CI lane.  When a
+program disagrees, the failing program (op list plus the index of the
+step that diverged) is serialized to ``codec-differential-failure.json``
+(path overridable via ``CODEC_DIFFERENTIAL_ARTIFACT``) so CI can upload
+it as an artifact and anyone can replay it locally with
+``replay_program``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bitstring_ref as ref
+from repro.core.bitstring import EMPTY, BitString, compare_many, encode_run
+
+ARTIFACT_ENV = "CODEC_DIFFERENTIAL_ARTIFACT"
+ARTIFACT_DEFAULT = "codec-differential-failure.json"
+
+
+# ---------------------------------------------------------------------------
+# program interpreter
+# ---------------------------------------------------------------------------
+
+def _pick(stack, index):
+    return stack[index % len(stack)]
+
+
+def replay_program(program: list[dict]) -> None:
+    """Run one differential program; raises AssertionError on divergence.
+
+    The packed and reference interpreters each keep a value stack and a
+    pool of ``encode_run`` outputs; every step asserts that both sides
+    rendered the same bits (``to01``), the same hash, and — for compare
+    steps — the same orderings.
+    """
+    packed: list[BitString] = [EMPTY]
+    mirror: list[ref.BitStringRef] = [ref.EMPTY_REF]
+    packed_pool: list[BitString] = []
+    mirror_pool: list[ref.BitStringRef] = []
+
+    def check_top():
+        p, r = packed[-1], mirror[-1]
+        assert p.to01() == r.to01()
+        assert len(p) == len(r)
+        # Cross-implementation identity: same pattern => equal both
+        # ways round and co-hashing (leading zeros significant).
+        assert p == r and r == p
+        assert hash(p) == hash(r)
+        assert p.bitstring_key == r.bitstring_key
+
+    for step in program:
+        op = step["op"]
+        if op == "push":
+            packed.append(BitString.from_str(step["bits"]))
+            mirror.append(ref.BitStringRef.from_str(step["bits"]))
+            check_top()
+        elif op == "concat":
+            a, b = step["a"], step["b"]
+            packed.append(_pick(packed, a) + _pick(packed, b))
+            mirror.append(_pick(mirror, a) + _pick(mirror, b))
+            check_top()
+        elif op == "slice":
+            s, lo, hi = step["s"], step["lo"], step["hi"]
+            p, r = _pick(packed, s), _pick(mirror, s)
+            lo, hi = sorted((lo % (len(p) + 1), hi % (len(p) + 1)))
+            packed.append(p[lo:hi])
+            mirror.append(r[lo:hi])
+            check_top()
+        elif op == "compare":
+            a, b = step["a"], step["b"]
+            pa, pb = _pick(packed, a), _pick(packed, b)
+            ra, rb = _pick(mirror, a), _pick(mirror, b)
+            assert (pa < pb) == (ra < rb)
+            assert (pa <= pb) == (ra <= rb)
+            assert (pa > pb) == (ra > rb)
+            assert (pa >= pb) == (ra >= rb)
+            assert (pa == pb) == (ra == rb)
+        elif op == "encode_run":
+            count = step["count"]
+            if step["endpoints"] is None or not packed_pool:
+                p_left = p_right = EMPTY
+                r_left = r_right = ref.EMPTY_REF
+            else:
+                i, j = step["endpoints"]
+                i, j = sorted((i % len(packed_pool), j % len(packed_pool)))
+                if i == j:
+                    # Degenerate gap: fall back to the sentinels.
+                    p_left = p_right = EMPTY
+                    r_left = r_right = ref.EMPTY_REF
+                else:
+                    p_left, p_right = packed_pool[i], packed_pool[j]
+                    r_left, r_right = mirror_pool[i], mirror_pool[j]
+            packed_codes = encode_run(count, p_left, p_right)
+            mirror_codes = ref.encode_run(count, r_left, r_right)
+            assert [c.to01() for c in packed_codes] == [
+                c.to01() for c in mirror_codes
+            ]
+            if packed_codes:
+                packed_pool = packed_codes
+                mirror_pool = mirror_codes
+                probe = packed_codes[len(packed_codes) // 2]
+                r_probe = mirror_codes[len(mirror_codes) // 2]
+                assert compare_many(packed_codes, probe) == ref.compare_many(
+                    mirror_codes, r_probe
+                )
+        else:  # pragma: no cover - strategy only emits the ops above
+            raise ValueError(f"unknown differential op {op!r}")
+
+
+def _dump_failure(program: list[dict], error: BaseException) -> Path:
+    path = Path(os.environ.get(ARTIFACT_ENV, ARTIFACT_DEFAULT))
+    path.write_text(
+        json.dumps(
+            {
+                "note": (
+                    "packed vs reference codec divergence; replay with "
+                    "tests.core.test_codec_differential.replay_program"
+                ),
+                "error": repr(error),
+                "program": program,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    return path
+
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+bits_text = st.text(alphabet="01", min_size=0, max_size=24)
+index = st.integers(min_value=0, max_value=63)
+
+op_strategy = st.one_of(
+    st.fixed_dictionaries({"op": st.just("push"), "bits": bits_text}),
+    st.fixed_dictionaries(
+        {"op": st.just("concat"), "a": index, "b": index}
+    ),
+    st.fixed_dictionaries(
+        {"op": st.just("slice"), "s": index, "lo": index, "hi": index}
+    ),
+    st.fixed_dictionaries(
+        {"op": st.just("compare"), "a": index, "b": index}
+    ),
+    st.fixed_dictionaries(
+        {
+            "op": st.just("encode_run"),
+            "count": st.integers(min_value=0, max_value=120),
+            "endpoints": st.one_of(
+                st.none(), st.tuples(index, index).map(list)
+            ),
+        }
+    ),
+)
+
+
+class TestDifferentialPrograms:
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(op_strategy, min_size=1, max_size=30))
+    def test_random_programs_agree(self, program):
+        try:
+            replay_program(program)
+        except AssertionError as error:
+            artifact = _dump_failure(program, error)
+            raise AssertionError(
+                f"codec divergence; failing program written to {artifact}"
+            ) from error
+
+    def test_replay_rejects_unknown_op(self):
+        with pytest.raises(ValueError, match="unknown differential op"):
+            replay_program([{"op": "frobnicate"}])
+
+    def test_failure_dump_is_replayable_json(self, tmp_path, monkeypatch):
+        """The artifact a CI failure uploads must round-trip to replay."""
+        monkeypatch.setenv(ARTIFACT_ENV, str(tmp_path / "failure.json"))
+        program = [{"op": "push", "bits": "0101"}]
+        artifact = _dump_failure(program, AssertionError("synthetic"))
+        payload = json.loads(artifact.read_text())
+        replay_program(payload["program"])  # must not raise
+
+
+# ---------------------------------------------------------------------------
+# hash / equality regressions (leading zeros are significant)
+# ---------------------------------------------------------------------------
+
+class TestHashEqualityContract:
+    def test_leading_zeros_distinct_packed(self):
+        zero1 = BitString.from_str("0")
+        zero2 = BitString.from_str("00")
+        assert zero1 != zero2
+        assert hash(zero1) != hash(zero2)
+        assert zero1.bitstring_key == (0, 1)
+        assert zero2.bitstring_key == (0, 2)
+
+    def test_leading_zeros_distinct_reference(self):
+        zero1 = ref.BitStringRef.from_str("0")
+        zero2 = ref.BitStringRef.from_str("00")
+        assert zero1 != zero2
+        assert hash(zero1) != hash(zero2)
+
+    @pytest.mark.parametrize(
+        "pattern", ["", "0", "00", "1", "01", "10", "0010", "1" * 40]
+    )
+    def test_cross_implementation_equality_and_hash(self, pattern):
+        packed = BitString.from_str(pattern)
+        mirror = ref.BitStringRef.from_str(pattern)
+        assert packed == mirror
+        assert mirror == packed
+        assert hash(packed) == hash(mirror)
+        # ...and a dict keyed by one form finds the other.
+        assert {packed: "x"}[mirror] == "x"
+
+    def test_cross_implementation_inequality(self):
+        assert BitString.from_str("0") != ref.BitStringRef.from_str("00")
+        assert ref.BitStringRef.from_str("0") != BitString.from_str("00")
+
+    @settings(max_examples=60, deadline=None)
+    @given(bits_text)
+    def test_hash_agreement_property(self, pattern):
+        packed = BitString.from_str(pattern)
+        mirror = ref.BitStringRef.from_str(pattern)
+        assert packed == mirror and hash(packed) == hash(mirror)
+
+
+class TestStrContractParity:
+    """Both codecs must enforce the PR-7 str-ordering TypeError."""
+
+    @pytest.mark.parametrize("impl", [BitString, ref.BitStringRef])
+    def test_ordering_against_str_raises(self, impl):
+        code = impl.from_str("101")
+        for expr in (
+            lambda: code < "1",
+            lambda: code <= "1",
+            lambda: code > "1",
+            lambda: code >= "1",
+        ):
+            with pytest.raises(TypeError, match=r"BitString\.from_str"):
+                expr()
+
+    @pytest.mark.parametrize("impl", [BitString, ref.BitStringRef])
+    def test_concat_coerces_str(self, impl):
+        assert (impl.from_str("10") + "1").to01() == "101"
+
+    @pytest.mark.parametrize("impl", [BitString, ref.BitStringRef])
+    def test_eq_against_str_is_false(self, impl):
+        assert (impl.from_str("101") == "101") is False

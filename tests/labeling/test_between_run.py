@@ -1,0 +1,226 @@
+"""Batch run minting equals sequential Algorithm-2 chains, per scheme.
+
+``between_run`` on the CDBS codecs routes to the packed batch kernel
+(:func:`repro.core.bitstring.encode_run`).  These properties pin the
+kernel to the semantics it replaced: for V-CDBS, F-CDBS and the
+CDBS(UTF8) prefix policy, a batch of ``count`` codes must be
+*indistinguishable* from ``count`` sequential :meth:`between` calls in
+Algorithm 2's bisection order — same codes, same ledger charges, same
+first-overflow exception — and a replaced ``between`` (instance
+monkeypatch or subclass override) must win back control of minting.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LengthFieldOverflow
+from repro.labeling.codecs import FCDBSCodec, IntervalCodec, VCDBSCodec
+from repro.labeling.prefix import CDBSComponentPolicy, ComponentPolicy
+from repro.obs import OBS
+
+
+def sequential_run(codec, left, right, count):
+    """The pre-batch oracle: one ``between`` call per code.
+
+    Dispatches to the *generic* base-class ``between_run`` — literally a
+    chain of ``codec.between`` calls in bisection order — bypassing any
+    batch override on ``codec``'s class.
+    """
+    base = (
+        ComponentPolicy
+        if isinstance(codec, ComponentPolicy)
+        else IntervalCodec
+    )
+    return base.between_run(codec, left, right, count)
+
+
+def make_codecs():
+    fcdbs = FCDBSCodec()
+    fcdbs.bulk(64)  # fix the global width like a real bulk load does
+    return [
+        pytest.param(VCDBSCodec(), id="v-cdbs"),
+        pytest.param(fcdbs, id="f-cdbs"),
+        pytest.param(CDBSComponentPolicy(), id="cdbs-prefix"),
+    ]
+
+
+CODECS = make_codecs()
+
+
+class TestBatchEqualsSequential:
+    @pytest.mark.parametrize("codec", CODECS)
+    @settings(max_examples=40, deadline=None)
+    @given(
+        bulk=st.integers(min_value=2, max_value=48),
+        count=st.integers(min_value=0, max_value=90),
+        pick=st.integers(min_value=0, max_value=10**9),
+    )
+    def test_gap_between_bulk_codes(self, codec, bulk, count, pick):
+        codes = codec.bulk(bulk)
+        index = pick % (len(codes) - 1)
+        left, right = codes[index], codes[index + 1]
+        try:
+            expected = sequential_run(codec, left, right, count)
+        except LengthFieldOverflow as overflow:
+            with pytest.raises(LengthFieldOverflow) as caught:
+                codec.between_run(left, right, count)
+            assert caught.value.code_bits == overflow.code_bits
+            assert caught.value.max_bits == overflow.max_bits
+            return
+        assert codec.between_run(left, right, count) == expected
+
+    @pytest.mark.parametrize("codec", CODECS)
+    @settings(max_examples=30, deadline=None)
+    @given(count=st.integers(min_value=0, max_value=120))
+    def test_unbounded_gap(self, codec, count):
+        assert codec.between_run(None, None, count) == sequential_run(
+            codec, None, None, count
+        )
+
+    @pytest.mark.parametrize("codec", CODECS)
+    @settings(max_examples=25, deadline=None)
+    @given(
+        bulk=st.integers(min_value=1, max_value=48),
+        count=st.integers(min_value=1, max_value=60),
+    )
+    def test_half_open_gaps(self, codec, bulk, count):
+        codes = codec.bulk(bulk)
+        for left, right in ((None, codes[0]), (codes[-1], None)):
+            try:
+                expected = sequential_run(codec, left, right, count)
+            except LengthFieldOverflow as overflow:
+                with pytest.raises(LengthFieldOverflow) as caught:
+                    codec.between_run(left, right, count)
+                assert caught.value.code_bits == overflow.code_bits
+                assert caught.value.max_bits == overflow.max_bits
+                continue
+            assert codec.between_run(left, right, count) == expected
+
+    @pytest.mark.parametrize("codec", CODECS)
+    def test_empty_run(self, codec):
+        assert codec.between_run(None, None, 0) == []
+
+    @pytest.mark.parametrize("codec", CODECS)
+    def test_negative_count_rejected(self, codec):
+        with pytest.raises(ValueError, match="non-negative"):
+            codec.between_run(None, None, -1)
+
+
+class TestLedgerParity:
+    @pytest.mark.parametrize("codec", CODECS)
+    @pytest.mark.parametrize("count", [1, 2, 17, 64])
+    def test_batch_charges_match_sequential(self, codec, count):
+        """The ledger cannot tell a batch from a chain of ``between``."""
+        saved = OBS.enabled
+        try:
+            OBS.reset()
+            OBS.enabled = True
+            codec.between_run(None, None, count)
+            batch_totals = dict(OBS.ledger.totals)
+            OBS.reset()
+            sequential_run(codec, None, None, count)
+            sequential_totals = dict(OBS.ledger.totals)
+        finally:
+            OBS.enabled = saved
+            OBS.reset()
+        assert batch_totals == sequential_totals
+
+
+class TestOverflowBoundaries:
+    def test_vcdbs_boundary_is_exact(self):
+        """``field_bits=3`` caps codes at 7 bits: 127 codes fit (the
+        longest bulk code of 1..n is ``bit_length(n)`` bits), 128 does
+        not — and batch and sequential agree on both sides."""
+        codec = VCDBSCodec(field_bits=3)
+        assert codec.max_code_bits == 7
+        fits = codec.between_run(None, None, 127)
+        assert fits == sequential_run(codec, None, None, 127)
+        assert max(len(code) for code in fits) == 7
+        with pytest.raises(LengthFieldOverflow) as batch:
+            codec.between_run(None, None, 128)
+        with pytest.raises(LengthFieldOverflow) as seq:
+            sequential_run(codec, None, None, 128)
+        assert (batch.value.code_bits, batch.value.max_bits) == (
+            seq.value.code_bits,
+            seq.value.max_bits,
+        ) == (8, 7)
+
+    def test_fcdbs_boundary_is_exact(self):
+        codec = FCDBSCodec()
+        codec.bulk(64)  # width 8
+        assert codec.width == 8
+        fits = codec.between_run(None, None, 255)
+        assert fits == sequential_run(codec, None, None, 255)
+        assert all(len(code) == 8 for code in fits)
+        with pytest.raises(LengthFieldOverflow):
+            codec.between_run(None, None, 256)
+        with pytest.raises(LengthFieldOverflow):
+            sequential_run(codec, None, None, 256)
+
+    def test_prefix_policy_boundary_is_exact(self):
+        policy = CDBSComponentPolicy(max_code_bits=6)
+        fits = policy.between_run(None, None, 63)
+        assert fits == sequential_run(policy, None, None, 63)
+        with pytest.raises(LengthFieldOverflow) as batch:
+            policy.between_run(None, None, 64)
+        with pytest.raises(LengthFieldOverflow) as seq:
+            sequential_run(policy, None, None, 64)
+        assert batch.value.code_bits == seq.value.code_bits == 7
+
+
+class TestReplacedBetweenKeepsControl:
+    """The batch kernel must step aside when ``between`` is replaced."""
+
+    def test_instance_monkeypatch_governs_minting(self):
+        codec = VCDBSCodec()
+        calls = []
+
+        def fake_between(left, right):
+            calls.append((left, right))
+            return VCDBSCodec.between(codec, left, right)
+
+        codec.between = fake_between
+        result = codec.between_run(None, None, 9)
+        assert len(calls) == 9
+        assert result == sequential_run(VCDBSCodec(), None, None, 9)
+
+    def test_raising_monkeypatch_propagates(self):
+        codec = VCDBSCodec()
+
+        class Boom(RuntimeError):
+            pass
+
+        def boom(left, right):
+            raise Boom
+
+        codec.between = boom
+        with pytest.raises(Boom):
+            codec.between_run(None, None, 3)
+
+    def test_subclass_override_governs_minting(self):
+        calls = []
+
+        class Counting(VCDBSCodec):
+            def between(self, left, right):
+                calls.append((left, right))
+                return super().between(left, right)
+
+        result = Counting().between_run(None, None, 9)
+        assert len(calls) == 9
+        assert result == sequential_run(VCDBSCodec(), None, None, 9)
+
+    def test_prefix_policy_monkeypatch_governs_minting(self):
+        policy = CDBSComponentPolicy()
+        calls = []
+
+        def fake_between(left, right):
+            calls.append((left, right))
+            return CDBSComponentPolicy.between(policy, left, right)
+
+        policy.between = fake_between
+        result = policy.between_run(None, None, 5)
+        assert len(calls) == 5
+        assert result == sequential_run(CDBSComponentPolicy(), None, None, 5)
