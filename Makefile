@@ -50,20 +50,29 @@ chaos:
 
 # Crash-recovery matrix (scheme x WAL site x seed): kill the process at
 # every durability site, recover from the WAL directory alone, and
-# require equality with the committed-prefix oracle.  Failing cells'
-# plans land in CRASH_failures.json.  See docs/ROBUSTNESS.md.
+# require equality with the committed-prefix oracle.  The recovery tier
+# additionally heals each crash *in place* (writer.recover, including a
+# second crash during recovery) and replays acked request_ids through
+# the dedup table.  Failing cells' plans land in CRASH_failures.json /
+# RECOVERY_failures.json.  See docs/ROBUSTNESS.md.
 crash:
-	PYTHONPATH=src python benchmarks/crash_matrix.py --out CRASH_failures.json
+	PYTHONPATH=src python benchmarks/crash_matrix.py \
+		--out CRASH_failures.json --recovery-out RECOVERY_failures.json
 
 # Document-service throughput bench: 1/8/64 simulated clients, 70/30
 # write/read mix, group commit vs fsync-per-commit.  Writes
 # BENCH_service.json and gates on it: amortized wal.fsyncs/commit must
 # stay below 1 at >= 8 clients with group commit on, every snapshot
 # read must see a committed version, and the storm must leave zero
-# integrity violations.  See DESIGN.md section 11.
+# integrity violations.  The second invocation is the chaos lane: a
+# wal.fsync crash armed mid-storm, idempotent clients retrying through
+# the outage, self-healing gated on exact node accounting.  See
+# DESIGN.md section 11 and docs/ROBUSTNESS.md.
 serve-bench:
 	PYTHONPATH=src python benchmarks/bench_service.py \
 		--clients 1,8,64 --ops 40 --out BENCH_service.json
+	PYTHONPATH=src python benchmarks/bench_service.py \
+		--fault-lane --ops 30 --out BENCH_service_faults.json
 
 # Regenerate the checked-in baseline after an *intentional* change to
 # the update path's work profile; justify the refresh in the commit.

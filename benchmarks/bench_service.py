@@ -25,6 +25,14 @@ Run it directly::
 ``--gate`` re-checks a written report for CI: amortized fsyncs/commit
 must stay below 1.0 in group mode at every cell with >= 8 clients, and
 no cell may report verify violations or failed requests.
+
+``--fault-lane`` runs the *chaos* variant instead: one cell where a
+``wal.fsync`` crash is armed mid-storm, every client tags its writes
+with a ``request_id`` and retries through the outage, and the document
+self-heals under load (``auto_recover``).  Its gate proves the
+robustness story end to end — at least one online recovery happened,
+the final node count equals seed + unique acked inserts (retries never
+double-applied), and ``repro.verify`` is clean.
 """
 
 from __future__ import annotations
@@ -38,6 +46,8 @@ import threading
 import time
 from pathlib import Path
 
+from repro.errors import ReproError
+from repro.faults import FAULTS, FaultPlan
 from repro.service import DocumentService, ServiceConfig
 from repro.verify import verify_integrity, violation_dicts
 from repro.xmltree import NodeKind
@@ -45,6 +55,9 @@ from repro.xmltree import NodeKind
 DEFAULT_CLIENTS = (1, 8, 64)
 DEFAULT_SCHEME = "QED-Prefix"
 WRITE_RATIO = 0.7
+FAULT_CLIENTS = 8
+FAULT_CRASH_AT = 5  # the 5th commit-path fsync dies mid-storm
+FAULT_MAX_ATTEMPTS = 50
 SEED_XML = (
     "<root>"
     + "".join(f"<sec><p>seed {i}</p></sec>" for i in range(8))
@@ -152,6 +165,153 @@ def run_cell(clients, ops_per_client, *, max_batch, scheme, root_dir):
     }
 
 
+def _retrying_client_loop(service, doc_id, ops, seed, counters, lock):
+    """A fault-lane client: idempotent writes retried through crashes.
+
+    Every write carries a stable ``request_id``; on any service-side
+    failure (quarantine, overload, an injected crash surfacing through
+    the ack future) the client sleeps briefly and resends the *same*
+    envelope.  The retry is safe precisely because of the dedup table:
+    if the original attempt was durable, the resend acks without a
+    second apply, and the node-count gate below would catch any slip.
+    """
+    writes = retries = deduped = gave_up = 0
+    for index in range(ops):
+        # Attribute-free on purpose: exactly one node per applied
+        # insert, so the node-count gate is exact.
+        op = {
+            "kind": "insert_child",
+            "parent": 0,
+            "xml": f"<w{seed}/>",
+            "request_id": f"c{seed}-{index}",
+        }
+        acked = None
+        for _ in range(FAULT_MAX_ATTEMPTS):
+            try:
+                acked = service.update(doc_id, dict(op))
+            except ReproError:
+                retries += 1
+                time.sleep(0.002)
+                continue
+            break
+        if acked is None:
+            gave_up += 1
+        else:
+            writes += 1
+            if acked.get("deduplicated"):
+                deduped += 1
+    with lock:
+        counters["writes"] += writes
+        counters["retries"] += retries
+        counters["retries_deduped_acks"] += deduped
+        counters["gave_up"] += gave_up
+
+
+def run_fault_cell(ops_per_client, *, max_batch, scheme, root_dir):
+    """The chaos cell: crash the WAL mid-storm, heal online, account.
+
+    The main thread arms a persistent ``wal.fsync`` crash, lets the
+    retrying clients drive the writer into quarantine (auto-recovery
+    heals it, the still-armed site kills it again), and disarms as soon
+    as the stats show a completed recovery — from then on the storm
+    drains normally.  Accounting is exact because every op inserts one
+    element under the root: the final node count must equal the seed
+    plus one node per *unique* acked write, however many times each was
+    retried.
+    """
+    service = DocumentService(
+        ServiceConfig(root_dir=root_dir, max_batch=max_batch)
+    )
+    doc_id = service.create_document(SEED_XML, scheme)["doc_id"]
+    seed_nodes = service.snapshot(doc_id).node_count()
+    counters = {
+        "writes": 0,
+        "retries": 0,
+        "retries_deduped_acks": 0,
+        "gave_up": 0,
+    }
+    lock = threading.Lock()
+    threads = [
+        threading.Thread(
+            target=_retrying_client_loop,
+            args=(service, doc_id, ops_per_client, 2000 + i, counters, lock),
+        )
+        for i in range(FAULT_CLIENTS)
+    ]
+    started = time.perf_counter()
+    FAULTS.arm(FaultPlan.crash("wal.fsync", at=FAULT_CRASH_AT))
+    try:
+        for thread in threads:
+            thread.start()
+        # Watchdog: the fault stays armed until the first recovery has
+        # completed (or the writer is visibly quarantined), so the
+        # crash provably bites; then the outage "ends" and the storm
+        # must drain cleanly.
+        while any(thread.is_alive() for thread in threads):
+            status = service.status(doc_id)
+            if status["recoveries"] >= 1 or status["status"] == "crashed":
+                break
+            time.sleep(0.001)
+        FAULTS.disarm()
+        for thread in threads:
+            thread.join()
+    finally:
+        FAULTS.disarm()
+    wall = time.perf_counter() - started
+    service.close()
+    handle = service.registry.get(doc_id)
+    violations = verify_integrity(handle.engine.labeled, handle.engine.store)
+    stats = handle.stats()
+    expected_nodes = seed_nodes + counters["writes"]
+    return {
+        "mode": "fault-injected",
+        "clients": FAULT_CLIENTS,
+        "max_batch": max_batch,
+        "ops_per_client": ops_per_client,
+        "crash_site": "wal.fsync",
+        "crash_at": FAULT_CRASH_AT,
+        "wall_seconds": round(wall, 4),
+        "writes_acked": counters["writes"],
+        "client_retries": counters["retries"],
+        "retries_deduped_acks": counters["retries_deduped_acks"],
+        "gave_up": counters["gave_up"],
+        "recoveries": stats["recoveries"],
+        "retries_deduped": stats["retries_deduped"],
+        "generation": stats["generation"],
+        "final_nodes": stats["nodes"],
+        "expected_nodes": expected_nodes,
+        "verify_violations": violation_dicts(violations),
+    }
+
+
+def check_fault_gate(cell) -> list[str]:
+    """CI gate over the fault lane's single cell."""
+    failures = []
+    if cell["recoveries"] < 1:
+        failures.append(
+            "fault lane: the armed wal.fsync crash never forced a "
+            "recovery — the chaos cell proved nothing"
+        )
+    if cell["gave_up"]:
+        failures.append(
+            f"fault lane: {cell['gave_up']} clients exhausted "
+            f"{FAULT_MAX_ATTEMPTS} retries — the document never healed"
+        )
+    if cell["final_nodes"] != cell["expected_nodes"]:
+        failures.append(
+            f"fault lane: {cell['final_nodes']} final nodes != seed + "
+            f"{cell['writes_acked']} unique acked inserts "
+            f"({cell['expected_nodes']}) — a retry was double-applied "
+            f"or an acked insert was lost"
+        )
+    if cell["verify_violations"]:
+        failures.append(
+            f"fault lane: {len(cell['verify_violations'])} integrity "
+            f"violations after healing"
+        )
+    return failures
+
+
 def run_bench(clients_list, ops_per_client, scheme, max_batch):
     cells = []
     for clients in clients_list:
@@ -236,14 +396,50 @@ def main(argv=None) -> int:
         action="store_true",
         help="check an existing report instead of running the bench",
     )
+    parser.add_argument(
+        "--fault-lane",
+        action="store_true",
+        help="run the crash-and-heal chaos cell instead of the "
+        "throughput sweep (gated inline)",
+    )
     args = parser.parse_args(argv)
     if args.gate:
         report = json.loads(Path(args.out).read_text())
-        failures = check_gate(report)
+        if report.get("benchmark") == "service_fault_lane":
+            failures = check_fault_gate(report["cell"])
+        else:
+            failures = check_gate(report)
         for line in failures:
             print(f"GATE FAIL: {line}", file=sys.stderr)
         if not failures:
-            print(f"service gate OK ({len(report['cells'])} cells)")
+            print("service gate OK")
+        return 1 if failures else 0
+    if args.fault_lane:
+        started = time.perf_counter()
+        with tempfile.TemporaryDirectory() as root:
+            cell = run_fault_cell(
+                args.ops,
+                max_batch=args.max_batch,
+                scheme=args.scheme,
+                root_dir=root,
+            )
+        report = {
+            "benchmark": "service_fault_lane",
+            "scheme": args.scheme,
+            "wall_seconds": round(time.perf_counter() - started, 2),
+            "cell": cell,
+        }
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(
+            f"fault lane: {cell['writes_acked']} acked writes through "
+            f"{cell['recoveries']} recoveries (gen {cell['generation']}), "
+            f"{cell['client_retries']} client retries "
+            f"({cell['retries_deduped_acks']} deduped), "
+            f"{cell['final_nodes']}/{cell['expected_nodes']} nodes"
+        )
+        failures = check_fault_gate(cell)
+        for line in failures:
+            print(f"GATE FAIL: {line}", file=sys.stderr)
         return 1 if failures else 0
     clients_list = tuple(int(c) for c in args.clients.split(",") if c)
     started = time.perf_counter()

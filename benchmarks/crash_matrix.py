@@ -24,15 +24,29 @@ crashed batch for the post-commit checkpoint sites, where the batch
 fsync'd before the crash): an acked commit is never lost, an unacked
 coalesced commit may be.
 
-Failing cells are written to ``CRASH_failures.json`` — each entry
+A third block (``recovery``) is the self-healing tier: for every
+service cell, plus a crash at the post-fsync ``service.dedup`` site,
+the quarantined writer is healed **in place** (``recover()``) instead
+of handing the WAL directory to a fresh process.  Each cell also
+injects a *second* crash during the recovery itself
+(``service.recover``) and requires the writer to land back in
+``crashed`` — healable by the next attempt, generation unmoved.  After
+the heal: the engine equals the acked-prefix oracle, the crashed
+batch's specs are retried with their original ``request_id``s (durable
+-but-unacked batches dedup entirely — zero new WAL frames; lost
+batches re-apply fresh), and the remaining script resumes on the same
+healed writer to the crash-free end state.
+
+Failing cells are written to ``CRASH_failures.json`` (engine/service
+tiers) or ``RECOVERY_failures.json`` (recovery tier) — each entry
 carries the serialized fault plan, so re-arming the deserialized plan
 replays the identical crash — and the process exits non-zero (the CI
-contract; the workflow uploads the file as an artifact).
+contract; the workflow uploads the files as artifacts).
 
 Usage::
 
     python benchmarks/crash_matrix.py [--ops 14] [--seeds 3 7]
-        [--out CRASH_failures.json]
+        [--out CRASH_failures.json] [--recovery-out RECOVERY_failures.json]
 """
 
 from __future__ import annotations
@@ -63,6 +77,15 @@ CHECKPOINT_EVERY = 3
 #: Crashes here land *after* the commit record fsync'd: the op is
 #: durable even though the caller never saw its result.
 POST_COMMIT_SITES = ("wal.checkpoint_write", "wal.checkpoint_truncate")
+
+#: The recovery tier adds the writer's own post-fsync site: a crash in
+#: the acknowledgement path, after the batch fsync but before the
+#: retry-dedup table recorded anything.
+RECOVERY_SITES = WAL_CRASH_SITES + ("service.dedup",)
+
+#: Sites whose crashed batch is durable despite never being acked —
+#: recovery includes it, and retrying its request ids must dedup.
+POST_FSYNC_SITES = POST_COMMIT_SITES + ("service.dedup",)
 
 
 def seed_document(elements: int, seed: int):
@@ -265,7 +288,11 @@ def run_service_cell(scheme: str, site: str, seed: int, ops: int) -> list[str]:
             wal_dir=wal_dir,
             wal_checkpoint_commits=CHECKPOINT_EVERY,
         )
-        writer = DocumentWriter(engine, max_batch=SERVICE_BATCH)
+        # auto_recover off: this tier pins the *quarantine* contract;
+        # the recovery tier below owns the self-healing one.
+        writer = DocumentWriter(
+            engine, max_batch=SERVICE_BATCH, auto_recover=False
+        )
         batches = [
             [UpdateRequest(op=spec) for spec in specs[start : start + SERVICE_BATCH]]
             for start in range(0, len(specs), SERVICE_BATCH)
@@ -284,8 +311,11 @@ def run_service_cell(scheme: str, site: str, seed: int, ops: int) -> list[str]:
             return [f"service crash at {site} never fired in {len(batches)} batches"]
 
         # Ack protocol: every request in an acked batch resolved with a
-        # receipt; every request in the crashed batch failed with
-        # ServiceCrashed; the quarantined writer refuses new work.
+        # receipt; the crashed batch's futures failed with
+        # ServiceCrashed for the pre-ack sites, and *resolved* for the
+        # post-commit checkpoint sites (the writer checkpoints after
+        # its acks, so a checkpoint crash lands after clients heard
+        # back); the quarantined writer refuses new work.
         for batch in batches[:acked]:
             for request in batch:
                 if request.future.exception() is not None:
@@ -294,7 +324,14 @@ def run_service_cell(scheme: str, site: str, seed: int, ops: int) -> list[str]:
                         f"({request.future.exception()!r})"
                     )
         for request in crashed_batch:
-            if not isinstance(request.future.exception(), ServiceCrashed):
+            if site in POST_COMMIT_SITES:
+                if request.future.exception() is not None:
+                    problems.append(
+                        "a checkpoint-crash batch future failed even "
+                        "though the acks precede the checkpoint "
+                        f"({request.future.exception()!r})"
+                    )
+            elif not isinstance(request.future.exception(), ServiceCrashed):
                 problems.append(
                     "a crashed-batch future did not fail with ServiceCrashed"
                 )
@@ -359,6 +396,170 @@ def run_service_cell(scheme: str, site: str, seed: int, ops: int) -> list[str]:
     return problems
 
 
+# -- recovery / self-healing cells -------------------------------------------
+#
+# ISSUE 9's tier: instead of handing the WAL directory to a fresh
+# process, heal the quarantined writer *in place* and keep going.  The
+# cell also proves recovery itself is crash-safe (a SimulatedCrash at
+# service.recover leaves the writer crashed and healable) and that the
+# rebuilt dedup table makes client retries idempotent across the crash:
+# a durable-but-unacked batch deduplicates entirely (no new WAL
+# frames), a lost batch re-applies fresh — either way the document
+# converges on the crash-free oracle.
+
+
+def run_recovery_cell(scheme: str, site: str, seed: int, ops: int) -> list[str]:
+    """One self-healing cell; returns the list of property violations."""
+    specs, batch_states = plan_service_run(scheme, seed, ops)
+    specs = [
+        dict(spec, request_id=f"r{seed}-{index}")
+        for index, spec in enumerate(specs)
+    ]
+    plan = FaultPlan.crash(site, at=1 + seed % 3, note=f"recovery seed={seed}")
+    problems: list[str] = []
+
+    with tempfile.TemporaryDirectory(prefix="repro-crash-rec-") as wal_dir:
+        engine = UpdateEngine(
+            build_labeled(scheme, doc_seed=seed),
+            with_storage=True,
+            durability="wal",
+            wal_dir=wal_dir,
+            wal_checkpoint_commits=CHECKPOINT_EVERY,
+        )
+        writer = DocumentWriter(
+            engine, max_batch=SERVICE_BATCH, auto_recover=False
+        )
+        batches = [
+            [UpdateRequest(op=spec) for spec in specs[start : start + SERVICE_BATCH]]
+            for start in range(0, len(specs), SERVICE_BATCH)
+        ]
+        acked = None
+        with FAULTS.armed(plan):
+            for index, batch in enumerate(batches):
+                try:
+                    writer.apply_batch(batch)
+                except SimulatedCrash:
+                    acked = index
+                    break
+        if acked is None:
+            return [
+                f"recovery crash at {site} never fired in "
+                f"{len(batches)} batches"
+            ]
+        if writer.status != "crashed":
+            return [f"writer status is {writer.status!r} after the crash"]
+        generation_before = writer.generation
+
+        # A second crash *during* recovery: the writer must land back in
+        # crashed (healable), and the generation must not advance.
+        with FAULTS.armed(FaultPlan.crash("service.recover", at=1)):
+            try:
+                writer.recover()
+            except SimulatedCrash:
+                pass
+            else:
+                problems.append(
+                    "armed service.recover crash did not fire during "
+                    "recovery"
+                )
+        if writer.status != "crashed":
+            problems.append(
+                f"writer is {writer.status!r} after a crash during "
+                f"recovery (expected crashed-and-healable)"
+            )
+        if writer.generation != generation_before:
+            problems.append("generation advanced for a failed recovery")
+        if problems:
+            return problems
+
+        # Heal in place.
+        outcome = writer.recover()
+        if (
+            not outcome.get("healed")
+            or writer.status != "serving"
+            or writer.generation != generation_before + 1
+        ):
+            problems.append(
+                f"in-place recovery did not heal: {outcome!r}, "
+                f"status={writer.status!r}, generation={writer.generation}"
+            )
+        committed = acked + (1 if site in POST_FSYNC_SITES else 0)
+        if logical_state(writer.engine.labeled) != batch_states[committed]:
+            problems.append(
+                f"healed state differs from the acked prefix "
+                f"({committed} of {len(batches)} batches; crashed in "
+                f"batch {acked})"
+            )
+        violations = verify_integrity(writer.engine.labeled)
+        if violations:
+            problems.append(
+                f"{len(violations)} integrity violations after the heal: "
+                f"{violation_dicts(violations)}"
+            )
+        if problems:
+            return problems
+
+        # The client's crash story: retry the crashed batch with the
+        # SAME request ids.  Durable-but-unacked -> every retry dedups
+        # against the table recovery rebuilt, zero new WAL frames;
+        # lost -> every retry applies fresh.
+        lsn_before = writer.engine.wal.next_lsn
+        retried = [
+            UpdateRequest(op=spec)
+            for spec in specs[
+                acked * SERVICE_BATCH : (acked + 1) * SERVICE_BATCH
+            ]
+        ]
+        writer.apply_batch(retried)
+        for request in retried:
+            if request.future.exception() is not None:
+                problems.append(
+                    f"a retried request failed on the healed writer "
+                    f"({request.future.exception()!r})"
+                )
+        if logical_state(writer.engine.labeled) != batch_states[acked + 1]:
+            problems.append(
+                "state after the idempotent retry differs from the oracle"
+            )
+        if site in POST_FSYNC_SITES:
+            if writer.retries_deduped != len(retried):
+                problems.append(
+                    f"expected all {len(retried)} retried ops deduped, "
+                    f"writer counted {writer.retries_deduped}"
+                )
+            if writer.engine.wal.next_lsn != lsn_before:
+                problems.append(
+                    "deduplicated retries appended new WAL frames"
+                )
+        elif writer.retries_deduped:
+            problems.append(
+                f"{writer.retries_deduped} lost-batch retries were "
+                f"wrongly deduplicated"
+            )
+        if problems:
+            return problems
+
+        # Resume the remaining script on the SAME healed writer.
+        for batch in batches[acked + 1 :]:
+            writer.apply_batch(
+                [UpdateRequest(op=request.op) for request in batch]
+            )
+        if logical_state(writer.engine.labeled) != batch_states[-1]:
+            problems.append(
+                "healed writer's resumed run diverges from the "
+                "crash-free oracle"
+            )
+        violations = verify_integrity(
+            writer.engine.labeled, writer.engine.store
+        )
+        if violations:
+            problems.append(
+                f"{len(violations)} integrity violations at end of the "
+                f"healed run: {violation_dicts(violations)}"
+            )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Simulated-crash matrix over the WAL durability sites."
@@ -376,25 +577,36 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--out",
         default="CRASH_failures.json",
-        help="where to write failing cells' fault plans",
+        help="where to write failing engine/service cells' fault plans",
+    )
+    parser.add_argument(
+        "--recovery-out",
+        default="RECOVERY_failures.json",
+        help="where to write failing recovery-tier cells' fault plans",
     )
     args = parser.parse_args(argv)
 
-    failures = []
+    failures: list[dict] = []
+    recovery_failures: list[dict] = []
     cells = 0
-    for kind, runner in (("engine", run_cell), ("service", run_service_cell)):
+    tiers = (
+        ("engine", run_cell, WAL_CRASH_SITES, failures),
+        ("service", run_service_cell, WAL_CRASH_SITES, failures),
+        ("recovery", run_recovery_cell, RECOVERY_SITES, recovery_failures),
+    )
+    for kind, runner, sites, sink in tiers:
         for scheme in SCHEMES:
-            for site in WAL_CRASH_SITES:
+            for site in sites:
                 for seed in args.seeds:
                     cells += 1
                     problems = runner(scheme, site, seed, args.ops)
                     status = "ok" if not problems else "FAIL"
                     print(
-                        f"[{status}] {kind:7s} {scheme:22s} {site:24s} "
+                        f"[{status}] {kind:8s} {scheme:22s} {site:24s} "
                         f"seed={seed}"
                     )
                     if problems:
-                        failures.append(
+                        sink.append(
                             {
                                 "kind": kind,
                                 "scheme": scheme,
@@ -407,13 +619,16 @@ def main(argv: list[str] | None = None) -> int:
                                 "problems": problems,
                             }
                         )
-    if failures:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            json.dump(failures, handle, indent=2)
-        print(
-            f"\n{len(failures)}/{cells} cells FAILED; fault plans written "
-            f"to {args.out}"
-        )
+    failed = len(failures) + len(recovery_failures)
+    for sink, path in ((failures, args.out), (recovery_failures, args.recovery_out)):
+        if sink:
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(sink, handle, indent=2)
+            print(
+                f"\n{len(sink)} cells FAILED; fault plans written to {path}"
+            )
+    if failed:
+        print(f"\n{failed}/{cells} cells FAILED")
         return 1
     print(f"\nall {cells} cells passed")
     return 0

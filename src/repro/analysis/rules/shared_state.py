@@ -16,11 +16,15 @@ The flagged shapes:
 * **Class-level mutable attribute defaults** — silently shared by all
   instances; the classic aliasing bug becomes a cross-document data
   leak under MVCC.
-* **Memo-cache fills outside the undo discipline** — a method that
-  populates a ``*cache*`` attribute without registering an inverse is
-  invisible to rollback and racy under concurrent readers.  Wholesale
-  cache *resets* (``self._cache = {}``) are fine; incremental fills
-  are the hazard.
+* **Memo-cache / dedup-table fills outside the undo-or-rebuild
+  discipline** — a method that populates a ``*cache*`` or ``*dedup*``
+  attribute without registering an inverse is invisible to rollback
+  and racy under concurrent readers.  Wholesale *resets*
+  (``self._cache = {}``) are fine; incremental fills are the hazard.
+  A class that owns a ``rebuild*`` method is exempt: its tables are
+  declared *derived* state, reconstructible from durable ground truth
+  (the discipline the service's retry-dedup table follows — see
+  ``DocumentWriter._rebuild_dedup``).
 
 The explicit process-wide registries (``OBS``, ``FAULTS``) and the
 analyzer/bench tooling are exempt by module prefix — they are the
@@ -151,15 +155,42 @@ class SharedStateRule(Rule):
                     ),
                 )
 
+    #: Attribute-name markers for derived-state tables the rule audits:
+    #: memoization caches and request-id dedup tables share the same
+    #: failure mode (a fill that rollback and recovery cannot see).
+    _TABLE_MARKERS = ("cache", "dedup")
+
     def _memo_caches(self, module, severity) -> Iterator[Finding]:
+        # A class with a rebuild* method declares its tables *derived*:
+        # recovery reconstructs them from durable ground truth, which is
+        # the other sanctioned discipline besides undo registration.
+        rebuild_classes = {
+            class_facts.name
+            for class_facts in module.classes.values()
+            if any(
+                method.lstrip("_").startswith("rebuild")
+                for method in class_facts.methods
+            )
+        }
         for facts in module.functions.values():
             if _is_dunder(facts.name) or facts.registers_undo:
+                continue
+            if facts.class_name in rebuild_classes:
                 continue
             for mutation in facts.mutations:
                 if mutation.kind != "subscript":
                     continue
-                if not any("cache" in part for part in mutation.chain):
+                marker = next(
+                    (
+                        m
+                        for m in self._TABLE_MARKERS
+                        if any(m in part for part in mutation.chain)
+                    ),
+                    None,
+                )
+                if marker is None:
                     continue
+                kind = "memo cache" if marker == "cache" else "dedup table"
                 yield Finding(
                     path=module.path,
                     line=mutation.lineno,
@@ -167,11 +198,12 @@ class SharedStateRule(Rule):
                     rule=self.id,
                     severity=severity,
                     message=(
-                        f"{facts.qualname} fills memo cache "
-                        f"{mutation.describe()} without undo "
+                        f"{facts.qualname} fills {kind} "
+                        f"{mutation.describe()} without undo or rebuild "
                         f"registration; the fill is invisible to "
-                        f"rollback and racy under concurrent readers — "
-                        f"register an inverse or make the cache "
-                        f"per-transaction"
+                        f"rollback and recovery, and racy under "
+                        f"concurrent readers — register an inverse, "
+                        f"give the owning class a rebuild* method, or "
+                        f"make the table per-transaction"
                     ),
                 )

@@ -146,6 +146,30 @@ class ServiceError(ReproError):
     """
 
 
+class DeadlineExceeded(ServiceError):
+    """A queued update's deadline expired before the writer reached it.
+
+    The op was **not** applied (expiry is checked before the engine
+    runs it) and nothing of it was logged.  The HTTP layer maps this to
+    408; a client that still wants the update should resubmit — with a
+    ``request_id`` if it cannot tell a late ack from a lost one.
+    """
+
+
+class ServiceOverloaded(ServiceError):
+    """The document's commit queue is full; the update was refused.
+
+    Backpressure, not failure: nothing was enqueued, nothing applied.
+    ``retry_after`` is the writer's hint (in seconds) for when the
+    queue should have drained; the HTTP layer maps this to 429 with a
+    ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.05) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class ServiceCrashed(ReproError):
     """The document's writer died before this commit was acknowledged.
 

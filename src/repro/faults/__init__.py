@@ -20,6 +20,7 @@ from repro.faults.plan import (
     CRASH,
     KNOWN_SITES,
     PERSISTENT,
+    SERVICE_FAULT_SITES,
     TRANSIENT,
     WAL_CRASH_SITES,
     FaultPlan,
@@ -35,6 +36,7 @@ __all__ = [
     "FaultPoint",
     "KNOWN_SITES",
     "WAL_CRASH_SITES",
+    "SERVICE_FAULT_SITES",
     "TRANSIENT",
     "PERSISTENT",
     "CRASH",

@@ -38,6 +38,7 @@ from repro.errors import (
 __all__ = [
     "KNOWN_SITES",
     "WAL_CRASH_SITES",
+    "SERVICE_FAULT_SITES",
     "TRANSIENT",
     "PERSISTENT",
     "CRASH",
@@ -61,6 +62,19 @@ WAL_CRASH_SITES: tuple[str, ...] = (
     "wal.fsync",
     "wal.checkpoint_write",
     "wal.checkpoint_truncate",
+)
+
+#: Sites on the document service's self-healing path.  ``service.recover``
+#: fires once per :meth:`repro.service.writer.DocumentWriter.recover`
+#: attempt (a crash there models the process dying *during* recovery —
+#: the writer must land back in ``crashed``, healable by the next try);
+#: ``service.dedup`` fires once per acknowledged batch, before the
+#: retry-dedup table records the batch's request ids (a crash there is
+#: post-fsync: the batch is durable but never acked, the post-commit
+#: class the recovery matrix already knows).
+SERVICE_FAULT_SITES: tuple[str, ...] = (
+    "service.recover",
+    "service.dedup",
 )
 
 TRANSIENT = "transient"

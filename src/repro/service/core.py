@@ -21,8 +21,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeout
 
-from repro.errors import ServiceError, UnsupportedOperationError
+from repro.errors import (
+    DeadlineExceeded,
+    ServiceError,
+    UnsupportedOperationError,
+)
 from repro.labeling.snapshot import LabelView
 from repro.query import QueryEngine
 from repro.service.registry import DocumentHandle, DocumentRegistry
@@ -44,6 +49,16 @@ class ServiceConfig:
     default_scheme: str = "QED-Prefix"
     #: Seconds :meth:`DocumentService.update` waits for a commit ack.
     ack_timeout: float = 30.0
+    #: Per-document commit-queue bound; a submit against a full queue
+    #: is refused with :class:`~repro.errors.ServiceOverloaded` (HTTP
+    #: 429 + ``Retry-After``).  ``None`` disables backpressure.
+    max_queue_depth: "int | None" = 256
+    #: How many acked ``request_id`` entries each document's retry-dedup
+    #: table retains (rebuilt from the WAL during recovery).
+    dedup_capacity: int = 1024
+    #: Heal a crashed document on the next submit (requires a WAL);
+    #: with this off, healing needs an explicit ``POST /docs/<id>/recover``.
+    auto_recover: bool = True
 
 
 class DocumentService:
@@ -52,7 +67,11 @@ class DocumentService:
     def __init__(self, config: "ServiceConfig | None" = None) -> None:
         self.config = config or ServiceConfig()
         self.registry = DocumentRegistry(
-            self.config.root_dir, max_batch=self.config.max_batch
+            self.config.root_dir,
+            max_batch=self.config.max_batch,
+            max_queue=self.config.max_queue_depth,
+            dedup_capacity=self.config.dedup_capacity,
+            auto_recover=self.config.auto_recover,
         )
 
     # -- document lifecycle ------------------------------------------------
@@ -78,8 +97,68 @@ class DocumentService:
         return self.registry.get(doc_id).stats()
 
     def close(self, timeout: float = 10.0) -> None:
-        """Drain every commit queue and stop every writer."""
+        """Drain every commit queue, join every writer, refuse new work."""
         self.registry.close(timeout=timeout)
+
+    # -- health and recovery -----------------------------------------------
+
+    def recover(self, doc_id: str) -> dict:
+        """Heal a crashed document in place (``POST /docs/<id>/recover``).
+
+        Idempotent: recovering a serving document is a no-op report.
+        """
+        handle = self.registry.get(doc_id)
+        outcome = handle.writer.recover()
+        outcome["doc_id"] = doc_id
+        return outcome
+
+    def status(self, doc_id: str) -> dict:
+        """One document's state machine + queue view (``GET /docs/<id>/status``)."""
+        handle = self.registry.get(doc_id)
+        writer = handle.writer
+        return {
+            "doc_id": doc_id,
+            "status": writer.status,
+            "generation": writer.generation,
+            "queue_depth": writer.queue_depth,
+            "max_queue": writer.max_queue,
+            "acked_version": writer.acked_version,
+            "crash_cause": (
+                None
+                if writer.crash_cause is None
+                else repr(writer.crash_cause)
+            ),
+            "recoveries": writer.recoveries,
+            "retries_deduped": writer.retries_deduped,
+            "rejected_overload": writer.rejected_overload,
+            "deadlines_expired": writer.deadlines_expired,
+            "dedup_entries": writer.dedup_entries,
+        }
+
+    def healthz(self) -> dict:
+        """Service-wide liveness summary (``GET /healthz``).
+
+        ``ok`` is True when every served document is accepting writes —
+        a crashed-but-auto-recoverable document still reports degraded
+        until something actually heals it.
+        """
+        statuses = {}
+        queue_depth = 0
+        for doc_id in self.registry.ids():
+            writer = self.registry.get(doc_id).writer
+            statuses[writer.status] = statuses.get(writer.status, 0) + 1
+            queue_depth += writer.queue_depth
+        degraded = sum(
+            count
+            for status, count in statuses.items()
+            if status != "serving"
+        )
+        return {
+            "ok": degraded == 0,
+            "documents": sum(statuses.values()),
+            "by_status": statuses,
+            "queue_depth": queue_depth,
+        }
 
     # -- the write path ----------------------------------------------------
 
@@ -99,9 +178,16 @@ class DocumentService:
         writer died before the ack.
         """
         future = self.submit(doc_id, op)
-        return future.result(
-            self.config.ack_timeout if timeout is None else timeout
-        )
+        try:
+            return future.result(
+                self.config.ack_timeout if timeout is None else timeout
+            )
+        except FutureTimeout:
+            raise DeadlineExceeded(
+                f"no ack within the service's {self.config.ack_timeout}s "
+                f"wait budget; the update may still commit — retry with "
+                f"a request_id to stay idempotent"
+            ) from None
 
     # -- the read path (snapshot-only, never blocks the writer) ------------
 

@@ -16,11 +16,20 @@ Routes::
     GET  /docs/<id>/relationship?first=N&second=M
                                       label-only structural predicates
     POST /docs/<id>/updates           {"op": {...}} or {"ops": [{...}, ...]}
+    GET  /docs/<id>/status            writer state machine + queue depth
+    POST /docs/<id>/recover           heal a crashed document in place
+    GET  /healthz                     service-wide liveness (503 if degraded)
 
 Error mapping: :class:`ServiceError` is 404 for unknown documents and
 400 otherwise; a rolled-back transaction (:class:`UpdateAborted`)
 is 409 — the document is intact, the request just cannot apply; a
-quarantined document (:class:`ServiceCrashed`) is 503.
+quarantined document (:class:`ServiceCrashed`) is 503 with a
+``Retry-After`` header (recovery is quick); a full commit queue
+(:class:`ServiceOverloaded`) is 429 with the writer's modeled
+``Retry-After``; an expired deadline (:class:`DeadlineExceeded`) is
+408.  Every error body is structured — ``error``, ``message``, and
+(when the route names a document) the document's ``state`` — so
+clients can distinguish "retry now with backoff" from "recover first".
 
 The concurrency model is ``ThreadingHTTPServer``: one thread per
 connection, all of them funneling writes into the per-document commit
@@ -30,13 +39,16 @@ queues and serving reads from published snapshots.
 from __future__ import annotations
 
 import json
+import math
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import (
+    DeadlineExceeded,
     ReproError,
     ServiceCrashed,
     ServiceError,
+    ServiceOverloaded,
     UpdateAborted,
 )
 from repro.service.core import DocumentService
@@ -49,6 +61,10 @@ _MAX_BODY_BYTES = 8 << 20
 def _status_for(error: ReproError) -> int:
     if isinstance(error, ServiceCrashed):
         return 503
+    if isinstance(error, ServiceOverloaded):
+        return 429
+    if isinstance(error, DeadlineExceeded):
+        return 408
     if isinstance(error, UpdateAborted):
         return 409
     if isinstance(error, ServiceError) and "unknown document" in str(error):
@@ -70,18 +86,41 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:
         """Quiet by default; the bench would otherwise drown in lines."""
 
-    def _send_json(self, status: int, payload) -> None:
+    def _send_json(self, status: int, payload, headers=None) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, error: BaseException) -> None:
-        self._send_json(
-            status, {"error": type(error).__name__, "message": str(error)}
-        )
+    def _send_error_json(
+        self, status: int, error: BaseException, doc_id: "str | None" = None
+    ) -> None:
+        """A structured error answer: name, message, document state.
+
+        503 (crashed — recovery is quick) and 429 (overloaded — the
+        writer models its own drain time) both carry ``Retry-After``,
+        in the header as whole delta-seconds and in the body exact, so
+        well-behaved clients back off instead of hammering.
+        """
+        payload = {"error": type(error).__name__, "message": str(error)}
+        headers: dict[str, str] = {}
+        if isinstance(error, ServiceOverloaded):
+            payload["retry_after"] = error.retry_after
+            headers["Retry-After"] = str(max(1, math.ceil(error.retry_after)))
+        elif status == 503:
+            payload["retry_after"] = 1
+            headers["Retry-After"] = "1"
+        if doc_id is not None:
+            payload["doc_id"] = doc_id
+            try:
+                payload["state"] = self.service.status(doc_id)["status"]
+            except ReproError:
+                pass  # unknown document: the message already says so
+        self._send_json(status, payload, headers=headers)
 
     def _read_json_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -105,10 +144,11 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         split = urlsplit(self.path)
         parts = [part for part in split.path.split("/") if part]
         query = parse_qs(split.query)
+        doc_id = parts[1] if len(parts) >= 2 and parts[0] == "docs" else None
         try:
             payload, status = self._route(method, parts, query)
         except ReproError as error:
-            self._send_error_json(_status_for(error), error)
+            self._send_error_json(_status_for(error), error, doc_id=doc_id)
             return
         except Exception as error:
             # Anything non-repro (an ack timeout, a handler bug) is a
@@ -128,6 +168,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def _route(self, method, parts, query):
         """Returns ``(payload, status)`` or ``(None, _)`` for no-route."""
         service = self.service
+        if parts == ["healthz"] and method == "GET":
+            health = service.healthz()
+            return health, 200 if health["ok"] else 503
         if parts and parts[0] == "docs":
             if method == "POST" and len(parts) == 1:
                 body = self._read_json_body()
@@ -163,6 +206,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                     )
                 if method == "POST" and parts[2:] == ["updates"]:
                     return self._handle_updates(doc_id), 200
+                if method == "GET" and parts[2:] == ["status"]:
+                    return service.status(doc_id), 200
+                if method == "POST" and parts[2:] == ["recover"]:
+                    return service.recover(doc_id), 200
         return None, 0
 
     @staticmethod

@@ -26,21 +26,30 @@ __all__ = ["DocumentHandle", "DocumentRegistry"]
 
 
 class DocumentHandle:
-    """One served document: engine + writer + WAL home, plus its stats."""
+    """One served document: writer + WAL home, plus its stats.
 
-    __slots__ = ("doc_id", "engine", "writer", "wal_dir")
+    The handle deliberately does *not* pin an engine: recovery swaps a
+    crashed writer's engine for a healed one, so :attr:`engine` is a
+    live property over the writer — everything reached through the
+    handle always sees the serving generation's state.
+    """
+
+    __slots__ = ("doc_id", "writer", "wal_dir")
 
     def __init__(
         self,
         doc_id: str,
-        engine: UpdateEngine,
         writer: DocumentWriter,
         wal_dir: "Path | None",
     ) -> None:
         self.doc_id = doc_id
-        self.engine = engine
         self.writer = writer
         self.wal_dir = wal_dir
+
+    @property
+    def engine(self) -> UpdateEngine:
+        """The writer's *current* engine (recovery replaces it)."""
+        return self.writer.engine
 
     @property
     def view(self) -> LabelView:
@@ -56,11 +65,18 @@ class DocumentHandle:
             "scheme": self.engine.labeled.scheme.name,
             "nodes": self.view.node_count(),
             "version": writer.acked_version,
+            "generation": writer.generation,
             "commits_acked": writer.commits_acked,
             "requests_failed": writer.requests_failed,
             "batches": writer.batches,
             "fsyncs": writer.fsyncs,
             "fsyncs_per_commit": writer.amortized_fsyncs_per_commit,
+            "queue_depth": writer.queue_depth,
+            "recoveries": writer.recoveries,
+            "retries_deduped": writer.retries_deduped,
+            "rejected_overload": writer.rejected_overload,
+            "deadlines_expired": writer.deadlines_expired,
+            "dedup_entries": writer.dedup_entries,
         }
 
 
@@ -72,16 +88,29 @@ class DocumentRegistry:
             (``<root_dir>/<doc_id>``).  ``None`` serves documents with
             durability off — useful for pure-throughput experiments.
         max_batch: group-commit window handed to each writer.
+        max_queue: per-writer commit-queue bound (``None`` unbounded).
+        dedup_capacity: per-writer retry-dedup table size.
+        auto_recover: heal crashed writers on the next submit.
     """
 
     def __init__(
-        self, root_dir: "str | Path | None" = None, *, max_batch: int = 32
+        self,
+        root_dir: "str | Path | None" = None,
+        *,
+        max_batch: int = 32,
+        max_queue: "int | None" = 256,
+        dedup_capacity: int = 1024,
+        auto_recover: bool = True,
     ) -> None:
         self.root_dir = None if root_dir is None else Path(root_dir)
         self.max_batch = max_batch
+        self.max_queue = max_queue
+        self.dedup_capacity = dedup_capacity
+        self.auto_recover = auto_recover
         self._lock = threading.Lock()
         self._handles: dict[str, DocumentHandle] = {}
         self._sequence = 0
+        self._closed = False
 
     def __len__(self) -> int:
         with self._lock:
@@ -112,6 +141,11 @@ class DocumentRegistry:
         expensive) parse + label + engine construction runs outside it,
         so creating a large document never stalls lookups of others.
         """
+        with self._lock:
+            if self._closed:
+                raise ServiceError(
+                    "registry is shut down; not accepting new documents"
+                )
         try:
             factory = make_scheme(scheme)
         except KeyError as error:
@@ -133,20 +167,35 @@ class DocumentRegistry:
                 durability="wal",
                 wal_dir=wal_dir,
             )
-        writer = DocumentWriter(engine, max_batch=self.max_batch)
+        writer = DocumentWriter(
+            engine,
+            max_batch=self.max_batch,
+            max_queue=self.max_queue,
+            dedup_capacity=self.dedup_capacity,
+            auto_recover=self.auto_recover,
+        )
         if start_writer:
             writer.start()
-        handle = DocumentHandle(doc_id, engine, writer, wal_dir)
+        handle = DocumentHandle(doc_id, writer, wal_dir)
         with self._lock:
-            if doc_id in self._handles:
+            if self._closed or doc_id in self._handles:
                 writer.close(timeout=1.0)
-                raise ServiceError(f"document {doc_id!r} already exists")
+                raise ServiceError(
+                    "registry is shut down; not accepting new documents"
+                    if self._closed
+                    else f"document {doc_id!r} already exists"
+                )
             self._handles[doc_id] = handle
         return handle
 
     def close(self, timeout: float = 10.0) -> None:
-        """Drain and stop every writer (documents stay registered)."""
+        """Shut down: drain and *join* every writer thread, then refuse
+        all further creates (documents stay registered for post-mortem
+        stats; their writers answer every submit with a clean
+        ``ServiceError`` instead of hanging or leaking daemon threads).
+        """
         with self._lock:
+            self._closed = True
             handles = list(self._handles.values())
         for handle in handles:
             handle.writer.close(timeout=timeout)

@@ -191,6 +191,7 @@ class UpdateEngine:
         else:
             self.wal = None
         self._wal_pending: list[dict] = []
+        self._pending_request_id: str | None = None
         self.totals = UpdateStats()
         self._txn_depth = 0
         self._group: GroupCommitScope | None = None
@@ -231,6 +232,7 @@ class UpdateEngine:
             # UpdateStats is replaced (merge returns a new instance),
             # never mutated, so the captured reference is a snapshot.
             self._wal_pending.clear()
+            self._pending_request_id = None
             self.totals = totals_before
             raise
         finally:
@@ -242,7 +244,9 @@ class UpdateEngine:
             self.wal.maybe_checkpoint()
 
     @contextmanager
-    def commit_group(self) -> Iterator[GroupCommitScope]:
+    def commit_group(
+        self, *, defer_checkpoint: bool = False
+    ) -> Iterator[GroupCommitScope]:
         """Coalesce the ops in this block into one WAL fsync (group commit).
 
         The service's per-document writer drains its commit queue
@@ -255,6 +259,15 @@ class UpdateEngine:
         the block, using the yielded scope's receipts.
 
         Due checkpoints run after the batch fsync (never inside it).
+        With ``defer_checkpoint`` the caller takes over even that: the
+        block exits without checkpointing and the caller runs
+        ``wal.maybe_checkpoint()`` itself once its acknowledgements are
+        out.  The service's writer needs this ordering because a
+        checkpoint *truncates the log* — running it before the acks
+        could destroy the ``request_id`` frames of a durable-but-unacked
+        batch, exactly the frames crash recovery must rebuild the
+        retry-dedup table from.
+
         If the block body — or the batch fsync itself — raises, the
         staged records are abandoned un-flushed: the in-memory document
         may then be ahead of the log, so the caller must treat the
@@ -277,13 +290,32 @@ class UpdateEngine:
             raise
         finally:
             self._group = None
-        self.wal.maybe_checkpoint()
+        if not defer_checkpoint:
+            self.wal.maybe_checkpoint()
+
+    def stage_request_id(self, request_id: "str | None") -> None:
+        """Tag the *next* committed operation's WAL record with a client
+        idempotency key.
+
+        Consumed (and cleared) by the commit hook of the next operation
+        that logs a record; cleared without effect if that operation
+        aborts or stages nothing.  The service's writer sets this right
+        before each queued op so a retried ``request_id`` can be matched
+        against the durable log after a crash.
+        """
+        self._pending_request_id = request_id
 
     def _commit_wal(self, op: str, scope: "_CommitScope") -> None:
         """The transaction's commit hook: log the staged sub-ops."""
         subops = self._wal_pending
         self._wal_pending = []
-        receipt = self.wal.commit(op, subops) if subops else None
+        request_id = self._pending_request_id
+        self._pending_request_id = None
+        receipt = (
+            self.wal.commit(op, subops, request_id=request_id)
+            if subops
+            else None
+        )
         if receipt is not None:
             scope.receipt = receipt
         if self._group is not None:

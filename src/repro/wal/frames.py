@@ -82,6 +82,11 @@ class WalRecord:
     op: str
     scheme: str
     subops: tuple = field(default_factory=tuple)
+    #: Optional client idempotency key.  Encoded as ``"rid"`` in the
+    #: frame header only when present, so records without one are
+    #: byte-identical to the pre-``request_id`` format (old logs decode
+    #: to ``request_id=None``).
+    request_id: "str | None" = None
 
     def label_bytes(self) -> int:
         """Total encoded-label payload — the paper's durable delta."""
@@ -113,10 +118,14 @@ def encode_record(record: WalRecord) -> bytes:
         entry["labels_len"] = len(blob)
         header_subops.append(entry)
         blobs.append(blob)
-    header = json.dumps(
-        {"op": record.op, "scheme": record.scheme, "subops": header_subops},
-        separators=(",", ":"),
-    ).encode("utf-8")
+    header_fields = {
+        "op": record.op,
+        "scheme": record.scheme,
+        "subops": header_subops,
+    }
+    if record.request_id is not None:
+        header_fields["rid"] = record.request_id
+    header = json.dumps(header_fields, separators=(",", ":")).encode("utf-8")
     return (
         _PAYLOAD_HEAD.pack(record.lsn, len(header)) + header + b"".join(blobs)
     )
@@ -146,8 +155,11 @@ def decode_record(payload: bytes) -> WalRecord:
         op = header["op"]
         scheme = header["scheme"]
         raw_subops = header["subops"]
+        request_id = header.get("rid")
         if not isinstance(raw_subops, list):
             raise TypeError("subops must be a list")
+        if request_id is not None and not isinstance(request_id, str):
+            raise TypeError("rid must be a string")
     except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError) as e:
         raise WalError(f"undecodable record header for lsn region: {e}") from e
     subops = []
@@ -169,7 +181,13 @@ def decode_record(payload: bytes) -> WalRecord:
         raise WalError(
             f"{len(payload) - cursor} trailing bytes after the last sub-op"
         )
-    return WalRecord(lsn=lsn, op=op, scheme=scheme, subops=tuple(subops))
+    return WalRecord(
+        lsn=lsn,
+        op=op,
+        scheme=scheme,
+        subops=tuple(subops),
+        request_id=request_id,
+    )
 
 
 def encode_frame(payload: bytes) -> bytes:

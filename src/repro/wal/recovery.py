@@ -52,6 +52,14 @@ class RecoveryReport:
     skipped: int
     tail_dropped_bytes: int
     tail_reason: str
+    #: ``(request_id, lsn)`` for every decodable log record that carried
+    #: a client idempotency key — skipped *and* replayed, in LSN order.
+    #: The service rebuilds its retry-dedup table from this, so a client
+    #: retrying across a crash still gets "already applied" instead of a
+    #: double-apply.  (Keys checkpointed-and-truncated away are gone;
+    #: the table is bounded anyway, and a checkpoint implies the ack had
+    #: time to reach the client.)
+    request_ids: "tuple[tuple[str, int], ...]" = ()
 
     @property
     def tail_truncated(self) -> bool:
@@ -77,6 +85,7 @@ def recover(directory: "str | Path") -> RecoveryReport:
     last_lsn = watermark
     dropped = tail.dropped_bytes
     reason = tail.reason
+    request_ids: list[tuple[str, int]] = []
     for index, payload in enumerate(payloads):
         try:
             record = decode_record(payload)
@@ -89,6 +98,8 @@ def recover(directory: "str | Path") -> RecoveryReport:
             break
         if record.lsn <= watermark:
             skipped += 1
+            if record.request_id is not None:
+                request_ids.append((record.request_id, record.lsn))
             continue
         if record.lsn != last_lsn + 1:
             dropped += sum(len(p) for p in payloads[index:])
@@ -99,6 +110,8 @@ def recover(directory: "str | Path") -> RecoveryReport:
         _apply_record(labeled, record)
         last_lsn = record.lsn
         replayed += 1
+        if record.request_id is not None:
+            request_ids.append((record.request_id, record.lsn))
     if OBS.enabled:
         OBS.inc("wal.records_replayed", replayed)
         OBS.inc("wal.records_skipped", skipped)
@@ -111,6 +124,7 @@ def recover(directory: "str | Path") -> RecoveryReport:
         skipped=skipped,
         tail_dropped_bytes=dropped,
         tail_reason=reason,
+        request_ids=tuple(request_ids),
     )
 
 

@@ -251,7 +251,12 @@ class WalManager:
         # must track the state the labels were minted under.
         return make_label_codec(labeled.scheme).encode(labels)
 
-    def commit(self, op: str, subops: list[dict]) -> CommitReceipt:
+    def commit(
+        self,
+        op: str,
+        subops: list[dict],
+        request_id: "str | None" = None,
+    ) -> CommitReceipt:
         """Log one committed transaction; returns its receipt.
 
         Outside a batch the commit is immediately durable: the frame is
@@ -272,6 +277,7 @@ class WalManager:
             op=op,
             scheme=self.labeled.scheme.name,
             subops=tuple(subops),
+            request_id=request_id,
         )
         frame = encode_frame(encode_record(record))
         if FAULTS.enabled:

@@ -1,0 +1,39 @@
+"""RPR011 fixture: dedup-table fills with and without the rebuild
+discipline, on a service-reachable path (so findings are errors).
+
+A retry-dedup table is derived state: it must either register an undo
+per fill or belong to a class that can rebuild it wholesale from the
+durable log.  ``RetryLedger`` does neither — flagged; ``HealedLedger``
+owns a ``rebuild*`` method — exempt.
+"""
+
+__all__ = ["RetryLedger", "HealedLedger"]
+
+
+class RetryLedger:
+    """No rebuild method: its fills are unrecoverable after a crash."""
+
+    def __init__(self):
+        self._dedup = {}
+
+    def record(self, request_id, ack):
+        # VIOLATION: dedup fill with no undo and no rebuild* method
+        self._dedup[request_id] = ack
+
+    def record_logged(self, request_id, ack, undo_log):
+        if undo_log is not None:
+            undo_log.record(lambda: self._dedup.pop(request_id, None))
+        self._dedup[request_id] = ack
+
+
+class HealedLedger:
+    """Same fill, but the class owns the rebuild discipline — exempt."""
+
+    def __init__(self):
+        self._dedup = {}
+
+    def record(self, request_id, ack):
+        self._dedup[request_id] = ack
+
+    def _rebuild_dedup(self, entries):
+        self._dedup = dict(entries)

@@ -19,6 +19,7 @@ RPR009TREE = FIXTURES / "rpr009tree"
 RPR010TREE = FIXTURES / "rpr010tree"
 RPR011TREE = FIXTURES / "rpr011tree"
 RPR011SVCTREE = FIXTURES / "rpr011svctree"
+RPR011DEDUPTREE = FIXTURES / "rpr011deduptree"
 
 
 def run(tree, rule):
@@ -165,3 +166,43 @@ class TestRPR011SeverityPromotion:
         for finding in result.findings:
             assert finding.rule == "RPR011"
             assert "module-level mutable container" in finding.message
+
+
+class TestRPR011DedupTables:
+    """Dedup-table fills follow the undo-*or-rebuild* discipline."""
+
+    def test_unrebuilt_dedup_fill_is_flagged_as_error(self):
+        result = run(RPR011DEDUPTREE, "RPR011")
+        assert [f.rule for f in result.findings] == ["RPR011"]
+        (finding,) = result.findings
+        assert finding.path.endswith("service/tables.py")
+        assert str(finding.severity) == "error"  # service-reachable
+        assert "RetryLedger.record" in finding.message
+        assert "dedup table" in finding.message
+        assert "rebuild" in finding.message
+
+    def test_finding_sits_on_the_marked_line(self):
+        tables = (
+            RPR011DEDUPTREE / "src" / "repro" / "service" / "tables.py"
+        )
+        lines = tables.read_text().splitlines()
+        (marked,) = [
+            lineno + 1  # the comment marker annotates the next line
+            for lineno, text in enumerate(lines, start=1)
+            if "# VIOLATION" in text
+        ]
+        assert [
+            f.line for f in run(RPR011DEDUPTREE, "RPR011").findings
+        ] == [marked]
+
+    def test_rebuild_method_exempts_the_whole_class(self):
+        messages = " ".join(
+            f.message for f in run(RPR011DEDUPTREE, "RPR011").findings
+        )
+        assert "HealedLedger" not in messages
+
+    def test_undo_registered_fill_is_exempt(self):
+        messages = " ".join(
+            f.message for f in run(RPR011DEDUPTREE, "RPR011").findings
+        )
+        assert "record_logged" not in messages

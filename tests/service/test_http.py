@@ -16,7 +16,14 @@ import urllib.request
 
 import pytest
 
-from repro.service import DocumentService, ServiceConfig, make_server
+from repro.errors import SimulatedCrash
+from repro.faults import FAULTS, FaultPlan
+from repro.service import (
+    DocumentService,
+    ServiceConfig,
+    UpdateRequest,
+    make_server,
+)
 
 XML = "<root><a><b/></a><c>text</c></root>"
 
@@ -38,6 +45,12 @@ def server(tmp_path_factory):
 
 def call(base, method, path, body=None):
     """Returns (status, decoded-json) without raising on HTTP errors."""
+    status, payload, _ = call_full(base, method, path, body)
+    return status, payload
+
+
+def call_full(base, method, path, body=None):
+    """Like :func:`call` but also returns the response headers."""
     data = None if body is None else json.dumps(body).encode("utf-8")
     request = urllib.request.Request(
         base + path,
@@ -47,9 +60,9 @@ def call(base, method, path, body=None):
     )
     try:
         with urllib.request.urlopen(request, timeout=10.0) as response:
-            return response.status, json.loads(response.read())
+            return response.status, json.loads(response.read()), response.headers
     except urllib.error.HTTPError as error:
-        return error.code, json.loads(error.read())
+        return error.code, json.loads(error.read()), error.headers
 
 
 def create(base, **extra):
@@ -230,3 +243,175 @@ class TestErrorMapping:
         status, payload = call(server, "POST", "/docs", ["not", "an", "obj"])
         assert status == 400
         assert "JSON object" in payload["message"]
+
+
+@pytest.fixture()
+def healing(tmp_path):
+    """A function-scoped server whose service object the test can reach
+    into (to crash, overload, or stall a writer deterministically)."""
+    service = DocumentService(ServiceConfig(root_dir=str(tmp_path), max_batch=8))
+    httpd = make_server(service)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    host, port = httpd.server_address
+    yield f"http://{host}:{port}", service
+    FAULTS.disarm()
+    httpd.shutdown()
+    httpd.server_close()
+    thread.join(timeout=5.0)
+    service.close()
+
+
+def crash_writer(service, doc_id):
+    """Quarantine one served document at a WAL site, deterministically."""
+    writer = service.registry.get(doc_id).writer
+    doomed = UpdateRequest(
+        op={"kind": "insert_child", "parent": 0, "xml": "<doomed/>"}
+    )
+    with FAULTS.armed(FaultPlan.crash("wal.fsync", at=1)):
+        with pytest.raises(SimulatedCrash):
+            writer.apply_batch([doomed])
+    assert writer.status == "crashed"
+    return writer
+
+
+class TestRobustnessEndpoints:
+    def test_healthz_tracks_crash_and_heal(self, healing):
+        base, service = healing
+        doc = create(base)
+        status, health = call(base, "GET", "/healthz")
+        assert status == 200
+        assert health["ok"] is True
+
+        crash_writer(service, doc["doc_id"])
+        status, health = call(base, "GET", "/healthz")
+        assert status == 503
+        assert health["ok"] is False
+        assert health["by_status"]["crashed"] == 1
+
+        status, outcome = call(
+            base, "POST", f"/docs/{doc['doc_id']}/recover"
+        )
+        assert status == 200
+        assert outcome["healed"] is True
+        assert outcome["generation"] == 1
+        status, health = call(base, "GET", "/healthz")
+        assert status == 200
+
+    def test_status_route_exposes_the_state_machine(self, healing):
+        base, service = healing
+        doc = create(base)
+        status, payload = call(base, "GET", f"/docs/{doc['doc_id']}/status")
+        assert status == 200
+        assert payload["status"] == "serving"
+        assert payload["generation"] == 0
+        assert payload["crash_cause"] is None
+        for counter in (
+            "recoveries",
+            "retries_deduped",
+            "rejected_overload",
+            "deadlines_expired",
+            "queue_depth",
+            "dedup_entries",
+        ):
+            assert payload[counter] == 0, counter
+
+        crash_writer(service, doc["doc_id"])
+        _, payload = call(base, "GET", f"/docs/{doc['doc_id']}/status")
+        assert payload["status"] == "crashed"
+        assert "SimulatedCrash" in payload["crash_cause"]
+
+    def test_recover_on_a_serving_document_is_a_no_op(self, healing):
+        base, _ = healing
+        doc = create(base)
+        status, outcome = call(
+            base, "POST", f"/docs/{doc['doc_id']}/recover"
+        )
+        assert status == 200
+        assert outcome["healed"] is False
+        assert outcome["doc_id"] == doc["doc_id"]
+
+    def test_crashed_document_is_503_with_retry_after(self, healing):
+        base, service = healing
+        doc = create(base)
+        writer = crash_writer(service, doc["doc_id"])
+        writer.auto_recover = False  # pin the refusal, not the self-heal
+        status, payload, headers = call_full(
+            base,
+            "POST",
+            f"/docs/{doc['doc_id']}/updates",
+            {"op": {"kind": "insert_child", "parent": 0, "xml": "<x/>"}},
+        )
+        assert status == 503
+        assert payload["error"] == "ServiceCrashed"
+        assert payload["state"] == "crashed"
+        assert payload["doc_id"] == doc["doc_id"]
+        assert payload["retry_after"] == 1
+        assert headers["Retry-After"] == "1"
+
+    def test_overloaded_queue_is_429_with_retry_after(self, healing):
+        base, service = healing
+        doc = create(base)
+        service.registry.get(doc["doc_id"]).writer.max_queue = 0
+        status, payload, headers = call_full(
+            base,
+            "POST",
+            f"/docs/{doc['doc_id']}/updates",
+            {"op": {"kind": "insert_child", "parent": 0, "xml": "<x/>"}},
+        )
+        assert status == 429
+        assert payload["error"] == "ServiceOverloaded"
+        assert payload["state"] == "serving"
+        assert payload["retry_after"] > 0
+        assert int(headers["Retry-After"]) >= 1
+
+    def test_expired_deadline_is_408(self, healing):
+        base, service = healing
+        doc = create(base)
+        writer = service.registry.get(doc["doc_id"]).writer
+        # Two clock reads happen for a single queued op: the submit
+        # stamp, then the writer's deadline check.  Feeding them 0 and
+        # then "much later" expires the op deterministically, however
+        # fast the writer thread actually drains.
+        reads = iter([0.0])
+        writer.clock = lambda: next(reads, 1e6)
+        status, payload = call(
+            base,
+            "POST",
+            f"/docs/{doc['doc_id']}/updates",
+            {
+                "op": {
+                    "kind": "insert_child",
+                    "parent": 0,
+                    "xml": "<x/>",
+                    "deadline": 0.5,
+                }
+            },
+        )
+        assert status == 408
+        assert payload["error"] == "DeadlineExceeded"
+        assert "not applied" in payload["message"]
+        _, payload = call(base, "GET", f"/docs/{doc['doc_id']}/status")
+        assert payload["deadlines_expired"] == 1
+
+    def test_request_id_dedups_over_http(self, healing):
+        base, _ = healing
+        doc = create(base)
+        op = {
+            "kind": "insert_child",
+            "parent": 0,
+            "xml": "<once/>",
+            "request_id": "http-rid-1",
+        }
+        _, first = call(
+            base, "POST", f"/docs/{doc['doc_id']}/updates", {"op": op}
+        )
+        status, second = call(
+            base, "POST", f"/docs/{doc['doc_id']}/updates", {"op": op}
+        )
+        assert status == 200
+        assert second["ack"]["deduplicated"] is True
+        assert second["ack"]["lsn"] == first["ack"]["lsn"]
+        _, payload = call(base, "GET", f"/docs/{doc['doc_id']}/status")
+        assert payload["retries_deduped"] == 1
+        assert payload["dedup_entries"] == 1

@@ -1,0 +1,415 @@
+"""Self-healing: online recovery, idempotent retries, deadlines, limits.
+
+This suite pins the robustness contract ISSUE 9 added on top of the
+writer's ack protocol:
+
+* a crashed document heals *in place* — ``crashed -> recovering ->
+  serving`` with the generation counter bumped, the durable prefix
+  intact, and nothing replayed twice;
+* concurrent submits against a crashed document elect exactly one
+  healer (the heal lock), never two;
+* a ``request_id`` makes retries idempotent across the crash: the dedup
+  table survives recovery because it is rebuilt from the WAL's frame
+  headers, so a durable-but-unacked commit acks its retry instead of
+  applying twice;
+* deadlines expire queued work without applying it, and a bounded queue
+  refuses overload with a modeled retry hint instead of collapsing.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    DeadlineExceeded,
+    ServiceCrashed,
+    ServiceError,
+    ServiceOverloaded,
+    SimulatedCrash,
+)
+from repro.faults import FAULTS, FaultPlan
+from repro.obs import OBS
+from repro.service import DocumentRegistry, DocumentWriter, UpdateRequest
+from repro.wal import recover
+
+from tests.wal.walutil import build_wal_engine, logical_state
+
+SCHEME = "QED-Prefix"
+
+
+@pytest.fixture(autouse=True)
+def clean_slate():
+    OBS.reset()
+    OBS.enabled = False
+    yield
+    FAULTS.disarm()
+    OBS.reset()
+    OBS.enabled = False
+
+
+@pytest.fixture
+def writer(tmp_path):
+    healing = DocumentWriter(build_wal_engine(SCHEME, tmp_path))
+    yield healing
+    healing.close(timeout=5.0)
+
+
+def insert_spec(tag="n", **extra):
+    return {"kind": "insert_child", "parent": 0, "xml": f"<{tag}/>", **extra}
+
+
+def batch(*ops):
+    return [UpdateRequest(op=op) for op in ops]
+
+
+def crash(writer, *ops, site="wal.fsync"):
+    """Kill one batch at a WAL site; returns the doomed requests."""
+    doomed = batch(*(ops or (insert_spec(tag="lost"),)))
+    with FAULTS.armed(FaultPlan.crash(site, at=1)):
+        with pytest.raises(SimulatedCrash):
+            writer.apply_batch(doomed)
+    assert writer.status == "crashed"
+    return doomed
+
+
+class TestOnlineRecovery:
+    def test_recover_heals_in_place_and_bumps_generation(self, writer):
+        acked = batch(insert_spec(tag="durable"))
+        writer.apply_batch(acked)
+        acked[0].future.result(timeout=0)
+        durable = logical_state(writer.engine.labeled)
+
+        crash(writer)
+        outcome = writer.recover()
+        assert outcome["healed"] is True
+        assert outcome["generation"] == 1
+        assert writer.status == "serving"
+        assert writer.generation == 1
+        assert writer.recoveries == 1
+        # The healed engine is exactly the durable prefix, and the
+        # published view follows it.
+        assert logical_state(writer.engine.labeled) == durable
+        assert writer.view.version == writer.acked_version
+
+        # The healed writer serves again — same document, new engine.
+        resumed = batch(insert_spec(tag="after-heal"))
+        writer.apply_batch(resumed)
+        ack = resumed[0].future.result(timeout=0)
+        assert ack["generation"] == 1
+
+    def test_recover_on_a_serving_writer_is_a_no_op(self, writer):
+        outcome = writer.recover()
+        assert outcome == {
+            "healed": False,
+            "status": "serving",
+            "generation": 0,
+        }
+        assert writer.recoveries == 0
+
+    def test_recovery_replays_nothing_twice(self, writer, tmp_path):
+        for round_tags in (("a", "b"), ("c",)):
+            acked = batch(*(insert_spec(tag=t) for t in round_tags))
+            writer.apply_batch(acked)
+        crash(writer)
+        writer.recover()
+        # In-place heal and offline recovery agree byte for byte.
+        assert logical_state(writer.engine.labeled) == logical_state(
+            recover(tmp_path).labeled
+        )
+        assert writer.acked_version == writer.engine.wal.next_lsn - 1
+
+    def test_submit_auto_recovers_a_crashed_document(self, tmp_path):
+        writer = DocumentWriter(build_wal_engine(SCHEME, tmp_path)).start()
+        try:
+            writer.submit(insert_spec(tag="before")).result(timeout=5.0)
+            with FAULTS.armed(FaultPlan.crash("wal.fsync", at=1)):
+                doomed = writer.submit(insert_spec(tag="doomed"))
+                with pytest.raises(ServiceCrashed):
+                    doomed.result(timeout=5.0)
+            # The next submit heals the document *and* restarts the
+            # writer thread: the future must resolve, not hang.
+            ack = writer.submit(insert_spec(tag="healed")).result(timeout=5.0)
+            assert ack["generation"] == 1
+            assert writer.status == "serving"
+            assert writer.recoveries == 1
+        finally:
+            writer.close(timeout=5.0)
+
+    def test_crash_during_recovery_stays_healable(self, writer):
+        crash(writer)
+        with FAULTS.armed(FaultPlan.crash("service.recover", at=1)):
+            with pytest.raises(SimulatedCrash):
+                writer.recover()
+        # Back in quarantine, generation unmoved — and the *next*
+        # attempt (fault gone) heals normally.
+        assert writer.status == "crashed"
+        assert writer.generation == 0
+        assert isinstance(writer.crash_cause, SimulatedCrash)
+        outcome = writer.recover()
+        assert outcome["healed"] is True
+        assert writer.generation == 1
+
+    def test_concurrent_submits_elect_exactly_one_healer(self, writer):
+        crash(writer)
+        barrier = threading.Barrier(4)
+        errors = []
+
+        def racer(tag):
+            barrier.wait(timeout=5.0)
+            try:
+                writer.submit(insert_spec(tag=tag))
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=racer, args=(f"r{i}",)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert errors == []
+        # All four submits went through, but the crash was healed
+        # exactly once: one recovery, one generation bump.
+        assert writer.recoveries == 1
+        assert writer.generation == 1
+        assert writer.status == "serving"
+        assert writer.queue_depth == 4
+
+    def test_recover_without_a_wal_is_refused(self):
+        from repro.labeling import make_scheme
+        from repro.updates import UpdateEngine
+        from tests.wal.walutil import seed_document
+
+        labeled = make_scheme(SCHEME).label_document(seed_document())
+        writer = DocumentWriter(UpdateEngine(labeled, with_storage=True))
+        writer.status = "crashed"
+        with pytest.raises(ServiceError, match="no WAL"):
+            writer.recover()
+
+    def test_closed_writer_refuses_recovery(self, writer):
+        writer.close(timeout=5.0)
+        with pytest.raises(ServiceError, match="closed"):
+            writer.recover()
+
+
+class TestIdempotentRetries:
+    def test_retry_returns_the_original_ack_without_a_second_frame(
+        self, writer
+    ):
+        first = batch(insert_spec(tag="once", request_id="rid-1"))
+        writer.apply_batch(first)
+        original = first[0].future.result(timeout=0)
+        frames_after = writer.engine.wal.next_lsn
+        nodes_after = writer.view.node_count()
+
+        retry = writer.submit(insert_spec(tag="once", request_id="rid-1"))
+        ack = retry.result(timeout=0)
+        assert ack["deduplicated"] is True
+        assert ack["lsn"] == original["lsn"]
+        assert writer.retries_deduped == 1
+        # No second apply: no new WAL frame, no new node.
+        assert writer.engine.wal.next_lsn == frames_after
+        assert writer.view.node_count() == nodes_after
+
+    def test_duplicate_within_one_batch_applies_once(self, writer):
+        nodes_before = writer.view.node_count()
+        requests = batch(
+            insert_spec(tag="twin", request_id="rid-twin"),
+            insert_spec(tag="twin", request_id="rid-twin"),
+        )
+        writer.apply_batch(requests)
+        applied = requests[0].future.result(timeout=0)
+        deduped = requests[1].future.result(timeout=0)
+        assert "deduplicated" not in applied
+        assert deduped["deduplicated"] is True
+        assert deduped["lsn"] == applied["lsn"]
+        assert writer.view.node_count() == nodes_before + 1
+        assert writer.commits_acked == 1
+        assert writer.retries_deduped == 1
+
+    def test_dedup_table_is_rebuilt_from_the_log_after_recovery(
+        self, writer
+    ):
+        acked = batch(
+            insert_spec(tag="a", request_id="rid-a"),
+            insert_spec(tag="b", request_id="rid-b"),
+        )
+        writer.apply_batch(acked)
+        for request in acked:
+            request.future.result(timeout=0)
+        crash(writer)
+        writer.recover()
+        assert writer.dedup_entries == 2
+        # The retry of an acked rid resolves from the rebuilt table: a
+        # reduced ack (the batch context died with the old process),
+        # honestly flagged as recovered — and still no re-apply.
+        frames = writer.engine.wal.next_lsn
+        ack = writer.submit(insert_spec(tag="a", request_id="rid-a")).result(
+            timeout=0
+        )
+        assert ack["deduplicated"] is True
+        assert ack["recovered"] is True
+        assert writer.engine.wal.next_lsn == frames
+
+    def test_retry_storm_across_a_durable_unacked_crash(self, writer):
+        """The crash class dedup exists for: fsync'd, then died pre-ack.
+
+        A ``service.dedup`` crash fires after the batch fsync but
+        before any future resolves — every client times out and
+        retries.  The rebuilt dedup table must ack all of them from the
+        log without a single duplicate apply.
+        """
+        rids = [f"storm-{i}" for i in range(3)]
+        doomed = crash(
+            writer,
+            *(insert_spec(tag=f"s{i}", request_id=rid)
+              for i, rid in enumerate(rids)),
+            site="service.dedup",
+        )
+        for request in doomed:
+            with pytest.raises(ServiceCrashed):
+                request.future.result(timeout=0)
+        writer.recover()
+        nodes = writer.view.node_count()
+        frames = writer.engine.wal.next_lsn
+        for i, rid in enumerate(rids):
+            ack = writer.submit(
+                insert_spec(tag=f"s{i}", request_id=rid)
+            ).result(timeout=0)
+            assert ack["deduplicated"] is True
+        assert writer.retries_deduped == 3
+        # The storm re-applied nothing: same node count, same log.
+        assert writer.view.node_count() == nodes
+        assert writer.engine.wal.next_lsn == frames
+
+    def test_lost_batch_retries_apply_fresh_exactly_once(self, writer):
+        """A pre-fsync crash *loses* the batch — retries must apply."""
+        doomed = crash(
+            writer,
+            insert_spec(tag="redo", request_id="rid-redo"),
+            site="wal.fsync",
+        )
+        with pytest.raises(ServiceCrashed):
+            doomed[0].future.result(timeout=0)
+        writer.recover()
+        assert writer.dedup_entries == 0  # the frame never hit disk
+        retried = batch(insert_spec(tag="redo", request_id="rid-redo"))
+        writer.apply_batch(retried)
+        ack = retried[0].future.result(timeout=0)
+        assert "deduplicated" not in ack
+        assert writer.retries_deduped == 0
+
+    def test_dedup_table_is_bounded_fifo(self, tmp_path):
+        writer = DocumentWriter(
+            build_wal_engine(SCHEME, tmp_path), dedup_capacity=2
+        )
+        try:
+            for i in range(4):
+                requests = batch(
+                    insert_spec(tag=f"e{i}", request_id=f"rid-{i}")
+                )
+                writer.apply_batch(requests)
+                requests[0].future.result(timeout=0)
+            assert writer.dedup_entries == 2
+            # Oldest evicted: its retry is *not* recognized any more.
+            assert writer._dedup_lookup("rid-0") is None
+            assert writer._dedup_lookup("rid-3") is not None
+        finally:
+            writer.close(timeout=5.0)
+
+    @pytest.mark.parametrize(
+        "request_id", ["", 7, True, "x" * 201], ids=repr
+    )
+    def test_bad_request_ids_are_refused(self, writer, request_id):
+        with pytest.raises(ServiceError, match="request_id"):
+            writer.submit(insert_spec(request_id=request_id))
+
+
+class TestDeadlines:
+    def test_expired_request_fails_without_being_applied(self, tmp_path):
+        now = [100.0]
+        writer = DocumentWriter(
+            build_wal_engine(SCHEME, tmp_path), clock=lambda: now[0]
+        )
+        try:
+            future = writer.submit(insert_spec(tag="slow", deadline=0.5))
+            fresh = writer.submit(insert_spec(tag="fast", deadline=60.0))
+            now[0] += 2.0  # the queue "waited" past the first deadline
+            pending = [
+                writer._queue.get_nowait(), writer._queue.get_nowait()
+            ]
+            writer.apply_batch(pending)
+            with pytest.raises(DeadlineExceeded, match="not applied"):
+                future.result(timeout=0)
+            fresh.result(timeout=0)  # its 60s budget was plenty
+            assert writer.deadlines_expired == 1
+            assert writer.commits_acked == 1
+        finally:
+            writer.close(timeout=5.0)
+
+    def test_directly_built_requests_never_expire(self, writer):
+        # The crash matrix builds UpdateRequest without going through
+        # submit: no enqueued_at, no expiry, ever.
+        requests = batch(insert_spec(tag="matrix"))
+        writer.apply_batch(requests)
+        requests[0].future.result(timeout=0)
+
+    def test_bad_deadline_is_refused(self, writer):
+        with pytest.raises(ServiceError, match="deadline"):
+            writer.submit(insert_spec(deadline=-1))
+
+
+class TestBackpressure:
+    def test_full_queue_refuses_with_a_modeled_hint(self, tmp_path):
+        writer = DocumentWriter(
+            build_wal_engine(SCHEME, tmp_path), max_queue=2
+        )
+        try:
+            writer.submit(insert_spec(tag="q1"))
+            writer.submit(insert_spec(tag="q2"))
+            with pytest.raises(ServiceOverloaded, match="retry after") as exc:
+                writer.submit(insert_spec(tag="q3"))
+            assert exc.value.retry_after > 0
+            assert writer.rejected_overload == 1
+            # The refusal queued nothing.
+            assert writer.queue_depth == 2
+        finally:
+            writer.close(timeout=5.0)
+
+    def test_zero_queue_is_drain_only(self, tmp_path):
+        writer = DocumentWriter(
+            build_wal_engine(SCHEME, tmp_path), max_queue=0
+        )
+        try:
+            with pytest.raises(ServiceOverloaded):
+                writer.submit(insert_spec())
+        finally:
+            writer.close(timeout=5.0)
+
+    def test_retry_after_scales_with_queue_depth(self, tmp_path):
+        writer = DocumentWriter(
+            build_wal_engine(SCHEME, tmp_path), max_batch=2, max_queue=None
+        )
+        try:
+            shallow = writer.retry_after_hint()
+            for i in range(6):
+                writer.submit(insert_spec(tag=f"d{i}"))
+            assert writer.retry_after_hint() >= shallow * 3
+        finally:
+            writer.close(timeout=5.0)
+
+
+class TestRegistryShutdown:
+    def test_close_joins_writers_and_refuses_new_documents(self, tmp_path):
+        registry = DocumentRegistry(str(tmp_path))
+        handle = registry.create("<root/>", SCHEME)
+        handle.writer.submit(insert_spec(tag="x")).result(timeout=5.0)
+        registry.close(timeout=5.0)
+        assert handle.writer.status == "closed"
+        with pytest.raises(ServiceError, match="shut down"):
+            registry.create("<root/>", SCHEME, doc_id="late")
+        with pytest.raises(ServiceError, match="closed"):
+            handle.writer.submit(insert_spec(tag="y"))

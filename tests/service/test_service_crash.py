@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import ServiceCrashed, ServiceError, SimulatedCrash
+from repro.errors import ServiceCrashed, SimulatedCrash
 from repro.faults import FAULTS, FaultPlan
 from repro.service import DocumentRegistry, UpdateRequest
 from repro.verify import verify_integrity
@@ -69,9 +69,11 @@ def test_crash_before_fsync_loses_exactly_the_unacked_batch(handle):
         with pytest.raises(ServiceCrashed):
             request.future.result(timeout=0)
 
-    # The quarantined handle is honest with clients...
+    # The quarantined handle is honest with clients (auto-recover off:
+    # the self-healing path has its own suite in test_recovery.py)...
     assert handle.stats()["status"] == "crashed"
-    with pytest.raises(ServiceError, match="crashed"):
+    writer.auto_recover = False
+    with pytest.raises(ServiceCrashed, match="crashed"):
         writer.submit({"kind": "delete", "target": 1})
     # ...and recovery rebuilds exactly the acked prefix: batch 1 is
     # there in full, batch 2 left no trace.
@@ -83,17 +85,17 @@ def test_crash_before_fsync_loses_exactly_the_unacked_batch(handle):
 def test_crash_in_deferred_checkpoint_keeps_the_durable_batch(handle):
     writer = handle.writer
     survivors = batch(["kept"])
-    # Make the deferred checkpoint due immediately, so commit_group
-    # runs it right after the batch fsync — the crash fires there.
-    # The client never saw an ack, but the commit is on disk:
-    # recovery MAY include an unacked commit, it may only never drop
-    # an acked one.
+    # Make the deferred checkpoint due immediately.  The writer runs it
+    # strictly after its acks (a checkpoint truncates the log, and the
+    # log must retain unacked request_id frames), so the crash fires
+    # after the client already heard back — the commit is on disk AND
+    # acked; recovery must include it.
     handle.engine.wal.checkpoint_every_commits = 1
     with FAULTS.armed(FaultPlan.crash("wal.checkpoint_write", at=1)):
         with pytest.raises(SimulatedCrash):
             writer.apply_batch(survivors)
-    with pytest.raises(ServiceCrashed):
-        survivors[0].future.result(timeout=0)
+    assert survivors[0].future.result(timeout=0)["batch_commits"] == 1
+    assert writer.status == "crashed"
     report = recover(handle.wal_dir)
     assert logical_state(report.labeled) == logical_state(
         handle.engine.labeled

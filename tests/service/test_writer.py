@@ -149,7 +149,10 @@ class TestQuarantine:
         for request in requests:
             with pytest.raises(ServiceCrashed, match="recover"):
                 request.future.result(timeout=0)
-        with pytest.raises(ServiceError, match="crashed"):
+        # With auto-recover off, the quarantined writer refuses writes
+        # (the self-healing path is pinned in test_recovery.py).
+        writer.auto_recover = False
+        with pytest.raises(ServiceCrashed, match="crashed"):
             writer.submit(insert_spec())
 
     def test_queued_requests_behind_a_crash_fail_too(self, writer):
